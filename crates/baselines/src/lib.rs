@@ -1,0 +1,71 @@
+//! Reference systems for the INSANE evaluation (§6–7).
+//!
+//! The paper compares INSANE and the Lunar applications against widely
+//! deployed systems.  This crate provides behavioral stand-ins that
+//! reproduce the *architectural* properties the paper credits for each
+//! system's performance:
+//!
+//! * [`cyclone::CycloneLite`] — a Cyclone-DDS-like decentralized pub/sub
+//!   node: RTPS-framed messages with CDR serialization over UDP, and a
+//!   blocking-receive internal architecture (the paper observes Cyclone's
+//!   latency "comparable to systems that use blocking sockets in their
+//!   receiver thread, although with higher variability").
+//! * [`zmq::ZmqLite`] — a ZeroMQ-like pub/sub node: topic-envelope
+//!   framing and an internal I/O thread that every message crosses twice,
+//!   the reason the paper measures ≈+20 µs over Cyclone.
+//! * [`sendfile::SendfileStreamer`] — frame streaming over the kernel's
+//!   `sendfile(2)` sender-side zero-copy path, the baseline of Fig. 11.
+//!
+//! The raw UDP-socket ping-pong applications of Fig. 7 (blocking and
+//! non-blocking) are plain uses of
+//! [`insane_fabric::devices::SimUdpSocket`] and live in the benchmark
+//! harness.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cyclone;
+pub mod sendfile;
+pub mod zmq;
+
+pub use cyclone::CycloneLite;
+pub use sendfile::{SendfileReceiver, SendfileStreamer};
+pub use zmq::ZmqLite;
+
+use core::fmt;
+
+/// Errors from the baseline systems.
+#[derive(Debug)]
+pub enum BaselineError {
+    /// Underlying simulated device failure.
+    Fabric(insane_fabric::FabricError),
+    /// Received bytes that do not parse as the system's wire format.
+    Malformed(&'static str),
+    /// Non-blocking receive found nothing.
+    WouldBlock,
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Fabric(e) => write!(f, "device error: {e}"),
+            BaselineError::Malformed(what) => write!(f, "malformed message: {what}"),
+            BaselineError::WouldBlock => write!(f, "no message available"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BaselineError::Fabric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<insane_fabric::FabricError> for BaselineError {
+    fn from(e: insane_fabric::FabricError) -> Self {
+        BaselineError::Fabric(e)
+    }
+}

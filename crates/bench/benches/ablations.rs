@@ -1,0 +1,4 @@
+//! Ablations of the design choices called out in DESIGN.md §5.
+fn main() {
+    insane_bench::experiments::ablations();
+}

@@ -1,0 +1,5 @@
+//! Extra experiment: the XDP and RDMA datapaths the paper's prototype
+//! had not integrated yet.
+fn main() {
+    insane_bench::experiments::extra_xdp_rdma();
+}

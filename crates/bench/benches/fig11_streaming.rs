@@ -1,0 +1,4 @@
+//! Regenerates Fig. 11a/11b of the paper (streaming FPS and latency).
+fn main() {
+    insane_bench::experiments::fig11();
+}

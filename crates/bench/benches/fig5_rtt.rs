@@ -1,0 +1,4 @@
+//! Regenerates Fig. 5a/5b of the paper (RTT vs payload, both testbeds).
+fn main() {
+    insane_bench::experiments::fig5();
+}

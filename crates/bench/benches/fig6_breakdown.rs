@@ -1,0 +1,4 @@
+//! Regenerates Fig. 6 of the paper (INSANE fast latency breakdown).
+fn main() {
+    insane_bench::experiments::fig6();
+}

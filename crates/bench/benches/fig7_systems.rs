@@ -1,0 +1,4 @@
+//! Regenerates Fig. 7a/7b of the paper (average RTT across systems).
+fn main() {
+    insane_bench::experiments::fig7();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 8a/8b of the paper (goodput sweeps).
+fn main() {
+    insane_bench::experiments::fig8a();
+    insane_bench::experiments::fig8b();
+}

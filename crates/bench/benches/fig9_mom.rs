@@ -1,0 +1,5 @@
+//! Regenerates Fig. 9a/9b of the paper (MoM latency and goodput).
+fn main() {
+    insane_bench::experiments::fig9a();
+    insane_bench::experiments::fig9b();
+}

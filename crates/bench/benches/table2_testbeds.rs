@@ -1,0 +1,4 @@
+//! Regenerates Table 2 of the paper.
+fn main() {
+    insane_bench::experiments::table2();
+}

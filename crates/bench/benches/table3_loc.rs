@@ -1,0 +1,4 @@
+//! Regenerates Table 3 of the paper (LoC per interface).
+fn main() {
+    insane_bench::experiments::table3();
+}

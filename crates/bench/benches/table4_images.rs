@@ -1,0 +1,4 @@
+//! Regenerates Table 4 of the paper (streamed image sizes).
+fn main() {
+    insane_bench::experiments::table4();
+}

@@ -1,0 +1,138 @@
+//! The benchmarking application over native DPDK (Table 3 row 3).
+//!
+//! Twice the code of the INSANE version, for the reasons §3 of the paper
+//! gives: with the kernel bypassed, the application owns everything the
+//! kernel (or the middleware) otherwise provides — environment setup
+//! (mempool sizing), its own Ethernet/IPv4/UDP framing and parsing with
+//! address management, explicit burst loops with mbuf lifetime handling,
+//! and its own demultiplexing and validation of every received packet.
+
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+use insane_fabric::devices::{DpdkPort, RxPacket};
+use insane_fabric::{Endpoint, Fabric, HostId, TestbedProfile};
+use insane_netstack::ether::MacAddr;
+use insane_netstack::ipv4::Ipv4Header;
+use insane_netstack::neighbor::NeighborTable;
+use insane_netstack::packet::{PacketBuilder, PacketView};
+use insane_netstack::FRAME_OVERHEAD;
+
+/// Measured results of one run.
+pub struct Results {
+    /// RTT samples in nanoseconds.
+    pub rtt_ns: Vec<u64>,
+}
+
+const MEMPOOL_MBUFS: usize = 1024;
+const UDP_PORT: u16 = 9000;
+const BURST: usize = 32;
+const MSG_MAGIC: u8 = 0x42;
+
+/// One endpoint's full DPDK networking state: port, addresses, neighbor
+/// table, and protocol logic.
+struct DpdkApp {
+    port: DpdkPort,
+    mac: MacAddr,
+    ip: Ipv4Addr,
+    neighbors: NeighborTable,
+    rx_stage: Vec<RxPacket>,
+}
+
+impl DpdkApp {
+    fn init(fabric: &Fabric, host: HostId, all_hosts: u32) -> Self {
+        // Environment setup the kernel would otherwise own: the mempool
+        // backing every mbuf, the port binding, address assignment, and
+        // a provisioned ARP table.
+        let port = DpdkPort::open(fabric, host, 0, MEMPOOL_MBUFS).expect("port init");
+        Self {
+            port,
+            mac: MacAddr::from_host_index(host.index()),
+            ip: Ipv4Header::addr_for_host(host.index()),
+            neighbors: NeighborTable::for_simulated_hosts(all_hosts),
+            rx_stage: Vec::with_capacity(BURST),
+        }
+    }
+
+    /// Frames one message into a fresh mbuf: userspace protocol stack,
+    /// the application's own job once the kernel is bypassed.
+    fn send(&self, dst_host: HostId, seq: u32, payload: &[u8]) {
+        let dst_ip = Ipv4Header::addr_for_host(dst_host.index());
+        let dst_mac = self.neighbors.resolve(dst_ip).expect("ARP entry");
+        let msg_len = 5 + payload.len();
+        let mut mbuf = self
+            .port
+            .alloc_mbuf(FRAME_OVERHEAD + msg_len)
+            .expect("mbuf alloc");
+        // Application header behind the transport headers.
+        mbuf[FRAME_OVERHEAD] = MSG_MAGIC;
+        mbuf[FRAME_OVERHEAD + 1..FRAME_OVERHEAD + 5].copy_from_slice(&seq.to_le_bytes());
+        mbuf[FRAME_OVERHEAD + 5..].copy_from_slice(payload);
+        PacketBuilder::new()
+            .src_mac(self.mac)
+            .dst_mac(dst_mac)
+            .src(self.ip, UDP_PORT)
+            .dst(dst_ip, UDP_PORT)
+            .identification(seq as u16)
+            .finish_in_place(&mut mbuf, msg_len)
+            .expect("framing");
+        let dst = Endpoint {
+            host: dst_host,
+            port: 0,
+        };
+        self.port.tx_burst(dst, [mbuf]).expect("tx burst");
+    }
+
+    /// Busy-polls the RX ring, parses and validates every packet through
+    /// the userspace stack, and returns the first matching message.
+    fn recv_busy(&mut self, expect_seq: u32) -> Vec<u8> {
+        loop {
+            if self.rx_stage.is_empty() {
+                self.port.rx_burst(&mut self.rx_stage, BURST);
+            }
+            while let Some(packet) = self.rx_stage.pop() {
+                let bytes = packet.payload.as_slice();
+                let Ok(view) = PacketView::parse(bytes) else {
+                    continue; // malformed frame: drop
+                };
+                if view.ipv4().dst != self.ip || view.udp().dst_port != UDP_PORT {
+                    continue; // not addressed to this application
+                }
+                let msg = view.payload();
+                if msg.len() < 5 || msg[0] != MSG_MAGIC {
+                    continue;
+                }
+                let seq = u32::from_le_bytes([msg[1], msg[2], msg[3], msg[4]]);
+                if seq != expect_seq {
+                    continue; // stale packet from an earlier round
+                }
+                return msg[5..].to_vec();
+            }
+            core::hint::spin_loop();
+        }
+    }
+}
+
+/// Runs `iters` ping-pong round trips of `payload` bytes and returns the
+/// samples.
+pub fn run(profile: TestbedProfile, payload: usize, iters: usize) -> Results {
+    let fabric = Fabric::new(profile);
+    let host_a = fabric.add_host("client");
+    let host_b = fabric.add_host("server");
+    let mut client = DpdkApp::init(&fabric, host_a, 2);
+    let mut server = DpdkApp::init(&fabric, host_b, 2);
+
+    let payload_bytes = vec![0u8; payload];
+    let mut rtt_ns = Vec::with_capacity(iters);
+    for i in 0..iters {
+        let seq = i as u32;
+        let t0 = Instant::now();
+        client.send(host_b, seq, &payload_bytes);
+        let ping = server.recv_busy(seq);
+        server.send(host_a, seq, &ping);
+        let pong = client.recv_busy(seq);
+        assert_eq!(pong.len(), payload, "echo must be intact");
+        rtt_ns.push(t0.elapsed().as_nanos() as u64);
+    }
+    Results { rtt_ns }
+}

@@ -1,0 +1,103 @@
+//! The benchmarking application over the INSANE API (Table 3 row 1).
+//!
+//! Everything network-related is four calls: create a stream with the
+//! desired QoS, open a source and a sink, exchange buffers.  No
+//! technology-specific setup appears anywhere: the same code runs over
+//! kernel UDP, XDP, DPDK or RDMA depending on the QoS policy and on what
+//! the hosting node offers.
+
+use std::time::Instant;
+
+use insane_core::runtime::poll_until_quiescent;
+use insane_core::{
+    ChannelId, ConsumeMode, InsaneError, QosPolicy, Runtime, RuntimeConfig, Session,
+    ThreadingMode,
+};
+use insane_fabric::{Fabric, Technology, TestbedProfile};
+
+/// Measured results of one run.
+pub struct Results {
+    /// RTT samples in nanoseconds.
+    pub rtt_ns: Vec<u64>,
+}
+
+/// Runs `iters` ping-pong round trips of `payload` bytes and returns the
+/// samples.
+pub fn run(profile: TestbedProfile, qos: QosPolicy, payload: usize, iters: usize) -> Results {
+    // loc:skip-begin — deployment plumbing: in a real edge deployment
+    // the runtimes are already running as host services; this harness
+    // must create both of them in-process.
+    let fabric = Fabric::new(profile);
+    let host_a = fabric.add_host("client");
+    let host_b = fabric.add_host("server");
+    let techs = [Technology::KernelUdp, Technology::Dpdk];
+    let config = |id| {
+        RuntimeConfig::new(id)
+            .with_technologies(&techs)
+            .with_threading(ThreadingMode::Manual)
+    };
+    let rt_a = Runtime::start(config(1), &fabric, host_a).expect("runtime");
+    let rt_b = Runtime::start(config(2), &fabric, host_b).expect("runtime");
+    rt_a.add_peer(host_b).expect("peering");
+    poll_until_quiescent(&[&rt_a, &rt_b], 100_000);
+    // loc:skip-end
+
+    // The application itself.
+    let session_a = Session::connect(&rt_a).expect("session");
+    let session_b = Session::connect(&rt_b).expect("session");
+    let stream_a = session_a.create_stream(qos).expect("stream");
+    let stream_b = session_b.create_stream(qos).expect("stream");
+    let hot = stream_a.technology();
+    let ping_sink = stream_b.create_sink(ChannelId(1)).expect("sink");
+    let pong_sink = stream_a.create_sink(ChannelId(2)).expect("sink");
+    // loc:skip-begin — subscription propagation happens in the
+    // background on a deployed runtime's threads.
+    poll_until_quiescent(&[&rt_a, &rt_b], 100_000);
+    // loc:skip-end
+    let ping_source = stream_a.create_source(ChannelId(1)).expect("source");
+    let pong_source = stream_b.create_source(ChannelId(2)).expect("source");
+    // loc:skip-begin
+    poll_until_quiescent(&[&rt_a, &rt_b], 100_000);
+    // loc:skip-end
+
+    let payload_bytes = vec![0u8; payload];
+    let mut rtt_ns = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let mut buf = ping_source.get_buffer(payload).expect("buffer");
+        buf.copy_from_slice(&payload_bytes);
+        ping_source.emit(buf).expect("emit");
+        let ping = loop {
+            // loc:skip-begin — inline drive of both runtimes' polling
+            // threads (single-core harness).
+            rt_a.poll_technology(hot);
+            rt_b.poll_technology(hot);
+            // loc:skip-end
+            match ping_sink.consume(ConsumeMode::NonBlocking) {
+                Ok(msg) => break msg,
+                Err(InsaneError::WouldBlock) => continue,
+                Err(e) => panic!("consume: {e}"),
+            }
+        };
+        let mut echo = pong_source.get_buffer(ping.len()).expect("buffer");
+        echo.copy_from_slice(&ping);
+        ping.release();
+        pong_source.emit(echo).expect("emit");
+        loop {
+            // loc:skip-begin
+            rt_a.poll_technology(hot);
+            rt_b.poll_technology(hot);
+            // loc:skip-end
+            match pong_sink.consume(ConsumeMode::NonBlocking) {
+                Ok(msg) => {
+                    msg.release();
+                    break;
+                }
+                Err(InsaneError::WouldBlock) => continue,
+                Err(e) => panic!("consume: {e}"),
+            }
+        }
+        rtt_ns.push(t0.elapsed().as_nanos() as u64);
+    }
+    Results { rtt_ns }
+}

@@ -1,0 +1,28 @@
+//! Developer probe: prints raw pipeline-stage timings per system.
+fn main() {
+    use insane_bench::throughput::*;
+    use insane_fabric::TestbedProfile;
+    let p = TestbedProfile::local();
+    for payload in [64usize, 1024, 8192] {
+        for sys in [
+            TputSystem::RawDpdk,
+            TputSystem::InsaneFast,
+            TputSystem::KernelUdp,
+            TputSystem::InsaneSlow,
+            TputSystem::Catnip,
+            TputSystem::Catnap,
+        ] {
+            let s = stages(sys, &p, payload, 2000);
+            println!(
+                "{:12} {:5}B tx={:6}ns rx={:6}ns wire={:4}ns -> {:.2} Gbps",
+                sys.label(),
+                payload,
+                s.tx_ns,
+                s.rx_ns,
+                s.wire_ns,
+                s.goodput_gbps(payload)
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,55 @@
+//! Experiment harness for the INSANE reproduction.
+//!
+//! Every table and figure of the paper's evaluation (§6–7) has a bench
+//! target in this crate (see `benches/`); each prints the same rows or
+//! series the paper reports and writes a CSV under `target/experiments/`.
+//! The heavy lifting lives here so the targets stay thin and the
+//! `all_experiments` binary can run the full suite.
+//!
+//! ## Measurement methodology (single-core host)
+//!
+//! This machine exposes **one CPU**, so nothing µs-scale can be measured
+//! across busy-polling threads (the scheduler hands out ~ms quanta).  Two
+//! techniques make the experiments exact anyway:
+//!
+//! * **Latency** — a ping-pong's critical path is serial by nature:
+//!   client work → wire → server work → wire back.  The harness drives
+//!   both endpoints (and their INSANE runtimes, in
+//!   [`insane_core::ThreadingMode::Manual`]) inline on one thread, so the
+//!   wall clock accumulates exactly the modeled device costs plus the
+//!   *real* execution time of every middleware instruction.
+//! * **Throughput** — the paper's sender/receiver run concurrently on
+//!   different hosts, so goodput is the slowest pipeline stage.  The
+//!   harness times the TX stage and the RX stage separately and reports
+//!   `payload·n / max(T_tx, T_rx, T_wire)` ([`throughput`]); the wire
+//!   stage is the link-serialization bound.
+//!
+//! Iteration counts default to a quick profile (hundreds of round trips,
+//! tens of thousands of throughput messages — the paper uses 1 M);
+//! set `INSANE_BENCH_FACTOR` (e.g. `10`) to scale them up.
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod experiments;
+pub mod latency;
+pub mod mom_bench;
+pub mod report;
+pub mod setup;
+pub mod stats;
+pub mod streaming_bench;
+pub mod throughput;
+
+/// Scale factor for iteration counts (`INSANE_BENCH_FACTOR`, default 1).
+pub fn bench_factor() -> f64 {
+    std::env::var("INSANE_BENCH_FACTOR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|f: &f64| *f > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Scales a base iteration count by [`bench_factor`] (min 1).
+pub fn iters(base: usize) -> usize {
+    ((base as f64 * bench_factor()) as usize).max(1)
+}

@@ -1,0 +1,326 @@
+//! LunarMoM vs Cyclone-DDS-like vs ZeroMQ-like measurements (Fig. 9).
+
+use std::time::Instant;
+
+use insane_baselines::{BaselineError, CycloneLite, ZmqLite};
+use insane_core::{QosPolicy, Technology};
+use insane_fabric::{Endpoint, Fabric, TestbedProfile};
+use lunar::{LunarError, LunarMom};
+
+use crate::setup::{throughput_config, InsanePair};
+use crate::stats::{gbps, Series};
+use crate::throughput::wire_ns_per_msg;
+
+/// The messaging systems of Fig. 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MomSystem {
+    /// LunarMoM over INSANE fast (DPDK).
+    LunarFast,
+    /// LunarMoM over INSANE slow (kernel UDP).
+    LunarSlow,
+    /// The Cyclone-DDS-like baseline.
+    CycloneDds,
+    /// The ZeroMQ-like baseline.
+    ZeroMq,
+}
+
+impl MomSystem {
+    /// Label as used in the paper's Fig. 9 legend.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MomSystem::LunarFast => "Lunar fast",
+            MomSystem::LunarSlow => "Lunar slow",
+            MomSystem::CycloneDds => "Cyclone DDS",
+            MomSystem::ZeroMq => "ZeroMQ UDP",
+        }
+    }
+}
+
+/// Publisher→subscriber→publisher round trip over topics (the paper's
+/// MoM ping-pong test).
+pub fn mom_rtt_series(
+    system: MomSystem,
+    profile: &TestbedProfile,
+    payload: usize,
+    iters: usize,
+    warmup: usize,
+) -> Series {
+    match system {
+        MomSystem::LunarFast => lunar_rtt(profile, QosPolicy::fast(), Technology::Dpdk, payload, iters, warmup),
+        MomSystem::LunarSlow => {
+            lunar_rtt(profile, QosPolicy::slow(), Technology::KernelUdp, payload, iters, warmup)
+        }
+        MomSystem::CycloneDds => cyclone_rtt(profile, payload, iters, warmup),
+        MomSystem::ZeroMq => zmq_rtt(profile, payload, iters, warmup),
+    }
+}
+
+fn lunar_rtt(
+    profile: &TestbedProfile,
+    qos: QosPolicy,
+    hot_path: Technology,
+    payload: usize,
+    iters: usize,
+    warmup: usize,
+) -> Series {
+    let pair = InsanePair::new(profile.clone(), &[Technology::KernelUdp, Technology::Dpdk]);
+    let mom_a = LunarMom::connect(&pair.rt_a, qos).expect("mom a");
+    let mom_b = LunarMom::connect(&pair.rt_b, qos).expect("mom b");
+    let ping_sub = mom_b.subscriber("bench/ping").expect("ping sub");
+    let pong_sub = mom_a.subscriber("bench/pong").expect("pong sub");
+    pair.settle();
+    let ping_pub = mom_a.publisher("bench/ping").expect("ping pub");
+    let pong_pub = mom_b.publisher("bench/pong").expect("pong pub");
+    pair.settle();
+    let msg = vec![0xC3u8; payload];
+    let mut series = Series::new();
+    for i in 0..iters + warmup {
+        let t0 = Instant::now();
+        ping_pub.publish(&msg).expect("publish ping");
+        let ping = loop {
+            pair.rt_a.poll_technology(hot_path);
+            pair.rt_b.poll_technology(hot_path);
+            match ping_sub.try_next() {
+                Ok(m) => break m,
+                Err(LunarError::WouldBlock) => {}
+                Err(e) => panic!("{e}"),
+            }
+        };
+        pong_pub.publish(&ping).expect("publish pong");
+        drop(ping);
+        loop {
+            pair.rt_a.poll_technology(hot_path);
+            pair.rt_b.poll_technology(hot_path);
+            match pong_sub.try_next() {
+                Ok(m) => {
+                    drop(m);
+                    break;
+                }
+                Err(LunarError::WouldBlock) => {}
+                Err(e) => panic!("{e}"),
+            }
+        }
+        if i >= warmup {
+            series.push(t0.elapsed().as_nanos() as u64);
+        }
+    }
+    series
+}
+
+fn cyclone_rtt(profile: &TestbedProfile, payload: usize, iters: usize, warmup: usize) -> Series {
+    let fabric = Fabric::new(profile.clone());
+    let a = fabric.add_host("a");
+    let b = fabric.add_host("b");
+    let ea = Endpoint { host: a, port: 7400 };
+    let eb = Endpoint { host: b, port: 7400 };
+    let na = CycloneLite::new(&fabric, a, 7400, vec![eb]).expect("node a");
+    let nb = CycloneLite::new(&fabric, b, 7400, vec![ea]).expect("node b");
+    let msg = vec![0xC3u8; payload];
+    let mut series = Series::new();
+    for i in 0..iters + warmup {
+        let t0 = Instant::now();
+        na.publish(1, &msg).expect("ping");
+        let sample = nb.poll_topic_busy(1).expect("ping recv");
+        nb.publish(2, &sample.payload).expect("pong");
+        let _ = na.poll_topic_busy(2).expect("pong recv");
+        if i >= warmup {
+            series.push(t0.elapsed().as_nanos() as u64);
+        }
+    }
+    series
+}
+
+fn zmq_rtt(profile: &TestbedProfile, payload: usize, iters: usize, warmup: usize) -> Series {
+    let fabric = Fabric::new(profile.clone());
+    let a = fabric.add_host("a");
+    let b = fabric.add_host("b");
+    let ea = Endpoint { host: a, port: 5555 };
+    let eb = Endpoint { host: b, port: 5555 };
+    let na = ZmqLite::new(&fabric, a, 5555, vec![eb]).expect("node a");
+    let nb = ZmqLite::new(&fabric, b, 5555, vec![ea]).expect("node b");
+    na.subscribe(b"pong");
+    nb.subscribe(b"ping");
+    let msg = vec![0xC3u8; payload];
+    let mut series = Series::new();
+    for i in 0..iters + warmup {
+        let t0 = Instant::now();
+        na.publish(b"ping", &msg).expect("ping");
+        let m = nb.poll_busy().expect("ping recv");
+        nb.publish(b"pong", &m.payload).expect("pong");
+        let _ = na.poll_busy().expect("pong recv");
+        if i >= warmup {
+            series.push(t0.elapsed().as_nanos() as u64);
+        }
+    }
+    series
+}
+
+/// MoM goodput (Fig. 9b) under the pipeline model; ZeroMQ is measured
+/// too even though the paper excluded it for instability.
+pub fn mom_goodput_gbps(
+    system: MomSystem,
+    profile: &TestbedProfile,
+    payload: usize,
+    n: usize,
+) -> f64 {
+    let wire = wire_ns_per_msg(profile, payload);
+    let (tx, rx) = match system {
+        MomSystem::LunarFast => lunar_stages(profile, QosPolicy::fast(), Technology::Dpdk, payload, n),
+        MomSystem::LunarSlow => {
+            lunar_stages(profile, QosPolicy::slow(), Technology::KernelUdp, payload, n)
+        }
+        MomSystem::CycloneDds => cyclone_stages(profile, payload, n),
+        MomSystem::ZeroMq => zmq_stages(profile, payload, n),
+    };
+    gbps(payload, 1, tx.max(rx).max(wire).max(1))
+}
+
+fn lunar_stages(
+    profile: &TestbedProfile,
+    qos: QosPolicy,
+    hot_path: Technology,
+    payload: usize,
+    n: usize,
+) -> (u64, u64) {
+    // TX stage: publish with the receiving node unpolled.
+    let tx_ns = {
+        let pair =
+            InsanePair::with_config(profile.clone(), &[Technology::KernelUdp, Technology::Dpdk], throughput_config);
+        let mom_a = LunarMom::connect(&pair.rt_a, qos).expect("mom a");
+        let mom_b = LunarMom::connect(&pair.rt_b, qos).expect("mom b");
+        let _sub = mom_b.subscriber("bench/tput").expect("sub");
+        pair.settle();
+        let publisher = mom_a.publisher("bench/tput").expect("pub");
+        pair.settle();
+        let msg = vec![0xC3u8; payload];
+        let t0 = Instant::now();
+        let mut sent = 0usize;
+        while sent < n {
+            match publisher.publish(&msg) {
+                Ok(()) => {
+                    sent += 1;
+                    if sent % 16 == 0 {
+                        pair.rt_a.poll_technology(hot_path);
+                    }
+                }
+                Err(_) => {
+                    pair.rt_a.poll_technology(hot_path);
+                }
+            }
+        }
+        for _ in 0..100_000 {
+            if !pair.rt_a.poll_technology(hot_path) {
+                break;
+            }
+        }
+        t0.elapsed().as_nanos() as u64 / n as u64
+    };
+    // RX stage: prefill rounds, timed subscriber drain.
+    let rx_ns = {
+        let pair =
+            InsanePair::with_config(profile.clone(), &[Technology::KernelUdp, Technology::Dpdk], throughput_config);
+        let mom_a = LunarMom::connect(&pair.rt_a, qos).expect("mom a");
+        let mom_b = LunarMom::connect(&pair.rt_b, qos).expect("mom b");
+        let sub = mom_b.subscriber("bench/tput").expect("sub");
+        pair.settle();
+        let publisher = mom_a.publisher("bench/tput").expect("pub");
+        pair.settle();
+        let msg = vec![0xC3u8; payload];
+        let round = 1_024.min(n.max(1));
+        let rounds = n.div_ceil(round).max(1);
+        let mut total = 0u64;
+        for _ in 0..rounds {
+            let mut sent = 0usize;
+            while sent < round {
+                match publisher.publish(&msg) {
+                    Ok(()) => sent += 1,
+                    Err(_) => {
+                        pair.rt_a.poll_technology(hot_path);
+                    }
+                }
+            }
+            for _ in 0..100_000 {
+                if !pair.rt_a.poll_technology(hot_path) {
+                    break;
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(3));
+            let t0 = Instant::now();
+            let mut got = 0usize;
+            while got < round {
+                pair.rt_b.poll_technology(hot_path);
+                loop {
+                    match sub.try_next() {
+                        Ok(m) => {
+                            drop(m);
+                            got += 1;
+                        }
+                        Err(LunarError::WouldBlock) => break,
+                        Err(e) => panic!("{e}"),
+                    }
+                }
+            }
+            total += t0.elapsed().as_nanos() as u64;
+        }
+        total / (rounds as u64 * round as u64)
+    };
+    (tx_ns, rx_ns)
+}
+
+fn cyclone_stages(profile: &TestbedProfile, payload: usize, n: usize) -> (u64, u64) {
+    let fabric = Fabric::new(profile.clone());
+    let a = fabric.add_host("a");
+    let b = fabric.add_host("b");
+    let eb = Endpoint { host: b, port: 7400 };
+    let na = CycloneLite::new(&fabric, a, 7400, vec![eb]).expect("node a");
+    let nb = CycloneLite::new(&fabric, b, 7400, vec![]).expect("node b");
+    let msg = vec![0xC3u8; payload];
+    // TX stage (receiver absorbs into its 4096-deep socket; excess drops).
+    let t0 = Instant::now();
+    for _ in 0..n.min(4_000) {
+        na.publish(1, &msg).expect("publish");
+    }
+    let tx_ns = t0.elapsed().as_nanos() as u64 / n.min(4_000) as u64;
+    // RX stage on what was queued (after the wire settles).
+    std::thread::sleep(std::time::Duration::from_millis(3));
+    let t1 = Instant::now();
+    let mut got = 0usize;
+    while got < n.min(4_000) {
+        match nb.poll() {
+            Ok(_) => got += 1,
+            Err(BaselineError::WouldBlock) => core::hint::spin_loop(),
+            Err(e) => panic!("{e}"),
+        }
+    }
+    let rx_ns = t1.elapsed().as_nanos() as u64 / got.max(1) as u64;
+    (tx_ns, rx_ns)
+}
+
+fn zmq_stages(profile: &TestbedProfile, payload: usize, n: usize) -> (u64, u64) {
+    let fabric = Fabric::new(profile.clone());
+    let a = fabric.add_host("a");
+    let b = fabric.add_host("b");
+    let eb = Endpoint { host: b, port: 5555 };
+    let na = ZmqLite::new(&fabric, a, 5555, vec![eb]).expect("node a");
+    let nb = ZmqLite::new(&fabric, b, 5555, vec![]).expect("node b");
+    nb.subscribe(b"t");
+    let msg = vec![0xC3u8; payload];
+    let count = n.min(4_000);
+    let t0 = Instant::now();
+    for _ in 0..count {
+        na.publish(b"t", &msg).expect("publish");
+    }
+    let tx_ns = t0.elapsed().as_nanos() as u64 / count as u64;
+    std::thread::sleep(std::time::Duration::from_millis(3));
+    let t1 = Instant::now();
+    let mut got = 0usize;
+    while got < count {
+        match nb.poll() {
+            Ok(_) => got += 1,
+            Err(BaselineError::WouldBlock) => core::hint::spin_loop(),
+            Err(e) => panic!("{e}"),
+        }
+    }
+    let rx_ns = t1.elapsed().as_nanos() as u64 / got.max(1) as u64;
+    (tx_ns, rx_ns)
+}

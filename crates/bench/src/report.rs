@@ -1,0 +1,116 @@
+//! Table rendering and CSV output for the experiments.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// A simple fixed-width table printer.
+#[derive(Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds one row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                } else {
+                    widths.push(cell.len());
+                }
+            }
+        }
+        println!("\n== {} ==", self.title);
+        let header: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:width$}", h, width = widths[i]))
+            .collect();
+        println!("{}", header.join("  "));
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+                .collect();
+            println!("{}", line.join("  "));
+        }
+    }
+
+    /// Writes the table as `target/experiments/<name>.csv`.
+    pub fn write_csv(&self, name: &str) {
+        let dir = experiments_dir();
+        if fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let path = dir.join(format!("{name}.csv"));
+        let Ok(mut file) = fs::File::create(&path) else {
+            return;
+        };
+        let _ = writeln!(file, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(file, "{}", row.join(","));
+        }
+        println!("[csv] {}", path.display());
+    }
+}
+
+/// Directory experiment CSVs are written to.
+pub fn experiments_dir() -> PathBuf {
+    // CARGO_TARGET_DIR may relocate target/; fall back to ./target.
+    std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target"))
+        .join("experiments")
+}
+
+/// Formats a microsecond value with two decimals.
+pub fn fmt_us(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1_000.0)
+}
+
+/// Formats a Gbps value with two decimals.
+pub fn fmt_gbps(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_prints_and_pads() {
+        let mut t = Table::new("test", &["col-a", "b"]);
+        t.row(vec!["1".into(), "long-cell".into()]);
+        t.row(vec!["22".into(), "x".into()]);
+        // Just exercise the printer (visually verified in bench output).
+        t.print();
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_us(12_580), "12.58");
+        assert_eq!(fmt_gbps(86.93), "86.93");
+    }
+}

@@ -1,0 +1,140 @@
+//! Builders for the two-node experiment topologies.
+
+use insane_core::runtime::poll_until_quiescent;
+use insane_core::{
+    ChannelId, QosPolicy, Runtime, RuntimeConfig, Session, Sink, Source, ThreadingMode,
+};
+use insane_fabric::{Fabric, HostId, Technology, TestbedProfile};
+
+/// Channel used for the A→B direction of ping-pongs.
+pub const PING_CHANNEL: ChannelId = ChannelId(100);
+/// Channel used for the B→A direction of ping-pongs.
+pub const PONG_CHANNEL: ChannelId = ChannelId(101);
+
+/// A fully-peered two-node INSANE deployment, manually driven.
+#[derive(Debug)]
+pub struct InsanePair {
+    /// The wire.
+    pub fabric: Fabric,
+    /// Producer-side runtime (host A).
+    pub rt_a: Runtime,
+    /// Consumer-side runtime (host B).
+    pub rt_b: Runtime,
+    /// Host A id.
+    pub host_a: HostId,
+    /// Host B id.
+    pub host_b: HostId,
+    /// Session on A (kept alive for its streams).
+    pub session_a: Session,
+    /// Session on B.
+    pub session_b: Session,
+}
+
+impl InsanePair {
+    /// Builds two manually-driven runtimes on a fresh fabric, peers them,
+    /// and lets the control plane settle.
+    pub fn new(profile: TestbedProfile, techs: &[Technology]) -> Self {
+        Self::with_config(profile, techs, |c| c)
+    }
+
+    /// As [`InsanePair::new`] with a config hook (pool sizes, burst, …)
+    /// applied to both runtimes.
+    pub fn with_config(
+        profile: TestbedProfile,
+        techs: &[Technology],
+        tweak: impl Fn(RuntimeConfig) -> RuntimeConfig,
+    ) -> Self {
+        let fabric = Fabric::new(profile);
+        let host_a = fabric.add_host("node-a");
+        let host_b = fabric.add_host("node-b");
+        let rt_a = Runtime::start(
+            tweak(
+                RuntimeConfig::new(1)
+                    .with_technologies(techs)
+                    .with_threading(ThreadingMode::Manual),
+            ),
+            &fabric,
+            host_a,
+        )
+        .expect("runtime A");
+        let rt_b = Runtime::start(
+            tweak(
+                RuntimeConfig::new(2)
+                    .with_technologies(techs)
+                    .with_threading(ThreadingMode::Manual),
+            ),
+            &fabric,
+            host_b,
+        )
+        .expect("runtime B");
+        rt_a.add_peer(host_b).expect("peering");
+        poll_until_quiescent(&[&rt_a, &rt_b], 100_000);
+        let session_a = Session::connect(&rt_a).expect("session A");
+        let session_b = Session::connect(&rt_b).expect("session B");
+        Self {
+            fabric,
+            rt_a,
+            rt_b,
+            host_a,
+            host_b,
+            session_a,
+            session_b,
+        }
+    }
+
+    /// Lets in-flight control traffic settle.
+    pub fn settle(&self) {
+        poll_until_quiescent(&[&self.rt_a, &self.rt_b], 100_000);
+    }
+
+    /// Creates the classic ping-pong plumbing on `qos`: a source on A and
+    /// sink on B (ping channel), plus the reverse pair (pong channel).
+    /// Returns `(ping_source, ping_sink_on_b, pong_source, pong_sink_on_a)`.
+    pub fn ping_pong(&self, qos: QosPolicy) -> (Source, Sink, Source, Sink) {
+        let stream_a = self.session_a.create_stream(qos).expect("stream A");
+        let stream_b = self.session_b.create_stream(qos).expect("stream B");
+        let ping_sink = stream_b.create_sink(PING_CHANNEL).expect("ping sink");
+        let pong_sink = stream_a.create_sink(PONG_CHANNEL).expect("pong sink");
+        self.settle();
+        let ping_source = stream_a.create_source(PING_CHANNEL).expect("ping source");
+        let pong_source = stream_b.create_source(PONG_CHANNEL).expect("pong source");
+        self.settle();
+        (ping_source, ping_sink, pong_source, pong_sink)
+    }
+
+    /// One-way plumbing: a source on A, `sink_count` sinks on B, all on
+    /// the ping channel.
+    pub fn one_way(&self, qos: QosPolicy, sink_count: usize) -> (Source, Vec<Sink>) {
+        let stream_a = self.session_a.create_stream(qos).expect("stream A");
+        let stream_b = self.session_b.create_stream(qos).expect("stream B");
+        let sinks: Vec<Sink> = (0..sink_count)
+            .map(|_| stream_b.create_sink(PING_CHANNEL).expect("sink"))
+            .collect();
+        self.settle();
+        let source = stream_a.create_source(PING_CHANNEL).expect("source");
+        self.settle();
+        (source, sinks)
+    }
+}
+
+/// Runtime-config hook for throughput runs: pools sized so that every
+/// in-flight frame (TX backlog plus the receiver's NIC ring) has a slot
+/// with room to spare, while keeping the slot working set small enough
+/// to stay cache-resident on this vCPU.
+pub fn throughput_config(config: RuntimeConfig) -> RuntimeConfig {
+    let mut config = config;
+    config.small_slots = 1_024;
+    config.large_slots = 1_024;
+    config.tx_queue_depth = 256;
+    config.sink_queue_depth = 2_048;
+    config.burst = 64;
+    config
+}
+
+/// Profile tweak paired with [`throughput_config`]: a shallower NIC ring
+/// so overrun drops recycle slots promptly (in-flight slots ≤ ring +
+/// TX backlog < pool).
+pub fn throughput_profile(mut profile: TestbedProfile) -> TestbedProfile {
+    profile.rx_queue_frames = 512;
+    profile
+}

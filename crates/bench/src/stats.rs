@@ -1,0 +1,135 @@
+//! Sample statistics for the experiment reports.
+
+/// A series of measurements (nanoseconds, unless stated otherwise).
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    samples: Vec<u64>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a series from raw samples.
+    pub fn from_samples(samples: Vec<u64>) -> Self {
+        Self { samples }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, value: u64) {
+        self.samples.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn sorted(&self) -> Vec<u64> {
+        let mut v = self.samples.clone();
+        v.sort_unstable();
+        v
+    }
+
+    /// Arithmetic mean (0 for an empty series).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+    }
+
+    /// q-quantile (0.0–1.0) by nearest-rank (0 for an empty series).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let sorted = self.sorted();
+        if sorted.is_empty() {
+            return 0;
+        }
+        let rank = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[rank]
+    }
+
+    /// Median.
+    pub fn median(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// First quartile.
+    pub fn p25(&self) -> u64 {
+        self.quantile(0.25)
+    }
+
+    /// Third quartile.
+    pub fn p75(&self) -> u64 {
+        self.quantile(0.75)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Minimum (0 for an empty series).
+    pub fn min(&self) -> u64 {
+        self.samples.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Maximum (0 for an empty series).
+    pub fn max(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Converts nanoseconds to microseconds for display.
+pub fn us(ns: u64) -> f64 {
+    ns as f64 / 1_000.0
+}
+
+/// Goodput in Gbit/s for `n` messages of `payload` bytes over `ns`.
+pub fn gbps(payload: usize, n: usize, ns: u64) -> f64 {
+    if ns == 0 {
+        return 0.0;
+    }
+    (payload as f64 * n as f64 * 8.0) / ns as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_on_known_data() {
+        let s = Series::from_samples((1..=100).collect());
+        // Nearest-rank on an even count rounds the half-rank up.
+        assert_eq!(s.median(), 51);
+        assert_eq!(s.p25(), 26);
+        assert_eq!(s.p75(), 75);
+        assert_eq!(s.p99(), 99);
+        assert_eq!(s.min(), 1);
+        assert_eq!(s.max(), 100);
+        assert!((s.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_series_is_safe() {
+        let s = Series::new();
+        assert_eq!(s.median(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn gbps_math() {
+        // 1000 messages of 1250 bytes in 100_000 ns = 1250*1000*8 bits
+        // per 100 µs = 100 Gbps.
+        assert!((gbps(1250, 1000, 100_000) - 100.0).abs() < 1e-9);
+        assert_eq!(gbps(1, 1, 0), 0.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Lunar Streaming vs sendfile measurements (Table 4, Fig. 11).
+//!
+//! Frames are streamed end to end on one thread: the server's
+//! `send_frame_with` hook drives both runtimes and drains the client
+//! between fragments (the inline equivalent of the deployment's
+//! concurrent polling threads).  FPS is `frames / total wall time` of
+//! that serial run — a conservative bound, since a pipelined deployment
+//! overlaps the sender of frame *n+1* with the receiver of frame *n* —
+//! and latency is the exact fragmentation→reassembly time per frame.
+
+use std::time::Instant;
+
+use insane_baselines::{SendfileReceiver, SendfileStreamer};
+use insane_core::{ChannelId, QosPolicy, Technology};
+use insane_fabric::{Fabric, TestbedProfile};
+use lunar::streaming::{LunarStreamClient, LunarStreamServer};
+use lunar::ReceivedFrame;
+
+use crate::setup::{throughput_config, InsanePair};
+
+/// The image resolutions of Table 4, with the paper's raw-RGB sizes.
+pub const RESOLUTIONS: [(&str, usize); 5] = [
+    ("HD", 2_760_000),      // 2.76 MB
+    ("Full HD", 6_220_000), // 6.22 MB
+    ("2K", 11_600_000),     // 11.6 MB
+    ("4K", 24_880_000),     // 24.88 MB
+    ("8K", 99_530_000),     // 99.53 MB
+];
+
+/// The streaming variants of Fig. 11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamVariant {
+    /// Lunar Streaming over INSANE fast.
+    LunarFast,
+    /// Lunar Streaming over INSANE slow.
+    LunarSlow,
+    /// The `sendfile(2)` baseline.
+    Sendfile,
+}
+
+impl StreamVariant {
+    /// Label as used in the paper's Fig. 11 legend.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StreamVariant::LunarFast => "Lunar fast",
+            StreamVariant::LunarSlow => "Lunar slow",
+            StreamVariant::Sendfile => "sendfile",
+        }
+    }
+}
+
+/// Result of streaming several frames of one resolution.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamingResult {
+    /// Frames per second sustained by the serial end-to-end run.
+    pub fps: f64,
+    /// Mean end-to-end per-frame latency, nanoseconds.
+    pub latency_ns: u64,
+}
+
+/// Measures FPS and per-frame latency for `variant` at `frame_size`.
+pub fn run_streaming(
+    variant: StreamVariant,
+    profile: &TestbedProfile,
+    frame_size: usize,
+    frames: usize,
+) -> StreamingResult {
+    match variant {
+        StreamVariant::LunarFast => {
+            lunar_streaming(profile, QosPolicy::fast(), Technology::Dpdk, frame_size, frames)
+        }
+        StreamVariant::LunarSlow => lunar_streaming(
+            profile,
+            QosPolicy::slow(),
+            Technology::KernelUdp,
+            frame_size,
+            frames,
+        ),
+        StreamVariant::Sendfile => sendfile_streaming(profile, frame_size, frames),
+    }
+}
+
+fn test_frame(size: usize) -> Vec<u8> {
+    (0..size)
+        .map(|i| ((i as u32).wrapping_mul(2_654_435_761) >> 24) as u8)
+        .collect()
+}
+
+fn lunar_streaming(
+    profile: &TestbedProfile,
+    qos: QosPolicy,
+    hot_path: Technology,
+    frame_size: usize,
+    frames: usize,
+) -> StreamingResult {
+    let pair = InsanePair::with_config(
+        crate::setup::throughput_profile(profile.clone()),
+        &[Technology::KernelUdp, Technology::Dpdk],
+        throughput_config,
+    );
+    let mut client = LunarStreamClient::connect(&pair.rt_b, qos, ChannelId(700)).expect("client");
+    pair.settle();
+    let mut server = LunarStreamServer::open(&pair.rt_a, qos, ChannelId(700)).expect("server");
+    pair.settle();
+    let frame = test_frame(frame_size);
+
+    let mut latency_total = 0u64;
+    let t_run = Instant::now();
+    for _ in 0..frames {
+        let mut completed: Vec<ReceivedFrame> = Vec::new();
+        {
+            // The progress hook plays all three deployed threads: both
+            // runtimes' polling work and the client application draining
+            // fragments — otherwise a 100 MB frame (≈11k fragments)
+            // exhausts every pool slot mid-send.
+            let client = &mut client;
+            let completed = &mut completed;
+            server
+                .send_frame_with(&frame, || {
+                    pair.rt_a.poll_technology(hot_path);
+                    pair.rt_b.poll_technology(hot_path);
+                    completed.extend(client.poll_frames().expect("poll frames"));
+                })
+                .expect("send frame");
+        }
+        // Drain until the frame completes.
+        let done = loop {
+            if let Some(f) = completed.pop() {
+                break f;
+            }
+            pair.rt_a.poll_technology(hot_path);
+            pair.rt_b.poll_technology(hot_path);
+            completed.extend(client.poll_frames().expect("poll frames"));
+        };
+        assert_eq!(done.data.len(), frame_size, "frame must reassemble fully");
+        latency_total += done.latency_ns;
+    }
+    let total_ns = t_run.elapsed().as_nanos() as u64;
+    StreamingResult {
+        fps: frames as f64 * 1e9 / total_ns as f64,
+        latency_ns: latency_total / frames as u64,
+    }
+}
+
+fn sendfile_streaming(
+    profile: &TestbedProfile,
+    frame_size: usize,
+    frames: usize,
+) -> StreamingResult {
+    let fabric = Fabric::new(profile.clone());
+    let a = fabric.add_host("a");
+    let b = fabric.add_host("b");
+    let mut tx = SendfileStreamer::open(&fabric, a, 6000).expect("streamer");
+    let rx = SendfileReceiver::open(&fabric, b, 6000).expect("receiver");
+    let frame = test_frame(frame_size);
+
+    let mut latency_total = 0u64;
+    let t_run = Instant::now();
+    for _ in 0..frames {
+        let mut completed: Vec<(u64, Vec<u8>)> = Vec::new();
+        let t0 = Instant::now();
+        {
+            let rx = &rx;
+            let completed = &mut completed;
+            tx.send_frame_with(&frame, rx.local_addr(), || {
+                completed.extend(rx.poll_frames().expect("poll"));
+            })
+            .expect("send");
+        }
+        let data = loop {
+            completed.extend(rx.poll_frames().expect("poll"));
+            if let Some((_, data)) = completed.pop() {
+                break data;
+            }
+            core::hint::spin_loop();
+        };
+        assert_eq!(data.len(), frame_size);
+        latency_total += t0.elapsed().as_nanos() as u64;
+    }
+    let total_ns = t_run.elapsed().as_nanos() as u64;
+    StreamingResult {
+        fps: frames as f64 * 1e9 / total_ns as f64,
+        latency_ns: latency_total / frames as u64,
+    }
+}

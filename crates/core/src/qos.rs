@@ -1,0 +1,253 @@
+//! QoS policies and the policy→technology mapping (§5.2).
+//!
+//! A stream carries exactly three quality options — the paper keeps the
+//! policy surface deliberately minimal:
+//!
+//! 1. [`Acceleration`] — does this flow need a fast datapath at all?
+//! 2. [`ResourceUsage`] — may the mapping burn CPU cores (DPDK's busy
+//!    polling) to get it?
+//! 3. [`TimeSensitivity`] — does the flow need the deterministic TSN
+//!    scheduler instead of FIFO?
+//!
+//! The mapping runs *when the stream is created*, against the set of
+//! technologies actually present on the current host, so the same
+//! application binary binds to different datapaths on different edge
+//! nodes.  Policies are hints: when nothing better is available the
+//! mapping falls back to kernel networking and flags the fallback so the
+//! middleware can warn the user.
+
+use insane_fabric::Technology;
+use insane_tsn::TrafficClass;
+
+/// Datapath-acceleration policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Acceleration {
+    /// Regular kernel-based networking suffices.
+    #[default]
+    None,
+    /// The flow benefits from a kernel-bypassing/accelerated datapath.
+    Preferred,
+}
+
+/// Resource-consumption policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResourceUsage {
+    /// Resource usage is a concern: avoid technologies that pin cores to
+    /// busy polling.
+    #[default]
+    Constrained,
+    /// Resource usage is not a concern (e.g. a dedicated edge box).
+    Unconstrained,
+}
+
+/// Time-sensitivity policy: selects the packet scheduling strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimeSensitivity {
+    /// FIFO scheduling, packets leave as soon as emitted (default).
+    #[default]
+    BestEffort,
+    /// IEEE 802.1Qbv time-aware scheduling in the given traffic class.
+    TimeSensitive {
+        /// Traffic class for the TSN gate program (1–7 typical).
+        class: TrafficClass,
+    },
+}
+
+impl TimeSensitivity {
+    /// Shorthand for the highest-priority time-critical class.
+    pub fn time_critical() -> Self {
+        TimeSensitivity::TimeSensitive {
+            class: TrafficClass::TIME_CRITICAL,
+        }
+    }
+
+    /// The traffic class this policy schedules under.
+    pub fn traffic_class(&self) -> TrafficClass {
+        match self {
+            TimeSensitivity::BestEffort => TrafficClass::BEST_EFFORT,
+            TimeSensitivity::TimeSensitive { class } => *class,
+        }
+    }
+}
+
+/// The full per-stream QoS policy (Fig. 2's `options_t`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QosPolicy {
+    /// Datapath acceleration policy.
+    pub acceleration: Acceleration,
+    /// Resource-consumption policy.
+    pub resource_usage: ResourceUsage,
+    /// Time-sensitivity policy.
+    pub time_sensitivity: TimeSensitivity,
+}
+
+impl QosPolicy {
+    /// The paper's "fast" configuration: accelerated, resources no
+    /// concern (maps to DPDK when RDMA is absent).
+    pub fn fast() -> Self {
+        Self {
+            acceleration: Acceleration::Preferred,
+            resource_usage: ResourceUsage::Unconstrained,
+            time_sensitivity: TimeSensitivity::BestEffort,
+        }
+    }
+
+    /// The paper's "slow" configuration: kernel UDP.
+    pub fn slow() -> Self {
+        Self::default()
+    }
+
+    /// Accelerated but resource-frugal (maps to XDP when RDMA is absent).
+    pub fn frugal() -> Self {
+        Self {
+            acceleration: Acceleration::Preferred,
+            resource_usage: ResourceUsage::Constrained,
+            time_sensitivity: TimeSensitivity::BestEffort,
+        }
+    }
+}
+
+/// Result of mapping a policy onto the technologies present at the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MappedPath {
+    /// The chosen technology.
+    pub technology: Technology,
+    /// True when the policy asked for acceleration but none was
+    /// available: INSANE proceeds best-effort and warns (§5.2).
+    pub fallback: bool,
+}
+
+/// A pluggable policy→technology mapping (§5.2 allows a user-configured
+/// strategy; [`DefaultMapping`] implements the paper's default).
+pub trait MappingStrategy: Send + Sync {
+    /// Chooses a technology for `policy` among `available` (never empty:
+    /// kernel UDP is always present on a host).
+    fn map(&self, policy: &QosPolicy, available: &[Technology]) -> MappedPath;
+}
+
+/// The paper's default strategy: no acceleration → kernel UDP;
+/// acceleration → RDMA if present, else DPDK when resources are no
+/// concern, else XDP; fall back to kernel UDP with a warning.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DefaultMapping;
+
+impl MappingStrategy for DefaultMapping {
+    fn map(&self, policy: &QosPolicy, available: &[Technology]) -> MappedPath {
+        let has = |t: Technology| available.contains(&t);
+        match policy.acceleration {
+            Acceleration::None => MappedPath {
+                technology: Technology::KernelUdp,
+                fallback: false,
+            },
+            Acceleration::Preferred => {
+                if has(Technology::Rdma) {
+                    return MappedPath {
+                        technology: Technology::Rdma,
+                        fallback: false,
+                    };
+                }
+                let preference = match policy.resource_usage {
+                    ResourceUsage::Unconstrained => [Technology::Dpdk, Technology::Xdp],
+                    ResourceUsage::Constrained => [Technology::Xdp, Technology::Dpdk],
+                };
+                for tech in preference {
+                    if has(tech) {
+                        return MappedPath {
+                            technology: tech,
+                            fallback: false,
+                        };
+                    }
+                }
+                MappedPath {
+                    technology: Technology::KernelUdp,
+                    fallback: true,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Technology; 4] = [
+        Technology::KernelUdp,
+        Technology::Xdp,
+        Technology::Dpdk,
+        Technology::Rdma,
+    ];
+
+    fn map(policy: QosPolicy, available: &[Technology]) -> MappedPath {
+        DefaultMapping.map(&policy, available)
+    }
+
+    #[test]
+    fn no_acceleration_always_kernel() {
+        let m = map(QosPolicy::slow(), &ALL);
+        assert_eq!(m.technology, Technology::KernelUdp);
+        assert!(!m.fallback);
+    }
+
+    #[test]
+    fn rdma_wins_when_present() {
+        // "RDMA is the best alternative" (§5.2) regardless of resources.
+        for usage in [ResourceUsage::Constrained, ResourceUsage::Unconstrained] {
+            let policy = QosPolicy {
+                acceleration: Acceleration::Preferred,
+                resource_usage: usage,
+                time_sensitivity: TimeSensitivity::BestEffort,
+            };
+            assert_eq!(map(policy, &ALL).technology, Technology::Rdma);
+        }
+    }
+
+    #[test]
+    fn dpdk_when_resources_are_no_concern() {
+        let available = [Technology::KernelUdp, Technology::Xdp, Technology::Dpdk];
+        let m = map(QosPolicy::fast(), &available);
+        assert_eq!(m.technology, Technology::Dpdk);
+        assert!(!m.fallback);
+    }
+
+    #[test]
+    fn xdp_when_resources_matter() {
+        let available = [Technology::KernelUdp, Technology::Xdp, Technology::Dpdk];
+        let m = map(QosPolicy::frugal(), &available);
+        assert_eq!(m.technology, Technology::Xdp);
+    }
+
+    #[test]
+    fn constrained_still_prefers_any_acceleration_over_kernel() {
+        let available = [Technology::KernelUdp, Technology::Dpdk];
+        let m = map(QosPolicy::frugal(), &available);
+        assert_eq!(m.technology, Technology::Dpdk);
+        assert!(!m.fallback);
+    }
+
+    #[test]
+    fn fallback_to_kernel_warns() {
+        let available = [Technology::KernelUdp];
+        let m = map(QosPolicy::fast(), &available);
+        assert_eq!(m.technology, Technology::KernelUdp);
+        assert!(m.fallback, "must flag the best-effort fallback");
+    }
+
+    #[test]
+    fn policy_presets_match_paper_configurations() {
+        assert_eq!(QosPolicy::slow().acceleration, Acceleration::None);
+        assert_eq!(QosPolicy::fast().resource_usage, ResourceUsage::Unconstrained);
+        assert_eq!(
+            QosPolicy::frugal().resource_usage,
+            ResourceUsage::Constrained
+        );
+        assert_eq!(
+            TimeSensitivity::time_critical().traffic_class(),
+            TrafficClass::TIME_CRITICAL
+        );
+        assert_eq!(
+            TimeSensitivity::BestEffort.traffic_class(),
+            TrafficClass::BEST_EFFORT
+        );
+    }
+}

@@ -1,0 +1,337 @@
+//! Channel dispatching and the peer/subscription tables.
+//!
+//! The dispatcher answers the two questions on every message path:
+//! *which co-located sinks want this channel* (local shared-memory
+//! forwarding, §5.1) and *which remote runtimes subscribed to it* (so
+//! sources only transmit to interested peers, the way the paper's
+//! LunarMoM "forwards the messages to the reachable remote INSANE
+//! runtimes", §7.1).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use insane_fabric::HostId;
+use parking_lot::RwLock;
+
+use crate::runtime::internals::SinkShared;
+
+/// Control-plane operation codes (first payload byte of a control
+/// message).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ControlOp {
+    /// Peer announcement: "I exist at host H"; triggers a reply.
+    Hello = 1,
+    /// Reply to Hello (no further reply).
+    HelloAck = 2,
+    /// Subscribe to the channel in the header.
+    Subscribe = 3,
+    /// Unsubscribe from the channel in the header.
+    Unsubscribe = 4,
+}
+
+impl ControlOp {
+    pub(crate) fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(ControlOp::Hello),
+            2 => Some(ControlOp::HelloAck),
+            3 => Some(ControlOp::Subscribe),
+            4 => Some(ControlOp::Unsubscribe),
+            _ => None,
+        }
+    }
+}
+
+/// Bitmask of the technologies a runtime has attached (bit = the
+/// technology's position in [`insane_fabric::Technology::ALL`]).
+pub(crate) type TechMask = u8;
+
+/// Computes the capability mask for a set of attached technologies.
+pub(crate) fn tech_mask(techs: &[insane_fabric::Technology]) -> TechMask {
+    let mut mask = 0u8;
+    for tech in techs {
+        let bit = insane_fabric::Technology::ALL
+            .iter()
+            .position(|t| t == tech)
+            .expect("technology is in ALL");
+        mask |= 1 << bit;
+    }
+    mask
+}
+
+/// Whether `mask` advertises `tech`.
+pub(crate) fn mask_supports(mask: TechMask, tech: insane_fabric::Technology) -> bool {
+    let bit = insane_fabric::Technology::ALL
+        .iter()
+        .position(|t| *t == tech)
+        .expect("technology is in ALL");
+    mask & (1 << bit) != 0
+}
+
+/// Serialized control payload: `[op, host_index:u32le, tech_mask]`.
+pub(crate) fn encode_control(op: ControlOp, host: HostId, mask: TechMask) -> [u8; 6] {
+    let mut buf = [0u8; 6];
+    buf[0] = op as u8;
+    buf[1..5].copy_from_slice(&host.index().to_le_bytes());
+    buf[5] = mask;
+    buf
+}
+
+/// Decodes a control payload.
+pub(crate) fn decode_control(payload: &[u8]) -> Option<(ControlOp, HostId, TechMask)> {
+    if payload.len() < 6 {
+        return None;
+    }
+    let op = ControlOp::from_byte(payload[0])?;
+    let host = u32::from_le_bytes(payload[1..5].try_into().ok()?);
+    Some((op, HostId::from_index(host), payload[5]))
+}
+
+/// The dispatcher: local sink registry + remote subscription table +
+/// peer table.
+///
+/// A version counter is bumped on every mutation so polling threads can
+/// cache per-channel routing decisions and revalidate them cheaply.
+#[derive(Debug, Default)]
+pub(crate) struct Dispatcher {
+    /// channel → co-located sinks.
+    local: RwLock<HashMap<u32, Vec<Arc<SinkShared>>>>,
+    /// channel → subscribed remote runtime ids.
+    remote_subs: RwLock<HashMap<u32, HashSet<u32>>>,
+    /// remote runtime id → (host, attached-technology mask).
+    peers: RwLock<HashMap<u32, (HostId, TechMask)>>,
+    /// Bumped on every routing-relevant mutation.
+    version: std::sync::atomic::AtomicU64,
+}
+
+impl Dispatcher {
+    /// Current routing version.
+    pub(crate) fn version(&self) -> u64 {
+        self.version.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    fn bump(&self) {
+        self.version
+            .fetch_add(1, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Registers a sink; returns true when it is the first local sink on
+    /// its channel (the caller then announces the subscription).
+    pub(crate) fn add_sink(&self, sink: Arc<SinkShared>) -> bool {
+        let mut local = self.local.write();
+        let sinks = local.entry(sink.channel).or_default();
+        let first = sinks.is_empty();
+        sinks.push(sink);
+        drop(local);
+        self.bump();
+        first
+    }
+
+    /// Unregisters a sink; returns true when its channel now has no local
+    /// sinks (the caller then withdraws the subscription).
+    pub(crate) fn remove_sink(&self, sink_id: u64, channel: u32) -> bool {
+        let mut local = self.local.write();
+        let mut emptied = false;
+        if let Some(sinks) = local.get_mut(&channel) {
+            sinks.retain(|s| s.id != sink_id);
+            if sinks.is_empty() {
+                local.remove(&channel);
+                emptied = true;
+            }
+        }
+        drop(local);
+        self.bump();
+        emptied
+    }
+
+    /// Co-located sinks for a channel (snapshot).
+    #[cfg(test)]
+    pub(crate) fn local_sinks(&self, channel: u32) -> Vec<Arc<SinkShared>> {
+        self.local
+            .read()
+            .get(&channel)
+            .map(|v| v.to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Fills `out` with the co-located sinks for `channel` (reuses the
+    /// caller's buffer: the polling hot path must not allocate).
+    pub(crate) fn local_sinks_into(&self, channel: u32, out: &mut Vec<Arc<SinkShared>>) {
+        out.clear();
+        if let Some(sinks) = self.local.read().get(&channel) {
+            out.extend(sinks.iter().cloned());
+        }
+    }
+
+    /// Whether any local sink listens on `channel` (cheaper than
+    /// [`Dispatcher::local_sinks`]).
+    #[cfg(test)]
+    pub(crate) fn has_local_sinks(&self, channel: u32) -> bool {
+        self.local.read().contains_key(&channel)
+    }
+
+    /// All channels with local sinks (for subscription re-announcement).
+    pub(crate) fn local_channels(&self) -> Vec<u32> {
+        self.local.read().keys().copied().collect()
+    }
+
+    /// Hosts of remote runtimes subscribed to `channel`.
+    #[cfg(test)]
+    pub(crate) fn remote_targets(&self, channel: u32) -> Vec<(HostId, TechMask)> {
+        let mut out = Vec::new();
+        self.remote_targets_into(channel, &mut out);
+        out
+    }
+
+    /// Fills `out` with the hosts (and capability masks) of remote
+    /// runtimes subscribed to `channel` (allocation-free hot path).
+    pub(crate) fn remote_targets_into(&self, channel: u32, out: &mut Vec<(HostId, TechMask)>) {
+        out.clear();
+        let subs = self.remote_subs.read();
+        let Some(runtimes) = subs.get(&channel) else {
+            return;
+        };
+        let peers = self.peers.read();
+        out.extend(runtimes.iter().filter_map(|id| peers.get(id).copied()));
+    }
+
+    /// Records a peer; returns true if it was unknown.
+    pub(crate) fn add_peer(&self, runtime_id: u32, host: HostId, mask: TechMask) -> bool {
+        let new = self
+            .peers
+            .write()
+            .insert(runtime_id, (host, mask))
+            .is_none();
+        self.bump();
+        new
+    }
+
+    /// Known peers (runtime id, host).
+    pub(crate) fn peers(&self) -> Vec<(u32, HostId)> {
+        self.peers
+            .read()
+            .iter()
+            .map(|(id, (h, _))| (*id, *h))
+            .collect()
+    }
+
+    /// Records a remote subscription.
+    pub(crate) fn subscribe_remote(&self, channel: u32, runtime_id: u32) {
+        self.remote_subs
+            .write()
+            .entry(channel)
+            .or_default()
+            .insert(runtime_id);
+        self.bump();
+    }
+
+    /// Withdraws a remote subscription.
+    pub(crate) fn unsubscribe_remote(&self, channel: u32, runtime_id: u32) {
+        let mut subs = self.remote_subs.write();
+        if let Some(set) = subs.get_mut(&channel) {
+            set.remove(&runtime_id);
+            if set.is_empty() {
+                subs.remove(&channel);
+            }
+        }
+        drop(subs);
+        self.bump();
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insane_queues::MpmcQueue;
+    use parking_lot::{Condvar, Mutex};
+    use std::sync::atomic::AtomicU64;
+
+    fn sink(id: u64, channel: u32) -> Arc<SinkShared> {
+        Arc::new(SinkShared {
+            id,
+            channel,
+            queue: MpmcQueue::new(4),
+            wake_lock: Mutex::new(()),
+            wake: Condvar::new(),
+            callback: None,
+            closed: std::sync::atomic::AtomicBool::new(false),
+            received: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    #[test]
+    fn control_encoding_roundtrip() {
+        for op in [
+            ControlOp::Hello,
+            ControlOp::HelloAck,
+            ControlOp::Subscribe,
+            ControlOp::Unsubscribe,
+        ] {
+            let host = HostId::from_index(42);
+            let bytes = encode_control(op, host, 0b0101);
+            assert_eq!(decode_control(&bytes), Some((op, host, 0b0101)));
+        }
+        assert_eq!(decode_control(&[9, 0, 0, 0, 0, 0]), None);
+        assert_eq!(decode_control(&[1, 0]), None);
+    }
+
+    #[test]
+    fn tech_masks_roundtrip() {
+        use insane_fabric::Technology;
+        let mask = tech_mask(&[Technology::KernelUdp, Technology::Dpdk]);
+        assert!(mask_supports(mask, Technology::KernelUdp));
+        assert!(mask_supports(mask, Technology::Dpdk));
+        assert!(!mask_supports(mask, Technology::Xdp));
+        assert!(!mask_supports(mask, Technology::Rdma));
+        let all = tech_mask(&Technology::ALL);
+        for t in Technology::ALL {
+            assert!(mask_supports(all, t));
+        }
+    }
+
+    #[test]
+    fn first_and_last_sink_transitions() {
+        let d = Dispatcher::default();
+        assert!(d.add_sink(sink(1, 7)), "first sink on the channel");
+        assert!(!d.add_sink(sink(2, 7)), "second sink is not first");
+        assert_eq!(d.local_sinks(7).len(), 2);
+        assert!(!d.remove_sink(1, 7), "one sink remains");
+        assert!(d.remove_sink(2, 7), "channel now empty");
+        assert!(!d.has_local_sinks(7));
+    }
+
+    #[test]
+    fn remote_subscriptions_resolve_to_hosts() {
+        let d = Dispatcher::default();
+        d.add_peer(10, HostId::from_index(1), 0xF);
+        d.add_peer(11, HostId::from_index(2), 0xF);
+        d.subscribe_remote(5, 10);
+        d.subscribe_remote(5, 11);
+        let mut targets = d.remote_targets(5);
+        targets.sort();
+        assert_eq!(
+            targets,
+            vec![(HostId::from_index(1), 0xF), (HostId::from_index(2), 0xF)]
+        );
+        d.unsubscribe_remote(5, 10);
+        assert_eq!(d.remote_targets(5), vec![(HostId::from_index(2), 0xF)]);
+        d.unsubscribe_remote(5, 11);
+        assert!(d.remote_targets(5).is_empty());
+    }
+
+    #[test]
+    fn unknown_peer_subscriptions_resolve_to_nothing() {
+        let d = Dispatcher::default();
+        d.subscribe_remote(5, 99);
+        assert!(d.remote_targets(5).is_empty(), "no host for runtime 99");
+    }
+
+    #[test]
+    fn add_peer_reports_novelty() {
+        let d = Dispatcher::default();
+        assert!(d.add_peer(1, HostId::from_index(0), 0x1));
+        assert!(!d.add_peer(1, HostId::from_index(0), 0x1));
+        assert_eq!(d.peers().len(), 1);
+    }
+}

@@ -1,0 +1,358 @@
+//! Shared state between the client library and the runtime.
+//!
+//! These are the in-process equivalents of the paper's shared-memory
+//! structures: token queues (Fig. 4), per-stream bookkeeping, and the
+//! per-sink delivery queues.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use insane_memory::{SlotToken, SlotView};
+use insane_queues::MpmcQueue;
+use insane_tsn::TrafficClass;
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::qos::{MappedPath, QosPolicy};
+use crate::stats::MessageMeta;
+use crate::EmitOutcome;
+
+/// One emitted message travelling from the library to the runtime
+/// (the TX token of Fig. 4).
+#[derive(Debug)]
+pub(crate) struct TxRequest {
+    /// Slot containing `[headroom][payload]`; length covers both.
+    pub token: SlotToken,
+    /// Application payload length (slot length minus headroom).
+    pub payload_len: usize,
+    /// Channel the message travels on.
+    pub channel: u32,
+    /// Scheduler class derived from the stream's time-sensitivity QoS.
+    pub class: TrafficClass,
+    /// Per-stream sequence number.
+    pub seq: u64,
+    /// Epoch timestamp of the emit call (latency breakdown).
+    pub emit_ns: u64,
+    /// App-level fragmentation metadata
+    /// `(index, count, total_len, message_id)` — `message_id` becomes the
+    /// wire sequence for every fragment of one message so the consumer
+    /// can reassemble.
+    pub frag: Option<(u16, u16, u32, u64)>,
+    /// Outcome board of the emitting source.
+    pub outcome: Arc<OutcomeBoard>,
+}
+
+/// Where delivered payload bytes live.
+#[derive(Debug, Clone)]
+pub(crate) enum PayloadStore {
+    /// Zero-copy view into a slot pool (possibly on the "remote" host —
+    /// the fabric models DMA delivery).
+    View(Arc<SlotView>),
+    /// Shared owned bytes (kernel datapath, which copies anyway).
+    Shared(Arc<[u8]>),
+}
+
+impl PayloadStore {
+    pub(crate) fn bytes(&self) -> &[u8] {
+        match self {
+            PayloadStore::View(v) => v,
+            PayloadStore::Shared(b) => b,
+        }
+    }
+}
+
+/// One message queued for a sink.
+#[derive(Debug)]
+pub(crate) struct Delivery {
+    pub store: PayloadStore,
+    /// Payload range within `store.bytes()`.
+    pub offset: usize,
+    pub len: usize,
+    pub meta: MessageMeta,
+}
+
+/// Per-source emit-outcome accounting (`check_emit_outcome` support).
+#[derive(Debug, Default)]
+pub(crate) struct OutcomeBoard {
+    /// Sequence numbers emitted so far (next seq to assign).
+    pub emitted: AtomicU64,
+    /// All sequences strictly below this value were handed to a datapath
+    /// or delivered locally.
+    pub completed_below: AtomicU64,
+    /// Failed sequences with reasons (rare path).
+    pub failures: Mutex<Vec<(u64, &'static str)>>,
+}
+
+impl OutcomeBoard {
+    pub(crate) fn outcome_of(&self, seq: u64) -> EmitOutcome {
+        if self
+            .failures
+            .lock()
+            .iter()
+            .any(|(failed_seq, _)| *failed_seq == seq)
+        {
+            return EmitOutcome::Failed;
+        }
+        if seq < self.completed_below.load(Ordering::Acquire) {
+            EmitOutcome::Completed
+        } else {
+            EmitOutcome::Pending
+        }
+    }
+
+    pub(crate) fn complete_through(&self, seq: u64) {
+        // Monotonic max of seq+1.
+        self.completed_below.fetch_max(seq + 1, Ordering::AcqRel);
+    }
+
+    pub(crate) fn fail(&self, seq: u64, reason: &'static str) {
+        let mut failures = self.failures.lock();
+        if failures.len() < 1024 {
+            failures.push((seq, reason));
+        }
+        self.complete_through(seq);
+    }
+}
+
+/// Shared state of one stream.
+#[derive(Debug)]
+pub(crate) struct StreamShared {
+    /// Diagnostic identifier (appears in Debug output).
+    #[allow(dead_code)]
+    pub id: u64,
+    pub qos: QosPolicy,
+    pub mapped: MappedPath,
+    /// Library → runtime token queue.
+    pub tx: MpmcQueue<TxRequest>,
+    pub seq: AtomicU64,
+    pub closed: AtomicBool,
+}
+
+impl StreamShared {
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// Callback type for callback sinks (receives each message as it lands).
+pub(crate) type SinkCallback = Box<dyn Fn(crate::IncomingMessage) + Send + Sync>;
+
+/// Shared state of one sink.
+pub(crate) struct SinkShared {
+    pub id: u64,
+    pub channel: u32,
+    /// Runtime → sink delivery queue (the RX token queue of Fig. 4).
+    /// Deliveries are shared: fanning one message out to many sinks
+    /// clones a pointer, not the descriptor.
+    pub queue: MpmcQueue<Arc<Delivery>>,
+    pub wake_lock: Mutex<()>,
+    pub wake: Condvar,
+    pub callback: Option<SinkCallback>,
+    pub closed: AtomicBool,
+    pub received: AtomicU64,
+    pub dropped: AtomicU64,
+}
+
+impl std::fmt::Debug for SinkShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SinkShared")
+            .field("id", &self.id)
+            .field("channel", &self.channel)
+            .field("queued", &self.queue.len())
+            .field("received", &self.received.load(Ordering::Relaxed))
+            .field("dropped", &self.dropped.load(Ordering::Relaxed))
+            .field("callback", &self.callback.is_some())
+            .finish()
+    }
+}
+
+impl SinkShared {
+    /// Delivers one message, invoking the callback inline or queueing.
+    /// Returns false when the message was dropped (queue full / closed).
+    pub(crate) fn deliver(&self, delivery: Arc<Delivery>) -> bool {
+        if self.closed.load(Ordering::Acquire) {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        if let Some(cb) = &self.callback {
+            self.received.fetch_add(1, Ordering::Relaxed);
+            cb(crate::api::incoming_from_delivery(delivery));
+            return true;
+        }
+        match self.queue.push(delivery) {
+            Ok(()) => {
+                self.received.fetch_add(1, Ordering::Relaxed);
+                self.wake.notify_one();
+                true
+            }
+            Err(_) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    pub(crate) fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.wake.notify_all();
+    }
+}
+
+/// Registry of all streams attached to a runtime, grouped for the polling
+/// threads.
+///
+/// The registry carries a version counter so polling threads can keep a
+/// per-datapath snapshot and only rebuild it when a stream was added or
+/// removed — the hot path must not allocate or take the registry lock.
+#[derive(Debug, Default)]
+pub(crate) struct StreamRegistry {
+    streams: RwLock<Vec<Arc<StreamShared>>>,
+    version: AtomicU64,
+}
+
+impl StreamRegistry {
+    pub(crate) fn register(&self, stream: Arc<StreamShared>) {
+        self.streams.write().push(stream);
+        self.version.fetch_add(1, Ordering::Release);
+    }
+
+    pub(crate) fn prune_closed(&self) {
+        self.streams
+            .write()
+            .retain(|s| !s.closed.load(Ordering::Acquire));
+        self.version.fetch_add(1, Ordering::Release);
+    }
+
+    /// Current registry version (bumped on register/prune).
+    pub(crate) fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Rebuilds `out` with the open streams mapped to `tech`.
+    pub(crate) fn snapshot_for(
+        &self,
+        tech: insane_fabric::Technology,
+        out: &mut Vec<Arc<StreamShared>>,
+    ) {
+        out.clear();
+        out.extend(
+            self.streams
+                .read()
+                .iter()
+                .filter(|s| s.mapped.technology == tech && !s.closed.load(Ordering::Acquire))
+                .cloned(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EmitOutcome;
+
+    #[test]
+    fn outcome_board_lifecycle() {
+        let board = OutcomeBoard::default();
+        assert_eq!(board.outcome_of(0), EmitOutcome::Pending);
+        board.complete_through(0);
+        assert_eq!(board.outcome_of(0), EmitOutcome::Completed);
+        assert_eq!(board.outcome_of(1), EmitOutcome::Pending);
+        // Completion is monotonic: completing 5 covers 1..=5.
+        board.complete_through(5);
+        for seq in 0..=5 {
+            assert_eq!(board.outcome_of(seq), EmitOutcome::Completed);
+        }
+        // A lower completion cannot regress the high-water mark.
+        board.complete_through(2);
+        assert_eq!(board.outcome_of(5), EmitOutcome::Completed);
+    }
+
+    #[test]
+    fn outcome_board_failures_stick() {
+        let board = OutcomeBoard::default();
+        board.fail(3, "framing failure");
+        assert_eq!(board.outcome_of(3), EmitOutcome::Failed);
+        // A failure also advances completion for ordering purposes, but
+        // the failed sequence keeps reporting Failed.
+        assert_eq!(board.outcome_of(2), EmitOutcome::Completed);
+        board.complete_through(10);
+        assert_eq!(board.outcome_of(3), EmitOutcome::Failed);
+    }
+
+    #[test]
+    fn stream_sequences_are_dense() {
+        let stream = StreamShared {
+            id: 1,
+            qos: crate::QosPolicy::default(),
+            mapped: crate::qos::MappedPath {
+                technology: insane_fabric::Technology::KernelUdp,
+                fallback: false,
+            },
+            tx: MpmcQueue::new(4),
+            seq: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+        };
+        assert_eq!(stream.next_seq(), 0);
+        assert_eq!(stream.next_seq(), 1);
+        assert_eq!(stream.next_seq(), 2);
+    }
+
+    #[test]
+    fn closed_sink_drops_and_counts() {
+        let sink = SinkShared {
+            id: 1,
+            channel: 9,
+            queue: MpmcQueue::new(4),
+            wake_lock: Mutex::new(()),
+            wake: Condvar::new(),
+            callback: None,
+            closed: AtomicBool::new(false),
+            received: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        };
+        sink.close();
+        let delivery = Arc::new(Delivery {
+            store: PayloadStore::Shared(Arc::from(vec![1u8, 2].into_boxed_slice())),
+            offset: 0,
+            len: 2,
+            meta: crate::stats::MessageMeta {
+                channel: 9,
+                seq: 0,
+                src_runtime: 0,
+                frag: (0, 1, 2),
+                emit_ns: 0,
+                wire_start_ns: 0,
+                wire_ns: 0,
+                dispatched_ns: 0,
+            },
+        });
+        assert!(!sink.deliver(delivery));
+        assert_eq!(sink.dropped.load(Ordering::Relaxed), 1);
+        assert_eq!(sink.received.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn registry_versions_track_mutations() {
+        let registry = StreamRegistry::default();
+        let v0 = registry.version();
+        registry.register(Arc::new(StreamShared {
+            id: 1,
+            qos: crate::QosPolicy::default(),
+            mapped: crate::qos::MappedPath {
+                technology: insane_fabric::Technology::KernelUdp,
+                fallback: false,
+            },
+            tx: MpmcQueue::new(4),
+            seq: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+        }));
+        let v1 = registry.version();
+        assert_ne!(v0, v1);
+        let mut snapshot = Vec::new();
+        registry.snapshot_for(insane_fabric::Technology::KernelUdp, &mut snapshot);
+        assert_eq!(snapshot.len(), 1);
+        registry.snapshot_for(insane_fabric::Technology::Dpdk, &mut snapshot);
+        assert_eq!(snapshot.len(), 0, "snapshot filters by technology");
+        registry.prune_closed();
+        assert_ne!(registry.version(), v1);
+    }
+}

@@ -1,0 +1,574 @@
+//! Datapath plugins — one per network acceleration technology (§5.3).
+//!
+//! Each plugin adapts the runtime's uniform send/receive contract to one
+//! device's native API.  Framing is part of the contract: the plugin
+//! writes whatever headers its technology needs *in place* into the
+//! message slot (the packet processing engine runs for DPDK and XDP;
+//! kernel UDP relies on the kernel's stack; RDMA offloads framing to the
+//! NIC), and parses/validates them on receive.
+
+use std::fmt;
+use std::sync::Arc;
+
+use insane_fabric::devices::{DpdkPort, RdmaNic, RecvMode, SimUdpSocket, XdpSocket};
+use insane_fabric::{Endpoint, Fabric, FabricError, HostId, Payload, Technology};
+use insane_memory::SlotView;
+use insane_netstack::ether::MacAddr;
+use insane_netstack::insane_hdr::InsaneHeader;
+use insane_netstack::ipv4::Ipv4Header;
+use insane_netstack::packet::{PacketBuilder, PacketView};
+use parking_lot::{Mutex, RwLock};
+
+use crate::runtime::internals::PayloadStore;
+use crate::{epoch_ns, InsaneError, INSANE_HDR_OFFSET, PAYLOAD_OFFSET};
+
+/// Offset of the port number of each technology relative to the
+/// runtime's `port_base`.
+pub(crate) fn tech_port_offset(tech: Technology) -> u16 {
+    match tech {
+        Technology::KernelUdp => 0,
+        Technology::Xdp => 1,
+        Technology::Dpdk => 2,
+        Technology::Rdma => 3, // listening convention; QPs use base+16+peer
+    }
+}
+
+/// A message received by a plugin, ready for dispatch.
+#[derive(Debug)]
+pub(crate) struct InboundMsg {
+    pub store: PayloadStore,
+    pub hdr: InsaneHeader,
+    /// Payload offset within `store.bytes()`.
+    pub payload_offset: usize,
+    /// Wire time reported by the device.
+    pub wire_ns: u64,
+    /// Epoch timestamp at which the plugin popped the frame.
+    pub received_ns: u64,
+}
+
+/// One framed message bound for one destination host.
+#[derive(Debug)]
+pub(crate) struct WireMsg {
+    pub view: SlotView,
+    /// First byte the device transmits (`0` for devices that send the
+    /// whole slot, [`INSANE_HDR_OFFSET`] for the kernel path, which would
+    /// otherwise copy dead headroom).
+    pub wire_start: usize,
+    pub dst: HostId,
+}
+
+/// The uniform plugin contract.
+pub(crate) trait DatapathPlugin: Send + Sync + fmt::Debug {
+    /// Technology this plugin drives.
+    fn technology(&self) -> Technology;
+
+    /// Largest application payload one message may carry.
+    fn max_payload(&self) -> usize;
+
+    /// Writes this technology's headers into `slot`
+    /// (`slot[..PAYLOAD_OFFSET]` is reserved headroom; the payload is
+    /// already resident at `PAYLOAD_OFFSET..PAYLOAD_OFFSET+payload_len`).
+    /// Returns the byte offset the device should start transmitting at.
+    fn frame(
+        &self,
+        slot: &mut [u8],
+        hdr: &InsaneHeader,
+        payload_len: usize,
+        dst: HostId,
+    ) -> Result<usize, InsaneError>;
+
+    /// Sends a burst of framed messages, draining `msgs`; returns how
+    /// many were accepted.  Unreachable destinations are dropped silently
+    /// (datagram semantics), other errors abort the burst.  The buffer is
+    /// caller-owned scratch so the hot path can reuse it.
+    fn send_burst(&self, msgs: &mut Vec<WireMsg>) -> Result<usize, InsaneError>;
+
+    /// Polls for received messages; appends up to `max` to `out`.
+    fn poll_rx(&self, out: &mut Vec<InboundMsg>, max: usize) -> usize;
+
+    /// Called when the runtime learns of a new peer.  Connection-oriented
+    /// technologies set up their endpoints here (RDMA opens the queue
+    /// pair toward the peer so two-sided receives can be posted before
+    /// any local send happens).
+    fn on_peer(&self, _peer: HostId) {}
+}
+
+fn parse_insane(bytes: &[u8], at: usize) -> Option<InsaneHeader> {
+    InsaneHeader::parse(bytes.get(at..)?).ok()
+}
+
+fn store_of(payload: Payload) -> (PayloadStore, usize) {
+    match payload {
+        Payload::Pooled(view) => {
+            let len = view.len();
+            (PayloadStore::View(Arc::new(view)), len)
+        }
+        Payload::Inline(bytes) => {
+            let len = bytes.len();
+            (PayloadStore::Shared(Arc::from(bytes)), len)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kernel UDP
+// ---------------------------------------------------------------------
+
+/// Kernel UDP datapath: the "slow"/fallback path (§5.2).
+pub(crate) struct UdpPlugin {
+    socket: SimUdpSocket,
+    port: u16,
+}
+
+impl fmt::Debug for UdpPlugin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UdpPlugin").field("port", &self.port).finish()
+    }
+}
+
+impl UdpPlugin {
+    pub(crate) fn new(fabric: &Fabric, host: HostId, port: u16) -> Result<Self, InsaneError> {
+        let socket = SimUdpSocket::bind(fabric, host, port)?;
+        // The paper enables jumbo frames for the big-payload experiments.
+        socket.set_mtu(SimUdpSocket::JUMBO_MTU);
+        Ok(Self { socket, port })
+    }
+}
+
+impl DatapathPlugin for UdpPlugin {
+    fn technology(&self) -> Technology {
+        Technology::KernelUdp
+    }
+
+    fn max_payload(&self) -> usize {
+        // The datagram carries [InsaneHeader][payload].
+        SimUdpSocket::JUMBO_MTU - insane_netstack::insane_hdr::HEADER_LEN
+    }
+
+    fn frame(
+        &self,
+        slot: &mut [u8],
+        hdr: &InsaneHeader,
+        _payload_len: usize,
+        _dst: HostId,
+    ) -> Result<usize, InsaneError> {
+        hdr.write(&mut slot[INSANE_HDR_OFFSET..])?;
+        Ok(INSANE_HDR_OFFSET)
+    }
+
+    fn send_burst(&self, msgs: &mut Vec<WireMsg>) -> Result<usize, InsaneError> {
+        let mut sent = 0;
+        for msg in msgs.drain(..) {
+            let dst = Endpoint {
+                host: msg.dst,
+                port: self.port,
+            };
+            match self.socket.send_to(&msg.view[msg.wire_start..], dst) {
+                Ok(()) => sent += 1,
+                Err(FabricError::Unreachable(_)) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(sent)
+    }
+
+    fn poll_rx(&self, out: &mut Vec<InboundMsg>, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.socket.recv(RecvMode::NonBlocking) {
+                Ok(datagram) => {
+                    let received_ns = epoch_ns();
+                    let Some(hdr) = parse_insane(&datagram.payload, 0) else {
+                        continue; // not an INSANE message: drop
+                    };
+                    out.push(InboundMsg {
+                        store: PayloadStore::Shared(Arc::from(datagram.payload.into_boxed_slice())),
+                        hdr,
+                        payload_offset: insane_netstack::insane_hdr::HEADER_LEN,
+                        wire_ns: datagram.wire_ns,
+                        received_ns,
+                    });
+                    n += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        n
+    }
+}
+
+// ---------------------------------------------------------------------
+// DPDK
+// ---------------------------------------------------------------------
+
+/// DPDK datapath: the "fast" path when RDMA hardware is absent (§5.2).
+pub(crate) struct DpdkPlugin {
+    port: DpdkPort,
+    host: HostId,
+    udp_port: u16,
+}
+
+impl fmt::Debug for DpdkPlugin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DpdkPlugin")
+            .field("endpoint", &self.port.local_addr())
+            .finish()
+    }
+}
+
+impl DpdkPlugin {
+    pub(crate) fn new(fabric: &Fabric, host: HostId, port: u16) -> Result<Self, InsaneError> {
+        // The device mempool backs raw-DPDK use; the runtime sends from
+        // its own pools, so a small one suffices.
+        let dpdk = DpdkPort::open(fabric, host, port, 64)?;
+        Ok(Self {
+            port: dpdk,
+            host,
+            udp_port: port,
+        })
+    }
+
+    fn builder(&self, dst: HostId) -> PacketBuilder {
+        PacketBuilder::new()
+            .src_mac(MacAddr::from_host_index(self.host.index()))
+            .dst_mac(MacAddr::from_host_index(dst.index()))
+            .src(Ipv4Header::addr_for_host(self.host.index()), self.udp_port)
+            .dst(Ipv4Header::addr_for_host(dst.index()), self.udp_port)
+    }
+}
+
+impl DatapathPlugin for DpdkPlugin {
+    fn technology(&self) -> Technology {
+        Technology::Dpdk
+    }
+
+    fn max_payload(&self) -> usize {
+        self.port.mtu() - PAYLOAD_OFFSET
+    }
+
+    fn frame(
+        &self,
+        slot: &mut [u8],
+        hdr: &InsaneHeader,
+        payload_len: usize,
+        dst: HostId,
+    ) -> Result<usize, InsaneError> {
+        // The packet processing engine: userspace Ethernet/IPv4/UDP
+        // framing around [InsaneHeader][payload], all in place.
+        hdr.write(&mut slot[INSANE_HDR_OFFSET..])?;
+        self.builder(dst).finish_in_place(
+            slot,
+            insane_netstack::insane_hdr::HEADER_LEN + payload_len,
+        )?;
+        Ok(0)
+    }
+
+    fn send_burst(&self, msgs: &mut Vec<WireMsg>) -> Result<usize, InsaneError> {
+        // Group by destination so each group is one burst (opportunistic
+        // batching, §6.2: send what is ready, never wait to fill a
+        // batch).  The common case — every message toward one host — is
+        // allocation-free.
+        let mut sent = 0;
+        while !msgs.is_empty() {
+            let dst = msgs[0].dst;
+            let endpoint = Endpoint {
+                host: dst,
+                port: self.udp_port,
+            };
+            if msgs.iter().all(|m| m.dst == dst) {
+                let batch = msgs.drain(..).map(|m| m.view);
+                match self.port.tx_burst_views(endpoint, batch) {
+                    Ok(n) => sent += n,
+                    Err(FabricError::Unreachable(_)) => {}
+                    Err(e) => return Err(e.into()),
+                }
+                break;
+            }
+            let mut batch = Vec::new();
+            let mut rest = Vec::new();
+            for m in msgs.drain(..) {
+                if m.dst == dst {
+                    batch.push(m.view);
+                } else {
+                    rest.push(m);
+                }
+            }
+            *msgs = rest;
+            match self.port.tx_burst_views(endpoint, batch) {
+                Ok(n) => sent += n,
+                Err(FabricError::Unreachable(_)) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(sent)
+    }
+
+    fn poll_rx(&self, out: &mut Vec<InboundMsg>, max: usize) -> usize {
+        let mut packets = Vec::new();
+        self.port.rx_burst(&mut packets, max);
+        let received_ns = epoch_ns();
+        let mut n = 0;
+        for pkt in packets {
+            let wire_ns = pkt.wire_ns;
+            let (store, _) = store_of(pkt.payload);
+            // Validate the full frame through the userspace stack, then
+            // locate the INSANE header behind the 42 transport bytes.
+            let parsed = PacketView::parse(store.bytes()).ok().and_then(|view| {
+                InsaneHeader::parse(view.payload()).ok()
+            });
+            let Some(hdr) = parsed else { continue };
+            out.push(InboundMsg {
+                store,
+                hdr,
+                payload_offset: PAYLOAD_OFFSET,
+                wire_ns,
+                received_ns,
+            });
+            n += 1;
+        }
+        n
+    }
+}
+
+// ---------------------------------------------------------------------
+// XDP
+// ---------------------------------------------------------------------
+
+/// AF_XDP datapath: accelerated but CPU-frugal (§5.2).
+pub(crate) struct XdpPlugin {
+    socket: XdpSocket,
+    host: HostId,
+    udp_port: u16,
+}
+
+impl fmt::Debug for XdpPlugin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("XdpPlugin")
+            .field("endpoint", &self.socket.local_addr())
+            .finish()
+    }
+}
+
+impl XdpPlugin {
+    pub(crate) fn new(fabric: &Fabric, host: HostId, port: u16) -> Result<Self, InsaneError> {
+        let socket = XdpSocket::open(fabric, host, port, 64)?;
+        Ok(Self {
+            socket,
+            host,
+            udp_port: port,
+        })
+    }
+}
+
+impl DatapathPlugin for XdpPlugin {
+    fn technology(&self) -> Technology {
+        Technology::Xdp
+    }
+
+    fn max_payload(&self) -> usize {
+        self.socket.mtu() - PAYLOAD_OFFSET
+    }
+
+    fn frame(
+        &self,
+        slot: &mut [u8],
+        hdr: &InsaneHeader,
+        payload_len: usize,
+        dst: HostId,
+    ) -> Result<usize, InsaneError> {
+        hdr.write(&mut slot[INSANE_HDR_OFFSET..])?;
+        PacketBuilder::new()
+            .src_mac(MacAddr::from_host_index(self.host.index()))
+            .dst_mac(MacAddr::from_host_index(dst.index()))
+            .src(Ipv4Header::addr_for_host(self.host.index()), self.udp_port)
+            .dst(Ipv4Header::addr_for_host(dst.index()), self.udp_port)
+            .finish_in_place(slot, insane_netstack::insane_hdr::HEADER_LEN + payload_len)?;
+        Ok(0)
+    }
+
+    fn send_burst(&self, msgs: &mut Vec<WireMsg>) -> Result<usize, InsaneError> {
+        let mut sent = 0;
+        for msg in msgs.drain(..) {
+            let dst = Endpoint {
+                host: msg.dst,
+                port: self.udp_port,
+            };
+            match self.socket.tx_view(dst, msg.view) {
+                Ok(()) => sent += 1,
+                Err(FabricError::Unreachable(_)) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(sent)
+    }
+
+    fn poll_rx(&self, out: &mut Vec<InboundMsg>, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            let Some(desc) = self.socket.rx() else { break };
+            let received_ns = epoch_ns();
+            let wire_ns = desc.wire_ns;
+            let (store, _) = store_of(desc.payload);
+            let parsed = PacketView::parse(store.bytes())
+                .ok()
+                .and_then(|view| InsaneHeader::parse(view.payload()).ok());
+            let Some(hdr) = parsed else { continue };
+            out.push(InboundMsg {
+                store,
+                hdr,
+                payload_offset: PAYLOAD_OFFSET,
+                wire_ns,
+                received_ns,
+            });
+            n += 1;
+        }
+        n
+    }
+}
+
+// ---------------------------------------------------------------------
+// RDMA
+// ---------------------------------------------------------------------
+
+/// RDMA datapath: two-sided SEND/RECV over per-peer queue pairs.
+///
+/// QP ports follow a symmetric convention so peers can address each other
+/// without negotiation: the QP a runtime opens *toward* peer host `P`
+/// binds local port `qp_base + P` and connects to the peer's
+/// `qp_base + self`.
+pub(crate) struct RdmaPlugin {
+    nic: RdmaNic,
+    host: HostId,
+    qp_base: u16,
+    qps: RwLock<Vec<(HostId, Arc<insane_fabric::devices::QueuePair>)>>,
+    recv_credit: Mutex<u64>,
+    max_payload: usize,
+}
+
+impl fmt::Debug for RdmaPlugin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RdmaPlugin")
+            .field("host", &self.host)
+            .field("qps", &self.qps.read().len())
+            .finish()
+    }
+}
+
+impl RdmaPlugin {
+    const RECV_DEPTH: u64 = 128;
+
+    pub(crate) fn new(
+        fabric: &Fabric,
+        host: HostId,
+        qp_base: u16,
+        max_payload: usize,
+    ) -> Result<Self, InsaneError> {
+        Ok(Self {
+            nic: RdmaNic::new(fabric, host),
+            host,
+            qp_base,
+            qps: RwLock::new(Vec::new()),
+            recv_credit: Mutex::new(0),
+            max_payload,
+        })
+    }
+
+    fn qp_for(
+        &self,
+        peer: HostId,
+    ) -> Result<Arc<insane_fabric::devices::QueuePair>, InsaneError> {
+        if let Some((_, qp)) = self.qps.read().iter().find(|(h, _)| *h == peer) {
+            return Ok(Arc::clone(qp));
+        }
+        let mut qps = self.qps.write();
+        if let Some((_, qp)) = qps.iter().find(|(h, _)| *h == peer) {
+            return Ok(Arc::clone(qp));
+        }
+        let local_port = self.qp_base + peer.index() as u16;
+        let qp = Arc::new(self.nic.create_qp(local_port)?);
+        qp.connect(Endpoint {
+            host: peer,
+            port: self.qp_base + self.host.index() as u16,
+        });
+        for i in 0..Self::RECV_DEPTH {
+            qp.post_recv(i);
+        }
+        *self.recv_credit.lock() += Self::RECV_DEPTH;
+        qps.push((peer, Arc::clone(&qp)));
+        Ok(qp)
+    }
+}
+
+impl DatapathPlugin for RdmaPlugin {
+    fn technology(&self) -> Technology {
+        Technology::Rdma
+    }
+
+    fn max_payload(&self) -> usize {
+        self.max_payload
+    }
+
+    fn frame(
+        &self,
+        slot: &mut [u8],
+        hdr: &InsaneHeader,
+        _payload_len: usize,
+        _dst: HostId,
+    ) -> Result<usize, InsaneError> {
+        // The NIC does the wire protocol; only the INSANE header is ours.
+        hdr.write(&mut slot[INSANE_HDR_OFFSET..])?;
+        Ok(0)
+    }
+
+    fn send_burst(&self, msgs: &mut Vec<WireMsg>) -> Result<usize, InsaneError> {
+        let mut sent = 0;
+        for msg in msgs.drain(..) {
+            let qp = self.qp_for(msg.dst)?;
+            match qp.post_send_view(msg.view, 0) {
+                Ok(()) => sent += 1,
+                Err(FabricError::Unreachable(_)) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(sent)
+    }
+
+    fn on_peer(&self, peer: HostId) {
+        let _ = self.qp_for(peer);
+    }
+
+    fn poll_rx(&self, out: &mut Vec<InboundMsg>, max: usize) -> usize {
+        let qps: Vec<_> = self.qps.read().iter().map(|(_, qp)| Arc::clone(qp)).collect();
+        let mut n = 0;
+        let mut completions = Vec::new();
+        for qp in qps {
+            if n >= max {
+                break;
+            }
+            completions.clear();
+            qp.poll_cq(&mut completions, max - n);
+            let received_ns = epoch_ns();
+            for completion in completions.drain(..) {
+                let Some(payload) = completion.payload else {
+                    continue; // send completion
+                };
+                // Replenish the receive queue.
+                qp.post_recv(completion.wr_id);
+                let wire_ns = completion.wire_ns;
+                let (store, _) = store_of(payload);
+                let Some(hdr) = parse_insane(store.bytes(), INSANE_HDR_OFFSET) else {
+                    continue;
+                };
+                out.push(InboundMsg {
+                    store,
+                    hdr,
+                    payload_offset: PAYLOAD_OFFSET,
+                    wire_ns,
+                    received_ns,
+                });
+                n += 1;
+            }
+        }
+        n
+    }
+}

@@ -1,0 +1,193 @@
+//! Instrumentation: per-message metadata and runtime counters.
+//!
+//! The per-message timestamps feed the latency-breakdown experiment of
+//! Fig. 6 (send / network / receive / data-processing components); the
+//! counters back the multi-sink saturation analysis of Fig. 8b.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Metadata travelling with every delivered message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageMeta {
+    /// Channel the message arrived on.
+    pub channel: u32,
+    /// Sender's per-stream sequence number.
+    pub seq: u64,
+    /// Runtime id of the sender.
+    pub src_runtime: u32,
+    /// App-level fragmentation: `(index, count, total_len)`.
+    pub frag: (u16, u16, u32),
+    /// Epoch timestamp of the producer's `emit` call.
+    pub emit_ns: u64,
+    /// Epoch timestamp at which the sending datapath put the message on
+    /// the wire.
+    pub wire_start_ns: u64,
+    /// Time spent on the wire (serialization + propagation + switch).
+    pub wire_ns: u64,
+    /// Epoch timestamp at which the receiving runtime dispatched the
+    /// message to the sink queue.
+    pub dispatched_ns: u64,
+}
+
+impl MessageMeta {
+    /// Whether the message is one fragment of a larger unit.
+    pub fn is_fragment(&self) -> bool {
+        self.frag.1 > 1
+    }
+}
+
+/// One-way latency breakdown of a consumed message (Fig. 6 components).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyBreakdown {
+    /// Emit → wire: sender-side middleware + datapath TX work.
+    pub send_ns: u64,
+    /// Time on the wire.
+    pub network_ns: u64,
+    /// Wire end → sink queue: receiver-side datapath RX + dispatch work.
+    pub receive_ns: u64,
+    /// Sink queue → consume return: application-side processing delay.
+    pub processing_ns: u64,
+}
+
+impl LatencyBreakdown {
+    /// Total one-way latency.
+    pub fn total_ns(&self) -> u64 {
+        self.send_ns + self.network_ns + self.receive_ns + self.processing_ns
+    }
+
+    /// Computes the breakdown from message metadata and the consume time.
+    pub(crate) fn from_meta(meta: &MessageMeta, consumed_ns: u64) -> Self {
+        let wire_end = meta.wire_start_ns + meta.wire_ns;
+        Self {
+            send_ns: meta.wire_start_ns.saturating_sub(meta.emit_ns),
+            network_ns: meta.wire_ns,
+            receive_ns: meta.dispatched_ns.saturating_sub(wire_end),
+            processing_ns: consumed_ns.saturating_sub(meta.dispatched_ns),
+        }
+    }
+}
+
+/// Aggregate counters of one runtime.
+#[derive(Debug, Default)]
+pub struct RuntimeStats {
+    /// Messages handed to a datapath for remote delivery.
+    pub tx_messages: AtomicU64,
+    /// Messages received from a datapath.
+    pub rx_messages: AtomicU64,
+    /// Local (same-host, shared-memory) deliveries.
+    pub local_deliveries: AtomicU64,
+    /// Deliveries dropped because a sink queue was full.
+    pub sink_drops: AtomicU64,
+    /// Control-plane messages processed.
+    pub control_messages: AtomicU64,
+    /// Streams created with a QoS fallback warning (§5.2).
+    pub fallback_streams: AtomicU64,
+    /// Polling iterations that found no work.
+    pub idle_polls: AtomicU64,
+}
+
+/// Plain-data snapshot of [`RuntimeStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Messages handed to a datapath for remote delivery.
+    pub tx_messages: u64,
+    /// Messages received from a datapath.
+    pub rx_messages: u64,
+    /// Local (same-host) deliveries.
+    pub local_deliveries: u64,
+    /// Deliveries dropped at full sink queues.
+    pub sink_drops: u64,
+    /// Control-plane messages processed.
+    pub control_messages: u64,
+    /// Streams created with a fallback warning.
+    pub fallback_streams: u64,
+    /// Idle polling iterations.
+    pub idle_polls: u64,
+}
+
+impl RuntimeStats {
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            tx_messages: self.tx_messages.load(Ordering::Relaxed),
+            rx_messages: self.rx_messages.load(Ordering::Relaxed),
+            local_deliveries: self.local_deliveries.load(Ordering::Relaxed),
+            sink_drops: self.sink_drops.load(Ordering::Relaxed),
+            control_messages: self.control_messages.load(Ordering::Relaxed),
+            fallback_streams: self.fallback_streams.load(Ordering::Relaxed),
+            idle_polls: self.idle_polls.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_components_sum_to_total() {
+        let meta = MessageMeta {
+            channel: 1,
+            seq: 2,
+            src_runtime: 3,
+            frag: (0, 1, 10),
+            emit_ns: 1_000,
+            wire_start_ns: 1_400,
+            wire_ns: 2_000,
+            dispatched_ns: 3_900,
+            // wire ends at 3_400; dispatch 500 later
+        };
+        let b = LatencyBreakdown::from_meta(&meta, 4_100);
+        assert_eq!(b.send_ns, 400);
+        assert_eq!(b.network_ns, 2_000);
+        assert_eq!(b.receive_ns, 500);
+        assert_eq!(b.processing_ns, 200);
+        assert_eq!(b.total_ns(), 3_100);
+        assert_eq!(b.total_ns(), 4_100 - meta.emit_ns);
+    }
+
+    #[test]
+    fn breakdown_saturates_on_clock_skew() {
+        let meta = MessageMeta {
+            channel: 0,
+            seq: 0,
+            src_runtime: 0,
+            frag: (0, 1, 0),
+            emit_ns: 5_000,
+            wire_start_ns: 4_000, // skew: wire stamp before emit
+            wire_ns: 100,
+            dispatched_ns: 3_000,
+        };
+        let b = LatencyBreakdown::from_meta(&meta, 2_000);
+        assert_eq!(b.send_ns, 0);
+        assert_eq!(b.receive_ns, 0);
+        assert_eq!(b.processing_ns, 0);
+    }
+
+    #[test]
+    fn fragment_flag() {
+        let mut meta = MessageMeta {
+            channel: 0,
+            seq: 0,
+            src_runtime: 0,
+            frag: (0, 1, 10),
+            emit_ns: 0,
+            wire_start_ns: 0,
+            wire_ns: 0,
+            dispatched_ns: 0,
+        };
+        assert!(!meta.is_fragment());
+        meta.frag = (2, 8, 100_000);
+        assert!(meta.is_fragment());
+    }
+
+    #[test]
+    fn stats_snapshot_reflects_counters() {
+        let stats = RuntimeStats::default();
+        stats.tx_messages.store(7, Ordering::Relaxed);
+        stats.sink_drops.store(2, Ordering::Relaxed);
+        let snap = stats.snapshot();
+        assert_eq!(snap.tx_messages, 7);
+        assert_eq!(snap.sink_drops, 2);
+        assert_eq!(snap.rx_messages, 0);
+    }
+}

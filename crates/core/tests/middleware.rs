@@ -1,0 +1,553 @@
+//! End-to-end tests of the INSANE middleware over the simulated fabric.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use insane_core::runtime::poll_until_quiescent;
+use insane_core::{
+    Acceleration, ChannelId, ConsumeMode, EmitOutcome, InsaneError, QosPolicy, ResourceUsage,
+    Runtime, RuntimeConfig, SchedulerChoice, Session, ThreadingMode, TimeSensitivity,
+};
+use insane_fabric::{Fabric, Technology, TestbedProfile};
+
+fn manual_config(id: u32) -> RuntimeConfig {
+    RuntimeConfig::new(id).with_threading(ThreadingMode::Manual)
+}
+
+/// Two manually-driven runtimes on two hosts, already peered.
+fn two_node_setup(techs: &[Technology]) -> (Fabric, Runtime, Runtime) {
+    let fabric = Fabric::new(TestbedProfile::local());
+    let host_a = fabric.add_host("a");
+    let host_b = fabric.add_host("b");
+    let rt_a = Runtime::start(manual_config(1).with_technologies(techs), &fabric, host_a).unwrap();
+    let rt_b = Runtime::start(manual_config(2).with_technologies(techs), &fabric, host_b).unwrap();
+    rt_a.add_peer(host_b).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 10_000);
+    (fabric, rt_a, rt_b)
+}
+
+fn drive_consume(
+    runtimes: &[&Runtime],
+    sink: &insane_core::Sink,
+) -> insane_core::IncomingMessage {
+    for _ in 0..200_000 {
+        for rt in runtimes {
+            rt.poll_once();
+        }
+        match sink.consume(ConsumeMode::NonBlocking) {
+            Ok(msg) => return msg,
+            Err(InsaneError::WouldBlock) => {}
+            Err(e) => panic!("consume failed: {e}"),
+        }
+    }
+    panic!("message never arrived");
+}
+
+#[test]
+fn local_source_to_sink_roundtrip() {
+    let fabric = Fabric::new(TestbedProfile::local());
+    let host = fabric.add_host("solo");
+    let rt = Runtime::start(manual_config(1), &fabric, host).unwrap();
+    let session = Session::connect(&rt).unwrap();
+    let stream = session.create_stream(QosPolicy::default()).unwrap();
+    let source = stream.create_source(ChannelId(7)).unwrap();
+    let sink = stream.create_sink(ChannelId(7)).unwrap();
+
+    let mut buf = source.get_buffer(11).unwrap();
+    buf.copy_from_slice(b"hello local");
+    let token = source.emit(buf).unwrap();
+    assert_eq!(source.emit_outcome(token), EmitOutcome::Pending);
+
+    let msg = drive_consume(&[&rt], &sink);
+    assert_eq!(&*msg, b"hello local");
+    assert_eq!(msg.meta().channel, 7);
+    assert_eq!(source.emit_outcome(token), EmitOutcome::Completed);
+    assert_eq!(rt.stats().local_deliveries, 1);
+    assert_eq!(rt.stats().tx_messages, 0, "no wire involved");
+    drop(msg);
+    assert_eq!(rt.slots_in_use(), 0, "all slots returned");
+}
+
+#[test]
+fn channels_are_isolated() {
+    let fabric = Fabric::new(TestbedProfile::local());
+    let host = fabric.add_host("solo");
+    let rt = Runtime::start(manual_config(1), &fabric, host).unwrap();
+    let session = Session::connect(&rt).unwrap();
+    let stream = session.create_stream(QosPolicy::default()).unwrap();
+    let source = stream.create_source(ChannelId(1)).unwrap();
+    let sink_same = stream.create_sink(ChannelId(1)).unwrap();
+    let sink_other = stream.create_sink(ChannelId(2)).unwrap();
+
+    let mut buf = source.get_buffer(3).unwrap();
+    buf.copy_from_slice(b"abc");
+    source.emit(buf).unwrap();
+    let msg = drive_consume(&[&rt], &sink_same);
+    assert_eq!(&*msg, b"abc");
+    assert!(matches!(
+        sink_other.consume(ConsumeMode::NonBlocking),
+        Err(InsaneError::WouldBlock)
+    ));
+}
+
+#[test]
+fn remote_roundtrip_over_every_technology() {
+    for (techs, policy, expect) in [
+        (
+            vec![Technology::KernelUdp],
+            QosPolicy::slow(),
+            Technology::KernelUdp,
+        ),
+        (
+            vec![Technology::KernelUdp, Technology::Dpdk],
+            QosPolicy::fast(),
+            Technology::Dpdk,
+        ),
+        (
+            vec![Technology::KernelUdp, Technology::Xdp],
+            QosPolicy::frugal(),
+            Technology::Xdp,
+        ),
+        (
+            vec![Technology::KernelUdp, Technology::Rdma],
+            QosPolicy::fast(),
+            Technology::Rdma,
+        ),
+    ] {
+        let (_fabric, rt_a, rt_b) = two_node_setup(&techs);
+        let session_a = Session::connect(&rt_a).unwrap();
+        let session_b = Session::connect(&rt_b).unwrap();
+        let stream_a = session_a.create_stream(policy).unwrap();
+        let stream_b = session_b.create_stream(policy).unwrap();
+        assert_eq!(stream_a.technology(), expect, "mapping for {techs:?}");
+
+        let sink = stream_b.create_sink(ChannelId(42)).unwrap();
+        // Let the subscription reach the producer side.
+        poll_until_quiescent(&[&rt_a, &rt_b], 10_000);
+
+        let source = stream_a.create_source(ChannelId(42)).unwrap();
+        let mut buf = source.get_buffer(13).unwrap();
+        buf.copy_from_slice(b"over the wire");
+        source.emit(buf).unwrap();
+
+        let msg = drive_consume(&[&rt_a, &rt_b], &sink);
+        assert_eq!(&*msg, b"over the wire", "payload via {expect}");
+        assert_eq!(msg.meta().src_runtime, 1);
+        assert!(msg.breakdown().network_ns > 0, "wire time recorded");
+        drop(msg);
+        poll_until_quiescent(&[&rt_a, &rt_b], 10_000);
+        assert_eq!(rt_a.slots_in_use(), 0, "sender slots returned ({expect})");
+    }
+}
+
+#[test]
+fn fallback_stream_warns_and_still_works() {
+    let (_fabric, rt_a, rt_b) = two_node_setup(&[Technology::KernelUdp]);
+    let session = Session::connect(&rt_a).unwrap();
+    let stream = session.create_stream(QosPolicy::fast()).unwrap();
+    assert_eq!(stream.technology(), Technology::KernelUdp);
+    assert!(stream.is_fallback());
+    assert_eq!(rt_a.stats().fallback_streams, 1);
+
+    // And it still carries data.
+    let session_b = Session::connect(&rt_b).unwrap();
+    let stream_b = session_b.create_stream(QosPolicy::fast()).unwrap();
+    let sink = stream_b.create_sink(ChannelId(1)).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 10_000);
+    let source = stream.create_source(ChannelId(1)).unwrap();
+    let mut buf = source.get_buffer(2).unwrap();
+    buf.copy_from_slice(b"ok");
+    source.emit(buf).unwrap();
+    let msg = drive_consume(&[&rt_a, &rt_b], &sink);
+    assert_eq!(&*msg, b"ok");
+}
+
+#[test]
+fn multiple_sinks_all_receive_without_copies() {
+    let (_fabric, rt_a, rt_b) = two_node_setup(&[Technology::KernelUdp, Technology::Dpdk]);
+    let session_a = Session::connect(&rt_a).unwrap();
+    let session_b = Session::connect(&rt_b).unwrap();
+    let stream_a = session_a.create_stream(QosPolicy::fast()).unwrap();
+    let stream_b = session_b.create_stream(QosPolicy::fast()).unwrap();
+    let sinks: Vec<_> = (0..4)
+        .map(|_| stream_b.create_sink(ChannelId(9)).unwrap())
+        .collect();
+    // A co-located sink on the producer host as well.
+    let local_sink = stream_a.create_sink(ChannelId(9)).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 10_000);
+
+    let source = stream_a.create_source(ChannelId(9)).unwrap();
+    let mut buf = source.get_buffer(4).unwrap();
+    buf.copy_from_slice(b"fan!");
+    source.emit(buf).unwrap();
+
+    for sink in &sinks {
+        let msg = drive_consume(&[&rt_a, &rt_b], sink);
+        assert_eq!(&*msg, b"fan!");
+    }
+    let msg = drive_consume(&[&rt_a, &rt_b], &local_sink);
+    assert_eq!(&*msg, b"fan!");
+    assert_eq!(rt_b.stats().rx_messages, 1, "one wire message, four deliveries");
+}
+
+#[test]
+fn callback_sink_receives_on_polling_thread() {
+    let fabric = Fabric::new(TestbedProfile::local());
+    let host = fabric.add_host("solo");
+    let rt = Runtime::start(manual_config(1), &fabric, host).unwrap();
+    let session = Session::connect(&rt).unwrap();
+    let stream = session.create_stream(QosPolicy::default()).unwrap();
+
+    let hits = Arc::new(AtomicUsize::new(0));
+    let hits_cb = Arc::clone(&hits);
+    let sink = stream
+        .create_sink_with_callback(ChannelId(3), move |msg| {
+            assert_eq!(&*msg, b"cb");
+            hits_cb.fetch_add(1, Ordering::SeqCst);
+        })
+        .unwrap();
+    assert!(matches!(
+        sink.consume(ConsumeMode::NonBlocking),
+        Err(InsaneError::CallbackSink)
+    ));
+
+    let source = stream.create_source(ChannelId(3)).unwrap();
+    for _ in 0..5 {
+        let mut buf = source.get_buffer(2).unwrap();
+        buf.copy_from_slice(b"cb");
+        source.emit(buf).unwrap();
+    }
+    poll_until_quiescent(&[&rt], 10_000);
+    assert_eq!(hits.load(Ordering::SeqCst), 5);
+    assert_eq!(sink.stats().received, 5);
+}
+
+#[test]
+fn emit_without_any_listener_completes_and_releases() {
+    let fabric = Fabric::new(TestbedProfile::local());
+    let host = fabric.add_host("solo");
+    let rt = Runtime::start(manual_config(1), &fabric, host).unwrap();
+    let session = Session::connect(&rt).unwrap();
+    let stream = session.create_stream(QosPolicy::default()).unwrap();
+    let source = stream.create_source(ChannelId(1)).unwrap();
+    let mut buf = source.get_buffer(1).unwrap();
+    buf.copy_from_slice(b"x");
+    let token = source.emit(buf).unwrap();
+    poll_until_quiescent(&[&rt], 10_000);
+    assert_eq!(source.emit_outcome(token), EmitOutcome::Completed);
+    assert_eq!(rt.slots_in_use(), 0);
+}
+
+#[test]
+fn oversized_payload_is_rejected_at_get_buffer() {
+    let fabric = Fabric::new(TestbedProfile::local());
+    let host = fabric.add_host("solo");
+    let rt = Runtime::start(manual_config(1), &fabric, host).unwrap();
+    let session = Session::connect(&rt).unwrap();
+    let stream = session.create_stream(QosPolicy::fast()).unwrap();
+    let source = stream.create_source(ChannelId(1)).unwrap();
+    let max = source.max_payload();
+    assert!(source.get_buffer(max).is_ok());
+    assert!(matches!(
+        source.get_buffer(max + 1),
+        Err(InsaneError::PayloadTooLarge { .. })
+    ));
+}
+
+#[test]
+fn fragmentation_metadata_travels_with_messages() {
+    let (_fabric, rt_a, rt_b) = two_node_setup(&[Technology::KernelUdp, Technology::Dpdk]);
+    let session_a = Session::connect(&rt_a).unwrap();
+    let session_b = Session::connect(&rt_b).unwrap();
+    let stream_a = session_a.create_stream(QosPolicy::fast()).unwrap();
+    let stream_b = session_b.create_stream(QosPolicy::fast()).unwrap();
+    let sink = stream_b.create_sink(ChannelId(5)).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 10_000);
+    let source = stream_a.create_source(ChannelId(5)).unwrap();
+
+    for index in 0..3u16 {
+        let mut buf = source.get_buffer(10).unwrap();
+        buf.copy_from_slice(&[index as u8; 10]);
+        source.emit_fragment(buf, index, 3, 30, 999).unwrap();
+    }
+    for _ in 0..3 {
+        let msg = drive_consume(&[&rt_a, &rt_b], &sink);
+        let (index, count, total) = msg.meta().frag;
+        assert_eq!(count, 3);
+        assert_eq!(total, 30);
+        assert_eq!(msg.meta().seq, 999, "message id is the wire sequence");
+        assert!(msg.meta().is_fragment());
+        assert_eq!(&*msg, &[index as u8; 10]);
+    }
+}
+
+#[test]
+fn blocking_consume_with_threaded_runtime() {
+    let fabric = Fabric::new(TestbedProfile::local());
+    let host_a = fabric.add_host("a");
+    let host_b = fabric.add_host("b");
+    let rt_a = Runtime::start(
+        RuntimeConfig::new(1).with_technologies(&[Technology::KernelUdp]),
+        &fabric,
+        host_a,
+    )
+    .unwrap();
+    let rt_b = Runtime::start(
+        RuntimeConfig::new(2)
+            .with_technologies(&[Technology::KernelUdp])
+            .with_threading(ThreadingMode::Shared),
+        &fabric,
+        host_b,
+    )
+    .unwrap();
+    rt_a.add_peer(host_b).unwrap();
+
+    let session_a = Session::connect(&rt_a).unwrap();
+    let session_b = Session::connect(&rt_b).unwrap();
+    let stream_a = session_a.create_stream(QosPolicy::slow()).unwrap();
+    let stream_b = session_b.create_stream(QosPolicy::slow()).unwrap();
+    let sink = stream_b.create_sink(ChannelId(77)).unwrap();
+    // Give the control plane a moment on the running threads.
+    std::thread::sleep(Duration::from_millis(50));
+
+    let source = stream_a.create_source(ChannelId(77)).unwrap();
+    let mut buf = source.get_buffer(7).unwrap();
+    buf.copy_from_slice(b"blocked");
+    source.emit(buf).unwrap();
+
+    let msg = sink.consume(ConsumeMode::Blocking).unwrap();
+    assert_eq!(&*msg, b"blocked");
+    rt_a.shutdown();
+    rt_b.shutdown();
+}
+
+#[test]
+fn custom_thread_assignment_serves_all_datapaths() {
+    // §5.3: "INSANE can be configured to run more than one plugin on a
+    // thread".  One thread polls {UDP, XDP}, another polls {DPDK}; every
+    // datapath keeps working, including ones not mentioned (folded in).
+    let fabric = Fabric::new(TestbedProfile::local());
+    let host_a = fabric.add_host("a");
+    let host_b = fabric.add_host("b");
+    let custom = ThreadingMode::Custom(vec![
+        vec![Technology::KernelUdp, Technology::Xdp],
+        vec![Technology::Dpdk],
+        // RDMA deliberately unmentioned: must fold into thread 0.
+    ]);
+    let config = |id| {
+        RuntimeConfig::new(id)
+            .with_technologies(&[
+                Technology::KernelUdp,
+                Technology::Xdp,
+                Technology::Dpdk,
+                Technology::Rdma,
+            ])
+            .with_threading(custom.clone())
+    };
+    let rt_a = Runtime::start(config(1), &fabric, host_a).unwrap();
+    let rt_b = Runtime::start(config(2), &fabric, host_b).unwrap();
+    rt_a.add_peer(host_b).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    let session_a = Session::connect(&rt_a).unwrap();
+    let session_b = Session::connect(&rt_b).unwrap();
+    for (qos, channel) in [
+        (QosPolicy::slow(), ChannelId(61)),
+        (QosPolicy::frugal(), ChannelId(62)),
+        (QosPolicy::fast(), ChannelId(63)), // maps to RDMA (folded path)
+    ] {
+        let stream_a = session_a.create_stream(qos).unwrap();
+        let stream_b = session_b.create_stream(qos).unwrap();
+        let sink = stream_b.create_sink(channel).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        let source = stream_a.create_source(channel).unwrap();
+        let mut buf = source.get_buffer(4).unwrap();
+        buf.copy_from_slice(&channel.0.to_le_bytes());
+        source.emit(buf).unwrap();
+        let msg = sink.consume(ConsumeMode::Blocking).unwrap();
+        assert_eq!(&*msg, &channel.0.to_le_bytes(), "via {}", stream_a.technology());
+    }
+    rt_a.shutdown();
+    rt_b.shutdown();
+}
+
+#[test]
+fn blocking_consume_on_manual_runtime_is_refused() {
+    let fabric = Fabric::new(TestbedProfile::local());
+    let host = fabric.add_host("solo");
+    let rt = Runtime::start(manual_config(1), &fabric, host).unwrap();
+    let session = Session::connect(&rt).unwrap();
+    let stream = session.create_stream(QosPolicy::default()).unwrap();
+    let sink = stream.create_sink(ChannelId(1)).unwrap();
+    assert!(matches!(
+        sink.consume(ConsumeMode::Blocking),
+        Err(InsaneError::RuntimeNotStarted)
+    ));
+}
+
+#[test]
+fn unsubscribe_stops_remote_traffic() {
+    let (_fabric, rt_a, rt_b) = two_node_setup(&[Technology::KernelUdp]);
+    let session_a = Session::connect(&rt_a).unwrap();
+    let session_b = Session::connect(&rt_b).unwrap();
+    let stream_a = session_a.create_stream(QosPolicy::slow()).unwrap();
+    let stream_b = session_b.create_stream(QosPolicy::slow()).unwrap();
+    let sink = stream_b.create_sink(ChannelId(8)).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 10_000);
+
+    let source = stream_a.create_source(ChannelId(8)).unwrap();
+    let mut buf = source.get_buffer(1).unwrap();
+    buf.copy_from_slice(b"1");
+    source.emit(buf).unwrap();
+    let msg = drive_consume(&[&rt_a, &rt_b], &sink);
+    assert_eq!(&*msg, b"1");
+
+    // Close the only sink: an UNSUB control message flows back.
+    sink.close();
+    poll_until_quiescent(&[&rt_a, &rt_b], 10_000);
+
+    let tx_before = rt_a.stats().tx_messages;
+    let mut buf = source.get_buffer(1).unwrap();
+    buf.copy_from_slice(b"2");
+    source.emit(buf).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 10_000);
+    assert_eq!(
+        rt_a.stats().tx_messages,
+        tx_before,
+        "no data message may leave after the last sink unsubscribed"
+    );
+}
+
+#[test]
+fn time_sensitive_stream_uses_tsn_scheduler() {
+    // A TSN runtime with a long non-critical gate: time-critical traffic
+    // must wait for its window, so delivery happens but takes at least
+    // until the next critical window.
+    let fabric = Fabric::new(TestbedProfile::local());
+    let host = fabric.add_host("a");
+    let host_b = fabric.add_host("b");
+    let cfg = manual_config(1)
+        .with_technologies(&[Technology::KernelUdp])
+        .with_scheduler(SchedulerChoice::TimeAware {
+            critical_window: Duration::from_millis(5),
+            cycle: Duration::from_millis(50),
+        });
+    let rt_a = Runtime::start(cfg, &fabric, host).unwrap();
+    let rt_b = Runtime::start(
+        manual_config(2).with_technologies(&[Technology::KernelUdp]),
+        &fabric,
+        host_b,
+    )
+    .unwrap();
+    rt_a.add_peer(host_b).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 10_000);
+
+    let session_a = Session::connect(&rt_a).unwrap();
+    let session_b = Session::connect(&rt_b).unwrap();
+    let policy = QosPolicy {
+        acceleration: Acceleration::None,
+        resource_usage: ResourceUsage::Constrained,
+        time_sensitivity: TimeSensitivity::time_critical(),
+    };
+    let stream_a = session_a.create_stream(policy).unwrap();
+    let stream_b = session_b.create_stream(policy).unwrap();
+    let sink = stream_b.create_sink(ChannelId(4)).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 10_000);
+
+    let source = stream_a.create_source(ChannelId(4)).unwrap();
+    let mut buf = source.get_buffer(4).unwrap();
+    buf.copy_from_slice(b"gate");
+    source.emit(buf).unwrap();
+    let msg = drive_consume(&[&rt_a, &rt_b], &sink);
+    assert_eq!(&*msg, b"gate");
+}
+
+#[test]
+fn sessions_and_streams_close_cleanly() {
+    let fabric = Fabric::new(TestbedProfile::local());
+    let host = fabric.add_host("solo");
+    let rt = Runtime::start(manual_config(1), &fabric, host).unwrap();
+    let session = Session::connect(&rt).unwrap();
+    let stream = session.create_stream(QosPolicy::default()).unwrap();
+    let source = stream.create_source(ChannelId(1)).unwrap();
+    session.close();
+    let buf = source.get_buffer(1);
+    // Stream is closed through the session: emit must fail.
+    match buf {
+        Ok(b) => assert!(matches!(source.emit(b), Err(InsaneError::Closed))),
+        Err(_) => {}
+    }
+    assert!(matches!(
+        session.create_stream(QosPolicy::default()),
+        Err(InsaneError::Closed)
+    ));
+}
+
+#[test]
+fn mismatched_peer_technologies_fall_back_to_kernel_udp() {
+    // Producer has DPDK; consumer host is kernel-only.  The stream maps
+    // to DPDK at the producer, but the message must still arrive — the
+    // runtime reroutes that destination over the universal UDP datapath.
+    let fabric = Fabric::new(TestbedProfile::local());
+    let host_a = fabric.add_host("strong");
+    let host_b = fabric.add_host("weak");
+    let rt_a = Runtime::start(
+        manual_config(1).with_technologies(&[Technology::KernelUdp, Technology::Dpdk]),
+        &fabric,
+        host_a,
+    )
+    .unwrap();
+    let rt_b = Runtime::start(
+        manual_config(2).with_technologies(&[Technology::KernelUdp]),
+        &fabric,
+        host_b,
+    )
+    .unwrap();
+    rt_a.add_peer(host_b).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 100_000);
+
+    let session_a = Session::connect(&rt_a).unwrap();
+    let session_b = Session::connect(&rt_b).unwrap();
+    let stream_a = session_a.create_stream(QosPolicy::fast()).unwrap();
+    assert_eq!(stream_a.technology(), Technology::Dpdk, "producer side accelerates");
+    let stream_b = session_b.create_stream(QosPolicy::fast()).unwrap();
+    assert_eq!(stream_b.technology(), Technology::KernelUdp);
+    let sink = stream_b.create_sink(ChannelId(88)).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 100_000);
+
+    let source = stream_a.create_source(ChannelId(88)).unwrap();
+    let mut buf = source.get_buffer(8).unwrap();
+    buf.copy_from_slice(b"fallback");
+    source.emit(buf).unwrap();
+    let msg = drive_consume(&[&rt_a, &rt_b], &sink);
+    assert_eq!(&*msg, b"fallback");
+    drop(msg);
+    poll_until_quiescent(&[&rt_a, &rt_b], 100_000);
+    assert_eq!(rt_a.slots_in_use(), 0);
+}
+
+#[test]
+fn stats_track_message_flow() {
+    let (_fabric, rt_a, rt_b) = two_node_setup(&[Technology::KernelUdp, Technology::Dpdk]);
+    let session_a = Session::connect(&rt_a).unwrap();
+    let session_b = Session::connect(&rt_b).unwrap();
+    let stream_a = session_a.create_stream(QosPolicy::fast()).unwrap();
+    let stream_b = session_b.create_stream(QosPolicy::fast()).unwrap();
+    let sink = stream_b.create_sink(ChannelId(1)).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 10_000);
+    let source = stream_a.create_source(ChannelId(1)).unwrap();
+    for _ in 0..10 {
+        let mut buf = source.get_buffer(8).unwrap();
+        buf.copy_from_slice(b"counting");
+        source.emit(buf).unwrap();
+    }
+    let mut got = 0;
+    while got < 10 {
+        let _ = drive_consume(&[&rt_a, &rt_b], &sink);
+        got += 1;
+    }
+    assert_eq!(rt_a.stats().tx_messages, 10);
+    assert_eq!(rt_b.stats().rx_messages, 10);
+    assert!(rt_a.stats().control_messages > 0, "peering traffic counted");
+}

@@ -1,0 +1,162 @@
+//! Link bandwidth/latency modeling.
+//!
+//! A frame's arrival time is computed from three components, exactly the
+//! physics the paper's testbeds exhibit:
+//!
+//! 1. **serialization** — a 100 Gbps link carries a byte every 0.08 ns;
+//!    back-to-back frames queue behind each other on the sender's uplink
+//!    (per-direction `busy_until` tracking), which is what caps goodput in
+//!    Fig. 8a;
+//! 2. **propagation** — constant per hop (cables are short in both
+//!    testbeds);
+//! 3. **switch** — the CloudLab testbed adds a store-and-forward switch
+//!    that the paper measures at ≈1.7 µs per traversal (§6.2).
+
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// Static description of a point-to-point link (or a host uplink).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Usable line rate in gigabits per second.
+    pub bandwidth_gbps: f64,
+    /// One-way propagation plus PHY latency in nanoseconds.
+    pub propagation_ns: u64,
+    /// Latency of a same-host (loopback) delivery in nanoseconds.
+    pub loopback_ns: u64,
+}
+
+impl LinkModel {
+    /// The 100 Gbps Mellanox links of both paper testbeds (Table 2).
+    pub fn mellanox_100g() -> Self {
+        Self {
+            bandwidth_gbps: 100.0,
+            propagation_ns: 500,
+            loopback_ns: 350,
+        }
+    }
+
+    /// Time to serialize `bytes` onto the wire.
+    #[inline]
+    pub fn serialization(&self, bytes: usize) -> Duration {
+        let ns = (bytes as f64 * 8.0) / self.bandwidth_gbps;
+        Duration::from_nanos(ns.ceil() as u64)
+    }
+}
+
+/// One direction of a full-duplex link with busy-period tracking.
+///
+/// `reserve` answers: *if a frame of this size is handed to the NIC now,
+/// when has it finished serializing?* — and remembers the answer so the
+/// next frame queues behind it.
+#[derive(Debug)]
+pub struct DirectedLink {
+    model: LinkModel,
+    busy_until: Mutex<Option<Instant>>,
+}
+
+impl DirectedLink {
+    /// Creates an idle directed link.
+    pub fn new(model: LinkModel) -> Self {
+        Self {
+            model,
+            busy_until: Mutex::new(None),
+        }
+    }
+
+    /// Reserves transmission of `bytes` starting no earlier than `now`;
+    /// returns the instant serialization completes.
+    pub fn reserve(&self, bytes: usize, now: Instant) -> Instant {
+        let ser = self.model.serialization(bytes);
+        let mut busy = self.busy_until.lock();
+        let start = match *busy {
+            Some(b) if b > now => b,
+            _ => now,
+        };
+        let done = start + ser;
+        *busy = Some(done);
+        done
+    }
+
+    /// Whether the link is currently serializing a frame.
+    #[cfg(test)]
+    pub fn is_busy(&self, now: Instant) -> bool {
+        matches!(*self.busy_until.lock(), Some(b) if b > now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_scales_with_size_and_bandwidth() {
+        let l = LinkModel {
+            bandwidth_gbps: 100.0,
+            propagation_ns: 0,
+            loopback_ns: 0,
+        };
+        // 8192 bytes at 100 Gbps = 655.36 ns
+        let d = l.serialization(8192);
+        assert!((650..=660).contains(&(d.as_nanos() as u64)), "{d:?}");
+        let slow = LinkModel {
+            bandwidth_gbps: 10.0,
+            propagation_ns: 0,
+            loopback_ns: 0,
+        };
+        let slow_ns = slow.serialization(8192).as_nanos() as i128;
+        let fast_ns = l.serialization(8192).as_nanos() as i128 * 10;
+        assert!((slow_ns - fast_ns).abs() <= 10, "{slow_ns} vs {fast_ns}");
+    }
+
+    #[test]
+    fn mellanox_profile_is_100g() {
+        let m = LinkModel::mellanox_100g();
+        assert_eq!(m.bandwidth_gbps, 100.0);
+        // 64-byte frame serializes in ~5ns — negligible vs propagation.
+        assert!(m.serialization(64) < Duration::from_nanos(10));
+    }
+
+    #[test]
+    fn back_to_back_frames_queue_on_the_link() {
+        let link = DirectedLink::new(LinkModel {
+            bandwidth_gbps: 1.0, // 1 Gbps -> 8 ns per byte
+            propagation_ns: 0,
+            loopback_ns: 0,
+        });
+        let now = Instant::now();
+        let first = link.reserve(1000, now); // 8 µs
+        let second = link.reserve(1000, now); // queues behind the first
+        assert_eq!((first - now).as_micros(), 8);
+        assert_eq!((second - now).as_micros(), 16);
+        assert!(link.is_busy(now));
+    }
+
+    #[test]
+    fn idle_link_starts_immediately() {
+        let link = DirectedLink::new(LinkModel::mellanox_100g());
+        let now = Instant::now();
+        let done = link.reserve(64, now);
+        assert!(done - now < Duration::from_nanos(10));
+        // After the busy period has passed, a new reservation starts fresh.
+        let later = now + Duration::from_micros(10);
+        let done2 = link.reserve(64, later);
+        assert!(done2 >= later);
+    }
+
+    #[test]
+    fn goodput_is_capped_by_line_rate() {
+        // Reserving 1000 frames of 8 KB on a 100 Gbps link must take at
+        // least 1000 * 655 ns of link time.
+        let link = DirectedLink::new(LinkModel::mellanox_100g());
+        let now = Instant::now();
+        let mut last = now;
+        for _ in 0..1000 {
+            last = link.reserve(8192, now);
+        }
+        let total = last - now;
+        assert!(total >= Duration::from_nanos(655 * 1000));
+        let gbps = (1000.0 * 8192.0 * 8.0) / total.as_nanos() as f64;
+        assert!(gbps <= 100.5, "modeled link exceeded line rate: {gbps}");
+    }
+}

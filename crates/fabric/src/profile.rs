@@ -1,0 +1,126 @@
+//! Testbed profiles (Table 2 of the paper, as data).
+
+use crate::link::LinkModel;
+
+/// A store-and-forward switch between the hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchModel {
+    /// Product name (for Table 2 rendering).
+    pub name: &'static str,
+    /// One traversal's latency in nanoseconds.  The paper measures the
+    /// CloudLab switch at ≈1.7 µs and notes packets traverse it twice per
+    /// round trip (§6.2).
+    pub traversal_ns: u64,
+}
+
+impl SwitchModel {
+    /// The Dell Z9264F-ON of the CloudLab testbed.
+    pub fn dell_z9264f_on() -> Self {
+        Self {
+            name: "Dell Z9264F-ON",
+            traversal_ns: 1_700,
+        }
+    }
+}
+
+/// One of the paper's two testbeds, reduced to the parameters that shape
+/// the measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestbedProfile {
+    /// Short name used in experiment output ("Local", "Public cloud").
+    pub name: &'static str,
+    /// OS string (Table 2 rendering only).
+    pub os: &'static str,
+    /// CPU string (Table 2 rendering only).
+    pub cpu: &'static str,
+    /// RAM in GB (Table 2 rendering only).
+    pub ram_gb: u32,
+    /// NIC string (Table 2 rendering only).
+    pub nic: &'static str,
+    /// Switch between the hosts, if any.
+    pub switch: Option<SwitchModel>,
+    /// Link model of every host's NIC.
+    pub link: LinkModel,
+    /// Percentage scale applied to kernel/driver CPU costs relative to the
+    /// local testbed (100 = identical).  The CloudLab EPYC 7452 runs
+    /// single-thread work ≈1.28× slower than the local i9-10980XE, which
+    /// is the paper's explanation for the latency growth in Fig. 5b/7b.
+    pub cpu_scale_pct: u32,
+    /// Percentage scale applied to middleware-internal per-hop costs
+    /// (the paper's Fig. 6 shows INSANE's send/receive stages degrade
+    /// *more* than the kernel's on the cloud CPU, because its IPC path is
+    /// cache-sensitive; calibrated against Fig. 6/7b).
+    pub runtime_scale_pct: u32,
+    /// Default capacity (frames) of a device RX queue; the paper enlarges
+    /// socket buffers so receivers can keep up (§6.1).
+    pub rx_queue_frames: usize,
+}
+
+impl TestbedProfile {
+    /// The local edge testbed: two directly-cabled nodes (Table 2 row 1).
+    pub fn local() -> Self {
+        Self {
+            name: "Local",
+            os: "Ubuntu 22.04",
+            cpu: "18-core Intel i9-10980XE @ 3.00GHz",
+            ram_gb: 64,
+            nic: "Mellanox DX-6 100Gbps",
+            switch: None,
+            link: LinkModel::mellanox_100g(),
+            cpu_scale_pct: 100,
+            runtime_scale_pct: 100,
+            rx_queue_frames: 4096,
+        }
+    }
+
+    /// The public-cloud testbed: two CloudLab nodes behind a switch
+    /// (Table 2 row 2).
+    pub fn cloudlab() -> Self {
+        Self {
+            name: "Public cloud",
+            os: "Ubuntu 22.04",
+            cpu: "32-core AMD 7452 @ 2.35GHz",
+            ram_gb: 128,
+            nic: "Mellanox DX-5 100Gbps",
+            switch: Some(SwitchModel::dell_z9264f_on()),
+            link: LinkModel::mellanox_100g(),
+            cpu_scale_pct: 128,
+            runtime_scale_pct: 520,
+            rx_queue_frames: 4096,
+        }
+    }
+
+    /// One-way wire latency added by the switch (0 when direct-cabled).
+    pub fn switch_ns(&self) -> u64 {
+        self.switch.map(|s| s.traversal_ns).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_testbed_matches_table2() {
+        let p = TestbedProfile::local();
+        assert_eq!(p.name, "Local");
+        assert!(p.cpu.contains("i9-10980XE"));
+        assert_eq!(p.ram_gb, 64);
+        assert!(p.switch.is_none());
+        assert_eq!(p.cpu_scale_pct, 100);
+        assert_eq!(p.switch_ns(), 0);
+    }
+
+    #[test]
+    fn cloudlab_testbed_matches_table2() {
+        let p = TestbedProfile::cloudlab();
+        assert_eq!(p.name, "Public cloud");
+        assert!(p.cpu.contains("AMD 7452"));
+        assert_eq!(p.ram_gb, 128);
+        assert_eq!(p.switch.unwrap().name, "Dell Z9264F-ON");
+        // §6.2: the switch adds on average 1.7 µs per traversal.
+        assert_eq!(p.switch_ns(), 1_700);
+        assert!(p.cpu_scale_pct > 100);
+        assert!(p.runtime_scale_pct > p.cpu_scale_pct);
+    }
+}

@@ -1,0 +1,154 @@
+//! Wall-clock cost injection.
+//!
+//! The simulation charges modeled CPU costs (syscalls, kernel stack work,
+//! copies, driver work) to the *calling thread* by busy-waiting, so that a
+//! wall-clock measurement over the fabric contains both the modeled costs
+//! and the real execution time of whatever middleware runs on top.  This is
+//! the property that lets the benches reproduce the paper's raw-technology
+//! numbers while still measuring INSANE's own overhead for real.
+
+use std::time::{Duration, Instant};
+
+/// Busy-waits for approximately `ns` nanoseconds.
+///
+/// Sub-microsecond sleeps are impossible with OS timers, so the fabric
+/// spins; this mirrors what DPDK lcores and kernel busy-poll loops do with
+/// the CPU anyway.  Zero is a no-op.
+#[inline]
+pub fn spin_for_ns(ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    let deadline = Instant::now() + Duration::from_nanos(ns);
+    while Instant::now() < deadline {
+        core::hint::spin_loop();
+    }
+}
+
+/// Busy-waits until `deadline` (no-op if already past).
+#[inline]
+pub fn spin_until(deadline: Instant) {
+    while Instant::now() < deadline {
+        core::hint::spin_loop();
+    }
+}
+
+/// Deterministic per-device jitter source.
+///
+/// Real testbeds show run-to-run variance (the paper's plots carry IQR
+/// whiskers); the devices add a few percent of multiplicative noise to the
+/// charged costs using this tiny xorshift generator — deterministic per
+/// seed so experiments are reproducible.
+#[derive(Debug, Clone)]
+pub struct Jitter {
+    state: u64,
+    /// Amplitude as a fraction of the cost in 1/1024 units (e.g. 51 ≈ 5%).
+    amplitude_millis: u64,
+}
+
+impl Jitter {
+    /// Creates a jitter source with the given seed and amplitude
+    /// (`amplitude` is a fraction, e.g. `0.05` for ±5 %).
+    pub fn new(seed: u64, amplitude: f64) -> Self {
+        Self {
+            state: seed.max(1),
+            amplitude_millis: (amplitude.clamp(0.0, 0.5) * 1024.0) as u64,
+        }
+    }
+
+    /// A jitter source that never perturbs anything.
+    pub fn none() -> Self {
+        Self {
+            state: 1,
+            amplitude_millis: 0,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Perturbs `ns` by up to ± the configured amplitude.
+    #[inline]
+    pub fn apply(&mut self, ns: u64) -> u64 {
+        if self.amplitude_millis == 0 || ns == 0 {
+            return ns;
+        }
+        let span = ns * self.amplitude_millis / 1024; // max deviation
+        if span == 0 {
+            return ns;
+        }
+        let r = self.next_u64() % (2 * span + 1);
+        ns - span + r
+    }
+}
+
+/// Scales a cost by a percentage factor (used for the per-testbed CPU
+/// speed ratio, e.g. 128 = 1.28x slower than the local testbed).
+#[inline]
+pub fn scale_ns(ns: u64, scale_pct: u32) -> u64 {
+    ns * scale_pct as u64 / 100
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_for_zero_returns_immediately() {
+        let t0 = Instant::now();
+        spin_for_ns(0);
+        assert!(t0.elapsed() < Duration::from_millis(1));
+    }
+
+    #[test]
+    fn spin_for_waits_at_least_requested() {
+        let t0 = Instant::now();
+        spin_for_ns(200_000); // 200 us
+        assert!(t0.elapsed() >= Duration::from_micros(200));
+    }
+
+    #[test]
+    fn spin_until_past_deadline_is_noop() {
+        let t0 = Instant::now();
+        spin_until(t0 - Duration::from_secs(1).min(Duration::from_nanos(1)));
+        assert!(t0.elapsed() < Duration::from_millis(1));
+    }
+
+    #[test]
+    fn jitter_stays_within_amplitude() {
+        let mut j = Jitter::new(42, 0.05);
+        for _ in 0..10_000 {
+            let v = j.apply(1_000);
+            assert!((950..=1050).contains(&v), "{v} outside ±5%");
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let mut a = Jitter::new(7, 0.1);
+        let mut b = Jitter::new(7, 0.1);
+        for _ in 0..100 {
+            assert_eq!(a.apply(5_000), b.apply(5_000));
+        }
+    }
+
+    #[test]
+    fn zero_amplitude_is_identity() {
+        let mut j = Jitter::none();
+        assert_eq!(j.apply(1234), 1234);
+    }
+
+    #[test]
+    fn scale_applies_percentage() {
+        assert_eq!(scale_ns(1000, 100), 1000);
+        assert_eq!(scale_ns(1000, 128), 1280);
+        assert_eq!(scale_ns(1000, 250), 2500);
+    }
+}

@@ -1,0 +1,95 @@
+//! LUNAR: the two INSANE-based edge applications of the paper's §7.
+//!
+//! * [`mom`] — **LunarMoM**, a decentralized Message-oriented Middleware:
+//!   publish/subscribe over topics, mapped straight onto INSANE channels
+//!   (topic name → hashed channel id).  The paper builds it in 135 lines
+//!   of C to demonstrate how thin the layer over the INSANE API is.
+//! * [`streaming`] — **Lunar Streaming**, a client-server framework for
+//!   real-time transfer of large frames (raw camera images): the server
+//!   fragments each frame at the application level and the client
+//!   reassembles, with FPS and per-frame latency accounting.
+//!
+//! Both applications are *portable by construction*: the same code runs
+//! over kernel UDP, XDP, DPDK or RDMA depending only on the
+//! [`insane_core::QosPolicy`] handed to them — the paper's "fast" and
+//! "slow" variants are one constructor argument apart.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod mom;
+pub mod streaming;
+
+pub use mom::{LunarMom, Publisher, Subscriber};
+pub use streaming::{FrameSource, LunarStreamClient, LunarStreamServer, ReceivedFrame};
+
+use core::fmt;
+
+/// Errors surfaced by the LUNAR applications.
+#[derive(Debug)]
+pub enum LunarError {
+    /// Underlying middleware failure.
+    Insane(insane_core::InsaneError),
+    /// A frame exceeded the framework's fragmentation limits.
+    FrameTooLarge {
+        /// Frame size in bytes.
+        len: usize,
+        /// Largest supported frame.
+        max: usize,
+    },
+    /// Non-blocking receive found nothing.
+    WouldBlock,
+    /// A malformed or inconsistent fragment arrived.
+    BadFragment,
+}
+
+impl fmt::Display for LunarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LunarError::Insane(e) => write!(f, "middleware error: {e}"),
+            LunarError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the maximum of {max}")
+            }
+            LunarError::WouldBlock => write!(f, "no data available"),
+            LunarError::BadFragment => write!(f, "inconsistent fragment"),
+        }
+    }
+}
+
+impl std::error::Error for LunarError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LunarError::Insane(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<insane_core::InsaneError> for LunarError {
+    fn from(e: insane_core::InsaneError) -> Self {
+        LunarError::Insane(e)
+    }
+}
+
+/// Hashes a topic name to an INSANE channel id (FNV-1a, as a stand-in for
+/// the paper's "topic name is hashed to obtain the topic id").
+pub fn topic_to_channel(topic: &str) -> insane_core::ChannelId {
+    let mut hash: u32 = 0x811C_9DC5;
+    for b in topic.as_bytes() {
+        hash ^= u32::from(*b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    insane_core::ChannelId(hash)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topic_hash_is_stable_and_collision_free_for_distinct_names() {
+        assert_eq!(topic_to_channel("sensors/temp"), topic_to_channel("sensors/temp"));
+        assert_ne!(topic_to_channel("sensors/temp"), topic_to_channel("sensors/rpm"));
+        assert_ne!(topic_to_channel("a"), topic_to_channel("b"));
+    }
+}

@@ -1,0 +1,230 @@
+//! LunarMoM: a decentralized publish/subscribe MoM over INSANE (§7.1).
+//!
+//! Topics are "abstract named queues"; LunarMoM hashes each topic name to
+//! an INSANE channel id, so publishing is `get_buffer` + fill + `emit`
+//! and subscribing is a sink — the middleware's subscription control
+//! plane takes care of forwarding only to interested runtimes.
+
+use std::collections::HashMap;
+
+use insane_core::{
+    ConsumeMode, IncomingMessage, InsaneError, QosPolicy, Runtime, Session, Sink, Source, Stream,
+};
+use parking_lot::Mutex;
+
+use crate::{topic_to_channel, LunarError};
+
+/// A LunarMoM endpoint: one session with the local INSANE runtime, one
+/// stream carrying all of this process's topics at a common QoS.
+#[derive(Debug)]
+pub struct LunarMom {
+    session: Session,
+    stream: Stream,
+    /// Cached sources, one per published topic (the paper opens "an
+    /// INSANE source if this is the first publication for that topic").
+    sources: Mutex<HashMap<u32, Source>>,
+}
+
+impl LunarMom {
+    /// Connects to the local runtime with the given QoS policy — the
+    /// paper's *fast* MoM is `QosPolicy::fast()`, the *slow* one
+    /// `QosPolicy::slow()`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates session/stream creation failures.
+    pub fn connect(runtime: &Runtime, qos: QosPolicy) -> Result<Self, LunarError> {
+        let session = Session::connect(runtime)?;
+        let stream = session.create_stream(qos)?;
+        Ok(Self {
+            session,
+            stream,
+            sources: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The technology this MoM instance was mapped to.
+    pub fn technology(&self) -> insane_fabric::Technology {
+        self.stream.technology()
+    }
+
+    /// Publishes `payload` on `topic` (`lunar_publish` with a pre-built
+    /// buffer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates emit failures (back-pressure, pool exhaustion).
+    pub fn publish(&self, topic: &str, payload: &[u8]) -> Result<(), LunarError> {
+        self.publish_with(topic, payload.len(), |buf| buf.copy_from_slice(payload))
+    }
+
+    /// Publishes by filling the zero-copy buffer in place: `fill` runs on
+    /// the slot itself, exactly the paper's callback-to-fill pattern.
+    ///
+    /// # Errors
+    ///
+    /// Propagates emit failures.
+    pub fn publish_with(
+        &self,
+        topic: &str,
+        len: usize,
+        fill: impl FnOnce(&mut [u8]),
+    ) -> Result<(), LunarError> {
+        let channel = topic_to_channel(topic);
+        let mut sources = self.sources.lock();
+        let source = match sources.get(&channel.0) {
+            Some(s) => s,
+            None => {
+                let created = self.stream.create_source(channel)?;
+                sources.entry(channel.0).or_insert(created)
+            }
+        };
+        let mut buf = source.get_buffer(len)?;
+        fill(&mut buf);
+        source.emit(buf)?;
+        Ok(())
+    }
+
+    /// Creates a polling subscriber for `topic` (`lunar_subscribe`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink creation failures.
+    pub fn subscriber(&self, topic: &str) -> Result<Subscriber, LunarError> {
+        let sink = self.stream.create_sink(topic_to_channel(topic))?;
+        Ok(Subscriber {
+            topic: topic.to_owned(),
+            sink,
+        })
+    }
+
+    /// Registers a callback invoked for every message on `topic`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink creation failures.
+    pub fn subscribe<F>(&self, topic: &str, callback: F) -> Result<Subscriber, LunarError>
+    where
+        F: Fn(IncomingMessage) + Send + Sync + 'static,
+    {
+        let sink = self
+            .stream
+            .create_sink_with_callback(topic_to_channel(topic), callback)?;
+        Ok(Subscriber {
+            topic: topic.to_owned(),
+            sink,
+        })
+    }
+
+    /// Dedicated publisher handle for one topic (avoids the topic-map
+    /// lookup per publish on hot paths).
+    ///
+    /// # Errors
+    ///
+    /// Propagates source creation failures.
+    pub fn publisher(&self, topic: &str) -> Result<Publisher, LunarError> {
+        let source = self.stream.create_source(topic_to_channel(topic))?;
+        Ok(Publisher {
+            topic: topic.to_owned(),
+            source,
+        })
+    }
+
+    /// Closes the MoM session.
+    pub fn close(&self) {
+        self.session.close();
+    }
+}
+
+/// A per-topic publishing handle.
+#[derive(Debug)]
+pub struct Publisher {
+    topic: String,
+    source: Source,
+}
+
+impl Publisher {
+    /// The topic this publisher produces on.
+    pub fn topic(&self) -> &str {
+        &self.topic
+    }
+
+    /// Publishes a payload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates emit failures.
+    pub fn publish(&self, payload: &[u8]) -> Result<(), LunarError> {
+        let mut buf = self.source.get_buffer(payload.len())?;
+        buf.copy_from_slice(payload);
+        self.source.emit(buf)?;
+        Ok(())
+    }
+
+    /// Publishes by filling the buffer in place (zero-copy).
+    ///
+    /// # Errors
+    ///
+    /// Propagates emit failures.
+    pub fn publish_with(
+        &self,
+        len: usize,
+        fill: impl FnOnce(&mut [u8]),
+    ) -> Result<(), LunarError> {
+        let mut buf = self.source.get_buffer(len)?;
+        fill(&mut buf);
+        self.source.emit(buf)?;
+        Ok(())
+    }
+
+    /// Messages published so far.
+    pub fn published(&self) -> u64 {
+        self.source.emitted()
+    }
+}
+
+/// A per-topic subscription handle.
+#[derive(Debug)]
+pub struct Subscriber {
+    topic: String,
+    sink: Sink,
+}
+
+impl Subscriber {
+    /// The subscribed topic.
+    pub fn topic(&self) -> &str {
+        &self.topic
+    }
+
+    /// Non-blocking receive.
+    ///
+    /// # Errors
+    ///
+    /// [`LunarError::WouldBlock`] when no message is queued.
+    pub fn try_next(&self) -> Result<IncomingMessage, LunarError> {
+        match self.sink.consume(ConsumeMode::NonBlocking) {
+            Ok(msg) => Ok(msg),
+            Err(InsaneError::WouldBlock) => Err(LunarError::WouldBlock),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Blocking receive (requires a started runtime).
+    ///
+    /// # Errors
+    ///
+    /// Propagates consume failures.
+    pub fn next_blocking(&self) -> Result<IncomingMessage, LunarError> {
+        Ok(self.sink.consume(ConsumeMode::Blocking)?)
+    }
+
+    /// Whether a message is ready.
+    pub fn data_available(&self) -> bool {
+        self.sink.data_available()
+    }
+
+    /// Messages delivered and dropped for this subscription.
+    pub fn stats(&self) -> insane_core::SinkStats {
+        self.sink.stats()
+    }
+}

@@ -1,0 +1,276 @@
+//! Lunar Streaming: real-time transfer of large frames over INSANE
+//! (§7.2, Fig. 10).
+//!
+//! The server pulls frames from a [`FrameSource`] (the paper's
+//! `get_frame`/`wait_next` interface), fragments each frame at the
+//! *application* level — INSANE deliberately refuses in-stack IP
+//! fragmentation to stay zero-copy (§8) — and emits the fragments with
+//! the middleware's fragment metadata.  The client reassembles and
+//! reports per-frame latency (fragmentation → reassembly), the metric of
+//! Fig. 11b; frame throughput gives the FPS of Fig. 11a.
+
+use insane_core::{
+    ChannelId, ConsumeMode, InsaneError, QosPolicy, Runtime, Session, Sink, Source, Stream,
+};
+use insane_netstack::fragment::{plan, MessageKey, Reassembler};
+
+use crate::LunarError;
+
+/// Supplies frames to a streaming server — the paper's server-side
+/// interface: `get_frame` produces the next frame, `wait_next` blocks
+/// until one is due (pacing).
+pub trait FrameSource {
+    /// Returns the next frame, or `None` when the stream ends.
+    fn get_frame(&mut self) -> Option<Vec<u8>>;
+
+    /// Waits until the next frame should be sent (default: no pacing).
+    fn wait_next(&mut self) {}
+}
+
+/// A streaming server bound to one channel (`lnr_s_open_server`).
+#[derive(Debug)]
+pub struct LunarStreamServer {
+    _session: Session,
+    _stream: Stream,
+    source: Source,
+    next_frame_id: u64,
+    max_fragment: usize,
+}
+
+impl LunarStreamServer {
+    /// Largest frame the framework will fragment (u16 fragment indices).
+    pub const MAX_FRAME: usize = 256 * 1024 * 1024;
+
+    /// Opens a server on `channel` with the given QoS.
+    ///
+    /// # Errors
+    ///
+    /// Propagates middleware failures.
+    pub fn open(
+        runtime: &Runtime,
+        qos: QosPolicy,
+        channel: ChannelId,
+    ) -> Result<Self, LunarError> {
+        let session = Session::connect(runtime)?;
+        let stream = session.create_stream(qos)?;
+        let source = stream.create_source(channel)?;
+        let max_fragment = source.max_payload();
+        Ok(Self {
+            _session: session,
+            _stream: stream,
+            source,
+            next_frame_id: 0,
+            max_fragment,
+        })
+    }
+
+    /// Fragment size used on this stream's datapath.
+    pub fn max_fragment(&self) -> usize {
+        self.max_fragment
+    }
+
+    /// Fragments and emits one frame; returns its frame id.
+    ///
+    /// # Errors
+    ///
+    /// * [`LunarError::FrameTooLarge`] beyond fragmentation limits.
+    /// * Propagated emit failures (back-pressure is retried internally a
+    ///   bounded number of times).
+    pub fn send_frame(&mut self, frame: &[u8]) -> Result<u64, LunarError> {
+        self.send_frame_with(frame, || {})
+    }
+
+    /// As [`LunarStreamServer::send_frame`], invoking `progress` after
+    /// every emitted fragment and while waiting out back-pressure.
+    ///
+    /// Single-threaded drivers (tests, the benchmark harness on a
+    /// one-core host) use the hook to run the runtimes' polling work and
+    /// drain the consumer while a large frame is still being emitted —
+    /// the inline equivalent of the concurrency a real deployment gets
+    /// from its polling threads.
+    ///
+    /// # Errors
+    ///
+    /// As [`LunarStreamServer::send_frame`].
+    pub fn send_frame_with(
+        &mut self,
+        frame: &[u8],
+        mut progress: impl FnMut(),
+    ) -> Result<u64, LunarError> {
+        if frame.len() > Self::MAX_FRAME {
+            return Err(LunarError::FrameTooLarge {
+                len: frame.len(),
+                max: Self::MAX_FRAME,
+            });
+        }
+        let frame_id = self.next_frame_id;
+        self.next_frame_id += 1;
+        let fragments = plan(frame.len(), self.max_fragment).map_err(|_| {
+            LunarError::FrameTooLarge {
+                len: frame.len(),
+                max: self.max_fragment * u16::MAX as usize,
+            }
+        })?;
+        for frag in fragments {
+            let chunk = &frame[frag.offset..frag.offset + frag.len];
+            // Bounded retry under back-pressure: the producer outrunning
+            // the runtime is normal when frames are large.
+            let mut attempts = 0;
+            loop {
+                let mut buf = match self.source.get_buffer(chunk.len()) {
+                    Ok(b) => b,
+                    Err(InsaneError::Memory(
+                        insane_core::MemoryError::PoolExhausted,
+                    )) if attempts < 1_000_000 => {
+                        // Pool back-pressure: every slot is in flight.
+                        attempts += 1;
+                        progress();
+                        std::hint::spin_loop();
+                        continue;
+                    }
+                    Err(e) => return Err(e.into()),
+                };
+                buf.copy_from_slice(chunk);
+                match self
+                    .source
+                    .emit_fragment(buf, frag.index, frag.count, frame.len() as u32, frame_id)
+                {
+                    Ok(_) => {
+                        progress();
+                        break;
+                    }
+                    Err(InsaneError::Backpressure) if attempts < 1_000_000 => {
+                        attempts += 1;
+                        progress();
+                        std::hint::spin_loop();
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+        Ok(frame_id)
+    }
+
+    /// Runs the paper's server loop (`lnr_s_loop`): request a frame,
+    /// fragment and send it, wait for the next — until the source ends.
+    /// Returns the number of frames streamed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates send failures.
+    pub fn stream_loop(&mut self, source: &mut dyn FrameSource) -> Result<u64, LunarError> {
+        let mut frames = 0;
+        while let Some(frame) = source.get_frame() {
+            self.send_frame(&frame)?;
+            frames += 1;
+            source.wait_next();
+        }
+        Ok(frames)
+    }
+}
+
+/// A frame delivered by [`LunarStreamClient`].
+#[derive(Debug)]
+pub struct ReceivedFrame {
+    /// Reassembled frame bytes.
+    pub data: Vec<u8>,
+    /// Server-assigned frame id.
+    pub frame_id: u64,
+    /// End-to-end latency: first fragment's emit to reassembly
+    /// completion (Fig. 11b's metric), nanoseconds.
+    pub latency_ns: u64,
+}
+
+/// A streaming client bound to one channel (`lnr_s_connect`).
+#[derive(Debug)]
+pub struct LunarStreamClient {
+    _session: Session,
+    _stream: Stream,
+    sink: Sink,
+    reassembler: Reassembler,
+    /// Earliest emit timestamp seen per in-flight frame.
+    emit_ns: std::collections::HashMap<u64, u64>,
+}
+
+impl LunarStreamClient {
+    /// Connects a client to `channel` with the given QoS.
+    ///
+    /// # Errors
+    ///
+    /// Propagates middleware failures.
+    pub fn connect(
+        runtime: &Runtime,
+        qos: QosPolicy,
+        channel: ChannelId,
+    ) -> Result<Self, LunarError> {
+        let session = Session::connect(runtime)?;
+        let stream = session.create_stream(qos)?;
+        let sink = stream.create_sink(channel)?;
+        Ok(Self {
+            _session: session,
+            _stream: stream,
+            sink,
+            reassembler: Reassembler::new(16),
+            emit_ns: std::collections::HashMap::new(),
+        })
+    }
+
+    /// Processes every queued fragment without blocking; returns the
+    /// frames completed by them.
+    ///
+    /// # Errors
+    ///
+    /// [`LunarError::BadFragment`] on inconsistent fragment metadata.
+    pub fn poll_frames(&mut self) -> Result<Vec<ReceivedFrame>, LunarError> {
+        let mut done = Vec::new();
+        loop {
+            let msg = match self.sink.consume(ConsumeMode::NonBlocking) {
+                Ok(m) => m,
+                Err(InsaneError::WouldBlock) => break,
+                Err(e) => return Err(e.into()),
+            };
+            let meta = *msg.meta();
+            let (index, count, total_len) = meta.frag;
+            let key = MessageKey {
+                src_runtime: meta.src_runtime,
+                channel: meta.channel,
+                seq: meta.seq,
+            };
+            let entry = self.emit_ns.entry(meta.seq).or_insert(meta.emit_ns);
+            *entry = (*entry).min(meta.emit_ns);
+            // Every fragment but the last carries the same length, so its
+            // index and length locate it; the last sits at the tail.
+            let offset = if index + 1 == count {
+                total_len as usize - msg.len()
+            } else {
+                index as usize * msg.len()
+            };
+            let complete = self
+                .reassembler
+                .offer(key, index, count, total_len as usize, offset, &msg)
+                .map_err(|_| LunarError::BadFragment)?;
+            if let Some(data) = complete {
+                let emit = self.emit_ns.remove(&meta.seq).unwrap_or(meta.emit_ns);
+                done.push(ReceivedFrame {
+                    data,
+                    frame_id: meta.seq,
+                    latency_ns: insane_core::timestamp_ns().saturating_sub(emit),
+                });
+            }
+        }
+        Ok(done)
+    }
+
+    /// Fragments dropped because the sink queue overflowed (frames these
+    /// belonged to will never complete — the eviction path bounds the
+    /// reassembler).
+    pub fn dropped_fragments(&self) -> u64 {
+        self.sink.stats().dropped
+    }
+
+    /// Incomplete frames currently buffered.
+    pub fn frames_pending(&self) -> usize {
+        self.reassembler.pending()
+    }
+}
+

@@ -1,0 +1,252 @@
+//! End-to-end tests of LunarMoM and Lunar Streaming over two simulated
+//! edge nodes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use insane_core::runtime::poll_until_quiescent;
+use insane_core::{ChannelId, QosPolicy, Runtime, RuntimeConfig, ThreadingMode};
+use insane_fabric::{Fabric, Technology, TestbedProfile};
+use lunar::streaming::{FrameSource, LunarStreamClient, LunarStreamServer};
+use lunar::{LunarError, LunarMom};
+
+fn two_nodes(techs: &[Technology]) -> (Fabric, Runtime, Runtime) {
+    let fabric = Fabric::new(TestbedProfile::local());
+    let a = fabric.add_host("a");
+    let b = fabric.add_host("b");
+    let rt_a = Runtime::start(
+        RuntimeConfig::new(1)
+            .with_technologies(techs)
+            .with_threading(ThreadingMode::Manual),
+        &fabric,
+        a,
+    )
+    .unwrap();
+    let rt_b = Runtime::start(
+        RuntimeConfig::new(2)
+            .with_technologies(techs)
+            .with_threading(ThreadingMode::Manual),
+        &fabric,
+        b,
+    )
+    .unwrap();
+    rt_a.add_peer(b).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 10_000);
+    (fabric, rt_a, rt_b)
+}
+
+#[test]
+fn mom_publish_subscribe_across_nodes() {
+    let (_f, rt_a, rt_b) = two_nodes(&[Technology::KernelUdp, Technology::Dpdk]);
+    let mom_pub = LunarMom::connect(&rt_a, QosPolicy::fast()).unwrap();
+    let mom_sub = LunarMom::connect(&rt_b, QosPolicy::fast()).unwrap();
+    assert_eq!(mom_pub.technology(), Technology::Dpdk);
+
+    let sub = mom_sub.subscriber("factory/line1/temp").unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 10_000);
+
+    mom_pub.publish("factory/line1/temp", b"23.4C").unwrap();
+    let msg = loop {
+        rt_a.poll_once();
+        rt_b.poll_once();
+        match sub.try_next() {
+            Ok(m) => break m,
+            Err(LunarError::WouldBlock) => {}
+            Err(e) => panic!("{e}"),
+        }
+    };
+    assert_eq!(&*msg, b"23.4C");
+}
+
+#[test]
+fn mom_topics_do_not_cross_talk() {
+    let (_f, rt_a, rt_b) = two_nodes(&[Technology::KernelUdp]);
+    let mom_pub = LunarMom::connect(&rt_a, QosPolicy::slow()).unwrap();
+    let mom_sub = LunarMom::connect(&rt_b, QosPolicy::slow()).unwrap();
+    let sub_temp = mom_sub.subscriber("temp").unwrap();
+    let sub_rpm = mom_sub.subscriber("rpm").unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 10_000);
+
+    mom_pub.publish("temp", b"t").unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 20_000);
+    assert!(sub_temp.data_available());
+    assert!(!sub_rpm.data_available());
+    assert_eq!(&*sub_temp.try_next().unwrap(), b"t");
+}
+
+#[test]
+fn mom_callback_subscription_and_local_delivery() {
+    // Publisher and subscriber co-located: pure shared-memory path.
+    let fabric = Fabric::new(TestbedProfile::local());
+    let host = fabric.add_host("solo");
+    let rt = Runtime::start(
+        RuntimeConfig::new(1).with_threading(ThreadingMode::Manual),
+        &fabric,
+        host,
+    )
+    .unwrap();
+    let mom = LunarMom::connect(&rt, QosPolicy::slow()).unwrap();
+    let hits = Arc::new(AtomicUsize::new(0));
+    let hits_cb = Arc::clone(&hits);
+    let _sub = mom
+        .subscribe("local/topic", move |msg| {
+            assert_eq!(&*msg, b"local");
+            hits_cb.fetch_add(1, Ordering::SeqCst);
+        })
+        .unwrap();
+    for _ in 0..3 {
+        mom.publish("local/topic", b"local").unwrap();
+    }
+    poll_until_quiescent(&[&rt], 10_000);
+    assert_eq!(hits.load(Ordering::SeqCst), 3);
+    assert_eq!(rt.stats().local_deliveries, 3);
+    assert_eq!(rt.stats().tx_messages, 0);
+}
+
+#[test]
+fn mom_publisher_handle_and_fill_callback() {
+    let (_f, rt_a, rt_b) = two_nodes(&[Technology::KernelUdp]);
+    let mom_pub = LunarMom::connect(&rt_a, QosPolicy::slow()).unwrap();
+    let mom_sub = LunarMom::connect(&rt_b, QosPolicy::slow()).unwrap();
+    let sub = mom_sub.subscriber("images").unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 10_000);
+    let publisher = mom_pub.publisher("images").unwrap();
+    publisher
+        .publish_with(4, |buf| buf.copy_from_slice(b"fill"))
+        .unwrap();
+    assert_eq!(publisher.published(), 1);
+    let msg = loop {
+        rt_a.poll_once();
+        rt_b.poll_once();
+        match sub.try_next() {
+            Ok(m) => break m,
+            Err(LunarError::WouldBlock) => {}
+            Err(e) => panic!("{e}"),
+        }
+    };
+    assert_eq!(&*msg, b"fill");
+}
+
+struct CountingSource {
+    frames: Vec<Vec<u8>>,
+    next: usize,
+}
+
+impl FrameSource for CountingSource {
+    fn get_frame(&mut self) -> Option<Vec<u8>> {
+        let frame = self.frames.get(self.next).cloned();
+        self.next += 1;
+        frame
+    }
+}
+
+fn stream_frames(
+    techs: &[Technology],
+    qos: QosPolicy,
+    frames: Vec<Vec<u8>>,
+) -> Vec<lunar::ReceivedFrame> {
+    let (_f, rt_a, rt_b) = two_nodes(techs);
+    let mut client = LunarStreamClient::connect(&rt_b, qos, ChannelId(500)).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 10_000);
+    let mut server = LunarStreamServer::open(&rt_a, qos, ChannelId(500)).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 10_000);
+
+    let expected = frames.len();
+    let mut source = CountingSource { frames, next: 0 };
+    let mut received = Vec::new();
+    // Drive server and client interleaved (single-core friendly): send
+    // one frame, then drain.
+    while let Some(frame) = source.get_frame() {
+        server.send_frame(&frame).unwrap();
+        for _ in 0..400_000 {
+            rt_a.poll_once();
+            rt_b.poll_once();
+            received.extend(client.poll_frames().unwrap());
+            if received.len() > expected - source.next.min(expected) {
+                break;
+            }
+        }
+    }
+    for _ in 0..200_000 {
+        if received.len() >= expected {
+            break;
+        }
+        rt_a.poll_once();
+        rt_b.poll_once();
+        received.extend(client.poll_frames().unwrap());
+    }
+    received
+}
+
+#[test]
+fn streaming_small_frame_single_fragment() {
+    let frames = vec![vec![7u8; 900]];
+    let got = stream_frames(&[Technology::KernelUdp, Technology::Dpdk], QosPolicy::fast(), frames);
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].data, vec![7u8; 900]);
+    assert!(got[0].latency_ns > 0);
+}
+
+#[test]
+fn streaming_large_frame_fragments_and_reassembles() {
+    // ~1 MB frame: dozens of jumbo fragments over DPDK.
+    let frame: Vec<u8> = (0..1_000_000u32)
+        .map(|i| (i.wrapping_mul(2_654_435_761) >> 24) as u8)
+        .collect();
+    let got = stream_frames(
+        &[Technology::KernelUdp, Technology::Dpdk],
+        QosPolicy::fast(),
+        vec![frame.clone()],
+    );
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].data.len(), frame.len());
+    assert_eq!(got[0].data, frame, "byte-exact reassembly");
+}
+
+#[test]
+fn streaming_multiple_frames_in_order_ids() {
+    let frames: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i; 40_000]).collect();
+    let got = stream_frames(
+        &[Technology::KernelUdp, Technology::Dpdk],
+        QosPolicy::fast(),
+        frames,
+    );
+    assert_eq!(got.len(), 5);
+    for frame in &got {
+        assert_eq!(frame.data, vec![frame.frame_id as u8; 40_000]);
+    }
+}
+
+#[test]
+fn streaming_works_on_the_slow_path_too() {
+    let frame = vec![42u8; 30_000];
+    let got = stream_frames(&[Technology::KernelUdp], QosPolicy::slow(), vec![frame.clone()]);
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].data, frame);
+}
+
+#[test]
+fn stream_loop_counts_frames() {
+    let (_f, rt_a, rt_b) = two_nodes(&[Technology::KernelUdp]);
+    let mut client =
+        LunarStreamClient::connect(&rt_b, QosPolicy::slow(), ChannelId(9)).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 10_000);
+    let mut server = LunarStreamServer::open(&rt_a, QosPolicy::slow(), ChannelId(9)).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 10_000);
+    let mut source = CountingSource {
+        frames: vec![vec![1u8; 100], vec![2u8; 100]],
+        next: 0,
+    };
+    assert_eq!(server.stream_loop(&mut source).unwrap(), 2);
+    let mut got = Vec::new();
+    for _ in 0..200_000 {
+        rt_a.poll_once();
+        rt_b.poll_once();
+        got.extend(client.poll_frames().unwrap());
+        if got.len() == 2 {
+            break;
+        }
+    }
+    assert_eq!(got.len(), 2);
+    assert_eq!(client.frames_pending(), 0);
+}

@@ -1,0 +1,91 @@
+//! Zero-copy slot pools — the mechanism behind the INSANE memory manager.
+//!
+//! The paper's runtime (§5.3) reserves *memory pools* at startup, divides
+//! them into *slots* uniquely identified by a *slot id*, and lets the client
+//! library and the runtime exchange those ids instead of payload bytes.
+//! This crate provides that mechanism:
+//!
+//! * [`SlotPool`] — a contiguous, fixed-slot-size arena with a lock-free
+//!   free list and generation-tagged slot handles that catch double-release
+//!   and use-after-release at the API boundary.
+//! * [`SlotToken`] — the transferable slot id (what travels on the TX/RX
+//!   token queues in Figure 4 of the paper).
+//! * [`SlotGuard`] — unique, RAII-owned access to a slot's bytes while an
+//!   application is writing or reading a message.
+//! * [`PoolSet`] — size-class selection over several pools (small packet
+//!   slots vs jumbo-frame slots), which is what the runtime instantiates.
+//!
+//! The paper maps the pool into each application's address space with shared
+//! memory; in this reproduction every component lives in one process, so the
+//! "mapping" is an `Arc` and the slot-id discipline is identical.
+//!
+//! # Examples
+//!
+//! ```
+//! use insane_memory::{PoolConfig, SlotPool};
+//!
+//! let pool = SlotPool::new(PoolConfig::new(0, 2048, 64))?;
+//! let mut guard = pool.acquire(11)?;
+//! guard.copy_from_slice(b"hello world");
+//! let token = guard.into_token();         // ship the id, not the bytes
+//! let view = pool.view(token)?;           // receiver side
+//! assert_eq!(&*view, b"hello world");
+//! view.release();                          // slot returns to the free list
+//! # Ok::<(), insane_memory::MemoryError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod pool;
+mod pool_set;
+
+pub use pool::{PoolConfig, PoolStats, SlotGuard, SlotPool, SlotToken, SlotView};
+pub use pool_set::{PoolSet, PoolSetBuilder};
+
+use core::fmt;
+
+/// Identifier of a pool within a [`PoolSet`] (and within [`SlotToken`]s).
+pub type PoolId = u16;
+
+/// Errors produced by the slot-pool layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryError {
+    /// No free slot is available in the pool (back-pressure condition: the
+    /// caller should release buffers or retry later).
+    PoolExhausted,
+    /// The requested length does not fit in any configured slot size.
+    RequestTooLarge {
+        /// Bytes the caller asked for.
+        requested: usize,
+        /// Largest slot size any pool offers.
+        max: usize,
+    },
+    /// The token's generation does not match the slot's current generation:
+    /// the token was already released (double release) or retained across a
+    /// release (use-after-release).
+    StaleToken,
+    /// The token names a pool or slot index that does not exist.
+    InvalidToken,
+    /// A pool with this id already exists in the set.
+    DuplicatePool(PoolId),
+    /// Invalid construction parameters (zero slots or zero slot size).
+    BadConfig(&'static str),
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryError::PoolExhausted => write!(f, "no free slot available in the pool"),
+            MemoryError::RequestTooLarge { requested, max } => {
+                write!(f, "requested {requested} bytes but the largest slot is {max} bytes")
+            }
+            MemoryError::StaleToken => write!(f, "slot token is stale (released or duplicated)"),
+            MemoryError::InvalidToken => write!(f, "slot token does not name a valid slot"),
+            MemoryError::DuplicatePool(id) => write!(f, "pool id {id} already registered"),
+            MemoryError::BadConfig(why) => write!(f, "invalid pool configuration: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for MemoryError {}

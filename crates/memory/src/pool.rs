@@ -1,0 +1,711 @@
+//! The slot pool: a fixed-size arena with generation-tagged slot handles.
+
+use core::cell::UnsafeCell;
+use core::fmt;
+use core::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use insane_queues::FreeStack;
+
+use crate::{MemoryError, PoolId};
+
+/// Construction parameters for a [`SlotPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Identifier embedded in every token minted by this pool.
+    pub pool_id: PoolId,
+    /// Size of each slot in bytes (the largest message the pool can carry).
+    pub slot_size: usize,
+    /// Number of slots reserved at startup.
+    pub slot_count: usize,
+}
+
+impl PoolConfig {
+    /// Convenience constructor.
+    pub fn new(pool_id: PoolId, slot_size: usize, slot_count: usize) -> Self {
+        Self {
+            pool_id,
+            slot_size,
+            slot_count,
+        }
+    }
+}
+
+/// Counters describing pool usage; useful for back-pressure diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Slots currently lent out.
+    pub in_use: usize,
+    /// Highest simultaneous `in_use` observed.
+    pub high_water: usize,
+    /// `acquire` calls rejected because the pool was empty.
+    pub exhaustions: u64,
+    /// Total successful acquires since startup.
+    pub acquires: u64,
+}
+
+/// The transferable slot id: what the client library and the runtime push
+/// on their token queues instead of payload bytes (paper Fig. 4).
+///
+/// A token is `Copy` for queue ergonomics, but the middleware treats it
+/// linearly: exactly one component owns it at a time.  The generation tag
+/// lets the pool reject stale copies at the first misuse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlotToken {
+    pool: PoolId,
+    index: u32,
+    generation: u32,
+    len: u32,
+}
+
+impl SlotToken {
+    /// Pool that minted this token.
+    pub fn pool_id(&self) -> PoolId {
+        self.pool
+    }
+
+    /// Slot index within the pool.
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// Message length stored in the slot, in bytes.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the message length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns a copy of this token with an adjusted length.
+    ///
+    /// The runtime uses this when a datapath writes fewer bytes than the
+    /// slot capacity (e.g. after protocol-header stripping).
+    pub fn with_len(mut self, len: usize) -> Self {
+        self.len = len as u32;
+        self
+    }
+}
+
+struct PoolInner {
+    config: PoolConfig,
+    /// One contiguous backing area, like the DMA-registered region the
+    /// paper's memory manager reserves at startup.
+    backing: Box<[UnsafeCell<u8>]>,
+    free: FreeStack,
+    generations: Box<[AtomicU32]>,
+    /// Per-slot reference count: 1 at acquire, incremented by
+    /// [`SlotView::clone_ref`]; the slot returns to the free list when it
+    /// reaches zero.
+    refcounts: Box<[AtomicU32]>,
+    /// Per-slot message length; written by the owner before transfer.
+    lens: Box<[AtomicU32]>,
+    in_use: AtomicU32,
+    high_water: AtomicU32,
+    exhaustions: AtomicU64,
+    acquires: AtomicU64,
+}
+
+// SAFETY: slot bytes are only reachable through a `SlotGuard`/`SlotView`
+// whose unique ownership is enforced by the generation + free-list
+// discipline; transfer between threads happens through queues that provide
+// the necessary ordering.
+unsafe impl Send for PoolInner {}
+unsafe impl Sync for PoolInner {}
+
+/// A fixed-size pool of equally-sized, zero-copy message slots.
+///
+/// Cloning a `SlotPool` clones a handle to the same shared arena — this is
+/// the in-process analogue of an application mapping the runtime's shared
+/// memory into its own address space (paper §5.3).
+#[derive(Clone)]
+pub struct SlotPool {
+    inner: Arc<PoolInner>,
+}
+
+impl fmt::Debug for SlotPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SlotPool")
+            .field("pool_id", &self.inner.config.pool_id)
+            .field("slot_size", &self.inner.config.slot_size)
+            .field("slot_count", &self.inner.config.slot_count)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl SlotPool {
+    /// Reserves the backing area and initializes the free list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::BadConfig`] if `slot_size` or `slot_count` is
+    /// zero.
+    pub fn new(config: PoolConfig) -> Result<Self, MemoryError> {
+        if config.slot_size == 0 {
+            return Err(MemoryError::BadConfig("slot_size must be non-zero"));
+        }
+        if config.slot_count == 0 {
+            return Err(MemoryError::BadConfig("slot_count must be non-zero"));
+        }
+        let backing = (0..config.slot_size * config.slot_count)
+            .map(|_| UnsafeCell::new(0u8))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let generations = (0..config.slot_count)
+            .map(|_| AtomicU32::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let refcounts = (0..config.slot_count)
+            .map(|_| AtomicU32::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let lens = (0..config.slot_count)
+            .map(|_| AtomicU32::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Ok(Self {
+            inner: Arc::new(PoolInner {
+                free: FreeStack::full(config.slot_count),
+                config,
+                backing,
+                generations,
+                refcounts,
+                lens,
+                in_use: AtomicU32::new(0),
+                high_water: AtomicU32::new(0),
+                exhaustions: AtomicU64::new(0),
+                acquires: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// Pool identifier.
+    pub fn pool_id(&self) -> PoolId {
+        self.inner.config.pool_id
+    }
+
+    /// Size in bytes of each slot.
+    pub fn slot_size(&self) -> usize {
+        self.inner.config.slot_size
+    }
+
+    /// Number of slots in the pool.
+    pub fn slot_count(&self) -> usize {
+        self.inner.config.slot_count
+    }
+
+    /// Number of slots currently free.
+    pub fn free_slots(&self) -> usize {
+        self.inner.free.len()
+    }
+
+    /// Usage statistics snapshot.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            in_use: self.inner.in_use.load(Ordering::Relaxed) as usize,
+            high_water: self.inner.high_water.load(Ordering::Relaxed) as usize,
+            exhaustions: self.inner.exhaustions.load(Ordering::Relaxed),
+            acquires: self.inner.acquires.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Lends out a free slot for writing a message of `len` bytes.
+    ///
+    /// This is the mechanism behind `get_buffer` in the paper's API.
+    ///
+    /// # Errors
+    ///
+    /// * [`MemoryError::RequestTooLarge`] if `len` exceeds the slot size.
+    /// * [`MemoryError::PoolExhausted`] if no slot is free.
+    pub fn acquire(&self, len: usize) -> Result<SlotGuard, MemoryError> {
+        if len > self.inner.config.slot_size {
+            return Err(MemoryError::RequestTooLarge {
+                requested: len,
+                max: self.inner.config.slot_size,
+            });
+        }
+        let index = self.inner.free.pop().ok_or_else(|| {
+            self.inner.exhaustions.fetch_add(1, Ordering::Relaxed);
+            MemoryError::PoolExhausted
+        })?;
+        self.inner.acquires.fetch_add(1, Ordering::Relaxed);
+        let in_use = self.inner.in_use.fetch_add(1, Ordering::Relaxed) + 1;
+        self.inner.high_water.fetch_max(in_use, Ordering::Relaxed);
+        self.inner.refcounts[index as usize].store(1, Ordering::Release);
+        self.inner.lens[index as usize].store(len as u32, Ordering::Relaxed);
+        Ok(SlotGuard {
+            pool: self.clone(),
+            index,
+            len,
+        })
+    }
+
+    /// Re-materializes unique write access from a token, e.g. on the
+    /// receive path where a datapath filled the slot and handed the token
+    /// over a queue.
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::InvalidToken`] / [`MemoryError::StaleToken`] under the
+    /// same conditions as [`SlotPool::view`].
+    pub fn redeem(&self, token: SlotToken) -> Result<SlotGuard, MemoryError> {
+        self.validate(token)?;
+        Ok(SlotGuard {
+            pool: self.clone(),
+            index: token.index,
+            len: token.len(),
+        })
+    }
+
+    /// Produces a read-only view of the message a token refers to.
+    ///
+    /// # Errors
+    ///
+    /// * [`MemoryError::InvalidToken`] if the token names another pool or an
+    ///   out-of-range slot.
+    /// * [`MemoryError::StaleToken`] if the slot was released since the
+    ///   token was minted (double release / use-after-release).
+    pub fn view(&self, token: SlotToken) -> Result<SlotView, MemoryError> {
+        self.validate(token)?;
+        Ok(SlotView {
+            pool: self.clone(),
+            index: token.index,
+            len: token.len(),
+        })
+    }
+
+    /// Releases the slot a token refers to back to the free list.
+    ///
+    /// This is `release_buffer` in the paper's API.  The slot's generation
+    /// is bumped so that any copy of the token still in flight becomes
+    /// stale.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SlotPool::view`]; a second release of the same
+    /// token yields [`MemoryError::StaleToken`].
+    pub fn release(&self, token: SlotToken) -> Result<(), MemoryError> {
+        self.validate(token)?;
+        self.release_index(token.index);
+        Ok(())
+    }
+
+    fn release_index(&self, index: u32) {
+        let remaining = self.inner.refcounts[index as usize].fetch_sub(1, Ordering::AcqRel) - 1;
+        if remaining == 0 {
+            self.inner.generations[index as usize].fetch_add(1, Ordering::Release);
+            self.inner.in_use.fetch_sub(1, Ordering::Relaxed);
+            self.inner.free.push(index);
+        }
+    }
+
+    fn validate(&self, token: SlotToken) -> Result<(), MemoryError> {
+        if token.pool != self.inner.config.pool_id
+            || token.index as usize >= self.inner.config.slot_count
+        {
+            return Err(MemoryError::InvalidToken);
+        }
+        let current = self.inner.generations[token.index as usize].load(Ordering::Acquire);
+        if current != token.generation {
+            return Err(MemoryError::StaleToken);
+        }
+        Ok(())
+    }
+
+    fn token_for(&self, index: u32, len: usize) -> SlotToken {
+        SlotToken {
+            pool: self.inner.config.pool_id,
+            index,
+            generation: self.inner.generations[index as usize].load(Ordering::Acquire),
+            len: len as u32,
+        }
+    }
+
+    fn slot_ptr(&self, index: u32) -> *mut u8 {
+        let offset = index as usize * self.inner.config.slot_size;
+        self.inner.backing[offset].get()
+    }
+}
+
+/// Unique, writable access to one slot, returned by [`SlotPool::acquire`].
+///
+/// Dropping the guard without [`SlotGuard::into_token`] returns the slot to
+/// the pool (no leak on early error paths).
+pub struct SlotGuard {
+    pool: SlotPool,
+    index: u32,
+    len: usize,
+}
+
+impl fmt::Debug for SlotGuard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SlotGuard")
+            .field("pool", &self.pool.pool_id())
+            .field("index", &self.index)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl SlotGuard {
+    /// Message length this guard was acquired for.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the message length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Shrinks or grows the valid message length (bounded by slot size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the pool's slot size.
+    pub fn set_len(&mut self, len: usize) {
+        assert!(
+            len <= self.pool.slot_size(),
+            "len {} exceeds slot size {}",
+            len,
+            self.pool.slot_size()
+        );
+        self.len = len;
+        self.pool.inner.lens[self.index as usize].store(len as u32, Ordering::Relaxed);
+    }
+
+    /// Converts the guard into a transferable token, *without* releasing
+    /// the slot: ownership moves to whoever receives the token.
+    ///
+    /// This is the moment `emit_data` hands the slot id to the runtime.
+    pub fn into_token(self) -> SlotToken {
+        let token = self.pool.token_for(self.index, self.len);
+        core::mem::forget(self);
+        token
+    }
+
+    /// The token this guard would produce, without consuming the guard.
+    pub fn token(&self) -> SlotToken {
+        self.pool.token_for(self.index, self.len)
+    }
+}
+
+impl core::ops::Deref for SlotGuard {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        // SAFETY: the guard uniquely owns the slot (free-list discipline).
+        unsafe { core::slice::from_raw_parts(self.pool.slot_ptr(self.index), self.len) }
+    }
+}
+
+impl core::ops::DerefMut for SlotGuard {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        // SAFETY: as above, plus `&mut self` guarantees no aliasing view.
+        unsafe { core::slice::from_raw_parts_mut(self.pool.slot_ptr(self.index), self.len) }
+    }
+}
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.pool.release_index(self.index);
+    }
+}
+
+/// Read-only access to the message a received token refers to.
+///
+/// The paper's zero-copy receive path returns the application "a pointer to
+/// a memory area borrowed from the runtime"; `SlotView` is that borrow.
+/// Dropping the view (or calling [`SlotView::release`]) returns the slot.
+pub struct SlotView {
+    pool: SlotPool,
+    index: u32,
+    len: usize,
+}
+
+impl fmt::Debug for SlotView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SlotView")
+            .field("pool", &self.pool.pool_id())
+            .field("index", &self.index)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl SlotView {
+    /// Message length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the message length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Explicitly returns the slot to the pool (equivalent to drop, but
+    /// reads better at call sites that mirror the paper's
+    /// `release_buffer`).
+    pub fn release(self) {}
+
+    /// Keeps the slot checked out and returns the token, so the view can be
+    /// forwarded without copying (e.g. a local sink handing the message to
+    /// another component).
+    pub fn into_token(self) -> SlotToken {
+        let token = self.pool.token_for(self.index, self.len);
+        core::mem::forget(self);
+        token
+    }
+
+    /// Creates a second zero-copy reference to the same slot.
+    ///
+    /// The slot returns to the free list only when every reference has
+    /// been dropped/released.  The INSANE runtime uses this to deliver one
+    /// received message to several co-located sinks without copying
+    /// (the multi-sink experiment of Fig. 8b).
+    pub fn clone_ref(&self) -> SlotView {
+        self.pool.inner.refcounts[self.index as usize].fetch_add(1, Ordering::AcqRel);
+        SlotView {
+            pool: self.pool.clone(),
+            index: self.index,
+            len: self.len,
+        }
+    }
+}
+
+impl core::ops::Deref for SlotView {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        // SAFETY: the view owns the checkout; writers cannot exist because
+        // ownership is linear (guard was consumed to produce the token that
+        // produced this view).
+        unsafe { core::slice::from_raw_parts(self.pool.slot_ptr(self.index), self.len) }
+    }
+}
+
+impl Drop for SlotView {
+    fn drop(&mut self) {
+        self.pool.release_index(self.index);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> SlotPool {
+        SlotPool::new(PoolConfig::new(3, 128, 4)).unwrap()
+    }
+
+    #[test]
+    fn rejects_zero_configs() {
+        assert!(matches!(
+            SlotPool::new(PoolConfig::new(0, 0, 4)),
+            Err(MemoryError::BadConfig(_))
+        ));
+        assert!(matches!(
+            SlotPool::new(PoolConfig::new(0, 16, 0)),
+            Err(MemoryError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn acquire_write_transfer_view_release() {
+        let p = pool();
+        let mut g = p.acquire(5).unwrap();
+        g.copy_from_slice(b"hello");
+        let t = g.into_token();
+        assert_eq!(t.len(), 5);
+        assert_eq!(p.free_slots(), 3);
+        let v = p.view(t).unwrap();
+        assert_eq!(&*v, b"hello");
+        drop(v);
+        assert_eq!(p.free_slots(), 4);
+    }
+
+    #[test]
+    fn acquire_too_large_is_rejected() {
+        let p = pool();
+        assert_eq!(
+            p.acquire(129).err(),
+            Some(MemoryError::RequestTooLarge {
+                requested: 129,
+                max: 128
+            })
+        );
+    }
+
+    #[test]
+    fn exhaustion_and_stat_counters() {
+        let p = pool();
+        let guards: Vec<_> = (0..4).map(|_| p.acquire(1).unwrap()).collect();
+        assert!(matches!(p.acquire(1), Err(MemoryError::PoolExhausted)));
+        let stats = p.stats();
+        assert_eq!(stats.in_use, 4);
+        assert_eq!(stats.high_water, 4);
+        assert_eq!(stats.exhaustions, 1);
+        assert_eq!(stats.acquires, 4);
+        drop(guards);
+        assert_eq!(p.stats().in_use, 0);
+        assert_eq!(p.free_slots(), 4);
+    }
+
+    #[test]
+    fn double_release_is_detected() {
+        let p = pool();
+        let t = p.acquire(1).unwrap().into_token();
+        p.release(t).unwrap();
+        assert_eq!(p.release(t), Err(MemoryError::StaleToken));
+    }
+
+    #[test]
+    fn stale_view_after_release_is_detected() {
+        let p = pool();
+        let t = p.acquire(1).unwrap().into_token();
+        p.release(t).unwrap();
+        assert!(matches!(p.view(t), Err(MemoryError::StaleToken)));
+    }
+
+    #[test]
+    fn token_from_wrong_pool_is_invalid() {
+        let a = SlotPool::new(PoolConfig::new(1, 64, 2)).unwrap();
+        let b = SlotPool::new(PoolConfig::new(2, 64, 2)).unwrap();
+        let t = a.acquire(1).unwrap().into_token();
+        assert!(matches!(b.view(t), Err(MemoryError::InvalidToken)));
+        a.release(t).unwrap();
+    }
+
+    #[test]
+    fn dropped_guard_returns_slot() {
+        let p = pool();
+        {
+            let _g = p.acquire(10).unwrap();
+            assert_eq!(p.free_slots(), 3);
+        }
+        assert_eq!(p.free_slots(), 4);
+    }
+
+    #[test]
+    fn redeem_allows_rewriting_received_slot() {
+        let p = pool();
+        let mut g = p.acquire(3).unwrap();
+        g.copy_from_slice(b"abc");
+        let t = g.into_token();
+        let mut again = p.redeem(t).unwrap();
+        again[0] = b'x';
+        let t2 = again.into_token();
+        let v = p.view(t2).unwrap();
+        assert_eq!(&*v, b"xbc");
+    }
+
+    #[test]
+    fn set_len_adjusts_visible_bytes() {
+        let p = pool();
+        let mut g = p.acquire(8).unwrap();
+        g.copy_from_slice(b"12345678");
+        g.set_len(4);
+        let t = g.into_token();
+        assert_eq!(t.len(), 4);
+        let v = p.view(t).unwrap();
+        assert_eq!(&*v, b"1234");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds slot size")]
+    fn set_len_beyond_slot_panics() {
+        let p = pool();
+        let mut g = p.acquire(8).unwrap();
+        g.set_len(4096);
+    }
+
+    #[test]
+    fn slots_do_not_alias() {
+        let p = pool();
+        let mut a = p.acquire(4).unwrap();
+        let mut b = p.acquire(4).unwrap();
+        a.copy_from_slice(b"aaaa");
+        b.copy_from_slice(b"bbbb");
+        assert_eq!(&*a, b"aaaa");
+        assert_eq!(&*b, b"bbbb");
+    }
+
+    #[test]
+    fn forwarding_view_as_token_keeps_slot_checked_out() {
+        let p = pool();
+        let t = p.acquire(2).unwrap().into_token();
+        let v = p.view(t).unwrap();
+        let t2 = v.into_token();
+        assert_eq!(p.free_slots(), 3);
+        p.release(t2).unwrap();
+        assert_eq!(p.free_slots(), 4);
+    }
+
+    #[test]
+    fn clone_ref_keeps_slot_alive_until_last_drop() {
+        let p = pool();
+        let mut g = p.acquire(3).unwrap();
+        g.copy_from_slice(b"abc");
+        let t = g.into_token();
+        let v1 = p.view(t).unwrap();
+        let v2 = v1.clone_ref();
+        let v3 = v2.clone_ref();
+        drop(v1);
+        assert_eq!(p.free_slots(), 3, "two refs still out");
+        assert_eq!(&*v2, b"abc");
+        drop(v2);
+        assert_eq!(&*v3, b"abc");
+        drop(v3);
+        assert_eq!(p.free_slots(), 4);
+        // Token is stale once the last ref went away.
+        assert!(matches!(p.view(t), Err(MemoryError::StaleToken)));
+    }
+
+    #[test]
+    fn reacquired_slot_starts_with_fresh_refcount() {
+        let p = SlotPool::new(PoolConfig::new(0, 16, 1)).unwrap();
+        let t = p.acquire(1).unwrap().into_token();
+        let v = p.view(t).unwrap();
+        let v2 = v.clone_ref();
+        drop(v);
+        drop(v2);
+        // Slot free again; a second acquire/release cycle must behave.
+        let t2 = p.acquire(1).unwrap().into_token();
+        p.release(t2).unwrap();
+        assert_eq!(p.free_slots(), 1);
+    }
+
+    #[test]
+    fn concurrent_acquire_release_is_balanced() {
+        use std::sync::Arc;
+        let p = Arc::new(SlotPool::new(PoolConfig::new(9, 64, 32)).unwrap());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let p = Arc::clone(&p);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..5_000u32 {
+                    match p.acquire(8) {
+                        Ok(mut g) => {
+                            g.copy_from_slice(&(t as u64 * 31 + i as u64).to_le_bytes());
+                            let token = g.into_token();
+                            let view = p.view(token).unwrap();
+                            assert_eq!(view.len(), 8);
+                            view.release();
+                        }
+                        Err(MemoryError::PoolExhausted) => std::hint::spin_loop(),
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(p.free_slots(), 32);
+        assert_eq!(p.stats().in_use, 0);
+    }
+}

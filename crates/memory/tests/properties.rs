@@ -1,0 +1,98 @@
+//! Property-based tests for the slot-pool invariants.
+
+use insane_memory::{MemoryError, PoolConfig, PoolSetBuilder, SlotPool, SlotToken};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Acquire(u8),
+    ReleaseHeld(usize),
+    ViewHeld(usize),
+    DoubleRelease(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..=64).prop_map(Op::Acquire),
+        (0usize..8).prop_map(Op::ReleaseHeld),
+        (0usize..8).prop_map(Op::ViewHeld),
+        (0usize..8).prop_map(Op::DoubleRelease),
+    ]
+}
+
+proptest! {
+    /// Under any sequence of acquire/release/view/double-release the pool
+    /// never loses slots, never double-lends, and always detects stale
+    /// tokens.
+    #[test]
+    fn pool_accounting_is_exact(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let pool = SlotPool::new(PoolConfig::new(0, 64, 8)).unwrap();
+        let mut held: Vec<SlotToken> = Vec::new();
+        let mut released: Vec<SlotToken> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Acquire(len) => match pool.acquire(len as usize) {
+                    Ok(mut g) => {
+                        for b in g.iter_mut() {
+                            *b = len;
+                        }
+                        held.push(g.into_token());
+                    }
+                    Err(MemoryError::PoolExhausted) => prop_assert_eq!(held.len(), 8),
+                    Err(e) => return Err(TestCaseError::fail(format!("unexpected {e}"))),
+                },
+                Op::ReleaseHeld(i) if !held.is_empty() => {
+                    let t = held.swap_remove(i % held.len());
+                    pool.release(t).unwrap();
+                    released.push(t);
+                }
+                Op::ViewHeld(i) if !held.is_empty() => {
+                    let t = held[i % held.len()];
+                    let v = pool.view(t).unwrap();
+                    prop_assert_eq!(v.len(), t.len());
+                    // Contents are what the acquirer wrote.
+                    prop_assert!(v.iter().all(|&b| b as usize == t.len()));
+                    let _ = v.into_token(); // keep checked out
+                }
+                Op::DoubleRelease(i) if !released.is_empty() => {
+                    let t = released[i % released.len()];
+                    prop_assert_eq!(pool.release(t), Err(MemoryError::StaleToken));
+                }
+                _ => {}
+            }
+            prop_assert_eq!(pool.stats().in_use, held.len());
+            prop_assert_eq!(pool.free_slots(), 8 - held.len());
+        }
+    }
+
+    /// PoolSet routes any acquired token back to the pool that minted it,
+    /// for arbitrary size-class layouts and request sizes.
+    #[test]
+    fn pool_set_routing_is_consistent(sizes in proptest::collection::vec(1usize..512, 1..4),
+                                      reqs in proptest::collection::vec(0usize..600, 1..50)) {
+        let mut b = PoolSetBuilder::new();
+        for &s in &sizes {
+            b = b.pool(s, 4);
+        }
+        let set = b.build().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        for req in reqs {
+            match set.acquire(req) {
+                Ok(g) => {
+                    let t = g.into_token();
+                    let owner = set.pool_of(t).unwrap();
+                    prop_assert!(owner.slot_size() >= req);
+                    set.release(t).unwrap();
+                }
+                Err(MemoryError::RequestTooLarge { requested, max: m }) => {
+                    prop_assert!(req > max);
+                    prop_assert_eq!(requested, req);
+                    prop_assert_eq!(m, max);
+                }
+                Err(MemoryError::PoolExhausted) => {}
+                Err(e) => return Err(TestCaseError::fail(format!("unexpected {e}"))),
+            }
+        }
+        prop_assert_eq!(set.total_in_use(), 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! RFC 1071 internet checksum.
+
+/// Computes the 16-bit one's-complement internet checksum over `data`,
+/// with an `initial` partial sum (used to fold in pseudo-headers).
+///
+/// # Examples
+///
+/// ```
+/// // RFC 1071 example words: 00 01 f2 03 f4 f5 f6 f7 -> sum ddf2 -> !ddf2
+/// let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+/// assert_eq!(insane_netstack::internet_checksum(&data, 0), !0xddf2);
+/// ```
+pub fn internet_checksum(data: &[u8], initial: u32) -> u16 {
+    let mut sum = initial;
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_data_yields_complement_of_initial() {
+        assert_eq!(internet_checksum(&[], 0), 0xFFFF);
+        assert_eq!(internet_checksum(&[], 0x1234), !0x1234u16);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(internet_checksum(&[0xAB], 0), !0xAB00u16);
+    }
+
+    #[test]
+    fn checksum_over_data_including_its_checksum_verifies() {
+        let mut packet = vec![0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x40, 0x00, 0x40, 0x11];
+        packet.extend_from_slice(&[0u8; 10]);
+        let csum = internet_checksum(&packet, 0);
+        // Insert into a position that was zero when the sum was taken.
+        packet[10] = (csum >> 8) as u8;
+        packet[11] = csum as u8;
+        // A packet containing its own checksum sums to zero.
+        assert_eq!(internet_checksum(&packet, 0), 0);
+    }
+
+    #[test]
+    fn carry_folding_handles_many_ff_words() {
+        let data = vec![0xFFu8; 4096];
+        // Sum of many 0xFFFF words folds back; must not panic or wrap.
+        let c = internet_checksum(&data, 0);
+        assert_eq!(c, 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Ethernet II framing.
+
+use crate::NetstackError;
+use core::fmt;
+
+/// Length of an Ethernet II header.
+pub const HEADER_LEN: usize = 14;
+
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+
+/// A 48-bit MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address.
+    pub const BROADCAST: MacAddr = MacAddr([0xFF; 6]);
+
+    /// Deterministic locally-administered MAC for simulated host `index`
+    /// (the fabric provisions addresses instead of discovering them).
+    pub fn from_host_index(index: u32) -> Self {
+        let b = index.to_be_bytes();
+        MacAddr([0x02, 0x1A, b[0], b[1], b[2], b[3]])
+    }
+
+    /// Whether the address is broadcast.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// A parsed or to-be-written Ethernet header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetHeader {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// EtherType of the payload.
+    pub ethertype: u16,
+}
+
+impl EthernetHeader {
+    /// Writes the header into the first [`HEADER_LEN`] bytes of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetstackError::BufferTooSmall`] when `buf` is shorter than the
+    /// header.
+    pub fn write(&self, buf: &mut [u8]) -> Result<(), NetstackError> {
+        if buf.len() < HEADER_LEN {
+            return Err(NetstackError::BufferTooSmall {
+                needed: HEADER_LEN,
+                available: buf.len(),
+            });
+        }
+        buf[0..6].copy_from_slice(&self.dst.0);
+        buf[6..12].copy_from_slice(&self.src.0);
+        buf[12..14].copy_from_slice(&self.ethertype.to_be_bytes());
+        Ok(())
+    }
+
+    /// Parses the header from the start of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetstackError::Truncated`] when `buf` is shorter than the header.
+    pub fn parse(buf: &[u8]) -> Result<Self, NetstackError> {
+        if buf.len() < HEADER_LEN {
+            return Err(NetstackError::Truncated);
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&buf[0..6]);
+        src.copy_from_slice(&buf[6..12]);
+        Ok(Self {
+            dst: MacAddr(dst),
+            src: MacAddr(src),
+            ethertype: u16::from_be_bytes([buf[12], buf[13]]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let hdr = EthernetHeader {
+            dst: MacAddr::from_host_index(3),
+            src: MacAddr::from_host_index(9),
+            ethertype: ETHERTYPE_IPV4,
+        };
+        let mut buf = [0u8; 32];
+        hdr.write(&mut buf).unwrap();
+        assert_eq!(EthernetHeader::parse(&buf).unwrap(), hdr);
+    }
+
+    #[test]
+    fn short_buffers_are_rejected() {
+        let hdr = EthernetHeader {
+            dst: MacAddr::BROADCAST,
+            src: MacAddr::default(),
+            ethertype: ETHERTYPE_IPV4,
+        };
+        let mut buf = [0u8; 13];
+        assert!(matches!(
+            hdr.write(&mut buf),
+            Err(NetstackError::BufferTooSmall { needed: 14, .. })
+        ));
+        assert_eq!(EthernetHeader::parse(&buf[..4]), Err(NetstackError::Truncated));
+    }
+
+    #[test]
+    fn host_index_macs_are_unique_and_local() {
+        let a = MacAddr::from_host_index(1);
+        let b = MacAddr::from_host_index(2);
+        assert_ne!(a, b);
+        // Locally administered bit set, unicast.
+        assert_eq!(a.0[0] & 0b11, 0b10);
+        assert!(!a.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_broadcast());
+    }
+
+    #[test]
+    fn display_formats_colon_separated() {
+        let m = MacAddr([0x02, 0x1A, 0, 0, 0, 0x7F]);
+        assert_eq!(m.to_string(), "02:1a:00:00:00:7f");
+    }
+}

@@ -1,0 +1,300 @@
+//! Application-level fragmentation and reassembly.
+//!
+//! The INSANE stack never fragments inside IP (§8: reassembly would force
+//! data copies and choke the receive pipeline).  Large messages — e.g. the
+//! raw camera frames of the Lunar streaming framework (§7.2) — are instead
+//! split *by the application layer* into chunks that each fit one frame,
+//! tagged through [`crate::insane_hdr::InsaneHeader`]'s fragment fields,
+//! and reassembled at the consumer.
+
+use std::collections::HashMap;
+
+use crate::NetstackError;
+
+/// Description of one fragment produced by [`plan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FragmentPlan {
+    /// Fragment index (0-based).
+    pub index: u16,
+    /// Total fragments of the message.
+    pub count: u16,
+    /// Byte offset of this fragment within the message.
+    pub offset: usize,
+    /// Length of this fragment in bytes.
+    pub len: usize,
+}
+
+/// Splits a message of `total_len` bytes into fragments of at most
+/// `max_fragment` bytes.
+///
+/// # Errors
+///
+/// [`NetstackError::PayloadTooLarge`] if more than `u16::MAX` fragments
+/// would be needed; [`NetstackError::Malformed`] for a zero
+/// `max_fragment`.
+pub fn plan(total_len: usize, max_fragment: usize) -> Result<Vec<FragmentPlan>, NetstackError> {
+    if max_fragment == 0 {
+        return Err(NetstackError::Malformed("max_fragment must be non-zero"));
+    }
+    if total_len == 0 {
+        return Ok(vec![FragmentPlan {
+            index: 0,
+            count: 1,
+            offset: 0,
+            len: 0,
+        }]);
+    }
+    let count = total_len.div_ceil(max_fragment);
+    if count > u16::MAX as usize {
+        return Err(NetstackError::PayloadTooLarge {
+            len: total_len,
+            max: max_fragment * u16::MAX as usize,
+        });
+    }
+    Ok((0..count)
+        .map(|i| {
+            let offset = i * max_fragment;
+            FragmentPlan {
+                index: i as u16,
+                count: count as u16,
+                offset,
+                len: max_fragment.min(total_len - offset),
+            }
+        })
+        .collect())
+}
+
+/// Key identifying one in-flight message at the reassembler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MessageKey {
+    /// Sender runtime id.
+    pub src_runtime: u32,
+    /// Channel the message travels on.
+    pub channel: u32,
+    /// Message sequence number.
+    pub seq: u64,
+}
+
+#[derive(Debug)]
+struct Partial {
+    buffer: Vec<u8>,
+    received: Vec<bool>,
+    remaining: usize,
+}
+
+/// Reassembles fragmented messages; incomplete messages are evicted when
+/// more than `max_partial` are in flight (oldest first), which bounds
+/// memory under loss.
+#[derive(Debug)]
+pub struct Reassembler {
+    partials: HashMap<MessageKey, Partial>,
+    arrival_order: Vec<MessageKey>,
+    max_partial: usize,
+    evicted: u64,
+}
+
+impl Reassembler {
+    /// Creates a reassembler holding at most `max_partial` incomplete
+    /// messages.
+    pub fn new(max_partial: usize) -> Self {
+        Self {
+            partials: HashMap::new(),
+            arrival_order: Vec::new(),
+            max_partial: max_partial.max(1),
+            evicted: 0,
+        }
+    }
+
+    /// Offers one fragment; returns the complete message when this
+    /// fragment was the last missing piece.
+    ///
+    /// # Errors
+    ///
+    /// [`NetstackError::FragmentMismatch`] when the fragment disagrees
+    /// with previously seen metadata (count, total length, overrun) or
+    /// duplicates an already-received index with different content
+    /// expectations.
+    pub fn offer(
+        &mut self,
+        key: MessageKey,
+        index: u16,
+        count: u16,
+        total_len: usize,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<Option<Vec<u8>>, NetstackError> {
+        if count == 0 || index >= count || offset + data.len() > total_len {
+            return Err(NetstackError::FragmentMismatch);
+        }
+        if count == 1 {
+            return Ok(Some(data.to_vec()));
+        }
+        let partial = match self.partials.get_mut(&key) {
+            Some(p) => {
+                if p.received.len() != count as usize || p.buffer.len() != total_len {
+                    return Err(NetstackError::FragmentMismatch);
+                }
+                p
+            }
+            None => {
+                if self.partials.len() >= self.max_partial {
+                    let oldest = self.arrival_order.remove(0);
+                    self.partials.remove(&oldest);
+                    self.evicted += 1;
+                }
+                self.arrival_order.push(key);
+                self.partials.entry(key).or_insert(Partial {
+                    buffer: vec![0; total_len],
+                    received: vec![false; count as usize],
+                    remaining: count as usize,
+                })
+            }
+        };
+        if partial.received[index as usize] {
+            // Duplicate fragment (datagram networks may duplicate): ignore.
+            return Ok(None);
+        }
+        partial.buffer[offset..offset + data.len()].copy_from_slice(data);
+        partial.received[index as usize] = true;
+        partial.remaining -= 1;
+        if partial.remaining == 0 {
+            let done = self.partials.remove(&key).expect("present");
+            self.arrival_order.retain(|k| *k != key);
+            Ok(Some(done.buffer))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Number of messages currently awaiting fragments.
+    pub fn pending(&self) -> usize {
+        self.partials.len()
+    }
+
+    /// Messages evicted incomplete since creation.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(seq: u64) -> MessageKey {
+        MessageKey {
+            src_runtime: 1,
+            channel: 2,
+            seq,
+        }
+    }
+
+    #[test]
+    fn plan_covers_message_exactly() {
+        let plan = plan(10_000, 3_000).unwrap();
+        assert_eq!(plan.len(), 4);
+        assert_eq!(plan[0].len, 3_000);
+        assert_eq!(plan[3].len, 1_000);
+        let total: usize = plan.iter().map(|f| f.len).sum();
+        assert_eq!(total, 10_000);
+        for (i, f) in plan.iter().enumerate() {
+            assert_eq!(f.index as usize, i);
+            assert_eq!(f.count, 4);
+            assert_eq!(f.offset, i * 3_000);
+        }
+    }
+
+    #[test]
+    fn plan_exact_multiple_has_no_runt() {
+        let plan = plan(9_000, 3_000).unwrap();
+        assert_eq!(plan.len(), 3);
+        assert!(plan.iter().all(|f| f.len == 3_000));
+    }
+
+    #[test]
+    fn plan_zero_len_single_empty_fragment() {
+        let plan = plan(0, 1000).unwrap();
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].len, 0);
+    }
+
+    #[test]
+    fn plan_rejects_absurd_inputs() {
+        assert!(plan(10, 0).is_err());
+        assert!(plan(100_000_000, 1).is_err());
+    }
+
+    #[test]
+    fn reassembly_in_order_and_out_of_order() {
+        let message: Vec<u8> = (0..10_000u32).map(|i| i as u8).collect();
+        for shuffle in [false, true] {
+            let mut r = Reassembler::new(8);
+            let mut frags = plan(message.len(), 1_400).unwrap();
+            if shuffle {
+                frags.reverse();
+            }
+            let mut result = None;
+            for f in &frags {
+                let out = r
+                    .offer(
+                        key(1),
+                        f.index,
+                        f.count,
+                        message.len(),
+                        f.offset,
+                        &message[f.offset..f.offset + f.len],
+                    )
+                    .unwrap();
+                if let Some(m) = out {
+                    result = Some(m);
+                }
+            }
+            assert_eq!(result.expect("complete"), message);
+            assert_eq!(r.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn single_fragment_messages_bypass_state() {
+        let mut r = Reassembler::new(2);
+        let out = r.offer(key(5), 0, 1, 4, 0, b"tiny").unwrap();
+        assert_eq!(out.as_deref(), Some(&b"tiny"[..]));
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let mut r = Reassembler::new(2);
+        assert!(r.offer(key(1), 0, 2, 8, 0, b"abcd").unwrap().is_none());
+        assert!(r.offer(key(1), 0, 2, 8, 0, b"abcd").unwrap().is_none());
+        let done = r.offer(key(1), 1, 2, 8, 4, b"efgh").unwrap();
+        assert_eq!(done.as_deref(), Some(&b"abcdefgh"[..]));
+    }
+
+    #[test]
+    fn mismatched_metadata_is_rejected() {
+        let mut r = Reassembler::new(2);
+        r.offer(key(1), 0, 3, 12, 0, b"aaaa").unwrap();
+        assert_eq!(
+            r.offer(key(1), 1, 2, 12, 4, b"bbbb").err(),
+            Some(NetstackError::FragmentMismatch)
+        );
+        assert_eq!(
+            r.offer(key(2), 0, 2, 4, 2, b"cccc").err(),
+            Some(NetstackError::FragmentMismatch),
+            "overrun past total_len"
+        );
+    }
+
+    #[test]
+    fn eviction_bounds_memory() {
+        let mut r = Reassembler::new(2);
+        r.offer(key(1), 0, 2, 8, 0, b"aaaa").unwrap();
+        r.offer(key(2), 0, 2, 8, 0, b"bbbb").unwrap();
+        r.offer(key(3), 0, 2, 8, 0, b"cccc").unwrap(); // evicts key(1)
+        assert_eq!(r.pending(), 2);
+        assert_eq!(r.evicted(), 1);
+        // key(1)'s second fragment now starts a fresh partial.
+        assert!(r.offer(key(1), 1, 2, 8, 4, b"dddd").unwrap().is_none());
+    }
+}

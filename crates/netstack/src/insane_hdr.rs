@@ -1,0 +1,234 @@
+//! The INSANE message header.
+//!
+//! Every message the middleware puts on a datapath is prefixed by this
+//! fixed-size header.  It carries what the runtime needs to dispatch the
+//! message on the receiving host (channel id, §5.1), what the scheduler
+//! needs (QoS traffic class, §5.2), the sequencing and app-level
+//! fragmentation metadata the Lunar streaming framework builds on (§7.2),
+//! and a sender timestamp that feeds the latency-breakdown experiment
+//! (Fig. 6).
+
+use crate::NetstackError;
+
+/// Serialized size of [`InsaneHeader`] in bytes.
+pub const HEADER_LEN: usize = 40;
+
+/// Magic value marking INSANE messages.
+pub const MAGIC: u16 = 0x1A5E;
+
+/// Wire-format version this implementation writes.
+pub const VERSION: u8 = 1;
+
+/// What the message carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageKind {
+    /// Application payload for a channel.
+    Data,
+    /// Runtime-to-runtime control traffic (membership, subscriptions).
+    Control,
+}
+
+impl MessageKind {
+    fn to_wire(self) -> u8 {
+        match self {
+            MessageKind::Data => 0,
+            MessageKind::Control => 1,
+        }
+    }
+
+    fn from_wire(b: u8) -> Result<Self, NetstackError> {
+        match b {
+            0 => Ok(MessageKind::Data),
+            1 => Ok(MessageKind::Control),
+            _ => Err(NetstackError::Malformed("unknown message kind")),
+        }
+    }
+}
+
+/// The INSANE message header (fixed 40-byte little-endian layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsaneHeader {
+    /// Data or control.
+    pub kind: MessageKind,
+    /// QoS traffic class assigned by the stream's time-sensitivity policy
+    /// (0 = best effort; 1–7 = TSN classes).
+    pub traffic_class: u8,
+    /// Application-chosen channel id (§5.1).
+    pub channel: u32,
+    /// Sender runtime id (dispatch + reassembly key).
+    pub src_runtime: u32,
+    /// Per-(runtime, channel) sequence number.
+    pub seq: u64,
+    /// Index of this fragment within the message (0 for unfragmented).
+    pub frag_index: u16,
+    /// Total fragments in the message (1 for unfragmented).
+    pub frag_count: u16,
+    /// Total message length across all fragments, in bytes.
+    pub total_len: u32,
+    /// Sender wall-clock timestamp in nanoseconds (monotonic origin chosen
+    /// by the sender; used only for same-run latency accounting).
+    pub timestamp_ns: u64,
+}
+
+impl InsaneHeader {
+    /// Creates an unfragmented data header.
+    pub fn data(channel: u32, src_runtime: u32, seq: u64, payload_len: u32) -> Self {
+        Self {
+            kind: MessageKind::Data,
+            traffic_class: 0,
+            channel,
+            src_runtime,
+            seq,
+            frag_index: 0,
+            frag_count: 1,
+            total_len: payload_len,
+            timestamp_ns: 0,
+        }
+    }
+
+    /// Whether this message is one fragment of a larger message.
+    pub fn is_fragmented(&self) -> bool {
+        self.frag_count > 1
+    }
+
+    /// Writes the header into `buf[..HEADER_LEN]`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetstackError::BufferTooSmall`] when `buf` is too short.
+    pub fn write(&self, buf: &mut [u8]) -> Result<(), NetstackError> {
+        if buf.len() < HEADER_LEN {
+            return Err(NetstackError::BufferTooSmall {
+                needed: HEADER_LEN,
+                available: buf.len(),
+            });
+        }
+        buf[0..2].copy_from_slice(&MAGIC.to_le_bytes());
+        buf[2] = VERSION;
+        buf[3] = self.kind.to_wire();
+        buf[4] = self.traffic_class;
+        buf[5] = 0; // reserved
+        buf[6..8].copy_from_slice(&self.frag_index.to_le_bytes());
+        buf[8..10].copy_from_slice(&self.frag_count.to_le_bytes());
+        buf[10..12].fill(0); // reserved
+        buf[12..16].copy_from_slice(&self.channel.to_le_bytes());
+        buf[16..20].copy_from_slice(&self.src_runtime.to_le_bytes());
+        buf[20..28].copy_from_slice(&self.seq.to_le_bytes());
+        buf[28..32].copy_from_slice(&self.total_len.to_le_bytes());
+        buf[32..40].copy_from_slice(&self.timestamp_ns.to_le_bytes());
+        Ok(())
+    }
+
+    /// Parses the header from `buf[..HEADER_LEN]`.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetstackError::Truncated`] for short input.
+    /// * [`NetstackError::Malformed`] for bad magic/version/kind or
+    ///   inconsistent fragment fields.
+    pub fn parse(buf: &[u8]) -> Result<Self, NetstackError> {
+        if buf.len() < HEADER_LEN {
+            return Err(NetstackError::Truncated);
+        }
+        if u16::from_le_bytes([buf[0], buf[1]]) != MAGIC {
+            return Err(NetstackError::Malformed("bad INSANE magic"));
+        }
+        if buf[2] != VERSION {
+            return Err(NetstackError::Malformed("unsupported INSANE version"));
+        }
+        let kind = MessageKind::from_wire(buf[3])?;
+        let frag_index = u16::from_le_bytes([buf[6], buf[7]]);
+        let frag_count = u16::from_le_bytes([buf[8], buf[9]]);
+        if frag_count == 0 || frag_index >= frag_count {
+            return Err(NetstackError::Malformed("inconsistent fragment fields"));
+        }
+        Ok(Self {
+            kind,
+            traffic_class: buf[4],
+            frag_index,
+            frag_count,
+            channel: u32::from_le_bytes(buf[12..16].try_into().expect("4 bytes")),
+            src_runtime: u32::from_le_bytes(buf[16..20].try_into().expect("4 bytes")),
+            seq: u64::from_le_bytes(buf[20..28].try_into().expect("8 bytes")),
+            total_len: u32::from_le_bytes(buf[28..32].try_into().expect("4 bytes")),
+            timestamp_ns: u64::from_le_bytes(buf[32..40].try_into().expect("8 bytes")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> InsaneHeader {
+        InsaneHeader {
+            kind: MessageKind::Data,
+            traffic_class: 5,
+            channel: 0xAABBCCDD,
+            src_runtime: 17,
+            seq: 0x0123_4567_89AB_CDEF,
+            frag_index: 2,
+            frag_count: 4,
+            total_len: 100_000,
+            timestamp_ns: 42_000_000_000,
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_fields() {
+        let hdr = header();
+        let mut buf = [0u8; HEADER_LEN];
+        hdr.write(&mut buf).unwrap();
+        assert_eq!(InsaneHeader::parse(&buf).unwrap(), hdr);
+    }
+
+    #[test]
+    fn data_constructor_is_unfragmented() {
+        let h = InsaneHeader::data(9, 1, 7, 512);
+        assert!(!h.is_fragmented());
+        assert_eq!(h.frag_count, 1);
+        assert_eq!(h.total_len, 512);
+        assert_eq!(h.kind, MessageKind::Data);
+    }
+
+    #[test]
+    fn bad_magic_version_kind_are_rejected() {
+        let mut buf = [0u8; HEADER_LEN];
+        header().write(&mut buf).unwrap();
+        let mut bad_magic = buf;
+        bad_magic[0] = 0;
+        assert!(matches!(
+            InsaneHeader::parse(&bad_magic),
+            Err(NetstackError::Malformed("bad INSANE magic"))
+        ));
+        let mut bad_version = buf;
+        bad_version[2] = 99;
+        assert!(matches!(
+            InsaneHeader::parse(&bad_version),
+            Err(NetstackError::Malformed("unsupported INSANE version"))
+        ));
+        let mut bad_kind = buf;
+        bad_kind[3] = 7;
+        assert!(matches!(
+            InsaneHeader::parse(&bad_kind),
+            Err(NetstackError::Malformed("unknown message kind"))
+        ));
+    }
+
+    #[test]
+    fn inconsistent_fragments_rejected() {
+        let mut buf = [0u8; HEADER_LEN];
+        let mut h = header();
+        h.frag_index = 4; // == frag_count
+        h.write(&mut buf).unwrap();
+        assert!(matches!(
+            InsaneHeader::parse(&buf),
+            Err(NetstackError::Malformed("inconsistent fragment fields"))
+        ));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(InsaneHeader::parse(&[0u8; 10]).err(), Some(NetstackError::Truncated));
+    }
+}

@@ -1,0 +1,178 @@
+//! IPv4 header build/parse with header checksum.
+//!
+//! The stack never fragments (DF is always set): the paper's prototype
+//! refuses in-stack fragmentation to preserve zero-copy receive (§8).
+
+use crate::checksum::internet_checksum;
+use crate::NetstackError;
+use std::net::Ipv4Addr;
+
+/// Length of the fixed IPv4 header (no options).
+pub const HEADER_LEN: usize = 20;
+
+/// IP protocol number for UDP.
+pub const PROTO_UDP: u8 = 17;
+
+/// Default TTL for generated packets.
+pub const DEFAULT_TTL: u8 = 64;
+
+/// A parsed or to-be-written IPv4 header (no options supported).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Payload protocol (UDP for this stack).
+    pub protocol: u8,
+    /// Total length: header + payload, in bytes.
+    pub total_len: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Identification field (used only for diagnostics; no fragmentation).
+    pub identification: u16,
+}
+
+impl Ipv4Header {
+    /// Deterministic address for simulated host `index` in 10.0.0.0/16.
+    pub fn addr_for_host(index: u32) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, (index >> 8) as u8, index as u8)
+    }
+
+    /// Writes the header (with checksum) into the first [`HEADER_LEN`]
+    /// bytes of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetstackError::BufferTooSmall`] when `buf` is too short.
+    pub fn write(&self, buf: &mut [u8]) -> Result<(), NetstackError> {
+        if buf.len() < HEADER_LEN {
+            return Err(NetstackError::BufferTooSmall {
+                needed: HEADER_LEN,
+                available: buf.len(),
+            });
+        }
+        buf[0] = 0x45; // version 4, IHL 5
+        buf[1] = 0; // DSCP/ECN
+        buf[2..4].copy_from_slice(&self.total_len.to_be_bytes());
+        buf[4..6].copy_from_slice(&self.identification.to_be_bytes());
+        buf[6..8].copy_from_slice(&0x4000u16.to_be_bytes()); // DF, offset 0
+        buf[8] = self.ttl;
+        buf[9] = self.protocol;
+        buf[10..12].fill(0); // checksum placeholder
+        buf[12..16].copy_from_slice(&self.src.octets());
+        buf[16..20].copy_from_slice(&self.dst.octets());
+        let csum = internet_checksum(&buf[..HEADER_LEN], 0);
+        buf[10..12].copy_from_slice(&csum.to_be_bytes());
+        Ok(())
+    }
+
+    /// Parses and validates the header at the start of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetstackError::Truncated`] for short input.
+    /// * [`NetstackError::Malformed`] for non-IPv4, options, or fragments.
+    /// * [`NetstackError::BadChecksum`] when the header checksum fails.
+    pub fn parse(buf: &[u8]) -> Result<Self, NetstackError> {
+        if buf.len() < HEADER_LEN {
+            return Err(NetstackError::Truncated);
+        }
+        if buf[0] >> 4 != 4 {
+            return Err(NetstackError::Malformed("not IPv4"));
+        }
+        if buf[0] & 0x0F != 5 {
+            return Err(NetstackError::Malformed("IPv4 options unsupported"));
+        }
+        let flags_frag = u16::from_be_bytes([buf[6], buf[7]]);
+        if flags_frag & 0x1FFF != 0 || flags_frag & 0x2000 != 0 {
+            // Offset non-zero or MF set: this stack never fragments.
+            return Err(NetstackError::Malformed("IP fragmentation unsupported"));
+        }
+        if internet_checksum(&buf[..HEADER_LEN], 0) != 0 {
+            return Err(NetstackError::BadChecksum("IPv4 header"));
+        }
+        let total_len = u16::from_be_bytes([buf[2], buf[3]]);
+        if (total_len as usize) < HEADER_LEN {
+            return Err(NetstackError::Malformed("total length below header"));
+        }
+        Ok(Self {
+            src: Ipv4Addr::new(buf[12], buf[13], buf[14], buf[15]),
+            dst: Ipv4Addr::new(buf[16], buf[17], buf[18], buf[19]),
+            protocol: buf[9],
+            total_len,
+            ttl: buf[8],
+            identification: u16::from_be_bytes([buf[4], buf[5]]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> Ipv4Header {
+        Ipv4Header {
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            dst: Ipv4Addr::new(10, 0, 0, 2),
+            protocol: PROTO_UDP,
+            total_len: 48,
+            ttl: DEFAULT_TTL,
+            identification: 0xBEEF,
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_checksum() {
+        let hdr = header();
+        let mut buf = [0u8; 20];
+        hdr.write(&mut buf).unwrap();
+        assert_eq!(internet_checksum(&buf, 0), 0, "self-verifying checksum");
+        assert_eq!(Ipv4Header::parse(&buf).unwrap(), hdr);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut buf = [0u8; 20];
+        header().write(&mut buf).unwrap();
+        buf[16] ^= 0x01; // flip a destination bit
+        assert_eq!(
+            Ipv4Header::parse(&buf),
+            Err(NetstackError::BadChecksum("IPv4 header"))
+        );
+    }
+
+    #[test]
+    fn fragments_are_rejected() {
+        let mut buf = [0u8; 20];
+        header().write(&mut buf).unwrap();
+        // Set MF and refresh the checksum so only the fragment check fires.
+        buf[6] = 0x20;
+        buf[10..12].fill(0);
+        let csum = internet_checksum(&buf, 0);
+        buf[10..12].copy_from_slice(&csum.to_be_bytes());
+        assert_eq!(
+            Ipv4Header::parse(&buf),
+            Err(NetstackError::Malformed("IP fragmentation unsupported"))
+        );
+    }
+
+    #[test]
+    fn non_ipv4_is_rejected() {
+        let mut buf = [0u8; 20];
+        header().write(&mut buf).unwrap();
+        buf[0] = 0x65;
+        assert_eq!(Ipv4Header::parse(&buf), Err(NetstackError::Malformed("not IPv4")));
+    }
+
+    #[test]
+    fn host_addresses_are_deterministic() {
+        assert_eq!(Ipv4Header::addr_for_host(1), Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(Ipv4Header::addr_for_host(258), Ipv4Addr::new(10, 0, 1, 2));
+    }
+
+    #[test]
+    fn truncated_is_rejected() {
+        assert_eq!(Ipv4Header::parse(&[0x45; 10]), Err(NetstackError::Truncated));
+    }
+}

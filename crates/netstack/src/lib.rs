@@ -1,0 +1,130 @@
+//! Minimal userspace network stack for the INSANE middleware.
+//!
+//! Kernel-bypassing technologies leave protocol processing to the user
+//! (§3 of the paper: "the user has to provide its own network and
+//! transport protocols").  INSANE's runtime therefore contains a *packet
+//! processing engine* that frames outgoing messages and parses incoming
+//! ones on the DPDK and XDP datapaths; kernel UDP uses the kernel's stack
+//! and RDMA offloads framing to the NIC (§5.3).
+//!
+//! This crate is that engine, deliberately minimal and allocation-free on
+//! the hot path:
+//!
+//! * [`ether`], [`ipv4`], [`udp`] — header build/parse with the real wire
+//!   layouts and checksums, written in place into zero-copy slot buffers;
+//! * [`packet`] — one-shot framing/parsing of a full Ethernet/IPv4/UDP
+//!   packet ([`packet::PacketBuilder`], [`packet::PacketView`]);
+//! * [`neighbor`] — a static ARP-like neighbor table (edge deployments in
+//!   the paper are provisioned, not discovered);
+//! * [`insane_hdr`] — the INSANE message header carried in every UDP
+//!   payload: channel id, sequence number, QoS class, and the app-level
+//!   fragmentation metadata the streaming framework uses (§7.2);
+//! * [`fragment`] — application-level fragmentation/reassembly.  True
+//!   in-stack IP fragmentation is deliberately unsupported, matching the
+//!   paper's zero-copy argument (§8): payloads above the MTU must use
+//!   jumbo frames or application-level fragmentation.
+//!
+//! # Examples
+//!
+//! ```
+//! use insane_netstack::packet::{PacketBuilder, PacketView};
+//! use insane_netstack::{ether::MacAddr, MTU_JUMBO};
+//! use std::net::Ipv4Addr;
+//!
+//! let mut buf = [0u8; 1500];
+//! let len = PacketBuilder::new()
+//!     .src_mac(MacAddr::from_host_index(0))
+//!     .dst_mac(MacAddr::from_host_index(1))
+//!     .src(Ipv4Addr::new(10, 0, 0, 1), 7000)
+//!     .dst(Ipv4Addr::new(10, 0, 0, 2), 7001)
+//!     .write(&mut buf, b"payload")?;
+//! let view = PacketView::parse(&buf[..len])?;
+//! assert_eq!(view.payload(), b"payload");
+//! # Ok::<(), insane_netstack::NetstackError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ether;
+pub mod fragment;
+pub mod insane_hdr;
+pub mod ipv4;
+pub mod neighbor;
+pub mod packet;
+pub mod udp;
+
+mod checksum;
+
+pub use checksum::internet_checksum;
+
+use core::fmt;
+
+/// Standard Ethernet MTU in bytes.
+pub const MTU_STANDARD: usize = 1_500;
+/// Jumbo-frame MTU the paper enables for payloads above 1.5 KB (§6.2).
+pub const MTU_JUMBO: usize = 9_000;
+
+/// Total header bytes a full Ethernet/IPv4/UDP frame spends before the
+/// payload.
+pub const FRAME_OVERHEAD: usize = ether::HEADER_LEN + ipv4::HEADER_LEN + udp::HEADER_LEN;
+
+/// Errors produced while framing or parsing packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetstackError {
+    /// The destination buffer cannot hold headers plus payload.
+    BufferTooSmall {
+        /// Bytes needed.
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// The payload exceeds what one frame may carry at the given MTU.
+    PayloadTooLarge {
+        /// Payload bytes requested.
+        len: usize,
+        /// Maximum payload at this MTU.
+        max: usize,
+    },
+    /// The packet is shorter than its headers claim.
+    Truncated,
+    /// A header field has an unsupported or corrupt value.
+    Malformed(&'static str),
+    /// A checksum did not verify.
+    BadChecksum(&'static str),
+    /// A fragment is inconsistent with its message (wrong count/len).
+    FragmentMismatch,
+    /// The neighbor table has no entry for the requested address.
+    NoRoute,
+}
+
+impl fmt::Display for NetstackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetstackError::BufferTooSmall { needed, available } => {
+                write!(f, "buffer too small: need {needed} bytes, have {available}")
+            }
+            NetstackError::PayloadTooLarge { len, max } => {
+                write!(f, "payload of {len} bytes exceeds frame maximum of {max}")
+            }
+            NetstackError::Truncated => write!(f, "packet truncated"),
+            NetstackError::Malformed(what) => write!(f, "malformed packet: {what}"),
+            NetstackError::BadChecksum(which) => write!(f, "bad {which} checksum"),
+            NetstackError::FragmentMismatch => write!(f, "fragment metadata mismatch"),
+            NetstackError::NoRoute => write!(f, "no neighbor entry for destination"),
+        }
+    }
+}
+
+impl std::error::Error for NetstackError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_overhead_is_42_bytes() {
+        // Ethernet (14) + IPv4 (20) + UDP (8): the classic 42.
+        assert_eq!(FRAME_OVERHEAD, 42);
+    }
+}

@@ -1,0 +1,112 @@
+//! Static ARP-like neighbor table.
+//!
+//! Edge-cloud deployments in the paper are provisioned: every INSANE
+//! runtime knows its peers (§5.3 forwards to "the reachable remote INSANE
+//! runtimes").  The userspace stack therefore resolves IPv4 → MAC through
+//! a static table seeded at startup, with no dynamic ARP traffic.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use parking_lot::RwLock;
+
+use crate::ether::MacAddr;
+use crate::NetstackError;
+
+/// A thread-safe IPv4 → MAC resolution table.
+#[derive(Debug, Default)]
+pub struct NeighborTable {
+    entries: RwLock<HashMap<Ipv4Addr, MacAddr>>,
+}
+
+impl NeighborTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a table pre-seeded for `host_count` simulated hosts using
+    /// the deterministic address scheme of
+    /// [`crate::ipv4::Ipv4Header::addr_for_host`] and
+    /// [`MacAddr::from_host_index`].
+    pub fn for_simulated_hosts(host_count: u32) -> Self {
+        let table = Self::new();
+        for index in 0..host_count {
+            table.insert(
+                crate::ipv4::Ipv4Header::addr_for_host(index),
+                MacAddr::from_host_index(index),
+            );
+        }
+        table
+    }
+
+    /// Adds or replaces an entry; returns the previous MAC if any.
+    pub fn insert(&self, ip: Ipv4Addr, mac: MacAddr) -> Option<MacAddr> {
+        self.entries.write().insert(ip, mac)
+    }
+
+    /// Removes an entry.
+    pub fn remove(&self, ip: Ipv4Addr) -> Option<MacAddr> {
+        self.entries.write().remove(&ip)
+    }
+
+    /// Resolves `ip` to a MAC address.
+    ///
+    /// # Errors
+    ///
+    /// [`NetstackError::NoRoute`] when the address is unknown.
+    pub fn resolve(&self, ip: Ipv4Addr) -> Result<MacAddr, NetstackError> {
+        self.entries
+            .read()
+            .get(&ip)
+            .copied()
+            .ok_or(NetstackError::NoRoute)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_known_and_unknown() {
+        let t = NeighborTable::new();
+        let ip = Ipv4Addr::new(10, 0, 0, 7);
+        let mac = MacAddr::from_host_index(7);
+        assert!(t.is_empty());
+        t.insert(ip, mac);
+        assert_eq!(t.resolve(ip).unwrap(), mac);
+        assert_eq!(t.resolve(Ipv4Addr::new(10, 0, 0, 8)), Err(NetstackError::NoRoute));
+    }
+
+    #[test]
+    fn seeded_table_covers_all_hosts() {
+        let t = NeighborTable::for_simulated_hosts(4);
+        assert_eq!(t.len(), 4);
+        for i in 0..4 {
+            let ip = crate::ipv4::Ipv4Header::addr_for_host(i);
+            assert_eq!(t.resolve(ip).unwrap(), MacAddr::from_host_index(i));
+        }
+    }
+
+    #[test]
+    fn insert_replaces_and_remove_deletes() {
+        let t = NeighborTable::new();
+        let ip = Ipv4Addr::new(10, 0, 0, 1);
+        assert_eq!(t.insert(ip, MacAddr::from_host_index(1)), None);
+        let old = t.insert(ip, MacAddr::from_host_index(2));
+        assert_eq!(old, Some(MacAddr::from_host_index(1)));
+        assert_eq!(t.remove(ip), Some(MacAddr::from_host_index(2)));
+        assert!(t.resolve(ip).is_err());
+    }
+}

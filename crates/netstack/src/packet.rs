@@ -1,0 +1,369 @@
+//! One-shot framing and parsing of full Ethernet/IPv4/UDP packets.
+//!
+//! This is the hot path of the packet processing engine: the runtime
+//! writes headers directly into the zero-copy slot ahead of the payload
+//! (TX) and locates the payload range without copying (RX).
+
+use std::net::Ipv4Addr;
+
+use crate::ether::{EthernetHeader, MacAddr, ETHERTYPE_IPV4};
+use crate::ipv4::{Ipv4Header, DEFAULT_TTL, PROTO_UDP};
+use crate::udp::UdpHeader;
+use crate::{ether, ipv4, udp, NetstackError, FRAME_OVERHEAD};
+
+/// Builder that frames one UDP packet into a caller-provided buffer.
+///
+/// See the crate-level example for usage.
+#[derive(Debug, Clone, Copy)]
+pub struct PacketBuilder {
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    ttl: u8,
+    identification: u16,
+    udp_checksum: bool,
+}
+
+impl Default for PacketBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PacketBuilder {
+    /// Starts a builder with unspecified addresses and checksums off
+    /// (kernel-bypassing NICs offload them in the paper's testbeds).
+    pub fn new() -> Self {
+        Self {
+            src_mac: MacAddr::default(),
+            dst_mac: MacAddr::default(),
+            src_ip: Ipv4Addr::UNSPECIFIED,
+            dst_ip: Ipv4Addr::UNSPECIFIED,
+            src_port: 0,
+            dst_port: 0,
+            ttl: DEFAULT_TTL,
+            identification: 0,
+            udp_checksum: false,
+        }
+    }
+
+    /// Sets the source MAC.
+    pub fn src_mac(mut self, mac: MacAddr) -> Self {
+        self.src_mac = mac;
+        self
+    }
+
+    /// Sets the destination MAC.
+    pub fn dst_mac(mut self, mac: MacAddr) -> Self {
+        self.dst_mac = mac;
+        self
+    }
+
+    /// Sets the source IPv4 address and UDP port.
+    pub fn src(mut self, ip: Ipv4Addr, port: u16) -> Self {
+        self.src_ip = ip;
+        self.src_port = port;
+        self
+    }
+
+    /// Sets the destination IPv4 address and UDP port.
+    pub fn dst(mut self, ip: Ipv4Addr, port: u16) -> Self {
+        self.dst_ip = ip;
+        self.dst_port = port;
+        self
+    }
+
+    /// Overrides the TTL.
+    pub fn ttl(mut self, ttl: u8) -> Self {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Sets the IPv4 identification field.
+    pub fn identification(mut self, id: u16) -> Self {
+        self.identification = id;
+        self
+    }
+
+    /// Enables the UDP checksum (off by default: offloaded).
+    pub fn udp_checksum(mut self, on: bool) -> Self {
+        self.udp_checksum = on;
+        self
+    }
+
+    /// Frames `payload` into `buf`, returning the total packet length.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetstackError::BufferTooSmall`] when `buf` cannot hold headers
+    ///   plus payload.
+    /// * [`NetstackError::PayloadTooLarge`] when the IPv4 length field
+    ///   would overflow.
+    pub fn write(&self, buf: &mut [u8], payload: &[u8]) -> Result<usize, NetstackError> {
+        let total = FRAME_OVERHEAD + payload.len();
+        if buf.len() < total {
+            return Err(NetstackError::BufferTooSmall {
+                needed: total,
+                available: buf.len(),
+            });
+        }
+        let ip_len = ipv4::HEADER_LEN + udp::HEADER_LEN + payload.len();
+        if ip_len > u16::MAX as usize {
+            return Err(NetstackError::PayloadTooLarge {
+                len: payload.len(),
+                max: u16::MAX as usize - ipv4::HEADER_LEN - udp::HEADER_LEN,
+            });
+        }
+        EthernetHeader {
+            dst: self.dst_mac,
+            src: self.src_mac,
+            ethertype: ETHERTYPE_IPV4,
+        }
+        .write(&mut buf[..ether::HEADER_LEN])?;
+        Ipv4Header {
+            src: self.src_ip,
+            dst: self.dst_ip,
+            protocol: PROTO_UDP,
+            total_len: ip_len as u16,
+            ttl: self.ttl,
+            identification: self.identification,
+        }
+        .write(&mut buf[ether::HEADER_LEN..])?;
+        let udp_start = ether::HEADER_LEN + ipv4::HEADER_LEN;
+        // Copy payload first so an enabled checksum can cover it in place.
+        buf[FRAME_OVERHEAD..total].copy_from_slice(payload);
+        let (udp_buf, payload_buf) = buf[udp_start..total].split_at_mut(udp::HEADER_LEN);
+        UdpHeader {
+            src_port: self.src_port,
+            dst_port: self.dst_port,
+            length: (udp::HEADER_LEN + payload.len()) as u16,
+        }
+        .write(
+            udp_buf,
+            self.udp_checksum
+                .then_some((self.src_ip, self.dst_ip, &*payload_buf)),
+        )?;
+        Ok(total)
+    }
+
+    /// Frames headers in place for a payload that is *already resident* at
+    /// `buf[FRAME_OVERHEAD..FRAME_OVERHEAD + payload_len]` (true zero-copy
+    /// TX: the application wrote the message into the slot at offset
+    /// [`FRAME_OVERHEAD`]).  Returns the total packet length.
+    ///
+    /// # Errors
+    ///
+    /// As [`PacketBuilder::write`].
+    pub fn finish_in_place(
+        &self,
+        buf: &mut [u8],
+        payload_len: usize,
+    ) -> Result<usize, NetstackError> {
+        let total = FRAME_OVERHEAD + payload_len;
+        if buf.len() < total {
+            return Err(NetstackError::BufferTooSmall {
+                needed: total,
+                available: buf.len(),
+            });
+        }
+        let ip_len = ipv4::HEADER_LEN + udp::HEADER_LEN + payload_len;
+        if ip_len > u16::MAX as usize {
+            return Err(NetstackError::PayloadTooLarge {
+                len: payload_len,
+                max: u16::MAX as usize - ipv4::HEADER_LEN - udp::HEADER_LEN,
+            });
+        }
+        EthernetHeader {
+            dst: self.dst_mac,
+            src: self.src_mac,
+            ethertype: ETHERTYPE_IPV4,
+        }
+        .write(&mut buf[..ether::HEADER_LEN])?;
+        Ipv4Header {
+            src: self.src_ip,
+            dst: self.dst_ip,
+            protocol: PROTO_UDP,
+            total_len: ip_len as u16,
+            ttl: self.ttl,
+            identification: self.identification,
+        }
+        .write(&mut buf[ether::HEADER_LEN..])?;
+        let udp_start = ether::HEADER_LEN + ipv4::HEADER_LEN;
+        let (udp_buf, payload_buf) = buf[udp_start..total].split_at_mut(udp::HEADER_LEN);
+        UdpHeader {
+            src_port: self.src_port,
+            dst_port: self.dst_port,
+            length: (udp::HEADER_LEN + payload_len) as u16,
+        }
+        .write(
+            udp_buf,
+            self.udp_checksum
+                .then_some((self.src_ip, self.dst_ip, &*payload_buf)),
+        )?;
+        Ok(total)
+    }
+}
+
+/// A parsed view over a received packet; borrows the underlying bytes.
+#[derive(Debug)]
+pub struct PacketView<'a> {
+    eth: EthernetHeader,
+    ip: Ipv4Header,
+    udp: UdpHeader,
+    payload: &'a [u8],
+}
+
+impl<'a> PacketView<'a> {
+    /// Parses and validates one packet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates header errors; additionally rejects non-UDP protocols
+    /// and inconsistent length fields.
+    pub fn parse(buf: &'a [u8]) -> Result<Self, NetstackError> {
+        let eth = EthernetHeader::parse(buf)?;
+        if eth.ethertype != ETHERTYPE_IPV4 {
+            return Err(NetstackError::Malformed("not IPv4 ethertype"));
+        }
+        let ip_bytes = &buf[ether::HEADER_LEN..];
+        let ip = Ipv4Header::parse(ip_bytes)?;
+        if ip.protocol != PROTO_UDP {
+            return Err(NetstackError::Malformed("not UDP"));
+        }
+        if (ip.total_len as usize) > ip_bytes.len() {
+            return Err(NetstackError::Truncated);
+        }
+        let udp_bytes = &ip_bytes[ipv4::HEADER_LEN..ip.total_len as usize];
+        let udp = UdpHeader::parse(udp_bytes)?;
+        if udp.length as usize != udp_bytes.len() {
+            return Err(NetstackError::Malformed("UDP/IP length mismatch"));
+        }
+        udp.verify(udp_bytes, ip.src, ip.dst)?;
+        Ok(Self {
+            eth,
+            ip,
+            udp,
+            payload: &udp_bytes[udp::HEADER_LEN..],
+        })
+    }
+
+    /// Ethernet header.
+    pub fn ethernet(&self) -> &EthernetHeader {
+        &self.eth
+    }
+
+    /// IPv4 header.
+    pub fn ipv4(&self) -> &Ipv4Header {
+        &self.ip
+    }
+
+    /// UDP header.
+    pub fn udp(&self) -> &UdpHeader {
+        &self.udp
+    }
+
+    /// The application payload.
+    pub fn payload(&self) -> &'a [u8] {
+        self.payload
+    }
+
+    /// Byte offset of the payload within the original buffer (always
+    /// [`FRAME_OVERHEAD`]; exposed for zero-copy consumers).
+    pub fn payload_offset(&self) -> usize {
+        FRAME_OVERHEAD
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn builder() -> PacketBuilder {
+        PacketBuilder::new()
+            .src_mac(MacAddr::from_host_index(0))
+            .dst_mac(MacAddr::from_host_index(1))
+            .src(Ipv4Addr::new(10, 0, 0, 1), 7000)
+            .dst(Ipv4Addr::new(10, 0, 0, 2), 7001)
+    }
+
+    #[test]
+    fn write_parse_roundtrip() {
+        let mut buf = [0u8; 256];
+        let len = builder().udp_checksum(true).write(&mut buf, b"hi there").unwrap();
+        assert_eq!(len, FRAME_OVERHEAD + 8);
+        let view = PacketView::parse(&buf[..len]).unwrap();
+        assert_eq!(view.payload(), b"hi there");
+        assert_eq!(view.udp().dst_port, 7001);
+        assert_eq!(view.ipv4().src, Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(view.ethernet().dst, MacAddr::from_host_index(1));
+    }
+
+    #[test]
+    fn in_place_framing_matches_copy_framing() {
+        let payload = b"zero copy payload";
+        let mut a = [0u8; 256];
+        let mut b = [0u8; 256];
+        let la = builder().write(&mut a, payload).unwrap();
+        b[FRAME_OVERHEAD..FRAME_OVERHEAD + payload.len()].copy_from_slice(payload);
+        let lb = builder().finish_in_place(&mut b, payload.len()).unwrap();
+        assert_eq!(la, lb);
+        assert_eq!(&a[..la], &b[..lb]);
+    }
+
+    #[test]
+    fn small_buffer_is_rejected() {
+        let mut buf = [0u8; 40];
+        assert!(matches!(
+            builder().write(&mut buf, b"xxxx"),
+            Err(NetstackError::BufferTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn non_udp_packets_are_rejected() {
+        let mut buf = [0u8; 128];
+        let len = builder().write(&mut buf, b"x").unwrap();
+        // Overwrite protocol with TCP and fix the IPv4 checksum.
+        buf[ether::HEADER_LEN + 9] = 6;
+        buf[ether::HEADER_LEN + 10..ether::HEADER_LEN + 12].fill(0);
+        let csum = crate::internet_checksum(&buf[ether::HEADER_LEN..ether::HEADER_LEN + 20], 0);
+        buf[ether::HEADER_LEN + 10..ether::HEADER_LEN + 12].copy_from_slice(&csum.to_be_bytes());
+        assert_eq!(
+            PacketView::parse(&buf[..len]).err(),
+            Some(NetstackError::Malformed("not UDP"))
+        );
+    }
+
+    #[test]
+    fn truncated_packets_are_rejected() {
+        let mut buf = [0u8; 128];
+        let len = builder().write(&mut buf, b"abcdefgh").unwrap();
+        assert_eq!(
+            PacketView::parse(&buf[..len - 4]).err(),
+            Some(NetstackError::Truncated)
+        );
+    }
+
+    #[test]
+    fn corrupted_payload_with_checksum_is_rejected() {
+        let mut buf = [0u8; 128];
+        let len = builder().udp_checksum(true).write(&mut buf, b"payload").unwrap();
+        buf[len - 1] ^= 0xFF;
+        assert_eq!(
+            PacketView::parse(&buf[..len]).err(),
+            Some(NetstackError::BadChecksum("UDP"))
+        );
+    }
+
+    #[test]
+    fn jumbo_payload_frames() {
+        let payload = vec![0xABu8; 8192];
+        let mut buf = vec![0u8; 9000];
+        let len = builder().write(&mut buf, &payload).unwrap();
+        let view = PacketView::parse(&buf[..len]).unwrap();
+        assert_eq!(view.payload().len(), 8192);
+    }
+}

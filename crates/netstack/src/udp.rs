@@ -1,0 +1,197 @@
+//! UDP header build/parse.
+//!
+//! The checksum is computed over the IPv4 pseudo-header + UDP header +
+//! payload when requested; the kernel-bypassing fast path may skip it
+//! (NICs offload it in the paper's testbeds) — a zero checksum field means
+//! "not computed", as UDP-over-IPv4 allows.
+
+use crate::checksum::internet_checksum;
+use crate::NetstackError;
+use std::net::Ipv4Addr;
+
+/// Length of a UDP header.
+pub const HEADER_LEN: usize = 8;
+
+/// A parsed or to-be-written UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Header + payload length in bytes.
+    pub length: u16,
+}
+
+fn pseudo_header_sum(src: Ipv4Addr, dst: Ipv4Addr, udp_len: u16) -> u32 {
+    let s = src.octets();
+    let d = dst.octets();
+    let mut sum = 0u32;
+    sum += u32::from(u16::from_be_bytes([s[0], s[1]]));
+    sum += u32::from(u16::from_be_bytes([s[2], s[3]]));
+    sum += u32::from(u16::from_be_bytes([d[0], d[1]]));
+    sum += u32::from(u16::from_be_bytes([d[2], d[3]]));
+    sum += u32::from(crate::ipv4::PROTO_UDP as u16);
+    sum += u32::from(udp_len);
+    sum
+}
+
+impl UdpHeader {
+    /// Writes the header into `buf[..8]`; if `checksum_over` is `Some`,
+    /// computes the checksum across the pseudo-header and `payload`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetstackError::BufferTooSmall`] when `buf` is too short.
+    pub fn write(
+        &self,
+        buf: &mut [u8],
+        checksum_over: Option<(Ipv4Addr, Ipv4Addr, &[u8])>,
+    ) -> Result<(), NetstackError> {
+        if buf.len() < HEADER_LEN {
+            return Err(NetstackError::BufferTooSmall {
+                needed: HEADER_LEN,
+                available: buf.len(),
+            });
+        }
+        buf[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        buf[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        buf[4..6].copy_from_slice(&self.length.to_be_bytes());
+        buf[6..8].fill(0);
+        if let Some((src, dst, payload)) = checksum_over {
+            let mut sum = pseudo_header_sum(src, dst, self.length);
+            // Fold the header (checksum field currently zero) then payload.
+            sum += u32::from(u16::from_be_bytes([buf[0], buf[1]]));
+            sum += u32::from(u16::from_be_bytes([buf[2], buf[3]]));
+            sum += u32::from(u16::from_be_bytes([buf[4], buf[5]]));
+            let mut csum = internet_checksum(payload, sum);
+            if csum == 0 {
+                csum = 0xFFFF; // 0 is reserved for "no checksum"
+            }
+            buf[6..8].copy_from_slice(&csum.to_be_bytes());
+        }
+        Ok(())
+    }
+
+    /// Parses the header at the start of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetstackError::Truncated`] for short input;
+    /// [`NetstackError::Malformed`] for impossible lengths.
+    pub fn parse(buf: &[u8]) -> Result<Self, NetstackError> {
+        if buf.len() < HEADER_LEN {
+            return Err(NetstackError::Truncated);
+        }
+        let length = u16::from_be_bytes([buf[4], buf[5]]);
+        if (length as usize) < HEADER_LEN {
+            return Err(NetstackError::Malformed("UDP length below header"));
+        }
+        Ok(Self {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            length,
+        })
+    }
+
+    /// Verifies the datagram checksum, when present.
+    ///
+    /// `datagram` must span header + payload.
+    ///
+    /// # Errors
+    ///
+    /// [`NetstackError::BadChecksum`] when a present checksum fails;
+    /// [`NetstackError::Truncated`] when `datagram` is shorter than the
+    /// advertised length.
+    pub fn verify(
+        &self,
+        datagram: &[u8],
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+    ) -> Result<(), NetstackError> {
+        if datagram.len() < self.length as usize {
+            return Err(NetstackError::Truncated);
+        }
+        let stored = u16::from_be_bytes([datagram[6], datagram[7]]);
+        if stored == 0 {
+            return Ok(()); // checksum not computed
+        }
+        let sum = pseudo_header_sum(src, dst, self.length);
+        if internet_checksum(&datagram[..self.length as usize], sum) != 0 {
+            return Err(NetstackError::BadChecksum("UDP"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    fn build(payload: &[u8], with_csum: bool) -> Vec<u8> {
+        let hdr = UdpHeader {
+            src_port: 7000,
+            dst_port: 7001,
+            length: (HEADER_LEN + payload.len()) as u16,
+        };
+        let mut buf = vec![0u8; HEADER_LEN + payload.len()];
+        buf[HEADER_LEN..].copy_from_slice(payload);
+        let (head, body) = buf.split_at_mut(HEADER_LEN);
+        hdr.write(head, with_csum.then_some((SRC, DST, &*body))).unwrap();
+        buf
+    }
+
+    #[test]
+    fn roundtrip_with_checksum() {
+        let dgram = build(b"checksummed payload", true);
+        let hdr = UdpHeader::parse(&dgram).unwrap();
+        assert_eq!(hdr.src_port, 7000);
+        assert_eq!(hdr.dst_port, 7001);
+        hdr.verify(&dgram, SRC, DST).unwrap();
+    }
+
+    #[test]
+    fn payload_corruption_is_detected() {
+        let mut dgram = build(b"checksummed payload", true);
+        let last = dgram.len() - 1;
+        dgram[last] ^= 0xFF;
+        let hdr = UdpHeader::parse(&dgram).unwrap();
+        assert_eq!(hdr.verify(&dgram, SRC, DST), Err(NetstackError::BadChecksum("UDP")));
+    }
+
+    #[test]
+    fn zero_checksum_means_skip() {
+        let dgram = build(b"fast path", false);
+        let hdr = UdpHeader::parse(&dgram).unwrap();
+        hdr.verify(&dgram, SRC, DST).unwrap();
+    }
+
+    #[test]
+    fn wrong_pseudo_header_fails() {
+        let dgram = build(b"payload", true);
+        let hdr = UdpHeader::parse(&dgram).unwrap();
+        assert!(hdr.verify(&dgram, SRC, Ipv4Addr::new(10, 0, 0, 9)).is_err());
+    }
+
+    #[test]
+    fn malformed_length_rejected() {
+        let mut dgram = build(b"x", false);
+        dgram[4] = 0;
+        dgram[5] = 3; // < 8
+        assert_eq!(
+            UdpHeader::parse(&dgram),
+            Err(NetstackError::Malformed("UDP length below header"))
+        );
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let dgram = build(b"", true);
+        let hdr = UdpHeader::parse(&dgram).unwrap();
+        assert_eq!(hdr.length as usize, HEADER_LEN);
+        hdr.verify(&dgram, SRC, DST).unwrap();
+    }
+}

@@ -1,0 +1,227 @@
+//! Lock-free free-list over `u32` indices (Treiber stack with an ABA tag).
+//!
+//! The INSANE memory manager stores its pool of free slot ids here: slots
+//! are pushed back by whichever thread releases a buffer and popped by
+//! whichever application thread asks for one (`get_buffer`, paper Fig. 2),
+//! so the structure must be multi-producer/multi-consumer.  Because entries
+//! are indices rather than pointers, the classic ABA hazard is defeated with
+//! a 32-bit tag packed next to the 32-bit head index in one `AtomicU64`.
+
+use core::fmt;
+use core::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+const NIL: u32 = u32::MAX;
+
+/// A lock-free stack of `u32` indices in `0..capacity`.
+///
+/// # Examples
+///
+/// ```
+/// use insane_queues::FreeStack;
+///
+/// let stack = FreeStack::full(4); // starts holding 0,1,2,3
+/// let a = stack.pop().unwrap();
+/// stack.push(a);
+/// assert_eq!(stack.len(), 4);
+/// ```
+pub struct FreeStack {
+    /// `next[i]` is the index below `i` in the stack, or `NIL`.
+    next: Box<[AtomicU32]>,
+    /// Upper 32 bits: ABA tag; lower 32 bits: head index or `NIL`.
+    head: AtomicU64,
+    len: AtomicU32,
+}
+
+impl fmt::Debug for FreeStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FreeStack")
+            .field("capacity", &self.next.len())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+fn pack(tag: u32, index: u32) -> u64 {
+    ((tag as u64) << 32) | index as u64
+}
+
+fn unpack(word: u64) -> (u32, u32) {
+    ((word >> 32) as u32, word as u32)
+}
+
+impl FreeStack {
+    /// Creates an empty stack able to hold indices in `0..capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity >= u32::MAX` (the maximum index is reserved).
+    pub fn new(capacity: usize) -> Self {
+        assert!((capacity as u64) < u32::MAX as u64, "capacity too large");
+        let next = (0..capacity)
+            .map(|_| AtomicU32::new(NIL))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            next,
+            head: AtomicU64::new(pack(0, NIL)),
+            len: AtomicU32::new(0),
+        }
+    }
+
+    /// Creates a stack pre-filled with every index in `0..capacity`, popping
+    /// in ascending order (`0` first).
+    pub fn full(capacity: usize) -> Self {
+        let stack = Self::new(capacity);
+        // Push in reverse so that index 0 ends on top.
+        for i in (0..capacity as u32).rev() {
+            stack.push(i);
+        }
+        stack
+    }
+
+    /// Pushes `index` onto the stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.  Pushing an index that is already
+    /// on the stack is a logic error the stack cannot detect; the memory
+    /// manager layers generation tags on top to catch double-release.
+    pub fn push(&self, index: u32) {
+        assert!((index as usize) < self.next.len(), "index out of range");
+        let mut head = self.head.load(Ordering::Acquire);
+        loop {
+            let (tag, top) = unpack(head);
+            self.next[index as usize].store(top, Ordering::Relaxed);
+            let new = pack(tag.wrapping_add(1), index);
+            match self
+                .head
+                .compare_exchange_weak(head, new, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    self.len.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                Err(actual) => head = actual,
+            }
+        }
+    }
+
+    /// Pops the most recently pushed index, or `None` when empty.
+    pub fn pop(&self) -> Option<u32> {
+        let mut head = self.head.load(Ordering::Acquire);
+        loop {
+            let (tag, top) = unpack(head);
+            if top == NIL {
+                return None;
+            }
+            let below = self.next[top as usize].load(Ordering::Relaxed);
+            let new = pack(tag.wrapping_add(1), below);
+            match self
+                .head
+                .compare_exchange_weak(head, new, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    self.len.fetch_sub(1, Ordering::Relaxed);
+                    return Some(top);
+                }
+                Err(actual) => head = actual,
+            }
+        }
+    }
+
+    /// Number of indices currently on the stack (racy snapshot).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed) as usize
+    }
+
+    /// Whether the stack is currently empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum index count this stack was created for.
+    pub fn capacity(&self) -> usize {
+        self.next.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn full_pops_ascending() {
+        let s = FreeStack::full(4);
+        assert_eq!(s.pop(), Some(0));
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), Some(3));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn lifo_order() {
+        let s = FreeStack::new(8);
+        s.push(3);
+        s.push(5);
+        assert_eq!(s.pop(), Some(5));
+        assert_eq!(s.pop(), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn push_out_of_range_panics() {
+        let s = FreeStack::new(2);
+        s.push(2);
+    }
+
+    #[test]
+    fn empty_and_len_track_operations() {
+        let s = FreeStack::new(3);
+        assert!(s.is_empty());
+        s.push(0);
+        s.push(1);
+        assert_eq!(s.len(), 2);
+        s.pop();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.capacity(), 3);
+    }
+
+    #[test]
+    fn concurrent_churn_never_duplicates_indices() {
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 10_000;
+        let stack = Arc::new(FreeStack::full(64));
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let stack = Arc::clone(&stack);
+            handles.push(std::thread::spawn(move || {
+                let mut held = Vec::new();
+                for round in 0..ROUNDS {
+                    if round % 3 == 0 || held.is_empty() {
+                        if let Some(i) = stack.pop() {
+                            held.push(i);
+                        }
+                    } else {
+                        stack.push(held.pop().unwrap());
+                    }
+                }
+                held
+            }));
+        }
+        let mut all: Vec<u32> = Vec::new();
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        while let Some(i) = stack.pop() {
+            all.push(i);
+        }
+        // Every index accounted for exactly once.
+        assert_eq!(all.len(), 64);
+        let unique: HashSet<u32> = all.iter().copied().collect();
+        assert_eq!(unique.len(), 64);
+        assert!(all.iter().all(|&i| i < 64));
+    }
+}

@@ -1,0 +1,91 @@
+//! Bounded lock-free queues for the INSANE middleware.
+//!
+//! The INSANE runtime and the client library live on different threads and
+//! exchange *tokens* (slot ids) rather than payload bytes, following the
+//! zero-copy design of the paper (§5.3).  The queues in this crate implement
+//! that exchange without locks on the critical path:
+//!
+//! * [`spsc`] — a bounded single-producer/single-consumer ring in the style
+//!   of the DPDK ring library, used for the per-application TX and RX token
+//!   queues.
+//! * [`mpmc`] — a bounded multi-producer/multi-consumer array queue (Vyukov
+//!   sequence-number design), used where several application threads feed a
+//!   single runtime polling thread.
+//! * [`free_stack`] — a lock-free Treiber stack over `u32` indices with an
+//!   ABA tag, used by the memory manager as its free-slot list.
+//!
+//! All queues are fixed-capacity: the middleware never allocates on the data
+//! path after startup.
+//!
+//! # Examples
+//!
+//! ```
+//! use insane_queues::spsc;
+//!
+//! let (tx, rx) = spsc::channel::<u64>(8);
+//! tx.push(7).unwrap();
+//! assert_eq!(rx.pop(), Some(7));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod free_stack;
+pub mod mpmc;
+pub mod spsc;
+
+pub use free_stack::FreeStack;
+pub use mpmc::MpmcQueue;
+pub use spsc::{channel, PopError, PushError, Receiver, Sender};
+
+/// Pads and aligns a value to a cache line (64 bytes on the targets we care
+/// about) so that hot atomics owned by different threads do not false-share.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in a cache-line-aligned cell.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Returns the wrapped value, consuming the padding wrapper.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> core::ops::Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> core::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_padded_is_cache_line_aligned() {
+        assert!(core::mem::align_of::<CachePadded<u8>>() >= 64);
+    }
+
+    #[test]
+    fn cache_padded_derefs_to_inner() {
+        let mut padded = CachePadded::new(41u32);
+        *padded += 1;
+        assert_eq!(*padded, 42);
+        assert_eq!(padded.into_inner(), 42);
+    }
+}

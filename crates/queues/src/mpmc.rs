@@ -1,0 +1,298 @@
+//! Bounded multi-producer/multi-consumer array queue.
+//!
+//! Vyukov-style design: every slot carries a sequence number that encodes
+//! whether it is ready for a producer or a consumer on the current lap.
+//! INSANE uses it wherever more than one thread feeds a queue — e.g. many
+//! application sources handing tokens to one shared polling thread when the
+//! runtime runs in its resource-constrained configuration (paper §5.3), and
+//! for the control-plane mailbox.
+
+use core::cell::UnsafeCell;
+use core::fmt;
+use core::mem::MaybeUninit;
+use core::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::CachePadded;
+
+struct Slot<T> {
+    sequence: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// A bounded lock-free MPMC queue.
+///
+/// # Examples
+///
+/// ```
+/// use insane_queues::MpmcQueue;
+///
+/// let q = MpmcQueue::new(4);
+/// q.push("token").unwrap();
+/// assert_eq!(q.pop(), Some("token"));
+/// ```
+pub struct MpmcQueue<T> {
+    slots: Box<[Slot<T>]>,
+    mask: usize,
+    enqueue_pos: CachePadded<AtomicUsize>,
+    dequeue_pos: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: slots are handed off between threads with acquire/release on the
+// per-slot sequence numbers; a value is only ever read by the one consumer
+// that won the CAS on `dequeue_pos`.
+unsafe impl<T: Send> Send for MpmcQueue<T> {}
+unsafe impl<T: Send> Sync for MpmcQueue<T> {}
+
+impl<T> fmt::Debug for MpmcQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MpmcQueue")
+            .field("capacity", &(self.mask + 1))
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<T> MpmcQueue<T> {
+    /// Creates a queue with at least `capacity` slots (rounded up to a power
+    /// of two, minimum 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "mpmc capacity must be non-zero");
+        let cap = capacity.next_power_of_two().max(2);
+        let slots = (0..cap)
+            .map(|i| Slot {
+                sequence: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            slots,
+            mask: cap - 1,
+            enqueue_pos: CachePadded::new(AtomicUsize::new(0)),
+            dequeue_pos: CachePadded::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Attempts to enqueue `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(value)` if the queue is full.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.sequence.load(Ordering::Acquire);
+            let diff = seq as isize - pos as isize;
+            if diff == 0 {
+                match self.enqueue_pos.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: winning the CAS gives us exclusive write
+                        // access to this slot for this lap.
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.sequence.store(pos.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if diff < 0 {
+                return Err(value);
+            } else {
+                pos = self.enqueue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeues the oldest value, or `None` when empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.sequence.load(Ordering::Acquire);
+            let diff = seq as isize - (pos.wrapping_add(1)) as isize;
+            if diff == 0 {
+                match self.dequeue_pos.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: winning the CAS gives us exclusive read
+                        // access to the initialized value in this slot.
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.sequence
+                            .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if diff < 0 {
+                return None;
+            } else {
+                pos = self.dequeue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Pops up to `max` items into `out`; returns how many were moved.
+    pub fn pop_burst(&self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut moved = 0;
+        while moved < max {
+            match self.pop() {
+                Some(v) => {
+                    out.push(v);
+                    moved += 1;
+                }
+                None => break,
+            }
+        }
+        moved
+    }
+
+    /// Number of queued items (racy snapshot — only advisory).
+    pub fn len(&self) -> usize {
+        let tail = self.enqueue_pos.load(Ordering::Relaxed);
+        let head = self.dequeue_pos.load(Ordering::Relaxed);
+        tail.wrapping_sub(head)
+    }
+
+    /// Whether the queue is currently empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of slots.
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+}
+
+impl<T> Drop for MpmcQueue<T> {
+    fn drop(&mut self) {
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_single_thread() {
+        let q = MpmcQueue::new(8);
+        for i in 0..8 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.push(99), Err(99));
+        for i in 0..8 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn reuse_across_laps() {
+        let q = MpmcQueue::new(2);
+        for lap in 0..50 {
+            q.push(lap).unwrap();
+            q.push(lap + 1000).unwrap();
+            assert_eq!(q.pop(), Some(lap));
+            assert_eq!(q.pop(), Some(lap + 1000));
+        }
+    }
+
+    #[test]
+    fn burst_pop() {
+        let q = MpmcQueue::new(8);
+        for i in 0..6 {
+            q.push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.pop_burst(&mut out, 4), 4);
+        assert_eq!(q.pop_burst(&mut out, 4), 2);
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn values_left_in_queue_are_dropped() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct Probe;
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let q = MpmcQueue::new(4);
+            q.push(Probe).unwrap();
+            q.push(Probe).unwrap();
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn multi_producer_multi_consumer_accounting() {
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 4;
+        const PER_PRODUCER: usize = 20_000;
+        let q = Arc::new(MpmcQueue::<usize>::new(256));
+        let consumed = Arc::new(AtomicUsize::new(0));
+        let sum = Arc::new(AtomicUsize::new(0));
+
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    let mut v = p * PER_PRODUCER + i;
+                    loop {
+                        match q.push(v) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                v = back;
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        for _ in 0..CONSUMERS {
+            let q = Arc::clone(&q);
+            let consumed = Arc::clone(&consumed);
+            let sum = Arc::clone(&sum);
+            handles.push(std::thread::spawn(move || loop {
+                if consumed.load(Ordering::SeqCst) >= PRODUCERS * PER_PRODUCER {
+                    break;
+                }
+                if let Some(v) = q.pop() {
+                    sum.fetch_add(v, Ordering::SeqCst);
+                    consumed.fetch_add(1, Ordering::SeqCst);
+                } else {
+                    std::hint::spin_loop();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let n = PRODUCERS * PER_PRODUCER;
+        assert_eq!(consumed.load(Ordering::SeqCst), n);
+        assert_eq!(sum.load(Ordering::SeqCst), n * (n - 1) / 2);
+    }
+
+    use std::sync::atomic::AtomicUsize;
+}

@@ -1,0 +1,470 @@
+//! Bounded single-producer/single-consumer ring buffer.
+//!
+//! This is the queue the INSANE client library uses to hand slot-id tokens
+//! to the runtime (TX queue) and the runtime uses to hand received tokens
+//! back to a sink (RX queue); see Figure 4 of the paper.  The design follows
+//! the classic Lamport ring with cached opposite indices, the same structure
+//! the DPDK `rte_ring` and similar HPC queues use: a producer-owned tail, a
+//! consumer-owned head, and a power-of-two slot array so index wrapping is a
+//! mask.
+
+use core::cell::UnsafeCell;
+use core::fmt;
+use core::mem::MaybeUninit;
+use core::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::CachePadded;
+
+/// Error returned by [`Sender::push`] when the ring is full.
+///
+/// The rejected value is handed back so the caller can retry or drop it.
+#[derive(Debug, PartialEq, Eq)]
+pub struct PushError<T>(pub T);
+
+impl<T> fmt::Display for PushError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "queue is full")
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for PushError<T> {}
+
+/// Error describing why a [`Receiver::try_pop`] yielded no value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PopError {
+    /// The queue is currently empty but the producer is still alive.
+    Empty,
+    /// The queue is empty and the producer has been dropped: no further
+    /// values can ever arrive.
+    Disconnected,
+}
+
+impl fmt::Display for PopError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PopError::Empty => write!(f, "queue is empty"),
+            PopError::Disconnected => write!(f, "queue is empty and the producer disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for PopError {}
+
+struct Ring<T> {
+    buffer: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Next position the producer will write (monotonically increasing).
+    tail: CachePadded<AtomicUsize>,
+    /// Next position the consumer will read (monotonically increasing).
+    head: CachePadded<AtomicUsize>,
+    producer_alive: AtomicBool,
+    consumer_alive: AtomicBool,
+}
+
+// SAFETY: the ring hands each value from exactly one producer thread to
+// exactly one consumer thread; the head/tail atomics provide the necessary
+// happens-before edges (release on publish, acquire on observe).
+unsafe impl<T: Send> Send for Ring<T> {}
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+impl<T> fmt::Debug for Ring<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ring")
+            .field("capacity", &(self.mask + 1))
+            .field("head", &self.head.load(Ordering::Relaxed))
+            .field("tail", &self.tail.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        // Drain any values still in flight so their destructors run.
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
+        for pos in head..tail {
+            let slot = &self.buffer[pos & self.mask];
+            // SAFETY: positions in [head, tail) hold initialized values and
+            // we have exclusive access in Drop.
+            unsafe { (*slot.get()).assume_init_drop() };
+        }
+    }
+}
+
+/// Producer half of an SPSC ring created by [`channel`].
+pub struct Sender<T> {
+    ring: Arc<Ring<T>>,
+    /// Producer-local cache of the consumer head, refreshed only when the
+    /// ring looks full; avoids ping-ponging the head cache line.
+    cached_head: UnsafeCell<usize>,
+}
+
+// SAFETY: `cached_head` is only touched by the single producer.
+unsafe impl<T: Send> Send for Sender<T> {}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sender").field("ring", &self.ring).finish()
+    }
+}
+
+/// Consumer half of an SPSC ring created by [`channel`].
+pub struct Receiver<T> {
+    ring: Arc<Ring<T>>,
+    /// Consumer-local cache of the producer tail.
+    cached_tail: UnsafeCell<usize>,
+}
+
+// SAFETY: `cached_tail` is only touched by the single consumer.
+unsafe impl<T: Send> Send for Receiver<T> {}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Receiver").field("ring", &self.ring).finish()
+    }
+}
+
+/// Creates a bounded SPSC channel able to hold at least `capacity` items.
+///
+/// The actual capacity is `capacity` rounded up to a power of two (minimum
+/// 2) so that wrapping is a mask operation, mirroring the DPDK ring.
+///
+/// # Panics
+///
+/// Panics if `capacity` is 0.
+///
+/// # Examples
+///
+/// ```
+/// let (tx, rx) = insane_queues::spsc::channel::<u32>(4);
+/// tx.push(1).unwrap();
+/// tx.push(2).unwrap();
+/// assert_eq!(rx.pop(), Some(1));
+/// assert_eq!(rx.pop(), Some(2));
+/// assert_eq!(rx.pop(), None);
+/// ```
+pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "spsc capacity must be non-zero");
+    let cap = capacity.next_power_of_two().max(2);
+    let buffer = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let ring = Arc::new(Ring {
+        buffer,
+        mask: cap - 1,
+        tail: CachePadded::new(AtomicUsize::new(0)),
+        head: CachePadded::new(AtomicUsize::new(0)),
+        producer_alive: AtomicBool::new(true),
+        consumer_alive: AtomicBool::new(true),
+    });
+    (
+        Sender {
+            ring: Arc::clone(&ring),
+            cached_head: UnsafeCell::new(0),
+        },
+        Receiver {
+            ring,
+            cached_tail: UnsafeCell::new(0),
+        },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Attempts to enqueue `value` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError`] carrying `value` back if the ring is full.
+    pub fn push(&self, value: T) -> Result<(), PushError<T>> {
+        let ring = &*self.ring;
+        let tail = ring.tail.load(Ordering::Relaxed);
+        // SAFETY: single producer — exclusive access to the cache cell.
+        let cached_head = unsafe { &mut *self.cached_head.get() };
+        if tail.wrapping_sub(*cached_head) > ring.mask {
+            *cached_head = ring.head.load(Ordering::Acquire);
+            if tail.wrapping_sub(*cached_head) > ring.mask {
+                return Err(PushError(value));
+            }
+        }
+        let slot = &ring.buffer[tail & ring.mask];
+        // SAFETY: the slot at `tail` is not visible to the consumer until we
+        // publish the new tail below, and the fullness check above proves
+        // the consumer has vacated it.
+        unsafe { (*slot.get()).write(value) };
+        ring.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Number of items currently queued (racy snapshot — only advisory).
+    pub fn len(&self) -> usize {
+        let tail = self.ring.tail.load(Ordering::Relaxed);
+        let head = self.ring.head.load(Ordering::Relaxed);
+        tail.wrapping_sub(head)
+    }
+
+    /// Whether the ring currently holds no items (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the ring is currently full (racy snapshot).
+    pub fn is_full(&self) -> bool {
+        self.len() > self.ring.mask
+    }
+
+    /// Total number of slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.ring.mask + 1
+    }
+
+    /// Whether the consumer half is still alive.
+    pub fn receiver_alive(&self) -> bool {
+        self.ring.consumer_alive.load(Ordering::Acquire)
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        self.ring.producer_alive.store(false, Ordering::Release);
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the oldest value, or `None` when the ring is empty.
+    pub fn pop(&self) -> Option<T> {
+        self.try_pop().ok()
+    }
+
+    /// Dequeues the oldest value, distinguishing *empty* from
+    /// *empty-and-disconnected*.
+    ///
+    /// # Errors
+    ///
+    /// [`PopError::Empty`] when there is nothing to read right now;
+    /// [`PopError::Disconnected`] when additionally the sender is gone.
+    pub fn try_pop(&self) -> Result<T, PopError> {
+        let ring = &*self.ring;
+        let head = ring.head.load(Ordering::Relaxed);
+        // SAFETY: single consumer — exclusive access to the cache cell.
+        let cached_tail = unsafe { &mut *self.cached_tail.get() };
+        if head == *cached_tail {
+            *cached_tail = ring.tail.load(Ordering::Acquire);
+            if head == *cached_tail {
+                return if ring.producer_alive.load(Ordering::Acquire) {
+                    Err(PopError::Empty)
+                } else {
+                    // Re-check: the producer may have pushed between our tail
+                    // read and its death.
+                    *cached_tail = ring.tail.load(Ordering::Acquire);
+                    if head == *cached_tail {
+                        Err(PopError::Disconnected)
+                    } else {
+                        Ok(self.take_at(head))
+                    }
+                };
+            }
+        }
+        Ok(self.take_at(head))
+    }
+
+    fn take_at(&self, head: usize) -> T {
+        let ring = &*self.ring;
+        let slot = &ring.buffer[head & ring.mask];
+        // SAFETY: positions below the observed tail hold initialized values
+        // and the producer will not reuse this slot until we bump `head`.
+        let value = unsafe { (*slot.get()).assume_init_read() };
+        ring.head.store(head.wrapping_add(1), Ordering::Release);
+        value
+    }
+
+    /// Pops up to `max` items into `out`, returning how many were moved.
+    ///
+    /// This is the burst-dequeue the runtime polling thread uses to drain a
+    /// TX token queue in one pass (opportunistic batching, paper §6.2).
+    pub fn pop_burst(&self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut moved = 0;
+        while moved < max {
+            match self.pop() {
+                Some(value) => {
+                    out.push(value);
+                    moved += 1;
+                }
+                None => break,
+            }
+        }
+        moved
+    }
+
+    /// Number of items currently queued (racy snapshot — only advisory).
+    pub fn len(&self) -> usize {
+        let tail = self.ring.tail.load(Ordering::Relaxed);
+        let head = self.ring.head.load(Ordering::Relaxed);
+        tail.wrapping_sub(head)
+    }
+
+    /// Whether the ring currently holds no items (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.ring.mask + 1
+    }
+
+    /// Whether the producer half is still alive.
+    pub fn sender_alive(&self) -> bool {
+        self.ring.producer_alive.load(Ordering::Acquire)
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.ring.consumer_alive.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        let (tx, _rx) = channel::<u8>(5);
+        assert_eq!(tx.capacity(), 8);
+        let (tx, _rx) = channel::<u8>(1);
+        assert_eq!(tx.capacity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = channel::<u8>(0);
+    }
+
+    #[test]
+    fn push_pop_roundtrip_in_order() {
+        let (tx, rx) = channel(8);
+        for i in 0..8 {
+            tx.push(i).unwrap();
+        }
+        for i in 0..8 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn push_to_full_ring_returns_value() {
+        let (tx, _rx) = channel(2);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(tx.push(3), Err(PushError(3)));
+        assert!(tx.is_full());
+    }
+
+    #[test]
+    fn pop_after_sender_drop_reports_disconnected() {
+        let (tx, rx) = channel(4);
+        tx.push(9u8).unwrap();
+        drop(tx);
+        assert_eq!(rx.try_pop(), Ok(9));
+        assert_eq!(rx.try_pop(), Err(PopError::Disconnected));
+    }
+
+    #[test]
+    fn pop_on_empty_live_channel_reports_empty() {
+        let (tx, rx) = channel::<u8>(4);
+        assert_eq!(rx.try_pop(), Err(PopError::Empty));
+        drop(tx);
+    }
+
+    #[test]
+    fn sender_observes_receiver_drop() {
+        let (tx, rx) = channel::<u8>(4);
+        assert!(tx.receiver_alive());
+        drop(rx);
+        assert!(!tx.receiver_alive());
+    }
+
+    #[test]
+    fn wraparound_preserves_fifo() {
+        let (tx, rx) = channel(4);
+        let mut expected = 0u64;
+        for round in 0..100u64 {
+            tx.push(round * 2).unwrap();
+            tx.push(round * 2 + 1).unwrap();
+            assert_eq!(rx.pop(), Some(expected));
+            expected += 1;
+            assert_eq!(rx.pop(), Some(expected));
+            expected += 1;
+        }
+    }
+
+    #[test]
+    fn pop_burst_drains_up_to_max() {
+        let (tx, rx) = channel(16);
+        for i in 0..10 {
+            tx.push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(rx.pop_burst(&mut out, 4), 4);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(rx.pop_burst(&mut out, 100), 6);
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn in_flight_values_are_dropped_with_ring() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct Probe;
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (tx, rx) = channel(8);
+        for _ in 0..5 {
+            tx.push(Probe).unwrap();
+        }
+        drop(rx.pop()); // one popped and dropped by us
+        drop(tx);
+        drop(rx); // ring drop must release the remaining four
+        assert_eq!(DROPS.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn two_thread_stress_preserves_order_and_content() {
+        const N: u64 = 100_000;
+        let (tx, rx) = channel(64);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                let mut v = i;
+                loop {
+                    match tx.push(v) {
+                        Ok(()) => break,
+                        Err(PushError(back)) => {
+                            v = back;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+        });
+        let mut next = 0u64;
+        while next < N {
+            if let Some(v) = rx.pop() {
+                assert_eq!(v, next);
+                next += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(rx.pop(), None);
+    }
+}

@@ -1,0 +1,100 @@
+//! The default FIFO strategy: packets go out in arrival order, as soon as
+//! the poller asks (paper §5.2: "a FIFO scheduler handles all the packets
+//! and sends them to the network as soon as the user code emits them").
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use crate::{Scheduler, TrafficClass};
+
+/// Strict arrival-order scheduler; traffic classes are ignored.
+#[derive(Debug)]
+pub struct FifoScheduler<T> {
+    queue: VecDeque<T>,
+}
+
+impl<T> FifoScheduler<T> {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        Self {
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Creates an empty scheduler with pre-reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            queue: VecDeque::with_capacity(capacity),
+        }
+    }
+}
+
+impl<T> Default for FifoScheduler<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Scheduler<T> for FifoScheduler<T> {
+    fn enqueue(&mut self, item: T, _class: TrafficClass, _now: Instant) {
+        self.queue.push_back(item);
+    }
+
+    fn dequeue_ready(&mut self, out: &mut Vec<T>, max: usize, _now: Instant) -> usize {
+        let n = max.min(self.queue.len());
+        out.extend(self.queue.drain(..n));
+        n
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn next_release(&self, now: Instant) -> Option<Instant> {
+        if self.queue.is_empty() {
+            None
+        } else {
+            Some(now)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_preserves_arrival_order_across_classes() {
+        let mut s = FifoScheduler::new();
+        let now = Instant::now();
+        s.enqueue(1, TrafficClass::TIME_CRITICAL, now);
+        s.enqueue(2, TrafficClass::BEST_EFFORT, now);
+        s.enqueue(3, TrafficClass::TIME_CRITICAL, now);
+        let mut out = Vec::new();
+        assert_eq!(s.dequeue_ready(&mut out, 10, now), 3);
+        assert_eq!(out, vec![1, 2, 3]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn dequeue_respects_max() {
+        let mut s = FifoScheduler::with_capacity(8);
+        let now = Instant::now();
+        for i in 0..5 {
+            s.enqueue(i, TrafficClass::BEST_EFFORT, now);
+        }
+        let mut out = Vec::new();
+        assert_eq!(s.dequeue_ready(&mut out, 2, now), 2);
+        assert_eq!(s.len(), 3);
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn next_release_is_immediate_or_none() {
+        let mut s = FifoScheduler::new();
+        let now = Instant::now();
+        assert_eq!(s.next_release(now), None);
+        s.enqueue((), TrafficClass::BEST_EFFORT, now);
+        assert_eq!(s.next_release(now), Some(now));
+    }
+}

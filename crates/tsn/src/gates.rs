@@ -1,0 +1,262 @@
+//! IEEE 802.1Qbv gate control lists.
+//!
+//! A *gate control list* (GCL) is a cyclic program: at every instant,
+//! each of the eight traffic classes has a gate that is either open or
+//! closed, and only open classes may transmit.  The cycle repeats with a
+//! fixed period, giving time-critical classes deterministic, exclusive
+//! transmission windows.
+
+use std::time::{Duration, Instant};
+
+use crate::{TrafficClass, TsnError, CLASS_COUNT};
+
+/// One GCL entry: which gates are open, for how long.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateEntry {
+    /// Bitmask of open gates (bit `i` = class `i`).
+    pub gates: u8,
+    /// Length of this window.
+    pub duration: Duration,
+}
+
+impl GateEntry {
+    /// Creates an entry opening exactly the given classes.
+    pub fn open(classes: &[TrafficClass], duration: Duration) -> Self {
+        let mut gates = 0u8;
+        for c in classes {
+            gates |= 1 << c.value();
+        }
+        Self { gates, duration }
+    }
+
+    /// Creates an entry with every gate open.
+    pub fn all_open(duration: Duration) -> Self {
+        Self {
+            gates: 0xFF,
+            duration,
+        }
+    }
+
+    /// Whether `class`'s gate is open in this entry.
+    pub fn is_open(&self, class: TrafficClass) -> bool {
+        self.gates & (1 << class.value()) != 0
+    }
+}
+
+/// A cyclic gate program anchored at an epoch instant.
+#[derive(Debug, Clone)]
+pub struct GateControlList {
+    entries: Vec<GateEntry>,
+    cycle: Duration,
+    epoch: Instant,
+}
+
+impl GateControlList {
+    /// Builds a GCL from `entries`, anchored at `epoch`.
+    ///
+    /// # Errors
+    ///
+    /// * [`TsnError::EmptyGcl`] with no entries.
+    /// * [`TsnError::ZeroDuration`] if any window has zero length.
+    pub fn new(entries: Vec<GateEntry>, epoch: Instant) -> Result<Self, TsnError> {
+        if entries.is_empty() {
+            return Err(TsnError::EmptyGcl);
+        }
+        if entries.iter().any(|e| e.duration.is_zero()) {
+            return Err(TsnError::ZeroDuration);
+        }
+        let cycle = entries.iter().map(|e| e.duration).sum();
+        Ok(Self {
+            entries,
+            cycle,
+            epoch,
+        })
+    }
+
+    /// The canonical industrial pattern: a short exclusive window for the
+    /// time-critical class at the start of each cycle, everything else
+    /// open for the remainder.
+    ///
+    /// # Errors
+    ///
+    /// [`TsnError::ZeroDuration`] if either window is zero.
+    pub fn exclusive_window(
+        critical: TrafficClass,
+        critical_window: Duration,
+        cycle: Duration,
+        epoch: Instant,
+    ) -> Result<Self, TsnError> {
+        let rest = cycle.saturating_sub(critical_window);
+        let mut others = 0xFFu8 & !(1 << critical.value());
+        if others == 0 {
+            others = 0xFF;
+        }
+        Self::new(
+            vec![
+                GateEntry::open(&[critical], critical_window),
+                GateEntry {
+                    gates: others,
+                    duration: rest,
+                },
+            ],
+            epoch,
+        )
+    }
+
+    /// Total cycle duration.
+    pub fn cycle(&self) -> Duration {
+        self.cycle
+    }
+
+    /// The entry active at `now`, with the time remaining in its window.
+    pub fn active_entry(&self, now: Instant) -> (GateEntry, Duration) {
+        let since_epoch = now.saturating_duration_since(self.epoch);
+        let cycle_ns = self.cycle.as_nanos().max(1);
+        let mut into_cycle = (since_epoch.as_nanos() % cycle_ns) as u64;
+        for entry in &self.entries {
+            let d = entry.duration.as_nanos() as u64;
+            if into_cycle < d {
+                return (*entry, Duration::from_nanos(d - into_cycle));
+            }
+            into_cycle -= d;
+        }
+        // Numerically impossible (windows tile the cycle), but stay total.
+        let last = *self.entries.last().expect("non-empty");
+        (last, Duration::ZERO)
+    }
+
+    /// Whether `class` may transmit at `now`.
+    pub fn is_open(&self, class: TrafficClass, now: Instant) -> bool {
+        self.active_entry(now).0.is_open(class)
+    }
+
+    /// The next instant at or after `now` when `class`'s gate is open
+    /// (`now` itself if already open); `None` if no entry ever opens it.
+    pub fn next_open(&self, class: TrafficClass, now: Instant) -> Option<Instant> {
+        if !self.entries.iter().any(|e| e.is_open(class)) {
+            return None;
+        }
+        if self.is_open(class, now) {
+            return Some(now);
+        }
+        // Walk windows forward from `now` until one opens the gate.
+        let (_, remaining) = self.active_entry(now);
+        let mut t = now + remaining;
+        for _ in 0..self.entries.len() {
+            if self.is_open(class, t) {
+                return Some(t);
+            }
+            let (_, rem) = self.active_entry(t);
+            t += rem;
+        }
+        Some(t)
+    }
+
+    /// Gate states per class at `now` (diagnostics / table rendering).
+    pub fn snapshot(&self, now: Instant) -> [bool; CLASS_COUNT] {
+        let entry = self.active_entry(now).0;
+        core::array::from_fn(|i| entry.gates & (1 << i) != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn construction_validates() {
+        let epoch = Instant::now();
+        assert_eq!(GateControlList::new(vec![], epoch).err(), Some(TsnError::EmptyGcl));
+        assert_eq!(
+            GateControlList::new(vec![GateEntry::all_open(Duration::ZERO)], epoch).err(),
+            Some(TsnError::ZeroDuration)
+        );
+        let gcl = GateControlList::new(vec![GateEntry::all_open(ms(10))], epoch).unwrap();
+        assert_eq!(gcl.cycle(), ms(10));
+    }
+
+    #[test]
+    fn exclusive_window_pattern() {
+        let epoch = Instant::now();
+        let gcl =
+            GateControlList::exclusive_window(TrafficClass::TIME_CRITICAL, ms(2), ms(10), epoch)
+                .unwrap();
+        // In the first 2ms only TC7 is open.
+        let t0 = epoch + ms(1);
+        assert!(gcl.is_open(TrafficClass::TIME_CRITICAL, t0));
+        assert!(!gcl.is_open(TrafficClass::BEST_EFFORT, t0));
+        // Afterwards everything except TC7.
+        let t1 = epoch + ms(5);
+        assert!(!gcl.is_open(TrafficClass::TIME_CRITICAL, t1));
+        assert!(gcl.is_open(TrafficClass::BEST_EFFORT, t1));
+        // The pattern repeats every cycle.
+        let t2 = epoch + ms(11);
+        assert!(gcl.is_open(TrafficClass::TIME_CRITICAL, t2));
+        assert!(!gcl.is_open(TrafficClass::BEST_EFFORT, t2));
+    }
+
+    #[test]
+    fn next_open_for_closed_gate_lands_in_window() {
+        let epoch = Instant::now();
+        let gcl =
+            GateControlList::exclusive_window(TrafficClass::TIME_CRITICAL, ms(2), ms(10), epoch)
+                .unwrap();
+        // Best effort is closed during [0, 2ms); next open is at 2ms.
+        let t = epoch + ms(1);
+        let open_at = gcl.next_open(TrafficClass::BEST_EFFORT, t).unwrap();
+        let offset = open_at.duration_since(epoch);
+        assert!(offset >= ms(2) && offset < ms(3), "{offset:?}");
+        // TC7 closed during [2ms, 10ms); next open at cycle start (10ms).
+        let t = epoch + ms(5);
+        let open_at = gcl.next_open(TrafficClass::TIME_CRITICAL, t).unwrap();
+        let offset = open_at.duration_since(epoch);
+        assert!(offset >= ms(10) && offset < ms(11), "{offset:?}");
+    }
+
+    #[test]
+    fn never_open_gate_returns_none() {
+        let epoch = Instant::now();
+        let gcl = GateControlList::new(
+            vec![GateEntry::open(&[TrafficClass::TIME_CRITICAL], ms(5))],
+            epoch,
+        )
+        .unwrap();
+        assert_eq!(gcl.next_open(TrafficClass::BEST_EFFORT, epoch), None);
+        assert_eq!(
+            gcl.next_open(TrafficClass::TIME_CRITICAL, epoch),
+            Some(epoch)
+        );
+    }
+
+    #[test]
+    fn snapshot_reflects_active_entry() {
+        let epoch = Instant::now();
+        let gcl =
+            GateControlList::exclusive_window(TrafficClass::new(6).unwrap(), ms(3), ms(9), epoch)
+                .unwrap();
+        let snap = gcl.snapshot(epoch + ms(1));
+        assert!(snap[6]);
+        assert!(!snap[0] && !snap[7]);
+        let snap = gcl.snapshot(epoch + ms(4));
+        assert!(!snap[6]);
+        assert!(snap[0] && snap[7]);
+    }
+
+    #[test]
+    fn active_entry_reports_remaining_window() {
+        let epoch = Instant::now();
+        let gcl = GateControlList::new(
+            vec![GateEntry::all_open(ms(4)), GateEntry::all_open(ms(6))],
+            epoch,
+        )
+        .unwrap();
+        let (_, remaining) = gcl.active_entry(epoch + ms(1));
+        assert!(remaining > ms(2) && remaining <= ms(3));
+        let (_, remaining) = gcl.active_entry(epoch + ms(7));
+        assert!(remaining > ms(2) && remaining <= ms(3));
+    }
+}

@@ -1,0 +1,142 @@
+//! Packet schedulers for the INSANE runtime.
+//!
+//! The paper's packet scheduler (§5.3) sends packets "according to the
+//! time sensitiveness policy": a FIFO strategy by default, and an IEEE
+//! 802.1Qbv *time-aware shaper* for streams marked time-sensitive (§5.2),
+//! the standard designed for deterministic behavior in edge soft
+//! real-time applications.
+//!
+//! * [`FifoScheduler`] — the default: one queue, strict arrival order.
+//! * [`TasScheduler`] — 802.1Qbv: eight traffic classes, each guarded by a
+//!   gate; a cyclic [`GateControlList`] opens and closes gates on a fixed
+//!   schedule, so time-critical classes get exclusive, jitter-free windows.
+//!
+//! Both implement [`Scheduler`] so the runtime can swap them per the
+//! stream QoS.
+//!
+//! # Examples
+//!
+//! ```
+//! use insane_tsn::{FifoScheduler, Scheduler, TrafficClass};
+//! use std::time::Instant;
+//!
+//! let mut s = FifoScheduler::new();
+//! s.enqueue("pkt-a", TrafficClass::BEST_EFFORT, Instant::now());
+//! s.enqueue("pkt-b", TrafficClass::BEST_EFFORT, Instant::now());
+//! let mut out = Vec::new();
+//! s.dequeue_ready(&mut out, 10, Instant::now());
+//! assert_eq!(out, ["pkt-a", "pkt-b"]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod fifo;
+mod gates;
+mod tas;
+
+pub use fifo::FifoScheduler;
+pub use gates::{GateControlList, GateEntry};
+pub use tas::TasScheduler;
+
+use core::fmt;
+use std::time::Instant;
+
+/// One of the eight 802.1Q traffic classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TrafficClass(u8);
+
+/// Number of traffic classes in 802.1Q.
+pub const CLASS_COUNT: usize = 8;
+
+impl TrafficClass {
+    /// Class 0: best-effort traffic.
+    pub const BEST_EFFORT: TrafficClass = TrafficClass(0);
+    /// Class 7: the highest-priority, typically time-critical class.
+    pub const TIME_CRITICAL: TrafficClass = TrafficClass(7);
+
+    /// Creates a class from its 802.1Q priority value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsnError::BadClass`] for values ≥ 8.
+    pub fn new(value: u8) -> Result<Self, TsnError> {
+        if (value as usize) < CLASS_COUNT {
+            Ok(TrafficClass(value))
+        } else {
+            Err(TsnError::BadClass(value))
+        }
+    }
+
+    /// The raw priority value (0–7).
+    pub fn value(&self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TC{}", self.0)
+    }
+}
+
+/// Errors from scheduler construction and configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TsnError {
+    /// Traffic-class value outside 0–7.
+    BadClass(u8),
+    /// A gate control list must contain at least one entry.
+    EmptyGcl,
+    /// A gate entry with zero duration would stall the cycle.
+    ZeroDuration,
+}
+
+impl fmt::Display for TsnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsnError::BadClass(v) => write!(f, "traffic class {v} out of range (0-7)"),
+            TsnError::EmptyGcl => write!(f, "gate control list is empty"),
+            TsnError::ZeroDuration => write!(f, "gate entry has zero duration"),
+        }
+    }
+}
+
+impl std::error::Error for TsnError {}
+
+/// A packet scheduler: items enter with a traffic class and leave when the
+/// strategy says they may.
+pub trait Scheduler<T> {
+    /// Enqueues `item` in traffic class `class` at time `now`.
+    fn enqueue(&mut self, item: T, class: TrafficClass, now: Instant);
+
+    /// Moves up to `max` releasable items into `out` (in release order);
+    /// returns how many were moved.
+    fn dequeue_ready(&mut self, out: &mut Vec<T>, max: usize, now: Instant) -> usize;
+
+    /// Items currently queued across all classes.
+    fn len(&self) -> usize;
+
+    /// Whether no items are queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Earliest instant at which a queued item may become releasable, if
+    /// the strategy can say (lets a polling thread sleep instead of spin).
+    fn next_release(&self, now: Instant) -> Option<Instant>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_construction_validates_range() {
+        assert!(TrafficClass::new(0).is_ok());
+        assert!(TrafficClass::new(7).is_ok());
+        assert_eq!(TrafficClass::new(8), Err(TsnError::BadClass(8)));
+        assert_eq!(TrafficClass::BEST_EFFORT.value(), 0);
+        assert_eq!(TrafficClass::TIME_CRITICAL.value(), 7);
+        assert_eq!(TrafficClass::TIME_CRITICAL.to_string(), "TC7");
+    }
+}

@@ -1,0 +1,193 @@
+//! The 802.1Qbv time-aware scheduler.
+//!
+//! Eight per-class FIFO queues guarded by a [`GateControlList`]: an item
+//! is releasable only while its class's gate is open, and among open
+//! classes the higher priority drains first (strict priority transmission
+//! selection, the 802.1Q default).
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use crate::gates::GateControlList;
+use crate::{Scheduler, TrafficClass, CLASS_COUNT};
+
+/// A time-aware shaper over a gate control list.
+#[derive(Debug)]
+pub struct TasScheduler<T> {
+    queues: [VecDeque<T>; CLASS_COUNT],
+    gcl: GateControlList,
+    len: usize,
+}
+
+impl<T> TasScheduler<T> {
+    /// Creates a shaper driven by `gcl`.
+    pub fn new(gcl: GateControlList) -> Self {
+        Self {
+            queues: core::array::from_fn(|_| VecDeque::new()),
+            gcl,
+            len: 0,
+        }
+    }
+
+    /// The gate program driving this scheduler.
+    pub fn gate_control_list(&self) -> &GateControlList {
+        &self.gcl
+    }
+
+    /// Items queued in one class.
+    pub fn class_len(&self, class: TrafficClass) -> usize {
+        self.queues[class.value() as usize].len()
+    }
+}
+
+impl<T> Scheduler<T> for TasScheduler<T> {
+    fn enqueue(&mut self, item: T, class: TrafficClass, _now: Instant) {
+        self.queues[class.value() as usize].push_back(item);
+        self.len += 1;
+    }
+
+    fn dequeue_ready(&mut self, out: &mut Vec<T>, max: usize, now: Instant) -> usize {
+        if self.len == 0 || max == 0 {
+            return 0;
+        }
+        let entry = self.gcl.active_entry(now).0;
+        let mut moved = 0;
+        // Strict priority: drain the highest open class first.
+        for class in (0..CLASS_COUNT).rev() {
+            if entry.gates & (1 << class) == 0 {
+                continue;
+            }
+            let q = &mut self.queues[class];
+            while moved < max {
+                match q.pop_front() {
+                    Some(item) => {
+                        out.push(item);
+                        moved += 1;
+                        self.len -= 1;
+                    }
+                    None => break,
+                }
+            }
+            if moved >= max {
+                break;
+            }
+        }
+        moved
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn next_release(&self, now: Instant) -> Option<Instant> {
+        (0..CLASS_COUNT)
+            .filter(|&c| !self.queues[c].is_empty())
+            .filter_map(|c| {
+                self.gcl
+                    .next_open(TrafficClass::new(c as u8).expect("class in range"), now)
+            })
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates::GateEntry;
+    use std::time::Duration;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn exclusive_gcl(epoch: Instant) -> GateControlList {
+        // [0,2ms): only TC7.  [2ms,10ms): everything but TC7.
+        GateControlList::exclusive_window(TrafficClass::TIME_CRITICAL, ms(2), ms(10), epoch)
+            .unwrap()
+    }
+
+    #[test]
+    fn closed_gate_holds_packets() {
+        let epoch = Instant::now();
+        let mut s = TasScheduler::new(exclusive_gcl(epoch));
+        s.enqueue("best-effort", TrafficClass::BEST_EFFORT, epoch);
+        let mut out = Vec::new();
+        // During the critical window best-effort must not leave.
+        assert_eq!(s.dequeue_ready(&mut out, 10, epoch + ms(1)), 0);
+        assert_eq!(s.len(), 1);
+        // After the window it flows.
+        assert_eq!(s.dequeue_ready(&mut out, 10, epoch + ms(3)), 1);
+        assert_eq!(out, vec!["best-effort"]);
+    }
+
+    #[test]
+    fn open_gate_releases_in_priority_order() {
+        let epoch = Instant::now();
+        let gcl = GateControlList::new(vec![GateEntry::all_open(ms(10))], epoch).unwrap();
+        let mut s = TasScheduler::new(gcl);
+        s.enqueue("low", TrafficClass::BEST_EFFORT, epoch);
+        s.enqueue("high", TrafficClass::TIME_CRITICAL, epoch);
+        s.enqueue("mid", TrafficClass::new(4).unwrap(), epoch);
+        let mut out = Vec::new();
+        s.dequeue_ready(&mut out, 10, epoch + ms(1));
+        assert_eq!(out, vec!["high", "mid", "low"]);
+    }
+
+    #[test]
+    fn fifo_within_a_class() {
+        let epoch = Instant::now();
+        let gcl = GateControlList::new(vec![GateEntry::all_open(ms(10))], epoch).unwrap();
+        let mut s = TasScheduler::new(gcl);
+        for i in 0..5 {
+            s.enqueue(i, TrafficClass::TIME_CRITICAL, epoch);
+        }
+        let mut out = Vec::new();
+        s.dequeue_ready(&mut out, 3, epoch);
+        assert_eq!(out, vec![0, 1, 2]);
+        assert_eq!(s.class_len(TrafficClass::TIME_CRITICAL), 2);
+    }
+
+    #[test]
+    fn critical_window_is_exclusive_and_periodic() {
+        let epoch = Instant::now();
+        let mut s = TasScheduler::new(exclusive_gcl(epoch));
+        s.enqueue("critical", TrafficClass::TIME_CRITICAL, epoch);
+        s.enqueue("bulk", TrafficClass::BEST_EFFORT, epoch);
+        let mut out = Vec::new();
+        // Inside the second cycle's critical window (t = 10.5ms).
+        let t = epoch + Duration::from_micros(10_500);
+        s.dequeue_ready(&mut out, 10, t);
+        assert_eq!(out, vec!["critical"], "only TC7 may leave in its window");
+    }
+
+    #[test]
+    fn next_release_points_to_gate_opening() {
+        let epoch = Instant::now();
+        let mut s = TasScheduler::new(exclusive_gcl(epoch));
+        assert_eq!(s.next_release(epoch), None, "empty scheduler");
+        s.enqueue("bulk", TrafficClass::BEST_EFFORT, epoch);
+        // At t=1ms the best-effort gate opens at 2ms.
+        let t = epoch + ms(1);
+        let release = s.next_release(t).expect("eventually releasable");
+        let offset = release.duration_since(epoch);
+        assert!(offset >= ms(2) && offset < ms(3), "{offset:?}");
+        // A queued critical packet is releasable immediately in-window.
+        s.enqueue("crit", TrafficClass::TIME_CRITICAL, t);
+        assert_eq!(s.next_release(epoch + ms(1)), Some(epoch + ms(1)));
+    }
+
+    #[test]
+    fn max_budget_is_respected_across_classes() {
+        let epoch = Instant::now();
+        let gcl = GateControlList::new(vec![GateEntry::all_open(ms(10))], epoch).unwrap();
+        let mut s = TasScheduler::new(gcl);
+        for i in 0..4 {
+            s.enqueue(i, TrafficClass::TIME_CRITICAL, epoch);
+            s.enqueue(i + 10, TrafficClass::BEST_EFFORT, epoch);
+        }
+        let mut out = Vec::new();
+        assert_eq!(s.dequeue_ready(&mut out, 5, epoch), 5);
+        assert_eq!(out, vec![0, 1, 2, 3, 10]);
+        assert_eq!(s.len(), 3);
+    }
+}

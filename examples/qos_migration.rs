@@ -1,0 +1,98 @@
+//! The portability story: one application function, deployed unchanged
+//! on three heterogeneous edge nodes, binds to three different
+//! technologies — and falls back gracefully where acceleration is absent.
+//!
+//! This is the scenario the paper's introduction motivates: edge
+//! components migrate between nodes at runtime, so code must not be
+//! tailored to any particular network technology.
+//!
+//! ```bash
+//! cargo run --example qos_migration
+//! ```
+
+use insane::core::runtime::poll_until_quiescent;
+use insane::{
+    ChannelId, ConsumeMode, Fabric, HostId, InsaneError, QosPolicy, Runtime, RuntimeConfig,
+    Session, Technology, TestbedProfile, ThreadingMode,
+};
+
+/// The *entire* networking code of the application: note that no
+/// technology name appears anywhere — only a QoS policy.
+fn telemetry_burst(runtime: &Runtime, drive: &[&Runtime]) -> Result<Technology, InsaneError> {
+    let session = Session::connect(runtime)?;
+    let stream = session.create_stream(QosPolicy::fast())?;
+    let source = stream.create_source(ChannelId(400))?;
+    let sink = stream.create_sink(ChannelId(400))?;
+    for i in 0..3u8 {
+        let mut buf = source.get_buffer(3)?;
+        buf.copy_from_slice(&[i, i, i]);
+        source.emit(buf)?;
+    }
+    let mut got = 0;
+    while got < 3 {
+        for rt in drive {
+            rt.poll_once();
+        }
+        match sink.consume(ConsumeMode::NonBlocking) {
+            Ok(msg) => {
+                drop(msg);
+                got += 1;
+            }
+            Err(InsaneError::WouldBlock) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(stream.technology())
+}
+
+fn deploy(fabric: &Fabric, id: u32, host: HostId, techs: &[Technology]) -> Runtime {
+    Runtime::start(
+        RuntimeConfig::new(id)
+            .with_technologies(techs)
+            .with_threading(ThreadingMode::Manual),
+        fabric,
+        host,
+    )
+    .expect("runtime starts")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fabric = Fabric::new(TestbedProfile::local());
+
+    // Three very different edge nodes.
+    let vm = fabric.add_host("cloud-vm");
+    let edge_box = fabric.add_host("edge-box");
+    let rack = fabric.add_host("rack-server");
+    let rt_vm = deploy(&fabric, 1, vm, &[Technology::KernelUdp]);
+    let rt_edge = deploy(
+        &fabric,
+        2,
+        edge_box,
+        &[Technology::KernelUdp, Technology::Xdp, Technology::Dpdk],
+    );
+    let rt_rack = deploy(
+        &fabric,
+        3,
+        rack,
+        &[
+            Technology::KernelUdp,
+            Technology::Xdp,
+            Technology::Dpdk,
+            Technology::Rdma,
+        ],
+    );
+    poll_until_quiescent(&[&rt_vm, &rt_edge, &rt_rack], 100_000);
+
+    // "Migrate" the very same component across the three nodes.
+    for (name, rt) in [
+        ("cloud-vm (kernel only)", &rt_vm),
+        ("edge-box (XDP+DPDK)", &rt_edge),
+        ("rack-server (RDMA)", &rt_rack),
+    ] {
+        let drive = [&rt_vm, &rt_edge, &rt_rack];
+        let mapped = telemetry_burst(rt, &drive)?;
+        println!("component on {name:26} ran over: {mapped}");
+    }
+    println!("\nsame binary, three datapaths — the middleware chose.");
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! Quickstart: the INSANE API end to end on one simulated edge node,
+//! plus the QoS → technology mapping matrix across heterogeneous nodes.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use insane::core::qos::{DefaultMapping, MappingStrategy};
+use insane::{
+    ChannelId, ConsumeMode, Fabric, InsaneError, QosPolicy, Runtime, RuntimeConfig, Session,
+    Technology, TestbedProfile,
+};
+
+fn main() -> Result<(), InsaneError> {
+    // --- 1. One edge node, one runtime, one app talking to itself. ---
+    let fabric = Fabric::new(TestbedProfile::local());
+    let node = fabric.add_host("edge-node");
+    let runtime = Runtime::start(RuntimeConfig::new(1), &fabric, node)?;
+
+    let session = Session::connect(&runtime)?;
+    let stream = session.create_stream(QosPolicy::fast())?;
+    println!(
+        "stream with QoS 'fast' mapped to: {} (fallback: {})",
+        stream.technology(),
+        stream.is_fallback()
+    );
+
+    let source = stream.create_source(ChannelId(7))?;
+    let sink = stream.create_sink(ChannelId(7))?;
+
+    let payload = b"hello from the edge";
+    let mut buf = source.get_buffer(payload.len())?;
+    buf.copy_from_slice(payload);
+    let token = source.emit(buf)?;
+
+    let msg = sink.consume(ConsumeMode::Blocking)?;
+    println!(
+        "received {:?} (channel {}, seq {}, outcome {:?})",
+        String::from_utf8_lossy(&msg),
+        msg.meta().channel,
+        msg.meta().seq,
+        source.emit_outcome(token),
+    );
+    drop(msg); // release_buffer
+
+    // --- 2. The paper's headline: the same QoS, different nodes. ---
+    println!("\nQoS mapping across heterogeneous edge nodes:");
+    let node_kinds: [(&str, Vec<Technology>); 3] = [
+        ("bare VM (kernel only)", vec![Technology::KernelUdp]),
+        (
+            "edge box (XDP + DPDK)",
+            vec![Technology::KernelUdp, Technology::Xdp, Technology::Dpdk],
+        ),
+        (
+            "rack server (RDMA NIC)",
+            vec![
+                Technology::KernelUdp,
+                Technology::Xdp,
+                Technology::Dpdk,
+                Technology::Rdma,
+            ],
+        ),
+    ];
+    for (policy_name, policy) in [
+        ("slow", QosPolicy::slow()),
+        ("fast", QosPolicy::fast()),
+        ("frugal", QosPolicy::frugal()),
+    ] {
+        for (node_name, available) in &node_kinds {
+            let mapped = DefaultMapping.map(&policy, available);
+            println!(
+                "  {policy_name:6} on {node_name:24} -> {}{}",
+                mapped.technology,
+                if mapped.fallback { "  (fallback!)" } else { "" }
+            );
+        }
+    }
+
+    runtime.shutdown();
+    Ok(())
+}

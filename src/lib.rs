@@ -1,0 +1,53 @@
+//! Facade crate for the INSANE middleware reproduction.
+//!
+//! Re-exports the whole workspace under one roof so examples, integration
+//! tests and downstream users can depend on a single crate:
+//!
+//! * [`core`] — the middleware itself (API, QoS, runtime);
+//! * [`fabric`] — the simulated edge-cloud testbeds and devices;
+//! * [`lunar`] — the LunarMoM and Lunar Streaming applications;
+//! * [`demikernel`] / [`baselines`] — the evaluation's reference systems;
+//! * [`memory`], [`queues`], [`netstack`], [`tsn`] — the substrates.
+//!
+//! The most common items are additionally re-exported at the top level.
+//!
+//! # Example
+//!
+//! ```
+//! use insane::{ChannelId, ConsumeMode, Fabric, QosPolicy, Runtime, RuntimeConfig,
+//!              Session, TestbedProfile};
+//!
+//! let fabric = Fabric::new(TestbedProfile::local());
+//! let node = fabric.add_host("edge-node");
+//! let runtime = Runtime::start(RuntimeConfig::new(1), &fabric, node)?;
+//! let session = Session::connect(&runtime)?;
+//! let stream = session.create_stream(QosPolicy::fast())?;
+//! let source = stream.create_source(ChannelId(1))?;
+//! let sink = stream.create_sink(ChannelId(1))?;
+//! let mut buf = source.get_buffer(2)?;
+//! buf.copy_from_slice(b"hi");
+//! source.emit(buf)?;
+//! let msg = sink.consume(ConsumeMode::Blocking)?;
+//! assert_eq!(&*msg, b"hi");
+//! # Ok::<(), insane::InsaneError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use insane_baselines as baselines;
+pub use insane_core as core;
+pub use insane_demikernel as demikernel;
+pub use insane_fabric as fabric;
+pub use insane_memory as memory;
+pub use insane_netstack as netstack;
+pub use insane_queues as queues;
+pub use insane_tsn as tsn;
+pub use lunar;
+
+pub use insane_core::{
+    Acceleration, ChannelId, ConsumeMode, EmitOutcome, IncomingMessage, InsaneError,
+    MessageBuffer, QosPolicy, ResourceUsage, Runtime, RuntimeConfig, SchedulerChoice, Session,
+    Sink, Source, Stream, Technology, ThreadingMode, TimeSensitivity,
+};
+pub use insane_fabric::{Fabric, HostId, TestbedProfile};
+pub use lunar::{LunarMom, LunarStreamClient, LunarStreamServer};

@@ -1,0 +1,279 @@
+//! Failure injection: the middleware under loss, overrun, stale peers
+//! and misuse.  INSANE assumes a best-effort network and leaves recovery
+//! to applications (§5.2), so the contract under failure is: never hang,
+//! never corrupt, always account.
+
+use insane::core::runtime::poll_until_quiescent;
+use insane::{
+    ChannelId, ConsumeMode, EmitOutcome, Fabric, InsaneError, QosPolicy, Runtime, RuntimeConfig,
+    Technology, TestbedProfile, ThreadingMode,
+};
+
+fn manual(id: u32, techs: &[Technology]) -> RuntimeConfig {
+    RuntimeConfig::new(id)
+        .with_technologies(techs)
+        .with_threading(ThreadingMode::Manual)
+}
+
+/// A receiver ring that drops most of a burst (tiny NIC queue) loses
+/// messages — datagram semantics — but the sender completes, slots
+/// recycle, and later traffic flows.
+#[test]
+fn nic_ring_overrun_loses_but_never_wedges() {
+    let mut profile = TestbedProfile::local();
+    profile.rx_queue_frames = 8; // tiny NIC ring on every device
+    let fabric = Fabric::new(profile);
+    let a = fabric.add_host("a");
+    let b = fabric.add_host("b");
+    let rt_a = Runtime::start(manual(1, &[Technology::KernelUdp]), &fabric, a).unwrap();
+    let rt_b = Runtime::start(manual(2, &[Technology::KernelUdp]), &fabric, b).unwrap();
+    rt_a.add_peer(b).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 200_000);
+
+    let session_a = insane::Session::connect(&rt_a).unwrap();
+    let session_b = insane::Session::connect(&rt_b).unwrap();
+    let stream_a = session_a.create_stream(QosPolicy::slow()).unwrap();
+    let stream_b = session_b.create_stream(QosPolicy::slow()).unwrap();
+    let sink = stream_b.create_sink(ChannelId(5)).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 200_000);
+    let source = stream_a.create_source(ChannelId(5)).unwrap();
+
+    // Blast 64 messages without letting B drain: most overrun the ring.
+    let mut last = None;
+    for i in 0..64u8 {
+        let mut buf = source.get_buffer(1).unwrap();
+        buf.copy_from_slice(&[i]);
+        match source.emit(buf) {
+            Ok(t) => last = Some(t),
+            Err(InsaneError::Backpressure) => {
+                rt_a.poll_once();
+            }
+            Err(e) => panic!("{e}"),
+        }
+        rt_a.poll_once();
+    }
+    poll_until_quiescent(&[&rt_a, &rt_b], 200_000);
+    if let Some(token) = last {
+        assert_ne!(
+            source.emit_outcome(token),
+            EmitOutcome::Pending,
+            "sender must not be left pending by receiver loss"
+        );
+    }
+    let mut delivered = 0;
+    while sink.consume(ConsumeMode::NonBlocking).is_ok() {
+        delivered += 1;
+    }
+    assert!(delivered < 64, "the tiny ring must have dropped something");
+    assert!(delivered > 0, "some messages still arrive");
+    assert_eq!(rt_a.slots_in_use(), 0, "lost frames release their slots");
+
+    // The channel still works afterwards.
+    let mut buf = source.get_buffer(5).unwrap();
+    buf.copy_from_slice(b"after");
+    source.emit(buf).unwrap();
+    let msg = loop {
+        rt_a.poll_once();
+        rt_b.poll_once();
+        match sink.consume(ConsumeMode::NonBlocking) {
+            Ok(m) => break m,
+            Err(InsaneError::WouldBlock) => {}
+            Err(e) => panic!("{e}"),
+        }
+    };
+    assert_eq!(&*msg, b"after");
+}
+
+/// Emitting toward a peer whose runtime disappeared behaves like a
+/// datagram into the void: the send completes, nothing hangs, nothing
+/// leaks.
+#[test]
+fn vanished_peer_is_silent_loss_not_an_error() {
+    let fabric = Fabric::new(TestbedProfile::local());
+    let a = fabric.add_host("a");
+    let b = fabric.add_host("b");
+    let rt_a = Runtime::start(manual(1, &[Technology::KernelUdp]), &fabric, a).unwrap();
+    let rt_b = Runtime::start(manual(2, &[Technology::KernelUdp]), &fabric, b).unwrap();
+    rt_a.add_peer(b).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 200_000);
+
+    let session_a = insane::Session::connect(&rt_a).unwrap();
+    let session_b = insane::Session::connect(&rt_b).unwrap();
+    let stream_a = session_a.create_stream(QosPolicy::slow()).unwrap();
+    let stream_b = session_b.create_stream(QosPolicy::slow()).unwrap();
+    // Subscribe, then make the subscriber's runtime vanish.
+    let sink = stream_b.create_sink(ChannelId(9)).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 200_000);
+    let source = stream_a.create_source(ChannelId(9)).unwrap();
+    drop(sink);
+    drop(stream_b);
+    drop(session_b);
+    rt_b.shutdown();
+    drop(rt_b);
+
+    // A still believes B is subscribed (no failure detector — §5.2 leaves
+    // fault tolerance to the application layer).
+    let mut buf = source.get_buffer(4).unwrap();
+    buf.copy_from_slice(b"void");
+    let token = source.emit(buf).unwrap();
+    poll_until_quiescent(&[&rt_a], 100_000);
+    assert_eq!(source.emit_outcome(token), EmitOutcome::Completed);
+    assert_eq!(rt_a.slots_in_use(), 0);
+}
+
+/// Back-pressure surfaces as a typed error and the rejected buffer's slot
+/// is returned, never leaked.
+#[test]
+fn backpressure_returns_slots() {
+    let fabric = Fabric::new(TestbedProfile::local());
+    let host = fabric.add_host("solo");
+    let mut config = manual(1, &[Technology::KernelUdp]);
+    config.tx_queue_depth = 2; // tiny TX token queue
+    let rt = Runtime::start(config, &fabric, host).unwrap();
+    let session = insane::Session::connect(&rt).unwrap();
+    let stream = session.create_stream(QosPolicy::slow()).unwrap();
+    let _sink = stream.create_sink(ChannelId(1)).unwrap();
+    let source = stream.create_source(ChannelId(1)).unwrap();
+
+    let in_use_before = rt.slots_in_use();
+    let mut backpressured = false;
+    for _ in 0..16 {
+        let buf = source.get_buffer(1).unwrap();
+        match source.emit(buf) {
+            Ok(_) => {}
+            Err(InsaneError::Backpressure) => {
+                backpressured = true;
+                break;
+            }
+            Err(e) => panic!("{e}"),
+        }
+    }
+    assert!(backpressured, "a 2-deep queue must push back");
+    poll_until_quiescent(&[&rt], 100_000);
+    // Everything emitted or rejected is accounted; nothing stuck.
+    let _ = in_use_before;
+    // Drain the sink to return delivery slots.
+    while _sink.consume(ConsumeMode::NonBlocking).is_ok() {}
+    assert_eq!(rt.slots_in_use(), 0);
+}
+
+/// Two runtimes with clashing `runtime_id`s on one fabric: the second
+/// peer registration overwrites the first (last-writer-wins in the peer
+/// table), but traffic keeps flowing somewhere — the system stays sane.
+/// (Unique ids are an operator responsibility; this guards the failure
+/// mode.)
+#[test]
+fn duplicate_runtime_ids_do_not_corrupt_routing() {
+    let fabric = Fabric::new(TestbedProfile::local());
+    let a = fabric.add_host("a");
+    let b = fabric.add_host("b");
+    let c = fabric.add_host("c");
+    let rt_a = Runtime::start(manual(1, &[Technology::KernelUdp]), &fabric, a).unwrap();
+    // Both remote runtimes claim id 7.
+    let rt_b = Runtime::start(manual(7, &[Technology::KernelUdp]), &fabric, b).unwrap();
+    let rt_c = Runtime::start(manual(7, &[Technology::KernelUdp]), &fabric, c).unwrap();
+    rt_a.add_peer(b).unwrap();
+    rt_a.add_peer(c).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b, &rt_c], 200_000);
+
+    let session_a = insane::Session::connect(&rt_a).unwrap();
+    let stream_a = session_a.create_stream(QosPolicy::slow()).unwrap();
+    let session_b = insane::Session::connect(&rt_b).unwrap();
+    let stream_b = session_b.create_stream(QosPolicy::slow()).unwrap();
+    let session_c = insane::Session::connect(&rt_c).unwrap();
+    let stream_c = session_c.create_stream(QosPolicy::slow()).unwrap();
+    let sink_b = stream_b.create_sink(ChannelId(3)).unwrap();
+    let sink_c = stream_c.create_sink(ChannelId(3)).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b, &rt_c], 200_000);
+
+    let source = stream_a.create_source(ChannelId(3)).unwrap();
+    let mut buf = source.get_buffer(2).unwrap();
+    buf.copy_from_slice(b"id");
+    source.emit(buf).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b, &rt_c], 300_000);
+    let got_b = sink_b.consume(ConsumeMode::NonBlocking).is_ok();
+    let got_c = sink_c.consume(ConsumeMode::NonBlocking).is_ok();
+    assert!(
+        got_b || got_c,
+        "at least one of the clashing peers must receive"
+    );
+    assert_eq!(rt_a.slots_in_use(), 0);
+}
+
+/// Consuming from a closed sink and emitting on a closed stream are
+/// clean, typed failures.
+#[test]
+fn closed_endpoints_fail_cleanly() {
+    let fabric = Fabric::new(TestbedProfile::local());
+    let host = fabric.add_host("solo");
+    let rt = Runtime::start(manual(1, &[Technology::KernelUdp]), &fabric, host).unwrap();
+    let session = insane::Session::connect(&rt).unwrap();
+    let stream = session.create_stream(QosPolicy::slow()).unwrap();
+    let sink = stream.create_sink(ChannelId(1)).unwrap();
+    let source = stream.create_source(ChannelId(1)).unwrap();
+
+    sink.close();
+    stream.close();
+    let buf = source.get_buffer(1);
+    match buf {
+        Ok(b) => assert!(matches!(source.emit(b), Err(InsaneError::Closed))),
+        Err(_) => {}
+    }
+    assert!(matches!(
+        stream.create_source(ChannelId(2)),
+        Err(InsaneError::Closed)
+    ));
+    assert!(matches!(
+        stream.create_sink(ChannelId(2)),
+        Err(InsaneError::Closed)
+    ));
+}
+
+/// Corrupt bytes aimed at a runtime's datapath port are discarded by the
+/// packet engine without disturbing real traffic.
+#[test]
+fn garbage_frames_are_rejected_by_the_packet_engine() {
+    use insane::fabric::devices::SimUdpSocket;
+    let fabric = Fabric::new(TestbedProfile::local());
+    let a = fabric.add_host("a");
+    let b = fabric.add_host("b");
+    let rt_a = Runtime::start(manual(1, &[Technology::KernelUdp]), &fabric, a).unwrap();
+    let rt_b = Runtime::start(manual(2, &[Technology::KernelUdp]), &fabric, b).unwrap();
+    rt_a.add_peer(b).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 200_000);
+
+    // An attacker/stray app sprays garbage at B's INSANE UDP port (40000).
+    let stray = SimUdpSocket::bind(&fabric, a, 12345).unwrap();
+    for i in 0..10u8 {
+        stray
+            .send_to(
+                &[i; 13],
+                insane::fabric::Endpoint { host: b, port: 40_000 },
+            )
+            .unwrap();
+    }
+    poll_until_quiescent(&[&rt_a, &rt_b], 200_000);
+    assert_eq!(rt_b.stats().rx_messages, 0, "garbage must not count as data");
+
+    // Real traffic is unaffected.
+    let session_a = insane::Session::connect(&rt_a).unwrap();
+    let session_b = insane::Session::connect(&rt_b).unwrap();
+    let stream_a = session_a.create_stream(QosPolicy::slow()).unwrap();
+    let stream_b = session_b.create_stream(QosPolicy::slow()).unwrap();
+    let sink = stream_b.create_sink(ChannelId(1)).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 200_000);
+    let source = stream_a.create_source(ChannelId(1)).unwrap();
+    let mut buf = source.get_buffer(2).unwrap();
+    buf.copy_from_slice(b"ok");
+    source.emit(buf).unwrap();
+    let msg = loop {
+        rt_a.poll_once();
+        rt_b.poll_once();
+        match sink.consume(ConsumeMode::NonBlocking) {
+            Ok(m) => break m,
+            Err(InsaneError::WouldBlock) => {}
+            Err(e) => panic!("{e}"),
+        }
+    };
+    assert_eq!(&*msg, b"ok");
+}

@@ -1,0 +1,172 @@
+//! The edge-cloud stories of §2/§8: components migrating between
+//! heterogeneous nodes at runtime, and applications dynamically
+//! (re)attaching to a host's runtime — Network Acceleration as a Service.
+
+use insane::core::runtime::poll_until_quiescent;
+use insane::{
+    ChannelId, ConsumeMode, Fabric, InsaneError, QosPolicy, Runtime, RuntimeConfig, Technology,
+    TestbedProfile, ThreadingMode,
+};
+
+fn manual(id: u32, techs: &[Technology]) -> RuntimeConfig {
+    RuntimeConfig::new(id)
+        .with_technologies(techs)
+        .with_threading(ThreadingMode::Manual)
+}
+
+fn drive(runtimes: &[&Runtime]) {
+    for rt in runtimes {
+        rt.poll_once();
+    }
+}
+
+fn consume_one(runtimes: &[&Runtime], sink: &insane::Sink) -> insane::IncomingMessage {
+    for _ in 0..2_000_000 {
+        drive(runtimes);
+        match sink.consume(ConsumeMode::NonBlocking) {
+            Ok(m) => return m,
+            Err(InsaneError::WouldBlock) => {}
+            Err(e) => panic!("{e}"),
+        }
+    }
+    panic!("message never arrived");
+}
+
+/// A consumer component migrates from a DPDK-equipped node to a
+/// kernel-only node.  The producer's code never changes; the
+/// subscription control plane re-routes traffic, and the consumer's QoS
+/// falls back transparently on the weaker node.
+#[test]
+fn consumer_migrates_across_heterogeneous_nodes() {
+    let fabric = Fabric::new(TestbedProfile::local());
+    let producer_host = fabric.add_host("producer");
+    let strong_host = fabric.add_host("edge-strong"); // has DPDK
+    let weak_host = fabric.add_host("edge-weak"); // kernel only
+
+    let rt_prod = Runtime::start(
+        manual(1, &[Technology::KernelUdp, Technology::Dpdk]),
+        &fabric,
+        producer_host,
+    )
+    .unwrap();
+    let rt_strong = Runtime::start(
+        manual(2, &[Technology::KernelUdp, Technology::Dpdk]),
+        &fabric,
+        strong_host,
+    )
+    .unwrap();
+    let rt_weak =
+        Runtime::start(manual(3, &[Technology::KernelUdp]), &fabric, weak_host).unwrap();
+    rt_prod.add_peer(strong_host).unwrap();
+    rt_prod.add_peer(weak_host).unwrap();
+    rt_strong.add_peer(weak_host).unwrap();
+    let all = [&rt_prod, &rt_strong, &rt_weak];
+    poll_until_quiescent(&all, 300_000);
+
+    // Producer: the application asks for acceleration; the code below
+    // stays identical for the component on either consumer node.
+    let producer_session = insane::Session::connect(&rt_prod).unwrap();
+    let producer_stream = producer_session.create_stream(QosPolicy::fast()).unwrap();
+
+    // Phase 1: the consumer component runs on the strong node.
+    let consumer_session = insane::Session::connect(&rt_strong).unwrap();
+    let consumer_stream = consumer_session.create_stream(QosPolicy::fast()).unwrap();
+    assert_eq!(consumer_stream.technology(), Technology::Dpdk);
+    assert!(!consumer_stream.is_fallback());
+    let sink = consumer_stream.create_sink(ChannelId(40)).unwrap();
+    poll_until_quiescent(&all, 300_000);
+
+    let source = producer_stream.create_source(ChannelId(40)).unwrap();
+    let mut buf = source.get_buffer(7).unwrap();
+    buf.copy_from_slice(b"phase-1");
+    source.emit(buf).unwrap();
+    assert_eq!(&*consume_one(&all, &sink), b"phase-1");
+
+    // Phase 2: migrate — tear down on the strong node, come up on the
+    // weak one.  Same component code; only the hosting runtime differs.
+    drop(sink);
+    consumer_session.close();
+    poll_until_quiescent(&all, 300_000);
+
+    let consumer_session = insane::Session::connect(&rt_weak).unwrap();
+    let consumer_stream = consumer_session.create_stream(QosPolicy::fast()).unwrap();
+    assert_eq!(consumer_stream.technology(), Technology::KernelUdp);
+    assert!(consumer_stream.is_fallback(), "weak node warns about fallback");
+    let sink = consumer_stream.create_sink(ChannelId(40)).unwrap();
+    poll_until_quiescent(&all, 300_000);
+
+    let strong_rx_before = rt_strong.stats().rx_messages;
+    let mut buf = source.get_buffer(7).unwrap();
+    buf.copy_from_slice(b"phase-2");
+    source.emit(buf).unwrap();
+    assert_eq!(&*consume_one(&all, &sink), b"phase-2");
+    poll_until_quiescent(&all, 300_000);
+    assert_eq!(
+        rt_strong.stats().rx_messages,
+        strong_rx_before,
+        "the departed node no longer receives the channel"
+    );
+}
+
+/// Applications detach from and re-attach to a running runtime without
+/// restarting it: acceleration as a host service (§8).
+#[test]
+fn applications_reattach_to_a_long_lived_runtime() {
+    let fabric = Fabric::new(TestbedProfile::local());
+    let host = fabric.add_host("service-node");
+    let rt = Runtime::start(manual(1, &[Technology::KernelUdp, Technology::Dpdk]), &fabric, host)
+        .unwrap();
+
+    for generation in 0..5u8 {
+        // A fresh application generation attaches...
+        let session = insane::Session::connect(&rt).unwrap();
+        let stream = session.create_stream(QosPolicy::fast()).unwrap();
+        let source = stream.create_source(ChannelId(60)).unwrap();
+        let sink = stream.create_sink(ChannelId(60)).unwrap();
+        let mut buf = source.get_buffer(1).unwrap();
+        buf.copy_from_slice(&[generation]);
+        source.emit(buf).unwrap();
+        let msg = consume_one(&[&rt], &sink);
+        assert_eq!(&*msg, &[generation]);
+        drop(msg);
+        // ...and detaches cleanly.
+        session.close();
+        poll_until_quiescent(&[&rt], 100_000);
+        assert_eq!(rt.slots_in_use(), 0, "generation {generation} leaked slots");
+    }
+}
+
+/// Two independent applications share one runtime and one channel — the
+/// multi-app sharing the paper's centralized design enables (§4).
+#[test]
+fn independent_applications_share_one_runtime() {
+    let fabric = Fabric::new(TestbedProfile::local());
+    let host = fabric.add_host("shared");
+    let rt = Runtime::start(manual(1, &[Technology::KernelUdp]), &fabric, host).unwrap();
+
+    let app_a = insane::Session::connect(&rt).unwrap();
+    let app_b = insane::Session::connect(&rt).unwrap();
+    let stream_a = app_a.create_stream(QosPolicy::slow()).unwrap();
+    let stream_b = app_b.create_stream(QosPolicy::slow()).unwrap();
+
+    // App B listens; app A publishes; each app also has private traffic.
+    let shared_sink = stream_b.create_sink(ChannelId(70)).unwrap();
+    let private_sink_a = stream_a.create_sink(ChannelId(71)).unwrap();
+    let source_a = stream_a.create_source(ChannelId(70)).unwrap();
+    let private_source_a = stream_a.create_source(ChannelId(71)).unwrap();
+
+    let mut buf = source_a.get_buffer(6).unwrap();
+    buf.copy_from_slice(b"shared");
+    source_a.emit(buf).unwrap();
+    let mut buf = private_source_a.get_buffer(7).unwrap();
+    buf.copy_from_slice(b"private");
+    private_source_a.emit(buf).unwrap();
+
+    assert_eq!(&*consume_one(&[&rt], &shared_sink), b"shared");
+    assert_eq!(&*consume_one(&[&rt], &private_sink_a), b"private");
+    // No cross-talk.
+    assert!(matches!(
+        shared_sink.consume(ConsumeMode::NonBlocking),
+        Err(InsaneError::WouldBlock)
+    ));
+}

@@ -1,0 +1,190 @@
+//! Property-based end-to-end tests: arbitrary payloads through the whole
+//! middleware stack, over every datapath technology.
+
+use insane::core::runtime::poll_until_quiescent;
+use insane::{
+    ChannelId, ConsumeMode, Fabric, InsaneError, QosPolicy, Runtime, RuntimeConfig, Technology,
+    TestbedProfile, ThreadingMode,
+};
+use proptest::prelude::*;
+
+fn pair(techs: &[Technology]) -> (Fabric, Runtime, Runtime) {
+    let fabric = Fabric::new(TestbedProfile::local());
+    let a = fabric.add_host("a");
+    let b = fabric.add_host("b");
+    let config = |id| {
+        RuntimeConfig::new(id)
+            .with_technologies(techs)
+            .with_threading(ThreadingMode::Manual)
+    };
+    let rt_a = Runtime::start(config(1), &fabric, a).unwrap();
+    let rt_b = Runtime::start(config(2), &fabric, b).unwrap();
+    rt_a.add_peer(b).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 200_000);
+    (fabric, rt_a, rt_b)
+}
+
+/// Messages of arbitrary content and size arrive intact and in per-stream
+/// order over each technology.
+fn roundtrip_property(
+    techs: &[Technology],
+    qos: QosPolicy,
+    payloads: Vec<Vec<u8>>,
+) -> Result<(), TestCaseError> {
+    let (_fabric, rt_a, rt_b) = pair(techs);
+    let session_a = insane::Session::connect(&rt_a).unwrap();
+    let session_b = insane::Session::connect(&rt_b).unwrap();
+    let stream_a = session_a.create_stream(qos).unwrap();
+    let stream_b = session_b.create_stream(qos).unwrap();
+    let sink = stream_b.create_sink(ChannelId(77)).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 200_000);
+    let source = stream_a.create_source(ChannelId(77)).unwrap();
+
+    for payload in &payloads {
+        // Emit (with back-pressure handling).
+        loop {
+            match source.get_buffer(payload.len()) {
+                Ok(mut buf) => {
+                    buf.copy_from_slice(payload);
+                    match source.emit(buf) {
+                        Ok(_) => break,
+                        Err(InsaneError::Backpressure) => {
+                            rt_a.poll_once();
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("emit: {e}"))),
+                    }
+                }
+                Err(InsaneError::Memory(_)) => {
+                    rt_a.poll_once();
+                    rt_b.poll_once();
+                }
+                Err(e) => return Err(TestCaseError::fail(format!("get_buffer: {e}"))),
+            }
+        }
+    }
+    // Drain everything and verify content + order + sequence numbers.
+    let mut received = Vec::new();
+    let mut spins = 0u64;
+    while received.len() < payloads.len() {
+        rt_a.poll_once();
+        rt_b.poll_once();
+        match sink.consume(ConsumeMode::NonBlocking) {
+            Ok(msg) => {
+                received.push((msg.meta().seq, msg.to_vec()));
+                spins = 0;
+            }
+            Err(InsaneError::WouldBlock) => {
+                spins += 1;
+                prop_assert!(spins < 3_000_000, "messages lost in transit");
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("consume: {e}"))),
+        }
+    }
+    for (i, ((seq, bytes), expected)) in received.iter().zip(&payloads).enumerate() {
+        prop_assert_eq!(*seq, i as u64, "per-stream sequence order");
+        prop_assert_eq!(bytes, expected, "payload integrity at index {}", i);
+    }
+    prop_assert_eq!(rt_a.slots_in_use(), 0, "sender slots all returned");
+    Ok(())
+}
+
+trait MsgToVec {
+    fn to_vec(&self) -> Vec<u8>;
+}
+
+impl MsgToVec for insane::IncomingMessage {
+    fn to_vec(&self) -> Vec<u8> {
+        (**self).to_vec()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8, // each case builds a full two-node deployment
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn udp_roundtrips_arbitrary_payloads(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..2000), 1..12)
+    ) {
+        roundtrip_property(&[Technology::KernelUdp], QosPolicy::slow(), payloads)?;
+    }
+
+    #[test]
+    fn dpdk_roundtrips_arbitrary_payloads(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..8000), 1..12)
+    ) {
+        roundtrip_property(
+            &[Technology::KernelUdp, Technology::Dpdk],
+            QosPolicy::fast(),
+            payloads,
+        )?;
+    }
+
+    #[test]
+    fn xdp_roundtrips_arbitrary_payloads(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..3000), 1..12)
+    ) {
+        roundtrip_property(
+            &[Technology::KernelUdp, Technology::Xdp],
+            QosPolicy::frugal(),
+            payloads,
+        )?;
+    }
+
+    #[test]
+    fn rdma_roundtrips_arbitrary_payloads(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..10_000), 1..12)
+    ) {
+        roundtrip_property(
+            &[Technology::KernelUdp, Technology::Rdma],
+            QosPolicy::fast(),
+            payloads,
+        )?;
+    }
+
+    /// The mapping never picks an unavailable technology, never falls
+    /// back when acceleration is available, and is deterministic.
+    #[test]
+    fn qos_mapping_is_total_and_sound(
+        accel in any::<bool>(),
+        frugal in any::<bool>(),
+        has_xdp in any::<bool>(),
+        has_dpdk in any::<bool>(),
+        has_rdma in any::<bool>(),
+    ) {
+        use insane::core::qos::{DefaultMapping, MappingStrategy};
+        let policy = QosPolicy {
+            acceleration: if accel {
+                insane::Acceleration::Preferred
+            } else {
+                insane::Acceleration::None
+            },
+            resource_usage: if frugal {
+                insane::ResourceUsage::Constrained
+            } else {
+                insane::ResourceUsage::Unconstrained
+            },
+            time_sensitivity: insane::TimeSensitivity::BestEffort,
+        };
+        let mut available = vec![Technology::KernelUdp];
+        if has_xdp { available.push(Technology::Xdp); }
+        if has_dpdk { available.push(Technology::Dpdk); }
+        if has_rdma { available.push(Technology::Rdma); }
+
+        let mapped = DefaultMapping.map(&policy, &available);
+        prop_assert!(available.contains(&mapped.technology), "must pick an available tech");
+        prop_assert_eq!(mapped, DefaultMapping.map(&policy, &available), "deterministic");
+        if !accel {
+            prop_assert_eq!(mapped.technology, Technology::KernelUdp);
+            prop_assert!(!mapped.fallback);
+        } else {
+            let any_accel = has_xdp || has_dpdk || has_rdma;
+            prop_assert_eq!(mapped.fallback, !any_accel, "fallback iff nothing accelerated");
+            if has_rdma {
+                prop_assert_eq!(mapped.technology, Technology::Rdma, "RDMA always preferred");
+            }
+        }
+    }
+}

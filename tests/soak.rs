@@ -1,0 +1,125 @@
+//! Threaded soak: real polling threads, several concurrent applications,
+//! sustained churn — the configuration a deployment actually runs.
+//! Asserts message conservation and zero slot leaks at the end.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use insane::{
+    ChannelId, ConsumeMode, Fabric, InsaneError, QosPolicy, Runtime, RuntimeConfig, Technology,
+    TestbedProfile,
+};
+
+#[test]
+fn threaded_soak_conserves_messages_and_slots() {
+    let fabric = Fabric::new(TestbedProfile::local());
+    let host_a = fabric.add_host("a");
+    let host_b = fabric.add_host("b");
+    let config = |id| {
+        RuntimeConfig::new(id).with_technologies(&[Technology::KernelUdp, Technology::Dpdk])
+    };
+    let rt_a = Runtime::start(config(1), &fabric, host_a).expect("runtime a");
+    let rt_b = Runtime::start(config(2), &fabric, host_b).expect("runtime b");
+    rt_a.add_peer(host_b).expect("peer");
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Receiver side: two applications, one per QoS lane, counting via
+    // callbacks (runs on the runtime's polling threads).
+    let session_rx = insane::Session::connect(&rt_b).expect("rx session");
+    let fast_rx = session_rx.create_stream(QosPolicy::fast()).expect("fast stream");
+    let slow_rx = session_rx.create_stream(QosPolicy::slow()).expect("slow stream");
+    let fast_count = Arc::new(AtomicU64::new(0));
+    let slow_count = Arc::new(AtomicU64::new(0));
+    let fast_bytes = Arc::new(AtomicU64::new(0));
+    let fc = Arc::clone(&fast_count);
+    let fb = Arc::clone(&fast_bytes);
+    let _fast_sink = fast_rx
+        .create_sink_with_callback(ChannelId(1), move |msg| {
+            fb.fetch_add(msg.len() as u64, Ordering::Relaxed);
+            fc.fetch_add(1, Ordering::Relaxed);
+        })
+        .expect("fast sink");
+    let sc = Arc::clone(&slow_count);
+    let slow_sink = slow_rx.create_sink(ChannelId(2)).expect("slow sink");
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Sender side: two producer threads, one per lane.
+    let session_tx = insane::Session::connect(&rt_a).expect("tx session");
+    let fast_tx = session_tx.create_stream(QosPolicy::fast()).expect("fast stream");
+    let slow_tx = session_tx.create_stream(QosPolicy::slow()).expect("slow stream");
+    let fast_source = fast_tx.create_source(ChannelId(1)).expect("fast source");
+    let slow_source = slow_tx.create_source(ChannelId(2)).expect("slow source");
+
+    const PER_LANE: u64 = 400;
+    let producer_fast = std::thread::spawn(move || {
+        let mut sent = 0u64;
+        while sent < PER_LANE {
+            match fast_source.get_buffer(256) {
+                Ok(mut buf) => {
+                    buf[..8].copy_from_slice(&sent.to_le_bytes());
+                    match fast_source.emit(buf) {
+                        Ok(_) => sent += 1,
+                        Err(InsaneError::Backpressure) => std::thread::yield_now(),
+                        Err(e) => panic!("fast emit: {e}"),
+                    }
+                }
+                Err(InsaneError::Memory(_)) => std::thread::yield_now(),
+                Err(e) => panic!("fast get_buffer: {e}"),
+            }
+        }
+    });
+    // The slow lane consumer polls explicitly from this test thread.
+    let consumer_slow = std::thread::spawn(move || {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while sc.load(Ordering::Relaxed) < PER_LANE {
+            match slow_sink.consume(ConsumeMode::Blocking) {
+                Ok(msg) => {
+                    drop(msg);
+                    sc.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => panic!("slow consume: {e}"),
+            }
+            assert!(Instant::now() < deadline, "slow lane stalled");
+        }
+    });
+    let producer_slow = std::thread::spawn(move || {
+        let mut sent = 0u64;
+        while sent < PER_LANE {
+            match slow_source.get_buffer(64) {
+                Ok(mut buf) => {
+                    buf[..8].copy_from_slice(&sent.to_le_bytes());
+                    match slow_source.emit(buf) {
+                        Ok(_) => sent += 1,
+                        Err(InsaneError::Backpressure) => std::thread::yield_now(),
+                        Err(e) => panic!("slow emit: {e}"),
+                    }
+                }
+                Err(InsaneError::Memory(_)) => std::thread::yield_now(),
+                Err(e) => panic!("slow get_buffer: {e}"),
+            }
+        }
+    });
+
+    producer_fast.join().expect("fast producer");
+    producer_slow.join().expect("slow producer");
+    consumer_slow.join().expect("slow consumer");
+
+    // Wait for the fast lane's callbacks to account for everything.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while fast_count.load(Ordering::Relaxed) < PER_LANE {
+        assert!(Instant::now() < deadline, "fast lane stalled");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    assert_eq!(fast_count.load(Ordering::Relaxed), PER_LANE);
+    assert_eq!(fast_bytes.load(Ordering::Relaxed), PER_LANE * 256);
+    assert_eq!(slow_count.load(Ordering::Relaxed), PER_LANE);
+    assert_eq!(rt_b.stats().rx_messages, PER_LANE * 2);
+    assert_eq!(rt_b.stats().sink_drops, 0, "queues were deep enough");
+
+    rt_a.shutdown();
+    rt_b.shutdown();
+    std::thread::sleep(Duration::from_millis(50));
+    assert_eq!(rt_a.slots_in_use(), 0, "sender leaked slots");
+}
