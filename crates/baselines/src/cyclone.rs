@@ -187,8 +187,14 @@ mod tests {
         let fabric = Fabric::new(TestbedProfile::local());
         let a = fabric.add_host("a");
         let b = fabric.add_host("b");
-        let ea = Endpoint { host: a, port: 7400 };
-        let eb = Endpoint { host: b, port: 7400 };
+        let ea = Endpoint {
+            host: a,
+            port: 7400,
+        };
+        let eb = Endpoint {
+            host: b,
+            port: 7400,
+        };
         let na = CycloneLite::new(&fabric, a, 7400, vec![eb]).unwrap();
         let nb = CycloneLite::new(&fabric, b, 7400, vec![ea]).unwrap();
         (fabric, na, nb)

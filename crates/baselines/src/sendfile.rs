@@ -241,9 +241,7 @@ mod tests {
         let b = fabric.add_host("b");
         let s = SimUdpSocket::bind(&fabric, a, 1).unwrap();
         s.set_mtu(SimUdpSocket::JUMBO_MTU);
-        let _sink = fabric
-            .bind(Endpoint { host: b, port: 1 })
-            .unwrap();
+        let _sink = fabric.bind(Endpoint { host: b, port: 1 }).unwrap();
         let payload = vec![0u8; 8192];
         let dst = Endpoint { host: b, port: 1 };
         let mut copy_ns = u64::MAX;

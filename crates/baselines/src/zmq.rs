@@ -194,8 +194,14 @@ mod tests {
         let fabric = Fabric::new(TestbedProfile::local());
         let a = fabric.add_host("a");
         let b = fabric.add_host("b");
-        let ea = Endpoint { host: a, port: 5555 };
-        let eb = Endpoint { host: b, port: 5555 };
+        let ea = Endpoint {
+            host: a,
+            port: 5555,
+        };
+        let eb = Endpoint {
+            host: b,
+            port: 5555,
+        };
         let na = ZmqLite::new(&fabric, a, 5555, vec![eb]).unwrap();
         let nb = ZmqLite::new(&fabric, b, 5555, vec![ea]).unwrap();
         (fabric, na, nb)
@@ -246,7 +252,10 @@ mod tests {
         let fabric = Fabric::new(TestbedProfile::local());
         let a = fabric.add_host("a");
         let b = fabric.add_host("b");
-        let eb = Endpoint { host: b, port: 7400 };
+        let eb = Endpoint {
+            host: b,
+            port: 7400,
+        };
         let ca = CycloneLite::new(&fabric, a, 7400, vec![eb]).unwrap();
         let cb = CycloneLite::new(&fabric, b, 7400, vec![]).unwrap();
         let mut cyclone = u64::MAX;

@@ -9,7 +9,9 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::time::Instant;
 
-use insane_core::{ChannelId, ConsumeMode, InsaneError, QosPolicy, Runtime, RuntimeConfig, Session, ThreadingMode};
+use insane_core::{
+    ChannelId, ConsumeMode, InsaneError, QosPolicy, Runtime, RuntimeConfig, Session, ThreadingMode,
+};
 use insane_fabric::{Fabric, Technology, TestbedProfile};
 use insane_memory::{PoolConfig, SlotPool};
 use insane_queues::spsc;

@@ -10,8 +10,7 @@ use std::time::Instant;
 
 use insane_core::runtime::poll_until_quiescent;
 use insane_core::{
-    ChannelId, ConsumeMode, InsaneError, QosPolicy, Runtime, RuntimeConfig, Session,
-    ThreadingMode,
+    ChannelId, ConsumeMode, InsaneError, QosPolicy, Runtime, RuntimeConfig, Session, ThreadingMode,
 };
 use insane_fabric::{Fabric, Technology, TestbedProfile};
 

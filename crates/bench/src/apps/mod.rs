@@ -71,6 +71,9 @@ mod tests {
             "Table 3 ordering violated: insane={insane} udp={udp} dpdk={dpdk}"
         );
         // The native-DPDK version should be roughly twice the INSANE one.
-        assert!(dpdk as f64 / insane as f64 > 1.6, "dpdk={dpdk} insane={insane}");
+        assert!(
+            dpdk as f64 / insane as f64 > 1.6,
+            "dpdk={dpdk} insane={insane}"
+        );
     }
 }

@@ -24,7 +24,14 @@ fn profiles() -> [TestbedProfile; 2] {
 pub fn table1() {
     let mut table = Table::new(
         "Table 1 — end-host networking options",
-        &["Technology", "Kernel integration", "API", "Zero-copy", "CPU consumption", "Dedicated HW"],
+        &[
+            "Technology",
+            "Kernel integration",
+            "API",
+            "Zero-copy",
+            "CPU consumption",
+            "Dedicated HW",
+        ],
     );
     for tech in Technology::ALL {
         table.row(vec![
@@ -33,7 +40,12 @@ pub fn table1() {
             tech.api_name().to_owned(),
             if tech.zero_copy() { "Yes" } else { "No" }.to_owned(),
             tech.cpu_consumption().to_owned(),
-            if tech.requires_dedicated_hardware() { "Yes" } else { "No" }.to_owned(),
+            if tech.requires_dedicated_hardware() {
+                "Yes"
+            } else {
+                "No"
+            }
+            .to_owned(),
         ]);
     }
     table.print();
@@ -53,7 +65,10 @@ pub fn table2() {
             profile.cpu.to_owned(),
             format!("{}GB", profile.ram_gb),
             profile.nic.to_owned(),
-            profile.switch.map(|s| s.name.to_owned()).unwrap_or_else(|| "—".to_owned()),
+            profile
+                .switch
+                .map(|s| s.name.to_owned())
+                .unwrap_or_else(|| "—".to_owned()),
         ]);
     }
     table.print();
@@ -65,15 +80,14 @@ pub fn table3() {
     // Prove all three applications actually work before counting them.
     let profile = TestbedProfile::local();
     let runs = iters(3);
-    assert!(!apps::insane_app::run(
-        profile.clone(),
-        insane_core::QosPolicy::fast(),
-        64,
-        runs
-    )
-    .rtt_ns
-    .is_empty());
-    assert!(!apps::udp_app::run(profile.clone(), 64, runs).rtt_ns.is_empty());
+    assert!(
+        !apps::insane_app::run(profile.clone(), insane_core::QosPolicy::fast(), 64, runs)
+            .rtt_ns
+            .is_empty()
+    );
+    assert!(!apps::udp_app::run(profile.clone(), 64, runs)
+        .rtt_ns
+        .is_empty());
     assert!(!apps::dpdk_app::run(profile, 64, runs).rtt_ns.is_empty());
 
     let insane = apps::loc(apps::INSANE_APP_SRC);
@@ -111,7 +125,13 @@ pub fn fig5() {
     for profile in profiles() {
         let mut table = Table::new(
             &format!("Fig. 5 — RTT vs payload ({})", profile.name),
-            &["System", "Payload (B)", "median (us)", "p25 (us)", "p75 (us)"],
+            &[
+                "System",
+                "Payload (B)",
+                "median (us)",
+                "p25 (us)",
+                "p75 (us)",
+            ],
         );
         for system in systems {
             for payload in PAYLOADS_SMALL {
@@ -139,7 +159,14 @@ pub fn fig6() {
     let warmup = iters(30);
     let mut table = Table::new(
         "Fig. 6 — INSANE fast latency breakdown (64B, per round trip)",
-        &["Testbed", "Send (us)", "Receive (us)", "Data processing (us)", "Network (us)", "Total (us)"],
+        &[
+            "Testbed",
+            "Send (us)",
+            "Receive (us)",
+            "Data processing (us)",
+            "Network (us)",
+            "Total (us)",
+        ],
     );
     for profile in profiles() {
         let acc = insane_fast_breakdown(&profile, 64, n, warmup);
@@ -252,7 +279,13 @@ pub fn fig9a() {
     let warmup = iters(20);
     let mut table = Table::new(
         "Fig. 9a — MoM RTT vs payload (Local)",
-        &["System", "Payload (B)", "median (us)", "p25 (us)", "p75 (us)"],
+        &[
+            "System",
+            "Payload (B)",
+            "median (us)",
+            "p25 (us)",
+            "p75 (us)",
+        ],
     );
     for system in systems {
         for payload in PAYLOADS_SMALL {
@@ -424,7 +457,7 @@ fn ablation_batching() {
                     match source.emit(buf) {
                         Ok(_) => {
                             sent += 1;
-                            if sent % burst.max(1) == 0 {
+                            if sent.is_multiple_of(burst.max(1)) {
                                 pair.rt_a.poll_technology(Technology::Dpdk);
                             }
                         }

@@ -193,8 +193,14 @@ fn demi_rtt(
     let qb = db.socket().expect("qd b");
     da.bind(qa, 9000).expect("bind a");
     db.bind(qb, 9000).expect("bind b");
-    let ea = Endpoint { host: a, port: 9000 };
-    let eb = Endpoint { host: b, port: 9000 };
+    let ea = Endpoint {
+        host: a,
+        port: 9000,
+    };
+    let eb = Endpoint {
+        host: b,
+        port: 9000,
+    };
     let msg = vec![0xA5u8; payload];
     let mut series = Series::new();
     for i in 0..iters + warmup {
@@ -277,10 +283,7 @@ pub fn insane_fast_breakdown(
     iters: usize,
     warmup: usize,
 ) -> BreakdownAverages {
-    let pair = InsanePair::new(
-        profile.clone(),
-        &[Technology::KernelUdp, Technology::Dpdk],
-    );
+    let pair = InsanePair::new(profile.clone(), &[Technology::KernelUdp, Technology::Dpdk]);
     let (ping_source, ping_sink, pong_source, pong_sink) = pair.ping_pong(QosPolicy::fast());
     let msg = vec![0xA5u8; payload];
     let mut acc = BreakdownAverages::default();

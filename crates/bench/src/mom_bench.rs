@@ -46,10 +46,22 @@ pub fn mom_rtt_series(
     warmup: usize,
 ) -> Series {
     match system {
-        MomSystem::LunarFast => lunar_rtt(profile, QosPolicy::fast(), Technology::Dpdk, payload, iters, warmup),
-        MomSystem::LunarSlow => {
-            lunar_rtt(profile, QosPolicy::slow(), Technology::KernelUdp, payload, iters, warmup)
-        }
+        MomSystem::LunarFast => lunar_rtt(
+            profile,
+            QosPolicy::fast(),
+            Technology::Dpdk,
+            payload,
+            iters,
+            warmup,
+        ),
+        MomSystem::LunarSlow => lunar_rtt(
+            profile,
+            QosPolicy::slow(),
+            Technology::KernelUdp,
+            payload,
+            iters,
+            warmup,
+        ),
         MomSystem::CycloneDds => cyclone_rtt(profile, payload, iters, warmup),
         MomSystem::ZeroMq => zmq_rtt(profile, payload, iters, warmup),
     }
@@ -111,8 +123,14 @@ fn cyclone_rtt(profile: &TestbedProfile, payload: usize, iters: usize, warmup: u
     let fabric = Fabric::new(profile.clone());
     let a = fabric.add_host("a");
     let b = fabric.add_host("b");
-    let ea = Endpoint { host: a, port: 7400 };
-    let eb = Endpoint { host: b, port: 7400 };
+    let ea = Endpoint {
+        host: a,
+        port: 7400,
+    };
+    let eb = Endpoint {
+        host: b,
+        port: 7400,
+    };
     let na = CycloneLite::new(&fabric, a, 7400, vec![eb]).expect("node a");
     let nb = CycloneLite::new(&fabric, b, 7400, vec![ea]).expect("node b");
     let msg = vec![0xC3u8; payload];
@@ -134,8 +152,14 @@ fn zmq_rtt(profile: &TestbedProfile, payload: usize, iters: usize, warmup: usize
     let fabric = Fabric::new(profile.clone());
     let a = fabric.add_host("a");
     let b = fabric.add_host("b");
-    let ea = Endpoint { host: a, port: 5555 };
-    let eb = Endpoint { host: b, port: 5555 };
+    let ea = Endpoint {
+        host: a,
+        port: 5555,
+    };
+    let eb = Endpoint {
+        host: b,
+        port: 5555,
+    };
     let na = ZmqLite::new(&fabric, a, 5555, vec![eb]).expect("node a");
     let nb = ZmqLite::new(&fabric, b, 5555, vec![ea]).expect("node b");
     na.subscribe(b"pong");
@@ -165,10 +189,16 @@ pub fn mom_goodput_gbps(
 ) -> f64 {
     let wire = wire_ns_per_msg(profile, payload);
     let (tx, rx) = match system {
-        MomSystem::LunarFast => lunar_stages(profile, QosPolicy::fast(), Technology::Dpdk, payload, n),
-        MomSystem::LunarSlow => {
-            lunar_stages(profile, QosPolicy::slow(), Technology::KernelUdp, payload, n)
+        MomSystem::LunarFast => {
+            lunar_stages(profile, QosPolicy::fast(), Technology::Dpdk, payload, n)
         }
+        MomSystem::LunarSlow => lunar_stages(
+            profile,
+            QosPolicy::slow(),
+            Technology::KernelUdp,
+            payload,
+            n,
+        ),
         MomSystem::CycloneDds => cyclone_stages(profile, payload, n),
         MomSystem::ZeroMq => zmq_stages(profile, payload, n),
     };
@@ -184,8 +214,11 @@ fn lunar_stages(
 ) -> (u64, u64) {
     // TX stage: publish with the receiving node unpolled.
     let tx_ns = {
-        let pair =
-            InsanePair::with_config(profile.clone(), &[Technology::KernelUdp, Technology::Dpdk], throughput_config);
+        let pair = InsanePair::with_config(
+            profile.clone(),
+            &[Technology::KernelUdp, Technology::Dpdk],
+            throughput_config,
+        );
         let mom_a = LunarMom::connect(&pair.rt_a, qos).expect("mom a");
         let mom_b = LunarMom::connect(&pair.rt_b, qos).expect("mom b");
         let _sub = mom_b.subscriber("bench/tput").expect("sub");
@@ -199,7 +232,7 @@ fn lunar_stages(
             match publisher.publish(&msg) {
                 Ok(()) => {
                     sent += 1;
-                    if sent % 16 == 0 {
+                    if sent.is_multiple_of(16) {
                         pair.rt_a.poll_technology(hot_path);
                     }
                 }
@@ -217,8 +250,11 @@ fn lunar_stages(
     };
     // RX stage: prefill rounds, timed subscriber drain.
     let rx_ns = {
-        let pair =
-            InsanePair::with_config(profile.clone(), &[Technology::KernelUdp, Technology::Dpdk], throughput_config);
+        let pair = InsanePair::with_config(
+            profile.clone(),
+            &[Technology::KernelUdp, Technology::Dpdk],
+            throughput_config,
+        );
         let mom_a = LunarMom::connect(&pair.rt_a, qos).expect("mom a");
         let mom_b = LunarMom::connect(&pair.rt_b, qos).expect("mom b");
         let sub = mom_b.subscriber("bench/tput").expect("sub");
@@ -271,7 +307,10 @@ fn cyclone_stages(profile: &TestbedProfile, payload: usize, n: usize) -> (u64, u
     let fabric = Fabric::new(profile.clone());
     let a = fabric.add_host("a");
     let b = fabric.add_host("b");
-    let eb = Endpoint { host: b, port: 7400 };
+    let eb = Endpoint {
+        host: b,
+        port: 7400,
+    };
     let na = CycloneLite::new(&fabric, a, 7400, vec![eb]).expect("node a");
     let nb = CycloneLite::new(&fabric, b, 7400, vec![]).expect("node b");
     let msg = vec![0xC3u8; payload];
@@ -300,7 +339,10 @@ fn zmq_stages(profile: &TestbedProfile, payload: usize, n: usize) -> (u64, u64) 
     let fabric = Fabric::new(profile.clone());
     let a = fabric.add_host("a");
     let b = fabric.add_host("b");
-    let eb = Endpoint { host: b, port: 5555 };
+    let eb = Endpoint {
+        host: b,
+        port: 5555,
+    };
     let na = ZmqLite::new(&fabric, a, 5555, vec![eb]).expect("node a");
     let nb = ZmqLite::new(&fabric, b, 5555, vec![]).expect("node b");
     nb.subscribe(b"t");

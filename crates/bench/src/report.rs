@@ -47,7 +47,10 @@ impl Table {
             .map(|(i, h)| format!("{:width$}", h, width = widths[i]))
             .collect();
         println!("{}", header.join("  "));
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             let line: Vec<String> = row
                 .iter()

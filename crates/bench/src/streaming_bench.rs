@@ -66,9 +66,13 @@ pub fn run_streaming(
     frames: usize,
 ) -> StreamingResult {
     match variant {
-        StreamVariant::LunarFast => {
-            lunar_streaming(profile, QosPolicy::fast(), Technology::Dpdk, frame_size, frames)
-        }
+        StreamVariant::LunarFast => lunar_streaming(
+            profile,
+            QosPolicy::fast(),
+            Technology::Dpdk,
+            frame_size,
+            frames,
+        ),
         StreamVariant::LunarSlow => lunar_streaming(
             profile,
             QosPolicy::slow(),

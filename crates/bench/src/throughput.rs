@@ -87,13 +87,25 @@ impl Stages {
 pub fn stages(system: TputSystem, profile: &TestbedProfile, payload: usize, n: usize) -> Stages {
     let wire_ns = wire_ns_per_msg(profile, payload);
     let (tx_ns, rx_ns) = match system {
-        TputSystem::KernelUdp => (udp_tx_ns(profile, payload, n), udp_rx_ns(profile, payload, n)),
-        TputSystem::RawDpdk => (dpdk_tx_ns(profile, payload, n), dpdk_rx_ns(profile, payload, n)),
+        TputSystem::KernelUdp => (
+            udp_tx_ns(profile, payload, n),
+            udp_rx_ns(profile, payload, n),
+        ),
+        TputSystem::RawDpdk => (
+            dpdk_tx_ns(profile, payload, n),
+            dpdk_rx_ns(profile, payload, n),
+        ),
         TputSystem::Catnap => demi_stages(Backend::Catnap, profile, payload, n),
         TputSystem::Catnip => demi_stages(Backend::Catnip, profile, payload, n),
         TputSystem::InsaneSlow => {
-            let (s, _) =
-                insane_stages(profile, QosPolicy::slow(), Technology::KernelUdp, payload, n, 1);
+            let (s, _) = insane_stages(
+                profile,
+                QosPolicy::slow(),
+                Technology::KernelUdp,
+                payload,
+                n,
+                1,
+            );
             (s.tx_ns, s.rx_ns)
         }
         TputSystem::InsaneFast => {
@@ -109,12 +121,7 @@ pub fn stages(system: TputSystem, profile: &TestbedProfile, payload: usize, n: u
 }
 
 /// Fig. 8a entry point: goodput of `system`.
-pub fn goodput_gbps(
-    system: TputSystem,
-    profile: &TestbedProfile,
-    payload: usize,
-    n: usize,
-) -> f64 {
+pub fn goodput_gbps(system: TputSystem, profile: &TestbedProfile, payload: usize, n: usize) -> f64 {
     stages(system, profile, payload, n).goodput_gbps(payload)
 }
 
@@ -126,7 +133,14 @@ pub fn insane_multi_sink_gbps(
     sinks: usize,
     n: usize,
 ) -> f64 {
-    let (stages, _) = insane_stages(profile, QosPolicy::fast(), Technology::Dpdk, payload, n, sinks);
+    let (stages, _) = insane_stages(
+        profile,
+        QosPolicy::fast(),
+        Technology::Dpdk,
+        payload,
+        n,
+        sinks,
+    );
     stages.goodput_gbps(payload)
 }
 
@@ -141,7 +155,10 @@ fn udp_tx_ns(profile: &TestbedProfile, payload: usize, n: usize) -> u64 {
     let socket = SimUdpSocket::bind(&fabric, a, 9000).expect("socket");
     socket.set_mtu(SimUdpSocket::JUMBO_MTU);
     // Shallow destination: frames drop cheaply, sender is unthrottled.
-    let dst = Endpoint { host: b, port: 9000 };
+    let dst = Endpoint {
+        host: b,
+        port: 9000,
+    };
     let _sink = fabric.bind_with_capacity(dst, 64).expect("sink port");
     let msg = vec![0x5Au8; payload];
     let round = 256.min(n.max(1));
@@ -240,7 +257,6 @@ fn dpdk_tx_ns(profile: &TestbedProfile, payload: usize, n: usize) -> u64 {
     median_per_msg(&samples, round)
 }
 
-
 fn dpdk_rx_ns(profile: &TestbedProfile, payload: usize, n: usize) -> u64 {
     let fabric = Fabric::new(profile.clone());
     let a = fabric.add_host("a");
@@ -280,12 +296,7 @@ fn dpdk_rx_ns(profile: &TestbedProfile, payload: usize, n: usize) -> u64 {
 // Demikernel
 // ---------------------------------------------------------------------
 
-fn demi_stages(
-    backend: Backend,
-    profile: &TestbedProfile,
-    payload: usize,
-    n: usize,
-) -> (u64, u64) {
+fn demi_stages(backend: Backend, profile: &TestbedProfile, payload: usize, n: usize) -> (u64, u64) {
     // TX stage.
     let tx_ns = {
         let fabric = Fabric::new(profile.clone());
@@ -294,7 +305,10 @@ fn demi_stages(
         let mut demi = Demikernel::new(backend, &fabric, a).expect("libos");
         let qd = demi.socket().expect("qd");
         demi.bind(qd, 9000).expect("bind");
-        let dst = Endpoint { host: b, port: 9000 };
+        let dst = Endpoint {
+            host: b,
+            port: 9000,
+        };
         let _sink = fabric.bind_with_capacity(dst, 64).expect("sink");
         let msg = vec![0x5Au8; payload];
         let round = 256.min(n.max(1));
@@ -321,7 +335,10 @@ fn demi_stages(
         tx.bind(qt, 9000).expect("bind");
         let qd = demi.socket().expect("qd");
         demi.bind(qd, 9000).expect("bind");
-        let dst = Endpoint { host: b, port: 9000 };
+        let dst = Endpoint {
+            host: b,
+            port: 9000,
+        };
         let msg = vec![0x5Au8; payload];
         let round = 256.min(n.max(1));
         let rounds = n.div_ceil(round).max(4);
@@ -366,8 +383,11 @@ fn insane_stages(
     // messages onto the wire) but is never polled; its NIC ring absorbs
     // and then drops, exactly like an overrun receiver.
     let tx_ns = {
-        let pair =
-            InsanePair::with_config(throughput_profile(profile.clone()), &techs, throughput_config);
+        let pair = InsanePair::with_config(
+            throughput_profile(profile.clone()),
+            &techs,
+            throughput_config,
+        );
         let (source, _sinks) = pair.one_way(qos, 1);
         let round = 256.min(n.max(1));
         let rounds = n.div_ceil(round).max(4);
@@ -384,7 +404,7 @@ fn insane_stages(
                             Ok(token) => {
                                 last_token = Some(token);
                                 emitted += 1;
-                                if emitted % 32 == 0 {
+                                if emitted.is_multiple_of(32) {
                                     pair.rt_a.poll_transmit(hot_path);
                                 }
                             }
@@ -421,8 +441,11 @@ fn insane_stages(
     // cores, so their work runs in parallel across sinks, not multiplied
     // by the sink count.
     let (rx_ns, dropped) = {
-        let pair =
-            InsanePair::with_config(throughput_profile(profile.clone()), &techs, throughput_config);
+        let pair = InsanePair::with_config(
+            throughput_profile(profile.clone()),
+            &techs,
+            throughput_config,
+        );
         let (source, sink_handles) = pair.one_way(qos, sinks);
         let round = 256.min(n.max(1));
         let rounds = n.div_ceil(round).max(4);

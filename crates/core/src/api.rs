@@ -168,7 +168,7 @@ impl Stream {
         let max_payload = self
             .runtime
             .inner()
-            .plugin_for(self.shared.mapped.technology)
+            .plugin_for(self.shared.mapped.technology)?
             .max_payload()
             .min(self.runtime.inner().pools().max_slot_size() - PAYLOAD_OFFSET);
         Ok(Source {
@@ -363,9 +363,7 @@ impl Source {
         buffer: MessageBuffer,
         frag: Option<(u16, u16, u32, u64)>,
     ) -> Result<EmitToken, InsaneError> {
-        if self.stream.closed.load(Ordering::Acquire)
-            || self.runtime.inner().is_stopped()
-        {
+        if self.stream.closed.load(Ordering::Acquire) || self.runtime.inner().is_stopped() {
             return Err(InsaneError::Closed);
         }
         let seq = self.stream.next_seq();

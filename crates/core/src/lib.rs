@@ -53,11 +53,13 @@ pub mod runtime;
 pub mod stats;
 
 pub use api::{
-    ConsumeMode, EmitOutcome, EmitToken, IncomingMessage, MessageBuffer, Session, Sink,
-    SinkStats, Source, Stream,
+    ConsumeMode, EmitOutcome, EmitToken, IncomingMessage, MessageBuffer, Session, Sink, SinkStats,
+    Source, Stream,
 };
-pub use qos::{Acceleration, MappedPath, MappingStrategy, QosPolicy, ResourceUsage, TimeSensitivity};
-pub use runtime::{Runtime, RuntimeConfig, SchedulerChoice, ThreadingMode};
+pub use qos::{
+    Acceleration, MappedPath, MappingStrategy, QosPolicy, ResourceUsage, TimeSensitivity,
+};
+pub use runtime::{ControlPlaneConfig, Runtime, RuntimeConfig, SchedulerChoice, ThreadingMode};
 
 // Re-exported so downstream crates can match on the middleware's nested
 // error causes without depending on the substrate crates directly.
@@ -115,6 +117,9 @@ pub enum InsaneError {
     CallbackSink,
     /// Internal queue between library and runtime is full (back-pressure).
     Backpressure,
+    /// An internal invariant failed or an OS resource was unavailable
+    /// (e.g. a polling thread could not be spawned).
+    Internal(String),
 }
 
 impl fmt::Display for InsaneError {
@@ -130,12 +135,19 @@ impl fmt::Display for InsaneError {
                 write!(f, "blocking operation requires a started runtime")
             }
             InsaneError::PayloadTooLarge { len, max } => {
-                write!(f, "payload of {len} bytes exceeds the datapath maximum of {max}")
+                write!(
+                    f,
+                    "payload of {len} bytes exceeds the datapath maximum of {max}"
+                )
             }
             InsaneError::CallbackSink => {
-                write!(f, "sink delivers through its callback; direct consume is unavailable")
+                write!(
+                    f,
+                    "sink delivers through its callback; direct consume is unavailable"
+                )
             }
             InsaneError::Backpressure => write!(f, "runtime queue full, retry later"),
+            InsaneError::Internal(msg) => write!(f, "internal runtime failure: {msg}"),
         }
     }
 }
@@ -173,6 +185,39 @@ impl From<insane_netstack::NetstackError> for InsaneError {
 impl From<insane_tsn::TsnError> for InsaneError {
     fn from(e: insane_tsn::TsnError) -> Self {
         InsaneError::Tsn(e)
+    }
+}
+
+type WarningHook = std::sync::Arc<dyn Fn(&str) + Send + Sync>;
+
+/// The process-wide warning hook (None = silent).
+///
+/// `RwLock` rather than `OnceLock` so tests can install and replace hooks
+/// freely; warnings are rare (failovers, expiries, abandoned control
+/// messages), so the read-lock cost is irrelevant.
+static WARNING_HOOK: std::sync::RwLock<Option<WarningHook>> = std::sync::RwLock::new(None);
+
+/// Installs a process-wide hook invoked for every runtime warning
+/// (datapath failover/failback, peer expiry and recovery, abandoned
+/// control messages).  Replaces any previous hook.  The default is
+/// silence: the middleware never writes to stderr on its own.
+pub fn set_warning_hook<F: Fn(&str) + Send + Sync + 'static>(hook: F) {
+    *WARNING_HOOK.write().unwrap_or_else(|e| e.into_inner()) = Some(std::sync::Arc::new(hook));
+}
+
+/// Removes the warning hook installed by [`set_warning_hook`].
+pub fn clear_warning_hook() {
+    *WARNING_HOOK.write().unwrap_or_else(|e| e.into_inner()) = None;
+}
+
+/// Emits one warning through the installed hook, if any.
+pub(crate) fn warn(msg: &str) {
+    let hook = WARNING_HOOK
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone();
+    if let Some(hook) = hook {
+        hook(msg);
     }
 }
 

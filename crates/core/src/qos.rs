@@ -236,7 +236,10 @@ mod tests {
     #[test]
     fn policy_presets_match_paper_configurations() {
         assert_eq!(QosPolicy::slow().acceleration, Acceleration::None);
-        assert_eq!(QosPolicy::fast().resource_usage, ResourceUsage::Unconstrained);
+        assert_eq!(
+            QosPolicy::fast().resource_usage,
+            ResourceUsage::Unconstrained
+        );
         assert_eq!(
             QosPolicy::frugal().resource_usage,
             ResourceUsage::Constrained

@@ -27,6 +27,12 @@ pub(crate) enum ControlOp {
     Subscribe = 3,
     /// Unsubscribe from the channel in the header.
     Unsubscribe = 4,
+    /// Acknowledges a Subscribe for the channel in the header, so the
+    /// subscriber can stop retransmitting it.
+    SubscribeAck = 5,
+    /// Periodic liveness beacon; receiving any control message (this one
+    /// included) resets the sender's miss counter.
+    Heartbeat = 6,
 }
 
 impl ControlOp {
@@ -36,8 +42,16 @@ impl ControlOp {
             2 => Some(ControlOp::HelloAck),
             3 => Some(ControlOp::Subscribe),
             4 => Some(ControlOp::Unsubscribe),
+            5 => Some(ControlOp::SubscribeAck),
+            6 => Some(ControlOp::Heartbeat),
             _ => None,
         }
+    }
+
+    /// Whether the receiver answers this op with an ack (and the sender
+    /// therefore retransmits it until acked).
+    pub(crate) fn needs_ack(self) -> bool {
+        matches!(self, ControlOp::Hello | ControlOp::Subscribe)
     }
 }
 
@@ -45,26 +59,30 @@ impl ControlOp {
 /// technology's position in [`insane_fabric::Technology::ALL`]).
 pub(crate) type TechMask = u8;
 
+/// Bit position of a technology within a [`TechMask`] (Table 1 order,
+/// matching [`insane_fabric::Technology::ALL`]).
+fn tech_bit(tech: insane_fabric::Technology) -> u8 {
+    use insane_fabric::Technology;
+    match tech {
+        Technology::KernelUdp => 0,
+        Technology::Xdp => 1,
+        Technology::Dpdk => 2,
+        Technology::Rdma => 3,
+    }
+}
+
 /// Computes the capability mask for a set of attached technologies.
 pub(crate) fn tech_mask(techs: &[insane_fabric::Technology]) -> TechMask {
     let mut mask = 0u8;
-    for tech in techs {
-        let bit = insane_fabric::Technology::ALL
-            .iter()
-            .position(|t| t == tech)
-            .expect("technology is in ALL");
-        mask |= 1 << bit;
+    for &tech in techs {
+        mask |= 1 << tech_bit(tech);
     }
     mask
 }
 
 /// Whether `mask` advertises `tech`.
 pub(crate) fn mask_supports(mask: TechMask, tech: insane_fabric::Technology) -> bool {
-    let bit = insane_fabric::Technology::ALL
-        .iter()
-        .position(|t| *t == tech)
-        .expect("technology is in ALL");
-    mask & (1 << bit) != 0
+    mask & (1 << tech_bit(tech)) != 0
 }
 
 /// Serialized control payload: `[op, host_index:u32le, tech_mask]`.
@@ -205,6 +223,22 @@ impl Dispatcher {
         new
     }
 
+    /// Forgets a peer and every subscription it held; returns its host if
+    /// it was known.  Called when the failure detector expires the peer.
+    pub(crate) fn remove_peer(&self, runtime_id: u32) -> Option<HostId> {
+        let removed = self.peers.write().remove(&runtime_id);
+        if removed.is_some() {
+            let mut subs = self.remote_subs.write();
+            subs.retain(|_, set| {
+                set.remove(&runtime_id);
+                !set.is_empty()
+            });
+            drop(subs);
+            self.bump();
+        }
+        removed.map(|(host, _)| host)
+    }
+
     /// Known peers (runtime id, host).
     pub(crate) fn peers(&self) -> Vec<(u32, HostId)> {
         self.peers
@@ -236,7 +270,6 @@ impl Dispatcher {
         drop(subs);
         self.bump();
     }
-
 }
 
 #[cfg(test)]
@@ -267,6 +300,8 @@ mod tests {
             ControlOp::HelloAck,
             ControlOp::Subscribe,
             ControlOp::Unsubscribe,
+            ControlOp::SubscribeAck,
+            ControlOp::Heartbeat,
         ] {
             let host = HostId::from_index(42);
             let bytes = encode_control(op, host, 0b0101);
@@ -274,6 +309,33 @@ mod tests {
         }
         assert_eq!(decode_control(&[9, 0, 0, 0, 0, 0]), None);
         assert_eq!(decode_control(&[1, 0]), None);
+    }
+
+    #[test]
+    fn only_announcements_need_acks() {
+        assert!(ControlOp::Hello.needs_ack());
+        assert!(ControlOp::Subscribe.needs_ack());
+        assert!(!ControlOp::HelloAck.needs_ack());
+        assert!(!ControlOp::SubscribeAck.needs_ack());
+        assert!(!ControlOp::Heartbeat.needs_ack());
+        assert!(!ControlOp::Unsubscribe.needs_ack());
+    }
+
+    #[test]
+    fn remove_peer_purges_its_subscriptions() {
+        let d = Dispatcher::default();
+        d.add_peer(10, HostId::from_index(1), 0xF);
+        d.add_peer(11, HostId::from_index(2), 0xF);
+        d.subscribe_remote(5, 10);
+        d.subscribe_remote(5, 11);
+        d.subscribe_remote(6, 10);
+        let before = d.version();
+        assert_eq!(d.remove_peer(10), Some(HostId::from_index(1)));
+        assert!(d.version() > before, "routing caches must invalidate");
+        assert_eq!(d.remote_targets(5), vec![(HostId::from_index(2), 0xF)]);
+        assert!(d.remote_targets(6).is_empty());
+        assert_eq!(d.remove_peer(10), None, "already gone");
+        assert_eq!(d.peers().len(), 1);
     }
 
     #[test]

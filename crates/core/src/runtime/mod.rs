@@ -12,18 +12,21 @@ pub(crate) mod dispatch;
 pub(crate) mod internals;
 pub(crate) mod plugins;
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
-use insane_fabric::{Fabric, HostId, Technology};
+use insane_fabric::{Endpoint, Fabric, HostId, Technology};
 use insane_memory::{PoolSet, PoolSetBuilder, SlotView};
 use insane_netstack::insane_hdr::{InsaneHeader, MessageKind};
 use insane_tsn::{FifoScheduler, GateControlList, Scheduler, TasScheduler, TrafficClass};
 use parking_lot::Mutex;
 
 use crate::qos::{DefaultMapping, MappedPath, MappingStrategy, QosPolicy};
-use crate::runtime::dispatch::{decode_control, encode_control, mask_supports, tech_mask, ControlOp, Dispatcher};
+use crate::runtime::dispatch::{
+    decode_control, encode_control, mask_supports, tech_mask, ControlOp, Dispatcher,
+};
 use crate::runtime::internals::{
     Delivery, OutcomeBoard, PayloadStore, SinkShared, StreamRegistry, StreamShared, TxRequest,
 };
@@ -60,9 +63,10 @@ pub enum ThreadingMode {
 
 /// Packet-scheduler selection (§5.2's time-sensitivity policy decides
 /// per-message classes; this picks the strategy implementation).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum SchedulerChoice {
     /// FIFO: packets leave as soon as they are emitted (default).
+    #[default]
     Fifo,
     /// IEEE 802.1Qbv time-aware shaping with an exclusive window for the
     /// time-critical class at the start of each cycle.
@@ -74,9 +78,36 @@ pub enum SchedulerChoice {
     },
 }
 
-impl Default for SchedulerChoice {
+/// Self-healing control-plane parameters: announcement retransmission
+/// and the heartbeat failure detector.
+///
+/// Announcements (Hello, Subscribe) are retransmitted with exponential
+/// backoff until acked or abandoned; heartbeats ride the kernel-UDP
+/// control channel, and a peer that misses too many in a row is expired
+/// (its subscriptions dropped) and probed until it recovers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlPlaneConfig {
+    /// Delay before the first retransmission of an unacked announcement;
+    /// doubles on every further attempt (capped at 100 ms).
+    pub retransmit_timeout: Duration,
+    /// Total transmission attempts (first send included) before an
+    /// announcement is abandoned and counted as a control timeout.
+    pub max_attempts: u32,
+    /// Interval between heartbeat rounds toward every known peer.
+    pub heartbeat_interval: Duration,
+    /// Consecutive heartbeat rounds without hearing anything from a peer
+    /// before it is expired.
+    pub miss_threshold: u32,
+}
+
+impl Default for ControlPlaneConfig {
     fn default() -> Self {
-        SchedulerChoice::Fifo
+        Self {
+            retransmit_timeout: Duration::from_millis(1),
+            max_attempts: 8,
+            heartbeat_interval: Duration::from_millis(5),
+            miss_threshold: 8,
+        }
     }
 }
 
@@ -107,6 +138,8 @@ pub struct RuntimeConfig {
     pub sink_queue_depth: usize,
     /// Maximum messages moved per polling step (burst size).
     pub burst: usize,
+    /// Control-plane retransmission and failure-detection parameters.
+    pub control: ControlPlaneConfig,
 }
 
 impl std::fmt::Debug for RuntimeConfig {
@@ -117,6 +150,7 @@ impl std::fmt::Debug for RuntimeConfig {
             .field("threading", &self.threading)
             .field("scheduler", &self.scheduler)
             .field("port_base", &self.port_base)
+            .field("control", &self.control)
             .finish()
     }
 }
@@ -142,6 +176,7 @@ impl RuntimeConfig {
             tx_queue_depth: 1_024,
             sink_queue_depth: 4_096,
             burst: 32,
+            control: ControlPlaneConfig::default(),
         }
     }
 
@@ -173,6 +208,12 @@ impl RuntimeConfig {
     /// Overrides the port base.
     pub fn with_port_base(mut self, base: u16) -> Self {
         self.port_base = base;
+        self
+    }
+
+    /// Overrides the control-plane retransmission/heartbeat parameters.
+    pub fn with_control(mut self, control: ControlPlaneConfig) -> Self {
+        self.control = control;
         self
     }
 }
@@ -247,6 +288,35 @@ struct Scratch {
     inbound_sinks: Vec<Arc<SinkShared>>,
 }
 
+/// One unacked announcement awaiting its retransmission deadline.
+#[derive(Debug)]
+struct PendingCtl {
+    op: ControlOp,
+    channel: u32,
+    dst: HostId,
+    /// Transmission attempts so far (the original send counts).
+    attempts: u32,
+    /// Current retransmission delay (doubles per attempt).
+    backoff: Duration,
+    next_at: Instant,
+}
+
+/// Mutable state of the self-healing control plane, driven from the
+/// kernel-UDP datapath's polling iterations.
+#[derive(Debug)]
+struct ControlPlane {
+    /// Unacked Hello/Subscribe announcements being retransmitted.
+    pending: Vec<PendingCtl>,
+    /// Per-peer-runtime count of heartbeat rounds since we last heard
+    /// from it.  Round-based rather than wall-clock so manually driven
+    /// runtimes never expire peers between polls.
+    misses: HashMap<u32, u32>,
+    /// Hosts of expired peers, probed with Hellos at heartbeat cadence
+    /// until they answer again.
+    dormant: Vec<HostId>,
+    next_heartbeat: Instant,
+}
+
 pub(crate) struct RuntimeInner {
     config: RuntimeConfig,
     fabric: Fabric,
@@ -257,13 +327,21 @@ pub(crate) struct RuntimeInner {
     scratch: Vec<Mutex<Scratch>>,
     pub(crate) streams: StreamRegistry,
     pub(crate) dispatcher: Dispatcher,
-    pub(crate) stats: RuntimeStats,
+    pub(crate) stats: Arc<RuntimeStats>,
     stop: AtomicBool,
     started: AtomicBool,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
     next_id: AtomicU64,
     control_seq: AtomicU64,
     hops: HopCosts,
+    /// Index of the kernel-UDP plugin (always attached: control plane and
+    /// universal fallback).
+    udp_idx: usize,
+    /// Health gate per plugin: true while the underlying device is failed.
+    plugin_down: Vec<AtomicBool>,
+    /// The fabric endpoint probed to decide each plugin's health.
+    health_eps: Vec<Endpoint>,
+    control: Mutex<ControlPlane>,
 }
 
 impl std::fmt::Debug for RuntimeInner {
@@ -304,33 +382,61 @@ impl Runtime {
             .pool(16 * 1_024, config.large_slots)
             .build()?;
 
+        let stats = Arc::new(RuntimeStats::default());
         let mut plugins: Vec<Arc<dyn DatapathPlugin>> = Vec::new();
+        let mut health_eps = Vec::new();
         for &tech in &config.technologies {
             let port = config.port_base + tech_port_offset(tech);
             let plugin: Arc<dyn DatapathPlugin> = match tech {
-                Technology::KernelUdp => Arc::new(UdpPlugin::new(fabric, host, port)?),
-                Technology::Dpdk => Arc::new(DpdkPlugin::new(fabric, host, port)?),
-                Technology::Xdp => Arc::new(XdpPlugin::new(fabric, host, port)?),
+                Technology::KernelUdp => {
+                    Arc::new(UdpPlugin::new(fabric, host, port, Arc::clone(&stats))?)
+                }
+                Technology::Dpdk => {
+                    Arc::new(DpdkPlugin::new(fabric, host, port, Arc::clone(&stats))?)
+                }
+                Technology::Xdp => {
+                    Arc::new(XdpPlugin::new(fabric, host, port, Arc::clone(&stats))?)
+                }
                 Technology::Rdma => Arc::new(RdmaPlugin::new(
                     fabric,
                     host,
                     config.port_base + 16,
                     16 * 1024 - PAYLOAD_OFFSET,
+                    Arc::clone(&stats),
                 )?),
             };
             plugins.push(plugin);
+            // The endpoint whose injected-failure state gates the whole
+            // plugin.  RDMA binds per-peer queue pairs from `base + 16`
+            // up, so whole-NIC failures are injected as a port range
+            // starting there (see `FaultInjector::fail_device_range`).
+            health_eps.push(Endpoint {
+                host,
+                port: match tech {
+                    Technology::Rdma => config.port_base + 16,
+                    t => config.port_base + tech_port_offset(t),
+                },
+            });
         }
-
-        let schedulers = plugins
+        let udp_idx = plugins
             .iter()
-            .map(|_| Mutex::new(Self::build_scheduler(&config.scheduler)))
-            .collect::<Vec<_>>();
+            .position(|p| p.technology() == Technology::KernelUdp)
+            .ok_or_else(|| {
+                InsaneError::Internal("kernel UDP datapath missing after normalization".into())
+            })?;
+
+        let mut schedulers = Vec::with_capacity(plugins.len());
+        for _ in &plugins {
+            schedulers.push(Mutex::new(Self::build_scheduler(&config.scheduler)?));
+        }
         let scratch = plugins
             .iter()
-            .map(|_| Mutex::new(Scratch {
-                streams_version: u64::MAX,
-                ..Scratch::default()
-            }))
+            .map(|_| {
+                Mutex::new(Scratch {
+                    streams_version: u64::MAX,
+                    ..Scratch::default()
+                })
+            })
             .collect::<Vec<_>>();
 
         let hops = HopCosts {
@@ -339,6 +445,13 @@ impl Runtime {
             scale_pct: fabric.profile().runtime_scale_pct,
         };
 
+        let control = ControlPlane {
+            pending: Vec::new(),
+            misses: HashMap::new(),
+            dormant: Vec::new(),
+            next_heartbeat: Instant::now() + config.control.heartbeat_interval,
+        };
+        let plugin_down = plugins.iter().map(|_| AtomicBool::new(false)).collect();
         let inner = Arc::new(RuntimeInner {
             config,
             fabric: fabric.clone(),
@@ -349,22 +462,26 @@ impl Runtime {
             scratch,
             streams: StreamRegistry::default(),
             dispatcher: Dispatcher::default(),
-            stats: RuntimeStats::default(),
+            stats,
             stop: AtomicBool::new(false),
             started: AtomicBool::new(false),
             threads: Mutex::new(Vec::new()),
             next_id: AtomicU64::new(1),
             control_seq: AtomicU64::new(0),
             hops,
+            udp_idx,
+            plugin_down,
+            health_eps,
+            control: Mutex::new(control),
         });
         let runtime = Runtime { inner };
-        runtime.spawn_threads();
+        runtime.spawn_threads()?;
         Ok(runtime)
     }
 
-    fn build_scheduler(choice: &SchedulerChoice) -> BoxedScheduler {
+    fn build_scheduler(choice: &SchedulerChoice) -> Result<BoxedScheduler, InsaneError> {
         match choice {
-            SchedulerChoice::Fifo => Box::new(FifoScheduler::new()),
+            SchedulerChoice::Fifo => Ok(Box::new(FifoScheduler::new())),
             SchedulerChoice::TimeAware {
                 critical_window,
                 cycle,
@@ -374,21 +491,18 @@ impl Runtime {
                     *critical_window,
                     *cycle,
                     Instant::now(),
-                )
-                .expect("validated window");
-                Box::new(TasScheduler::new(gcl))
+                )?;
+                Ok(Box::new(TasScheduler::new(gcl)))
             }
         }
     }
 
-    fn spawn_threads(&self) {
+    fn spawn_threads(&self) -> Result<(), InsaneError> {
         // Resolve the threading mode into per-thread plugin index lists.
         let assignments: Vec<Vec<usize>> = match &self.inner.config.threading {
-            ThreadingMode::Manual => return,
+            ThreadingMode::Manual => return Ok(()),
             ThreadingMode::Shared => vec![(0..self.inner.plugins.len()).collect()],
-            ThreadingMode::PerDatapath => {
-                (0..self.inner.plugins.len()).map(|i| vec![i]).collect()
-            }
+            ThreadingMode::PerDatapath => (0..self.inner.plugins.len()).map(|i| vec![i]).collect(),
             ThreadingMode::Custom(groups) => {
                 let mut assignments: Vec<Vec<usize>> = Vec::new();
                 let mut covered = vec![false; self.inner.plugins.len()];
@@ -427,7 +541,10 @@ impl Runtime {
             let name = if indices.len() == 1 {
                 format!(
                     "insane-{}",
-                    self.inner.plugins[indices[0]].technology().name().to_lowercase()
+                    self.inner.plugins[indices[0]]
+                        .technology()
+                        .name()
+                        .to_lowercase()
                 )
             } else {
                 format!("insane-poll-{thread_no}")
@@ -435,10 +552,13 @@ impl Runtime {
             let handle = std::thread::Builder::new()
                 .name(name)
                 .spawn(move || polling_loop(weak, indices))
-                .expect("spawn datapath thread");
+                .map_err(|e| {
+                    InsaneError::Internal(format!("failed to spawn datapath polling thread: {e}"))
+                })?;
             self.inner.threads.lock().push(handle);
         }
         self.inner.started.store(true, Ordering::Release);
+        Ok(())
     }
 
     /// This runtime's unique id.
@@ -474,8 +594,7 @@ impl Runtime {
     ///
     /// Propagates control-message send failures.
     pub fn add_peer(&self, peer_host: HostId) -> Result<(), InsaneError> {
-        self.inner
-            .send_control(ControlOp::Hello, 0, peer_host)
+        self.inner.send_control(ControlOp::Hello, 0, peer_host)
     }
 
     /// Runs one polling iteration of the plugin driving `tech` only;
@@ -611,8 +730,15 @@ impl RuntimeInner {
         self.plugins.iter().position(|p| p.technology() == tech)
     }
 
-    pub(crate) fn plugin_for(&self, tech: Technology) -> &Arc<dyn DatapathPlugin> {
-        &self.plugins[self.plugin_index(tech).expect("mapped technology is attached")]
+    pub(crate) fn plugin_for(
+        &self,
+        tech: Technology,
+    ) -> Result<&Arc<dyn DatapathPlugin>, InsaneError> {
+        self.plugin_index(tech)
+            .map(|idx| &self.plugins[idx])
+            .ok_or_else(|| {
+                InsaneError::Internal(format!("technology {} is not attached", tech.name()))
+            })
     }
 
     /// Maps a QoS policy and registers the resulting stream.
@@ -657,14 +783,43 @@ impl RuntimeInner {
 
     fn broadcast_control(&self, op: ControlOp, channel: u32) {
         for (_, host) in self.dispatcher.peers() {
-            let _ = self.send_control(op, channel, host);
+            self.send_control_logged(op, channel, host);
         }
+    }
+
+    /// As [`RuntimeInner::send_control`], but a failure is accounted and
+    /// warned about instead of propagated (for call sites that have no
+    /// caller to report to — broadcasts, replies, retransmissions).
+    fn send_control_logged(&self, op: ControlOp, channel: u32, dst: HostId) {
+        if let Err(e) = self.send_control(op, channel, dst) {
+            self.stats
+                .control_send_failures
+                .fetch_add(1, Ordering::Relaxed);
+            crate::warn(&format!(
+                "host {:?}: control {op:?} (channel {channel}) toward {dst:?} failed: {e}",
+                self.host
+            ));
+        }
+    }
+
+    /// Sends one control message; announcements that expect an ack are
+    /// additionally registered for retransmission until acked.
+    fn send_control(&self, op: ControlOp, channel: u32, dst: HostId) -> Result<(), InsaneError> {
+        if op.needs_ack() {
+            self.register_pending(op, channel, dst);
+        }
+        self.send_control_raw(op, channel, dst)
     }
 
     /// Builds and sends one control message over the kernel-UDP datapath
     /// (always attached: it carries the control plane).
-    fn send_control(&self, op: ControlOp, channel: u32, dst: HostId) -> Result<(), InsaneError> {
-        let plugin = self.plugin_for(Technology::KernelUdp);
+    fn send_control_raw(
+        &self,
+        op: ControlOp,
+        channel: u32,
+        dst: HostId,
+    ) -> Result<(), InsaneError> {
+        let plugin = &self.plugins[self.udp_idx];
         let payload = encode_control(op, self.host, tech_mask(&self.available_technologies()));
         let mut guard = self.pools.acquire(PAYLOAD_OFFSET + payload.len())?;
         guard[PAYLOAD_OFFSET..].copy_from_slice(&payload);
@@ -690,42 +845,205 @@ impl RuntimeInner {
         Ok(())
     }
 
+    /// Registers an unacked announcement for retransmission (idempotent:
+    /// an already-pending `(op, channel, dst)` keeps its schedule).
+    fn register_pending(&self, op: ControlOp, channel: u32, dst: HostId) {
+        let timeout = self.config.control.retransmit_timeout;
+        let mut cp = self.control.lock();
+        if cp
+            .pending
+            .iter()
+            .any(|p| p.op == op && p.channel == channel && p.dst == dst)
+        {
+            return;
+        }
+        cp.pending.push(PendingCtl {
+            op,
+            channel,
+            dst,
+            attempts: 1,
+            backoff: timeout,
+            next_at: Instant::now() + timeout,
+        });
+    }
+
+    /// Clears a pending announcement once its ack arrives.
+    fn ack_pending(&self, op: ControlOp, channel: u32, dst: HostId) {
+        self.control
+            .lock()
+            .pending
+            .retain(|p| !(p.op == op && p.channel == channel && p.dst == dst));
+    }
+
+    /// Resets the peer's heartbeat-miss counter; returns true when the
+    /// peer was dormant (expired earlier) and is now answering again.
+    fn note_peer_alive(&self, peer_runtime: u32, peer_host: HostId) -> bool {
+        let mut cp = self.control.lock();
+        cp.misses.insert(peer_runtime, 0);
+        match cp.dormant.iter().position(|h| *h == peer_host) {
+            Some(pos) => {
+                cp.dormant.swap_remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// (Re-)announces every locally subscribed channel to `peer` — with
+    /// retransmission, so the announcements survive a lossy control path.
+    fn announce_subscriptions(&self, peer: HostId) {
+        for channel in self.dispatcher.local_channels() {
+            self.send_control_logged(ControlOp::Subscribe, channel, peer);
+        }
+    }
+
+    /// One round of control-plane upkeep, driven from the kernel-UDP
+    /// datapath's polling iteration: due retransmissions, heartbeats,
+    /// peer expiry, and dormant-peer probing.  Returns whether anything
+    /// was actually done (a merely non-empty pending list between
+    /// deadlines is not work, so manual polling loops can settle).
+    fn control_tick(&self) -> bool {
+        let cfg = self.config.control;
+        let now = Instant::now();
+        let mut to_send: Vec<(ControlOp, u32, HostId)> = Vec::new();
+        let mut expired: Vec<u32> = Vec::new();
+        {
+            let mut cp = self.control.lock();
+            // Due retransmissions, with exponential backoff; exhausted
+            // announcements are abandoned loudly.
+            let mut i = 0;
+            while i < cp.pending.len() {
+                if now < cp.pending[i].next_at {
+                    i += 1;
+                    continue;
+                }
+                if cp.pending[i].attempts >= cfg.max_attempts {
+                    let p = cp.pending.swap_remove(i);
+                    self.stats.control_timeouts.fetch_add(1, Ordering::Relaxed);
+                    crate::warn(&format!(
+                        "host {:?}: abandoning control {:?} (channel {}) toward {:?} after {} attempts",
+                        self.host, p.op, p.channel, p.dst, p.attempts
+                    ));
+                    continue;
+                }
+                let p = &mut cp.pending[i];
+                p.attempts += 1;
+                p.backoff = (p.backoff * 2).min(Duration::from_millis(100));
+                p.next_at = now + p.backoff;
+                self.stats
+                    .control_retransmits
+                    .fetch_add(1, Ordering::Relaxed);
+                to_send.push((p.op, p.channel, p.dst));
+                i += 1;
+            }
+            // Heartbeat round: beat every peer, advance miss counters,
+            // expire the silent, probe the dormant.
+            if now >= cp.next_heartbeat {
+                cp.next_heartbeat = now + cfg.heartbeat_interval;
+                for (peer_runtime, peer_host) in self.dispatcher.peers() {
+                    let misses = cp.misses.entry(peer_runtime).or_insert(0);
+                    *misses += 1;
+                    if *misses > cfg.miss_threshold {
+                        cp.misses.remove(&peer_runtime);
+                        expired.push(peer_runtime);
+                    } else {
+                        self.stats.heartbeats_sent.fetch_add(1, Ordering::Relaxed);
+                        to_send.push((ControlOp::Heartbeat, 0, peer_host));
+                    }
+                }
+                for &host in &cp.dormant {
+                    to_send.push((ControlOp::Hello, 0, host));
+                }
+            }
+        }
+        let did = !to_send.is_empty() || !expired.is_empty();
+        for peer_runtime in expired {
+            let Some(host) = self.dispatcher.remove_peer(peer_runtime) else {
+                continue;
+            };
+            self.stats.peer_expiries.fetch_add(1, Ordering::Relaxed);
+            crate::warn(&format!(
+                "host {:?}: peer runtime {peer_runtime} on {host:?} missed {} heartbeats — expired; probing for recovery",
+                self.host, self.config.control.miss_threshold
+            ));
+            let mut cp = self.control.lock();
+            // Stop retransmitting toward the dead peer; probe instead.
+            cp.pending.retain(|p| p.dst != host);
+            if !cp.dormant.contains(&host) {
+                cp.dormant.push(host);
+            }
+        }
+        for (op, channel, dst) in to_send {
+            if let Err(e) = self.send_control_raw(op, channel, dst) {
+                self.stats
+                    .control_send_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                crate::warn(&format!(
+                    "host {:?}: control {op:?} (channel {channel}) toward {dst:?} failed: {e}",
+                    self.host
+                ));
+            }
+        }
+        did
+    }
+
     fn handle_control(&self, msg: &InboundMsg) {
         self.stats.control_messages.fetch_add(1, Ordering::Relaxed);
         let payload = &msg.store.bytes()[msg.payload_offset..];
         let Some((op, peer_host, peer_mask)) = decode_control(payload) else {
+            self.stats.rx_rejected.fetch_add(1, Ordering::Relaxed);
             return;
         };
         let peer_runtime = msg.hdr.src_runtime;
+        // Any control message proves the peer alive.
+        let recovered = self.note_peer_alive(peer_runtime, peer_host);
+        let new = self.dispatcher.add_peer(peer_runtime, peer_host, peer_mask);
+        if new {
+            for plugin in &self.plugins {
+                plugin.on_peer(peer_host);
+            }
+            if recovered {
+                self.stats.peers_recovered.fetch_add(1, Ordering::Relaxed);
+                crate::warn(&format!(
+                    "host {:?}: peer runtime {peer_runtime} on {peer_host:?} recovered",
+                    self.host
+                ));
+            }
+        }
         match op {
-            ControlOp::Hello | ControlOp::HelloAck => {
-                let new = self.dispatcher.add_peer(peer_runtime, peer_host, peer_mask);
+            ControlOp::Hello => {
+                self.send_control_logged(ControlOp::HelloAck, 0, peer_host);
+                // Always re-announce, not only to new peers: the sender
+                // may have expired us and dropped every subscription we
+                // held, and a Hello is how it asks for a re-sync.
+                self.announce_subscriptions(peer_host);
+            }
+            ControlOp::HelloAck => {
+                self.ack_pending(ControlOp::Hello, 0, peer_host);
                 if new {
-                    for plugin in &self.plugins {
-                        plugin.on_peer(peer_host);
-                    }
-                }
-                if op == ControlOp::Hello {
-                    let _ = self.send_control(ControlOp::HelloAck, 0, peer_host);
-                }
-                if new {
-                    // Re-announce our subscriptions to the new peer.
-                    for channel in self.dispatcher.local_channels() {
-                        let _ = self.send_control(ControlOp::Subscribe, channel, peer_host);
-                    }
+                    self.announce_subscriptions(peer_host);
                 }
             }
             ControlOp::Subscribe => {
-                if self.dispatcher.add_peer(peer_runtime, peer_host, peer_mask) {
-                    for plugin in &self.plugins {
-                        plugin.on_peer(peer_host);
-                    }
-                }
-                self.dispatcher.subscribe_remote(msg.hdr.channel, peer_runtime);
+                self.dispatcher
+                    .subscribe_remote(msg.hdr.channel, peer_runtime);
+                self.send_control_logged(ControlOp::SubscribeAck, msg.hdr.channel, peer_host);
+            }
+            ControlOp::SubscribeAck => {
+                self.ack_pending(ControlOp::Subscribe, msg.hdr.channel, peer_host);
             }
             ControlOp::Unsubscribe => {
                 self.dispatcher
                     .unsubscribe_remote(msg.hdr.channel, peer_runtime);
+            }
+            ControlOp::Heartbeat => {
+                if new {
+                    // A peer we had expired is beating again before our
+                    // probe reached it: a Hello makes both sides re-sync
+                    // their subscription state.
+                    self.send_control_logged(ControlOp::Hello, 0, peer_host);
+                    self.announce_subscriptions(peer_host);
+                }
             }
         }
     }
@@ -744,9 +1062,36 @@ impl RuntimeInner {
     /// the datapath's scratch area and are reused across iterations.
     pub(crate) fn poll_datapath(&self, idx: usize) -> bool {
         let plugin = &self.plugins[idx];
+
+        // Health probe: detect datapath up/down transitions and migrate
+        // traffic accordingly (self-healing, §6 of DESIGN.md).
+        let down = self.fabric.device_down(self.health_eps[idx]);
+        let mut did = false;
+        if down != self.plugin_down[idx].load(Ordering::Relaxed) {
+            self.plugin_down[idx].store(down, Ordering::Relaxed);
+            did = true;
+            self.note_datapath_transition(idx, down);
+        }
+
+        {
+            let mut scratch = self.scratch[idx].lock();
+            did |= self.poll_tx_inner(idx, &mut scratch);
+        }
+
+        // Control-plane upkeep rides on the kernel-UDP datapath's
+        // polling loop — the same path control messages travel.
+        if idx == self.udp_idx {
+            did |= self.control_tick();
+        }
+
+        // A downed accelerated device cannot receive; kernel UDP keeps
+        // polling so the control plane can observe recovery.
+        if down && idx != self.udp_idx {
+            return did;
+        }
+
         let mut scratch = self.scratch[idx].lock();
         let scratch = &mut *scratch;
-        let mut did = self.poll_tx_inner(idx, scratch);
 
         // Receive and dispatch (Fig. 4, steps 3-4).
         scratch.inbound.clear();
@@ -785,7 +1130,9 @@ impl RuntimeInner {
         //    datapath (Fig. 4, step 2).
         scratch.requests.clear();
         for stream in &scratch.streams {
-            stream.tx.pop_burst(&mut scratch.requests, self.config.burst);
+            stream
+                .tx
+                .pop_burst(&mut scratch.requests, self.config.burst);
             if scratch.requests.len() >= self.config.burst {
                 break;
             }
@@ -801,12 +1148,22 @@ impl RuntimeInner {
             scratch.requests = requests;
         }
 
+        // A downed accelerated datapath sends nothing; whatever reached
+        // its scheduler (including what step 1 just enqueued) evacuates
+        // to the kernel-UDP fallback instead.
+        if idx != self.udp_idx && self.plugin_down[idx].load(Ordering::Relaxed) {
+            did |= self.divert_scheduler(idx);
+            return did;
+        }
+
         // 2. Release scheduled messages to the device (opportunistic
         //    batching: everything ready goes as one burst).
         scratch.ready.clear();
-        self.schedulers[idx]
-            .lock()
-            .dequeue_ready(&mut scratch.ready, self.config.burst, Instant::now());
+        self.schedulers[idx].lock().dequeue_ready(
+            &mut scratch.ready,
+            self.config.burst,
+            Instant::now(),
+        );
         if !scratch.ready.is_empty() {
             did = true;
             let mut wire = std::mem::take(&mut scratch.wire);
@@ -814,8 +1171,7 @@ impl RuntimeInner {
             // Outcome boards are completed through the highest sequence
             // per board; the common case is one message per poll, so a
             // tiny inline scan beats a map.
-            let mut boards: Vec<(Arc<OutcomeBoard>, u64)> =
-                Vec::with_capacity(scratch.ready.len());
+            let mut boards: Vec<(Arc<OutcomeBoard>, u64)> = Vec::with_capacity(scratch.ready.len());
             for bundle in scratch.ready.drain(..) {
                 match bundle.msgs {
                     WireMsgs::One(msg) => wire.push(msg),
@@ -828,7 +1184,9 @@ impl RuntimeInner {
             scratch.wire = wire;
             match sent {
                 Ok(_) => {
-                    self.stats.tx_messages.fetch_add(wire_count, Ordering::Relaxed);
+                    self.stats
+                        .tx_messages
+                        .fetch_add(wire_count, Ordering::Relaxed);
                     for (board, seq) in boards {
                         board.complete_through(seq);
                     }
@@ -850,10 +1208,10 @@ impl RuntimeInner {
     fn process_tx(&self, idx: usize, req: TxRequest, now: Instant, scratch: &mut Scratch) {
         let plugin = &self.plugins[idx];
         let version = self.dispatcher.version();
-        if scratch.cached_channel != Some(req.channel)
-            || scratch.cached_dispatch_version != version
+        if scratch.cached_channel != Some(req.channel) || scratch.cached_dispatch_version != version
         {
-            self.dispatcher.local_sinks_into(req.channel, &mut scratch.sinks);
+            self.dispatcher
+                .local_sinks_into(req.channel, &mut scratch.sinks);
             self.dispatcher
                 .remote_targets_into(req.channel, &mut scratch.remotes);
             scratch.cached_channel = Some(req.channel);
@@ -868,9 +1226,8 @@ impl RuntimeInner {
             return;
         }
 
-        let (frag_index, frag_count, total_len, wire_seq) = req
-            .frag
-            .unwrap_or((0, 1, req.payload_len as u32, req.seq));
+        let (frag_index, frag_count, total_len, wire_seq) =
+            req.frag.unwrap_or((0, 1, req.payload_len as u32, req.seq));
 
         // Frame in place when the message goes on a wire.
         let mut wire_start = 0;
@@ -921,14 +1278,19 @@ impl RuntimeInner {
         // transmitted from that offset on (§5.2's best-effort spirit,
         // applied per destination).
         let stream_tech = self.plugins[idx].technology();
-        let udp_idx = self
-            .plugin_index(Technology::KernelUdp)
-            .expect("kernel UDP always attached");
+        let udp_idx = self.udp_idx;
+        // While this datapath is down, route new traffic straight to the
+        // kernel-UDP fallback (QoS demoted to best effort below).
+        let this_down = idx != udp_idx && self.plugin_down[idx].load(Ordering::Relaxed);
 
         // Fast path: exactly one remote, no co-located sinks.
         if sinks.is_empty() && remotes.len() == 1 {
             let (dst, peer_mask) = remotes[0];
-            let (sched_idx, msg) = if mask_supports(peer_mask, stream_tech) {
+            let native = mask_supports(peer_mask, stream_tech) && !this_down;
+            if mask_supports(peer_mask, stream_tech) && this_down {
+                self.stats.failover_messages.fetch_add(1, Ordering::Relaxed);
+            }
+            let (sched_idx, msg, class) = if native {
                 (
                     idx,
                     WireMsg {
@@ -936,6 +1298,7 @@ impl RuntimeInner {
                         wire_start,
                         dst,
                     },
+                    req.class,
                 )
             } else {
                 (
@@ -945,6 +1308,11 @@ impl RuntimeInner {
                         wire_start: crate::INSANE_HDR_OFFSET,
                         dst,
                     },
+                    if this_down {
+                        TrafficClass::BEST_EFFORT
+                    } else {
+                        req.class
+                    },
                 )
             };
             self.schedulers[sched_idx].lock().enqueue(
@@ -953,7 +1321,7 @@ impl RuntimeInner {
                     outcome: req.outcome,
                     seq: req.seq,
                 },
-                req.class,
+                class,
                 now,
             );
             return;
@@ -967,7 +1335,11 @@ impl RuntimeInner {
         views.push(base);
 
         if !sinks.is_empty() {
-            let local_view = Arc::new(views.pop().expect("owner accounted"));
+            let Some(local_view) = views.pop() else {
+                req.outcome.fail(req.seq, "internal view accounting");
+                return;
+            };
+            let local_view = Arc::new(local_view);
             let now_ns = epoch_ns();
             let meta = MessageMeta {
                 channel: req.channel,
@@ -1005,13 +1377,16 @@ impl RuntimeInner {
         let mut native: Vec<WireMsg> = Vec::new();
         let mut fallback: Vec<WireMsg> = Vec::new();
         for (view, (dst, peer_mask)) in views.into_iter().zip(remotes.drain(..)) {
-            if mask_supports(peer_mask, stream_tech) {
+            if mask_supports(peer_mask, stream_tech) && !this_down {
                 native.push(WireMsg {
                     view,
                     wire_start,
                     dst,
                 });
             } else {
+                if mask_supports(peer_mask, stream_tech) {
+                    self.stats.failover_messages.fetch_add(1, Ordering::Relaxed);
+                }
                 fallback.push(WireMsg {
                     view,
                     wire_start: crate::INSANE_HDR_OFFSET,
@@ -1038,9 +1413,78 @@ impl RuntimeInner {
                     outcome: req.outcome,
                     seq: req.seq,
                 },
-                req.class,
+                if this_down {
+                    TrafficClass::BEST_EFFORT
+                } else {
+                    req.class
+                },
                 now,
             );
+        }
+    }
+
+    /// Evacuates everything queued on datapath `idx`'s scheduler onto the
+    /// kernel-UDP fallback: wire offsets are rewritten to the
+    /// technology-neutral INSANE header and QoS is demoted to best effort
+    /// (the fallback honours delivery, not the original class guarantees).
+    fn divert_scheduler(&self, idx: usize) -> bool {
+        let mut evacuated: Vec<OutboundBundle> = Vec::new();
+        self.schedulers[idx].lock().drain_all(&mut evacuated);
+        if evacuated.is_empty() {
+            return false;
+        }
+        let now = Instant::now();
+        let mut diverted = 0u64;
+        let mut udp = self.schedulers[self.udp_idx].lock();
+        for mut bundle in evacuated {
+            match &mut bundle.msgs {
+                WireMsgs::One(msg) => {
+                    msg.wire_start = crate::INSANE_HDR_OFFSET;
+                    diverted += 1;
+                }
+                WireMsgs::Many(msgs) => {
+                    for msg in msgs.iter_mut() {
+                        msg.wire_start = crate::INSANE_HDR_OFFSET;
+                    }
+                    diverted += msgs.len() as u64;
+                }
+            }
+            udp.enqueue(bundle, TrafficClass::BEST_EFFORT, now);
+        }
+        drop(udp);
+        self.stats
+            .failover_messages
+            .fetch_add(diverted, Ordering::Relaxed);
+        true
+    }
+
+    /// Reacts to a datapath health transition: warn, count, and (on the
+    /// way down) evacuate the queued traffic to the kernel-UDP fallback.
+    fn note_datapath_transition(&self, idx: usize, down: bool) {
+        let tech = self.plugins[idx].technology();
+        if idx == self.udp_idx {
+            // The universal fallback itself has no fallback; the control
+            // plane's retransmissions ride out the outage.
+            crate::warn(&format!(
+                "host {:?}: kernel UDP datapath is {}",
+                self.host,
+                if down { "down" } else { "back up" }
+            ));
+            return;
+        }
+        if down {
+            self.stats.failover_events.fetch_add(1, Ordering::Relaxed);
+            crate::warn(&format!(
+                "host {:?}: {tech:?} datapath down — failing over to kernel UDP (QoS demoted to best effort)",
+                self.host
+            ));
+            self.divert_scheduler(idx);
+        } else {
+            self.stats.failback_events.fetch_add(1, Ordering::Relaxed);
+            crate::warn(&format!(
+                "host {:?}: {tech:?} datapath recovered — migrating traffic back",
+                self.host
+            ));
         }
     }
 

@@ -8,18 +8,20 @@
 //! NIC), and parses/validates them on receive.
 
 use std::fmt;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use insane_fabric::devices::{DpdkPort, RdmaNic, RecvMode, SimUdpSocket, XdpSocket};
 use insane_fabric::{Endpoint, Fabric, FabricError, HostId, Payload, Technology};
 use insane_memory::SlotView;
 use insane_netstack::ether::MacAddr;
-use insane_netstack::insane_hdr::InsaneHeader;
+use insane_netstack::insane_hdr::{checksum_ok, seal, InsaneHeader};
 use insane_netstack::ipv4::Ipv4Header;
 use insane_netstack::packet::{PacketBuilder, PacketView};
 use parking_lot::{Mutex, RwLock};
 
 use crate::runtime::internals::PayloadStore;
+use crate::stats::RuntimeStats;
 use crate::{epoch_ns, InsaneError, INSANE_HDR_OFFSET, PAYLOAD_OFFSET};
 
 /// Offset of the port number of each technology relative to the
@@ -118,20 +120,32 @@ fn store_of(payload: Payload) -> (PayloadStore, usize) {
 pub(crate) struct UdpPlugin {
     socket: SimUdpSocket,
     port: u16,
+    stats: Arc<RuntimeStats>,
 }
 
 impl fmt::Debug for UdpPlugin {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("UdpPlugin").field("port", &self.port).finish()
+        f.debug_struct("UdpPlugin")
+            .field("port", &self.port)
+            .finish()
     }
 }
 
 impl UdpPlugin {
-    pub(crate) fn new(fabric: &Fabric, host: HostId, port: u16) -> Result<Self, InsaneError> {
+    pub(crate) fn new(
+        fabric: &Fabric,
+        host: HostId,
+        port: u16,
+        stats: Arc<RuntimeStats>,
+    ) -> Result<Self, InsaneError> {
         let socket = SimUdpSocket::bind(fabric, host, port)?;
         // The paper enables jumbo frames for the big-payload experiments.
         socket.set_mtu(SimUdpSocket::JUMBO_MTU);
-        Ok(Self { socket, port })
+        Ok(Self {
+            socket,
+            port,
+            stats,
+        })
     }
 }
 
@@ -149,10 +163,11 @@ impl DatapathPlugin for UdpPlugin {
         &self,
         slot: &mut [u8],
         hdr: &InsaneHeader,
-        _payload_len: usize,
+        payload_len: usize,
         _dst: HostId,
     ) -> Result<usize, InsaneError> {
         hdr.write(&mut slot[INSANE_HDR_OFFSET..])?;
+        seal(&mut slot[INSANE_HDR_OFFSET..PAYLOAD_OFFSET + payload_len])?;
         Ok(INSANE_HDR_OFFSET)
     }
 
@@ -178,8 +193,12 @@ impl DatapathPlugin for UdpPlugin {
             match self.socket.recv(RecvMode::NonBlocking) {
                 Ok(datagram) => {
                     let received_ns = epoch_ns();
-                    let Some(hdr) = parse_insane(&datagram.payload, 0) else {
-                        continue; // not an INSANE message: drop
+                    let hdr = parse_insane(&datagram.payload, 0)
+                        .filter(|_| checksum_ok(&datagram.payload));
+                    let Some(hdr) = hdr else {
+                        // Not an INSANE message, or corrupted in flight.
+                        self.stats.rx_rejected.fetch_add(1, Ordering::Relaxed);
+                        continue;
                     };
                     out.push(InboundMsg {
                         store: PayloadStore::Shared(Arc::from(datagram.payload.into_boxed_slice())),
@@ -206,6 +225,7 @@ pub(crate) struct DpdkPlugin {
     port: DpdkPort,
     host: HostId,
     udp_port: u16,
+    stats: Arc<RuntimeStats>,
 }
 
 impl fmt::Debug for DpdkPlugin {
@@ -217,7 +237,12 @@ impl fmt::Debug for DpdkPlugin {
 }
 
 impl DpdkPlugin {
-    pub(crate) fn new(fabric: &Fabric, host: HostId, port: u16) -> Result<Self, InsaneError> {
+    pub(crate) fn new(
+        fabric: &Fabric,
+        host: HostId,
+        port: u16,
+        stats: Arc<RuntimeStats>,
+    ) -> Result<Self, InsaneError> {
         // The device mempool backs raw-DPDK use; the runtime sends from
         // its own pools, so a small one suffices.
         let dpdk = DpdkPort::open(fabric, host, port, 64)?;
@@ -225,6 +250,7 @@ impl DpdkPlugin {
             port: dpdk,
             host,
             udp_port: port,
+            stats,
         })
     }
 
@@ -254,12 +280,13 @@ impl DatapathPlugin for DpdkPlugin {
         dst: HostId,
     ) -> Result<usize, InsaneError> {
         // The packet processing engine: userspace Ethernet/IPv4/UDP
-        // framing around [InsaneHeader][payload], all in place.
+        // framing around [InsaneHeader][payload], all in place.  Sealing
+        // precedes the transport framing so the UDP checksum covers the
+        // sealed INSANE bytes.
         hdr.write(&mut slot[INSANE_HDR_OFFSET..])?;
-        self.builder(dst).finish_in_place(
-            slot,
-            insane_netstack::insane_hdr::HEADER_LEN + payload_len,
-        )?;
+        seal(&mut slot[INSANE_HDR_OFFSET..PAYLOAD_OFFSET + payload_len])?;
+        self.builder(dst)
+            .finish_in_place(slot, insane_netstack::insane_hdr::HEADER_LEN + payload_len)?;
         Ok(0)
     }
 
@@ -312,11 +339,18 @@ impl DatapathPlugin for DpdkPlugin {
             let wire_ns = pkt.wire_ns;
             let (store, _) = store_of(pkt.payload);
             // Validate the full frame through the userspace stack, then
-            // locate the INSANE header behind the 42 transport bytes.
+            // the INSANE checksum behind the 42 transport bytes.
             let parsed = PacketView::parse(store.bytes()).ok().and_then(|view| {
-                InsaneHeader::parse(view.payload()).ok()
+                let insane = view.payload();
+                if !checksum_ok(insane) {
+                    return None;
+                }
+                InsaneHeader::parse(insane).ok()
             });
-            let Some(hdr) = parsed else { continue };
+            let Some(hdr) = parsed else {
+                self.stats.rx_rejected.fetch_add(1, Ordering::Relaxed);
+                continue;
+            };
             out.push(InboundMsg {
                 store,
                 hdr,
@@ -339,6 +373,7 @@ pub(crate) struct XdpPlugin {
     socket: XdpSocket,
     host: HostId,
     udp_port: u16,
+    stats: Arc<RuntimeStats>,
 }
 
 impl fmt::Debug for XdpPlugin {
@@ -350,12 +385,18 @@ impl fmt::Debug for XdpPlugin {
 }
 
 impl XdpPlugin {
-    pub(crate) fn new(fabric: &Fabric, host: HostId, port: u16) -> Result<Self, InsaneError> {
+    pub(crate) fn new(
+        fabric: &Fabric,
+        host: HostId,
+        port: u16,
+        stats: Arc<RuntimeStats>,
+    ) -> Result<Self, InsaneError> {
         let socket = XdpSocket::open(fabric, host, port, 64)?;
         Ok(Self {
             socket,
             host,
             udp_port: port,
+            stats,
         })
     }
 }
@@ -377,6 +418,7 @@ impl DatapathPlugin for XdpPlugin {
         dst: HostId,
     ) -> Result<usize, InsaneError> {
         hdr.write(&mut slot[INSANE_HDR_OFFSET..])?;
+        seal(&mut slot[INSANE_HDR_OFFSET..PAYLOAD_OFFSET + payload_len])?;
         PacketBuilder::new()
             .src_mac(MacAddr::from_host_index(self.host.index()))
             .dst_mac(MacAddr::from_host_index(dst.index()))
@@ -409,10 +451,17 @@ impl DatapathPlugin for XdpPlugin {
             let received_ns = epoch_ns();
             let wire_ns = desc.wire_ns;
             let (store, _) = store_of(desc.payload);
-            let parsed = PacketView::parse(store.bytes())
-                .ok()
-                .and_then(|view| InsaneHeader::parse(view.payload()).ok());
-            let Some(hdr) = parsed else { continue };
+            let parsed = PacketView::parse(store.bytes()).ok().and_then(|view| {
+                let insane = view.payload();
+                if !checksum_ok(insane) {
+                    return None;
+                }
+                InsaneHeader::parse(insane).ok()
+            });
+            let Some(hdr) = parsed else {
+                self.stats.rx_rejected.fetch_add(1, Ordering::Relaxed);
+                continue;
+            };
             out.push(InboundMsg {
                 store,
                 hdr,
@@ -443,6 +492,7 @@ pub(crate) struct RdmaPlugin {
     qps: RwLock<Vec<(HostId, Arc<insane_fabric::devices::QueuePair>)>>,
     recv_credit: Mutex<u64>,
     max_payload: usize,
+    stats: Arc<RuntimeStats>,
 }
 
 impl fmt::Debug for RdmaPlugin {
@@ -462,6 +512,7 @@ impl RdmaPlugin {
         host: HostId,
         qp_base: u16,
         max_payload: usize,
+        stats: Arc<RuntimeStats>,
     ) -> Result<Self, InsaneError> {
         Ok(Self {
             nic: RdmaNic::new(fabric, host),
@@ -470,13 +521,11 @@ impl RdmaPlugin {
             qps: RwLock::new(Vec::new()),
             recv_credit: Mutex::new(0),
             max_payload,
+            stats,
         })
     }
 
-    fn qp_for(
-        &self,
-        peer: HostId,
-    ) -> Result<Arc<insane_fabric::devices::QueuePair>, InsaneError> {
+    fn qp_for(&self, peer: HostId) -> Result<Arc<insane_fabric::devices::QueuePair>, InsaneError> {
         if let Some((_, qp)) = self.qps.read().iter().find(|(h, _)| *h == peer) {
             return Ok(Arc::clone(qp));
         }
@@ -512,11 +561,12 @@ impl DatapathPlugin for RdmaPlugin {
         &self,
         slot: &mut [u8],
         hdr: &InsaneHeader,
-        _payload_len: usize,
+        payload_len: usize,
         _dst: HostId,
     ) -> Result<usize, InsaneError> {
         // The NIC does the wire protocol; only the INSANE header is ours.
         hdr.write(&mut slot[INSANE_HDR_OFFSET..])?;
+        seal(&mut slot[INSANE_HDR_OFFSET..PAYLOAD_OFFSET + payload_len])?;
         Ok(0)
     }
 
@@ -538,7 +588,12 @@ impl DatapathPlugin for RdmaPlugin {
     }
 
     fn poll_rx(&self, out: &mut Vec<InboundMsg>, max: usize) -> usize {
-        let qps: Vec<_> = self.qps.read().iter().map(|(_, qp)| Arc::clone(qp)).collect();
+        let qps: Vec<_> = self
+            .qps
+            .read()
+            .iter()
+            .map(|(_, qp)| Arc::clone(qp))
+            .collect();
         let mut n = 0;
         let mut completions = Vec::new();
         for qp in qps {
@@ -556,7 +611,13 @@ impl DatapathPlugin for RdmaPlugin {
                 qp.post_recv(completion.wr_id);
                 let wire_ns = completion.wire_ns;
                 let (store, _) = store_of(payload);
-                let Some(hdr) = parse_insane(store.bytes(), INSANE_HDR_OFFSET) else {
+                let sealed_ok = store
+                    .bytes()
+                    .get(INSANE_HDR_OFFSET..)
+                    .is_some_and(checksum_ok);
+                let hdr = parse_insane(store.bytes(), INSANE_HDR_OFFSET).filter(|_| sealed_ok);
+                let Some(hdr) = hdr else {
+                    self.stats.rx_rejected.fetch_add(1, Ordering::Relaxed);
                     continue;
                 };
                 out.push(InboundMsg {

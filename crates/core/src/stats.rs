@@ -84,6 +84,27 @@ pub struct RuntimeStats {
     pub fallback_streams: AtomicU64,
     /// Polling iterations that found no work.
     pub idle_polls: AtomicU64,
+    /// Inbound frames rejected by the packet engine (unparseable headers
+    /// or a failed payload checksum).
+    pub rx_rejected: AtomicU64,
+    /// Control messages retransmitted after missing their ack deadline.
+    pub control_retransmits: AtomicU64,
+    /// Control messages abandoned after exhausting every retransmit.
+    pub control_timeouts: AtomicU64,
+    /// Control sends that failed outright at the datapath.
+    pub control_send_failures: AtomicU64,
+    /// Heartbeats sent to peers.
+    pub heartbeats_sent: AtomicU64,
+    /// Peers expired after missing too many heartbeats.
+    pub peer_expiries: AtomicU64,
+    /// Peers that came back after an expiry.
+    pub peers_recovered: AtomicU64,
+    /// Datapath-down transitions that triggered a failover to kernel UDP.
+    pub failover_events: AtomicU64,
+    /// Datapath recoveries that migrated traffic back off kernel UDP.
+    pub failback_events: AtomicU64,
+    /// Messages rerouted over kernel UDP because their datapath was down.
+    pub failover_messages: AtomicU64,
 }
 
 /// Plain-data snapshot of [`RuntimeStats`].
@@ -103,6 +124,26 @@ pub struct StatsSnapshot {
     pub fallback_streams: u64,
     /// Idle polling iterations.
     pub idle_polls: u64,
+    /// Inbound frames rejected by the packet engine.
+    pub rx_rejected: u64,
+    /// Control messages retransmitted.
+    pub control_retransmits: u64,
+    /// Control messages abandoned after exhausting retransmits.
+    pub control_timeouts: u64,
+    /// Control sends that failed at the datapath.
+    pub control_send_failures: u64,
+    /// Heartbeats sent.
+    pub heartbeats_sent: u64,
+    /// Peers expired after missed heartbeats.
+    pub peer_expiries: u64,
+    /// Peers recovered after an expiry.
+    pub peers_recovered: u64,
+    /// Failovers to kernel UDP.
+    pub failover_events: u64,
+    /// Migrations back off kernel UDP.
+    pub failback_events: u64,
+    /// Messages rerouted during failover.
+    pub failover_messages: u64,
 }
 
 impl RuntimeStats {
@@ -115,6 +156,16 @@ impl RuntimeStats {
             control_messages: self.control_messages.load(Ordering::Relaxed),
             fallback_streams: self.fallback_streams.load(Ordering::Relaxed),
             idle_polls: self.idle_polls.load(Ordering::Relaxed),
+            rx_rejected: self.rx_rejected.load(Ordering::Relaxed),
+            control_retransmits: self.control_retransmits.load(Ordering::Relaxed),
+            control_timeouts: self.control_timeouts.load(Ordering::Relaxed),
+            control_send_failures: self.control_send_failures.load(Ordering::Relaxed),
+            heartbeats_sent: self.heartbeats_sent.load(Ordering::Relaxed),
+            peer_expiries: self.peer_expiries.load(Ordering::Relaxed),
+            peers_recovered: self.peers_recovered.load(Ordering::Relaxed),
+            failover_events: self.failover_events.load(Ordering::Relaxed),
+            failback_events: self.failback_events.load(Ordering::Relaxed),
+            failover_messages: self.failover_messages.load(Ordering::Relaxed),
         }
     }
 }

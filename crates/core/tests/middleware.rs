@@ -27,10 +27,7 @@ fn two_node_setup(techs: &[Technology]) -> (Fabric, Runtime, Runtime) {
     (fabric, rt_a, rt_b)
 }
 
-fn drive_consume(
-    runtimes: &[&Runtime],
-    sink: &insane_core::Sink,
-) -> insane_core::IncomingMessage {
+fn drive_consume(runtimes: &[&Runtime], sink: &insane_core::Sink) -> insane_core::IncomingMessage {
     for _ in 0..200_000 {
         for rt in runtimes {
             rt.poll_once();
@@ -188,7 +185,11 @@ fn multiple_sinks_all_receive_without_copies() {
     }
     let msg = drive_consume(&[&rt_a, &rt_b], &local_sink);
     assert_eq!(&*msg, b"fan!");
-    assert_eq!(rt_b.stats().rx_messages, 1, "one wire message, four deliveries");
+    assert_eq!(
+        rt_b.stats().rx_messages,
+        1,
+        "one wire message, four deliveries"
+    );
 }
 
 #[test]
@@ -366,7 +367,12 @@ fn custom_thread_assignment_serves_all_datapaths() {
         buf.copy_from_slice(&channel.0.to_le_bytes());
         source.emit(buf).unwrap();
         let msg = sink.consume(ConsumeMode::Blocking).unwrap();
-        assert_eq!(&*msg, &channel.0.to_le_bytes(), "via {}", stream_a.technology());
+        assert_eq!(
+            &*msg,
+            &channel.0.to_le_bytes(),
+            "via {}",
+            stream_a.technology()
+        );
     }
     rt_a.shutdown();
     rt_b.shutdown();
@@ -474,9 +480,8 @@ fn sessions_and_streams_close_cleanly() {
     session.close();
     let buf = source.get_buffer(1);
     // Stream is closed through the session: emit must fail.
-    match buf {
-        Ok(b) => assert!(matches!(source.emit(b), Err(InsaneError::Closed))),
-        Err(_) => {}
+    if let Ok(b) = buf {
+        assert!(matches!(source.emit(b), Err(InsaneError::Closed)))
     }
     assert!(matches!(
         session.create_stream(QosPolicy::default()),
@@ -510,7 +515,11 @@ fn mismatched_peer_technologies_fall_back_to_kernel_udp() {
     let session_a = Session::connect(&rt_a).unwrap();
     let session_b = Session::connect(&rt_b).unwrap();
     let stream_a = session_a.create_stream(QosPolicy::fast()).unwrap();
-    assert_eq!(stream_a.technology(), Technology::Dpdk, "producer side accelerates");
+    assert_eq!(
+        stream_a.technology(),
+        Technology::Dpdk,
+        "producer side accelerates"
+    );
     let stream_b = session_b.create_stream(QosPolicy::fast()).unwrap();
     assert_eq!(stream_b.technology(), Technology::KernelUdp);
     let sink = stream_b.create_sink(ChannelId(88)).unwrap();

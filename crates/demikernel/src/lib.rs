@@ -225,9 +225,7 @@ impl Demikernel {
     }
 
     fn queue_mut(&mut self, qd: Qd) -> Result<&mut Queue, DemiError> {
-        self.queues
-            .get_mut(qd as usize)
-            .ok_or(DemiError::BadQd(qd))
+        self.queues.get_mut(qd as usize).ok_or(DemiError::BadQd(qd))
     }
 
     /// Allocates a queue descriptor (`demi_socket`).
@@ -281,10 +279,7 @@ impl Demikernel {
     ///
     /// [`DemiError::NoDestination`] before [`Demikernel::connect`].
     pub fn push(&mut self, qd: Qd, bytes: &[u8]) -> Result<QToken, DemiError> {
-        let peer = self
-            .queue_mut(qd)?
-            .peer
-            .ok_or(DemiError::NoDestination)?;
+        let peer = self.queue_mut(qd)?.peer.ok_or(DemiError::NoDestination)?;
         self.push_to(qd, bytes, peer)
     }
 
@@ -371,7 +366,11 @@ impl Demikernel {
     ///
     /// * [`DemiError::Timeout`] when `timeout` elapses first.
     /// * [`DemiError::BadQd`] for a token of an unknown descriptor.
-    pub fn wait(&mut self, token: QToken, timeout: Option<Duration>) -> Result<DemiEvent, DemiError> {
+    pub fn wait(
+        &mut self,
+        token: QToken,
+        timeout: Option<Duration>,
+    ) -> Result<DemiEvent, DemiError> {
         self.charge();
         match token.kind {
             TokenKind::Push => Ok(DemiEvent::Pushed),
@@ -408,11 +407,13 @@ impl Demikernel {
             TokenKind::Push => Ok(Some(DemiEvent::Pushed)),
             TokenKind::Pop => {
                 let queue = self.queue_mut(token.qd)?;
-                Ok(Self::try_pop_device(queue).map(|(bytes, from, wire_ns)| DemiEvent::Popped {
-                    bytes,
-                    from,
-                    wire_ns,
-                }))
+                Ok(
+                    Self::try_pop_device(queue).map(|(bytes, from, wire_ns)| DemiEvent::Popped {
+                        bytes,
+                        from,
+                        wire_ns,
+                    }),
+                )
             }
         }
     }
@@ -433,8 +434,14 @@ mod tests {
         let qb = db.socket().unwrap();
         da.bind(qa, 7000).unwrap();
         db.bind(qb, 7000).unwrap();
-        let ea = Endpoint { host: a, port: 7000 };
-        let eb = Endpoint { host: b, port: 7000 };
+        let ea = Endpoint {
+            host: a,
+            port: 7000,
+        };
+        let eb = Endpoint {
+            host: b,
+            port: 7000,
+        };
         (fabric, da, db, ea, eb)
     }
 

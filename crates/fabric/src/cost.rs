@@ -194,7 +194,7 @@ impl TechCosts {
                 wakeup_ns: 0,
                 tx_doorbell_ns: 110,
                 rx_poll_ns: 40,
-                nic_latency_ns: 200, // RoCE NICs cut the host-side latency
+                nic_latency_ns: 200,     // RoCE NICs cut the host-side latency
                 wire_overhead_bytes: 58, // Eth + IP + UDP + BTH
             },
         }

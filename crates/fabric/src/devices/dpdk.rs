@@ -199,9 +199,7 @@ impl DpdkPort {
     pub fn rx_burst(&self, out: &mut Vec<RxPacket>, max: usize) -> usize {
         self.charger.charge_rx_poll();
         let mut frames = Vec::new();
-        let n = self
-            .port
-            .poll_burst(&mut frames, max.min(Self::MAX_BURST));
+        let n = self.port.poll_burst(&mut frames, max.min(Self::MAX_BURST));
         for frame in frames {
             self.charger.charge_rx_packet(frame.payload.len());
             out.push(Received {
@@ -261,7 +259,10 @@ mod tests {
         send_one(&pa, pb.local_addr(), b"mbuf payload");
         let got = recv_one(&pb);
         assert_eq!(got.payload.as_slice(), b"mbuf payload");
-        assert!(matches!(got.payload, Payload::Pooled(_)), "must be zero-copy");
+        assert!(
+            matches!(got.payload, Payload::Pooled(_)),
+            "must be zero-copy"
+        );
         // Sender's mempool slot is still out until the receiver drops it.
         assert_eq!(pa.mempool().free_slots(), 63);
         drop(got);
@@ -307,7 +308,10 @@ mod tests {
             best = best.min(t0.elapsed().as_nanos() as u64);
         }
         // Paper: raw DPDK 64B RTT ≈ 3.44 µs on the local testbed.
-        assert!((2_000..6_000).contains(&best), "DPDK RTT {best} ns off-band");
+        assert!(
+            (2_000..6_000).contains(&best),
+            "DPDK RTT {best} ns off-band"
+        );
     }
 
     #[test]

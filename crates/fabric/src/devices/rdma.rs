@@ -344,10 +344,7 @@ mod tests {
         let mut out = Vec::new();
         loop {
             qp.poll_cq(&mut out, 8);
-            if let Some(pos) = out
-                .iter()
-                .position(|c| c.opcode == CompletionOpcode::Recv)
-            {
+            if let Some(pos) = out.iter().position(|c| c.opcode == CompletionOpcode::Recv) {
                 return out.remove(pos);
             }
             out.clear();

@@ -289,7 +289,10 @@ mod tests {
         let big = vec![0u8; 2000];
         assert!(matches!(
             sa.send_to(&big, sb.local_addr()),
-            Err(FabricError::FrameTooLarge { len: 2000, mtu: 1500 })
+            Err(FabricError::FrameTooLarge {
+                len: 2000,
+                mtu: 1500
+            })
         ));
         sa.set_mtu(SimUdpSocket::JUMBO_MTU);
         sa.send_to(&big, sb.local_addr()).unwrap();
@@ -364,8 +367,14 @@ mod tests {
         let a = f.add_host("a");
         {
             let _s = SimUdpSocket::bind(&f, a, 1234).unwrap();
-            assert!(f.is_bound(Endpoint { host: a, port: 1234 }));
+            assert!(f.is_bound(Endpoint {
+                host: a,
+                port: 1234
+            }));
         }
-        assert!(!f.is_bound(Endpoint { host: a, port: 1234 }));
+        assert!(!f.is_bound(Endpoint {
+            host: a,
+            port: 1234
+        }));
     }
 }

@@ -52,12 +52,14 @@
 
 pub mod cost;
 pub mod devices;
+mod fault;
 mod link;
 mod profile;
 pub mod time;
 mod wire;
 
 pub use cost::{TechCosts, Technology};
+pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use link::LinkModel;
 pub use profile::{SwitchModel, TestbedProfile};
 pub use wire::{Endpoint, Fabric, Frame, HostId, Payload, PortStats};

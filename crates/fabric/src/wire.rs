@@ -84,6 +84,15 @@ impl Payload {
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_slice().to_vec()
     }
+
+    /// Duplicates the payload the way the wire would: inline bytes are
+    /// copied, pooled slots gain another reference (no byte copy).
+    pub(crate) fn clone_shallow(&self) -> Payload {
+        match self {
+            Payload::Inline(b) => Payload::Inline(b.clone()),
+            Payload::Pooled(v) => Payload::Pooled(v.clone_ref()),
+        }
+    }
 }
 
 impl fmt::Debug for Payload {
@@ -272,6 +281,7 @@ struct FabricInner {
     hosts: RwLock<Vec<Arc<HostInfo>>>,
     ports: RwLock<HashMap<Endpoint, Arc<PortInner>>>,
     frames_sent: AtomicU64,
+    faults: Arc<crate::fault::FaultState>,
 }
 
 /// The in-process wire connecting simulated hosts.
@@ -288,7 +298,10 @@ impl fmt::Debug for Fabric {
             .field("profile", &self.inner.profile.name)
             .field("hosts", &self.inner.hosts.read().len())
             .field("ports", &self.inner.ports.read().len())
-            .field("frames_sent", &self.inner.frames_sent.load(Ordering::Relaxed))
+            .field(
+                "frames_sent",
+                &self.inner.frames_sent.load(Ordering::Relaxed),
+            )
             .finish()
     }
 }
@@ -302,6 +315,7 @@ impl Fabric {
                 hosts: RwLock::new(Vec::new()),
                 ports: RwLock::new(HashMap::new()),
                 frames_sent: AtomicU64::new(0),
+                faults: Arc::new(crate::fault::FaultState::new()),
             }),
         }
     }
@@ -331,6 +345,17 @@ impl Fabric {
     /// Total frames accepted for transmission.
     pub fn frames_sent(&self) -> u64 {
         self.inner.frames_sent.load(Ordering::Relaxed)
+    }
+
+    /// Handle for configuring fault injection on this fabric.
+    pub fn faults(&self) -> crate::fault::FaultInjector {
+        crate::fault::FaultInjector::from_state(Arc::clone(&self.inner.faults))
+    }
+
+    /// Whether the device at `ep` is gated down by fault injection.
+    /// Runtimes use this as their datapath health probe.
+    pub fn device_down(&self, ep: Endpoint) -> bool {
+        self.inner.faults.device_is_down(ep)
     }
 
     fn host(&self, id: HostId) -> Result<Arc<HostInfo>, FabricError> {
@@ -427,6 +452,13 @@ impl Fabric {
             .cloned()
             .ok_or(FabricError::Unreachable(frame.dst))?;
 
+        // Fault pipeline: device/host gates, link gates, per-link plans.
+        // Like real datagram networks, injected loss is silent (`Ok`).
+        let (duplicate, reorder) = match self.inner.faults.intercept(&mut frame, now) {
+            crate::fault::Verdict::Drop => return Ok(()),
+            crate::fault::Verdict::Deliver { duplicate, reorder } => (duplicate, reorder),
+        };
+
         frame.sent_at = now;
         let deliver_at = if frame.src.host == frame.dst.host {
             now + std::time::Duration::from_nanos(
@@ -448,16 +480,38 @@ impl Fabric {
         };
         frame.delivered_at = deliver_at;
 
+        let twin = duplicate.then(|| Frame {
+            src: frame.src,
+            dst: frame.dst,
+            payload: frame.payload.clone_shallow(),
+            sent_at: frame.sent_at,
+            delivered_at: frame.delivered_at,
+        });
+
         let mut q = dst_port.queue.lock();
-        if q.len() >= dst_port.capacity {
-            dst_port.dropped.fetch_add(1, Ordering::Relaxed);
-            return Ok(());
+        let mut accepted = 0u64;
+        for f in std::iter::once(frame).chain(twin) {
+            if q.len() >= dst_port.capacity {
+                dst_port.dropped.fetch_add(1, Ordering::Relaxed);
+            } else {
+                q.push_back(f);
+                dst_port.delivered.fetch_add(1, Ordering::Relaxed);
+                accepted += 1;
+            }
         }
-        q.push_back(frame);
-        dst_port.delivered.fetch_add(1, Ordering::Relaxed);
+        if reorder {
+            let n = q.len();
+            if n >= 2 {
+                q.swap(n - 1, n - 2);
+            }
+        }
         drop(q);
-        dst_port.ready.notify_one();
-        self.inner.frames_sent.fetch_add(1, Ordering::Relaxed);
+        if accepted > 0 {
+            dst_port.ready.notify_one();
+            self.inner
+                .frames_sent
+                .fetch_add(accepted, Ordering::Relaxed);
+        }
         Ok(())
     }
 }
@@ -488,7 +542,10 @@ mod tests {
             host: HostId(99),
             port: 1,
         };
-        assert_eq!(f.bind(ghost).err(), Some(FabricError::UnknownHost(HostId(99))));
+        assert_eq!(
+            f.bind(ghost).err(),
+            Some(FabricError::UnknownHost(HostId(99)))
+        );
     }
 
     #[test]

@@ -88,8 +88,14 @@ mod tests {
 
     #[test]
     fn topic_hash_is_stable_and_collision_free_for_distinct_names() {
-        assert_eq!(topic_to_channel("sensors/temp"), topic_to_channel("sensors/temp"));
-        assert_ne!(topic_to_channel("sensors/temp"), topic_to_channel("sensors/rpm"));
+        assert_eq!(
+            topic_to_channel("sensors/temp"),
+            topic_to_channel("sensors/temp")
+        );
+        assert_ne!(
+            topic_to_channel("sensors/temp"),
+            topic_to_channel("sensors/rpm")
+        );
         assert_ne!(topic_to_channel("a"), topic_to_channel("b"));
     }
 }

@@ -166,11 +166,7 @@ impl Publisher {
     /// # Errors
     ///
     /// Propagates emit failures.
-    pub fn publish_with(
-        &self,
-        len: usize,
-        fill: impl FnOnce(&mut [u8]),
-    ) -> Result<(), LunarError> {
+    pub fn publish_with(&self, len: usize, fill: impl FnOnce(&mut [u8])) -> Result<(), LunarError> {
         let mut buf = self.source.get_buffer(len)?;
         fill(&mut buf);
         self.source.emit(buf)?;

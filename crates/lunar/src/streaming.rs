@@ -46,11 +46,7 @@ impl LunarStreamServer {
     /// # Errors
     ///
     /// Propagates middleware failures.
-    pub fn open(
-        runtime: &Runtime,
-        qos: QosPolicy,
-        channel: ChannelId,
-    ) -> Result<Self, LunarError> {
+    pub fn open(runtime: &Runtime, qos: QosPolicy, channel: ChannelId) -> Result<Self, LunarError> {
         let session = Session::connect(runtime)?;
         let stream = session.create_stream(qos)?;
         let source = stream.create_source(channel)?;
@@ -105,12 +101,11 @@ impl LunarStreamServer {
         }
         let frame_id = self.next_frame_id;
         self.next_frame_id += 1;
-        let fragments = plan(frame.len(), self.max_fragment).map_err(|_| {
-            LunarError::FrameTooLarge {
+        let fragments =
+            plan(frame.len(), self.max_fragment).map_err(|_| LunarError::FrameTooLarge {
                 len: frame.len(),
                 max: self.max_fragment * u16::MAX as usize,
-            }
-        })?;
+            })?;
         for frag in fragments {
             let chunk = &frame[frag.offset..frag.offset + frag.len];
             // Bounded retry under back-pressure: the producer outrunning
@@ -119,9 +114,9 @@ impl LunarStreamServer {
             loop {
                 let mut buf = match self.source.get_buffer(chunk.len()) {
                     Ok(b) => b,
-                    Err(InsaneError::Memory(
-                        insane_core::MemoryError::PoolExhausted,
-                    )) if attempts < 1_000_000 => {
+                    Err(InsaneError::Memory(insane_core::MemoryError::PoolExhausted))
+                        if attempts < 1_000_000 =>
+                    {
                         // Pool back-pressure: every slot is in flight.
                         attempts += 1;
                         progress();
@@ -131,10 +126,13 @@ impl LunarStreamServer {
                     Err(e) => return Err(e.into()),
                 };
                 buf.copy_from_slice(chunk);
-                match self
-                    .source
-                    .emit_fragment(buf, frag.index, frag.count, frame.len() as u32, frame_id)
-                {
+                match self.source.emit_fragment(
+                    buf,
+                    frag.index,
+                    frag.count,
+                    frame.len() as u32,
+                    frame_id,
+                ) {
                     Ok(_) => {
                         progress();
                         break;
@@ -273,4 +271,3 @@ impl LunarStreamClient {
         self.reassembler.pending()
     }
 }
-

@@ -181,7 +181,11 @@ fn stream_frames(
 #[test]
 fn streaming_small_frame_single_fragment() {
     let frames = vec![vec![7u8; 900]];
-    let got = stream_frames(&[Technology::KernelUdp, Technology::Dpdk], QosPolicy::fast(), frames);
+    let got = stream_frames(
+        &[Technology::KernelUdp, Technology::Dpdk],
+        QosPolicy::fast(),
+        frames,
+    );
     assert_eq!(got.len(), 1);
     assert_eq!(got[0].data, vec![7u8; 900]);
     assert!(got[0].latency_ns > 0);
@@ -220,7 +224,11 @@ fn streaming_multiple_frames_in_order_ids() {
 #[test]
 fn streaming_works_on_the_slow_path_too() {
     let frame = vec![42u8; 30_000];
-    let got = stream_frames(&[Technology::KernelUdp], QosPolicy::slow(), vec![frame.clone()]);
+    let got = stream_frames(
+        &[Technology::KernelUdp],
+        QosPolicy::slow(),
+        vec![frame.clone()],
+    );
     assert_eq!(got.len(), 1);
     assert_eq!(got[0].data, frame);
 }
@@ -228,8 +236,7 @@ fn streaming_works_on_the_slow_path_too() {
 #[test]
 fn stream_loop_counts_frames() {
     let (_f, rt_a, rt_b) = two_nodes(&[Technology::KernelUdp]);
-    let mut client =
-        LunarStreamClient::connect(&rt_b, QosPolicy::slow(), ChannelId(9)).unwrap();
+    let mut client = LunarStreamClient::connect(&rt_b, QosPolicy::slow(), ChannelId(9)).unwrap();
     poll_until_quiescent(&[&rt_a, &rt_b], 10_000);
     let mut server = LunarStreamServer::open(&rt_a, QosPolicy::slow(), ChannelId(9)).unwrap();
     poll_until_quiescent(&[&rt_a, &rt_b], 10_000);

@@ -78,7 +78,10 @@ impl fmt::Display for MemoryError {
         match self {
             MemoryError::PoolExhausted => write!(f, "no free slot available in the pool"),
             MemoryError::RequestTooLarge { requested, max } => {
-                write!(f, "requested {requested} bytes but the largest slot is {max} bytes")
+                write!(
+                    f,
+                    "requested {requested} bytes but the largest slot is {max} bytes"
+                )
             }
             MemoryError::StaleToken => write!(f, "slot token is stale (released or duplicated)"),
             MemoryError::InvalidToken => write!(f, "slot token does not name a valid slot"),

@@ -188,7 +188,11 @@ mod tests {
     use super::*;
 
     fn set() -> PoolSet {
-        PoolSetBuilder::new().pool(64, 2).pool(1024, 2).build().unwrap()
+        PoolSetBuilder::new()
+            .pool(64, 2)
+            .pool(1024, 2)
+            .build()
+            .unwrap()
     }
 
     #[test]

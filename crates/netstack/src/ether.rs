@@ -121,7 +121,10 @@ mod tests {
             hdr.write(&mut buf),
             Err(NetstackError::BufferTooSmall { needed: 14, .. })
         ));
-        assert_eq!(EthernetHeader::parse(&buf[..4]), Err(NetstackError::Truncated));
+        assert_eq!(
+            EthernetHeader::parse(&buf[..4]),
+            Err(NetstackError::Truncated)
+        );
     }
 
     #[test]

@@ -156,6 +156,51 @@ impl InsaneHeader {
     }
 }
 
+/// Byte range of the message checksum inside the serialized header
+/// (the bytes [`InsaneHeader::write`] zeroes as reserved).
+const CHECKSUM_RANGE: core::ops::Range<usize> = 10..12;
+
+/// Seals a serialized message (`HEADER_LEN` header bytes followed by the
+/// payload) by writing the internet checksum of the whole message into
+/// the header's checksum slot.
+///
+/// A computed checksum of zero is transmitted as `0xFFFF` (UDP-style), so
+/// a stored zero always means "unsealed" and [`checksum_ok`] accepts it —
+/// senders that never seal stay compatible.
+///
+/// # Errors
+///
+/// [`NetstackError::Truncated`] when `msg` is shorter than a header.
+pub fn seal(msg: &mut [u8]) -> Result<(), NetstackError> {
+    if msg.len() < HEADER_LEN {
+        return Err(NetstackError::Truncated);
+    }
+    msg[CHECKSUM_RANGE].fill(0);
+    let mut sum = crate::internet_checksum(msg, 0);
+    if sum == 0 {
+        sum = 0xFFFF;
+    }
+    msg[CHECKSUM_RANGE].copy_from_slice(&sum.to_be_bytes());
+    Ok(())
+}
+
+/// Verifies a sealed message (header plus payload).
+///
+/// Returns `true` for intact sealed messages and for unsealed messages
+/// (stored checksum zero); `false` when the message is shorter than a
+/// header or any bit of it was corrupted after sealing.
+pub fn checksum_ok(msg: &[u8]) -> bool {
+    if msg.len() < HEADER_LEN {
+        return false;
+    }
+    if msg[CHECKSUM_RANGE] == [0, 0] {
+        return true;
+    }
+    // One's-complement property: a message containing its own checksum
+    // sums to zero.
+    crate::internet_checksum(msg, 0) == 0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,6 +274,72 @@ mod tests {
 
     #[test]
     fn truncated_rejected() {
-        assert_eq!(InsaneHeader::parse(&[0u8; 10]).err(), Some(NetstackError::Truncated));
+        assert_eq!(
+            InsaneHeader::parse(&[0u8; 10]).err(),
+            Some(NetstackError::Truncated)
+        );
+    }
+
+    fn sealed_message(payload: &[u8]) -> Vec<u8> {
+        let mut msg = vec![0u8; HEADER_LEN + payload.len()];
+        header().write(&mut msg).unwrap();
+        msg[HEADER_LEN..].copy_from_slice(payload);
+        seal(&mut msg).unwrap();
+        msg
+    }
+
+    #[test]
+    fn seal_then_verify_roundtrips() {
+        let msg = sealed_message(b"payload bytes");
+        assert!(checksum_ok(&msg));
+        // Sealing does not disturb any parsed field.
+        assert_eq!(InsaneHeader::parse(&msg).unwrap(), header());
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_caught() {
+        let msg = sealed_message(&[0xA5; 24]);
+        for byte in 0..msg.len() {
+            for bit in 0..8 {
+                let mut bad = msg.clone();
+                bad[byte] ^= 1 << bit;
+                if bad[CHECKSUM_RANGE] == [0, 0] {
+                    // The flip forged the "unsealed" marker itself; that
+                    // escape hatch is intentional.
+                    continue;
+                }
+                assert!(
+                    !checksum_ok(&bad),
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unsealed_message_is_accepted() {
+        let mut msg = vec![0u8; HEADER_LEN + 8];
+        header().write(&mut msg).unwrap();
+        assert!(checksum_ok(&msg), "zero checksum means unsealed");
+    }
+
+    #[test]
+    fn zero_sum_payload_transmits_as_ffff() {
+        // A message whose one's-complement sum is 0xFFFF would compute a
+        // zero checksum; the seal must substitute 0xFFFF and still verify.
+        let mut msg = vec![0u8; HEADER_LEN + 2];
+        header().write(&mut msg).unwrap();
+        let partial = crate::internet_checksum(&msg, 0);
+        msg[HEADER_LEN..].copy_from_slice(&partial.to_be_bytes());
+        seal(&mut msg).unwrap();
+        assert_eq!(&msg[10..12], &0xFFFFu16.to_be_bytes());
+        assert!(checksum_ok(&msg));
+    }
+
+    #[test]
+    fn short_input_fails_both_ways() {
+        let mut short = [0u8; 8];
+        assert!(seal(&mut short).is_err());
+        assert!(!checksum_ok(&short));
     }
 }

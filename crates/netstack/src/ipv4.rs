@@ -162,7 +162,10 @@ mod tests {
         let mut buf = [0u8; 20];
         header().write(&mut buf).unwrap();
         buf[0] = 0x65;
-        assert_eq!(Ipv4Header::parse(&buf), Err(NetstackError::Malformed("not IPv4")));
+        assert_eq!(
+            Ipv4Header::parse(&buf),
+            Err(NetstackError::Malformed("not IPv4"))
+        );
     }
 
     #[test]
@@ -173,6 +176,9 @@ mod tests {
 
     #[test]
     fn truncated_is_rejected() {
-        assert_eq!(Ipv4Header::parse(&[0x45; 10]), Err(NetstackError::Truncated));
+        assert_eq!(
+            Ipv4Header::parse(&[0x45; 10]),
+            Err(NetstackError::Truncated)
+        );
     }
 }

@@ -86,7 +86,10 @@ mod tests {
         assert!(t.is_empty());
         t.insert(ip, mac);
         assert_eq!(t.resolve(ip).unwrap(), mac);
-        assert_eq!(t.resolve(Ipv4Addr::new(10, 0, 0, 8)), Err(NetstackError::NoRoute));
+        assert_eq!(
+            t.resolve(Ipv4Addr::new(10, 0, 0, 8)),
+            Err(NetstackError::NoRoute)
+        );
     }
 
     #[test]

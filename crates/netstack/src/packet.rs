@@ -292,7 +292,10 @@ mod tests {
     #[test]
     fn write_parse_roundtrip() {
         let mut buf = [0u8; 256];
-        let len = builder().udp_checksum(true).write(&mut buf, b"hi there").unwrap();
+        let len = builder()
+            .udp_checksum(true)
+            .write(&mut buf, b"hi there")
+            .unwrap();
         assert_eq!(len, FRAME_OVERHEAD + 8);
         let view = PacketView::parse(&buf[..len]).unwrap();
         assert_eq!(view.payload(), b"hi there");
@@ -350,7 +353,10 @@ mod tests {
     #[test]
     fn corrupted_payload_with_checksum_is_rejected() {
         let mut buf = [0u8; 128];
-        let len = builder().udp_checksum(true).write(&mut buf, b"payload").unwrap();
+        let len = builder()
+            .udp_checksum(true)
+            .write(&mut buf, b"payload")
+            .unwrap();
         buf[len - 1] ^= 0xFF;
         assert_eq!(
             PacketView::parse(&buf[..len]).err(),

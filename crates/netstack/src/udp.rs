@@ -140,7 +140,8 @@ mod tests {
         let mut buf = vec![0u8; HEADER_LEN + payload.len()];
         buf[HEADER_LEN..].copy_from_slice(payload);
         let (head, body) = buf.split_at_mut(HEADER_LEN);
-        hdr.write(head, with_csum.then_some((SRC, DST, &*body))).unwrap();
+        hdr.write(head, with_csum.then_some((SRC, DST, &*body)))
+            .unwrap();
         buf
     }
 
@@ -159,7 +160,10 @@ mod tests {
         let last = dgram.len() - 1;
         dgram[last] ^= 0xFF;
         let hdr = UdpHeader::parse(&dgram).unwrap();
-        assert_eq!(hdr.verify(&dgram, SRC, DST), Err(NetstackError::BadChecksum("UDP")));
+        assert_eq!(
+            hdr.verify(&dgram, SRC, DST),
+            Err(NetstackError::BadChecksum("UDP"))
+        );
     }
 
     #[test]

@@ -121,7 +121,9 @@ unsafe impl<T: Send> Send for Receiver<T> {}
 
 impl<T> fmt::Debug for Receiver<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Receiver").field("ring", &self.ring).finish()
+        f.debug_struct("Receiver")
+            .field("ring", &self.ring)
+            .finish()
     }
 }
 

@@ -57,6 +57,12 @@ impl<T> Scheduler<T> for FifoScheduler<T> {
             Some(now)
         }
     }
+
+    fn drain_all(&mut self, out: &mut Vec<T>) -> usize {
+        let n = self.queue.len();
+        out.extend(self.queue.drain(..));
+        n
+    }
 }
 
 #[cfg(test)]
@@ -87,6 +93,19 @@ mod tests {
         assert_eq!(s.dequeue_ready(&mut out, 2, now), 2);
         assert_eq!(s.len(), 3);
         assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn drain_all_empties_in_order() {
+        let mut s = FifoScheduler::new();
+        let now = Instant::now();
+        for i in 0..4 {
+            s.enqueue(i, TrafficClass::BEST_EFFORT, now);
+        }
+        let mut out = Vec::new();
+        assert_eq!(s.drain_all(&mut out), 4);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert!(s.is_empty());
     }
 
     #[test]

@@ -87,7 +87,7 @@ impl GateControlList {
         epoch: Instant,
     ) -> Result<Self, TsnError> {
         let rest = cycle.saturating_sub(critical_window);
-        let mut others = 0xFFu8 & !(1 << critical.value());
+        let mut others = !(1 << critical.value());
         if others == 0 {
             others = 0xFF;
         }
@@ -170,7 +170,10 @@ mod tests {
     #[test]
     fn construction_validates() {
         let epoch = Instant::now();
-        assert_eq!(GateControlList::new(vec![], epoch).err(), Some(TsnError::EmptyGcl));
+        assert_eq!(
+            GateControlList::new(vec![], epoch).err(),
+            Some(TsnError::EmptyGcl)
+        );
         assert_eq!(
             GateControlList::new(vec![GateEntry::all_open(Duration::ZERO)], epoch).err(),
             Some(TsnError::ZeroDuration)

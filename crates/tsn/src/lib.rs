@@ -124,6 +124,13 @@ pub trait Scheduler<T> {
     /// Earliest instant at which a queued item may become releasable, if
     /// the strategy can say (lets a polling thread sleep instead of spin).
     fn next_release(&self, now: Instant) -> Option<Instant>;
+
+    /// Moves *every* queued item into `out`, gates and release times
+    /// notwithstanding; returns how many were moved.  Datapath failover
+    /// uses this to evacuate a dead device's queue onto another scheduler
+    /// — a closed gate must not hold packets hostage on a device that
+    /// will never transmit again.
+    fn drain_all(&mut self, out: &mut Vec<T>) -> usize;
 }
 
 #[cfg(test)]

@@ -88,6 +88,18 @@ impl<T> Scheduler<T> for TasScheduler<T> {
             })
             .min()
     }
+
+    fn drain_all(&mut self, out: &mut Vec<T>) -> usize {
+        let mut moved = 0;
+        // Highest class first: evacuation preserves priority order even
+        // though the destination scheduler re-classifies the items.
+        for class in (0..CLASS_COUNT).rev() {
+            moved += self.queues[class].len();
+            out.extend(self.queues[class].drain(..));
+        }
+        self.len = 0;
+        moved
+    }
 }
 
 #[cfg(test)]
@@ -174,6 +186,21 @@ mod tests {
         // A queued critical packet is releasable immediately in-window.
         s.enqueue("crit", TrafficClass::TIME_CRITICAL, t);
         assert_eq!(s.next_release(epoch + ms(1)), Some(epoch + ms(1)));
+    }
+
+    #[test]
+    fn drain_all_ignores_closed_gates() {
+        let epoch = Instant::now();
+        let mut s = TasScheduler::new(exclusive_gcl(epoch));
+        s.enqueue("bulk", TrafficClass::BEST_EFFORT, epoch);
+        s.enqueue("crit", TrafficClass::TIME_CRITICAL, epoch);
+        // Inside the critical window best-effort is gated — but a failover
+        // evacuation must still surface everything, priority first.
+        let mut out = Vec::new();
+        assert_eq!(s.drain_all(&mut out), 2);
+        assert_eq!(out, vec!["crit", "bulk"]);
+        assert!(s.is_empty());
+        assert_eq!(s.dequeue_ready(&mut out, 10, epoch + ms(3)), 0);
     }
 
     #[test]

@@ -86,6 +86,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     assert_eq!(received, 4);
-    println!("no incomplete frames pending: {}", client.frames_pending() == 0);
+    println!(
+        "no incomplete frames pending: {}",
+        client.frames_pending() == 0
+    );
     Ok(())
 }

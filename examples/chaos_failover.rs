@@ -1,0 +1,151 @@
+//! Chaos tour: seeded fault injection and the self-healing control plane.
+//!
+//! Walks the fabric's fault injector through four scenarios — lossy
+//! control plane, datapath failover + failback, peer expiry + recovery,
+//! and a fully partitioned control link — printing the runtime's own
+//! warnings and counters at each step.
+
+use std::time::{Duration, Instant};
+
+use insane::{
+    ChannelId, ConsumeMode, ControlPlaneConfig, Fabric, InsaneError, QosPolicy, Runtime,
+    RuntimeConfig, Source, Technology, TestbedProfile, ThreadingMode,
+};
+
+fn pump(rt_a: &Runtime, rt_b: &Runtime, source: &Source, sink: &insane::Sink) -> Option<Vec<u8>> {
+    let until = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < until {
+        for _ in 0..64 {
+            rt_a.poll_once();
+            rt_b.poll_once();
+        }
+        if let Ok(mut buf) = source.get_buffer(4) {
+            buf.copy_from_slice(b"ping");
+            match source.emit(buf) {
+                Ok(_) | Err(InsaneError::Backpressure) => {}
+                Err(e) => panic!("emit: {e}"),
+            }
+        }
+        for _ in 0..64 {
+            rt_a.poll_once();
+            rt_b.poll_once();
+        }
+        if let Ok(msg) = sink.consume(ConsumeMode::NonBlocking) {
+            return Some((*msg).to_vec());
+        }
+    }
+    None
+}
+
+fn main() -> Result<(), InsaneError> {
+    insane::set_warning_hook(|msg| println!("  [warn] {msg}"));
+    let ctl = ControlPlaneConfig {
+        retransmit_timeout: Duration::from_micros(200),
+        max_attempts: 12,
+        heartbeat_interval: Duration::from_millis(1),
+        miss_threshold: 5,
+    };
+
+    // ── 1. Subscription exchange under 30% seeded control-plane loss ──
+    println!("1. control plane under 30% seeded loss");
+    let fabric = Fabric::new(TestbedProfile::local());
+    let faults = fabric.faults();
+    faults.seed(7);
+    faults.set_default_plan(insane::fabric::FaultPlan::lossy(0.3));
+    let a = fabric.add_host("edge-a");
+    let b = fabric.add_host("edge-b");
+    let techs = [Technology::KernelUdp, Technology::Dpdk];
+    let config = |id| {
+        RuntimeConfig::new(id)
+            .with_technologies(&techs)
+            .with_threading(ThreadingMode::Manual)
+            .with_control(ctl)
+    };
+    let rt_a = Runtime::start(config(1), &fabric, a)?;
+    let rt_b = Runtime::start(config(2), &fabric, b)?;
+    rt_a.add_peer(b)?;
+
+    let session_a = insane::Session::connect(&rt_a)?;
+    let session_b = insane::Session::connect(&rt_b)?;
+    let stream_a = session_a.create_stream(QosPolicy::fast())?;
+    let stream_b = session_b.create_stream(QosPolicy::fast())?;
+    let sink = stream_b.create_sink(ChannelId(1))?;
+    let source = stream_a.create_source(ChannelId(1))?;
+    assert_eq!(
+        pump(&rt_a, &rt_b, &source, &sink).as_deref(),
+        Some(&b"ping"[..])
+    );
+    println!(
+        "  converged: {} retransmits, {} frames dropped by the injector\n",
+        rt_a.stats().control_retransmits + rt_b.stats().control_retransmits,
+        faults.stats().injected_drops,
+    );
+    faults.set_default_plan(insane::fabric::FaultPlan::none());
+
+    // ── 2. Kill the DPDK device mid-stream: live failover to UDP ──
+    println!("2. DPDK device failure mid-stream");
+    let dpdk_ep = insane::fabric::Endpoint {
+        host: a,
+        port: 40_002,
+    };
+    faults.fail_device(dpdk_ep);
+    assert_eq!(
+        pump(&rt_a, &rt_b, &source, &sink).as_deref(),
+        Some(&b"ping"[..])
+    );
+    println!(
+        "  delivered over fallback: {} failover events, {} messages rerouted\n",
+        rt_a.stats().failover_events,
+        rt_a.stats().failover_messages,
+    );
+
+    // ── 3. Restore it: traffic migrates back ──
+    println!("3. device recovery");
+    faults.restore_device(dpdk_ep);
+    assert_eq!(
+        pump(&rt_a, &rt_b, &source, &sink).as_deref(),
+        Some(&b"ping"[..])
+    );
+    println!("  failback events: {}\n", rt_a.stats().failback_events);
+
+    // ── 4. Whole host dark → expiry; back → re-peer + re-announce ──
+    println!("4. peer host goes dark, then returns");
+    faults.set_host_down(b, true);
+    let until = Instant::now() + Duration::from_secs(10);
+    while rt_a.stats().peer_expiries == 0 && Instant::now() < until {
+        rt_a.poll_once();
+        rt_b.poll_once();
+    }
+    faults.set_host_down(b, false);
+    assert_eq!(
+        pump(&rt_a, &rt_b, &source, &sink).as_deref(),
+        Some(&b"ping"[..])
+    );
+    println!(
+        "  expiries: {}, recoveries: {}\n",
+        rt_a.stats().peer_expiries,
+        rt_a.stats().peers_recovered,
+    );
+
+    // ── 5. Fully partitioned control link: bounded abandonment ──
+    println!("5. peering across a 100%-lossy link never hangs");
+    let fabric2 = Fabric::new(TestbedProfile::local());
+    let faults2 = fabric2.faults();
+    let c = fabric2.add_host("edge-c");
+    let d = fabric2.add_host("edge-d");
+    faults2.set_link_down(c, d, true);
+    faults2.set_link_down(d, c, true);
+    let rt_c = Runtime::start(config(3), &fabric2, c)?;
+    rt_c.add_peer(d)?;
+    let until = Instant::now() + Duration::from_secs(10);
+    while rt_c.stats().control_timeouts == 0 && Instant::now() < until {
+        rt_c.poll_once();
+    }
+    println!(
+        "  gave up cleanly: {} retransmits, {} abandoned announcements",
+        rt_c.stats().control_retransmits,
+        rt_c.stats().control_timeouts,
+    );
+    insane::clear_warning_hook();
+    Ok(())
+}

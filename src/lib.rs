@@ -45,9 +45,10 @@ pub use insane_tsn as tsn;
 pub use lunar;
 
 pub use insane_core::{
-    Acceleration, ChannelId, ConsumeMode, EmitOutcome, IncomingMessage, InsaneError,
-    MessageBuffer, QosPolicy, ResourceUsage, Runtime, RuntimeConfig, SchedulerChoice, Session,
-    Sink, Source, Stream, Technology, ThreadingMode, TimeSensitivity,
+    clear_warning_hook, set_warning_hook, Acceleration, ChannelId, ConsumeMode, ControlPlaneConfig,
+    EmitOutcome, IncomingMessage, InsaneError, MessageBuffer, QosPolicy, ResourceUsage, Runtime,
+    RuntimeConfig, SchedulerChoice, Session, Sink, Source, Stream, Technology, ThreadingMode,
+    TimeSensitivity,
 };
 pub use insane_fabric::{Fabric, HostId, TestbedProfile};
 pub use lunar::{LunarMom, LunarStreamClient, LunarStreamServer};

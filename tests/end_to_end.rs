@@ -18,7 +18,9 @@ fn manual(id: u32, techs: &[Technology]) -> RuntimeConfig {
 /// Builds an n-node mesh (every runtime peered with every other).
 fn mesh(n: u32, techs: &[Technology]) -> (Fabric, Vec<Runtime>) {
     let fabric = Fabric::new(TestbedProfile::local());
-    let hosts: Vec<_> = (0..n).map(|i| fabric.add_host(&format!("node-{i}"))).collect();
+    let hosts: Vec<_> = (0..n)
+        .map(|i| fabric.add_host(&format!("node-{i}")))
+        .collect();
     let runtimes: Vec<_> = hosts
         .iter()
         .enumerate()
@@ -82,7 +84,10 @@ fn three_node_mesh_broadcasts_to_all_subscribers() {
 
 #[test]
 fn mixed_qos_streams_share_one_runtime() {
-    let (_fabric, runtimes) = mesh(2, &[Technology::KernelUdp, Technology::Xdp, Technology::Dpdk]);
+    let (_fabric, runtimes) = mesh(
+        2,
+        &[Technology::KernelUdp, Technology::Xdp, Technology::Dpdk],
+    );
     let session_a = insane::Session::connect(&runtimes[0]).expect("session");
     let session_b = insane::Session::connect(&runtimes[1]).expect("session");
 
@@ -238,10 +243,20 @@ fn demikernel_and_insane_share_a_fabric() {
     let qb = db.socket().expect("qd");
     da.bind(qa, 7777).expect("bind");
     db.bind(qb, 7777).expect("bind");
-    da.push_to(qa, b"side-by-side", insane::fabric::Endpoint { host: b, port: 7777 })
-        .expect("push");
+    da.push_to(
+        qa,
+        b"side-by-side",
+        insane::fabric::Endpoint {
+            host: b,
+            port: 7777,
+        },
+    )
+    .expect("push");
     let pop = db.pop(qb).expect("pop");
-    match db.wait(pop, Some(std::time::Duration::from_secs(1))).expect("wait") {
+    match db
+        .wait(pop, Some(std::time::Duration::from_secs(1)))
+        .expect("wait")
+    {
         DemiEvent::Popped { bytes, .. } => assert_eq!(bytes, b"side-by-side"),
         DemiEvent::Pushed => unreachable!(),
     }

@@ -3,16 +3,64 @@
 //! to applications (§5.2), so the contract under failure is: never hang,
 //! never corrupt, always account.
 
+use std::time::{Duration, Instant};
+
 use insane::core::runtime::poll_until_quiescent;
+use insane::fabric::{Endpoint, FaultPlan};
 use insane::{
-    ChannelId, ConsumeMode, EmitOutcome, Fabric, InsaneError, QosPolicy, Runtime, RuntimeConfig,
-    Technology, TestbedProfile, ThreadingMode,
+    ChannelId, ConsumeMode, ControlPlaneConfig, EmitOutcome, Fabric, InsaneError, QosPolicy,
+    Runtime, RuntimeConfig, Technology, TestbedProfile, ThreadingMode,
 };
 
 fn manual(id: u32, techs: &[Technology]) -> RuntimeConfig {
     RuntimeConfig::new(id)
         .with_technologies(techs)
         .with_threading(ThreadingMode::Manual)
+}
+
+/// Control-plane parameters aggressive enough for tests to observe
+/// retransmission, expiry and recovery within milliseconds.
+fn fast_control() -> ControlPlaneConfig {
+    ControlPlaneConfig {
+        retransmit_timeout: Duration::from_micros(200),
+        max_attempts: 32,
+        heartbeat_interval: Duration::from_millis(1),
+        miss_threshold: 64,
+    }
+}
+
+/// Polls both runtimes, re-emitting a probe message every few rounds,
+/// until the sink delivers or the deadline passes.
+fn pump_until_delivery(
+    rt_a: &Runtime,
+    rt_b: &Runtime,
+    source: &insane::Source,
+    sink: &insane::Sink,
+    payload: &[u8],
+    deadline: Duration,
+) -> Option<Vec<u8>> {
+    let until = Instant::now() + deadline;
+    while Instant::now() < until {
+        for _ in 0..32 {
+            rt_a.poll_once();
+            rt_b.poll_once();
+        }
+        if let Ok(mut buf) = source.get_buffer(payload.len()) {
+            buf.copy_from_slice(payload);
+            match source.emit(buf) {
+                Ok(_) | Err(InsaneError::Backpressure) => {}
+                Err(e) => panic!("emit: {e}"),
+            }
+        }
+        for _ in 0..32 {
+            rt_a.poll_once();
+            rt_b.poll_once();
+        }
+        if let Ok(msg) = sink.consume(ConsumeMode::NonBlocking) {
+            return Some((*msg).to_vec());
+        }
+    }
+    None
 }
 
 /// A receiver ring that drops most of a burst (tiny NIC queue) loses
@@ -215,9 +263,8 @@ fn closed_endpoints_fail_cleanly() {
     sink.close();
     stream.close();
     let buf = source.get_buffer(1);
-    match buf {
-        Ok(b) => assert!(matches!(source.emit(b), Err(InsaneError::Closed))),
-        Err(_) => {}
+    if let Ok(b) = buf {
+        assert!(matches!(source.emit(b), Err(InsaneError::Closed)))
     }
     assert!(matches!(
         stream.create_source(ChannelId(2)),
@@ -248,12 +295,19 @@ fn garbage_frames_are_rejected_by_the_packet_engine() {
         stray
             .send_to(
                 &[i; 13],
-                insane::fabric::Endpoint { host: b, port: 40_000 },
+                insane::fabric::Endpoint {
+                    host: b,
+                    port: 40_000,
+                },
             )
             .unwrap();
     }
     poll_until_quiescent(&[&rt_a, &rt_b], 200_000);
-    assert_eq!(rt_b.stats().rx_messages, 0, "garbage must not count as data");
+    assert_eq!(
+        rt_b.stats().rx_messages,
+        0,
+        "garbage must not count as data"
+    );
 
     // Real traffic is unaffected.
     let session_a = insane::Session::connect(&rt_a).unwrap();
@@ -276,4 +330,227 @@ fn garbage_frames_are_rejected_by_the_packet_engine() {
         }
     };
     assert_eq!(&*msg, b"ok");
+}
+
+/// Under 30% seeded control-plane loss, Hello/Subscribe retransmission
+/// still converges peering and subscriptions, and traffic flows.
+#[test]
+fn control_plane_converges_under_seeded_loss() {
+    let fabric = Fabric::new(TestbedProfile::local());
+    let faults = fabric.faults();
+    faults.seed(0xDEC0DE);
+    faults.set_default_plan(FaultPlan::lossy(0.3));
+    let a = fabric.add_host("a");
+    let b = fabric.add_host("b");
+    let rt_a = Runtime::start(
+        manual(1, &[Technology::KernelUdp]).with_control(fast_control()),
+        &fabric,
+        a,
+    )
+    .unwrap();
+    let rt_b = Runtime::start(
+        manual(2, &[Technology::KernelUdp]).with_control(fast_control()),
+        &fabric,
+        b,
+    )
+    .unwrap();
+    rt_a.add_peer(b).unwrap();
+
+    let session_a = insane::Session::connect(&rt_a).unwrap();
+    let session_b = insane::Session::connect(&rt_b).unwrap();
+    let stream_a = session_a.create_stream(QosPolicy::slow()).unwrap();
+    let stream_b = session_b.create_stream(QosPolicy::slow()).unwrap();
+    let sink = stream_b.create_sink(ChannelId(11)).unwrap();
+    let source = stream_a.create_source(ChannelId(11)).unwrap();
+
+    let got = pump_until_delivery(
+        &rt_a,
+        &rt_b,
+        &source,
+        &sink,
+        b"loss",
+        Duration::from_secs(20),
+    );
+    assert_eq!(
+        got.as_deref(),
+        Some(&b"loss"[..]),
+        "subscription must converge despite 30% control loss"
+    );
+    assert!(
+        faults.stats().injected_drops > 0,
+        "the plan must actually have dropped frames"
+    );
+    let retransmits = rt_a.stats().control_retransmits + rt_b.stats().control_retransmits;
+    assert!(
+        retransmits > 0,
+        "convergence under loss must have used retransmission"
+    );
+}
+
+/// Killing an accelerated device fails its traffic over to kernel UDP
+/// (QoS demoted, nothing lost from the scheduler), and restoring it
+/// migrates traffic back — with warnings and counters on every step.
+#[test]
+fn datapath_failure_fails_over_and_recovers() {
+    let warnings: std::sync::Arc<std::sync::Mutex<Vec<String>>> = Default::default();
+    {
+        let sink = std::sync::Arc::clone(&warnings);
+        insane::set_warning_hook(move |msg| sink.lock().unwrap().push(msg.to_string()));
+    }
+
+    let fabric = Fabric::new(TestbedProfile::local());
+    let faults = fabric.faults();
+    let a = fabric.add_host("a");
+    let b = fabric.add_host("b");
+    let techs = [Technology::KernelUdp, Technology::Dpdk];
+    let rt_a = Runtime::start(manual(1, &techs).with_control(fast_control()), &fabric, a).unwrap();
+    let rt_b = Runtime::start(manual(2, &techs).with_control(fast_control()), &fabric, b).unwrap();
+    rt_a.add_peer(b).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 200_000);
+
+    let session_a = insane::Session::connect(&rt_a).unwrap();
+    let session_b = insane::Session::connect(&rt_b).unwrap();
+    // fast() maps to DPDK here (the best accelerated option present).
+    let stream_a = session_a.create_stream(QosPolicy::fast()).unwrap();
+    let stream_b = session_b.create_stream(QosPolicy::fast()).unwrap();
+    let sink = stream_b.create_sink(ChannelId(4)).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 200_000);
+    let source = stream_a.create_source(ChannelId(4)).unwrap();
+
+    // Healthy: traffic flows over the accelerated datapath.
+    let got = pump_until_delivery(&rt_a, &rt_b, &source, &sink, b"pre", Duration::from_secs(5));
+    assert_eq!(got.as_deref(), Some(&b"pre"[..]));
+    assert_eq!(rt_a.stats().failover_events, 0);
+
+    // Kill A's DPDK device (port_base 40000 + offset 2 for DPDK).
+    let dpdk_ep = Endpoint {
+        host: a,
+        port: 40_002,
+    };
+    faults.fail_device(dpdk_ep);
+    let got = pump_until_delivery(
+        &rt_a,
+        &rt_b,
+        &source,
+        &sink,
+        b"over",
+        Duration::from_secs(10),
+    );
+    assert_eq!(
+        got.as_deref(),
+        Some(&b"over"[..]),
+        "traffic must keep flowing over the kernel-UDP fallback"
+    );
+    let stats = rt_a.stats();
+    assert_eq!(stats.failover_events, 1, "one down transition observed");
+    assert!(stats.failover_messages > 0, "rerouted messages are counted");
+
+    // Restore the device: traffic migrates back.
+    faults.restore_device(dpdk_ep);
+    let got = pump_until_delivery(
+        &rt_a,
+        &rt_b,
+        &source,
+        &sink,
+        b"back",
+        Duration::from_secs(10),
+    );
+    assert_eq!(got.as_deref(), Some(&b"back"[..]));
+    assert_eq!(rt_a.stats().failback_events, 1, "one recovery observed");
+
+    let warned = warnings.lock().unwrap().join("\n");
+    insane::clear_warning_hook();
+    assert!(
+        warned.contains("failing over to kernel UDP"),
+        "failover must warn; got: {warned:?}"
+    );
+    assert!(
+        warned.contains("recovered — migrating traffic back"),
+        "failback must warn; got: {warned:?}"
+    );
+    // Drain the probe backlog; nothing may leak on the sender.
+    poll_until_quiescent(&[&rt_a, &rt_b], 200_000);
+    while sink.consume(ConsumeMode::NonBlocking).is_ok() {}
+    assert_eq!(rt_a.slots_in_use(), 0, "failover must not leak slots");
+}
+
+/// A host that goes dark is expired after missing heartbeats (its
+/// subscriptions dropped), kept on probation, and re-peered — with its
+/// subscriptions re-announced — the moment it answers again.
+#[test]
+fn silent_peer_is_expired_then_repeered_on_recovery() {
+    let fabric = Fabric::new(TestbedProfile::local());
+    let faults = fabric.faults();
+    let a = fabric.add_host("a");
+    let b = fabric.add_host("b");
+    let ctl = ControlPlaneConfig {
+        retransmit_timeout: Duration::from_micros(500),
+        max_attempts: 8,
+        heartbeat_interval: Duration::from_millis(1),
+        miss_threshold: 3,
+    };
+    let rt_a = Runtime::start(
+        manual(1, &[Technology::KernelUdp]).with_control(ctl),
+        &fabric,
+        a,
+    )
+    .unwrap();
+    let rt_b = Runtime::start(
+        manual(2, &[Technology::KernelUdp]).with_control(ctl),
+        &fabric,
+        b,
+    )
+    .unwrap();
+    rt_a.add_peer(b).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 200_000);
+
+    let session_a = insane::Session::connect(&rt_a).unwrap();
+    let session_b = insane::Session::connect(&rt_b).unwrap();
+    let stream_a = session_a.create_stream(QosPolicy::slow()).unwrap();
+    let stream_b = session_b.create_stream(QosPolicy::slow()).unwrap();
+    let sink = stream_b.create_sink(ChannelId(8)).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 200_000);
+    let source = stream_a.create_source(ChannelId(8)).unwrap();
+    let got = pump_until_delivery(
+        &rt_a,
+        &rt_b,
+        &source,
+        &sink,
+        b"alive",
+        Duration::from_secs(5),
+    );
+    assert_eq!(got.as_deref(), Some(&b"alive"[..]));
+
+    // B's host goes completely dark; A keeps polling and must expire it.
+    faults.set_host_down(b, true);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while rt_a.stats().peer_expiries == 0 && Instant::now() < deadline {
+        rt_a.poll_once();
+        rt_b.poll_once();
+    }
+    assert!(
+        rt_a.stats().peer_expiries >= 1,
+        "a silent peer must be expired after missed heartbeats"
+    );
+
+    // The host comes back: dormant-peer probing re-peers it and the
+    // subscription is re-announced, so traffic flows again.
+    faults.set_host_down(b, false);
+    let got = pump_until_delivery(
+        &rt_a,
+        &rt_b,
+        &source,
+        &sink,
+        b"again",
+        Duration::from_secs(20),
+    );
+    assert_eq!(
+        got.as_deref(),
+        Some(&b"again"[..]),
+        "recovered peer must receive again after re-announce"
+    );
+    assert!(
+        rt_a.stats().peers_recovered + rt_b.stats().peers_recovered >= 1,
+        "recovery must be observed and counted"
+    );
 }

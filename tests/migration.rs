@@ -55,8 +55,7 @@ fn consumer_migrates_across_heterogeneous_nodes() {
         strong_host,
     )
     .unwrap();
-    let rt_weak =
-        Runtime::start(manual(3, &[Technology::KernelUdp]), &fabric, weak_host).unwrap();
+    let rt_weak = Runtime::start(manual(3, &[Technology::KernelUdp]), &fabric, weak_host).unwrap();
     rt_prod.add_peer(strong_host).unwrap();
     rt_prod.add_peer(weak_host).unwrap();
     rt_strong.add_peer(weak_host).unwrap();
@@ -91,7 +90,10 @@ fn consumer_migrates_across_heterogeneous_nodes() {
     let consumer_session = insane::Session::connect(&rt_weak).unwrap();
     let consumer_stream = consumer_session.create_stream(QosPolicy::fast()).unwrap();
     assert_eq!(consumer_stream.technology(), Technology::KernelUdp);
-    assert!(consumer_stream.is_fallback(), "weak node warns about fallback");
+    assert!(
+        consumer_stream.is_fallback(),
+        "weak node warns about fallback"
+    );
     let sink = consumer_stream.create_sink(ChannelId(40)).unwrap();
     poll_until_quiescent(&all, 300_000);
 
@@ -114,8 +116,12 @@ fn consumer_migrates_across_heterogeneous_nodes() {
 fn applications_reattach_to_a_long_lived_runtime() {
     let fabric = Fabric::new(TestbedProfile::local());
     let host = fabric.add_host("service-node");
-    let rt = Runtime::start(manual(1, &[Technology::KernelUdp, Technology::Dpdk]), &fabric, host)
-        .unwrap();
+    let rt = Runtime::start(
+        manual(1, &[Technology::KernelUdp, Technology::Dpdk]),
+        &fabric,
+        host,
+    )
+    .unwrap();
 
     for generation in 0..5u8 {
         // A fresh application generation attaches...

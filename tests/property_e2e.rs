@@ -1,10 +1,13 @@
 //! Property-based end-to-end tests: arbitrary payloads through the whole
 //! middleware stack, over every datapath technology.
 
+use std::time::{Duration, Instant};
+
 use insane::core::runtime::poll_until_quiescent;
+use insane::fabric::FaultPlan;
 use insane::{
-    ChannelId, ConsumeMode, Fabric, InsaneError, QosPolicy, Runtime, RuntimeConfig, Technology,
-    TestbedProfile, ThreadingMode,
+    ChannelId, ConsumeMode, ControlPlaneConfig, Fabric, InsaneError, QosPolicy, Runtime,
+    RuntimeConfig, Technology, TestbedProfile, ThreadingMode,
 };
 use proptest::prelude::*;
 
@@ -186,5 +189,70 @@ proptest! {
                 prop_assert_eq!(mapped.technology, Technology::Rdma, "RDMA always preferred");
             }
         }
+    }
+
+    /// For any fault seed and any loss rate up to 35%, the self-healing
+    /// control plane converges peering + subscriptions: a message
+    /// eventually round-trips between two fresh runtimes.
+    #[test]
+    fn control_plane_converges_for_any_seed(
+        seed in any::<u64>(),
+        loss_pct in 0u32..35,
+    ) {
+        let loss = f64::from(loss_pct) / 100.0;
+        let fabric = Fabric::new(TestbedProfile::local());
+        let faults = fabric.faults();
+        faults.seed(seed);
+        faults.set_default_plan(FaultPlan::lossy(loss));
+        let a = fabric.add_host("a");
+        let b = fabric.add_host("b");
+        let ctl = ControlPlaneConfig {
+            retransmit_timeout: Duration::from_micros(200),
+            max_attempts: 64,
+            heartbeat_interval: Duration::from_millis(1),
+            miss_threshold: 64,
+        };
+        let config = |id| {
+            RuntimeConfig::new(id)
+                .with_technologies(&[Technology::KernelUdp])
+                .with_threading(ThreadingMode::Manual)
+                .with_control(ctl)
+        };
+        let rt_a = Runtime::start(config(1), &fabric, a).unwrap();
+        let rt_b = Runtime::start(config(2), &fabric, b).unwrap();
+        rt_a.add_peer(b).unwrap();
+
+        let session_a = insane::Session::connect(&rt_a).unwrap();
+        let session_b = insane::Session::connect(&rt_b).unwrap();
+        let stream_a = session_a.create_stream(QosPolicy::slow()).unwrap();
+        let stream_b = session_b.create_stream(QosPolicy::slow()).unwrap();
+        let sink = stream_b.create_sink(ChannelId(13)).unwrap();
+        let source = stream_a.create_source(ChannelId(13)).unwrap();
+
+        let until = Instant::now() + Duration::from_secs(20);
+        let mut converged = false;
+        while Instant::now() < until {
+            for _ in 0..32 {
+                rt_a.poll_once();
+                rt_b.poll_once();
+            }
+            if let Ok(mut buf) = source.get_buffer(4) {
+                buf.copy_from_slice(b"conv");
+                match source.emit(buf) {
+                    Ok(_) | Err(InsaneError::Backpressure) => {}
+                    Err(e) => return Err(TestCaseError::fail(format!("emit: {e}"))),
+                }
+            }
+            for _ in 0..32 {
+                rt_a.poll_once();
+                rt_b.poll_once();
+            }
+            if let Ok(msg) = sink.consume(ConsumeMode::NonBlocking) {
+                prop_assert_eq!(&*msg, &b"conv"[..]);
+                converged = true;
+                break;
+            }
+        }
+        prop_assert!(converged, "no convergence for seed {} at loss {}", seed, loss);
     }
 }

@@ -16,9 +16,8 @@ fn threaded_soak_conserves_messages_and_slots() {
     let fabric = Fabric::new(TestbedProfile::local());
     let host_a = fabric.add_host("a");
     let host_b = fabric.add_host("b");
-    let config = |id| {
-        RuntimeConfig::new(id).with_technologies(&[Technology::KernelUdp, Technology::Dpdk])
-    };
+    let config =
+        |id| RuntimeConfig::new(id).with_technologies(&[Technology::KernelUdp, Technology::Dpdk]);
     let rt_a = Runtime::start(config(1), &fabric, host_a).expect("runtime a");
     let rt_b = Runtime::start(config(2), &fabric, host_b).expect("runtime b");
     rt_a.add_peer(host_b).expect("peer");
@@ -27,8 +26,12 @@ fn threaded_soak_conserves_messages_and_slots() {
     // Receiver side: two applications, one per QoS lane, counting via
     // callbacks (runs on the runtime's polling threads).
     let session_rx = insane::Session::connect(&rt_b).expect("rx session");
-    let fast_rx = session_rx.create_stream(QosPolicy::fast()).expect("fast stream");
-    let slow_rx = session_rx.create_stream(QosPolicy::slow()).expect("slow stream");
+    let fast_rx = session_rx
+        .create_stream(QosPolicy::fast())
+        .expect("fast stream");
+    let slow_rx = session_rx
+        .create_stream(QosPolicy::slow())
+        .expect("slow stream");
     let fast_count = Arc::new(AtomicU64::new(0));
     let slow_count = Arc::new(AtomicU64::new(0));
     let fast_bytes = Arc::new(AtomicU64::new(0));
@@ -46,8 +49,12 @@ fn threaded_soak_conserves_messages_and_slots() {
 
     // Sender side: two producer threads, one per lane.
     let session_tx = insane::Session::connect(&rt_a).expect("tx session");
-    let fast_tx = session_tx.create_stream(QosPolicy::fast()).expect("fast stream");
-    let slow_tx = session_tx.create_stream(QosPolicy::slow()).expect("slow stream");
+    let fast_tx = session_tx
+        .create_stream(QosPolicy::fast())
+        .expect("fast stream");
+    let slow_tx = session_tx
+        .create_stream(QosPolicy::slow())
+        .expect("slow stream");
     let fast_source = fast_tx.create_source(ChannelId(1)).expect("fast source");
     let slow_source = slow_tx.create_source(ChannelId(2)).expect("slow source");
 

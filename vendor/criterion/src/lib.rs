@@ -1,0 +1,151 @@
+//! Offline shim for `criterion` 0.5: a minimal wall-clock benchmark
+//! harness exposing the macro/group/bencher surface this workspace uses.
+//!
+//! Measurements are a short warmup followed by a fixed batch of timed
+//! iterations; mean time per iteration is printed to stdout. There is no
+//! statistical analysis, HTML report, or comparison baseline.
+
+#![warn(missing_debug_implementations)]
+
+use std::time::{Duration, Instant};
+
+const WARMUP_ITERS: u64 = 100;
+const MEASURE_ITERS: u64 = 2_000;
+
+/// Declared throughput of a benchmark, echoed in the report line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Benchmark driver handed to `bench_function` closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = MEASURE_ITERS;
+    }
+}
+
+/// Prevents the compiler from optimizing away a value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Declares the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark and prints its mean iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        let mean_ns = if bencher.iters == 0 {
+            0.0
+        } else {
+            bencher.elapsed.as_nanos() as f64 / bencher.iters as f64
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+                format!(" ({:.1} Melem/s)", n as f64 * 1e3 / mean_ns)
+            }
+            Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+                format!(
+                    " ({:.1} MiB/s)",
+                    n as f64 * 1e9 / mean_ns / (1024.0 * 1024.0)
+                )
+            }
+            _ => String::new(),
+        };
+        println!("{}/{}: {:.1} ns/iter{}", self.name, name, mean_ns, rate);
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark registry entry point, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(name, f);
+        self
+    }
+}
+
+/// Declares a benchmark group function, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        group.finish();
+    }
+
+    criterion_group!(benches, tiny_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}
