@@ -21,6 +21,7 @@
 //! [`insane_fabric::devices::SimUdpSocket`] and live in the benchmark
 //! harness.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -28,6 +28,7 @@
 //! tens of thousands of throughput messages — the paper uses 1 M);
 //! set `INSANE_BENCH_FACTOR` (e.g. `10`) to scale them up.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod apps;

@@ -44,6 +44,7 @@
 //! # Ok::<(), insane_core::InsaneError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -50,6 +50,7 @@
 //! # Ok::<(), insane_demikernel::DemiError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -277,17 +277,14 @@ impl QueuePair {
             }
         }
         while n < max {
-            let has_recv = { !self.posted_recvs.lock().is_empty() };
-            if !has_recv {
+            // Claim a posted recv *before* polling the port so a frame is
+            // never consumed without a work request to complete into; if
+            // no frame is waiting the claim is re-posted at the front.
+            let Some(wr_id) = self.posted_recvs.lock().pop_front() else {
                 break;
-            }
+            };
             match self.port.poll() {
                 Some(frame) => {
-                    let wr_id = self
-                        .posted_recvs
-                        .lock()
-                        .pop_front()
-                        .expect("checked non-empty");
                     self.charger.charge_rx_packet(frame.payload.len());
                     let wire_ns = frame.wire_ns();
                     out.push(Completion {
@@ -299,7 +296,12 @@ impl QueuePair {
                     });
                     n += 1;
                 }
-                None => break,
+                None => {
+                    // Nothing on the wire: return the unconsumed work
+                    // request to the head of the queue.
+                    self.posted_recvs.lock().push_front(wr_id);
+                    break;
+                }
             }
         }
         n

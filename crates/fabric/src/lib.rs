@@ -47,6 +47,7 @@
 //! # Ok::<(), insane_fabric::FabricError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

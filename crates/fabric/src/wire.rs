@@ -216,13 +216,10 @@ impl PortHandle {
         let mut q = self.inner.queue.lock();
         let now = Instant::now();
         let mut n = 0;
-        while n < max {
-            match q.front() {
-                Some(f) if f.delivered_at <= now => {
-                    out.push(q.pop_front().expect("front checked"));
-                    n += 1;
-                }
-                _ => break,
+        while n < max && q.front().is_some_and(|f| f.delivered_at <= now) {
+            if let Some(f) = q.pop_front() {
+                out.push(f);
+                n += 1;
             }
         }
         n
@@ -240,12 +237,13 @@ impl PortHandle {
                 return Err(FabricError::Closed);
             }
             let now = Instant::now();
-            match q.front() {
-                Some(f) if f.delivered_at <= now => {
-                    return Ok(q.pop_front().expect("front checked"));
+            match q.front().map(|f| f.delivered_at) {
+                Some(at) if at <= now => {
+                    if let Some(f) = q.pop_front() {
+                        return Ok(f);
+                    }
                 }
-                Some(f) => {
-                    let deadline = f.delivered_at;
+                Some(deadline) => {
                     self.inner.ready.wait_until(&mut q, deadline);
                 }
                 None => {

@@ -14,6 +14,7 @@
 //! [`insane_core::QosPolicy`] handed to them — the paper's "fast" and
 //! "slow" variants are one constructor argument apart.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

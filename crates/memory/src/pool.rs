@@ -1,10 +1,17 @@
 //! The slot pool: a fixed-size arena with generation-tagged slot handles.
+//!
+//! Concurrency protocol: each slot owns one packed state word (high 32
+//! bits generation, low 32 bits reference count).  Every ownership
+//! transition — lend (`acquire`), share (`clone_ref`), return
+//! (`release`/drop) — is a single CAS on that word, so misuse such as two
+//! threads racing to release the same token resolves to exactly one
+//! winner; the loser gets a typed [`MemoryError`], never a corrupted
+//! refcount.  All atomics go through the `insane-queues` sync shim so the
+//! protocol is model checked under loom (`tests/loom.rs`, DESIGN.md §7).
 
-use core::cell::UnsafeCell;
 use core::fmt;
-use core::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
 
+use insane_queues::sync::{Arc, AtomicU32, AtomicU64, Ordering};
 use insane_queues::FreeStack;
 
 use crate::{MemoryError, PoolId};
@@ -42,6 +49,10 @@ pub struct PoolStats {
     pub exhaustions: u64,
     /// Total successful acquires since startup.
     pub acquires: u64,
+    /// Token operations rejected as stale or invalid (double release,
+    /// use-after-release, cross-pool tokens).  A non-zero value means some
+    /// component violated the linear-ownership discipline and was caught.
+    pub misuse_rejections: u64,
 }
 
 /// The transferable slot id: what the client library and the runtime push
@@ -89,30 +100,46 @@ impl SlotToken {
     }
 }
 
+/// Packs a generation tag and a reference count into one state word.
+const fn pack_state(generation: u32, refs: u32) -> u64 {
+    ((generation as u64) << 32) | refs as u64
+}
+
+/// Splits a state word into `(generation, refs)`.
+const fn unpack_state(word: u64) -> (u32, u32) {
+    ((word >> 32) as u32, word as u32)
+}
+
 struct PoolInner {
     config: PoolConfig,
     /// One contiguous backing area, like the DMA-registered region the
-    /// paper's memory manager reserves at startup.
-    backing: Box<[UnsafeCell<u8>]>,
+    /// paper's memory manager reserves at startup.  Deliberately a plain
+    /// `core::cell::UnsafeCell` rather than the loom-instrumented shim:
+    /// byte-granular instrumentation would swamp the model checker, and
+    /// the bytes are protected by the (instrumented) state-word protocol.
+    backing: Box<[core::cell::UnsafeCell<u8>]>,
     free: FreeStack,
-    generations: Box<[AtomicU32]>,
-    /// Per-slot reference count: 1 at acquire, incremented by
-    /// [`SlotView::clone_ref`]; the slot returns to the free list when it
-    /// reaches zero.
-    refcounts: Box<[AtomicU32]>,
+    /// Per-slot packed `(generation, refcount)` word; see module docs.
+    /// Generation and count live in ONE atomic so that validate + retire
+    /// is a single CAS — with separate arrays, two racing releases of the
+    /// same token could both pass validation and underflow the count.
+    states: Box<[AtomicU64]>,
     /// Per-slot message length; written by the owner before transfer.
     lens: Box<[AtomicU32]>,
     in_use: AtomicU32,
     high_water: AtomicU32,
     exhaustions: AtomicU64,
     acquires: AtomicU64,
+    misuse_rejections: AtomicU64,
 }
 
 // SAFETY: slot bytes are only reachable through a `SlotGuard`/`SlotView`
-// whose unique ownership is enforced by the generation + free-list
-// discipline; transfer between threads happens through queues that provide
-// the necessary ordering.
+// whose unique ownership is enforced by the state-word (generation +
+// refcount) and free-list discipline; transfer between threads happens
+// through queues that provide the necessary ordering.
 unsafe impl Send for PoolInner {}
+// SAFETY: as above — shared references only expose slot bytes behind the
+// state-word checkout protocol.
 unsafe impl Sync for PoolInner {}
 
 /// A fixed-size pool of equally-sized, zero-copy message slots.
@@ -151,15 +178,11 @@ impl SlotPool {
             return Err(MemoryError::BadConfig("slot_count must be non-zero"));
         }
         let backing = (0..config.slot_size * config.slot_count)
-            .map(|_| UnsafeCell::new(0u8))
+            .map(|_| core::cell::UnsafeCell::new(0u8))
             .collect::<Vec<_>>()
             .into_boxed_slice();
-        let generations = (0..config.slot_count)
-            .map(|_| AtomicU32::new(0))
-            .collect::<Vec<_>>()
-            .into_boxed_slice();
-        let refcounts = (0..config.slot_count)
-            .map(|_| AtomicU32::new(0))
+        let states = (0..config.slot_count)
+            .map(|_| AtomicU64::new(pack_state(0, 0)))
             .collect::<Vec<_>>()
             .into_boxed_slice();
         let lens = (0..config.slot_count)
@@ -171,13 +194,13 @@ impl SlotPool {
                 free: FreeStack::full(config.slot_count),
                 config,
                 backing,
-                generations,
-                refcounts,
+                states,
                 lens,
                 in_use: AtomicU32::new(0),
                 high_water: AtomicU32::new(0),
                 exhaustions: AtomicU64::new(0),
                 acquires: AtomicU64::new(0),
+                misuse_rejections: AtomicU64::new(0),
             }),
         })
     }
@@ -209,6 +232,7 @@ impl SlotPool {
             high_water: self.inner.high_water.load(Ordering::Relaxed) as usize,
             exhaustions: self.inner.exhaustions.load(Ordering::Relaxed),
             acquires: self.inner.acquires.load(Ordering::Relaxed),
+            misuse_rejections: self.inner.misuse_rejections.load(Ordering::Relaxed),
         }
     }
 
@@ -234,11 +258,18 @@ impl SlotPool {
         self.inner.acquires.fetch_add(1, Ordering::Relaxed);
         let in_use = self.inner.in_use.fetch_add(1, Ordering::Relaxed) + 1;
         self.inner.high_water.fetch_max(in_use, Ordering::Relaxed);
-        self.inner.refcounts[index as usize].store(1, Ordering::Release);
+        // Popping the free list gave us exclusive ownership of the slot
+        // (refcount is 0 and no token can match its generation), so a plain
+        // load + store cannot race with any other state transition.
+        let state = &self.inner.states[index as usize];
+        let (generation, refs) = unpack_state(state.load(Ordering::Acquire));
+        debug_assert_eq!(refs, 0, "slot on the free list with live references");
+        state.store(pack_state(generation, 1), Ordering::Release);
         self.inner.lens[index as usize].store(len as u32, Ordering::Relaxed);
         Ok(SlotGuard {
             pool: self.clone(),
             index,
+            generation,
             len,
         })
     }
@@ -256,6 +287,7 @@ impl SlotPool {
         Ok(SlotGuard {
             pool: self.clone(),
             index: token.index,
+            generation: token.generation,
             len: token.len(),
         })
     }
@@ -273,6 +305,7 @@ impl SlotPool {
         Ok(SlotView {
             pool: self.clone(),
             index: token.index,
+            generation: token.generation,
             len: token.len(),
         })
     }
@@ -280,53 +313,117 @@ impl SlotPool {
     /// Releases the slot a token refers to back to the free list.
     ///
     /// This is `release_buffer` in the paper's API.  The slot's generation
-    /// is bumped so that any copy of the token still in flight becomes
-    /// stale.
+    /// is bumped (atomically with the refcount reaching zero) so that any
+    /// copy of the token still in flight becomes stale.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`SlotPool::view`]; a second release of the same
-    /// token yields [`MemoryError::StaleToken`].
+    /// * [`MemoryError::InvalidToken`] if the token names another pool or an
+    ///   out-of-range slot.
+    /// * [`MemoryError::StaleToken`] on a double release — including two
+    ///   threads racing to release the same token: exactly one wins.
     pub fn release(&self, token: SlotToken) -> Result<(), MemoryError> {
-        self.validate(token)?;
-        self.release_index(token.index);
-        Ok(())
+        self.check_addressable(token)?;
+        self.release_checkout(token.index, token.generation)
+            .inspect_err(|_| {
+                self.inner.misuse_rejections.fetch_add(1, Ordering::Relaxed);
+            })
     }
 
-    fn release_index(&self, index: u32) {
-        let remaining = self.inner.refcounts[index as usize].fetch_sub(1, Ordering::AcqRel) - 1;
-        if remaining == 0 {
-            self.inner.generations[index as usize].fetch_add(1, Ordering::Release);
-            self.inner.in_use.fetch_sub(1, Ordering::Relaxed);
-            self.inner.free.push(index);
+    /// Returns one unit of checkout for `index`, provided the slot is still
+    /// on generation `expected_generation` with a live refcount.
+    ///
+    /// The whole transition is one CAS on the packed state word: when the
+    /// last reference goes away the generation bump, the count reaching
+    /// zero, and the staleness of every outstanding token copy all become
+    /// visible atomically.  Exactly one of N racing releases of the same
+    /// checkout succeeds.
+    fn release_checkout(&self, index: u32, expected_generation: u32) -> Result<(), MemoryError> {
+        let state = &self.inner.states[index as usize];
+        let mut current = state.load(Ordering::Acquire);
+        loop {
+            let (generation, refs) = unpack_state(current);
+            if generation != expected_generation || refs == 0 {
+                return Err(MemoryError::StaleToken);
+            }
+            let next = if refs == 1 {
+                pack_state(generation.wrapping_add(1), 0)
+            } else {
+                pack_state(generation, refs - 1)
+            };
+            match state.compare_exchange_weak(current, next, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => {
+                    if refs == 1 {
+                        self.inner.in_use.fetch_sub(1, Ordering::Relaxed);
+                        self.inner.free.push(index);
+                    }
+                    return Ok(());
+                }
+                Err(actual) => current = actual,
+            }
         }
     }
 
-    fn validate(&self, token: SlotToken) -> Result<(), MemoryError> {
+    /// Adds one unit of checkout for `index` on generation
+    /// `expected_generation`; fails if that checkout is no longer live.
+    fn retain_checkout(&self, index: u32, expected_generation: u32) -> Result<(), MemoryError> {
+        let state = &self.inner.states[index as usize];
+        let mut current = state.load(Ordering::Acquire);
+        loop {
+            let (generation, refs) = unpack_state(current);
+            if generation != expected_generation || refs == 0 {
+                return Err(MemoryError::StaleToken);
+            }
+            let next = pack_state(generation, refs + 1);
+            match state.compare_exchange_weak(current, next, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return Ok(()),
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Bounds/pool-id check only (no generation check).
+    fn check_addressable(&self, token: SlotToken) -> Result<(), MemoryError> {
         if token.pool != self.inner.config.pool_id
             || token.index as usize >= self.inner.config.slot_count
         {
+            self.inner.misuse_rejections.fetch_add(1, Ordering::Relaxed);
             return Err(MemoryError::InvalidToken);
         }
-        let current = self.inner.generations[token.index as usize].load(Ordering::Acquire);
-        if current != token.generation {
+        Ok(())
+    }
+
+    fn validate(&self, token: SlotToken) -> Result<(), MemoryError> {
+        self.check_addressable(token)?;
+        let (generation, refs) =
+            unpack_state(self.inner.states[token.index as usize].load(Ordering::Acquire));
+        if generation != token.generation || refs == 0 {
+            self.inner.misuse_rejections.fetch_add(1, Ordering::Relaxed);
             return Err(MemoryError::StaleToken);
         }
         Ok(())
     }
 
-    fn token_for(&self, index: u32, len: usize) -> SlotToken {
+    fn token_for(&self, index: u32, generation: u32, len: usize) -> SlotToken {
         SlotToken {
             pool: self.inner.config.pool_id,
             index,
-            generation: self.inner.generations[index as usize].load(Ordering::Acquire),
+            generation,
             len: len as u32,
         }
     }
 
     fn slot_ptr(&self, index: u32) -> *mut u8 {
         let offset = index as usize * self.inner.config.slot_size;
-        self.inner.backing[offset].get()
+        debug_assert!(offset + self.inner.config.slot_size <= self.inner.backing.len());
+        // SAFETY: `offset` is in bounds for the backing slice (`index` was
+        // bounds-checked when the guard/view was created and the arena is
+        // never resized).  The pointer is derived from the slice base, not
+        // from a single-element borrow, so its provenance spans the whole
+        // backing allocation and callers may form `slot_size`-byte slices
+        // from it (a `&backing[offset]` reborrow would carry one-byte
+        // provenance — undefined behavior under Miri's aliasing models).
+        unsafe { core::cell::UnsafeCell::raw_get(self.inner.backing.as_ptr().add(offset)) }
     }
 }
 
@@ -337,6 +434,9 @@ impl SlotPool {
 pub struct SlotGuard {
     pool: SlotPool,
     index: u32,
+    /// Generation at checkout time; drops and tokens are pinned to it so a
+    /// stale guard can never release someone else's checkout.
+    generation: u32,
     len: usize,
 }
 
@@ -382,14 +482,14 @@ impl SlotGuard {
     ///
     /// This is the moment `emit_data` hands the slot id to the runtime.
     pub fn into_token(self) -> SlotToken {
-        let token = self.pool.token_for(self.index, self.len);
+        let token = self.pool.token_for(self.index, self.generation, self.len);
         core::mem::forget(self);
         token
     }
 
     /// The token this guard would produce, without consuming the guard.
     pub fn token(&self) -> SlotToken {
-        self.pool.token_for(self.index, self.len)
+        self.pool.token_for(self.index, self.generation, self.len)
     }
 }
 
@@ -397,7 +497,9 @@ impl core::ops::Deref for SlotGuard {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        // SAFETY: the guard uniquely owns the slot (free-list discipline).
+        // SAFETY: the guard uniquely owns the slot (free-list discipline),
+        // `slot_ptr` has provenance for the full slot, and `len` is bounded
+        // by the slot size.
         unsafe { core::slice::from_raw_parts(self.pool.slot_ptr(self.index), self.len) }
     }
 }
@@ -411,7 +513,20 @@ impl core::ops::DerefMut for SlotGuard {
 
 impl Drop for SlotGuard {
     fn drop(&mut self) {
-        self.pool.release_index(self.index);
+        // A failure means this guard's checkout was already retired through
+        // a copied token (ownership-discipline misuse).  The generation
+        // check above guarantees we did not touch the slot's new owner;
+        // record the rejection instead of corrupting state.
+        if self
+            .pool
+            .release_checkout(self.index, self.generation)
+            .is_err()
+        {
+            self.pool
+                .inner
+                .misuse_rejections
+                .fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -423,6 +538,8 @@ impl Drop for SlotGuard {
 pub struct SlotView {
     pool: SlotPool,
     index: u32,
+    /// Generation at checkout time (see [`SlotGuard::generation`]).
+    generation: u32,
     len: usize,
 }
 
@@ -456,7 +573,7 @@ impl SlotView {
     /// forwarded without copying (e.g. a local sink handing the message to
     /// another component).
     pub fn into_token(self) -> SlotToken {
-        let token = self.pool.token_for(self.index, self.len);
+        let token = self.pool.token_for(self.index, self.generation, self.len);
         core::mem::forget(self);
         token
     }
@@ -468,10 +585,25 @@ impl SlotView {
     /// received message to several co-located sinks without copying
     /// (the multi-sink experiment of Fig. 8b).
     pub fn clone_ref(&self) -> SlotView {
-        self.pool.inner.refcounts[self.index as usize].fetch_add(1, Ordering::AcqRel);
+        // This view holds a live checkout, so the retain can only fail if
+        // some other component double-released our checkout out from under
+        // us (misuse).  The clone still hands back a view pinned to our
+        // generation: its eventual drop fails the generation check and is
+        // counted, rather than disturbing the slot's next owner.
+        if self
+            .pool
+            .retain_checkout(self.index, self.generation)
+            .is_err()
+        {
+            self.pool
+                .inner
+                .misuse_rejections
+                .fetch_add(1, Ordering::Relaxed);
+        }
         SlotView {
             pool: self.pool.clone(),
             index: self.index,
+            generation: self.generation,
             len: self.len,
         }
     }
@@ -481,20 +613,32 @@ impl core::ops::Deref for SlotView {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        // SAFETY: the view owns the checkout; writers cannot exist because
-        // ownership is linear (guard was consumed to produce the token that
-        // produced this view).
+        // SAFETY: the view owns one unit of checkout; writers cannot exist
+        // because ownership is linear (the guard was consumed to produce
+        // the token that produced this view), and `slot_ptr` has
+        // provenance for the full slot.
         unsafe { core::slice::from_raw_parts(self.pool.slot_ptr(self.index), self.len) }
     }
 }
 
 impl Drop for SlotView {
     fn drop(&mut self) {
-        self.pool.release_index(self.index);
+        // See `SlotGuard::drop`: a failed release means our checkout was
+        // already retired via a copied token; count it, don't corrupt.
+        if self
+            .pool
+            .release_checkout(self.index, self.generation)
+            .is_err()
+        {
+            self.pool
+                .inner
+                .misuse_rejections
+                .fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
 
@@ -550,6 +694,7 @@ mod tests {
         assert_eq!(stats.high_water, 4);
         assert_eq!(stats.exhaustions, 1);
         assert_eq!(stats.acquires, 4);
+        assert_eq!(stats.misuse_rejections, 0);
         drop(guards);
         assert_eq!(p.stats().in_use, 0);
         assert_eq!(p.free_slots(), 4);
@@ -561,6 +706,7 @@ mod tests {
         let t = p.acquire(1).unwrap().into_token();
         p.release(t).unwrap();
         assert_eq!(p.release(t), Err(MemoryError::StaleToken));
+        assert_eq!(p.stats().misuse_rejections, 1);
     }
 
     #[test]
@@ -577,6 +723,7 @@ mod tests {
         let b = SlotPool::new(PoolConfig::new(2, 64, 2)).unwrap();
         let t = a.acquire(1).unwrap().into_token();
         assert!(matches!(b.view(t), Err(MemoryError::InvalidToken)));
+        assert_eq!(b.stats().misuse_rejections, 1);
         a.release(t).unwrap();
     }
 
@@ -680,14 +827,31 @@ mod tests {
     }
 
     #[test]
+    fn stale_guard_drop_cannot_release_new_owner() {
+        let p = SlotPool::new(PoolConfig::new(0, 16, 1)).unwrap();
+        let g = p.acquire(1).unwrap();
+        let t = g.token(); // non-consuming copy of the checkout
+        p.release(t).unwrap(); // misuse: releases while the guard lives
+        let g2 = p.acquire(2).unwrap(); // new checkout, new generation
+        drop(g); // stale guard must NOT free the new checkout
+        assert_eq!(p.free_slots(), 0);
+        assert_eq!(p.stats().in_use, 1);
+        assert!(p.stats().misuse_rejections >= 1);
+        drop(g2);
+        assert_eq!(p.free_slots(), 1);
+        assert_eq!(p.stats().in_use, 0);
+    }
+
+    #[test]
     fn concurrent_acquire_release_is_balanced() {
         use std::sync::Arc;
+        const ROUNDS: u32 = if cfg!(miri) { 100 } else { 5_000 };
         let p = Arc::new(SlotPool::new(PoolConfig::new(9, 64, 32)).unwrap());
         let mut handles = Vec::new();
         for t in 0..8 {
             let p = Arc::clone(&p);
             handles.push(std::thread::spawn(move || {
-                for i in 0..5_000u32 {
+                for i in 0..ROUNDS {
                     match p.acquire(8) {
                         Ok(mut g) => {
                             g.copy_from_slice(&(t as u64 * 31 + i as u64).to_le_bytes());

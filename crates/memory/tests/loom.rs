@@ -1,0 +1,109 @@
+//! Loom model-checking suite for the slot pool's packed-state protocol.
+//!
+//! Run with: `RUSTFLAGS="--cfg loom" cargo test -p insane-memory --release
+//! --test loom`.  The pool's generation/refcount word and counters go
+//! through the `insane_queues::sync` shim, so loom explores the ownership
+//! transitions themselves (payload bytes are exercised by Miri and the
+//! sanitizer jobs instead; see DESIGN.md §7).
+#![cfg(loom)]
+
+use insane_memory::{MemoryError, PoolConfig, SlotPool};
+use loom::thread;
+
+fn pool(slots: usize) -> SlotPool {
+    SlotPool::new(PoolConfig::new(7, 64, slots)).expect("pool config is valid")
+}
+
+/// The paper's lend → emit → release cycle across two threads: the
+/// producer acquires and emits a token; the consumer views, releases, and
+/// thereby bumps the generation so the producer's retained copy goes
+/// stale.  Accounting must return to zero.
+#[test]
+fn lend_emit_release_bumps_generation() {
+    loom::model(|| {
+        let p = pool(2);
+        let guard = p.acquire(8).expect("fresh pool has free slots");
+        let token = guard.into_token();
+        let consumer = {
+            let p = p.clone();
+            thread::spawn(move || {
+                let view = p.view(token).expect("token is live until released");
+                drop(view); // drop releases the checkout
+            })
+        };
+        consumer.join().unwrap();
+        // The consumer's release bumped the generation: every retained
+        // copy of the token is now stale, never a silent alias.
+        assert_eq!(p.view(token).err(), Some(MemoryError::StaleToken));
+        assert_eq!(p.release(token).err(), Some(MemoryError::StaleToken));
+        let stats = p.stats();
+        assert_eq!(stats.in_use, 0, "slot leaked through the emit cycle");
+        assert_eq!(p.free_slots(), 2);
+    });
+}
+
+/// Two threads race to release the same token: exactly one must win, the
+/// loser must get `StaleToken` (not a panic, not a refcount underflow),
+/// and the slot must be freed exactly once.
+#[test]
+fn racing_double_release_has_exactly_one_winner() {
+    loom::model(|| {
+        let p = pool(1);
+        let token = p
+            .acquire(4)
+            .expect("fresh pool has a free slot")
+            .into_token();
+        let racer = {
+            let p = p.clone();
+            thread::spawn(move || p.release(token).is_ok())
+        };
+        let local_won = p.release(token).is_ok();
+        let racer_won = racer.join().unwrap();
+        assert!(
+            local_won ^ racer_won,
+            "racing releases: expected exactly one winner, got local={local_won} racer={racer_won}"
+        );
+        let stats = p.stats();
+        assert_eq!(stats.in_use, 0);
+        assert_eq!(
+            stats.misuse_rejections, 1,
+            "the losing release must be counted"
+        );
+        // Freed exactly once: the slot is reusable and the pool is not
+        // over-freed (a second pop from a corrupted free list would panic
+        // or alias).
+        let again = p.acquire(4).expect("slot must be reusable after release");
+        assert_eq!(p.stats().in_use, 1);
+        drop(again);
+        assert_eq!(p.stats().in_use, 0);
+    });
+}
+
+/// Multi-sink sharing (`clone_ref`, Fig. 8b): two views of one slot drop
+/// on different threads.  The refcount must pass 2 → 1 → 0 with the
+/// generation bump fused to the final decrement — the slot is freed
+/// exactly once and only after the last reader is gone.
+#[test]
+fn concurrent_view_drops_free_the_slot_exactly_once() {
+    loom::model(|| {
+        let p = pool(1);
+        let token = p
+            .acquire(4)
+            .expect("fresh pool has a free slot")
+            .into_token();
+        let v1 = p.view(token).expect("token is live");
+        let v2 = v1.clone_ref();
+        assert_eq!(p.stats().in_use, 1);
+        let t1 = thread::spawn(move || drop(v1));
+        let t2 = thread::spawn(move || drop(v2));
+        t1.join().unwrap();
+        t2.join().unwrap();
+        let stats = p.stats();
+        assert_eq!(stats.in_use, 0, "last drop must return the slot");
+        assert_eq!(stats.misuse_rejections, 0, "both drops were legitimate");
+        assert_eq!(p.free_slots(), 1, "slot must end up free exactly once");
+        // The final decrement bumped the generation: the original token
+        // (and any copy of it) is stale, never an alias of the next owner.
+        assert_eq!(p.view(token).err(), Some(MemoryError::StaleToken));
+    });
+}

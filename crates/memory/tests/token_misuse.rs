@@ -1,0 +1,172 @@
+//! Token-misuse semantics: every ownership-discipline violation must come
+//! back as a typed [`MemoryError`] — never a panic, never silent aliasing
+//! of a slot that has moved on to a new owner — and must be visible in
+//! [`PoolStats::misuse_rejections`].
+//!
+//! The proptest at the bottom hammers concurrent lend/release cycles and
+//! cross-checks the pool's accounting counters against ground truth.
+
+use std::thread;
+
+use insane_memory::{MemoryError, PoolConfig, SlotPool};
+use proptest::prelude::*;
+
+fn pool(id: u16, slots: usize) -> SlotPool {
+    SlotPool::new(PoolConfig::new(id, 256, slots)).expect("valid config")
+}
+
+#[test]
+fn double_release_is_a_typed_error() {
+    let p = pool(1, 4);
+    let token = p.acquire(16).unwrap().into_token();
+    assert_eq!(p.release(token), Ok(()));
+    assert_eq!(p.release(token), Err(MemoryError::StaleToken));
+    let stats = p.stats();
+    assert_eq!(stats.in_use, 0);
+    assert_eq!(stats.misuse_rejections, 1);
+}
+
+#[test]
+fn stale_generation_cannot_touch_the_slots_new_owner() {
+    let p = pool(1, 1);
+    let old = p.acquire(8).unwrap().into_token();
+    p.release(old).unwrap();
+
+    // The same physical slot is re-lent to a new owner...
+    let current = p.acquire(8).unwrap();
+    let current_token = current.token();
+    assert_eq!(
+        old.index(),
+        current_token.index(),
+        "single-slot pool must reuse the slot"
+    );
+
+    // ...and every operation through the stale token is rejected.
+    assert_eq!(p.view(old).err(), Some(MemoryError::StaleToken));
+    assert_eq!(p.redeem(old).err(), Some(MemoryError::StaleToken));
+    assert_eq!(p.release(old).err(), Some(MemoryError::StaleToken));
+
+    // The new owner's checkout is untouched by the three rejections.
+    let stats = p.stats();
+    assert_eq!(stats.in_use, 1);
+    assert_eq!(stats.misuse_rejections, 3);
+    drop(current);
+    assert_eq!(p.stats().in_use, 0);
+}
+
+#[test]
+fn cross_pool_tokens_are_invalid_not_stale() {
+    let a = pool(1, 2);
+    let b = pool(2, 2);
+    let token = a.acquire(4).unwrap().into_token();
+    assert_eq!(b.release(token), Err(MemoryError::InvalidToken));
+    assert_eq!(b.view(token).err(), Some(MemoryError::InvalidToken));
+    assert_eq!(b.stats().misuse_rejections, 2);
+    // Pool A's checkout is unaffected by pool B's rejections.
+    assert_eq!(a.stats().in_use, 1);
+    assert_eq!(a.release(token), Ok(()));
+}
+
+#[test]
+fn releasing_through_a_copied_token_makes_the_guard_drop_inert() {
+    let p = pool(1, 2);
+    let guard = p.acquire(8).unwrap();
+    let token = guard.token();
+    // Misuse: releasing via the copied token while the guard is alive.
+    assert_eq!(p.release(token), Ok(()));
+    assert_eq!(p.stats().in_use, 0);
+    // The guard's own drop finds its generation retired: it must be a
+    // counted no-op, not an underflow or a second free-list push.
+    drop(guard);
+    let stats = p.stats();
+    assert_eq!(stats.in_use, 0);
+    assert_eq!(stats.misuse_rejections, 1);
+    // Both slots are individually acquirable: the free list holds no
+    // duplicate entry for the doubly-released slot.
+    let g1 = p.acquire(1).unwrap();
+    let g2 = p.acquire(1).unwrap();
+    assert_ne!(g1.token().index(), g2.token().index());
+    assert!(matches!(p.acquire(1), Err(MemoryError::PoolExhausted)));
+}
+
+#[test]
+fn shared_views_keep_the_slot_live_until_the_last_reader() {
+    let p = pool(1, 1);
+    let token = p.acquire(4).unwrap().into_token();
+    let v1 = p.view(token).unwrap();
+    let v2 = v1.clone_ref();
+    drop(v1);
+    // Still checked out by v2: the slot cannot be re-lent.
+    assert!(matches!(p.acquire(1), Err(MemoryError::PoolExhausted)));
+    drop(v2);
+    assert_eq!(p.stats().in_use, 0);
+    assert!(p.acquire(1).is_ok());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Concurrent lend/release churn with deliberate double releases mixed
+    /// in: afterwards the counters must reconcile exactly — no lost slots,
+    /// no phantom checkouts, every misuse counted.
+    #[test]
+    fn concurrent_churn_reconciles_pool_stats(
+        threads in 2usize..5,
+        rounds in 1usize..40,
+        slots in 1usize..8,
+        double_release_every in 1u32..8,
+    ) {
+        let p = pool(9, slots);
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let p = p.clone();
+                thread::spawn(move || {
+                    let mut acquired = 0u64;
+                    let mut misuses = 0u64;
+                    for r in 0..rounds {
+                        match p.acquire(32) {
+                            Ok(guard) => {
+                                acquired += 1;
+                                let token = guard.into_token();
+                                p.release(token).expect("sole owner releases once");
+                                if (t as u32 + r as u32).is_multiple_of(double_release_every) {
+                                    // Deliberate misuse: the token is stale.
+                                    if p.release(token).is_err() {
+                                        misuses += 1;
+                                    }
+                                }
+                            }
+                            Err(MemoryError::PoolExhausted) => thread::yield_now(),
+                            Err(other) => panic!("unexpected acquire error: {other:?}"),
+                        }
+                    }
+                    (acquired, misuses)
+                })
+            })
+            .collect();
+
+        let mut total_acquired = 0u64;
+        let mut total_misuses = 0u64;
+        for h in handles {
+            let (a, m) = h.join().expect("worker must not panic");
+            total_acquired += a;
+            total_misuses += m;
+        }
+
+        let stats = p.stats();
+        prop_assert_eq!(stats.in_use, 0, "all checkouts were returned");
+        prop_assert_eq!(stats.acquires, total_acquired);
+        prop_assert_eq!(stats.misuse_rejections, total_misuses);
+        prop_assert!(stats.high_water <= slots, "high_water {} > slot count {}", stats.high_water, slots);
+        prop_assert!(
+            total_acquired == 0 || stats.high_water >= 1,
+            "slots were lent but high_water stayed 0"
+        );
+        // Every slot is individually re-acquirable: the free list was not
+        // corrupted by the deliberate double releases.
+        let guards: Vec<_> = (0..slots).map(|_| p.acquire(1).expect("slot recoverable")).collect();
+        prop_assert!(matches!(p.acquire(1), Err(MemoryError::PoolExhausted)));
+        drop(guards);
+        prop_assert_eq!(p.stats().in_use, 0);
+    }
+}

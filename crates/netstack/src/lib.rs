@@ -43,6 +43,7 @@
 //! # Ok::<(), insane_netstack::NetstackError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -8,7 +8,8 @@
 //! a 32-bit tag packed next to the 32-bit head index in one `AtomicU64`.
 
 use core::fmt;
-use core::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use crate::sync::{AtomicU32, AtomicU64, Ordering};
 
 const NIL: u32 = u32::MAX;
 
@@ -145,7 +146,7 @@ impl FreeStack {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::collections::HashSet;
@@ -192,7 +193,7 @@ mod tests {
     #[test]
     fn concurrent_churn_never_duplicates_indices() {
         const THREADS: usize = 8;
-        const ROUNDS: usize = 10_000;
+        const ROUNDS: usize = if cfg!(miri) { 200 } else { 10_000 };
         let stack = Arc::new(FreeStack::full(64));
         let mut handles = Vec::new();
         for _ in 0..THREADS {

@@ -17,6 +17,12 @@
 //! All queues are fixed-capacity: the middleware never allocates on the data
 //! path after startup.
 //!
+//! Every atomic and interior-mutability cell goes through the [`sync`]
+//! shim, which resolves to [`loom`](https://docs.rs/loom) instrumented
+//! types under `RUSTFLAGS="--cfg loom"` and to the real `core`/`std`
+//! primitives otherwise.  The loom model-checking suite lives in
+//! `tests/loom.rs`; see DESIGN.md §7 for the full verification matrix.
+//!
 //! # Examples
 //!
 //! ```
@@ -33,6 +39,8 @@
 pub mod free_stack;
 pub mod mpmc;
 pub mod spsc;
+#[doc(hidden)]
+pub mod sync;
 
 pub use free_stack::FreeStack;
 pub use mpmc::MpmcQueue;

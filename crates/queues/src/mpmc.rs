@@ -6,12 +6,15 @@
 //! application sources handing tokens to one shared polling thread when the
 //! runtime runs in its resource-constrained configuration (paper §5.3), and
 //! for the control-plane mailbox.
+//!
+//! All shared state goes through [`crate::sync`], so the queue can be model
+//! checked with loom (`RUSTFLAGS="--cfg loom" cargo test -p insane-queues
+//! --test loom`); see DESIGN.md §7.
 
-use core::cell::UnsafeCell;
 use core::fmt;
 use core::mem::MaybeUninit;
-use core::sync::atomic::{AtomicUsize, Ordering};
 
+use crate::sync::{AtomicUsize, Ordering, UnsafeCell};
 use crate::CachePadded;
 
 struct Slot<T> {
@@ -38,9 +41,12 @@ pub struct MpmcQueue<T> {
 }
 
 // SAFETY: slots are handed off between threads with acquire/release on the
-// per-slot sequence numbers; a value is only ever read by the one consumer
-// that won the CAS on `dequeue_pos`.
+// per-slot sequence numbers; a value is only ever written by the one
+// producer that won the CAS on `enqueue_pos` and read by the one consumer
+// that won the CAS on `dequeue_pos`, so no slot is accessed concurrently.
 unsafe impl<T: Send> Send for MpmcQueue<T> {}
+// SAFETY: as above — all shared-reference operations serialize their slot
+// accesses through the sequence-number protocol.
 unsafe impl<T: Send> Sync for MpmcQueue<T> {}
 
 impl<T> fmt::Debug for MpmcQueue<T> {
@@ -97,8 +103,9 @@ impl<T> MpmcQueue<T> {
                 ) {
                     Ok(_) => {
                         // SAFETY: winning the CAS gives us exclusive write
-                        // access to this slot for this lap.
-                        unsafe { (*slot.value.get()).write(value) };
+                        // access to this slot for this lap; the consumer
+                        // cannot touch it until the sequence store below.
+                        slot.value.with_mut(|p| unsafe { (*p).write(value) });
                         slot.sequence.store(pos.wrapping_add(1), Ordering::Release);
                         return Ok(());
                     }
@@ -127,9 +134,10 @@ impl<T> MpmcQueue<T> {
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
-                        // SAFETY: winning the CAS gives us exclusive read
-                        // access to the initialized value in this slot.
-                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        // SAFETY: winning the CAS gives us exclusive access
+                        // to the initialized value in this slot; producers
+                        // cannot reuse it until the sequence store below.
+                        let value = slot.value.with(|p| unsafe { (*p).assume_init_read() });
                         slot.sequence
                             .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
                         return Some(value);
@@ -183,9 +191,10 @@ impl<T> Drop for MpmcQueue<T> {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
     use std::sync::Arc;
 
     #[test]
@@ -226,7 +235,7 @@ mod tests {
 
     #[test]
     fn values_left_in_queue_are_dropped() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::atomic::Ordering;
         static DROPS: AtomicUsize = AtomicUsize::new(0);
         #[derive(Debug)]
         struct Probe;
@@ -245,9 +254,10 @@ mod tests {
 
     #[test]
     fn multi_producer_multi_consumer_accounting() {
+        use std::sync::atomic::Ordering;
         const PRODUCERS: usize = 4;
         const CONSUMERS: usize = 4;
-        const PER_PRODUCER: usize = 20_000;
+        const PER_PRODUCER: usize = if cfg!(miri) { 100 } else { 20_000 };
         let q = Arc::new(MpmcQueue::<usize>::new(256));
         let consumed = Arc::new(AtomicUsize::new(0));
         let sum = Arc::new(AtomicUsize::new(0));
@@ -293,6 +303,4 @@ mod tests {
         assert_eq!(consumed.load(Ordering::SeqCst), n);
         assert_eq!(sum.load(Ordering::SeqCst), n * (n - 1) / 2);
     }
-
-    use std::sync::atomic::AtomicUsize;
 }

@@ -7,13 +7,16 @@
 //! the DPDK `rte_ring` and similar HPC queues use: a producer-owned tail, a
 //! consumer-owned head, and a power-of-two slot array so index wrapping is a
 //! mask.
+//!
+//! All shared state goes through [`crate::sync`], so the ring can be model
+//! checked with loom (`RUSTFLAGS="--cfg loom" cargo test -p insane-queues
+//! --test loom`); see DESIGN.md §7.
 
-use core::cell::UnsafeCell;
+use core::cell::Cell;
 use core::fmt;
 use core::mem::MaybeUninit;
-use core::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
 
+use crate::sync::{Arc, AtomicBool, AtomicUsize, Ordering, UnsafeCell};
 use crate::CachePadded;
 
 /// Error returned by [`Sender::push`] when the ring is full.
@@ -64,8 +67,11 @@ struct Ring<T> {
 
 // SAFETY: the ring hands each value from exactly one producer thread to
 // exactly one consumer thread; the head/tail atomics provide the necessary
-// happens-before edges (release on publish, acquire on observe).
+// happens-before edges (release on publish, acquire on observe), so a slot
+// is never accessed concurrently from both sides.
 unsafe impl<T: Send> Send for Ring<T> {}
+// SAFETY: as above — shared references to the ring only permit operations
+// whose slot accesses are serialized by the head/tail protocol.
 unsafe impl<T: Send> Sync for Ring<T> {}
 
 impl<T> fmt::Debug for Ring<T> {
@@ -84,24 +90,23 @@ impl<T> Drop for Ring<T> {
         let head = self.head.load(Ordering::Relaxed);
         let tail = self.tail.load(Ordering::Relaxed);
         for pos in head..tail {
-            let slot = &self.buffer[pos & self.mask];
             // SAFETY: positions in [head, tail) hold initialized values and
-            // we have exclusive access in Drop.
-            unsafe { (*slot.get()).assume_init_drop() };
+            // Drop has exclusive access to the ring.
+            self.buffer[pos & self.mask].with_mut(|p| unsafe { (*p).assume_init_drop() });
         }
     }
 }
 
 /// Producer half of an SPSC ring created by [`channel`].
+///
+/// `Sender` is `Send` but not `Sync`: exactly one thread may produce.
 pub struct Sender<T> {
     ring: Arc<Ring<T>>,
     /// Producer-local cache of the consumer head, refreshed only when the
-    /// ring looks full; avoids ping-ponging the head cache line.
-    cached_head: UnsafeCell<usize>,
+    /// ring looks full; avoids ping-ponging the head cache line.  A plain
+    /// `Cell` suffices because the producer half is `!Sync`.
+    cached_head: Cell<usize>,
 }
-
-// SAFETY: `cached_head` is only touched by the single producer.
-unsafe impl<T: Send> Send for Sender<T> {}
 
 impl<T> fmt::Debug for Sender<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -110,14 +115,14 @@ impl<T> fmt::Debug for Sender<T> {
 }
 
 /// Consumer half of an SPSC ring created by [`channel`].
+///
+/// `Receiver` is `Send` but not `Sync`: exactly one thread may consume.
 pub struct Receiver<T> {
     ring: Arc<Ring<T>>,
-    /// Consumer-local cache of the producer tail.
-    cached_tail: UnsafeCell<usize>,
+    /// Consumer-local cache of the producer tail (`Cell`: the consumer
+    /// half is `!Sync`).
+    cached_tail: Cell<usize>,
 }
-
-// SAFETY: `cached_tail` is only touched by the single consumer.
-unsafe impl<T: Send> Send for Receiver<T> {}
 
 impl<T> fmt::Debug for Receiver<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -164,11 +169,11 @@ pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
     (
         Sender {
             ring: Arc::clone(&ring),
-            cached_head: UnsafeCell::new(0),
+            cached_head: Cell::new(0),
         },
         Receiver {
             ring,
-            cached_tail: UnsafeCell::new(0),
+            cached_tail: Cell::new(0),
         },
     )
 }
@@ -182,19 +187,16 @@ impl<T> Sender<T> {
     pub fn push(&self, value: T) -> Result<(), PushError<T>> {
         let ring = &*self.ring;
         let tail = ring.tail.load(Ordering::Relaxed);
-        // SAFETY: single producer — exclusive access to the cache cell.
-        let cached_head = unsafe { &mut *self.cached_head.get() };
-        if tail.wrapping_sub(*cached_head) > ring.mask {
-            *cached_head = ring.head.load(Ordering::Acquire);
-            if tail.wrapping_sub(*cached_head) > ring.mask {
+        if tail.wrapping_sub(self.cached_head.get()) > ring.mask {
+            self.cached_head.set(ring.head.load(Ordering::Acquire));
+            if tail.wrapping_sub(self.cached_head.get()) > ring.mask {
                 return Err(PushError(value));
             }
         }
-        let slot = &ring.buffer[tail & ring.mask];
         // SAFETY: the slot at `tail` is not visible to the consumer until we
         // publish the new tail below, and the fullness check above proves
-        // the consumer has vacated it.
-        unsafe { (*slot.get()).write(value) };
+        // the consumer has vacated it — so this write cannot race.
+        ring.buffer[tail & ring.mask].with_mut(|p| unsafe { (*p).write(value) });
         ring.tail.store(tail.wrapping_add(1), Ordering::Release);
         Ok(())
     }
@@ -249,18 +251,16 @@ impl<T> Receiver<T> {
     pub fn try_pop(&self) -> Result<T, PopError> {
         let ring = &*self.ring;
         let head = ring.head.load(Ordering::Relaxed);
-        // SAFETY: single consumer — exclusive access to the cache cell.
-        let cached_tail = unsafe { &mut *self.cached_tail.get() };
-        if head == *cached_tail {
-            *cached_tail = ring.tail.load(Ordering::Acquire);
-            if head == *cached_tail {
+        if head == self.cached_tail.get() {
+            self.cached_tail.set(ring.tail.load(Ordering::Acquire));
+            if head == self.cached_tail.get() {
                 return if ring.producer_alive.load(Ordering::Acquire) {
                     Err(PopError::Empty)
                 } else {
                     // Re-check: the producer may have pushed between our tail
                     // read and its death.
-                    *cached_tail = ring.tail.load(Ordering::Acquire);
-                    if head == *cached_tail {
+                    self.cached_tail.set(ring.tail.load(Ordering::Acquire));
+                    if head == self.cached_tail.get() {
                         Err(PopError::Disconnected)
                     } else {
                         Ok(self.take_at(head))
@@ -273,10 +273,10 @@ impl<T> Receiver<T> {
 
     fn take_at(&self, head: usize) -> T {
         let ring = &*self.ring;
-        let slot = &ring.buffer[head & ring.mask];
         // SAFETY: positions below the observed tail hold initialized values
-        // and the producer will not reuse this slot until we bump `head`.
-        let value = unsafe { (*slot.get()).assume_init_read() };
+        // and the producer will not reuse this slot until we bump `head`,
+        // so this consuming read is the only access.
+        let value = ring.buffer[head & ring.mask].with(|p| unsafe { (*p).assume_init_read() });
         ring.head.store(head.wrapping_add(1), Ordering::Release);
         value
     }
@@ -328,7 +328,7 @@ impl<T> Drop for Receiver<T> {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
 
@@ -441,7 +441,7 @@ mod tests {
 
     #[test]
     fn two_thread_stress_preserves_order_and_content() {
-        const N: u64 = 100_000;
+        const N: u64 = if cfg!(miri) { 500 } else { 100_000 };
         let (tx, rx) = channel(64);
         let producer = std::thread::spawn(move || {
             for i in 0..N {

@@ -28,6 +28,7 @@
 //! assert_eq!(out, ["pkt-a", "pkt-b"]);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

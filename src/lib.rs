@@ -32,6 +32,7 @@
 //! # Ok::<(), insane::InsaneError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use insane_baselines as baselines;

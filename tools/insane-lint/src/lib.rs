@@ -1,0 +1,622 @@
+//! INSANE invariant linter: repo-specific rules that `clippy` cannot
+//! express, run as `cargo run -p insane-lint` (CI job `lint-invariants`).
+//!
+//! Rules (each waivable in source with
+//! `// insane-lint: allow(<rule>) -- <reason>` on the offending line or
+//! the line above; a waiver without a reason is itself an error):
+//!
+//! * `safety-comment` — every `unsafe` keyword must carry a `// SAFETY:`
+//!   comment on the same line or in the contiguous comment block
+//!   immediately above.
+//! * `unsafe-whitelist` — `unsafe` may appear only in the two crates
+//!   whose job it is (`insane-memory`, `insane-queues`); every other
+//!   crate additionally carries `#![forbid(unsafe_code)]`.
+//! * `no-panic-paths` — non-test code in `insane-core`/`insane-fabric`
+//!   must not call `unwrap`/`expect` or invoke `panic!`-family macros:
+//!   the self-healing control plane (DESIGN.md §6.7) relies on errors
+//!   being returned, not thrown.
+//! * `raw-slot-arithmetic` — slot-index/generation arithmetic belongs in
+//!   `insane-memory` alone: no `SlotToken` literals, no `generation`
+//!   identifiers, no arithmetic on `<token|slot>.index()` elsewhere.
+//! * `raw-socket` — OS socket types (`UdpSocket`, `TcpListener`,
+//!   `TcpStream`) may be named only by the kernel-UDP datapath plugin
+//!   and the simulated-fabric UDP device.
+//! * `bad-waiver` — an `insane-lint: allow(...)` directive lacking a
+//!   non-empty reason.
+
+pub mod scan;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use scan::{find_word, ScannedLine};
+
+/// Path prefixes (repo-relative, `/`-separated) where `unsafe` is legal.
+const UNSAFE_WHITELIST: &[&str] = &["crates/memory/", "crates/queues/"];
+
+/// Crates whose non-test code must be panic-free.
+const NO_PANIC_PREFIXES: &[&str] = &["crates/core/src/", "crates/fabric/src/"];
+
+/// Files allowed to name OS socket types: the kernel-UDP datapath plugin
+/// and the simulated AF_INET device it is built on.
+const SOCKET_ALLOWLIST: &[&str] = &[
+    "crates/fabric/src/devices/udp.rs",
+    "crates/core/src/runtime/plugins.rs",
+];
+
+/// Where slot-token internals may be manipulated.
+const SLOT_ARITHMETIC_HOME: &str = "crates/memory/";
+
+/// Identifier-boundary tokens whose call marks a panic path.
+const PANIC_CALLS: &[&str] = &["unwrap", "expect"];
+
+/// Macros whose invocation marks a panic path.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Socket type names guarded by `raw-socket`.
+const SOCKET_TYPES: &[&str] = &["UdpSocket", "TcpListener", "TcpStream"];
+
+/// A single rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Repo-relative path.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable rule name (what `allow(...)` takes).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Lints one file's source text. `rel` is the repo-relative path used for
+/// scope decisions (whitelists) and reporting.
+pub fn lint_file(rel: &Path, source: &str) -> Vec<Violation> {
+    let rel_str = rel.to_string_lossy().replace('\\', "/");
+    let lines = scan::scan(source);
+    let in_test = test_spans(&lines, &rel_str);
+    let waivers = collect_waivers(&lines);
+
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        check_unsafe(&rel_str, idx, &lines, &mut out);
+        check_panic_paths(&rel_str, idx, line, in_test[idx], &mut out);
+        check_slot_arithmetic(&rel_str, idx, line, in_test[idx], &mut out);
+        check_sockets(&rel_str, idx, line, &mut out);
+        let _ = lineno;
+    }
+
+    // Apply waivers, then append waiver-syntax violations.
+    let mut kept: Vec<Violation> = out
+        .into_iter()
+        .filter(|v| !waivers.iter().any(|w| w.covers(v)))
+        .collect();
+    for w in &waivers {
+        if w.reason_missing {
+            kept.push(Violation {
+                file: rel.to_path_buf(),
+                line: w.line + 1,
+                rule: "bad-waiver",
+                message: format!(
+                    "waiver for `{}` has no reason; write `insane-lint: allow({}) -- <why>`",
+                    w.rule, w.rule
+                ),
+            });
+        }
+    }
+    for v in &mut kept {
+        v.file = rel.to_path_buf();
+    }
+    kept.sort_by_key(|v| v.line);
+    kept
+}
+
+/// Recursively lints every `.rs` file under `root` that belongs to the
+/// workspace's own code (crates/, src/, tools/, tests/, examples/),
+/// skipping `target/`, `vendor/` (third-party shims) and test fixtures.
+pub fn lint_root(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut out = Vec::new();
+    for rel in files {
+        let source = std::fs::read_to_string(root.join(&rel))?;
+        out.extend(lint_file(&rel, &source));
+    }
+    Ok(out)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if path.is_dir() {
+            let skip = ["target", "vendor", ".git", "fixtures"]
+                .iter()
+                .any(|d| rel_str == *d || rel_str.ends_with(&format!("/{d}")));
+            let top_ok = ["crates", "src", "tools", "tests", "examples"]
+                .iter()
+                .any(|d| rel_str == *d || rel_str.starts_with(&format!("{d}/")));
+            if !skip && (top_ok || rel_str.is_empty()) {
+                collect_rs_files(root, &path, out)?;
+            }
+        } else if rel_str.ends_with(".rs") {
+            let top_ok = ["crates/", "src/", "tools/", "tests/", "examples/"]
+                .iter()
+                .any(|d| rel_str.starts_with(d));
+            if top_ok {
+                out.push(rel);
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Waivers
+
+#[derive(Debug)]
+struct Waiver {
+    /// 0-based line the directive appears on.
+    line: usize,
+    rule: String,
+    reason_missing: bool,
+}
+
+impl Waiver {
+    /// A directive covers its own line and the next line (so it can sit
+    /// above the offending statement).
+    fn covers(&self, v: &Violation) -> bool {
+        !self.reason_missing
+            && v.rule == self.rule
+            && (v.line == self.line + 1 || v.line == self.line + 2)
+    }
+}
+
+fn collect_waivers(lines: &[ScannedLine]) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        // The directive must be the comment's first token (doc comments
+        // leave a leading `!` or `/` in the comment channel) — prose that
+        // merely *mentions* the syntax, like this tool's own docs, is not
+        // a directive.
+        let comment = line
+            .comment
+            .trim()
+            .trim_start_matches(['!', '/'])
+            .trim_start();
+        let Some(rest) = comment.strip_prefix("insane-lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(inner) = rest.strip_prefix("allow(") else {
+            continue;
+        };
+        let Some(close) = inner.find(')') else {
+            continue;
+        };
+        let rule = inner[..close].trim().to_string();
+        let after = inner[close + 1..].trim();
+        let reason = after
+            .strip_prefix("--")
+            .or_else(|| after.strip_prefix(':'))
+            .map(str::trim)
+            .unwrap_or("");
+        out.push(Waiver {
+            line: idx,
+            rule,
+            reason_missing: reason.len() < 3,
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Test-span detection
+
+/// Computes, for each line, whether it sits inside test-only code:
+/// a `#[cfg(test)]`/`#[cfg(all(test, ...))]` module, a `#[test]` function,
+/// or an integration-test/bench file.
+fn test_spans(lines: &[ScannedLine], rel_str: &str) -> Vec<bool> {
+    if rel_str.starts_with("tests/") || rel_str.contains("/tests/") || rel_str.contains("/benches/")
+    {
+        return vec![true; lines.len()];
+    }
+    let mut in_test = vec![false; lines.len()];
+    let mut depth: i32 = 0;
+    let mut test_starts: Vec<i32> = Vec::new();
+    let mut pending_attr = false;
+
+    for (idx, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        if is_test_attr(code) {
+            pending_attr = true;
+        }
+        in_test[idx] = !test_starts.is_empty() || pending_attr;
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if pending_attr {
+                        test_starts.push(depth);
+                        pending_attr = false;
+                    }
+                }
+                '}' => {
+                    if test_starts.last() == Some(&depth) {
+                        test_starts.pop();
+                    }
+                    depth -= 1;
+                }
+                ';' if pending_attr && test_starts.is_empty() => {
+                    // Attribute applied to a braceless item (e.g. a
+                    // `#[cfg(test)] use ...;`): the span ends here.
+                    pending_attr = false;
+                }
+                _ => {}
+            }
+        }
+        if !test_starts.is_empty() {
+            in_test[idx] = true;
+        }
+    }
+    in_test
+}
+
+/// Does this code line carry an attribute that marks test-only code?
+fn is_test_attr(code: &str) -> bool {
+    let compact: String = code.chars().filter(|c| !c.is_whitespace()).collect();
+    if compact.contains("#[test]") || compact.contains("#[should_panic") {
+        return true;
+    }
+    if let Some(pos) = compact.find("#[cfg(") {
+        let args = &compact[pos + 6..];
+        let end = args.find(")]").map(|e| &args[..e]).unwrap_or(args);
+        return !find_word(end, "test").is_empty();
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+
+fn check_unsafe(rel: &str, idx: usize, lines: &[ScannedLine], out: &mut Vec<Violation>) {
+    let code = &lines[idx].code;
+    if find_word(code, "unsafe").is_empty() {
+        return;
+    }
+    let whitelisted = UNSAFE_WHITELIST.iter().any(|p| rel.starts_with(p));
+    if !whitelisted {
+        out.push(Violation {
+            file: PathBuf::new(),
+            line: idx + 1,
+            rule: "unsafe-whitelist",
+            message: format!(
+                "`unsafe` is only permitted in {}; move the unsafe operation behind \
+                 their safe APIs",
+                UNSAFE_WHITELIST.join(", ")
+            ),
+        });
+    }
+    // SAFETY comment on the same line or anywhere in the contiguous
+    // comment block immediately above (long justifications span many
+    // lines; what matters is that the block is adjacent to the unsafe).
+    let mut documented = lines[idx].comment.contains("SAFETY:");
+    let mut j = idx;
+    while !documented && j > 0 {
+        j -= 1;
+        let above = &lines[j];
+        if !above.code.trim().is_empty() || above.comment.is_empty() {
+            break;
+        }
+        documented = above.comment.contains("SAFETY:");
+    }
+    if !documented {
+        out.push(Violation {
+            file: PathBuf::new(),
+            line: idx + 1,
+            rule: "safety-comment",
+            message: "`unsafe` without a `// SAFETY:` comment on the same line or in the \
+                      comment block above; state the invariant that makes this sound"
+                .to_string(),
+        });
+    }
+}
+
+fn check_panic_paths(
+    rel: &str,
+    idx: usize,
+    line: &ScannedLine,
+    in_test: bool,
+    out: &mut Vec<Violation>,
+) {
+    if in_test || !NO_PANIC_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+        return;
+    }
+    let code = &line.code;
+    for call in PANIC_CALLS {
+        for pos in find_word(code, call) {
+            // Only flag *calls*: `.unwrap()` / `.expect("...")`.
+            let after = code[pos + call.len()..].trim_start();
+            let is_method = code[..pos].trim_end().ends_with('.');
+            if is_method && after.starts_with('(') {
+                out.push(Violation {
+                    file: PathBuf::new(),
+                    line: idx + 1,
+                    rule: "no-panic-paths",
+                    message: format!(
+                        "`.{call}()` in non-test {} code: return a typed error instead \
+                         (control plane must degrade, not die)",
+                        crate_of(rel)
+                    ),
+                });
+            }
+        }
+    }
+    for mac in PANIC_MACROS {
+        for pos in find_word(code, mac) {
+            let after = code[pos + mac.len()..].trim_start();
+            if after.starts_with('!') {
+                out.push(Violation {
+                    file: PathBuf::new(),
+                    line: idx + 1,
+                    rule: "no-panic-paths",
+                    message: format!(
+                        "`{mac}!` in non-test {} code: return a typed error instead",
+                        crate_of(rel)
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn check_slot_arithmetic(
+    rel: &str,
+    idx: usize,
+    line: &ScannedLine,
+    in_test: bool,
+    out: &mut Vec<Violation>,
+) {
+    if rel.starts_with(SLOT_ARITHMETIC_HOME) {
+        return;
+    }
+    let code = &line.code;
+    // SlotToken struct literals (construction belongs to the pool).
+    for pos in find_word(code, "SlotToken") {
+        let after = code[pos + "SlotToken".len()..].trim_start();
+        if after.starts_with('{') {
+            out.push(Violation {
+                file: PathBuf::new(),
+                line: idx + 1,
+                rule: "raw-slot-arithmetic",
+                message: "constructing a `SlotToken` outside insane-memory defeats the \
+                          generation-tag discipline; mint tokens through the pool API"
+                    .to_string(),
+            });
+        }
+    }
+    // Generation tags are an insane-memory implementation detail.  Test
+    // code is exempt from the bare-identifier heuristic: scenario tests
+    // legitimately name unrelated things "generation" (e.g. application
+    // restart generations) and cannot reach pool internals anyway.
+    if !in_test && !find_word(code, "generation").is_empty() {
+        out.push(Violation {
+            file: PathBuf::new(),
+            line: idx + 1,
+            rule: "raw-slot-arithmetic",
+            message: "manipulating slot `generation` tags outside insane-memory; use the \
+                      pool's validate/release API"
+                .to_string(),
+        });
+    }
+    // Arithmetic on `<token|slot>.index()` — recomputing slot addresses.
+    let mut start = 0;
+    while let Some(rel_pos) = code[start..].find(".index()") {
+        let pos = start + rel_pos;
+        start = pos + ".index()".len();
+        let receiver: String = code[..pos]
+            .chars()
+            .rev()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect::<String>()
+            .chars()
+            .rev()
+            .collect();
+        let receiver = receiver.to_ascii_lowercase();
+        if !(receiver.contains("token") || receiver.contains("slot")) {
+            continue;
+        }
+        let after = code[pos + ".index()".len()..].trim_start();
+        let before = code[..pos.saturating_sub(receiver.len())].trim_end();
+        let arith = |s: &str| {
+            s.starts_with('+')
+                || s.starts_with('-')
+                || s.starts_with('*')
+                || s.starts_with('/')
+                || s.starts_with('%')
+                || s.starts_with("<<")
+                || s.starts_with(">>")
+        };
+        let ends_arith = |s: &str| {
+            s.ends_with('+')
+                || s.ends_with('-')
+                || s.ends_with('*')
+                || s.ends_with('/')
+                || s.ends_with('%')
+                || s.ends_with("<<")
+                || s.ends_with(">>")
+        };
+        if arith(after) || ends_arith(before) || after.starts_with("as ") {
+            out.push(Violation {
+                file: PathBuf::new(),
+                line: idx + 1,
+                rule: "raw-slot-arithmetic",
+                message: "arithmetic on a slot index outside insane-memory; slot address \
+                          computation belongs to the pool"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+fn check_sockets(rel: &str, idx: usize, line: &ScannedLine, out: &mut Vec<Violation>) {
+    if SOCKET_ALLOWLIST.contains(&rel) {
+        return;
+    }
+    for ty in SOCKET_TYPES {
+        if !find_word(&line.code, ty).is_empty() {
+            out.push(Violation {
+                file: PathBuf::new(),
+                line: idx + 1,
+                rule: "raw-socket",
+                message: format!(
+                    "`{ty}` outside the kernel-UDP datapath plugin; all packet I/O must go \
+                     through a registered datapath so QoS routing and failover apply"
+                ),
+            });
+        }
+    }
+}
+
+fn crate_of(rel: &str) -> &str {
+    if rel.starts_with("crates/core/") {
+        "insane-core"
+    } else if rel.starts_with("crates/fabric/") {
+        "insane-fabric"
+    } else {
+        "workspace"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(rel: &str, src: &str) -> Vec<&'static str> {
+        lint_file(Path::new(rel), src)
+            .into_iter()
+            .map(|v| v.rule)
+            .collect()
+    }
+
+    #[test]
+    fn undocumented_unsafe_in_whitelisted_crate() {
+        let rules = lint(
+            "crates/queues/src/spsc.rs",
+            "fn f(p: *mut u8) { unsafe { *p = 0 }; }\n",
+        );
+        assert_eq!(rules, vec!["safety-comment"]);
+    }
+
+    #[test]
+    fn documented_unsafe_is_clean() {
+        let src = "fn f(p: *mut u8) {\n    // SAFETY: caller guarantees exclusivity.\n    unsafe { *p = 0 };\n}\n";
+        assert!(lint("crates/memory/src/pool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_outside_whitelist_is_flagged() {
+        let rules = lint(
+            "crates/core/src/api.rs",
+            "// SAFETY: documented but still not allowed here.\nfn f() { unsafe {} }\n",
+        );
+        assert_eq!(rules, vec!["unsafe-whitelist"]);
+    }
+
+    #[test]
+    fn unwrap_in_core_is_flagged_outside_tests_only() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
+                   #[cfg(test)]\nmod tests {\n    fn g(x: Option<u8>) -> u8 { x.unwrap() }\n}\n";
+        let rules = lint("crates/core/src/api.rs", src);
+        assert_eq!(rules, vec!["no-panic-paths"]);
+    }
+
+    #[test]
+    fn cfg_all_test_modules_are_test_spans() {
+        let src = "#[cfg(all(test, not(loom)))]\nmod tests {\n    fn g() { panic!(\"x\") }\n}\n";
+        assert!(lint("crates/fabric/src/wire.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_macro_in_fabric_is_flagged() {
+        let rules = lint("crates/fabric/src/link.rs", "fn f() { panic!(\"boom\") }\n");
+        assert_eq!(rules, vec!["no-panic-paths"]);
+    }
+
+    #[test]
+    fn unwrap_or_and_expect_like_idents_are_not_flagged() {
+        let src =
+            "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\nfn g(expected: u8) -> u8 { expected }\n";
+        assert!(lint("crates/core/src/api.rs", src).is_empty());
+    }
+
+    #[test]
+    fn slot_token_literal_outside_memory() {
+        let rules = lint(
+            "crates/core/src/api.rs",
+            "fn forge() { let t = SlotToken { pool: 0 }; }\n",
+        );
+        assert!(rules.contains(&"raw-slot-arithmetic"));
+    }
+
+    #[test]
+    fn host_index_arithmetic_is_fine_but_token_index_is_not() {
+        let ok = "let seed = host.index() + 1;\n";
+        assert!(lint("crates/fabric/src/fault.rs", ok).is_empty());
+        let bad = "let addr = token.index() * slot_size;\n";
+        assert_eq!(
+            lint("crates/core/src/runtime/dispatch.rs", bad),
+            vec!["raw-slot-arithmetic"]
+        );
+    }
+
+    #[test]
+    fn raw_socket_outside_plugin() {
+        let rules = lint("crates/lunar/src/mom.rs", "use std::net::UdpSocket;\n");
+        assert_eq!(rules, vec!["raw-socket"]);
+        assert!(lint(
+            "crates/fabric/src/devices/udp.rs",
+            "use std::net::UdpSocket;\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn waiver_with_reason_suppresses() {
+        let src = "// insane-lint: allow(no-panic-paths) -- startup config, cannot be absent\n\
+                   fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert!(lint("crates/core/src/api.rs", src).is_empty());
+    }
+
+    #[test]
+    fn waiver_without_reason_is_its_own_violation() {
+        let src =
+            "// insane-lint: allow(no-panic-paths)\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let rules = lint("crates/core/src/api.rs", src);
+        assert!(rules.contains(&"bad-waiver"));
+        assert!(rules.contains(&"no-panic-paths"));
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let src = "fn f() { let s = \"unsafe panic!() .unwrap()\"; } // unsafe unwrap()\n";
+        assert!(lint("crates/core/src/api.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! CLI wrapper: `cargo run -p insane-lint [root]`.
+//!
+//! Lints the workspace rooted at `root` (default: the current directory)
+//! and exits non-zero if any invariant violation is found, so CI can use
+//! it as a required gate (`lint-invariants` job).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+
+    let violations = match insane_lint::lint_root(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("insane-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        println!("insane-lint: no invariant violations");
+        ExitCode::SUCCESS
+    } else {
+        println!("insane-lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,290 @@
+//! Lexical pre-pass: separates each source line into *code* and *comment*
+//! channels so rules never fire on words inside strings or doc text.
+//!
+//! This is a hand-rolled scanner, not a full parser: the workspace builds
+//! offline and cannot pull `syn`, and every rule in this tool needs only
+//! token-level context (identifier boundaries, brace depth, attribute
+//! adjacency).  The state machine understands line and nested block
+//! comments, string/byte-string literals with escapes, raw strings with
+//! arbitrary `#` fences, and character literals vs. lifetimes.
+
+/// One physical source line split into channels.
+#[derive(Debug, Clone, Default)]
+pub struct ScannedLine {
+    /// Line text with comment and string-literal *contents* blanked to
+    /// spaces (string delimiters are preserved so offsets line up).
+    pub code: String,
+    /// Concatenated text of every comment on the line.
+    pub comment: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str { raw_fence: Option<u32> },
+}
+
+/// Splits `source` into per-line code/comment channels.
+pub fn scan(source: &str) -> Vec<ScannedLine> {
+    let mut lines = Vec::new();
+    let mut current = ScannedLine::default();
+    let mut state = State::Code;
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut current));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = bytes.get(i + 1).copied();
+                match c {
+                    '/' if next == Some('/') => {
+                        state = State::LineComment;
+                        i += 2;
+                        continue;
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::BlockComment(1);
+                        current.code.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        current.code.push('"');
+                        state = State::Str { raw_fence: None };
+                        i += 1;
+                        continue;
+                    }
+                    'r' | 'b' if is_raw_string_start(&bytes, i) => {
+                        let (fence, consumed) = raw_string_fence(&bytes, i);
+                        for _ in 0..consumed {
+                            current.code.push(' ');
+                        }
+                        current.code.push('"');
+                        state = State::Str {
+                            raw_fence: Some(fence),
+                        };
+                        i += consumed + 1;
+                        continue;
+                    }
+                    '\'' => {
+                        // Distinguish a char literal from a lifetime: a
+                        // literal is 'x' or an escape '\..'; a lifetime has
+                        // no closing quote right after one scalar.
+                        if next == Some('\\') {
+                            // Escaped char literal: skip to the closing quote.
+                            current.code.push('\'');
+                            let mut j = i + 2;
+                            while j < bytes.len() && bytes[j] != '\'' && bytes[j] != '\n' {
+                                current.code.push(' ');
+                                j += 1;
+                            }
+                            if j < bytes.len() && bytes[j] == '\'' {
+                                current.code.push('\'');
+                                j += 1;
+                            }
+                            i = j;
+                            continue;
+                        } else if bytes.get(i + 2) == Some(&'\'') {
+                            current.code.push_str("' '");
+                            i += 3;
+                            continue;
+                        }
+                        // Lifetime (or label): keep as code.
+                        current.code.push('\'');
+                        i += 1;
+                        continue;
+                    }
+                    _ => {
+                        current.code.push(c);
+                        i += 1;
+                        continue;
+                    }
+                }
+            }
+            State::LineComment => {
+                current.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = bytes.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    if depth == 1 {
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    current.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str { raw_fence } => match raw_fence {
+                None => {
+                    if c == '\\' {
+                        current.code.push_str("  ");
+                        i += 2;
+                    } else if c == '"' {
+                        current.code.push('"');
+                        state = State::Code;
+                        i += 1;
+                    } else {
+                        current.code.push(' ');
+                        i += 1;
+                    }
+                }
+                Some(fence) => {
+                    if c == '"' && closes_raw_string(&bytes, i, fence) {
+                        current.code.push('"');
+                        for _ in 0..fence {
+                            current.code.push(' ');
+                        }
+                        state = State::Code;
+                        i += 1 + fence as usize;
+                    } else {
+                        current.code.push(' ');
+                        i += 1;
+                    }
+                }
+            },
+        }
+    }
+    lines.push(current);
+    lines
+}
+
+/// Is `bytes[i]` the start of `r"`, `r#"`, `b"`, `br#"`, …?
+fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
+    // Must not be the tail of a longer identifier (e.g. `var` ending in r).
+    if i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_') {
+        return false;
+    }
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    // Plain (escaped) strings and byte strings take the non-raw path; only
+    // an `r` marks a raw fence.
+    if bytes.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&'"')
+}
+
+/// Returns `(fence_hash_count, chars_before_opening_quote)`.
+fn raw_string_fence(bytes: &[char], i: usize) -> (u32, usize) {
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&'r') {
+        j += 1;
+    }
+    let mut fence = 0u32;
+    while bytes.get(j) == Some(&'#') {
+        fence += 1;
+        j += 1;
+    }
+    (fence, j - i)
+}
+
+/// Does the quote at `bytes[i]` close a raw string with `fence` hashes?
+fn closes_raw_string(bytes: &[char], i: usize, fence: u32) -> bool {
+    (1..=fence as usize).all(|k| bytes.get(i + k) == Some(&'#'))
+}
+
+/// True when `hay[pos..]` starts with `word` at an identifier boundary on
+/// both sides.
+pub fn word_at(hay: &str, pos: usize, word: &str) -> bool {
+    if !hay[pos..].starts_with(word) {
+        return false;
+    }
+    let before_ok = pos == 0
+        || !hay[..pos]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    let after = hay[pos + word.len()..].chars().next();
+    let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
+    before_ok && after_ok
+}
+
+/// Byte offsets of every boundary-delimited occurrence of `word` in `hay`.
+pub fn find_word(hay: &str, word: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    while let Some(rel) = hay[start..].find(word) {
+        let pos = start + rel;
+        if word_at(hay, pos, word) {
+            out.push(pos);
+        }
+        start = pos + word.len().max(1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = "let x = \"unsafe\"; // unsafe trailing\nunsafe {}";
+        let lines = scan(src);
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].comment.contains("unsafe trailing"));
+        assert!(lines[1].code.contains("unsafe"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = "let p = r#\"panic!(\"x\")\"#; call();";
+        let lines = scan(src);
+        assert!(!lines[0].code.contains("panic"));
+        assert!(lines[0].code.contains("call();"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(c: char) { let q = '{'; let e = '\\n'; g::<'a>(); }";
+        let lines = scan(src);
+        // The brace inside the char literal must not appear in code.
+        assert_eq!(lines[0].code.matches('{').count(), 1);
+        assert!(lines[0].code.contains("'a"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ code()";
+        let lines = scan(src);
+        assert!(lines[0].code.contains("code()"));
+        assert!(!lines[0].code.contains("outer"));
+        assert!(lines[0].comment.contains("inner"));
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(word_at("unsafe {", 0, "unsafe"));
+        assert!(!word_at("unsafe_code", 0, "unsafe"));
+        assert!(!word_at("my_unwrap()", 3, "unwrap"));
+        assert_eq!(find_word("x.unwrap().unwrap_or(1)", "unwrap"), vec![2]);
+    }
+}

@@ -1,0 +1,65 @@
+//! End-to-end runs over the seeded fixture trees: the linter must find
+//! every planted violation in `fixtures/bad` and nothing in
+//! `fixtures/good` — and, as the acceptance gate, nothing in the real
+//! workspace either.
+
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn bad_fixture_trips_every_rule() {
+    let violations = insane_lint::lint_root(&fixture("bad")).expect("scan fixture");
+    let rules: Vec<&str> = violations.iter().map(|v| v.rule).collect();
+    for expected in [
+        "raw-socket",
+        "raw-slot-arithmetic",
+        "no-panic-paths",
+        "unsafe-whitelist",
+        "safety-comment",
+        "bad-waiver",
+    ] {
+        assert!(
+            rules.contains(&expected),
+            "rule {expected} did not fire; got: {rules:?}"
+        );
+    }
+    // The reason-less waiver must NOT suppress its target.
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.rule == "no-panic-paths" && v.line == 23),
+        "reason-less waiver suppressed the violation it covered: {violations:#?}"
+    );
+}
+
+#[test]
+fn good_fixture_is_clean() {
+    let violations = insane_lint::lint_root(&fixture("good")).expect("scan fixture");
+    assert!(violations.is_empty(), "false positives: {violations:#?}");
+}
+
+#[test]
+fn shipped_workspace_is_clean() {
+    // CARGO_MANIFEST_DIR = <repo>/tools/insane-lint.
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("repo root")
+        .to_path_buf();
+    assert!(repo.join("Cargo.toml").exists(), "repo root not found");
+    let violations = insane_lint::lint_root(&repo).expect("scan workspace");
+    assert!(
+        violations.is_empty(),
+        "workspace has invariant violations:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,0 +1,381 @@
+//! Offline shim for `loom` 0.7: randomized-schedule model checking.
+//!
+//! The real loom performs exhaustive permutation exploration of every
+//! atomic interleaving (CDSChecker-style DPOR).  This vendored stand-in
+//! keeps the same API surface — `loom::model`, `loom::thread`,
+//! `loom::sync::atomic`, `loom::cell::UnsafeCell` — so the workspace's
+//! `cfg(loom)` test suites compile unchanged against upstream loom when a
+//! network is available, while still finding real bugs offline:
+//!
+//! * [`model`] runs the closure many times (`LOOM_ITERS`, default 256),
+//!   reseeding a deterministic xorshift scheduler each iteration.
+//! * Every atomic operation and every [`cell::UnsafeCell`] access calls a
+//!   perturbation hook that randomly yields or spins, driving the OS
+//!   scheduler through different interleavings on every iteration.
+//! * [`cell::UnsafeCell`] additionally *instruments* accesses: concurrent
+//!   `with_mut` with any other access panics the model, turning silent
+//!   data races on the zero-copy slots into hard test failures.
+//!
+//! What this shim cannot do is prove absence of races: it explores a
+//! random sample of schedules, not the full partial order.  CI therefore
+//! pairs it with Miri and ThreadSanitizer (see DESIGN.md §7).
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+
+/// Deterministic scheduler state shared by all perturbation points.
+static SCHED_STATE: AtomicU64 = AtomicU64::new(0x9E37_79B9_7F4A_7C15);
+
+/// Number of explored schedules when `LOOM_ITERS` is unset.
+const DEFAULT_ITERS: u64 = 256;
+
+pub(crate) mod rt {
+    use super::{StdOrdering, SCHED_STATE};
+
+    /// Reseeds the scheduler for iteration `iter` so runs are reproducible
+    /// given the same `LOOM_ITERS` and test set.
+    pub(crate) fn reseed(iter: u64) {
+        SCHED_STATE.store(
+            (iter.wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1,
+            StdOrdering::SeqCst,
+        );
+    }
+
+    fn next() -> u64 {
+        // Racy xorshift on purpose: contention adds entropy, and the value
+        // only steers schedule perturbation.
+        let mut x = SCHED_STATE.load(StdOrdering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        SCHED_STATE.store(x | 1, StdOrdering::Relaxed);
+        x
+    }
+
+    /// Randomly disturbs the schedule at a synchronization point.
+    pub(crate) fn perturb() {
+        let r = next();
+        if r.is_multiple_of(11) {
+            std::thread::yield_now();
+        } else if r.is_multiple_of(5) {
+            for _ in 0..(r % 48) {
+                core::hint::spin_loop();
+            }
+        }
+    }
+}
+
+/// Runs `f` under the randomized-schedule explorer.
+///
+/// Mirrors `loom::model`: the closure must be self-contained (construct
+/// its own state) because it is executed once per explored schedule.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let iters = std::env::var("LOOM_ITERS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_ITERS);
+    for iter in 0..iters {
+        rt::reseed(iter);
+        f();
+    }
+}
+
+pub mod thread {
+    //! Thread spawning with scheduler perturbation, mirroring `loom::thread`.
+
+    pub use std::thread::JoinHandle;
+
+    /// Spawns a model thread; the spawn itself is a perturbation point.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        crate::rt::perturb();
+        std::thread::spawn(move || {
+            crate::rt::perturb();
+            f()
+        })
+    }
+
+    /// Explicit scheduling point, mirroring `loom::thread::yield_now`.
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+}
+
+pub mod hint {
+    //! Spin-loop hints, mirroring `loom::hint`.
+
+    /// Scheduling-point spin hint.
+    pub fn spin_loop() {
+        crate::rt::perturb();
+        core::hint::spin_loop();
+    }
+}
+
+pub mod sync {
+    //! Synchronization primitives, mirroring `loom::sync`.
+
+    pub use std::sync::Arc;
+
+    pub mod atomic {
+        //! Instrumented atomics: every operation is a perturbation point.
+
+        pub use std::sync::atomic::Ordering;
+
+        /// Instrumented memory fence.
+        pub fn fence(order: Ordering) {
+            crate::rt::perturb();
+            std::sync::atomic::fence(order);
+        }
+
+        macro_rules! shim_atomic {
+            ($name:ident, $std:ty, $val:ty) => {
+                /// Instrumented atomic delegating to the std type while
+                /// perturbing the schedule around every access.
+                #[derive(Debug, Default)]
+                pub struct $name(pub(crate) $std);
+
+                impl $name {
+                    /// Creates a new atomic (not `const`, as in real loom).
+                    pub fn new(v: $val) -> Self {
+                        Self(<$std>::new(v))
+                    }
+
+                    /// Instrumented `load`.
+                    pub fn load(&self, order: Ordering) -> $val {
+                        crate::rt::perturb();
+                        self.0.load(order)
+                    }
+
+                    /// Instrumented `store`.
+                    pub fn store(&self, v: $val, order: Ordering) {
+                        crate::rt::perturb();
+                        self.0.store(v, order);
+                        crate::rt::perturb();
+                    }
+
+                    /// Instrumented `swap`.
+                    pub fn swap(&self, v: $val, order: Ordering) -> $val {
+                        crate::rt::perturb();
+                        self.0.swap(v, order)
+                    }
+
+                    /// Instrumented `compare_exchange`.
+                    pub fn compare_exchange(
+                        &self,
+                        current: $val,
+                        new: $val,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$val, $val> {
+                        crate::rt::perturb();
+                        let r = self.0.compare_exchange(current, new, success, failure);
+                        crate::rt::perturb();
+                        r
+                    }
+
+                    /// Instrumented `compare_exchange_weak` (may spuriously
+                    /// fail, as the real operation is allowed to).
+                    pub fn compare_exchange_weak(
+                        &self,
+                        current: $val,
+                        new: $val,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$val, $val> {
+                        crate::rt::perturb();
+                        let r = self.0.compare_exchange_weak(current, new, success, failure);
+                        crate::rt::perturb();
+                        r
+                    }
+
+                    /// Unsynchronized access for single-threaded setup code,
+                    /// mirroring loom's `with_mut`.
+                    pub fn with_mut<R>(&mut self, f: impl FnOnce(&mut $val) -> R) -> R {
+                        f(self.0.get_mut())
+                    }
+                }
+            };
+        }
+
+        macro_rules! shim_atomic_int {
+            ($name:ident, $std:ty, $val:ty) => {
+                shim_atomic!($name, $std, $val);
+
+                impl $name {
+                    /// Instrumented `fetch_add`.
+                    pub fn fetch_add(&self, v: $val, order: Ordering) -> $val {
+                        crate::rt::perturb();
+                        let r = self.0.fetch_add(v, order);
+                        crate::rt::perturb();
+                        r
+                    }
+
+                    /// Instrumented `fetch_sub`.
+                    pub fn fetch_sub(&self, v: $val, order: Ordering) -> $val {
+                        crate::rt::perturb();
+                        let r = self.0.fetch_sub(v, order);
+                        crate::rt::perturb();
+                        r
+                    }
+
+                    /// Instrumented `fetch_max`.
+                    pub fn fetch_max(&self, v: $val, order: Ordering) -> $val {
+                        crate::rt::perturb();
+                        let r = self.0.fetch_max(v, order);
+                        crate::rt::perturb();
+                        r
+                    }
+
+                    /// Instrumented `fetch_min`.
+                    pub fn fetch_min(&self, v: $val, order: Ordering) -> $val {
+                        crate::rt::perturb();
+                        let r = self.0.fetch_min(v, order);
+                        crate::rt::perturb();
+                        r
+                    }
+
+                    /// Instrumented `fetch_or`.
+                    pub fn fetch_or(&self, v: $val, order: Ordering) -> $val {
+                        crate::rt::perturb();
+                        let r = self.0.fetch_or(v, order);
+                        crate::rt::perturb();
+                        r
+                    }
+
+                    /// Instrumented `fetch_and`.
+                    pub fn fetch_and(&self, v: $val, order: Ordering) -> $val {
+                        crate::rt::perturb();
+                        let r = self.0.fetch_and(v, order);
+                        crate::rt::perturb();
+                        r
+                    }
+                }
+            };
+        }
+
+        shim_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+        shim_atomic_int!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+        shim_atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        shim_atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    }
+}
+
+pub mod cell {
+    //! Instrumented interior mutability, mirroring `loom::cell`.
+
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Marker bit distinguishing an exclusive writer from shared readers.
+    const WRITER: usize = 1 << (usize::BITS - 1);
+
+    /// An `UnsafeCell` whose accesses are checked at model-run time.
+    ///
+    /// `with` (shared) and `with_mut` (exclusive) track concurrent access
+    /// with an atomic reader/writer count: any overlap involving a writer
+    /// panics, converting a data race the protocol failed to prevent into
+    /// a deterministic model failure.
+    #[derive(Debug, Default)]
+    pub struct UnsafeCell<T> {
+        data: core::cell::UnsafeCell<T>,
+        state: AtomicUsize,
+    }
+
+    impl<T> UnsafeCell<T> {
+        /// Wraps `data` in an access-checked cell.
+        pub fn new(data: T) -> Self {
+            Self {
+                data: core::cell::UnsafeCell::new(data),
+                state: AtomicUsize::new(0),
+            }
+        }
+
+        /// Shared (read) access to the cell's contents.
+        ///
+        /// # Panics
+        ///
+        /// Panics if an exclusive access is in progress on another thread.
+        pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            crate::rt::perturb();
+            let prev = self.state.fetch_add(1, Ordering::Acquire);
+            assert!(
+                prev & WRITER == 0,
+                "loom shim: read of UnsafeCell while a writer is active (data race)"
+            );
+            let r = f(self.data.get());
+            self.state.fetch_sub(1, Ordering::Release);
+            crate::rt::perturb();
+            r
+        }
+
+        /// Exclusive (write) access to the cell's contents.
+        ///
+        /// # Panics
+        ///
+        /// Panics if any other access is in progress on another thread.
+        pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            crate::rt::perturb();
+            let claimed =
+                self.state
+                    .compare_exchange(0, WRITER, Ordering::Acquire, Ordering::Relaxed);
+            assert!(
+                claimed.is_ok(),
+                "loom shim: write to UnsafeCell while another access is active (data race)"
+            );
+            let r = f(self.data.get());
+            self.state.store(0, Ordering::Release);
+            crate::rt::perturb();
+            r
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::Arc;
+
+    #[test]
+    fn model_runs_closure_many_times() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        super::model(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(count.load(Ordering::SeqCst) > 1);
+    }
+
+    #[test]
+    fn cell_allows_handoff_and_shared_reads() {
+        let cell = super::cell::UnsafeCell::new(7u32);
+        // SAFETY: single-threaded test — no concurrent access exists.
+        cell.with_mut(|p| unsafe { *p = 9 });
+        let a = cell.with(|p| unsafe { *p });
+        assert_eq!(a, 9);
+    }
+
+    #[test]
+    fn atomics_behave_like_std() {
+        let a = AtomicUsize::new(1);
+        assert_eq!(a.fetch_add(2, Ordering::SeqCst), 1);
+        assert_eq!(a.load(Ordering::SeqCst), 3);
+        assert_eq!(
+            a.compare_exchange(3, 5, Ordering::SeqCst, Ordering::SeqCst),
+            Ok(3)
+        );
+        assert_eq!(a.swap(8, Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn threads_join_with_results() {
+        let h = super::thread::spawn(|| 41 + 1);
+        assert_eq!(h.join().unwrap(), 42);
+    }
+}
