@@ -1,4 +1,10 @@
 //! Ablations of the design choices called out in DESIGN.md §5.
 fn main() {
-    insane_bench::experiments::ablations();
+    fn run(r: Result<(), insane_bench::BenchError>) {
+        if let Err(e) = r {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    run(insane_bench::experiments::ablations());
 }

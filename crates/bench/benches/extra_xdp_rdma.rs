@@ -1,5 +1,11 @@
 //! Extra experiment: the XDP and RDMA datapaths the paper's prototype
 //! had not integrated yet.
 fn main() {
-    insane_bench::experiments::extra_xdp_rdma();
+    fn run(r: Result<(), insane_bench::BenchError>) {
+        if let Err(e) = r {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    run(insane_bench::experiments::extra_xdp_rdma());
 }

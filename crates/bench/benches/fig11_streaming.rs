@@ -1,4 +1,10 @@
 //! Regenerates Fig. 11a/11b of the paper (streaming FPS and latency).
 fn main() {
-    insane_bench::experiments::fig11();
+    fn run(r: Result<(), insane_bench::BenchError>) {
+        if let Err(e) = r {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    run(insane_bench::experiments::fig11());
 }

@@ -1,4 +1,10 @@
 //! Regenerates Fig. 5a/5b of the paper (RTT vs payload, both testbeds).
 fn main() {
-    insane_bench::experiments::fig5();
+    fn run(r: Result<(), insane_bench::BenchError>) {
+        if let Err(e) = r {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    run(insane_bench::experiments::fig5());
 }

@@ -1,4 +1,10 @@
 //! Regenerates Fig. 6 of the paper (INSANE fast latency breakdown).
 fn main() {
-    insane_bench::experiments::fig6();
+    fn run(r: Result<(), insane_bench::BenchError>) {
+        if let Err(e) = r {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    run(insane_bench::experiments::fig6());
 }

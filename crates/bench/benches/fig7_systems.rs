@@ -1,4 +1,10 @@
 //! Regenerates Fig. 7a/7b of the paper (average RTT across systems).
 fn main() {
-    insane_bench::experiments::fig7();
+    fn run(r: Result<(), insane_bench::BenchError>) {
+        if let Err(e) = r {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    run(insane_bench::experiments::fig7());
 }

@@ -1,5 +1,11 @@
 //! Regenerates Fig. 8a/8b of the paper (goodput sweeps).
 fn main() {
-    insane_bench::experiments::fig8a();
-    insane_bench::experiments::fig8b();
+    fn run(r: Result<(), insane_bench::BenchError>) {
+        if let Err(e) = r {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    run(insane_bench::experiments::fig8a());
+    run(insane_bench::experiments::fig8b());
 }

@@ -1,5 +1,11 @@
 //! Regenerates Fig. 9a/9b of the paper (MoM latency and goodput).
 fn main() {
-    insane_bench::experiments::fig9a();
-    insane_bench::experiments::fig9b();
+    fn run(r: Result<(), insane_bench::BenchError>) {
+        if let Err(e) = r {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    run(insane_bench::experiments::fig9a());
+    run(insane_bench::experiments::fig9b());
 }

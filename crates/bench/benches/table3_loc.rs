@@ -1,4 +1,10 @@
 //! Regenerates Table 3 of the paper (LoC per interface).
 fn main() {
-    insane_bench::experiments::table3();
+    fn run(r: Result<(), insane_bench::BenchError>) {
+        if let Err(e) = r {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    run(insane_bench::experiments::table3());
 }

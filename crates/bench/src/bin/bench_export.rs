@@ -1,0 +1,70 @@
+//! BENCH smoke runner: measures a representative latency/throughput
+//! subset and writes schema-validated `BENCH_latency.json` /
+//! `BENCH_throughput.json` under `target/experiments/`.
+//!
+//! Iteration counts honor `INSANE_BENCH_FACTOR` (CI runs 0.3 for a
+//! fast smoke; 1.0 is the quick default, 10+ approaches paper scale).
+
+use insane_bench::export::{write_latency, write_throughput, LatencyEntry, ThroughputEntry};
+use insane_bench::latency::{rtt_series, System};
+use insane_bench::throughput::{goodput_gbps, TputSystem};
+use insane_bench::{iters, BenchError};
+use insane_fabric::TestbedProfile;
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("bench export failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), BenchError> {
+    let profile = TestbedProfile::local();
+    let n = iters(300);
+    let warmup = iters(30);
+
+    let mut latency = Vec::new();
+    for system in [
+        System::UdpNonBlocking,
+        System::InsaneSlow,
+        System::InsaneFast,
+        System::RawDpdk,
+    ] {
+        for payload in [64usize, 1024] {
+            latency.push(LatencyEntry {
+                system: system.label().to_owned(),
+                testbed: profile.name.to_owned(),
+                payload_bytes: payload,
+                series: rtt_series(system, &profile, payload, n, warmup)?,
+            });
+        }
+    }
+    let latency_path = write_latency(&latency)?;
+
+    let msgs = iters(6_000);
+    let mut throughput = Vec::new();
+    for system in [
+        TputSystem::KernelUdp,
+        TputSystem::InsaneSlow,
+        TputSystem::InsaneFast,
+        TputSystem::RawDpdk,
+    ] {
+        for payload in [1024usize, 8192] {
+            throughput.push(ThroughputEntry {
+                system: system.label().to_owned(),
+                testbed: profile.name.to_owned(),
+                payload_bytes: payload,
+                messages: msgs,
+                goodput_gbps: goodput_gbps(system, &profile, payload, msgs)?,
+            });
+        }
+    }
+    let throughput_path = write_throughput(&throughput)?;
+
+    println!(
+        "wrote {} and {}",
+        latency_path.display(),
+        throughput_path.display()
+    );
+    Ok(())
+}

@@ -12,7 +12,13 @@ fn main() {
             TputSystem::Catnip,
             TputSystem::Catnap,
         ] {
-            let s = stages(sys, &p, payload, 2000);
+            let s = match stages(sys, &p, payload, 2000) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{} failed: {e}", sys.label());
+                    std::process::exit(1);
+                }
+            };
             println!(
                 "{:12} {:5}B tx={:6}ns rx={:6}ns wire={:4}ns -> {:.2} Gbps",
                 sys.label(),

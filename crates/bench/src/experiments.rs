@@ -12,7 +12,7 @@ use crate::report::{fmt_gbps, fmt_us, Table};
 use crate::stats::us;
 use crate::streaming_bench::{run_streaming, StreamVariant, RESOLUTIONS};
 use crate::throughput::{goodput_gbps, insane_multi_sink_gbps, TputSystem};
-use crate::{apps, iters};
+use crate::{apps, iters, BenchError};
 
 const PAYLOADS_SMALL: [usize; 3] = [64, 256, 1024];
 
@@ -76,19 +76,27 @@ pub fn table2() {
 }
 
 /// Table 3: LoC of the benchmarking application per interface.
-pub fn table3() {
+///
+/// # Errors
+///
+/// Fails if any of the three counted applications does not round-trip.
+pub fn table3() -> Result<(), BenchError> {
     // Prove all three applications actually work before counting them.
     let profile = TestbedProfile::local();
     let runs = iters(3);
-    assert!(
-        !apps::insane_app::run(profile.clone(), insane_core::QosPolicy::fast(), 64, runs)
-            .rtt_ns
-            .is_empty()
-    );
-    assert!(!apps::udp_app::run(profile.clone(), 64, runs)
-        .rtt_ns
-        .is_empty());
-    assert!(!apps::dpdk_app::run(profile, 64, runs).rtt_ns.is_empty());
+    let check = |name: &str, rtt_ns: &[u64]| {
+        if rtt_ns.is_empty() {
+            Err(BenchError::Other(format!("{name} app measured no RTTs")))
+        } else {
+            Ok(())
+        }
+    };
+    check(
+        "insane",
+        &apps::insane_app::run(profile.clone(), insane_core::QosPolicy::fast(), 64, runs).rtt_ns,
+    )?;
+    check("udp", &apps::udp_app::run(profile.clone(), 64, runs).rtt_ns)?;
+    check("dpdk", &apps::dpdk_app::run(profile, 64, runs).rtt_ns)?;
 
     let insane = apps::loc(apps::INSANE_APP_SRC);
     let udp = apps::loc(apps::UDP_APP_SRC);
@@ -110,10 +118,15 @@ pub fn table3() {
     ]);
     table.print();
     table.write_csv("table3_loc");
+    Ok(())
 }
 
 /// Fig. 5: RTT for increasing payload sizes, both testbeds.
-pub fn fig5() {
+///
+/// # Errors
+///
+/// Propagates failures from the systems under measurement.
+pub fn fig5() -> Result<(), BenchError> {
     let systems = [
         System::RawDpdk,
         System::InsaneFast,
@@ -135,7 +148,7 @@ pub fn fig5() {
         );
         for system in systems {
             for payload in PAYLOADS_SMALL {
-                let series = rtt_series(system, &profile, payload, n, warmup);
+                let series = rtt_series(system, &profile, payload, n, warmup)?;
                 table.row(vec![
                     system.label().to_owned(),
                     payload.to_string(),
@@ -151,10 +164,15 @@ pub fn fig5() {
             profile.name.to_lowercase().replace(' ', "_")
         ));
     }
+    Ok(())
 }
 
 /// Fig. 6: INSANE fast latency breakdown at 64 B, both testbeds.
-pub fn fig6() {
+///
+/// # Errors
+///
+/// Propagates failures from the fast-path round trips.
+pub fn fig6() -> Result<(), BenchError> {
     let n = iters(300);
     let warmup = iters(30);
     let mut table = Table::new(
@@ -169,7 +187,7 @@ pub fn fig6() {
         ],
     );
     for profile in profiles() {
-        let acc = insane_fast_breakdown(&profile, 64, n, warmup);
+        let acc = insane_fast_breakdown(&profile, 64, n, warmup)?;
         let (send, receive, processing, network) = acc.averages();
         table.row(vec![
             profile.name.to_owned(),
@@ -182,10 +200,15 @@ pub fn fig6() {
     }
     table.print();
     table.write_csv("fig6_breakdown");
+    Ok(())
 }
 
 /// Fig. 7: average RTT at 64 B across seven systems, both testbeds.
-pub fn fig7() {
+///
+/// # Errors
+///
+/// Propagates failures from the systems under measurement.
+pub fn fig7() -> Result<(), BenchError> {
     let systems = [
         System::UdpBlocking,
         System::UdpNonBlocking,
@@ -203,7 +226,7 @@ pub fn fig7() {
             &["System", "mean (us)", "median (us)", "p99 (us)"],
         );
         for system in systems {
-            let series = rtt_series(system, &profile, 64, n, warmup);
+            let series = rtt_series(system, &profile, 64, n, warmup)?;
             table.row(vec![
                 system.label().to_owned(),
                 format!("{:.2}", series.mean() / 1_000.0),
@@ -217,10 +240,15 @@ pub fn fig7() {
             profile.name.to_lowercase().replace(' ', "_")
         ));
     }
+    Ok(())
 }
 
 /// Fig. 8a: goodput vs payload size (local testbed, as in the paper).
-pub fn fig8a() {
+///
+/// # Errors
+///
+/// Propagates failures from the systems under measurement.
+pub fn fig8a() -> Result<(), BenchError> {
     let profile = TestbedProfile::local();
     let systems = [
         TputSystem::Catnap,
@@ -238,7 +266,7 @@ pub fn fig8a() {
     );
     for system in systems {
         for payload in payloads {
-            let gbps = goodput_gbps(system, &profile, payload, n);
+            let gbps = goodput_gbps(system, &profile, payload, n)?;
             table.row(vec![
                 system.label().to_owned(),
                 payload.to_string(),
@@ -248,10 +276,15 @@ pub fn fig8a() {
     }
     table.print();
     table.write_csv("fig8a_throughput");
+    Ok(())
 }
 
 /// Fig. 8b: goodput vs number of co-located sinks (1 KB payloads).
-pub fn fig8b() {
+///
+/// # Errors
+///
+/// Propagates failures from the multi-sink pipeline.
+pub fn fig8b() -> Result<(), BenchError> {
     let profile = TestbedProfile::local();
     let n = iters(6_000);
     let mut table = Table::new(
@@ -259,15 +292,20 @@ pub fn fig8b() {
         &["Sinks", "Goodput (Gbps)"],
     );
     for sinks in [1usize, 2, 4, 6, 8] {
-        let gbps = insane_multi_sink_gbps(&profile, 1024, sinks, n);
+        let gbps = insane_multi_sink_gbps(&profile, 1024, sinks, n)?;
         table.row(vec![sinks.to_string(), fmt_gbps(gbps)]);
     }
     table.print();
     table.write_csv("fig8b_sinks");
+    Ok(())
 }
 
 /// Fig. 9a: MoM round-trip latency vs payload.
-pub fn fig9a() {
+///
+/// # Errors
+///
+/// Propagates failures from the MoM systems under measurement.
+pub fn fig9a() -> Result<(), BenchError> {
     let profile = TestbedProfile::local();
     let systems = [
         MomSystem::LunarFast,
@@ -289,7 +327,7 @@ pub fn fig9a() {
     );
     for system in systems {
         for payload in PAYLOADS_SMALL {
-            let series = mom_rtt_series(system, &profile, payload, n, warmup);
+            let series = mom_rtt_series(system, &profile, payload, n, warmup)?;
             table.row(vec![
                 system.label().to_owned(),
                 payload.to_string(),
@@ -301,11 +339,16 @@ pub fn fig9a() {
     }
     table.print();
     table.write_csv("fig9a_mom_rtt");
+    Ok(())
 }
 
 /// Fig. 9b: MoM goodput vs payload (ZeroMQ measured but flagged, as the
 /// paper excluded it for instability).
-pub fn fig9b() {
+///
+/// # Errors
+///
+/// Propagates failures from the MoM systems under measurement.
+pub fn fig9b() -> Result<(), BenchError> {
     let profile = TestbedProfile::local();
     let systems = [
         MomSystem::LunarFast,
@@ -319,7 +362,7 @@ pub fn fig9b() {
     );
     for system in systems {
         for payload in PAYLOADS_SMALL {
-            let gbps = mom_goodput_gbps(system, &profile, payload, n);
+            let gbps = mom_goodput_gbps(system, &profile, payload, n)?;
             table.row(vec![
                 system.label().to_owned(),
                 payload.to_string(),
@@ -329,6 +372,7 @@ pub fn fig9b() {
     }
     table.print();
     table.write_csv("fig9b_mom_tput");
+    Ok(())
 }
 
 /// Table 4: sizes of the streamed images.
@@ -345,7 +389,11 @@ pub fn table4() {
 }
 
 /// Fig. 11: streaming FPS and per-frame latency vs resolution.
-pub fn fig11() {
+///
+/// # Errors
+///
+/// Propagates failures from the streaming variants.
+pub fn fig11() -> Result<(), BenchError> {
     let profile = TestbedProfile::local();
     let variants = [
         StreamVariant::LunarFast,
@@ -364,7 +412,7 @@ pub fn fig11() {
                 b if b > 10_000_000 => iters(3),
                 _ => iters(5),
             };
-            let result = run_streaming(variant, &profile, bytes, frames);
+            let result = run_streaming(variant, &profile, bytes, frames)?;
             table.row(vec![
                 variant.label().to_owned(),
                 name.to_owned(),
@@ -375,11 +423,16 @@ pub fn fig11() {
     }
     table.print();
     table.write_csv("fig11_streaming");
+    Ok(())
 }
 
 /// Extra (non-paper): RTT of the XDP and RDMA datapaths, which the C
 /// prototype had not integrated yet (§6).
-pub fn extra_xdp_rdma() {
+///
+/// # Errors
+///
+/// Propagates failures from the datapaths under measurement.
+pub fn extra_xdp_rdma() -> Result<(), BenchError> {
     let profile = TestbedProfile::local();
     let n = iters(300);
     let warmup = iters(30);
@@ -393,7 +446,7 @@ pub fn extra_xdp_rdma() {
         System::InsaneFast,
         System::InsaneRdma,
     ] {
-        let series = rtt_series(system, &profile, 64, n, warmup);
+        let series = rtt_series(system, &profile, 64, n, warmup)?;
         table.row(vec![
             system.label().to_owned(),
             fmt_us(series.median()),
@@ -404,11 +457,13 @@ pub fn extra_xdp_rdma() {
     table.write_csv("extra_xdp_rdma");
 
     // Sanity ordering: the QoS ladder must hold.
-    let median = |s: System| rtt_series(s, &profile, 64, n / 2, warmup).median();
-    let udp = median(System::InsaneSlow);
-    let xdp = median(System::InsaneXdp);
-    let dpdk = median(System::InsaneFast);
-    let rdma = median(System::InsaneRdma);
+    let median = |s: System| -> Result<u64, BenchError> {
+        Ok(rtt_series(s, &profile, 64, n / 2, warmup)?.median())
+    };
+    let udp = median(System::InsaneSlow)?;
+    let xdp = median(System::InsaneXdp)?;
+    let dpdk = median(System::InsaneFast)?;
+    let rdma = median(System::InsaneRdma)?;
     println!(
         "ordering: rdma {:.2}us < dpdk {:.2}us < xdp {:.2}us < udp {:.2}us : {}",
         us(rdma),
@@ -417,17 +472,22 @@ pub fn extra_xdp_rdma() {
         us(udp),
         rdma < dpdk && dpdk < xdp && xdp < udp
     );
+    Ok(())
 }
 
 /// Ablations called out in DESIGN.md §5.
-pub fn ablations() {
-    ablation_batching();
+///
+/// # Errors
+///
+/// Propagates failures from the ablated pipelines.
+pub fn ablations() -> Result<(), BenchError> {
+    ablation_batching()?;
     ablation_mapping();
-    ablation_tsn();
+    ablation_tsn()
 }
 
 /// Opportunistic batching (burst 32) vs per-packet submission (burst 1).
-fn ablation_batching() {
+fn ablation_batching() -> Result<(), BenchError> {
     use crate::setup::{throughput_config, throughput_profile, InsanePair};
     use insane_core::QosPolicy;
     let profile = throughput_profile(TestbedProfile::local());
@@ -445,8 +505,8 @@ fn ablation_batching() {
                 c.burst = burst;
                 c
             },
-        );
-        let (source, _sinks) = pair.one_way(QosPolicy::fast(), 1);
+        )?;
+        let (source, _sinks) = pair.one_way(QosPolicy::fast(), 1)?;
         let msg = vec![0u8; 8192];
         let t0 = std::time::Instant::now();
         let mut sent = 0usize;
@@ -477,6 +537,7 @@ fn ablation_batching() {
     }
     table.print();
     table.write_csv("ablation_batching");
+    Ok(())
 }
 
 /// The QoS→technology mapping matrix (default strategy).
@@ -526,7 +587,7 @@ fn ablation_mapping() {
 
 /// TSN gate behavior: a time-critical message always leaves inside its
 /// window, bulk traffic waits.
-fn ablation_tsn() {
+fn ablation_tsn() -> Result<(), BenchError> {
     use insane_tsn::{GateControlList, Scheduler, TasScheduler, TrafficClass};
     use std::time::{Duration, Instant};
     let epoch = Instant::now();
@@ -536,7 +597,7 @@ fn ablation_tsn() {
         Duration::from_millis(1),
         epoch,
     )
-    .expect("gcl");
+    .map_err(|e| BenchError::Other(format!("gate control list: {e}")))?;
     let mut scheduler = TasScheduler::new(gcl);
     for i in 0..64 {
         scheduler.enqueue(("bulk", i), TrafficClass::BEST_EFFORT, epoch);
@@ -564,4 +625,5 @@ fn ablation_tsn() {
     ]);
     table.print();
     table.write_csv("ablation_tsn");
+    Ok(())
 }

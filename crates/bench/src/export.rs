@@ -1,0 +1,179 @@
+//! BENCH JSON export (`BENCH_latency.json` / `BENCH_throughput.json`).
+//!
+//! The experiment tables print for humans; the BENCH files are the
+//! machine-readable record: schema-tagged JSON documents written next
+//! to the CSVs under `target/experiments/`, validated by
+//! [`insane_telemetry::schema`] on both ends (the writer here, and
+//! `insanectl check-bench` / the CI bench-smoke job after the fact).
+
+use std::fs;
+use std::path::PathBuf;
+
+use insane_telemetry::{
+    validate_bench_latency, validate_bench_throughput, Value, BENCH_LATENCY_SCHEMA,
+    BENCH_THROUGHPUT_SCHEMA,
+};
+
+use crate::report::experiments_dir;
+use crate::stats::Series;
+use crate::BenchError;
+
+/// One latency measurement: a system × testbed × payload RTT series.
+#[derive(Debug, Clone)]
+pub struct LatencyEntry {
+    /// System label as printed in the tables (e.g. "INSANE fast").
+    pub system: String,
+    /// Testbed profile name.
+    pub testbed: String,
+    /// Payload size in bytes.
+    pub payload_bytes: usize,
+    /// The measured RTT samples, nanoseconds.
+    pub series: Series,
+}
+
+impl LatencyEntry {
+    fn to_value(&self) -> Value {
+        Value::object([
+            ("system", self.system.as_str().into()),
+            ("testbed", self.testbed.as_str().into()),
+            ("payload_bytes", (self.payload_bytes as u64).into()),
+            ("samples", (self.series.len() as u64).into()),
+            ("p50_ns", self.series.median().into()),
+            ("p90_ns", self.series.p90().into()),
+            ("p99_ns", self.series.p99().into()),
+            ("p999_ns", self.series.p999().into()),
+            ("mean_ns", self.series.mean().into()),
+            ("min_ns", self.series.min().into()),
+            ("max_ns", self.series.max().into()),
+        ])
+    }
+}
+
+/// One throughput measurement: a system × testbed × payload goodput.
+#[derive(Debug, Clone)]
+pub struct ThroughputEntry {
+    /// System label as printed in the tables.
+    pub system: String,
+    /// Testbed profile name.
+    pub testbed: String,
+    /// Payload size in bytes.
+    pub payload_bytes: usize,
+    /// Number of messages pushed through the pipeline.
+    pub messages: usize,
+    /// Measured goodput in Gbit/s.
+    pub goodput_gbps: f64,
+}
+
+impl ThroughputEntry {
+    fn to_value(&self) -> Value {
+        Value::object([
+            ("system", self.system.as_str().into()),
+            ("testbed", self.testbed.as_str().into()),
+            ("payload_bytes", (self.payload_bytes as u64).into()),
+            ("messages", (self.messages as u64).into()),
+            ("goodput_gbps", self.goodput_gbps.into()),
+        ])
+    }
+}
+
+fn document(schema: &str, entries: Vec<Value>) -> Value {
+    Value::object([
+        ("schema", schema.into()),
+        ("factor", crate::bench_factor().into()),
+        ("entries", Value::Array(entries)),
+    ])
+}
+
+fn write_doc(name: &str, doc: &Value) -> Result<PathBuf, BenchError> {
+    let dir = experiments_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    fs::write(&path, format!("{doc}\n"))?;
+    println!("[bench] {}", path.display());
+    Ok(path)
+}
+
+/// Writes `BENCH_latency.json` and returns its path.
+///
+/// The document is validated against [`BENCH_LATENCY_SCHEMA`] before it
+/// is written, so an export bug fails the run instead of producing a
+/// file CI would reject later.
+///
+/// # Errors
+///
+/// Fails on schema violations (e.g. an empty series) or I/O errors.
+pub fn write_latency(entries: &[LatencyEntry]) -> Result<PathBuf, BenchError> {
+    let doc = document(
+        BENCH_LATENCY_SCHEMA,
+        entries.iter().map(LatencyEntry::to_value).collect(),
+    );
+    validate_bench_latency(&doc).map_err(|e| BenchError::Other(format!("latency export: {e}")))?;
+    write_doc("BENCH_latency.json", &doc)
+}
+
+/// Writes `BENCH_throughput.json` and returns its path.
+///
+/// # Errors
+///
+/// Fails on schema violations (e.g. zero goodput) or I/O errors.
+pub fn write_throughput(entries: &[ThroughputEntry]) -> Result<PathBuf, BenchError> {
+    let doc = document(
+        BENCH_THROUGHPUT_SCHEMA,
+        entries.iter().map(ThroughputEntry::to_value).collect(),
+    );
+    validate_bench_throughput(&doc)
+        .map_err(|e| BenchError::Other(format!("throughput export: {e}")))?;
+    write_doc("BENCH_throughput.json", &doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_entry_serializes_the_full_quantile_ladder() {
+        let entry = LatencyEntry {
+            system: "test".into(),
+            testbed: "Local".into(),
+            payload_bytes: 64,
+            series: Series::from_samples((1..=1000).collect()),
+        };
+        let doc = document(BENCH_LATENCY_SCHEMA, vec![entry.to_value()]);
+        insane_telemetry::validate_bench_latency(&doc).unwrap();
+        let text = doc.to_string();
+        let back = Value::parse(&text).unwrap();
+        insane_telemetry::validate_bench_latency(&back).unwrap();
+        let e = &back.get("entries").unwrap().as_array().unwrap()[0];
+        assert_eq!(e.get("samples").unwrap().as_u64(), Some(1000));
+        // Nearest-rank p99.9 over 1..=1000: rank 998 → sample 999.
+        assert_eq!(e.get("p999_ns").unwrap().as_u64(), Some(999));
+    }
+
+    #[test]
+    fn empty_series_fails_validation_instead_of_exporting() {
+        let entry = LatencyEntry {
+            system: "test".into(),
+            testbed: "Local".into(),
+            payload_bytes: 64,
+            series: Series::new(),
+        };
+        let doc = document(BENCH_LATENCY_SCHEMA, vec![entry.to_value()]);
+        assert!(insane_telemetry::validate_bench_latency(&doc).is_err());
+    }
+
+    #[test]
+    fn throughput_round_trips_through_the_parser() {
+        let entry = ThroughputEntry {
+            system: "INSANE fast".into(),
+            testbed: "Local".into(),
+            payload_bytes: 1024,
+            messages: 6000,
+            goodput_gbps: 12.25,
+        };
+        let doc = document(BENCH_THROUGHPUT_SCHEMA, vec![entry.to_value()]);
+        insane_telemetry::validate_bench_throughput(&doc).unwrap();
+        let back = Value::parse(&doc.to_string()).unwrap();
+        let e = &back.get("entries").unwrap().as_array().unwrap()[0];
+        assert_eq!(e.get("goodput_gbps").unwrap().as_f64(), Some(12.25));
+    }
+}

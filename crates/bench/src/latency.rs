@@ -14,6 +14,7 @@ use insane_fabric::{Endpoint, Fabric, FabricError, TestbedProfile};
 
 use crate::setup::InsanePair;
 use crate::stats::Series;
+use crate::BenchError;
 
 /// The systems compared in the latency experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,13 +58,17 @@ impl System {
 
 /// Measures an RTT series of `iters` samples (after `warmup` discarded
 /// rounds) for `payload`-byte messages on `profile`.
+///
+/// # Errors
+///
+/// Propagates failures from the system under measurement.
 pub fn rtt_series(
     system: System,
     profile: &TestbedProfile,
     payload: usize,
     iters: usize,
     warmup: usize,
-) -> Series {
+) -> Result<Series, BenchError> {
     match system {
         System::UdpBlocking => udp_rtt(profile, payload, iters, warmup, true),
         System::UdpNonBlocking => udp_rtt(profile, payload, iters, warmup, false),
@@ -115,24 +120,24 @@ fn udp_rtt(
     iters: usize,
     warmup: usize,
     blocking: bool,
-) -> Series {
+) -> Result<Series, BenchError> {
     let fabric = Fabric::new(profile.clone());
     let a = fabric.add_host("a");
     let b = fabric.add_host("b");
-    let sa = SimUdpSocket::bind(&fabric, a, 9000).expect("socket a");
-    let sb = SimUdpSocket::bind(&fabric, b, 9000).expect("socket b");
+    let sa = SimUdpSocket::bind(&fabric, a, 9000)?;
+    let sb = SimUdpSocket::bind(&fabric, b, 9000)?;
     sa.set_mtu(SimUdpSocket::JUMBO_MTU);
     sb.set_mtu(SimUdpSocket::JUMBO_MTU);
     let msg = vec![0xA5u8; payload];
-    let recv = |socket: &SimUdpSocket| -> Vec<u8> {
+    let recv = |socket: &SimUdpSocket| -> Result<Vec<u8>, BenchError> {
         if blocking {
-            socket.recv_blocking_emulated().expect("recv").payload
+            Ok(socket.recv_blocking_emulated()?.payload)
         } else {
             loop {
                 match socket.recv(RecvMode::NonBlocking) {
-                    Ok(d) => break d.payload,
+                    Ok(d) => break Ok(d.payload),
                     Err(FabricError::WouldBlock) => core::hint::spin_loop(),
-                    Err(e) => panic!("recv: {e}"),
+                    Err(e) => break Err(e.into()),
                 }
             }
         }
@@ -140,41 +145,48 @@ fn udp_rtt(
     let mut series = Series::new();
     for i in 0..iters + warmup {
         let t0 = Instant::now();
-        sa.send_to(&msg, sb.local_addr()).expect("ping");
-        let ping = recv(&sb);
-        sb.send_to(&ping, sa.local_addr()).expect("pong");
-        let _pong = recv(&sa);
+        sa.send_to(&msg, sb.local_addr())?;
+        let ping = recv(&sb)?;
+        sb.send_to(&ping, sa.local_addr())?;
+        let _pong = recv(&sa)?;
         if i >= warmup {
             series.push(t0.elapsed().as_nanos() as u64);
         }
     }
-    series
+    Ok(series)
 }
 
-fn dpdk_rtt(profile: &TestbedProfile, payload: usize, iters: usize, warmup: usize) -> Series {
+fn dpdk_rtt(
+    profile: &TestbedProfile,
+    payload: usize,
+    iters: usize,
+    warmup: usize,
+) -> Result<Series, BenchError> {
     let fabric = Fabric::new(profile.clone());
     let a = fabric.add_host("a");
     let b = fabric.add_host("b");
-    let pa = DpdkPort::open(&fabric, a, 0, 256).expect("port a");
-    let pb = DpdkPort::open(&fabric, b, 0, 256).expect("port b");
+    let pa = DpdkPort::open(&fabric, a, 0, 256)?;
+    let pb = DpdkPort::open(&fabric, b, 0, 256)?;
     let msg = vec![0xA5u8; payload];
     let mut rx = Vec::with_capacity(4);
     let mut series = Series::new();
     for i in 0..iters + warmup {
         let t0 = Instant::now();
-        let mut mbuf = pa.alloc_mbuf(payload).expect("mbuf");
+        let mut mbuf = pa.alloc_mbuf(payload)?;
         mbuf.copy_from_slice(&msg);
-        pa.tx_burst(pb.local_addr(), [mbuf]).expect("ping");
+        pa.tx_burst(pb.local_addr(), [mbuf])?;
         while pb.rx_burst(&mut rx, 1) == 0 {}
-        let ping = rx.pop().expect("ping packet");
-        pb.tx_forward(pa.local_addr(), ping).expect("pong");
+        let ping = rx.pop().ok_or_else(|| {
+            BenchError::Other("rx_burst reported a packet it did not deliver".into())
+        })?;
+        pb.tx_forward(pa.local_addr(), ping)?;
         while pa.rx_burst(&mut rx, 1) == 0 {}
         rx.clear();
         if i >= warmup {
             series.push(t0.elapsed().as_nanos() as u64);
         }
     }
-    series
+    Ok(series)
 }
 
 fn demi_rtt(
@@ -183,16 +195,16 @@ fn demi_rtt(
     payload: usize,
     iters: usize,
     warmup: usize,
-) -> Series {
+) -> Result<Series, BenchError> {
     let fabric = Fabric::new(profile.clone());
     let a = fabric.add_host("a");
     let b = fabric.add_host("b");
-    let mut da = Demikernel::new(backend, &fabric, a).expect("libos a");
-    let mut db = Demikernel::new(backend, &fabric, b).expect("libos b");
-    let qa = da.socket().expect("qd a");
-    let qb = db.socket().expect("qd b");
-    da.bind(qa, 9000).expect("bind a");
-    db.bind(qb, 9000).expect("bind b");
+    let mut da = Demikernel::new(backend, &fabric, a)?;
+    let mut db = Demikernel::new(backend, &fabric, b)?;
+    let qa = da.socket()?;
+    let qb = db.socket()?;
+    da.bind(qa, 9000)?;
+    db.bind(qb, 9000)?;
     let ea = Endpoint {
         host: a,
         port: 9000,
@@ -205,19 +217,19 @@ fn demi_rtt(
     let mut series = Series::new();
     for i in 0..iters + warmup {
         let t0 = Instant::now();
-        da.push_to(qa, &msg, eb).expect("ping push");
-        let pop = db.pop(qb).expect("pop");
-        let DemiEvent::Popped { bytes, .. } = db.wait(pop, None).expect("ping wait") else {
-            unreachable!("pop tokens complete as Popped");
+        da.push_to(qa, &msg, eb)?;
+        let pop = db.pop(qb)?;
+        let DemiEvent::Popped { bytes, .. } = db.wait(pop, None)? else {
+            return Err(BenchError::Other("pop token completed as Pushed".into()));
         };
-        db.push_to(qb, &bytes, ea).expect("pong push");
-        let pop = da.pop(qa).expect("pop");
-        let _ = da.wait(pop, None).expect("pong wait");
+        db.push_to(qb, &bytes, ea)?;
+        let pop = da.pop(qa)?;
+        let _ = da.wait(pop, None)?;
         if i >= warmup {
             series.push(t0.elapsed().as_nanos() as u64);
         }
     }
-    series
+    Ok(series)
 }
 
 fn insane_rtt(
@@ -228,16 +240,16 @@ fn insane_rtt(
     payload: usize,
     iters: usize,
     warmup: usize,
-) -> Series {
-    let pair = InsanePair::new(profile.clone(), techs);
-    let (ping_source, ping_sink, pong_source, pong_sink) = pair.ping_pong(qos);
+) -> Result<Series, BenchError> {
+    let pair = InsanePair::new(profile.clone(), techs)?;
+    let (ping_source, ping_sink, pong_source, pong_sink) = pair.ping_pong(qos)?;
     let msg = vec![0xA5u8; payload];
     let mut series = Series::new();
     for i in 0..iters + warmup {
         let t0 = Instant::now();
-        let mut buf = ping_source.get_buffer(payload).expect("ping buffer");
+        let mut buf = ping_source.get_buffer(payload)?;
         buf.copy_from_slice(&msg);
-        ping_source.emit(buf).expect("ping emit");
+        ping_source.emit(buf)?;
         // Phase drive: one TX-only poll of the sender runtime moves the
         // emitted token all the way to the device (drain → schedule →
         // send happen in one iteration), then the receiving runtime is
@@ -251,20 +263,20 @@ fn insane_rtt(
             match ping_sink.consume(ConsumeMode::NonBlocking) {
                 Ok(m) => break m,
                 Err(InsaneError::WouldBlock) => {}
-                Err(e) => panic!("ping consume: {e}"),
+                Err(e) => return Err(e.into()),
             }
         };
-        let mut echo = pong_source.get_buffer(ping.len()).expect("pong buffer");
+        let mut echo = pong_source.get_buffer(ping.len())?;
         echo.copy_from_slice(&ping);
         drop(ping);
-        pong_source.emit(echo).expect("pong emit");
+        pong_source.emit(echo)?;
         pair.rt_b.poll_transmit(hot_path);
         let pong = loop {
             pair.rt_a.poll_technology(hot_path);
             match pong_sink.consume(ConsumeMode::NonBlocking) {
                 Ok(m) => break m,
                 Err(InsaneError::WouldBlock) => {}
-                Err(e) => panic!("pong consume: {e}"),
+                Err(e) => return Err(e.into()),
             }
         };
         drop(pong);
@@ -272,46 +284,50 @@ fn insane_rtt(
             series.push(t0.elapsed().as_nanos() as u64);
         }
     }
-    series
+    Ok(series)
 }
 
 /// Runs an INSANE-fast ping-pong collecting the Fig. 6 latency-breakdown
 /// components (summed over both directions of each round trip).
+///
+/// # Errors
+///
+/// Propagates middleware failures.
 pub fn insane_fast_breakdown(
     profile: &TestbedProfile,
     payload: usize,
     iters: usize,
     warmup: usize,
-) -> BreakdownAverages {
-    let pair = InsanePair::new(profile.clone(), &[Technology::KernelUdp, Technology::Dpdk]);
-    let (ping_source, ping_sink, pong_source, pong_sink) = pair.ping_pong(QosPolicy::fast());
+) -> Result<BreakdownAverages, BenchError> {
+    let pair = InsanePair::new(profile.clone(), &[Technology::KernelUdp, Technology::Dpdk])?;
+    let (ping_source, ping_sink, pong_source, pong_sink) = pair.ping_pong(QosPolicy::fast())?;
     let msg = vec![0xA5u8; payload];
     let mut acc = BreakdownAverages::default();
     for i in 0..iters + warmup {
-        let mut buf = ping_source.get_buffer(payload).expect("buffer");
+        let mut buf = ping_source.get_buffer(payload)?;
         buf.copy_from_slice(&msg);
-        ping_source.emit(buf).expect("emit");
+        ping_source.emit(buf)?;
         pair.rt_a.poll_transmit(Technology::Dpdk);
         let ping = loop {
             pair.rt_b.poll_technology(Technology::Dpdk);
             match ping_sink.consume(ConsumeMode::NonBlocking) {
                 Ok(m) => break m,
                 Err(InsaneError::WouldBlock) => {}
-                Err(e) => panic!("{e}"),
+                Err(e) => return Err(e.into()),
             }
         };
         let ping_bd = ping.breakdown();
-        let mut echo = pong_source.get_buffer(ping.len()).expect("buffer");
+        let mut echo = pong_source.get_buffer(ping.len())?;
         echo.copy_from_slice(&ping);
         drop(ping);
-        pong_source.emit(echo).expect("emit");
+        pong_source.emit(echo)?;
         pair.rt_b.poll_transmit(Technology::Dpdk);
         let pong = loop {
             pair.rt_a.poll_technology(Technology::Dpdk);
             match pong_sink.consume(ConsumeMode::NonBlocking) {
                 Ok(m) => break m,
                 Err(InsaneError::WouldBlock) => {}
-                Err(e) => panic!("{e}"),
+                Err(e) => return Err(e.into()),
             }
         };
         let pong_bd = pong.breakdown();
@@ -324,7 +340,7 @@ pub fn insane_fast_breakdown(
             acc.processing_ns += ping_bd.processing_ns + pong_bd.processing_ns;
         }
     }
-    acc
+    Ok(acc)
 }
 
 /// Accumulated Fig. 6 components (totals; divide by `samples`).

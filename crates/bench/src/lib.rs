@@ -33,6 +33,7 @@
 
 pub mod apps;
 pub mod experiments;
+pub mod export;
 pub mod latency;
 pub mod mom_bench;
 pub mod report;
@@ -40,6 +41,74 @@ pub mod setup;
 pub mod stats;
 pub mod streaming_bench;
 pub mod throughput;
+
+/// Harness failure: any layer of the stack under measurement refused.
+///
+/// The harness functions return this instead of panicking (`insane-lint`
+/// bans panic paths in the runtime crates, and the bench crate follows
+/// the same discipline outside the Table 3 LoC-measured apps) so a
+/// failed experiment reports *which* stage died instead of poisoning the
+/// whole suite.
+#[derive(Debug)]
+pub enum BenchError {
+    /// An INSANE middleware call failed.
+    Insane(insane_core::InsaneError),
+    /// A raw fabric/device call failed.
+    Fabric(insane_fabric::FabricError),
+    /// A Demikernel call failed.
+    Demi(insane_demikernel::DemiError),
+    /// A Lunar application-framework call failed.
+    Lunar(lunar::LunarError),
+    /// Report/export I/O failed.
+    Io(std::io::Error),
+    /// Anything else (setup invariants, unexpected event shapes).
+    Other(String),
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchError::Insane(e) => write!(f, "insane: {e}"),
+            BenchError::Fabric(e) => write!(f, "fabric: {e}"),
+            BenchError::Demi(e) => write!(f, "demikernel: {e}"),
+            BenchError::Lunar(e) => write!(f, "lunar: {e}"),
+            BenchError::Io(e) => write!(f, "io: {e}"),
+            BenchError::Other(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+impl From<insane_core::InsaneError> for BenchError {
+    fn from(e: insane_core::InsaneError) -> Self {
+        BenchError::Insane(e)
+    }
+}
+
+impl From<insane_fabric::FabricError> for BenchError {
+    fn from(e: insane_fabric::FabricError) -> Self {
+        BenchError::Fabric(e)
+    }
+}
+
+impl From<insane_demikernel::DemiError> for BenchError {
+    fn from(e: insane_demikernel::DemiError) -> Self {
+        BenchError::Demi(e)
+    }
+}
+
+impl From<lunar::LunarError> for BenchError {
+    fn from(e: lunar::LunarError) -> Self {
+        BenchError::Lunar(e)
+    }
+}
+
+impl From<std::io::Error> for BenchError {
+    fn from(e: std::io::Error) -> Self {
+        BenchError::Io(e)
+    }
+}
 
 /// Scale factor for iteration counts (`INSANE_BENCH_FACTOR`, default 1).
 pub fn bench_factor() -> f64 {

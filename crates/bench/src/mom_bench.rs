@@ -10,6 +10,7 @@ use lunar::{LunarError, LunarMom};
 use crate::setup::{throughput_config, InsanePair};
 use crate::stats::{gbps, Series};
 use crate::throughput::wire_ns_per_msg;
+use crate::BenchError;
 
 /// The messaging systems of Fig. 9.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,13 +39,17 @@ impl MomSystem {
 
 /// Publisher→subscriber→publisher round trip over topics (the paper's
 /// MoM ping-pong test).
+///
+/// # Errors
+///
+/// Propagates failures from the system under measurement.
 pub fn mom_rtt_series(
     system: MomSystem,
     profile: &TestbedProfile,
     payload: usize,
     iters: usize,
     warmup: usize,
-) -> Series {
+) -> Result<Series, BenchError> {
     match system {
         MomSystem::LunarFast => lunar_rtt(
             profile,
@@ -74,31 +79,31 @@ fn lunar_rtt(
     payload: usize,
     iters: usize,
     warmup: usize,
-) -> Series {
-    let pair = InsanePair::new(profile.clone(), &[Technology::KernelUdp, Technology::Dpdk]);
-    let mom_a = LunarMom::connect(&pair.rt_a, qos).expect("mom a");
-    let mom_b = LunarMom::connect(&pair.rt_b, qos).expect("mom b");
-    let ping_sub = mom_b.subscriber("bench/ping").expect("ping sub");
-    let pong_sub = mom_a.subscriber("bench/pong").expect("pong sub");
+) -> Result<Series, BenchError> {
+    let pair = InsanePair::new(profile.clone(), &[Technology::KernelUdp, Technology::Dpdk])?;
+    let mom_a = LunarMom::connect(&pair.rt_a, qos)?;
+    let mom_b = LunarMom::connect(&pair.rt_b, qos)?;
+    let ping_sub = mom_b.subscriber("bench/ping")?;
+    let pong_sub = mom_a.subscriber("bench/pong")?;
     pair.settle();
-    let ping_pub = mom_a.publisher("bench/ping").expect("ping pub");
-    let pong_pub = mom_b.publisher("bench/pong").expect("pong pub");
+    let ping_pub = mom_a.publisher("bench/ping")?;
+    let pong_pub = mom_b.publisher("bench/pong")?;
     pair.settle();
     let msg = vec![0xC3u8; payload];
     let mut series = Series::new();
     for i in 0..iters + warmup {
         let t0 = Instant::now();
-        ping_pub.publish(&msg).expect("publish ping");
+        ping_pub.publish(&msg)?;
         let ping = loop {
             pair.rt_a.poll_technology(hot_path);
             pair.rt_b.poll_technology(hot_path);
             match ping_sub.try_next() {
                 Ok(m) => break m,
                 Err(LunarError::WouldBlock) => {}
-                Err(e) => panic!("{e}"),
+                Err(e) => return Err(e.into()),
             }
         };
-        pong_pub.publish(&ping).expect("publish pong");
+        pong_pub.publish(&ping)?;
         drop(ping);
         loop {
             pair.rt_a.poll_technology(hot_path);
@@ -109,17 +114,22 @@ fn lunar_rtt(
                     break;
                 }
                 Err(LunarError::WouldBlock) => {}
-                Err(e) => panic!("{e}"),
+                Err(e) => return Err(e.into()),
             }
         }
         if i >= warmup {
             series.push(t0.elapsed().as_nanos() as u64);
         }
     }
-    series
+    Ok(series)
 }
 
-fn cyclone_rtt(profile: &TestbedProfile, payload: usize, iters: usize, warmup: usize) -> Series {
+fn cyclone_rtt(
+    profile: &TestbedProfile,
+    payload: usize,
+    iters: usize,
+    warmup: usize,
+) -> Result<Series, BenchError> {
     let fabric = Fabric::new(profile.clone());
     let a = fabric.add_host("a");
     let b = fabric.add_host("b");
@@ -131,24 +141,29 @@ fn cyclone_rtt(profile: &TestbedProfile, payload: usize, iters: usize, warmup: u
         host: b,
         port: 7400,
     };
-    let na = CycloneLite::new(&fabric, a, 7400, vec![eb]).expect("node a");
-    let nb = CycloneLite::new(&fabric, b, 7400, vec![ea]).expect("node b");
+    let na = CycloneLite::new(&fabric, a, 7400, vec![eb]).map_err(baseline)?;
+    let nb = CycloneLite::new(&fabric, b, 7400, vec![ea]).map_err(baseline)?;
     let msg = vec![0xC3u8; payload];
     let mut series = Series::new();
     for i in 0..iters + warmup {
         let t0 = Instant::now();
-        na.publish(1, &msg).expect("ping");
-        let sample = nb.poll_topic_busy(1).expect("ping recv");
-        nb.publish(2, &sample.payload).expect("pong");
-        let _ = na.poll_topic_busy(2).expect("pong recv");
+        na.publish(1, &msg).map_err(baseline)?;
+        let sample = nb.poll_topic_busy(1).map_err(baseline)?;
+        nb.publish(2, &sample.payload).map_err(baseline)?;
+        let _ = na.poll_topic_busy(2).map_err(baseline)?;
         if i >= warmup {
             series.push(t0.elapsed().as_nanos() as u64);
         }
     }
-    series
+    Ok(series)
 }
 
-fn zmq_rtt(profile: &TestbedProfile, payload: usize, iters: usize, warmup: usize) -> Series {
+fn zmq_rtt(
+    profile: &TestbedProfile,
+    payload: usize,
+    iters: usize,
+    warmup: usize,
+) -> Result<Series, BenchError> {
     let fabric = Fabric::new(profile.clone());
     let a = fabric.add_host("a");
     let b = fabric.add_host("b");
@@ -160,37 +175,46 @@ fn zmq_rtt(profile: &TestbedProfile, payload: usize, iters: usize, warmup: usize
         host: b,
         port: 5555,
     };
-    let na = ZmqLite::new(&fabric, a, 5555, vec![eb]).expect("node a");
-    let nb = ZmqLite::new(&fabric, b, 5555, vec![ea]).expect("node b");
+    let na = ZmqLite::new(&fabric, a, 5555, vec![eb]).map_err(baseline)?;
+    let nb = ZmqLite::new(&fabric, b, 5555, vec![ea]).map_err(baseline)?;
     na.subscribe(b"pong");
     nb.subscribe(b"ping");
     let msg = vec![0xC3u8; payload];
     let mut series = Series::new();
     for i in 0..iters + warmup {
         let t0 = Instant::now();
-        na.publish(b"ping", &msg).expect("ping");
-        let m = nb.poll_busy().expect("ping recv");
-        nb.publish(b"pong", &m.payload).expect("pong");
-        let _ = na.poll_busy().expect("pong recv");
+        na.publish(b"ping", &msg).map_err(baseline)?;
+        let m = nb.poll_busy().map_err(baseline)?;
+        nb.publish(b"pong", &m.payload).map_err(baseline)?;
+        let _ = na.poll_busy().map_err(baseline)?;
         if i >= warmup {
             series.push(t0.elapsed().as_nanos() as u64);
         }
     }
-    series
+    Ok(series)
+}
+
+/// Wraps a baseline error (the `-Lite` baselines have their own type).
+fn baseline(e: BaselineError) -> BenchError {
+    BenchError::Other(format!("baseline: {e}"))
 }
 
 /// MoM goodput (Fig. 9b) under the pipeline model; ZeroMQ is measured
 /// too even though the paper excluded it for instability.
+///
+/// # Errors
+///
+/// Propagates failures from the system under measurement.
 pub fn mom_goodput_gbps(
     system: MomSystem,
     profile: &TestbedProfile,
     payload: usize,
     n: usize,
-) -> f64 {
+) -> Result<f64, BenchError> {
     let wire = wire_ns_per_msg(profile, payload);
     let (tx, rx) = match system {
         MomSystem::LunarFast => {
-            lunar_stages(profile, QosPolicy::fast(), Technology::Dpdk, payload, n)
+            lunar_stages(profile, QosPolicy::fast(), Technology::Dpdk, payload, n)?
         }
         MomSystem::LunarSlow => lunar_stages(
             profile,
@@ -198,11 +222,11 @@ pub fn mom_goodput_gbps(
             Technology::KernelUdp,
             payload,
             n,
-        ),
-        MomSystem::CycloneDds => cyclone_stages(profile, payload, n),
-        MomSystem::ZeroMq => zmq_stages(profile, payload, n),
+        )?,
+        MomSystem::CycloneDds => cyclone_stages(profile, payload, n)?,
+        MomSystem::ZeroMq => zmq_stages(profile, payload, n)?,
     };
-    gbps(payload, 1, tx.max(rx).max(wire).max(1))
+    Ok(gbps(payload, 1, tx.max(rx).max(wire).max(1)))
 }
 
 fn lunar_stages(
@@ -211,19 +235,19 @@ fn lunar_stages(
     hot_path: Technology,
     payload: usize,
     n: usize,
-) -> (u64, u64) {
+) -> Result<(u64, u64), BenchError> {
     // TX stage: publish with the receiving node unpolled.
     let tx_ns = {
         let pair = InsanePair::with_config(
             profile.clone(),
             &[Technology::KernelUdp, Technology::Dpdk],
             throughput_config,
-        );
-        let mom_a = LunarMom::connect(&pair.rt_a, qos).expect("mom a");
-        let mom_b = LunarMom::connect(&pair.rt_b, qos).expect("mom b");
-        let _sub = mom_b.subscriber("bench/tput").expect("sub");
+        )?;
+        let mom_a = LunarMom::connect(&pair.rt_a, qos)?;
+        let mom_b = LunarMom::connect(&pair.rt_b, qos)?;
+        let _sub = mom_b.subscriber("bench/tput")?;
         pair.settle();
-        let publisher = mom_a.publisher("bench/tput").expect("pub");
+        let publisher = mom_a.publisher("bench/tput")?;
         pair.settle();
         let msg = vec![0xC3u8; payload];
         let t0 = Instant::now();
@@ -254,12 +278,12 @@ fn lunar_stages(
             profile.clone(),
             &[Technology::KernelUdp, Technology::Dpdk],
             throughput_config,
-        );
-        let mom_a = LunarMom::connect(&pair.rt_a, qos).expect("mom a");
-        let mom_b = LunarMom::connect(&pair.rt_b, qos).expect("mom b");
-        let sub = mom_b.subscriber("bench/tput").expect("sub");
+        )?;
+        let mom_a = LunarMom::connect(&pair.rt_a, qos)?;
+        let mom_b = LunarMom::connect(&pair.rt_b, qos)?;
+        let sub = mom_b.subscriber("bench/tput")?;
         pair.settle();
-        let publisher = mom_a.publisher("bench/tput").expect("pub");
+        let publisher = mom_a.publisher("bench/tput")?;
         pair.settle();
         let msg = vec![0xC3u8; payload];
         let round = 1_024.min(n.max(1));
@@ -292,7 +316,7 @@ fn lunar_stages(
                             got += 1;
                         }
                         Err(LunarError::WouldBlock) => break,
-                        Err(e) => panic!("{e}"),
+                        Err(e) => return Err(e.into()),
                     }
                 }
             }
@@ -300,10 +324,14 @@ fn lunar_stages(
         }
         total / (rounds as u64 * round as u64)
     };
-    (tx_ns, rx_ns)
+    Ok((tx_ns, rx_ns))
 }
 
-fn cyclone_stages(profile: &TestbedProfile, payload: usize, n: usize) -> (u64, u64) {
+fn cyclone_stages(
+    profile: &TestbedProfile,
+    payload: usize,
+    n: usize,
+) -> Result<(u64, u64), BenchError> {
     let fabric = Fabric::new(profile.clone());
     let a = fabric.add_host("a");
     let b = fabric.add_host("b");
@@ -311,13 +339,13 @@ fn cyclone_stages(profile: &TestbedProfile, payload: usize, n: usize) -> (u64, u
         host: b,
         port: 7400,
     };
-    let na = CycloneLite::new(&fabric, a, 7400, vec![eb]).expect("node a");
-    let nb = CycloneLite::new(&fabric, b, 7400, vec![]).expect("node b");
+    let na = CycloneLite::new(&fabric, a, 7400, vec![eb]).map_err(baseline)?;
+    let nb = CycloneLite::new(&fabric, b, 7400, vec![]).map_err(baseline)?;
     let msg = vec![0xC3u8; payload];
     // TX stage (receiver absorbs into its 4096-deep socket; excess drops).
     let t0 = Instant::now();
     for _ in 0..n.min(4_000) {
-        na.publish(1, &msg).expect("publish");
+        na.publish(1, &msg).map_err(baseline)?;
     }
     let tx_ns = t0.elapsed().as_nanos() as u64 / n.min(4_000) as u64;
     // RX stage on what was queued (after the wire settles).
@@ -328,14 +356,18 @@ fn cyclone_stages(profile: &TestbedProfile, payload: usize, n: usize) -> (u64, u
         match nb.poll() {
             Ok(_) => got += 1,
             Err(BaselineError::WouldBlock) => core::hint::spin_loop(),
-            Err(e) => panic!("{e}"),
+            Err(e) => return Err(baseline(e)),
         }
     }
     let rx_ns = t1.elapsed().as_nanos() as u64 / got.max(1) as u64;
-    (tx_ns, rx_ns)
+    Ok((tx_ns, rx_ns))
 }
 
-fn zmq_stages(profile: &TestbedProfile, payload: usize, n: usize) -> (u64, u64) {
+fn zmq_stages(
+    profile: &TestbedProfile,
+    payload: usize,
+    n: usize,
+) -> Result<(u64, u64), BenchError> {
     let fabric = Fabric::new(profile.clone());
     let a = fabric.add_host("a");
     let b = fabric.add_host("b");
@@ -343,14 +375,14 @@ fn zmq_stages(profile: &TestbedProfile, payload: usize, n: usize) -> (u64, u64) 
         host: b,
         port: 5555,
     };
-    let na = ZmqLite::new(&fabric, a, 5555, vec![eb]).expect("node a");
-    let nb = ZmqLite::new(&fabric, b, 5555, vec![]).expect("node b");
+    let na = ZmqLite::new(&fabric, a, 5555, vec![eb]).map_err(baseline)?;
+    let nb = ZmqLite::new(&fabric, b, 5555, vec![]).map_err(baseline)?;
     nb.subscribe(b"t");
     let msg = vec![0xC3u8; payload];
     let count = n.min(4_000);
     let t0 = Instant::now();
     for _ in 0..count {
-        na.publish(b"t", &msg).expect("publish");
+        na.publish(b"t", &msg).map_err(baseline)?;
     }
     let tx_ns = t0.elapsed().as_nanos() as u64 / count as u64;
     std::thread::sleep(std::time::Duration::from_millis(3));
@@ -360,9 +392,9 @@ fn zmq_stages(profile: &TestbedProfile, payload: usize, n: usize) -> (u64, u64) 
         match nb.poll() {
             Ok(_) => got += 1,
             Err(BaselineError::WouldBlock) => core::hint::spin_loop(),
-            Err(e) => panic!("{e}"),
+            Err(e) => return Err(baseline(e)),
         }
     }
     let rx_ns = t1.elapsed().as_nanos() as u64 / got.max(1) as u64;
-    (tx_ns, rx_ns)
+    Ok((tx_ns, rx_ns))
 }

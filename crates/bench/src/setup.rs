@@ -6,6 +6,8 @@ use insane_core::{
 };
 use insane_fabric::{Fabric, HostId, Technology, TestbedProfile};
 
+use crate::BenchError;
+
 /// Channel used for the A→B direction of ping-pongs.
 pub const PING_CHANNEL: ChannelId = ChannelId(100);
 /// Channel used for the B→A direction of ping-pongs.
@@ -33,17 +35,25 @@ pub struct InsanePair {
 impl InsanePair {
     /// Builds two manually-driven runtimes on a fresh fabric, peers them,
     /// and lets the control plane settle.
-    pub fn new(profile: TestbedProfile, techs: &[Technology]) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime startup and peering failures.
+    pub fn new(profile: TestbedProfile, techs: &[Technology]) -> Result<Self, BenchError> {
         Self::with_config(profile, techs, |c| c)
     }
 
     /// As [`InsanePair::new`] with a config hook (pool sizes, burst, …)
     /// applied to both runtimes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime startup and peering failures.
     pub fn with_config(
         profile: TestbedProfile,
         techs: &[Technology],
         tweak: impl Fn(RuntimeConfig) -> RuntimeConfig,
-    ) -> Self {
+    ) -> Result<Self, BenchError> {
         let fabric = Fabric::new(profile);
         let host_a = fabric.add_host("node-a");
         let host_b = fabric.add_host("node-b");
@@ -55,8 +65,7 @@ impl InsanePair {
             ),
             &fabric,
             host_a,
-        )
-        .expect("runtime A");
+        )?;
         let rt_b = Runtime::start(
             tweak(
                 RuntimeConfig::new(2)
@@ -65,13 +74,12 @@ impl InsanePair {
             ),
             &fabric,
             host_b,
-        )
-        .expect("runtime B");
-        rt_a.add_peer(host_b).expect("peering");
+        )?;
+        rt_a.add_peer(host_b)?;
         poll_until_quiescent(&[&rt_a, &rt_b], 100_000);
-        let session_a = Session::connect(&rt_a).expect("session A");
-        let session_b = Session::connect(&rt_b).expect("session B");
-        Self {
+        let session_a = Session::connect(&rt_a)?;
+        let session_b = Session::connect(&rt_b)?;
+        Ok(Self {
             fabric,
             rt_a,
             rt_b,
@@ -79,7 +87,7 @@ impl InsanePair {
             host_b,
             session_a,
             session_b,
-        }
+        })
     }
 
     /// Lets in-flight control traffic settle.
@@ -90,30 +98,42 @@ impl InsanePair {
     /// Creates the classic ping-pong plumbing on `qos`: a source on A and
     /// sink on B (ping channel), plus the reverse pair (pong channel).
     /// Returns `(ping_source, ping_sink_on_b, pong_source, pong_sink_on_a)`.
-    pub fn ping_pong(&self, qos: QosPolicy) -> (Source, Sink, Source, Sink) {
-        let stream_a = self.session_a.create_stream(qos).expect("stream A");
-        let stream_b = self.session_b.create_stream(qos).expect("stream B");
-        let ping_sink = stream_b.create_sink(PING_CHANNEL).expect("ping sink");
-        let pong_sink = stream_a.create_sink(PONG_CHANNEL).expect("pong sink");
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream/source/sink creation failures.
+    pub fn ping_pong(&self, qos: QosPolicy) -> Result<(Source, Sink, Source, Sink), BenchError> {
+        let stream_a = self.session_a.create_stream(qos)?;
+        let stream_b = self.session_b.create_stream(qos)?;
+        let ping_sink = stream_b.create_sink(PING_CHANNEL)?;
+        let pong_sink = stream_a.create_sink(PONG_CHANNEL)?;
         self.settle();
-        let ping_source = stream_a.create_source(PING_CHANNEL).expect("ping source");
-        let pong_source = stream_b.create_source(PONG_CHANNEL).expect("pong source");
+        let ping_source = stream_a.create_source(PING_CHANNEL)?;
+        let pong_source = stream_b.create_source(PONG_CHANNEL)?;
         self.settle();
-        (ping_source, ping_sink, pong_source, pong_sink)
+        Ok((ping_source, ping_sink, pong_source, pong_sink))
     }
 
     /// One-way plumbing: a source on A, `sink_count` sinks on B, all on
     /// the ping channel.
-    pub fn one_way(&self, qos: QosPolicy, sink_count: usize) -> (Source, Vec<Sink>) {
-        let stream_a = self.session_a.create_stream(qos).expect("stream A");
-        let stream_b = self.session_b.create_stream(qos).expect("stream B");
-        let sinks: Vec<Sink> = (0..sink_count)
-            .map(|_| stream_b.create_sink(PING_CHANNEL).expect("sink"))
-            .collect();
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream/source/sink creation failures.
+    pub fn one_way(
+        &self,
+        qos: QosPolicy,
+        sink_count: usize,
+    ) -> Result<(Source, Vec<Sink>), BenchError> {
+        let stream_a = self.session_a.create_stream(qos)?;
+        let stream_b = self.session_b.create_stream(qos)?;
+        let sinks = (0..sink_count)
+            .map(|_| stream_b.create_sink(PING_CHANNEL))
+            .collect::<Result<Vec<Sink>, _>>()?;
         self.settle();
-        let source = stream_a.create_source(PING_CHANNEL).expect("source");
+        let source = stream_a.create_source(PING_CHANNEL)?;
         self.settle();
-        (source, sinks)
+        Ok((source, sinks))
     }
 }
 

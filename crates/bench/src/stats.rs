@@ -71,9 +71,19 @@ impl Series {
         self.quantile(0.75)
     }
 
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
     /// 99th percentile.
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
     }
 
     /// Minimum (0 for an empty series).
@@ -111,7 +121,9 @@ mod tests {
         assert_eq!(s.median(), 51);
         assert_eq!(s.p25(), 26);
         assert_eq!(s.p75(), 75);
+        assert_eq!(s.p90(), 90);
         assert_eq!(s.p99(), 99);
+        assert_eq!(s.p999(), 100);
         assert_eq!(s.min(), 1);
         assert_eq!(s.max(), 100);
         assert!((s.mean() - 50.5).abs() < 1e-9);

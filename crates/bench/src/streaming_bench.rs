@@ -17,6 +17,7 @@ use lunar::streaming::{LunarStreamClient, LunarStreamServer};
 use lunar::ReceivedFrame;
 
 use crate::setup::{throughput_config, InsanePair};
+use crate::BenchError;
 
 /// The image resolutions of Table 4, with the paper's raw-RGB sizes.
 pub const RESOLUTIONS: [(&str, usize); 5] = [
@@ -59,12 +60,16 @@ pub struct StreamingResult {
 }
 
 /// Measures FPS and per-frame latency for `variant` at `frame_size`.
+///
+/// # Errors
+///
+/// Propagates failures from the variant under measurement.
 pub fn run_streaming(
     variant: StreamVariant,
     profile: &TestbedProfile,
     frame_size: usize,
     frames: usize,
-) -> StreamingResult {
+) -> Result<StreamingResult, BenchError> {
     match variant {
         StreamVariant::LunarFast => lunar_streaming(
             profile,
@@ -96,15 +101,15 @@ fn lunar_streaming(
     hot_path: Technology,
     frame_size: usize,
     frames: usize,
-) -> StreamingResult {
+) -> Result<StreamingResult, BenchError> {
     let pair = InsanePair::with_config(
         crate::setup::throughput_profile(profile.clone()),
         &[Technology::KernelUdp, Technology::Dpdk],
         throughput_config,
-    );
-    let mut client = LunarStreamClient::connect(&pair.rt_b, qos, ChannelId(700)).expect("client");
+    )?;
+    let mut client = LunarStreamClient::connect(&pair.rt_b, qos, ChannelId(700))?;
     pair.settle();
-    let mut server = LunarStreamServer::open(&pair.rt_a, qos, ChannelId(700)).expect("server");
+    let mut server = LunarStreamServer::open(&pair.rt_a, qos, ChannelId(700))?;
     pair.settle();
     let frame = test_frame(frame_size);
 
@@ -112,20 +117,29 @@ fn lunar_streaming(
     let t_run = Instant::now();
     for _ in 0..frames {
         let mut completed: Vec<ReceivedFrame> = Vec::new();
+        // The progress hook plays all three deployed threads: both
+        // runtimes' polling work and the client application draining
+        // fragments — otherwise a 100 MB frame (≈11k fragments)
+        // exhausts every pool slot mid-send.  The hook cannot return an
+        // error, so the first poll failure is parked and re-raised.
+        let mut poll_err = None;
         {
-            // The progress hook plays all three deployed threads: both
-            // runtimes' polling work and the client application draining
-            // fragments — otherwise a 100 MB frame (≈11k fragments)
-            // exhausts every pool slot mid-send.
             let client = &mut client;
             let completed = &mut completed;
-            server
-                .send_frame_with(&frame, || {
-                    pair.rt_a.poll_technology(hot_path);
-                    pair.rt_b.poll_technology(hot_path);
-                    completed.extend(client.poll_frames().expect("poll frames"));
-                })
-                .expect("send frame");
+            let poll_err = &mut poll_err;
+            server.send_frame_with(&frame, || {
+                pair.rt_a.poll_technology(hot_path);
+                pair.rt_b.poll_technology(hot_path);
+                match client.poll_frames() {
+                    Ok(frames) => completed.extend(frames),
+                    Err(e) => {
+                        poll_err.get_or_insert(e);
+                    }
+                }
+            })?;
+        }
+        if let Some(e) = poll_err {
+            return Err(e.into());
         }
         // Drain until the frame completes.
         let done = loop {
@@ -134,56 +148,79 @@ fn lunar_streaming(
             }
             pair.rt_a.poll_technology(hot_path);
             pair.rt_b.poll_technology(hot_path);
-            completed.extend(client.poll_frames().expect("poll frames"));
+            completed.extend(client.poll_frames()?);
         };
-        assert_eq!(done.data.len(), frame_size, "frame must reassemble fully");
+        if done.data.len() != frame_size {
+            return Err(BenchError::Other(format!(
+                "frame reassembled to {} of {frame_size} bytes",
+                done.data.len()
+            )));
+        }
         latency_total += done.latency_ns;
     }
     let total_ns = t_run.elapsed().as_nanos() as u64;
-    StreamingResult {
+    Ok(StreamingResult {
         fps: frames as f64 * 1e9 / total_ns as f64,
         latency_ns: latency_total / frames as u64,
-    }
+    })
 }
 
 fn sendfile_streaming(
     profile: &TestbedProfile,
     frame_size: usize,
     frames: usize,
-) -> StreamingResult {
+) -> Result<StreamingResult, BenchError> {
     let fabric = Fabric::new(profile.clone());
     let a = fabric.add_host("a");
     let b = fabric.add_host("b");
-    let mut tx = SendfileStreamer::open(&fabric, a, 6000).expect("streamer");
-    let rx = SendfileReceiver::open(&fabric, b, 6000).expect("receiver");
+    let mut tx = SendfileStreamer::open(&fabric, a, 6000).map_err(baseline)?;
+    let rx = SendfileReceiver::open(&fabric, b, 6000).map_err(baseline)?;
     let frame = test_frame(frame_size);
 
     let mut latency_total = 0u64;
     let t_run = Instant::now();
     for _ in 0..frames {
         let mut completed: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut poll_err = None;
         let t0 = Instant::now();
         {
             let rx = &rx;
             let completed = &mut completed;
-            tx.send_frame_with(&frame, rx.local_addr(), || {
-                completed.extend(rx.poll_frames().expect("poll"));
+            let poll_err = &mut poll_err;
+            tx.send_frame_with(&frame, rx.local_addr(), || match rx.poll_frames() {
+                Ok(frames) => completed.extend(frames),
+                Err(e) => {
+                    poll_err.get_or_insert(e);
+                }
             })
-            .expect("send");
+            .map_err(baseline)?;
+        }
+        if let Some(e) = poll_err {
+            return Err(baseline(e));
         }
         let data = loop {
-            completed.extend(rx.poll_frames().expect("poll"));
+            completed.extend(rx.poll_frames().map_err(baseline)?);
             if let Some((_, data)) = completed.pop() {
                 break data;
             }
             core::hint::spin_loop();
         };
-        assert_eq!(data.len(), frame_size);
+        if data.len() != frame_size {
+            return Err(BenchError::Other(format!(
+                "sendfile frame reassembled to {} of {frame_size} bytes",
+                data.len()
+            )));
+        }
         latency_total += t0.elapsed().as_nanos() as u64;
     }
     let total_ns = t_run.elapsed().as_nanos() as u64;
-    StreamingResult {
+    Ok(StreamingResult {
         fps: frames as f64 * 1e9 / total_ns as f64,
         latency_ns: latency_total / frames as u64,
-    }
+    })
+}
+
+/// Wraps a baseline error (the sendfile baseline has its own type).
+fn baseline(e: insane_baselines::BaselineError) -> BenchError {
+    BenchError::Other(format!("baseline: {e}"))
 }

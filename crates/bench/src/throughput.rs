@@ -25,6 +25,7 @@ use insane_fabric::{Endpoint, Fabric, FabricError, TestbedProfile};
 
 use crate::setup::{throughput_config, throughput_profile, InsanePair};
 use crate::stats::gbps;
+use crate::BenchError;
 
 /// The systems compared in Fig. 8a.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,19 +85,28 @@ impl Stages {
 
 /// Measures both pipeline stages for `system` with `n` messages of
 /// `payload` bytes.
-pub fn stages(system: TputSystem, profile: &TestbedProfile, payload: usize, n: usize) -> Stages {
+///
+/// # Errors
+///
+/// Propagates failures from the system under measurement.
+pub fn stages(
+    system: TputSystem,
+    profile: &TestbedProfile,
+    payload: usize,
+    n: usize,
+) -> Result<Stages, BenchError> {
     let wire_ns = wire_ns_per_msg(profile, payload);
     let (tx_ns, rx_ns) = match system {
         TputSystem::KernelUdp => (
-            udp_tx_ns(profile, payload, n),
-            udp_rx_ns(profile, payload, n),
+            udp_tx_ns(profile, payload, n)?,
+            udp_rx_ns(profile, payload, n)?,
         ),
         TputSystem::RawDpdk => (
-            dpdk_tx_ns(profile, payload, n),
-            dpdk_rx_ns(profile, payload, n),
+            dpdk_tx_ns(profile, payload, n)?,
+            dpdk_rx_ns(profile, payload, n)?,
         ),
-        TputSystem::Catnap => demi_stages(Backend::Catnap, profile, payload, n),
-        TputSystem::Catnip => demi_stages(Backend::Catnip, profile, payload, n),
+        TputSystem::Catnap => demi_stages(Backend::Catnap, profile, payload, n)?,
+        TputSystem::Catnip => demi_stages(Backend::Catnip, profile, payload, n)?,
         TputSystem::InsaneSlow => {
             let (s, _) = insane_stages(
                 profile,
@@ -105,24 +115,34 @@ pub fn stages(system: TputSystem, profile: &TestbedProfile, payload: usize, n: u
                 payload,
                 n,
                 1,
-            );
+            )?;
             (s.tx_ns, s.rx_ns)
         }
         TputSystem::InsaneFast => {
-            let (s, _) = insane_stages(profile, QosPolicy::fast(), Technology::Dpdk, payload, n, 1);
+            let (s, _) =
+                insane_stages(profile, QosPolicy::fast(), Technology::Dpdk, payload, n, 1)?;
             (s.tx_ns, s.rx_ns)
         }
     };
-    Stages {
+    Ok(Stages {
         tx_ns,
         rx_ns,
         wire_ns,
-    }
+    })
 }
 
 /// Fig. 8a entry point: goodput of `system`.
-pub fn goodput_gbps(system: TputSystem, profile: &TestbedProfile, payload: usize, n: usize) -> f64 {
-    stages(system, profile, payload, n).goodput_gbps(payload)
+///
+/// # Errors
+///
+/// Propagates failures from the system under measurement.
+pub fn goodput_gbps(
+    system: TputSystem,
+    profile: &TestbedProfile,
+    payload: usize,
+    n: usize,
+) -> Result<f64, BenchError> {
+    Ok(stages(system, profile, payload, n)?.goodput_gbps(payload))
 }
 
 /// Fig. 8b entry point: per-sink goodput with `sinks` co-located sink
@@ -132,7 +152,7 @@ pub fn insane_multi_sink_gbps(
     payload: usize,
     sinks: usize,
     n: usize,
-) -> f64 {
+) -> Result<f64, BenchError> {
     let (stages, _) = insane_stages(
         profile,
         QosPolicy::fast(),
@@ -140,26 +160,26 @@ pub fn insane_multi_sink_gbps(
         payload,
         n,
         sinks,
-    );
-    stages.goodput_gbps(payload)
+    )?;
+    Ok(stages.goodput_gbps(payload))
 }
 
 // ---------------------------------------------------------------------
 // Raw kernel UDP
 // ---------------------------------------------------------------------
 
-fn udp_tx_ns(profile: &TestbedProfile, payload: usize, n: usize) -> u64 {
+fn udp_tx_ns(profile: &TestbedProfile, payload: usize, n: usize) -> Result<u64, BenchError> {
     let fabric = Fabric::new(profile.clone());
     let a = fabric.add_host("a");
     let b = fabric.add_host("b");
-    let socket = SimUdpSocket::bind(&fabric, a, 9000).expect("socket");
+    let socket = SimUdpSocket::bind(&fabric, a, 9000)?;
     socket.set_mtu(SimUdpSocket::JUMBO_MTU);
     // Shallow destination: frames drop cheaply, sender is unthrottled.
     let dst = Endpoint {
         host: b,
         port: 9000,
     };
-    let _sink = fabric.bind_with_capacity(dst, 64).expect("sink port");
+    let _sink = fabric.bind_with_capacity(dst, 64)?;
     let msg = vec![0x5Au8; payload];
     let round = 256.min(n.max(1));
     let rounds = n.div_ceil(round).max(4);
@@ -167,11 +187,11 @@ fn udp_tx_ns(profile: &TestbedProfile, payload: usize, n: usize) -> u64 {
     for _ in 0..rounds {
         let t0 = Instant::now();
         for _ in 0..round {
-            socket.send_to(&msg, dst).expect("send");
+            socket.send_to(&msg, dst)?;
         }
         samples.push(t0.elapsed().as_nanos() as u64);
     }
-    median_per_msg(&samples, round)
+    Ok(median_per_msg(&samples, round))
 }
 
 /// Writes a 64-byte message prefix (see the module docs).
@@ -188,12 +208,12 @@ fn median_per_msg(rounds_ns: &[u64], round: usize) -> u64 {
     series.median() / round.max(1) as u64
 }
 
-fn udp_rx_ns(profile: &TestbedProfile, payload: usize, n: usize) -> u64 {
+fn udp_rx_ns(profile: &TestbedProfile, payload: usize, n: usize) -> Result<u64, BenchError> {
     let fabric = Fabric::new(profile.clone());
     let a = fabric.add_host("a");
     let b = fabric.add_host("b");
-    let tx = SimUdpSocket::bind(&fabric, a, 9000).expect("tx");
-    let rx = SimUdpSocket::bind(&fabric, b, 9000).expect("rx");
+    let tx = SimUdpSocket::bind(&fabric, a, 9000)?;
+    let rx = SimUdpSocket::bind(&fabric, b, 9000)?;
     tx.set_mtu(SimUdpSocket::JUMBO_MTU);
     rx.set_mtu(SimUdpSocket::JUMBO_MTU);
     let msg = vec![0x5Au8; payload];
@@ -202,7 +222,7 @@ fn udp_rx_ns(profile: &TestbedProfile, payload: usize, n: usize) -> u64 {
     let mut samples = Vec::with_capacity(rounds);
     for _ in 0..rounds {
         for _ in 0..round {
-            tx.send_to(&msg, rx.local_addr()).expect("prefill");
+            tx.send_to(&msg, rx.local_addr())?;
         }
         settle_wire();
         let t0 = Instant::now();
@@ -211,25 +231,25 @@ fn udp_rx_ns(profile: &TestbedProfile, payload: usize, n: usize) -> u64 {
             match rx.recv(RecvMode::NonBlocking) {
                 Ok(_) => got += 1,
                 Err(FabricError::WouldBlock) => core::hint::spin_loop(),
-                Err(e) => panic!("recv: {e}"),
+                Err(e) => return Err(e.into()),
             }
         }
         samples.push(t0.elapsed().as_nanos() as u64);
     }
-    median_per_msg(&samples, round)
+    Ok(median_per_msg(&samples, round))
 }
 
 // ---------------------------------------------------------------------
 // Raw DPDK
 // ---------------------------------------------------------------------
 
-fn dpdk_tx_ns(profile: &TestbedProfile, payload: usize, n: usize) -> u64 {
+fn dpdk_tx_ns(profile: &TestbedProfile, payload: usize, n: usize) -> Result<u64, BenchError> {
     let fabric = Fabric::new(profile.clone());
     let a = fabric.add_host("a");
     let b = fabric.add_host("b");
-    let port = DpdkPort::open(&fabric, a, 0, 8_192).expect("port");
+    let port = DpdkPort::open(&fabric, a, 0, 8_192)?;
     let dst = Endpoint { host: b, port: 0 };
-    let _sink = fabric.bind_with_capacity(dst, 64).expect("sink port");
+    let _sink = fabric.bind_with_capacity(dst, 64)?;
     let round = 256.min(n.max(1));
     let rounds = n.div_ceil(round).max(4);
     let mut samples = Vec::with_capacity(rounds);
@@ -249,20 +269,20 @@ fn dpdk_tx_ns(profile: &TestbedProfile, payload: usize, n: usize) -> u64 {
                 fill_prefix(&mut mbuf);
                 mbufs.push(mbuf);
             }
-            port.tx_burst(dst, mbufs).expect("tx");
+            port.tx_burst(dst, mbufs)?;
             sent += burst;
         }
         samples.push(t0.elapsed().as_nanos() as u64);
     }
-    median_per_msg(&samples, round)
+    Ok(median_per_msg(&samples, round))
 }
 
-fn dpdk_rx_ns(profile: &TestbedProfile, payload: usize, n: usize) -> u64 {
+fn dpdk_rx_ns(profile: &TestbedProfile, payload: usize, n: usize) -> Result<u64, BenchError> {
     let fabric = Fabric::new(profile.clone());
     let a = fabric.add_host("a");
     let b = fabric.add_host("b");
-    let tx = DpdkPort::open(&fabric, a, 0, 8_192).expect("tx");
-    let rx = DpdkPort::open(&fabric, b, 0, 64).expect("rx");
+    let tx = DpdkPort::open(&fabric, a, 0, 8_192)?;
+    let rx = DpdkPort::open(&fabric, b, 0, 64)?;
     let round = 256.min(n.max(1));
     let rounds = n.div_ceil(round).max(4);
     let mut samples = Vec::with_capacity(rounds);
@@ -273,11 +293,11 @@ fn dpdk_rx_ns(profile: &TestbedProfile, payload: usize, n: usize) -> u64 {
             let burst = 32.min(round - sent);
             let mut mbufs = Vec::with_capacity(burst);
             for _ in 0..burst {
-                let mut mbuf = tx.alloc_mbuf(payload).expect("mbuf");
+                let mut mbuf = tx.alloc_mbuf(payload)?;
                 fill_prefix(&mut mbuf);
                 mbufs.push(mbuf);
             }
-            tx.tx_burst(rx.local_addr(), mbufs).expect("prefill");
+            tx.tx_burst(rx.local_addr(), mbufs)?;
             sent += burst;
         }
         settle_wire();
@@ -289,27 +309,32 @@ fn dpdk_rx_ns(profile: &TestbedProfile, payload: usize, n: usize) -> u64 {
         }
         samples.push(t0.elapsed().as_nanos() as u64);
     }
-    median_per_msg(&samples, round)
+    Ok(median_per_msg(&samples, round))
 }
 
 // ---------------------------------------------------------------------
 // Demikernel
 // ---------------------------------------------------------------------
 
-fn demi_stages(backend: Backend, profile: &TestbedProfile, payload: usize, n: usize) -> (u64, u64) {
+fn demi_stages(
+    backend: Backend,
+    profile: &TestbedProfile,
+    payload: usize,
+    n: usize,
+) -> Result<(u64, u64), BenchError> {
     // TX stage.
     let tx_ns = {
         let fabric = Fabric::new(profile.clone());
         let a = fabric.add_host("a");
         let b = fabric.add_host("b");
-        let mut demi = Demikernel::new(backend, &fabric, a).expect("libos");
-        let qd = demi.socket().expect("qd");
-        demi.bind(qd, 9000).expect("bind");
+        let mut demi = Demikernel::new(backend, &fabric, a)?;
+        let qd = demi.socket()?;
+        demi.bind(qd, 9000)?;
         let dst = Endpoint {
             host: b,
             port: 9000,
         };
-        let _sink = fabric.bind_with_capacity(dst, 64).expect("sink");
+        let _sink = fabric.bind_with_capacity(dst, 64)?;
         let msg = vec![0x5Au8; payload];
         let round = 256.min(n.max(1));
         let rounds = n.div_ceil(round).max(4);
@@ -317,8 +342,8 @@ fn demi_stages(backend: Backend, profile: &TestbedProfile, payload: usize, n: us
         for _ in 0..rounds {
             let t0 = Instant::now();
             for _ in 0..round {
-                let token = demi.push_to(qd, &msg, dst).expect("push");
-                demi.wait(token, None).expect("push wait");
+                let token = demi.push_to(qd, &msg, dst)?;
+                demi.wait(token, None)?;
             }
             samples.push(t0.elapsed().as_nanos() as u64);
         }
@@ -329,12 +354,12 @@ fn demi_stages(backend: Backend, profile: &TestbedProfile, payload: usize, n: us
         let fabric = Fabric::new(profile.clone());
         let a = fabric.add_host("a");
         let b = fabric.add_host("b");
-        let mut tx = Demikernel::new(backend, &fabric, a).expect("tx libos");
-        let mut demi = Demikernel::new(backend, &fabric, b).expect("rx libos");
-        let qt = tx.socket().expect("qd");
-        tx.bind(qt, 9000).expect("bind");
-        let qd = demi.socket().expect("qd");
-        demi.bind(qd, 9000).expect("bind");
+        let mut tx = Demikernel::new(backend, &fabric, a)?;
+        let mut demi = Demikernel::new(backend, &fabric, b)?;
+        let qt = tx.socket()?;
+        tx.bind(qt, 9000)?;
+        let qd = demi.socket()?;
+        demi.bind(qd, 9000)?;
         let dst = Endpoint {
             host: b,
             port: 9000,
@@ -345,23 +370,25 @@ fn demi_stages(backend: Backend, profile: &TestbedProfile, payload: usize, n: us
         let mut samples = Vec::with_capacity(rounds);
         for _ in 0..rounds {
             for _ in 0..round {
-                let token = tx.push_to(qt, &msg, dst).expect("prefill");
-                tx.wait(token, None).expect("prefill wait");
+                let token = tx.push_to(qt, &msg, dst)?;
+                tx.wait(token, None)?;
             }
             settle_wire();
             let t0 = Instant::now();
             for _ in 0..round {
-                let pop = demi.pop(qd).expect("pop");
-                match demi.wait(pop, None).expect("wait") {
+                let pop = demi.pop(qd)?;
+                match demi.wait(pop, None)? {
                     DemiEvent::Popped { .. } => {}
-                    DemiEvent::Pushed => unreachable!("pop tokens complete as Popped"),
+                    DemiEvent::Pushed => {
+                        return Err(BenchError::Other("pop token completed as Pushed".into()))
+                    }
                 }
             }
             samples.push(t0.elapsed().as_nanos() as u64);
         }
         median_per_msg(&samples, round)
     };
-    (tx_ns, rx_ns)
+    Ok((tx_ns, rx_ns))
 }
 
 // ---------------------------------------------------------------------
@@ -375,7 +402,7 @@ fn insane_stages(
     payload: usize,
     n: usize,
     sinks: usize,
-) -> (Stages, u64) {
+) -> Result<(Stages, u64), BenchError> {
     let techs = [Technology::KernelUdp, Technology::Dpdk];
     let wire_ns = wire_ns_per_msg(profile, payload);
 
@@ -387,8 +414,8 @@ fn insane_stages(
             throughput_profile(profile.clone()),
             &techs,
             throughput_config,
-        );
-        let (source, _sinks) = pair.one_way(qos, 1);
+        )?;
+        let (source, _sinks) = pair.one_way(qos, 1)?;
         let round = 256.min(n.max(1));
         let rounds = n.div_ceil(round).max(4);
         let mut samples = Vec::with_capacity(rounds);
@@ -411,14 +438,14 @@ fn insane_stages(
                             Err(InsaneError::Backpressure) => {
                                 pair.rt_a.poll_transmit(hot_path);
                             }
-                            Err(e) => panic!("emit: {e}"),
+                            Err(e) => return Err(e.into()),
                         }
                     }
                     Err(InsaneError::Memory(_)) => {
                         // Pool back-pressure: let the runtime flush.
                         pair.rt_a.poll_transmit(hot_path);
                     }
-                    Err(e) => panic!("get_buffer: {e}"),
+                    Err(e) => return Err(e.into()),
                 }
             }
             // Flush: drain until the last message left the runtime.
@@ -445,8 +472,8 @@ fn insane_stages(
             throughput_profile(profile.clone()),
             &techs,
             throughput_config,
-        );
-        let (source, sink_handles) = pair.one_way(qos, sinks);
+        )?;
+        let (source, sink_handles) = pair.one_way(qos, sinks)?;
         let round = 256.min(n.max(1));
         let rounds = n.div_ceil(round).max(4);
         let mut samples = Vec::with_capacity(rounds);
@@ -462,13 +489,13 @@ fn insane_stages(
                             Err(InsaneError::Backpressure) => {
                                 pair.rt_a.poll_technology(hot_path);
                             }
-                            Err(e) => panic!("emit: {e}"),
+                            Err(e) => return Err(e.into()),
                         }
                     }
                     Err(InsaneError::Memory(_)) => {
                         pair.rt_a.poll_technology(hot_path);
                     }
-                    Err(e) => panic!("get_buffer: {e}"),
+                    Err(e) => return Err(e.into()),
                 }
             }
             // Flush the sender runtime (untimed).
@@ -499,7 +526,7 @@ fn insane_stages(
                     match sink.consume(ConsumeMode::NonBlocking) {
                         Ok(m) => drop(m),
                         Err(InsaneError::WouldBlock) => break,
-                        Err(e) => panic!("consume: {e}"),
+                        Err(e) => return Err(e.into()),
                     }
                 }
             }
@@ -511,14 +538,14 @@ fn insane_stages(
         (runtime_ns.max(consume_ns), dropped)
     };
 
-    (
+    Ok((
         Stages {
             tx_ns,
             rx_ns,
             wire_ns,
         },
         dropped,
-    )
+    ))
 }
 
 /// Waits long enough for prefilled frames to become deliverable

@@ -228,6 +228,8 @@ impl Stream {
             closed: AtomicBool::new(false),
             received: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            telemetry: inner
+                .telemetry_stream(channel.0, self.shared.qos.time_sensitivity.traffic_class()),
         });
         inner.register_sink(Arc::clone(&shared));
         Ok(Sink {
@@ -451,7 +453,7 @@ impl Sink {
             return Err(InsaneError::CallbackSink);
         }
         if let Some(delivery) = self.shared.queue.pop() {
-            return Ok(incoming_from_delivery(delivery));
+            return Ok(incoming_from_delivery(delivery, &self.shared.telemetry));
         }
         match mode {
             ConsumeMode::NonBlocking => Err(InsaneError::WouldBlock),
@@ -461,7 +463,7 @@ impl Sink {
                 }
                 loop {
                     if let Some(delivery) = self.shared.queue.pop() {
-                        return Ok(incoming_from_delivery(delivery));
+                        return Ok(incoming_from_delivery(delivery, &self.shared.telemetry));
                     }
                     if self.shared.closed.load(Ordering::Acquire)
                         || self.runtime.inner().is_stopped()
@@ -511,9 +513,12 @@ pub struct IncomingMessage {
     consumed_ns: u64,
 }
 
-pub(crate) fn incoming_from_delivery(delivery: Arc<Delivery>) -> IncomingMessage {
+pub(crate) fn incoming_from_delivery(
+    delivery: Arc<Delivery>,
+    telemetry: &crate::telemetry::SinkTel,
+) -> IncomingMessage {
     // Fast path: the only recipient takes the descriptor without clones.
-    match Arc::try_unwrap(delivery) {
+    let msg = match Arc::try_unwrap(delivery) {
         Ok(delivery) => IncomingMessage {
             store: delivery.store,
             offset: delivery.offset,
@@ -528,7 +533,9 @@ pub(crate) fn incoming_from_delivery(delivery: Arc<Delivery>) -> IncomingMessage
             meta: shared.meta,
             consumed_ns: epoch_ns(),
         },
-    }
+    };
+    telemetry.observe(&msg.meta, msg.consumed_ns);
+    msg
 }
 
 impl IncomingMessage {

@@ -52,6 +52,7 @@ mod api;
 pub mod qos;
 pub mod runtime;
 pub mod stats;
+pub mod telemetry;
 
 pub use api::{
     ConsumeMode, EmitOutcome, EmitToken, IncomingMessage, MessageBuffer, Session, Sink, SinkStats,
@@ -61,6 +62,7 @@ pub use qos::{
     Acceleration, MappedPath, MappingStrategy, QosPolicy, ResourceUsage, TimeSensitivity,
 };
 pub use runtime::{ControlPlaneConfig, Runtime, RuntimeConfig, SchedulerChoice, ThreadingMode};
+pub use telemetry::TelemetryConfig;
 
 // Re-exported so downstream crates can match on the middleware's nested
 // error causes without depending on the substrate crates directly.

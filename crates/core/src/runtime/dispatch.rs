@@ -290,6 +290,7 @@ mod tests {
             closed: std::sync::atomic::AtomicBool::new(false),
             received: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            telemetry: crate::telemetry::SinkTel::none(),
         })
     }
 

@@ -150,6 +150,8 @@ pub(crate) struct SinkShared {
     pub closed: AtomicBool,
     pub received: AtomicU64,
     pub dropped: AtomicU64,
+    /// Per-stream telemetry recorder handle (inert when disabled).
+    pub telemetry: crate::telemetry::SinkTel,
 }
 
 impl std::fmt::Debug for SinkShared {
@@ -175,7 +177,10 @@ impl SinkShared {
         }
         if let Some(cb) = &self.callback {
             self.received.fetch_add(1, Ordering::Relaxed);
-            cb(crate::api::incoming_from_delivery(delivery));
+            cb(crate::api::incoming_from_delivery(
+                delivery,
+                &self.telemetry,
+            ));
             return true;
         }
         match self.queue.push(delivery) {
@@ -308,6 +313,7 @@ mod tests {
             closed: AtomicBool::new(false),
             received: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            telemetry: crate::telemetry::SinkTel::none(),
         };
         sink.close();
         let delivery = Arc::new(Delivery {

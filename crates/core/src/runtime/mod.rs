@@ -35,6 +35,7 @@ use crate::runtime::plugins::{
     XdpPlugin,
 };
 use crate::stats::{MessageMeta, RuntimeStats, StatsSnapshot};
+use crate::telemetry::{DatapathTel, RuntimeTelemetry, SinkTel, TelemetryConfig};
 use crate::{epoch_ns, InsaneError, PAYLOAD_OFFSET};
 
 /// How the runtime's polling work is executed (§5.3: "the number of these
@@ -140,6 +141,10 @@ pub struct RuntimeConfig {
     pub burst: usize,
     /// Control-plane retransmission and failure-detection parameters.
     pub control: ControlPlaneConfig,
+    /// Observability: per-stream histograms, datapath counters, and the
+    /// introspection endpoint (no-op unless the `telemetry` cargo
+    /// feature is enabled).
+    pub telemetry: TelemetryConfig,
 }
 
 impl std::fmt::Debug for RuntimeConfig {
@@ -151,6 +156,7 @@ impl std::fmt::Debug for RuntimeConfig {
             .field("scheduler", &self.scheduler)
             .field("port_base", &self.port_base)
             .field("control", &self.control)
+            .field("telemetry", &self.telemetry)
             .finish()
     }
 }
@@ -177,6 +183,7 @@ impl RuntimeConfig {
             sink_queue_depth: 4_096,
             burst: 32,
             control: ControlPlaneConfig::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -214,6 +221,12 @@ impl RuntimeConfig {
     /// Overrides the control-plane retransmission/heartbeat parameters.
     pub fn with_control(mut self, control: ControlPlaneConfig) -> Self {
         self.control = control;
+        self
+    }
+
+    /// Overrides the telemetry configuration.
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
         self
     }
 }
@@ -342,6 +355,10 @@ pub(crate) struct RuntimeInner {
     /// The fabric endpoint probed to decide each plugin's health.
     health_eps: Vec<Endpoint>,
     control: Mutex<ControlPlane>,
+    /// Telemetry root (inert when disabled or compiled out).
+    telemetry: RuntimeTelemetry,
+    /// Per-plugin telemetry counter handles, in plugin order.
+    dp_tel: Vec<DatapathTel>,
 }
 
 impl std::fmt::Debug for RuntimeInner {
@@ -452,6 +469,11 @@ impl Runtime {
             next_heartbeat: Instant::now() + config.control.heartbeat_interval,
         };
         let plugin_down = plugins.iter().map(|_| AtomicBool::new(false)).collect();
+        let telemetry = RuntimeTelemetry::new(&config.telemetry);
+        let dp_tel = plugins
+            .iter()
+            .map(|p| telemetry.datapath(&p.technology().name().to_lowercase()))
+            .collect();
         let inner = Arc::new(RuntimeInner {
             config,
             fabric: fabric.clone(),
@@ -473,6 +495,8 @@ impl Runtime {
             plugin_down,
             health_eps,
             control: Mutex::new(control),
+            telemetry,
+            dp_tel,
         });
         let runtime = Runtime { inner };
         runtime.spawn_threads()?;
@@ -654,6 +678,35 @@ impl Runtime {
         self.inner.pools.total_in_use()
     }
 
+    /// The full runtime observability snapshot as a JSON string — the
+    /// same document the introspection endpoint serves: per-stream
+    /// latency histograms, per-datapath counters, runtime counters,
+    /// pool occupancy, and fault-injection statistics.
+    #[cfg(feature = "telemetry")]
+    pub fn telemetry_json(&self) -> String {
+        self.inner.introspection_json()
+    }
+
+    /// Serves runtime introspection over a Unix-domain socket at
+    /// `path` (one request line per connection: `stats` or `ping`).
+    /// The serving thread stops with the runtime and removes the
+    /// socket file on exit.  `tools/insanectl` is the matching client.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the socket cannot be bound or the thread cannot be
+    /// spawned.
+    #[cfg(feature = "telemetry")]
+    pub fn serve_introspection(
+        &self,
+        path: impl Into<std::path::PathBuf>,
+    ) -> Result<(), InsaneError> {
+        let handle =
+            crate::telemetry::introspection::spawn(Arc::downgrade(&self.inner), path.into())?;
+        self.inner.threads.lock().push(handle);
+        Ok(())
+    }
+
     /// Stops the polling threads and detaches the devices.
     pub fn shutdown(&self) {
         self.inner.stop.store(true, Ordering::Release);
@@ -720,6 +773,93 @@ impl RuntimeInner {
 
     pub(crate) fn is_stopped(&self) -> bool {
         self.stop.load(Ordering::Acquire)
+    }
+
+    /// Per-stream telemetry handle for a sink on `channel` (inert when
+    /// telemetry is disabled or compiled out).
+    pub(crate) fn telemetry_stream(&self, channel: u32, class: TrafficClass) -> SinkTel {
+        self.telemetry.stream(channel, class)
+    }
+
+    /// Builds the introspection snapshot served over the endpoint and
+    /// by [`Runtime::telemetry_json`].
+    #[cfg(feature = "telemetry")]
+    pub(crate) fn introspection_json(&self) -> String {
+        use insane_telemetry::Value;
+        let reg = self.telemetry.snapshot();
+        // One datapath entry per plugin, combining the telemetry
+        // counters (when recording is enabled) with the health gate.
+        let datapaths: Vec<Value> = self
+            .plugins
+            .iter()
+            .enumerate()
+            .map(|(idx, plugin)| {
+                let name = plugin.technology().name().to_lowercase();
+                let counters = reg
+                    .as_ref()
+                    .and_then(|r| r.datapaths.get(idx))
+                    .filter(|d| d.name == name)
+                    .cloned()
+                    .unwrap_or_default();
+                Value::object([
+                    ("technology", Value::from(name)),
+                    (
+                        "down",
+                        Value::Bool(self.plugin_down[idx].load(Ordering::Relaxed)),
+                    ),
+                    ("tx_messages", Value::from(counters.tx_messages)),
+                    ("rx_messages", Value::from(counters.rx_messages)),
+                    ("scheduled", Value::from(counters.scheduled)),
+                ])
+            })
+            .collect();
+        let streams: Vec<Value> = reg
+            .as_ref()
+            .map(|r| r.streams.iter().map(|s| s.to_json()).collect())
+            .unwrap_or_default();
+        let pools: Vec<Value> = self
+            .pools
+            .classes()
+            .map(|pool| {
+                let stats = pool.stats();
+                Value::object([
+                    ("slot_size", Value::from(pool.slot_size() as u64)),
+                    ("slot_count", Value::from(pool.slot_count() as u64)),
+                    ("free_slots", Value::from(pool.free_slots() as u64)),
+                    ("in_use", Value::from(stats.in_use as u64)),
+                    ("high_water", Value::from(stats.high_water as u64)),
+                    ("exhaustions", Value::from(stats.exhaustions)),
+                    ("acquires", Value::from(stats.acquires)),
+                    ("misuse_rejections", Value::from(stats.misuse_rejections)),
+                ])
+            })
+            .collect();
+        let f = self.fabric.faults().stats();
+        let faults = Value::object([
+            ("injected_drops", Value::from(f.injected_drops)),
+            ("corruptions", Value::from(f.corruptions)),
+            ("duplicates", Value::from(f.duplicates)),
+            ("reorders", Value::from(f.reorders)),
+            ("link_down_drops", Value::from(f.link_down_drops)),
+            ("device_down_drops", Value::from(f.device_down_drops)),
+        ]);
+        Value::object([
+            ("schema", Value::from(insane_telemetry::SNAPSHOT_SCHEMA)),
+            ("runtime_id", Value::from(u64::from(self.config.runtime_id))),
+            ("host", Value::from(u64::from(self.host.index()))),
+            ("timestamp_ns", Value::from(epoch_ns())),
+            ("telemetry_enabled", Value::Bool(reg.is_some())),
+            (
+                "sample_every",
+                Value::from(reg.as_ref().map(|r| r.sample_every).unwrap_or(0)),
+            ),
+            ("counters", self.stats.snapshot().to_json()),
+            ("streams", Value::Array(streams)),
+            ("datapaths", Value::Array(datapaths)),
+            ("pools", Value::Array(pools)),
+            ("faults", faults),
+        ])
+        .to_string()
     }
 
     pub(crate) fn is_started(&self) -> bool {
@@ -1100,14 +1240,17 @@ impl RuntimeInner {
             did = true;
             self.hops.charge_batch(scratch.inbound.len() as u64);
             let mut inbound = std::mem::take(&mut scratch.inbound);
+            let mut rx_data = 0u64;
             for msg in inbound.drain(..) {
                 if msg.hdr.kind == MessageKind::Control {
                     self.handle_control(&msg);
                     continue;
                 }
                 self.stats.rx_messages.fetch_add(1, Ordering::Relaxed);
+                rx_data += 1;
                 self.dispatch_inbound(msg, &mut scratch.inbound_sinks);
             }
+            self.dp_tel[idx].on_rx(rx_data);
             scratch.inbound = inbound;
         }
         did
@@ -1187,6 +1330,7 @@ impl RuntimeInner {
                     self.stats
                         .tx_messages
                         .fetch_add(wire_count, Ordering::Relaxed);
+                    self.dp_tel[idx].on_tx(wire_count);
                     for (board, seq) in boards {
                         board.complete_through(seq);
                     }
@@ -1315,6 +1459,7 @@ impl RuntimeInner {
                     },
                 )
             };
+            self.dp_tel[sched_idx].on_scheduled(1);
             self.schedulers[sched_idx].lock().enqueue(
                 OutboundBundle {
                     msgs: WireMsgs::One(msg),
@@ -1396,6 +1541,7 @@ impl RuntimeInner {
         }
         scratch.cached_channel = None;
         if !native.is_empty() {
+            self.dp_tel[idx].on_scheduled(native.len() as u64);
             self.schedulers[idx].lock().enqueue(
                 OutboundBundle {
                     msgs: WireMsgs::Many(native),
@@ -1407,6 +1553,7 @@ impl RuntimeInner {
             );
         }
         if !fallback.is_empty() {
+            self.dp_tel[udp_idx].on_scheduled(fallback.len() as u64);
             self.schedulers[udp_idx].lock().enqueue(
                 OutboundBundle {
                     msgs: WireMsgs::Many(fallback),
@@ -1455,6 +1602,7 @@ impl RuntimeInner {
         self.stats
             .failover_messages
             .fetch_add(diverted, Ordering::Relaxed);
+        self.dp_tel[self.udp_idx].on_scheduled(diverted);
         true
     }
 

@@ -36,7 +36,8 @@ impl MessageMeta {
     }
 }
 
-/// One-way latency breakdown of a consumed message (Fig. 6 components).
+/// One-way latency breakdown of a consumed message (Fig. 6 components,
+/// extended with the fragment-reassembly wait).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LatencyBreakdown {
     /// Emit → wire: sender-side middleware + datapath TX work.
@@ -47,12 +48,19 @@ pub struct LatencyBreakdown {
     pub receive_ns: u64,
     /// Sink queue → consume return: application-side processing delay.
     pub processing_ns: u64,
+    /// Extra wait for sibling fragments of the same application-level
+    /// message (zero for unfragmented messages).  Reassembled messages
+    /// (e.g. Lunar streaming frames) carry the completing fragment's
+    /// pipeline components plus this residue, so their total equals
+    /// first-emit → reassembly-complete (see
+    /// [`LatencyBreakdown::attribute_reassembly`]).
+    pub reassembly_ns: u64,
 }
 
 impl LatencyBreakdown {
     /// Total one-way latency.
     pub fn total_ns(&self) -> u64 {
-        self.send_ns + self.network_ns + self.receive_ns + self.processing_ns
+        self.send_ns + self.network_ns + self.receive_ns + self.processing_ns + self.reassembly_ns
     }
 
     /// Computes the breakdown from message metadata and the consume time.
@@ -63,7 +71,44 @@ impl LatencyBreakdown {
             network_ns: meta.wire_ns,
             receive_ns: meta.dispatched_ns.saturating_sub(wire_end),
             processing_ns: consumed_ns.saturating_sub(meta.dispatched_ns),
+            reassembly_ns: 0,
         }
+    }
+
+    /// Folds one fragment's breakdown into an aggregate: component-wise
+    /// maximum, a conservative per-stage envelope over the fragments.
+    ///
+    /// Note the maxima of different fragments can overlap in wall-clock
+    /// time (fragments are emitted serially), so the sum of the merged
+    /// components may exceed the frame's elapsed window.  For a parent
+    /// breakdown whose total must equal the measured frame latency,
+    /// start from the *completing* fragment's breakdown and call
+    /// [`LatencyBreakdown::attribute_reassembly`] instead.
+    pub fn merge_fragment(&mut self, frag: &LatencyBreakdown) {
+        self.send_ns = self.send_ns.max(frag.send_ns);
+        self.network_ns = self.network_ns.max(frag.network_ns);
+        self.receive_ns = self.receive_ns.max(frag.receive_ns);
+        self.processing_ns = self.processing_ns.max(frag.processing_ns);
+        self.reassembly_ns = self.reassembly_ns.max(frag.reassembly_ns);
+    }
+
+    /// Charges the residual reassembly wait so that [`total_ns`]
+    /// equals `completed_ns - first_emit_ns` exactly: the existing
+    /// components cover the completing fragment's own pipeline trip
+    /// (which started no earlier than `first_emit_ns` and ended no
+    /// later than `completed_ns`), and whatever wall-clock remains is
+    /// time the parent message spent emitting and waiting for sibling
+    /// fragments.
+    ///
+    /// [`total_ns`]: LatencyBreakdown::total_ns
+    pub fn attribute_reassembly(&mut self, first_emit_ns: u64, completed_ns: u64) {
+        let elapsed = completed_ns.saturating_sub(first_emit_ns);
+        let pipeline = self
+            .send_ns
+            .saturating_add(self.network_ns)
+            .saturating_add(self.receive_ns)
+            .saturating_add(self.processing_ns);
+        self.reassembly_ns = elapsed.saturating_sub(pipeline);
     }
 }
 
@@ -144,6 +189,36 @@ pub struct StatsSnapshot {
     pub failback_events: u64,
     /// Messages rerouted during failover.
     pub failover_messages: u64,
+}
+
+#[cfg(feature = "telemetry")]
+impl StatsSnapshot {
+    /// JSON form, embedded in the introspection snapshot.
+    pub(crate) fn to_json(self) -> insane_telemetry::Value {
+        use insane_telemetry::Value;
+        Value::object([
+            ("tx_messages", Value::from(self.tx_messages)),
+            ("rx_messages", Value::from(self.rx_messages)),
+            ("local_deliveries", Value::from(self.local_deliveries)),
+            ("sink_drops", Value::from(self.sink_drops)),
+            ("control_messages", Value::from(self.control_messages)),
+            ("fallback_streams", Value::from(self.fallback_streams)),
+            ("idle_polls", Value::from(self.idle_polls)),
+            ("rx_rejected", Value::from(self.rx_rejected)),
+            ("control_retransmits", Value::from(self.control_retransmits)),
+            ("control_timeouts", Value::from(self.control_timeouts)),
+            (
+                "control_send_failures",
+                Value::from(self.control_send_failures),
+            ),
+            ("heartbeats_sent", Value::from(self.heartbeats_sent)),
+            ("peer_expiries", Value::from(self.peer_expiries)),
+            ("peers_recovered", Value::from(self.peers_recovered)),
+            ("failover_events", Value::from(self.failover_events)),
+            ("failback_events", Value::from(self.failback_events)),
+            ("failover_messages", Value::from(self.failover_messages)),
+        ])
+    }
 }
 
 impl RuntimeStats {
@@ -229,6 +304,55 @@ mod tests {
         assert!(!meta.is_fragment());
         meta.frag = (2, 8, 100_000);
         assert!(meta.is_fragment());
+    }
+
+    #[test]
+    fn fragment_merge_takes_component_maxima() {
+        let mut parent = LatencyBreakdown::default();
+        parent.merge_fragment(&LatencyBreakdown {
+            send_ns: 100,
+            network_ns: 2_000,
+            receive_ns: 50,
+            processing_ns: 10,
+            reassembly_ns: 0,
+        });
+        parent.merge_fragment(&LatencyBreakdown {
+            send_ns: 400,
+            network_ns: 1_500,
+            receive_ns: 80,
+            processing_ns: 5,
+            reassembly_ns: 0,
+        });
+        assert_eq!(parent.send_ns, 400);
+        assert_eq!(parent.network_ns, 2_000);
+        assert_eq!(parent.receive_ns, 80);
+        assert_eq!(parent.processing_ns, 10);
+    }
+
+    #[test]
+    fn reassembly_residue_closes_the_total() {
+        let mut parent = LatencyBreakdown {
+            send_ns: 400,
+            network_ns: 2_000,
+            receive_ns: 80,
+            processing_ns: 10,
+            reassembly_ns: 0,
+        };
+        // First fragment emitted at t=1_000; the set completed at
+        // t=4_500 → 3_500 elapsed, of which 2_490 is pipeline maxima.
+        parent.attribute_reassembly(1_000, 4_500);
+        assert_eq!(parent.reassembly_ns, 3_500 - 2_490);
+        assert_eq!(parent.total_ns(), 3_500);
+    }
+
+    #[test]
+    fn reassembly_residue_saturates_on_skew() {
+        let mut parent = LatencyBreakdown {
+            send_ns: 5_000,
+            ..Default::default()
+        };
+        parent.attribute_reassembly(1_000, 2_000);
+        assert_eq!(parent.reassembly_ns, 0);
     }
 
     #[test]

@@ -1,0 +1,413 @@
+//! Runtime telemetry glue: configuration, recorder handles, and the
+//! introspection endpoint plumbing.
+//!
+//! Everything datapath-facing lives behind thin wrapper types with two
+//! implementations selected by the `telemetry` cargo feature: the real
+//! one forwards to `insane-telemetry` recorders, the stub compiles to
+//! nothing. Call sites in the runtime and client library are identical
+//! either way — no `cfg` outside this module.
+//!
+//! The span points instrumented across the stack:
+//!
+//! * **lend** — `Source::get_buffer`; accounted by the memory pools
+//!   (`PoolStats::acquires` / occupancy), surfaced per pool in the
+//!   snapshot.
+//! * **emit** — `MessageMeta::emit_ns`, stamped by `Source::emit`.
+//! * **tx** — `MessageMeta::wire_start_ns`, stamped when a datapath
+//!   plugin puts the frame on the wire; per-datapath `tx_messages` /
+//!   `scheduled` counters.
+//! * **rx** — wire end, derived from the receive timestamp and modeled
+//!   wire time; per-datapath `rx_messages` counters.
+//! * **consume** — `Sink::consume` (or the sink callback), where the
+//!   [`LatencyBreakdown`] is computed and recorded into the stream's
+//!   histograms.
+
+use std::time::Duration;
+
+/// Runtime telemetry configuration (part of
+/// [`RuntimeConfig`](crate::RuntimeConfig)).
+///
+/// With the `telemetry` cargo feature disabled this struct still
+/// exists (so configs are portable) but has no effect. With the
+/// feature enabled, `enabled: false` skips recorder creation entirely:
+/// the per-message cost is one `Option` check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Master switch for recorder creation.
+    pub enabled: bool,
+    /// Histogram sampling period: every `sample_every`-th consumed
+    /// message is recorded into latency histograms (1 = all, 0 =
+    /// none). Counters and budget checks always run.
+    pub sample_every: u64,
+    /// Latency budget applied to time-sensitive streams (traffic class
+    /// above best effort): consumed messages whose total one-way
+    /// latency exceeds it count as QoS-budget violations. 0 disables
+    /// budget checking.
+    pub latency_budget_ns: u64,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            sample_every: 1,
+            latency_budget_ns: 0,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// A configuration with recording switched off.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the histogram sampling period (1 = record everything).
+    pub fn with_sample_every(mut self, period: u64) -> Self {
+        self.sample_every = period;
+        self
+    }
+
+    /// Sets the QoS latency budget for time-sensitive streams.
+    pub fn with_latency_budget(mut self, budget: Duration) -> Self {
+        self.latency_budget_ns = budget.as_nanos().min(u64::MAX as u128) as u64;
+        self
+    }
+}
+
+#[cfg(feature = "telemetry")]
+mod glue {
+    use super::TelemetryConfig;
+    use crate::stats::{LatencyBreakdown, MessageMeta};
+    use insane_telemetry::{
+        BreakdownSample, DatapathTelemetry, Registry, RegistrySnapshot, StreamTelemetry,
+    };
+    use insane_tsn::TrafficClass;
+    use std::sync::Arc;
+
+    /// Per-runtime telemetry root (real implementation).
+    #[derive(Debug)]
+    pub(crate) struct RuntimeTelemetry {
+        registry: Option<Arc<Registry>>,
+        budget_ns: u64,
+    }
+
+    impl RuntimeTelemetry {
+        pub(crate) fn new(cfg: &TelemetryConfig) -> Self {
+            Self {
+                registry: cfg
+                    .enabled
+                    .then(|| Arc::new(Registry::new(cfg.sample_every))),
+                budget_ns: cfg.latency_budget_ns,
+            }
+        }
+
+        /// Registers a per-datapath counter bundle.
+        pub(crate) fn datapath(&self, name: &str) -> DatapathTel {
+            DatapathTel(
+                self.registry
+                    .as_ref()
+                    .map(|reg| reg.register_datapath(name)),
+            )
+        }
+
+        /// Returns (creating on first use) the per-stream recorder
+        /// handle for `channel`. The handle is cached by the caller;
+        /// no lock is taken per message.
+        pub(crate) fn stream(&self, channel: u32, class: TrafficClass) -> SinkTel {
+            SinkTel(self.registry.as_ref().map(|reg| {
+                let best_effort = class == TrafficClass::BEST_EFFORT;
+                let label = if best_effort {
+                    "best-effort".to_string()
+                } else {
+                    format!("tc{}", class.value())
+                };
+                let budget = if best_effort { 0 } else { self.budget_ns };
+                reg.stream(channel, &label, budget)
+            }))
+        }
+
+        /// Snapshot of every stream/datapath recorder (None when
+        /// recording is disabled).
+        pub(crate) fn snapshot(&self) -> Option<RegistrySnapshot> {
+            self.registry.as_ref().map(|reg| reg.snapshot())
+        }
+    }
+
+    /// Per-datapath counter handle held by the polling loop.
+    #[derive(Debug)]
+    pub(crate) struct DatapathTel(Option<Arc<DatapathTelemetry>>);
+
+    impl DatapathTel {
+        pub(crate) fn on_tx(&self, n: u64) {
+            if let Some(t) = &self.0 {
+                t.tx_messages.add(n);
+            }
+        }
+
+        pub(crate) fn on_rx(&self, n: u64) {
+            if let Some(t) = &self.0 {
+                t.rx_messages.add(n);
+            }
+        }
+
+        pub(crate) fn on_scheduled(&self, n: u64) {
+            if let Some(t) = &self.0 {
+                t.scheduled.add(n);
+            }
+        }
+    }
+
+    /// Per-stream recorder handle cached in each sink's shared state.
+    #[derive(Debug)]
+    pub(crate) struct SinkTel(Option<Arc<StreamTelemetry>>);
+
+    impl SinkTel {
+        /// A disconnected handle (used by runtime unit tests).
+        #[allow(dead_code)]
+        pub(crate) fn none() -> Self {
+            SinkTel(None)
+        }
+
+        /// Records one consumed message. The breakdown is only
+        /// computed when a recorder is attached.
+        pub(crate) fn observe(&self, meta: &MessageMeta, consumed_ns: u64) {
+            if let Some(t) = &self.0 {
+                let b = LatencyBreakdown::from_meta(meta, consumed_ns);
+                t.observe(&to_sample(&b));
+            }
+        }
+    }
+
+    fn to_sample(b: &LatencyBreakdown) -> BreakdownSample {
+        BreakdownSample {
+            send_ns: b.send_ns,
+            network_ns: b.network_ns,
+            receive_ns: b.receive_ns,
+            processing_ns: b.processing_ns,
+            reassembly_ns: b.reassembly_ns,
+        }
+    }
+}
+
+#[cfg(not(feature = "telemetry"))]
+mod glue {
+    //! No-op stand-ins compiled when the `telemetry` feature is off;
+    //! every method body is empty, so the datapath carries no
+    //! telemetry branches at all.
+
+    use super::TelemetryConfig;
+    use crate::stats::MessageMeta;
+    use insane_tsn::TrafficClass;
+
+    #[derive(Debug)]
+    pub(crate) struct RuntimeTelemetry;
+
+    impl RuntimeTelemetry {
+        pub(crate) fn new(_cfg: &TelemetryConfig) -> Self {
+            RuntimeTelemetry
+        }
+
+        pub(crate) fn datapath(&self, _name: &str) -> DatapathTel {
+            DatapathTel
+        }
+
+        pub(crate) fn stream(&self, _channel: u32, _class: TrafficClass) -> SinkTel {
+            SinkTel
+        }
+    }
+
+    #[derive(Debug)]
+    pub(crate) struct DatapathTel;
+
+    impl DatapathTel {
+        pub(crate) fn on_tx(&self, _n: u64) {}
+        pub(crate) fn on_rx(&self, _n: u64) {}
+        pub(crate) fn on_scheduled(&self, _n: u64) {}
+    }
+
+    #[derive(Debug)]
+    pub(crate) struct SinkTel;
+
+    impl SinkTel {
+        #[allow(dead_code)]
+        pub(crate) fn none() -> Self {
+            SinkTel
+        }
+
+        pub(crate) fn observe(&self, _meta: &MessageMeta, _consumed_ns: u64) {}
+    }
+}
+
+pub(crate) use glue::{DatapathTel, RuntimeTelemetry, SinkTel};
+
+/// The Unix-domain-socket introspection server (feature-gated).
+///
+/// Protocol: one request line per connection; the server answers with
+/// one JSON line and closes. `stats` (or an empty line) returns the
+/// full runtime snapshot; `ping` returns a liveness probe; anything
+/// else gets a JSON error.
+#[cfg(feature = "telemetry")]
+pub(crate) mod introspection {
+    use crate::runtime::RuntimeInner;
+    use crate::InsaneError;
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::path::PathBuf;
+    use std::sync::Weak;
+    use std::time::Duration;
+
+    /// Binds `path` and spawns the accept-loop thread. The thread
+    /// exits when the runtime stops or is dropped, and removes the
+    /// socket file on the way out.
+    pub(crate) fn spawn(
+        weak: Weak<RuntimeInner>,
+        path: PathBuf,
+    ) -> Result<std::thread::JoinHandle<()>, InsaneError> {
+        // A stale socket file from a previous run would make bind fail.
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path).map_err(|e| {
+            InsaneError::Internal(format!(
+                "introspection endpoint bind on {} failed: {e}",
+                path.display()
+            ))
+        })?;
+        listener.set_nonblocking(true).map_err(|e| {
+            InsaneError::Internal(format!("introspection endpoint configuration failed: {e}"))
+        })?;
+        std::thread::Builder::new()
+            .name("insane-introspect".to_string())
+            .spawn(move || accept_loop(weak, listener, path))
+            .map_err(|e| {
+                InsaneError::Internal(format!("failed to spawn introspection thread: {e}"))
+            })
+    }
+
+    fn accept_loop(weak: Weak<RuntimeInner>, listener: UnixListener, path: PathBuf) {
+        loop {
+            let Some(inner) = weak.upgrade() else { break };
+            if inner.is_stopped() {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => serve_one(&inner, stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    drop(inner);
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => {
+                    drop(inner);
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    fn serve_one(inner: &RuntimeInner, stream: UnixStream) {
+        // The accepted stream inherits non-blocking from the listener;
+        // switch to blocking reads with a timeout so a slow client
+        // cannot wedge the endpoint.
+        if stream.set_nonblocking(false).is_err() {
+            return;
+        }
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        if reader.read_line(&mut line).is_err() {
+            return;
+        }
+        let response = match line.trim() {
+            "" | "stats" => inner.introspection_json(),
+            "ping" => "{\"ok\":true}".to_string(),
+            other => insane_telemetry::Value::object([(
+                "error",
+                insane_telemetry::Value::from(format!("unknown request {other:?}")),
+            )])
+            .to_string(),
+        };
+        let mut stream = reader.into_inner();
+        let _ = stream.write_all(response.as_bytes());
+        let _ = stream.write_all(b"\n");
+        let _ = stream.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_builders() {
+        let cfg = TelemetryConfig::default()
+            .with_sample_every(8)
+            .with_latency_budget(Duration::from_micros(150));
+        assert!(cfg.enabled);
+        assert_eq!(cfg.sample_every, 8);
+        assert_eq!(cfg.latency_budget_ns, 150_000);
+        assert!(!TelemetryConfig::disabled().enabled);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn disabled_config_creates_no_recorders() {
+        let tel = RuntimeTelemetry::new(&TelemetryConfig::disabled());
+        assert!(tel.snapshot().is_none());
+        // Handles from a disabled root are inert but callable.
+        let dp = tel.datapath("kernel-udp");
+        dp.on_tx(1);
+        dp.on_rx(1);
+        dp.on_scheduled(1);
+        let sink = tel.stream(1, insane_tsn::TrafficClass::BEST_EFFORT);
+        sink.observe(
+            &crate::stats::MessageMeta {
+                channel: 1,
+                seq: 0,
+                src_runtime: 0,
+                frag: (0, 1, 0),
+                emit_ns: 0,
+                wire_start_ns: 0,
+                wire_ns: 0,
+                dispatched_ns: 0,
+            },
+            0,
+        );
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn budget_applies_to_time_sensitive_streams_only() {
+        let cfg = TelemetryConfig::default().with_latency_budget(Duration::from_nanos(100));
+        let tel = RuntimeTelemetry::new(&cfg);
+        let meta = crate::stats::MessageMeta {
+            channel: 0,
+            seq: 0,
+            src_runtime: 0,
+            frag: (0, 1, 0),
+            emit_ns: 0,
+            wire_start_ns: 100,
+            wire_ns: 100,
+            dispatched_ns: 250,
+            // total one-way latency vs consume at 300: 300 ns > 100 ns
+        };
+        let be = tel.stream(1, insane_tsn::TrafficClass::BEST_EFFORT);
+        be.observe(&meta, 300);
+        let tc = tel.stream(2, insane_tsn::TrafficClass::TIME_CRITICAL);
+        tc.observe(&meta, 300);
+        let snap = tel.snapshot().expect("enabled registry");
+        let find = |ch: u32| {
+            snap.streams
+                .iter()
+                .find(|s| s.channel == ch)
+                .expect("stream present")
+        };
+        assert_eq!(find(1).budget_violations, 0, "best effort has no budget");
+        assert_eq!(find(2).budget_violations, 1);
+        assert_eq!(find(2).class, "tc7");
+        assert_eq!(find(1).class, "best-effort");
+    }
+}

@@ -560,3 +560,165 @@ fn stats_track_message_flow() {
     assert_eq!(rt_b.stats().rx_messages, 10);
     assert!(rt_a.stats().control_messages > 0, "peering traffic counted");
 }
+
+#[cfg(feature = "telemetry")]
+#[test]
+fn telemetry_records_streams_datapaths_and_budget_violations() {
+    use insane_core::TelemetryConfig;
+    let fabric = Fabric::new(TestbedProfile::local());
+    let host_a = fabric.add_host("a");
+    let host_b = fabric.add_host("b");
+    let techs = [Technology::KernelUdp, Technology::Dpdk];
+    // A 1 ns budget every real message violates: the violation counter
+    // must track the consumed count on the time-sensitive stream.
+    let telemetry = TelemetryConfig::default().with_latency_budget(Duration::from_nanos(1));
+    let rt_a = Runtime::start(
+        manual_config(1)
+            .with_technologies(&techs)
+            .with_telemetry(telemetry),
+        &fabric,
+        host_a,
+    )
+    .unwrap();
+    let rt_b = Runtime::start(
+        manual_config(2)
+            .with_technologies(&techs)
+            .with_telemetry(telemetry),
+        &fabric,
+        host_b,
+    )
+    .unwrap();
+    rt_a.add_peer(host_b).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 10_000);
+
+    let session_a = Session::connect(&rt_a).unwrap();
+    let session_b = Session::connect(&rt_b).unwrap();
+    let qos = QosPolicy {
+        time_sensitivity: TimeSensitivity::TimeSensitive {
+            class: insane_tsn::TrafficClass::new(6).unwrap(),
+        },
+        ..QosPolicy::fast()
+    };
+    let stream_a = session_a.create_stream(qos).unwrap();
+    let stream_b = session_b.create_stream(qos).unwrap();
+    let sink = stream_b.create_sink(ChannelId(42)).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 10_000);
+    let source = stream_a.create_source(ChannelId(42)).unwrap();
+    for _ in 0..5 {
+        let mut buf = source.get_buffer(4).unwrap();
+        buf.copy_from_slice(b"obsv");
+        source.emit(buf).unwrap();
+        drive_consume(&[&rt_a, &rt_b], &sink);
+    }
+
+    let json = rt_b.telemetry_json();
+    let doc = insane_telemetry::Value::parse(&json).expect("snapshot is valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some(insane_telemetry::SNAPSHOT_SCHEMA)
+    );
+    let streams = doc.get("streams").and_then(|v| v.as_array()).unwrap();
+    let stream = streams
+        .iter()
+        .find(|s| s.get("channel").and_then(|c| c.as_u64()) == Some(42))
+        .expect("channel 42 recorded");
+    assert_eq!(stream.get("class").and_then(|v| v.as_str()), Some("tc6"));
+    assert_eq!(stream.get("consumed").and_then(|v| v.as_u64()), Some(5));
+    assert_eq!(
+        stream.get("budget_violations").and_then(|v| v.as_u64()),
+        Some(5),
+        "every message beats a 1 ns budget"
+    );
+    let total = stream.get("total").unwrap();
+    assert_eq!(total.get("count").and_then(|v| v.as_u64()), Some(5));
+    assert!(total.get("p50_ns").and_then(|v| v.as_u64()).unwrap() > 0);
+    assert!(total.get("p99_ns").and_then(|v| v.as_u64()).unwrap() > 0);
+
+    // Per-datapath counters: rt_a transmitted over DPDK, rt_b received.
+    let tx_doc = insane_telemetry::Value::parse(&rt_a.telemetry_json()).unwrap();
+    let dp = |doc: &insane_telemetry::Value, name: &str, key: &str| -> u64 {
+        doc.get("datapaths")
+            .and_then(|v| v.as_array())
+            .and_then(|dps| {
+                dps.iter()
+                    .find(|d| d.get("technology").and_then(|t| t.as_str()) == Some(name))
+                    .and_then(|d| d.get(key))
+                    .and_then(|v| v.as_u64())
+            })
+            .unwrap_or(0)
+    };
+    assert_eq!(dp(&tx_doc, "dpdk", "tx_messages"), 5);
+    assert_eq!(dp(&tx_doc, "dpdk", "scheduled"), 5);
+    assert_eq!(dp(&doc, "dpdk", "rx_messages"), 5);
+    // Pools and counters ride along.
+    assert!(doc.get("pools").and_then(|v| v.as_array()).unwrap().len() >= 2);
+    assert!(
+        doc.get("counters")
+            .and_then(|c| c.get("rx_messages"))
+            .and_then(|v| v.as_u64())
+            .unwrap()
+            >= 5
+    );
+}
+
+#[cfg(feature = "telemetry")]
+#[test]
+fn introspection_endpoint_serves_stats_over_unix_socket() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+
+    let fabric = Fabric::new(TestbedProfile::local());
+    let host = fabric.add_host("solo");
+    let rt = Runtime::start(RuntimeConfig::new(1), &fabric, host).unwrap();
+    let session = Session::connect(&rt).unwrap();
+    let stream = session.create_stream(QosPolicy::default()).unwrap();
+    let source = stream.create_source(ChannelId(9)).unwrap();
+    let sink = stream.create_sink(ChannelId(9)).unwrap();
+    let mut buf = source.get_buffer(2).unwrap();
+    buf.copy_from_slice(b"ok");
+    source.emit(buf).unwrap();
+    let msg = sink.consume(ConsumeMode::Blocking).unwrap();
+    drop(msg);
+
+    let path = std::env::temp_dir().join(format!("insane-introspect-{}.sock", std::process::id()));
+    rt.serve_introspection(&*path).unwrap();
+
+    let query = |line: &str| -> String {
+        // The accept loop polls every few ms; retry briefly.
+        for _ in 0..500 {
+            if let Ok(mut conn) = UnixStream::connect(&path) {
+                conn.write_all(line.as_bytes()).unwrap();
+                conn.write_all(b"\n").unwrap();
+                let mut reader = BufReader::new(conn);
+                let mut response = String::new();
+                reader.read_line(&mut response).unwrap();
+                return response;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        panic!("introspection endpoint never came up at {}", path.display());
+    };
+
+    let pong = query("ping");
+    assert!(pong.contains("\"ok\":true"), "ping response: {pong}");
+
+    let stats = query("stats");
+    let doc = insane_telemetry::Value::parse(stats.trim()).expect("stats response parses");
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some(insane_telemetry::SNAPSHOT_SCHEMA)
+    );
+    let streams = doc.get("streams").and_then(|v| v.as_array()).unwrap();
+    assert!(
+        streams
+            .iter()
+            .any(|s| s.get("channel").and_then(|c| c.as_u64()) == Some(9)),
+        "locally consumed stream shows up in the endpoint snapshot"
+    );
+
+    rt.shutdown();
+    assert!(
+        !path.exists(),
+        "socket file is removed when the runtime stops"
+    );
+}

@@ -9,6 +9,7 @@
 //! reports per-frame latency (fragmentation → reassembly), the metric of
 //! Fig. 11b; frame throughput gives the FPS of Fig. 11a.
 
+use insane_core::stats::LatencyBreakdown;
 use insane_core::{
     ChannelId, ConsumeMode, InsaneError, QosPolicy, Runtime, Session, Sink, Source, Stream,
 };
@@ -177,6 +178,14 @@ pub struct ReceivedFrame {
     /// End-to-end latency: first fragment's emit to reassembly
     /// completion (Fig. 11b's metric), nanoseconds.
     pub latency_ns: u64,
+    /// Latency breakdown of the whole frame: the completing fragment's
+    /// pipeline components, with the wait for sibling fragments
+    /// attributed to `reassembly_ns`, so `breakdown.total_ns()` equals
+    /// [`ReceivedFrame::latency_ns`].  (The reassembly wait used to be
+    /// dropped on the floor — per-fragment breakdowns only covered
+    /// their own trip, so per-frame totals under-reported the measured
+    /// frame latency.)
+    pub breakdown: LatencyBreakdown,
 }
 
 /// A streaming client bound to one channel (`lnr_s_connect`).
@@ -187,7 +196,7 @@ pub struct LunarStreamClient {
     sink: Sink,
     reassembler: Reassembler,
     /// Earliest emit timestamp seen per in-flight frame.
-    emit_ns: std::collections::HashMap<u64, u64>,
+    first_emit: std::collections::HashMap<u64, u64>,
 }
 
 impl LunarStreamClient {
@@ -209,7 +218,7 @@ impl LunarStreamClient {
             _stream: stream,
             sink,
             reassembler: Reassembler::new(16),
-            emit_ns: std::collections::HashMap::new(),
+            first_emit: std::collections::HashMap::new(),
         })
     }
 
@@ -234,7 +243,8 @@ impl LunarStreamClient {
                 channel: meta.channel,
                 seq: meta.seq,
             };
-            let entry = self.emit_ns.entry(meta.seq).or_insert(meta.emit_ns);
+            let frag_breakdown = msg.breakdown();
+            let entry = self.first_emit.entry(meta.seq).or_insert(meta.emit_ns);
             *entry = (*entry).min(meta.emit_ns);
             // Every fragment but the last carries the same length, so its
             // index and length locate it; the last sits at the tail.
@@ -248,11 +258,20 @@ impl LunarStreamClient {
                 .offer(key, index, count, total_len as usize, offset, &msg)
                 .map_err(|_| LunarError::BadFragment)?;
             if let Some(data) = complete {
-                let emit = self.emit_ns.remove(&meta.seq).unwrap_or(meta.emit_ns);
+                let emit = self.first_emit.remove(&meta.seq).unwrap_or(meta.emit_ns);
+                let completed_ns = insane_core::timestamp_ns();
+                // The completing fragment's pipeline components, with
+                // the wait for sibling fragments (first emit → this
+                // fragment's trip) attributed as the reassembly
+                // residue, so the breakdown total equals the measured
+                // frame latency.
+                let mut breakdown = frag_breakdown;
+                breakdown.attribute_reassembly(emit, completed_ns);
                 done.push(ReceivedFrame {
                     data,
                     frame_id: meta.seq,
-                    latency_ns: insane_core::timestamp_ns().saturating_sub(emit),
+                    latency_ns: completed_ns.saturating_sub(emit),
+                    breakdown,
                 });
             }
         }

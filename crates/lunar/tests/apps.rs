@@ -208,6 +208,52 @@ fn streaming_large_frame_fragments_and_reassembles() {
 }
 
 #[test]
+fn streaming_breakdown_attributes_reassembly_to_the_parent_frame() {
+    // Regression: per-fragment breakdowns only covered their own trip,
+    // so for fragmented frames the wait for sibling fragments was in no
+    // component and the per-frame total under-reported the measured
+    // frame latency.  Now the frame breakdown carries the completing
+    // fragment's pipeline components plus a reassembly residue, and its
+    // total equals the whole first-emit → reassembly-complete window.
+    let frame: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
+    let got = stream_frames(
+        &[Technology::KernelUdp, Technology::Dpdk],
+        QosPolicy::fast(),
+        vec![frame.clone()],
+    );
+    assert_eq!(got.len(), 1);
+    let b = &got[0].breakdown;
+    assert!(
+        b.send_ns + b.network_ns + b.receive_ns + b.processing_ns > 0,
+        "pipeline components must be carried over from the fragments: {b:?}"
+    );
+    assert!(
+        b.reassembly_ns > 0,
+        "a multi-fragment frame waits on its slower siblings: {b:?}"
+    );
+    assert_eq!(
+        b.total_ns(),
+        got[0].latency_ns,
+        "the reassembly residue must close the breakdown total to the \
+         measured frame latency: {b:?}"
+    );
+    assert!(got[0].latency_ns > 0);
+}
+
+#[test]
+fn streaming_single_fragment_frame_breakdown_still_closes() {
+    let got = stream_frames(
+        &[Technology::KernelUdp, Technology::Dpdk],
+        QosPolicy::fast(),
+        vec![vec![3u8; 500]],
+    );
+    assert_eq!(got.len(), 1);
+    let b = &got[0].breakdown;
+    assert_eq!(b.total_ns(), got[0].latency_ns);
+    assert!(b.send_ns + b.network_ns + b.receive_ns + b.processing_ns > 0);
+}
+
+#[test]
 fn streaming_multiple_frames_in_order_ids() {
     let frames: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i; 40_000]).collect();
     let got = stream_frames(

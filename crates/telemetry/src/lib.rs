@@ -1,0 +1,50 @@
+//! # insane-telemetry
+//!
+//! Low-overhead observability for the INSANE runtime.
+//!
+//! The paper's evaluation (§5, Figs. 5–9) is entirely latency and
+//! throughput measurement, so observability is a first-class runtime
+//! subsystem here rather than a bench-only afterthought:
+//!
+//! * [`recorder`] — lock-free scalar recorders (counters, gauges) and
+//!   the deterministic 1-in-N [`recorder::Sampler`] that keeps the
+//!   record path branch-cheap.
+//! * [`hist`] — log-bucketed HDR-style latency histograms with
+//!   p50/p90/p99/p99.9 extraction, sharded per thread so concurrent
+//!   polling threads never contend.
+//! * [`registry`] — the per-runtime tree of per-stream and
+//!   per-datapath recorder bundles, snapshotted into plain data.
+//! * [`json`] — a dependency-free JSON writer/parser used by the
+//!   introspection endpoint, `insanectl`, and the BENCH exporters.
+//! * [`schema`] — validators for the BENCH export documents, shared by
+//!   the producer (`crates/bench`) and consumers (`insanectl`, CI).
+//!
+//! Everything on the record path is a handful of relaxed atomic
+//! operations: no locks, no heap allocation, no syscalls. Locks exist
+//! only at registration and snapshot time. The crate is panic-free
+//! (checked by `insane-lint`) and contains no `unsafe`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod json;
+pub mod recorder;
+pub mod registry;
+pub mod schema;
+
+pub use hist::{HistogramSnapshot, LogHistogram, ShardedHistogram, Summary};
+pub use json::Value;
+pub use recorder::{Counter, Gauge, Sampler};
+pub use registry::{
+    BreakdownSample, DatapathSnapshot, DatapathTelemetry, Registry, RegistrySnapshot,
+    StreamSnapshot, StreamTelemetry,
+};
+pub use schema::{validate_bench_latency, validate_bench_throughput, SchemaError};
+
+/// Schema identifier served by the runtime introspection endpoint.
+pub const SNAPSHOT_SCHEMA: &str = "insane-telemetry-v1";
+/// Schema identifier of `BENCH_latency.json`.
+pub const BENCH_LATENCY_SCHEMA: &str = "insane-bench-latency-v1";
+/// Schema identifier of `BENCH_throughput.json`.
+pub const BENCH_THROUGHPUT_SCHEMA: &str = "insane-bench-throughput-v1";

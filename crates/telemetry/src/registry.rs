@@ -1,0 +1,490 @@
+//! The telemetry registry: owns every per-stream and per-datapath
+//! recorder bundle and turns them into plain-data snapshots.
+//!
+//! The registry lock is only taken when a stream/datapath is
+//! registered or a snapshot is requested — never on the record path.
+//! Hot-path callers hold an `Arc` to their own [`StreamTelemetry`] /
+//! [`DatapathTelemetry`] and record through lock-free atomics.
+
+use crate::hist::{ShardedHistogram, Summary};
+use crate::json::Value;
+use crate::recorder::{Counter, Sampler};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// One latency observation, broken into the Fig. 6 pipeline components
+/// plus the fragment-reassembly wait introduced by this crate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BreakdownSample {
+    /// Emit → wire (sender-side middleware + datapath TX).
+    pub send_ns: u64,
+    /// Time on the wire.
+    pub network_ns: u64,
+    /// Wire end → sink queue (receiver-side RX + dispatch).
+    pub receive_ns: u64,
+    /// Sink queue → consume (application-side delay).
+    pub processing_ns: u64,
+    /// Extra wait for sibling fragments during reassembly.
+    pub reassembly_ns: u64,
+}
+
+impl BreakdownSample {
+    /// Total one-way latency of the observation.
+    pub fn total_ns(&self) -> u64 {
+        self.send_ns
+            .saturating_add(self.network_ns)
+            .saturating_add(self.receive_ns)
+            .saturating_add(self.processing_ns)
+            .saturating_add(self.reassembly_ns)
+    }
+}
+
+/// Recorder bundle for one stream (keyed by channel).
+#[derive(Debug)]
+pub struct StreamTelemetry {
+    channel: u32,
+    class: String,
+    budget_ns: AtomicU64,
+    sampler: Sampler,
+    /// Messages consumed on this stream (counted even when sampled out).
+    pub consumed: Counter,
+    /// Observations actually recorded into the histograms.
+    pub sampled: Counter,
+    /// Consumed messages whose total latency exceeded the QoS budget.
+    pub budget_violations: Counter,
+    total: ShardedHistogram,
+    send: ShardedHistogram,
+    network: ShardedHistogram,
+    receive: ShardedHistogram,
+    processing: ShardedHistogram,
+    reassembly: ShardedHistogram,
+}
+
+impl StreamTelemetry {
+    fn new(channel: u32, class: &str, budget_ns: u64, sample_every: u64) -> Self {
+        Self {
+            channel,
+            class: class.to_string(),
+            budget_ns: AtomicU64::new(budget_ns),
+            sampler: Sampler::every(sample_every),
+            consumed: Counter::new(),
+            sampled: Counter::new(),
+            budget_violations: Counter::new(),
+            total: ShardedHistogram::new(),
+            send: ShardedHistogram::new(),
+            network: ShardedHistogram::new(),
+            receive: ShardedHistogram::new(),
+            processing: ShardedHistogram::new(),
+            reassembly: ShardedHistogram::new(),
+        }
+    }
+
+    /// Channel this stream records for.
+    pub fn channel(&self) -> u32 {
+        self.channel
+    }
+
+    /// Traffic-class label (`best-effort`, `tc5`, …).
+    pub fn class(&self) -> &str {
+        &self.class
+    }
+
+    /// Latency budget; 0 means no budget is enforced.
+    pub fn budget_ns(&self) -> u64 {
+        self.budget_ns.load(Ordering::Relaxed)
+    }
+
+    /// Records one consumed-message latency breakdown.
+    ///
+    /// The consume counter and budget check run on every call; the
+    /// histograms only absorb every `sample_every`-th observation, so
+    /// the common case is two relaxed `fetch_add`s and a compare.
+    pub fn observe(&self, sample: &BreakdownSample) {
+        self.consumed.incr();
+        let total = sample.total_ns();
+        let budget = self.budget_ns.load(Ordering::Relaxed);
+        if budget > 0 && total > budget {
+            self.budget_violations.incr();
+        }
+        if !self.sampler.hit() {
+            return;
+        }
+        self.sampled.incr();
+        self.total.record(total);
+        self.send.record(sample.send_ns);
+        self.network.record(sample.network_ns);
+        self.receive.record(sample.receive_ns);
+        self.processing.record(sample.processing_ns);
+        self.reassembly.record(sample.reassembly_ns);
+    }
+
+    /// Plain-data snapshot of this stream's recorders.
+    pub fn snapshot(&self) -> StreamSnapshot {
+        StreamSnapshot {
+            channel: self.channel,
+            class: self.class.clone(),
+            budget_ns: self.budget_ns(),
+            consumed: self.consumed.get(),
+            sampled: self.sampled.get(),
+            budget_violations: self.budget_violations.get(),
+            total: self.total.snapshot().summary(),
+            send: self.send.snapshot().summary(),
+            network: self.network.snapshot().summary(),
+            receive: self.receive.snapshot().summary(),
+            processing: self.processing.snapshot().summary(),
+            reassembly: self.reassembly.snapshot().summary(),
+        }
+    }
+}
+
+/// Recorder bundle for one datapath plugin.
+#[derive(Debug)]
+pub struct DatapathTelemetry {
+    name: String,
+    /// Messages put on the wire by this datapath.
+    pub tx_messages: Counter,
+    /// Messages received from this datapath.
+    pub rx_messages: Counter,
+    /// Messages enqueued into this datapath's packet scheduler.
+    pub scheduled: Counter,
+}
+
+impl DatapathTelemetry {
+    fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            tx_messages: Counter::new(),
+            rx_messages: Counter::new(),
+            scheduled: Counter::new(),
+        }
+    }
+
+    /// Technology label of the datapath (`kernel-udp`, `dpdk`, …).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Plain-data snapshot of this datapath's counters.
+    pub fn snapshot(&self) -> DatapathSnapshot {
+        DatapathSnapshot {
+            name: self.name.clone(),
+            tx_messages: self.tx_messages.get(),
+            rx_messages: self.rx_messages.get(),
+            scheduled: self.scheduled.get(),
+        }
+    }
+}
+
+/// Root of the telemetry tree for one runtime.
+#[derive(Debug)]
+pub struct Registry {
+    enabled: AtomicBool,
+    sample_every: AtomicU64,
+    streams: RwLock<Vec<Arc<StreamTelemetry>>>,
+    datapaths: RwLock<Vec<Arc<DatapathTelemetry>>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl Registry {
+    /// Creates an enabled registry sampling every `sample_every`-th
+    /// observation into histograms (1 = everything, 0 = nothing).
+    pub fn new(sample_every: u64) -> Self {
+        Self {
+            enabled: AtomicBool::new(true),
+            sample_every: AtomicU64::new(sample_every),
+            streams: RwLock::new(Vec::new()),
+            datapaths: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Whether recording is enabled. Hot paths check this single
+    /// relaxed load before touching any recorder.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off at runtime.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Currently configured histogram sampling period.
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every.load(Ordering::Relaxed)
+    }
+
+    /// Re-configures the sampling period for existing and future
+    /// streams.
+    pub fn set_sample_every(&self, period: u64) {
+        self.sample_every.store(period, Ordering::Relaxed);
+        if let Ok(streams) = self.streams.read() {
+            for s in streams.iter() {
+                s.sampler.set_period(period);
+            }
+        }
+    }
+
+    /// Returns the recorder bundle for `channel`, creating it on first
+    /// use. Callers cache the returned `Arc`; this lock is never taken
+    /// per message.
+    pub fn stream(&self, channel: u32, class: &str, budget_ns: u64) -> Arc<StreamTelemetry> {
+        if let Ok(streams) = self.streams.read() {
+            if let Some(s) = streams.iter().find(|s| s.channel == channel) {
+                return Arc::clone(s);
+            }
+        }
+        let mut streams = match self.streams.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(s) = streams.iter().find(|s| s.channel == channel) {
+            return Arc::clone(s);
+        }
+        let s = Arc::new(StreamTelemetry::new(
+            channel,
+            class,
+            budget_ns,
+            self.sample_every(),
+        ));
+        streams.push(Arc::clone(&s));
+        s
+    }
+
+    /// Registers a datapath recorder bundle (one per plugin, at
+    /// runtime start).
+    pub fn register_datapath(&self, name: &str) -> Arc<DatapathTelemetry> {
+        let d = Arc::new(DatapathTelemetry::new(name));
+        let mut datapaths = match self.datapaths.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        datapaths.push(Arc::clone(&d));
+        d
+    }
+
+    /// Snapshots every stream and datapath into plain data.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let streams = match self.streams.read() {
+            Ok(g) => g.iter().map(|s| s.snapshot()).collect(),
+            Err(_) => Vec::new(),
+        };
+        let datapaths = match self.datapaths.read() {
+            Ok(g) => g.iter().map(|d| d.snapshot()).collect(),
+            Err(_) => Vec::new(),
+        };
+        RegistrySnapshot {
+            enabled: self.is_enabled(),
+            sample_every: self.sample_every(),
+            streams,
+            datapaths,
+        }
+    }
+}
+
+/// Plain-data snapshot of a whole [`Registry`].
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    /// Whether recording was enabled at snapshot time.
+    pub enabled: bool,
+    /// Histogram sampling period.
+    pub sample_every: u64,
+    /// Per-stream recorder snapshots.
+    pub streams: Vec<StreamSnapshot>,
+    /// Per-datapath recorder snapshots.
+    pub datapaths: Vec<DatapathSnapshot>,
+}
+
+/// Plain-data snapshot of one stream's recorders.
+#[derive(Debug, Clone, Default)]
+pub struct StreamSnapshot {
+    /// Channel id.
+    pub channel: u32,
+    /// Traffic-class label.
+    pub class: String,
+    /// Latency budget (0 = none).
+    pub budget_ns: u64,
+    /// Messages consumed.
+    pub consumed: u64,
+    /// Observations recorded into histograms.
+    pub sampled: u64,
+    /// Budget violations.
+    pub budget_violations: u64,
+    /// End-to-end latency summary.
+    pub total: Summary,
+    /// Send-component summary.
+    pub send: Summary,
+    /// Network-component summary.
+    pub network: Summary,
+    /// Receive-component summary.
+    pub receive: Summary,
+    /// Processing-component summary.
+    pub processing: Summary,
+    /// Reassembly-component summary.
+    pub reassembly: Summary,
+}
+
+/// Plain-data snapshot of one datapath's counters.
+#[derive(Debug, Clone, Default)]
+pub struct DatapathSnapshot {
+    /// Technology label.
+    pub name: String,
+    /// Messages put on the wire.
+    pub tx_messages: u64,
+    /// Messages received.
+    pub rx_messages: u64,
+    /// Messages enqueued into the packet scheduler.
+    pub scheduled: u64,
+}
+
+fn summary_json(s: &Summary) -> Value {
+    Value::object([
+        ("count", Value::from(s.count)),
+        ("p50_ns", Value::from(s.p50_ns)),
+        ("p90_ns", Value::from(s.p90_ns)),
+        ("p99_ns", Value::from(s.p99_ns)),
+        ("p999_ns", Value::from(s.p999_ns)),
+        ("mean_ns", Value::from(s.mean_ns)),
+        ("max_ns", Value::from(s.max_ns)),
+    ])
+}
+
+impl StreamSnapshot {
+    /// JSON form, as served by the introspection endpoint.
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("channel", Value::from(u64::from(self.channel))),
+            ("class", Value::from(self.class.as_str())),
+            ("budget_ns", Value::from(self.budget_ns)),
+            ("consumed", Value::from(self.consumed)),
+            ("sampled", Value::from(self.sampled)),
+            ("budget_violations", Value::from(self.budget_violations)),
+            ("total", summary_json(&self.total)),
+            ("send", summary_json(&self.send)),
+            ("network", summary_json(&self.network)),
+            ("receive", summary_json(&self.receive)),
+            ("processing", summary_json(&self.processing)),
+            ("reassembly", summary_json(&self.reassembly)),
+        ])
+    }
+}
+
+impl DatapathSnapshot {
+    /// JSON form, as served by the introspection endpoint.
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("technology", Value::from(self.name.as_str())),
+            ("tx_messages", Value::from(self.tx_messages)),
+            ("rx_messages", Value::from(self.rx_messages)),
+            ("scheduled", Value::from(self.scheduled)),
+        ])
+    }
+}
+
+impl RegistrySnapshot {
+    /// JSON form, as served by the introspection endpoint.
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("enabled", Value::Bool(self.enabled)),
+            ("sample_every", Value::from(self.sample_every)),
+            (
+                "streams",
+                Value::Array(self.streams.iter().map(StreamSnapshot::to_json).collect()),
+            ),
+            (
+                "datapaths",
+                Value::Array(
+                    self.datapaths
+                        .iter()
+                        .map(DatapathSnapshot::to_json)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_registry_is_get_or_create() {
+        let reg = Registry::new(1);
+        let a = reg.stream(7, "best-effort", 0);
+        let b = reg.stream(7, "ignored-on-second-call", 123);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(b.class(), "best-effort");
+        assert_eq!(reg.snapshot().streams.len(), 1);
+    }
+
+    #[test]
+    fn observe_records_breakdown_and_violations() {
+        let reg = Registry::new(1);
+        let s = reg.stream(1, "tc6", 1_000);
+        s.observe(&BreakdownSample {
+            send_ns: 100,
+            network_ns: 200,
+            receive_ns: 50,
+            processing_ns: 25,
+            reassembly_ns: 0,
+        });
+        s.observe(&BreakdownSample {
+            send_ns: 900,
+            network_ns: 900,
+            ..Default::default()
+        });
+        let snap = s.snapshot();
+        assert_eq!(snap.consumed, 2);
+        assert_eq!(snap.sampled, 2);
+        assert_eq!(snap.budget_violations, 1);
+        assert_eq!(snap.total.count, 2);
+        assert_eq!(snap.total.max_ns, 1_800);
+    }
+
+    #[test]
+    fn sampling_thins_histograms_but_not_counters() {
+        let reg = Registry::new(10);
+        let s = reg.stream(2, "best-effort", 0);
+        for _ in 0..100 {
+            s.observe(&BreakdownSample {
+                send_ns: 10,
+                ..Default::default()
+            });
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.consumed, 100);
+        assert_eq!(snap.sampled, 10);
+        assert_eq!(snap.total.count, 10);
+    }
+
+    #[test]
+    fn datapath_counters_snapshot() {
+        let reg = Registry::new(1);
+        let d = reg.register_datapath("kernel-udp");
+        d.tx_messages.add(3);
+        d.rx_messages.incr();
+        d.scheduled.add(4);
+        let snap = reg.snapshot();
+        assert_eq!(snap.datapaths.len(), 1);
+        assert_eq!(snap.datapaths[0].name, "kernel-udp");
+        assert_eq!(snap.datapaths[0].tx_messages, 3);
+        assert_eq!(snap.datapaths[0].rx_messages, 1);
+        assert_eq!(snap.datapaths[0].scheduled, 4);
+    }
+
+    #[test]
+    fn registry_snapshot_serializes() {
+        let reg = Registry::new(1);
+        reg.stream(9, "tc7", 500);
+        reg.register_datapath("dpdk");
+        let json = reg.snapshot().to_json().to_string();
+        assert!(json.contains("\"channel\":9"));
+        assert!(json.contains("\"technology\":\"dpdk\""));
+        assert!(json.contains("\"p999_ns\""));
+    }
+}

@@ -1,0 +1,242 @@
+//! Schema validation for the BENCH export documents.
+//!
+//! `crates/bench` writes `BENCH_latency.json` / `BENCH_throughput.json`
+//! and `insanectl check-bench` (plus the CI bench-smoke job) re-reads
+//! them; both sides share these validators so the producer and the
+//! consumer cannot drift apart.
+
+use crate::json::Value;
+use crate::{BENCH_LATENCY_SCHEMA, BENCH_THROUGHPUT_SCHEMA};
+
+/// Why a BENCH document failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaError {
+    what: String,
+}
+
+impl SchemaError {
+    fn new(what: impl Into<String>) -> Self {
+        Self { what: what.into() }
+    }
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.what)
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+fn expect_schema(doc: &Value, want: &str) -> Result<(), SchemaError> {
+    match doc.get("schema").and_then(Value::as_str) {
+        Some(got) if got == want => Ok(()),
+        Some(got) => Err(SchemaError::new(format!(
+            "schema mismatch: expected {want:?}, found {got:?}"
+        ))),
+        None => Err(SchemaError::new("missing string key \"schema\"")),
+    }
+}
+
+fn entries(doc: &Value) -> Result<&[Value], SchemaError> {
+    doc.get("entries")
+        .and_then(Value::as_array)
+        .ok_or_else(|| SchemaError::new("missing array key \"entries\""))
+}
+
+fn u64_field(entry: &Value, key: &str, i: usize) -> Result<u64, SchemaError> {
+    entry
+        .get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| SchemaError::new(format!("entry {i}: missing integer key {key:?}")))
+}
+
+fn str_field(entry: &Value, key: &str, i: usize) -> Result<(), SchemaError> {
+    entry
+        .get(key)
+        .and_then(Value::as_str)
+        .map(|_| ())
+        .ok_or_else(|| SchemaError::new(format!("entry {i}: missing string key {key:?}")))
+}
+
+/// Validates a `BENCH_latency.json` document.
+///
+/// Requires the [`BENCH_LATENCY_SCHEMA`] marker and, per entry: string
+/// `system`/`testbed`, integer `payload_bytes`/`samples`, and a
+/// monotone p50 ≤ p90 ≤ p99 ≤ p99.9 ≤ max quantile ladder.
+///
+/// # Errors
+///
+/// Describes the first missing key, type mismatch, or quantile
+/// inversion found.
+pub fn validate_bench_latency(doc: &Value) -> Result<(), SchemaError> {
+    expect_schema(doc, BENCH_LATENCY_SCHEMA)?;
+    for (i, entry) in entries(doc)?.iter().enumerate() {
+        str_field(entry, "system", i)?;
+        str_field(entry, "testbed", i)?;
+        u64_field(entry, "payload_bytes", i)?;
+        let samples = u64_field(entry, "samples", i)?;
+        if samples == 0 {
+            return Err(SchemaError::new(format!("entry {i}: zero samples")));
+        }
+        let p50 = u64_field(entry, "p50_ns", i)?;
+        let p90 = u64_field(entry, "p90_ns", i)?;
+        let p99 = u64_field(entry, "p99_ns", i)?;
+        let p999 = u64_field(entry, "p999_ns", i)?;
+        let max = u64_field(entry, "max_ns", i)?;
+        u64_field(entry, "min_ns", i)?;
+        if entry.get("mean_ns").and_then(Value::as_f64).is_none() {
+            return Err(SchemaError::new(format!(
+                "entry {i}: missing numeric key \"mean_ns\""
+            )));
+        }
+        if !(p50 <= p90 && p90 <= p99 && p99 <= p999 && p999 <= max) {
+            return Err(SchemaError::new(format!(
+                "entry {i}: quantile ladder not monotone \
+                 (p50 {p50} / p90 {p90} / p99 {p99} / p99.9 {p999} / max {max})"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a `BENCH_throughput.json` document.
+///
+/// Requires the [`BENCH_THROUGHPUT_SCHEMA`] marker and, per entry:
+/// string `system`/`testbed`, integer `payload_bytes`/`messages`, and a
+/// finite positive `goodput_gbps`.
+///
+/// # Errors
+///
+/// Describes the first missing key, type mismatch, or non-positive
+/// goodput found.
+pub fn validate_bench_throughput(doc: &Value) -> Result<(), SchemaError> {
+    expect_schema(doc, BENCH_THROUGHPUT_SCHEMA)?;
+    for (i, entry) in entries(doc)?.iter().enumerate() {
+        str_field(entry, "system", i)?;
+        str_field(entry, "testbed", i)?;
+        u64_field(entry, "payload_bytes", i)?;
+        u64_field(entry, "messages", i)?;
+        let gbps = entry
+            .get("goodput_gbps")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| {
+                SchemaError::new(format!("entry {i}: missing numeric key \"goodput_gbps\""))
+            })?;
+        if !gbps.is_finite() || gbps <= 0.0 {
+            return Err(SchemaError::new(format!(
+                "entry {i}: goodput must be finite and positive, got {gbps}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn latency_entry() -> Value {
+        Value::object([
+            ("system", "INSANE fast".into()),
+            ("testbed", "Local".into()),
+            ("payload_bytes", 64u64.into()),
+            ("samples", 300u64.into()),
+            ("p50_ns", 1000u64.into()),
+            ("p90_ns", 1500u64.into()),
+            ("p99_ns", 2000u64.into()),
+            ("p999_ns", 2500u64.into()),
+            ("mean_ns", 1100.5f64.into()),
+            ("min_ns", 900u64.into()),
+            ("max_ns", 3000u64.into()),
+        ])
+    }
+
+    #[test]
+    fn valid_latency_doc_passes() {
+        let doc = Value::object([
+            ("schema", BENCH_LATENCY_SCHEMA.into()),
+            ("factor", 1.0f64.into()),
+            ("entries", Value::Array(vec![latency_entry()])),
+        ]);
+        assert_eq!(validate_bench_latency(&doc), Ok(()));
+    }
+
+    #[test]
+    fn wrong_schema_marker_is_rejected() {
+        let doc = Value::object([
+            ("schema", "something-else".into()),
+            ("entries", Value::Array(vec![])),
+        ]);
+        let err = validate_bench_latency(&doc).unwrap_err();
+        assert!(err.to_string().contains("schema mismatch"), "{err}");
+    }
+
+    #[test]
+    fn quantile_inversion_is_rejected() {
+        let mut entry = latency_entry();
+        if let Value::Object(pairs) = &mut entry {
+            for (k, v) in pairs.iter_mut() {
+                if k == "p90_ns" {
+                    *v = Value::Int(5000); // above p99
+                }
+            }
+        }
+        let doc = Value::object([
+            ("schema", BENCH_LATENCY_SCHEMA.into()),
+            ("entries", Value::Array(vec![entry])),
+        ]);
+        let err = validate_bench_latency(&doc).unwrap_err();
+        assert!(err.to_string().contains("not monotone"), "{err}");
+    }
+
+    #[test]
+    fn valid_throughput_doc_passes() {
+        let doc = Value::object([
+            ("schema", BENCH_THROUGHPUT_SCHEMA.into()),
+            (
+                "entries",
+                Value::Array(vec![Value::object([
+                    ("system", "INSANE fast".into()),
+                    ("testbed", "Local".into()),
+                    ("payload_bytes", 1024u64.into()),
+                    ("messages", 6000u64.into()),
+                    ("goodput_gbps", 12.5f64.into()),
+                ])]),
+            ),
+        ]);
+        assert_eq!(validate_bench_throughput(&doc), Ok(()));
+    }
+
+    #[test]
+    fn non_positive_goodput_is_rejected() {
+        let doc = Value::object([
+            ("schema", BENCH_THROUGHPUT_SCHEMA.into()),
+            (
+                "entries",
+                Value::Array(vec![Value::object([
+                    ("system", "udp".into()),
+                    ("testbed", "Local".into()),
+                    ("payload_bytes", 64u64.into()),
+                    ("messages", 10u64.into()),
+                    ("goodput_gbps", 0.0f64.into()),
+                ])]),
+            ),
+        ]);
+        assert!(validate_bench_throughput(&doc).is_err());
+    }
+
+    #[test]
+    fn missing_entry_key_is_named_in_the_error() {
+        let mut entry = latency_entry();
+        if let Value::Object(pairs) = &mut entry {
+            pairs.retain(|(k, _)| k != "p999_ns");
+        }
+        let doc = Value::object([
+            ("schema", BENCH_LATENCY_SCHEMA.into()),
+            ("entries", Value::Array(vec![entry])),
+        ]);
+        let err = validate_bench_latency(&doc).unwrap_err();
+        assert!(err.to_string().contains("p999_ns"), "{err}");
+    }
+}

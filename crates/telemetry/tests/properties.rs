@@ -1,0 +1,123 @@
+//! Property-based tests for histogram merge and quantile math.
+//!
+//! The satellite requirements: merged quantiles must bracket per-shard
+//! quantiles, and values at the bucket extremes must saturate cleanly
+//! instead of wrapping or panicking.
+
+use insane_telemetry::hist::{HistogramSnapshot, LogHistogram, BUCKETS, SUB_BUCKETS};
+use proptest::prelude::*;
+
+/// Splits values round-robin across `shards` histograms and returns
+/// the per-shard snapshots plus the merged snapshot.
+fn shard_and_merge(values: &[u64], shards: usize) -> (Vec<HistogramSnapshot>, HistogramSnapshot) {
+    let hists: Vec<LogHistogram> = (0..shards).map(|_| LogHistogram::new()).collect();
+    for (i, &v) in values.iter().enumerate() {
+        hists[i % shards].record(v);
+    }
+    let snaps: Vec<HistogramSnapshot> = hists.iter().map(LogHistogram::snapshot).collect();
+    let mut merged = HistogramSnapshot::empty();
+    for s in &snaps {
+        merged.merge(s);
+    }
+    (snaps, merged)
+}
+
+proptest! {
+    /// For every quantile, the merged histogram's estimate lies between
+    /// the smallest and largest per-shard estimates (the defining
+    /// soundness property of shard-merge aggregation).
+    #[test]
+    fn merged_quantiles_bracket_shard_quantiles(
+        values in proptest::collection::vec(0u64..10_000_000_000, 1..400),
+        shards in 1usize..6,
+    ) {
+        let (snaps, merged) = shard_and_merge(&values, shards);
+        let nonempty: Vec<&HistogramSnapshot> =
+            snaps.iter().filter(|s| s.count > 0).collect();
+        prop_assert!(!nonempty.is_empty());
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let per_shard: Vec<u64> = nonempty.iter().map(|s| s.quantile(q)).collect();
+            let lo = per_shard.iter().copied().min().unwrap_or(0);
+            let hi = per_shard.iter().copied().max().unwrap_or(0);
+            let m = merged.quantile(q);
+            prop_assert!(
+                lo <= m && m <= hi,
+                "q={} merged {} outside shard range [{}, {}]", q, m, lo, hi
+            );
+        }
+    }
+
+    /// Merging preserves the exact side-channels: count, sum, and max.
+    #[test]
+    fn merge_preserves_count_sum_max(
+        values in proptest::collection::vec(any::<u64>(), 0..200),
+        shards in 1usize..5,
+    ) {
+        let (_, merged) = shard_and_merge(&values, shards);
+        prop_assert_eq!(merged.count, values.len() as u64);
+        let exact_sum = values.iter().fold(0u64, |a, &v| a.wrapping_add(v));
+        prop_assert_eq!(merged.sum, exact_sum);
+        prop_assert_eq!(merged.max, values.iter().copied().max().unwrap_or(0));
+    }
+
+    /// The quantile estimate stays within one sub-bucket of relative
+    /// error (2^-SUB_BITS) of the exact order statistic.
+    #[test]
+    fn quantile_relative_error_is_bounded(
+        values in proptest::collection::vec(1u64..1_000_000_000_000, 1..300),
+        qs in proptest::collection::vec(0u64..=1000, 1..8),
+    ) {
+        let h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut values = values;
+        values.sort_unstable();
+        let snap = h.snapshot();
+        for q_mille in qs {
+            let q = q_mille as f64 / 1000.0;
+            let mut rank = (q * values.len() as f64).ceil() as usize;
+            if rank == 0 {
+                rank = 1;
+            }
+            let exact = values[rank - 1];
+            let approx = snap.quantile(q);
+            let err = approx.abs_diff(exact) as f64 / exact as f64;
+            prop_assert!(
+                err <= 1.0 / SUB_BUCKETS as f64,
+                "q={}: approx {} vs exact {} (err {})", q, approx, exact, err
+            );
+        }
+    }
+
+    /// Extreme values land in the terminal buckets without wrapping:
+    /// counts are conserved and every quantile stays inside [min, max]
+    /// of the recorded extremes.
+    #[test]
+    fn saturation_at_bucket_extremes(
+        n_min in 1u64..50,
+        n_max in 1u64..50,
+        near_top in proptest::collection::vec((u64::MAX - 1000)..=u64::MAX, 0..20),
+    ) {
+        let h = LogHistogram::new();
+        for _ in 0..n_min {
+            h.record(0);
+        }
+        for _ in 0..n_max {
+            h.record(u64::MAX);
+        }
+        for &v in &near_top {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, n_min + n_max + near_top.len() as u64);
+        prop_assert_eq!(snap.counts[0], n_min);
+        // Everything within 1000 of u64::MAX shares the huge top bucket.
+        prop_assert_eq!(snap.counts[BUCKETS - 1], n_max + near_top.len() as u64);
+        prop_assert_eq!(snap.max, u64::MAX);
+        prop_assert_eq!(snap.quantile(0.0), 0);
+        for q in [0.25, 0.5, 0.75, 1.0] {
+            prop_assert!(snap.quantile(q) <= snap.max);
+        }
+    }
+}

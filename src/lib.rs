@@ -48,8 +48,8 @@ pub use lunar;
 pub use insane_core::{
     clear_warning_hook, set_warning_hook, Acceleration, ChannelId, ConsumeMode, ControlPlaneConfig,
     EmitOutcome, IncomingMessage, InsaneError, MessageBuffer, QosPolicy, ResourceUsage, Runtime,
-    RuntimeConfig, SchedulerChoice, Session, Sink, Source, Stream, Technology, ThreadingMode,
-    TimeSensitivity,
+    RuntimeConfig, SchedulerChoice, Session, Sink, Source, Stream, Technology, TelemetryConfig,
+    ThreadingMode, TimeSensitivity,
 };
 pub use insane_fabric::{Fabric, HostId, TestbedProfile};
 pub use lunar::{LunarMom, LunarStreamClient, LunarStreamServer};

@@ -9,12 +9,14 @@
 //!   comment on the same line or in the contiguous comment block
 //!   immediately above.
 //! * `unsafe-whitelist` — `unsafe` may appear only in the two crates
-//!   whose job it is (`insane-memory`, `insane-queues`); every other
-//!   crate additionally carries `#![forbid(unsafe_code)]`.
-//! * `no-panic-paths` — non-test code in `insane-core`/`insane-fabric`
-//!   must not call `unwrap`/`expect` or invoke `panic!`-family macros:
-//!   the self-healing control plane (DESIGN.md §6.7) relies on errors
-//!   being returned, not thrown.
+//!   whose job it is (`insane-memory`, `insane-queues`) plus the
+//!   telemetry overhead-guard test (counting global allocator); every
+//!   other crate additionally carries `#![forbid(unsafe_code)]`.
+//! * `no-panic-paths` — non-test code in `insane-core`/`insane-fabric`/
+//!   `insane-telemetry`/`insanectl` must not call `unwrap`/`expect` or
+//!   invoke `panic!`-family macros: the self-healing control plane
+//!   (DESIGN.md §6.7) relies on errors being returned, not thrown, and
+//!   the observability layer must never take a runtime down.
 //! * `raw-slot-arithmetic` — slot-index/generation arithmetic belongs in
 //!   `insane-memory` alone: no `SlotToken` literals, no `generation`
 //!   identifiers, no arithmetic on `<token|slot>.index()` elsewhere.
@@ -32,10 +34,23 @@ use std::path::{Path, PathBuf};
 use scan::{find_word, ScannedLine};
 
 /// Path prefixes (repo-relative, `/`-separated) where `unsafe` is legal.
-const UNSAFE_WHITELIST: &[&str] = &["crates/memory/", "crates/queues/"];
+/// `crates/telemetry/tests/` is allowed one `unsafe`: the overhead-guard
+/// test installs a counting `GlobalAlloc` to prove the emit/consume path
+/// adds zero allocations (library code in `crates/telemetry/src/` stays
+/// under `#![forbid(unsafe_code)]`).
+const UNSAFE_WHITELIST: &[&str] = &[
+    "crates/memory/",
+    "crates/queues/",
+    "crates/telemetry/tests/",
+];
 
 /// Crates whose non-test code must be panic-free.
-const NO_PANIC_PREFIXES: &[&str] = &["crates/core/src/", "crates/fabric/src/"];
+const NO_PANIC_PREFIXES: &[&str] = &[
+    "crates/core/src/",
+    "crates/fabric/src/",
+    "crates/telemetry/src/",
+    "tools/insanectl/src/",
+];
 
 /// Files allowed to name OS socket types: the kernel-UDP datapath plugin
 /// and the simulated AF_INET device it is built on.
@@ -500,6 +515,10 @@ fn crate_of(rel: &str) -> &str {
         "insane-core"
     } else if rel.starts_with("crates/fabric/") {
         "insane-fabric"
+    } else if rel.starts_with("crates/telemetry/") {
+        "insane-telemetry"
+    } else if rel.starts_with("tools/insanectl/") {
+        "insanectl"
     } else {
         "workspace"
     }
@@ -558,6 +577,30 @@ mod tests {
     fn panic_macro_in_fabric_is_flagged() {
         let rules = lint("crates/fabric/src/link.rs", "fn f() { panic!(\"boom\") }\n");
         assert_eq!(rules, vec!["no-panic-paths"]);
+    }
+
+    #[test]
+    fn telemetry_and_insanectl_are_panic_free_zones() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert_eq!(
+            lint("crates/telemetry/src/hist.rs", src),
+            vec!["no-panic-paths"]
+        );
+        assert_eq!(
+            lint("tools/insanectl/src/main.rs", src),
+            vec!["no-panic-paths"]
+        );
+    }
+
+    #[test]
+    fn documented_unsafe_in_telemetry_tests_is_allowed() {
+        let src = "// SAFETY: counting allocator defers to System.\nfn f() { unsafe {} }\n";
+        assert!(lint("crates/telemetry/tests/overhead.rs", src).is_empty());
+        // ... but stays forbidden in the telemetry library itself.
+        assert_eq!(
+            lint("crates/telemetry/src/hist.rs", src),
+            vec!["unsafe-whitelist"]
+        );
     }
 
     #[test]

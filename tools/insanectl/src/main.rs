@@ -1,0 +1,271 @@
+//! `insanectl` — live introspection client for the INSANE runtime.
+//!
+//! Talks the one-line protocol of [`Runtime::serve_introspection`]
+//! (a Unix-domain socket; request `stats` or `ping`, one JSON line
+//! back) and validates the BENCH export files the bench harness
+//! writes.  Subcommands:
+//!
+//! * `stats <socket>` — pretty-print the live runtime snapshot:
+//!   per-stream latency quantiles and QoS-budget violations,
+//!   per-datapath counters, pool occupancy, runtime counters.
+//! * `raw <socket>` — dump the snapshot JSON verbatim.
+//! * `ping <socket>` — liveness probe.
+//! * `check-bench <dir>` — validate `BENCH_latency.json` and
+//!   `BENCH_throughput.json` in `dir` against their schemas.
+//!
+//! The crate is a panic-free zone under `insane-lint`: every failure
+//! path reports through [`CtlError`] and a nonzero exit code.
+
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use insane_telemetry::{validate_bench_latency, validate_bench_throughput, Value};
+
+/// Any failure: usage, I/O, JSON, schema, or endpoint-reported.
+#[derive(Debug)]
+struct CtlError(String);
+
+impl std::fmt::Display for CtlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<std::io::Error> for CtlError {
+    fn from(e: std::io::Error) -> Self {
+        CtlError(format!("io: {e}"))
+    }
+}
+
+impl From<insane_telemetry::json::ParseError> for CtlError {
+    fn from(e: insane_telemetry::json::ParseError) -> Self {
+        CtlError(format!("malformed JSON: {e}"))
+    }
+}
+
+const USAGE: &str = "usage: insanectl <stats|raw|ping> <socket-path>\n\
+       insanectl check-bench <dir>";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = dispatch(&args) {
+        eprintln!("insanectl: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), CtlError> {
+    match args {
+        [cmd, path] if cmd == "stats" => stats(Path::new(path)),
+        [cmd, path] if cmd == "raw" => raw(Path::new(path)),
+        [cmd, path] if cmd == "ping" => ping(Path::new(path)),
+        [cmd, dir] if cmd == "check-bench" => check_bench(Path::new(dir)),
+        _ => Err(CtlError(USAGE.to_string())),
+    }
+}
+
+/// One request/response exchange with the introspection endpoint.
+fn query(socket: &Path, request: &str) -> Result<Value, CtlError> {
+    let stream = UnixStream::connect(socket)
+        .map_err(|e| CtlError(format!("connect {}: {e}", socket.display())))?;
+    let mut writer = stream.try_clone()?;
+    writeln!(writer, "{request}")?;
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line)?;
+    let doc = Value::parse(line.trim())?;
+    if let Some(err) = doc.get("error").and_then(Value::as_str) {
+        return Err(CtlError(format!("endpoint: {err}")));
+    }
+    Ok(doc)
+}
+
+fn ping(socket: &Path) -> Result<(), CtlError> {
+    let doc = query(socket, "ping")?;
+    if doc.get("ok").and_then(Value::as_bool) == Some(true) {
+        println!("ok");
+        Ok(())
+    } else {
+        Err(CtlError(format!("unexpected ping response: {doc}")))
+    }
+}
+
+fn raw(socket: &Path) -> Result<(), CtlError> {
+    println!("{}", query(socket, "stats")?);
+    Ok(())
+}
+
+fn u64_of(v: &Value, key: &str) -> u64 {
+    v.get(key).and_then(Value::as_u64).unwrap_or(0)
+}
+
+fn str_of<'a>(v: &'a Value, key: &str) -> &'a str {
+    v.get(key).and_then(Value::as_str).unwrap_or("?")
+}
+
+fn us(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1_000.0)
+}
+
+/// Prints rows as fixed-width columns (headers first).
+fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if let Some(w) = widths.get_mut(i) {
+                *w = (*w).max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:w$}", c, w = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        println!("  {}", padded.join("  "));
+    };
+    line(&headers.iter().map(|h| (*h).to_string()).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+fn stats(socket: &Path) -> Result<(), CtlError> {
+    let doc = query(socket, "stats")?;
+    let schema = str_of(&doc, "schema");
+    if schema != insane_telemetry::SNAPSHOT_SCHEMA {
+        return Err(CtlError(format!(
+            "unexpected snapshot schema {schema:?} (want {:?})",
+            insane_telemetry::SNAPSHOT_SCHEMA
+        )));
+    }
+    let enabled = doc.get("telemetry_enabled").and_then(Value::as_bool) == Some(true);
+    println!(
+        "runtime {} on host {} — telemetry {}",
+        u64_of(&doc, "runtime_id"),
+        u64_of(&doc, "host"),
+        if enabled {
+            format!("enabled (1-in-{} sampling)", u64_of(&doc, "sample_every"))
+        } else {
+            "disabled".to_string()
+        }
+    );
+
+    let streams = doc.get("streams").and_then(Value::as_array).unwrap_or(&[]);
+    println!("\nstreams ({}):", streams.len());
+    let mut rows = Vec::new();
+    let mut violations = 0u64;
+    for s in streams {
+        violations += u64_of(s, "budget_violations");
+        let total = s.get("total");
+        let q = |key: &str| total.map(|t| us(u64_of(t, key))).unwrap_or_default();
+        rows.push(vec![
+            u64_of(s, "channel").to_string(),
+            str_of(s, "class").to_string(),
+            u64_of(s, "consumed").to_string(),
+            q("p50_ns"),
+            q("p90_ns"),
+            q("p99_ns"),
+            q("p999_ns"),
+            u64_of(s, "budget_violations").to_string(),
+        ]);
+    }
+    print_table(
+        &[
+            "channel",
+            "class",
+            "consumed",
+            "p50(us)",
+            "p90(us)",
+            "p99(us)",
+            "p99.9(us)",
+            "violations",
+        ],
+        &rows,
+    );
+    if violations > 0 {
+        println!("  !! {violations} QoS-budget violations");
+    }
+
+    let datapaths = doc
+        .get("datapaths")
+        .and_then(Value::as_array)
+        .unwrap_or(&[]);
+    println!("\ndatapaths ({}):", datapaths.len());
+    let rows: Vec<Vec<String>> = datapaths
+        .iter()
+        .map(|d| {
+            vec![
+                str_of(d, "technology").to_string(),
+                if d.get("down").and_then(Value::as_bool) == Some(true) {
+                    "DOWN".to_string()
+                } else {
+                    "up".to_string()
+                },
+                u64_of(d, "tx_messages").to_string(),
+                u64_of(d, "rx_messages").to_string(),
+                u64_of(d, "scheduled").to_string(),
+            ]
+        })
+        .collect();
+    print_table(&["technology", "state", "tx", "rx", "scheduled"], &rows);
+
+    let pools = doc.get("pools").and_then(Value::as_array).unwrap_or(&[]);
+    println!("\npools ({}):", pools.len());
+    let rows: Vec<Vec<String>> = pools
+        .iter()
+        .map(|p| {
+            let slots = u64_of(p, "slot_count");
+            let in_use = u64_of(p, "in_use");
+            vec![
+                u64_of(p, "slot_size").to_string(),
+                format!("{in_use}/{slots}"),
+                u64_of(p, "high_water").to_string(),
+                u64_of(p, "exhaustions").to_string(),
+                u64_of(p, "acquires").to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "slot_size",
+            "in_use",
+            "high_water",
+            "exhaustions",
+            "acquires",
+        ],
+        &rows,
+    );
+
+    if let Some(counters) = doc.get("counters") {
+        println!(
+            "\ncounters: tx {} rx {} local {} drops {} control {} failovers {}",
+            u64_of(counters, "tx_messages"),
+            u64_of(counters, "rx_messages"),
+            u64_of(counters, "local_deliveries"),
+            u64_of(counters, "sink_drops"),
+            u64_of(counters, "control_messages"),
+            u64_of(counters, "failover_events"),
+        );
+    }
+    Ok(())
+}
+
+fn check_bench(dir: &Path) -> Result<(), CtlError> {
+    let check = |name: &str, validate: fn(&Value) -> Result<(), insane_telemetry::SchemaError>| {
+        let path = dir.join(name);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| CtlError(format!("{}: {e}", path.display())))?;
+        let doc = Value::parse(&text)?;
+        validate(&doc).map_err(|e| CtlError(format!("{name}: {e}")))?;
+        let entries = doc
+            .get("entries")
+            .and_then(Value::as_array)
+            .map_or(0, <[Value]>::len);
+        println!("{name}: ok ({entries} entries)");
+        Ok(())
+    };
+    check("BENCH_latency.json", validate_bench_latency)?;
+    check("BENCH_throughput.json", validate_bench_throughput)
+}
