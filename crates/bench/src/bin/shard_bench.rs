@@ -1,0 +1,99 @@
+//! Shard scale-out runner: aggregate multi-stream throughput at each
+//! requested `shards_per_datapath`, exported as the schema-validated
+//! `BENCH_shard_throughput.json` under `target/experiments/`.
+//!
+//! Usage: `shard_bench [SHARDS...]` (default `1 2 4`).  When both the
+//! 1- and 2-shard points are measured, the run fails unless 2 shards
+//! deliver at least 1.3x the 1-shard aggregate message rate — the
+//! scale-out contract of the sharded polling engine.
+//!
+//! Iteration counts honor `INSANE_BENCH_FACTOR` (CI runs 0.3).
+
+use insane_bench::export::write_throughput_named;
+use insane_bench::shard_bench::{self, ShardRun, PAYLOAD, STREAMS};
+use insane_bench::{iters, BenchError};
+use insane_fabric::TestbedProfile;
+
+/// Required 2-shard speed-up over 1 shard in aggregate msgs/sec.
+const MIN_SPEEDUP: f64 = 1.3;
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("shard bench failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn parse_shards() -> Result<Vec<usize>, BenchError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return Ok(vec![1, 2, 4]);
+    }
+    args.iter()
+        .map(|a| {
+            a.parse::<usize>()
+                .ok()
+                .filter(|&s| (1..=64).contains(&s))
+                .ok_or_else(|| BenchError::Other(format!("bad shard count {a:?} (want 1..=64)")))
+        })
+        .collect()
+}
+
+fn run() -> Result<(), BenchError> {
+    let shard_counts = parse_shards()?;
+    let profile = TestbedProfile::local();
+    let target = iters(6_000);
+
+    println!(
+        "shard scale-out: {STREAMS} streams x {PAYLOAD} B over DPDK, \
+         {target} messages per point"
+    );
+    println!(
+        "{:>6} {:>12} {:>14} {:>12}",
+        "shards", "msgs/sec", "goodput Gbps", "bottleneck"
+    );
+
+    let mut runs: Vec<ShardRun> = Vec::new();
+    for &shards in &shard_counts {
+        let run = shard_bench::run(&profile, shards, target)?;
+        let tx = run.tx_shard_ns.iter().copied().max().unwrap_or(0);
+        let rx = run.rx_shard_ns.iter().copied().max().unwrap_or(0);
+        let side = if tx >= rx { "tx" } else { "rx" };
+        println!(
+            "{:>6} {:>12.0} {:>14.3} {:>9} {side}",
+            run.shards,
+            run.msgs_per_sec(),
+            run.goodput_gbps(),
+            format_ns(run.bottleneck_ns()),
+        );
+        runs.push(run);
+    }
+
+    let entries: Vec<_> = runs.iter().map(|r| r.entry(profile.name)).collect();
+    write_throughput_named("BENCH_shard_throughput.json", &entries)?;
+
+    let rate = |shards: usize| {
+        runs.iter()
+            .find(|r| r.shards == shards)
+            .map(ShardRun::msgs_per_sec)
+    };
+    if let (Some(one), Some(two)) = (rate(1), rate(2)) {
+        let speedup = two / one.max(f64::MIN_POSITIVE);
+        println!("2-shard speed-up over 1 shard: {speedup:.2}x (required {MIN_SPEEDUP}x)");
+        if speedup < MIN_SPEEDUP {
+            return Err(BenchError::Other(format!(
+                "2 shards reached only {speedup:.2}x of the 1-shard rate \
+                 (required {MIN_SPEEDUP}x)"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.1}us", ns as f64 / 1e3)
+    }
+}

@@ -117,13 +117,27 @@ pub fn write_latency(entries: &[LatencyEntry]) -> Result<PathBuf, BenchError> {
 ///
 /// Fails on schema violations (e.g. zero goodput) or I/O errors.
 pub fn write_throughput(entries: &[ThroughputEntry]) -> Result<PathBuf, BenchError> {
+    write_throughput_named("BENCH_throughput.json", entries)
+}
+
+/// Writes a throughput-schema document under an explicit file name, for
+/// experiments that export alongside the canonical `BENCH_throughput.json`
+/// (e.g. `BENCH_shard_throughput.json` from the shard scale-out bench).
+///
+/// # Errors
+///
+/// Fails on schema violations (e.g. zero goodput) or I/O errors.
+pub fn write_throughput_named(
+    name: &str,
+    entries: &[ThroughputEntry],
+) -> Result<PathBuf, BenchError> {
     let doc = document(
         BENCH_THROUGHPUT_SCHEMA,
         entries.iter().map(ThroughputEntry::to_value).collect(),
     );
     validate_bench_throughput(&doc)
-        .map_err(|e| BenchError::Other(format!("throughput export: {e}")))?;
-    write_doc("BENCH_throughput.json", &doc)
+        .map_err(|e| BenchError::Other(format!("{name} export: {e}")))?;
+    write_doc(name, &doc)
 }
 
 #[cfg(test)]

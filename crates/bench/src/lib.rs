@@ -38,6 +38,7 @@ pub mod latency;
 pub mod mom_bench;
 pub mod report;
 pub mod setup;
+pub mod shard_bench;
 pub mod stats;
 pub mod streaming_bench;
 pub mod throughput;

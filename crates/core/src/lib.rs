@@ -61,6 +61,7 @@ pub use api::{
 pub use qos::{
     Acceleration, MappedPath, MappingStrategy, QosPolicy, ResourceUsage, TimeSensitivity,
 };
+pub use runtime::shard::{shard_of_channel, shard_of_stream};
 pub use runtime::{ControlPlaneConfig, Runtime, RuntimeConfig, SchedulerChoice, ThreadingMode};
 pub use telemetry::TelemetryConfig;
 

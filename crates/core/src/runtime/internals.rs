@@ -116,8 +116,8 @@ impl OutcomeBoard {
 /// Shared state of one stream.
 #[derive(Debug)]
 pub(crate) struct StreamShared {
-    /// Diagnostic identifier (appears in Debug output).
-    #[allow(dead_code)]
+    /// Stream identifier: diagnostics, and the key of the stable
+    /// stream→shard assignment.
     pub id: u64,
     pub qos: QosPolicy,
     pub mapped: MappedPath,
@@ -232,10 +232,15 @@ impl StreamRegistry {
         self.version.load(Ordering::Acquire)
     }
 
-    /// Rebuilds `out` with the open streams mapped to `tech`.
+    /// Rebuilds `out` with the open streams mapped to `tech` that shard
+    /// `shard` (of `shards`) owns.  Ownership comes from the stable
+    /// stream-id hash, so every stream lands in exactly one shard's
+    /// snapshot (see [`crate::runtime::shard::shard_of_stream`]).
     pub(crate) fn snapshot_for(
         &self,
         tech: insane_fabric::Technology,
+        shard: usize,
+        shards: usize,
         out: &mut Vec<Arc<StreamShared>>,
     ) {
         out.clear();
@@ -243,7 +248,11 @@ impl StreamRegistry {
             self.streams
                 .read()
                 .iter()
-                .filter(|s| s.mapped.technology == tech && !s.closed.load(Ordering::Acquire))
+                .filter(|s| {
+                    s.mapped.technology == tech
+                        && !s.closed.load(Ordering::Acquire)
+                        && crate::runtime::shard::shard_of_stream(s.id, shards) == shard
+                })
                 .cloned(),
         );
     }
@@ -354,10 +363,22 @@ mod tests {
         let v1 = registry.version();
         assert_ne!(v0, v1);
         let mut snapshot = Vec::new();
-        registry.snapshot_for(insane_fabric::Technology::KernelUdp, &mut snapshot);
+        registry.snapshot_for(insane_fabric::Technology::KernelUdp, 0, 1, &mut snapshot);
         assert_eq!(snapshot.len(), 1);
-        registry.snapshot_for(insane_fabric::Technology::Dpdk, &mut snapshot);
+        registry.snapshot_for(insane_fabric::Technology::Dpdk, 0, 1, &mut snapshot);
         assert_eq!(snapshot.len(), 0, "snapshot filters by technology");
+        // With two shards, exactly one of them owns the stream.
+        let mut owned = 0;
+        for shard in 0..2 {
+            registry.snapshot_for(
+                insane_fabric::Technology::KernelUdp,
+                shard,
+                2,
+                &mut snapshot,
+            );
+            owned += snapshot.len();
+        }
+        assert_eq!(owned, 1, "each stream belongs to exactly one shard");
         registry.prune_closed();
         assert_ne!(registry.version(), v1);
     }

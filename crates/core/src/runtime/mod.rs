@@ -11,10 +11,11 @@
 pub(crate) mod dispatch;
 pub(crate) mod internals;
 pub(crate) mod plugins;
+pub mod shard;
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Weak};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use insane_fabric::{Endpoint, Fabric, HostId, Technology};
@@ -139,6 +140,13 @@ pub struct RuntimeConfig {
     pub sink_queue_depth: usize,
     /// Maximum messages moved per polling step (burst size).
     pub burst: usize,
+    /// Polling shards per datapath (default 1 = the unsharded engine).
+    /// Each shard owns its own scratch area, packet-scheduler instance,
+    /// and — in threaded modes — polling thread; streams and channels
+    /// are pinned to shards by stable hashes so per-stream TX order and
+    /// per-channel RX order are preserved (DESIGN.md §9).  Clamped to
+    /// `1..=64` at start.
+    pub shards_per_datapath: usize,
     /// Control-plane retransmission and failure-detection parameters.
     pub control: ControlPlaneConfig,
     /// Observability: per-stream histograms, datapath counters, and the
@@ -154,6 +162,7 @@ impl std::fmt::Debug for RuntimeConfig {
             .field("technologies", &self.technologies)
             .field("threading", &self.threading)
             .field("scheduler", &self.scheduler)
+            .field("shards_per_datapath", &self.shards_per_datapath)
             .field("port_base", &self.port_base)
             .field("control", &self.control)
             .field("telemetry", &self.telemetry)
@@ -182,9 +191,17 @@ impl RuntimeConfig {
             tx_queue_depth: 1_024,
             sink_queue_depth: 4_096,
             burst: 32,
+            shards_per_datapath: 1,
             control: ControlPlaneConfig::default(),
             telemetry: TelemetryConfig::default(),
         }
+    }
+
+    /// Sets the number of polling shards per datapath (see
+    /// [`RuntimeConfig::shards_per_datapath`]).
+    pub fn with_shards_per_datapath(mut self, shards: usize) -> Self {
+        self.shards_per_datapath = shards;
+        self
     }
 
     /// Restricts the attached technologies (kernel UDP is re-added if
@@ -280,13 +297,19 @@ struct OutboundBundle {
     seq: u64,
 }
 
-/// Per-datapath scratch buffers reused across polling iterations so the
-/// hot path never allocates (one polling thread owns each datapath, so
-/// the mutex is uncontended).
+/// Per-shard scratch buffers reused across polling iterations so the
+/// hot path never allocates.  Polling threads own a private `Scratch`
+/// outright (no lock anywhere on the threaded hot path); each shard
+/// also stores one behind a mutex for the manual-drive entry points,
+/// where the lock doubles as the serializer for concurrent callers.
 #[derive(Debug, Default)]
-struct Scratch {
+pub(crate) struct Scratch {
     streams: Vec<Arc<StreamShared>>,
     streams_version: u64,
+    /// Rotating TX drain start position (anti-starvation): the stream
+    /// that fills the burst goes to the back of the rotation, so under
+    /// saturation every stream progresses within one full rotation.
+    drain_cursor: usize,
     requests: Vec<TxRequest>,
     ready: Vec<OutboundBundle>,
     inbound: Vec<InboundMsg>,
@@ -299,6 +322,27 @@ struct Scratch {
     cached_channel: Option<u32>,
     cached_dispatch_version: u64,
     inbound_sinks: Vec<Arc<SinkShared>>,
+}
+
+impl Scratch {
+    /// A scratch whose stream snapshot is invalid, forcing a rebuild on
+    /// first use.
+    fn fresh() -> Self {
+        Scratch {
+            streams_version: u64::MAX,
+            ..Scratch::default()
+        }
+    }
+}
+
+/// Per-shard state of one datapath (DESIGN.md §9): its own packet
+/// scheduler, a stored scratch area for the manual-drive entry points,
+/// and — when the datapath runs more than one shard — an inbox carrying
+/// the inbound messages of the channels this shard owns.
+struct DatapathShard {
+    scheduler: Mutex<BoxedScheduler>,
+    scratch: Mutex<Scratch>,
+    rx_inbox: Mutex<VecDeque<InboundMsg>>,
 }
 
 /// One unacked announcement awaiting its retransmission deadline.
@@ -336,14 +380,26 @@ pub(crate) struct RuntimeInner {
     host: HostId,
     pools: PoolSet,
     plugins: Vec<Arc<dyn DatapathPlugin>>,
-    schedulers: Vec<Mutex<BoxedScheduler>>,
-    scratch: Vec<Mutex<Scratch>>,
+    /// Per-datapath shard states, `shards[datapath][shard]`.  Every
+    /// datapath runs the same shard count
+    /// (`config.shards_per_datapath`), so a shard index is valid across
+    /// datapaths — failover moves shard `s` of a downed datapath onto
+    /// shard `s` of kernel UDP, preserving per-stream order.
+    shards: Vec<Vec<DatapathShard>>,
+    /// Per-datapath device-RX claim: whichever shard acquires it polls
+    /// the device and fans inbound messages to the owning shards'
+    /// inboxes, so the device is never polled concurrently.
+    rx_claim: Vec<Mutex<()>>,
     pub(crate) streams: StreamRegistry,
     pub(crate) dispatcher: Dispatcher,
     pub(crate) stats: Arc<RuntimeStats>,
     stop: AtomicBool,
     started: AtomicBool,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Number of polling threads spawned; the polling loops compare it
+    /// against the `Arc` strong count to detect that every user handle
+    /// is gone (see `polling_loop`).
+    polling_threads: AtomicUsize,
     next_id: AtomicU64,
     control_seq: AtomicU64,
     hops: HopCosts,
@@ -357,8 +413,8 @@ pub(crate) struct RuntimeInner {
     control: Mutex<ControlPlane>,
     /// Telemetry root (inert when disabled or compiled out).
     telemetry: RuntimeTelemetry,
-    /// Per-plugin telemetry counter handles, in plugin order.
-    dp_tel: Vec<DatapathTel>,
+    /// Per-shard telemetry counter handles, `dp_tel[datapath][shard]`.
+    dp_tel: Vec<Vec<DatapathTel>>,
 }
 
 impl std::fmt::Debug for RuntimeInner {
@@ -394,6 +450,7 @@ impl Runtime {
             config.technologies.insert(0, Technology::KernelUdp);
         }
         config.technologies.dedup();
+        config.shards_per_datapath = config.shards_per_datapath.clamp(1, 64);
         let pools = PoolSetBuilder::new()
             .pool(2_048, config.small_slots)
             .pool(16 * 1_024, config.large_slots)
@@ -442,19 +499,20 @@ impl Runtime {
                 InsaneError::Internal("kernel UDP datapath missing after normalization".into())
             })?;
 
-        let mut schedulers = Vec::with_capacity(plugins.len());
+        let nshards = config.shards_per_datapath;
+        let mut shards = Vec::with_capacity(plugins.len());
         for _ in &plugins {
-            schedulers.push(Mutex::new(Self::build_scheduler(&config.scheduler)?));
+            let mut dp_shards = Vec::with_capacity(nshards);
+            for _ in 0..nshards {
+                dp_shards.push(DatapathShard {
+                    scheduler: Mutex::new(Self::build_scheduler(&config.scheduler)?),
+                    scratch: Mutex::new(Scratch::fresh()),
+                    rx_inbox: Mutex::new(VecDeque::new()),
+                });
+            }
+            shards.push(dp_shards);
         }
-        let scratch = plugins
-            .iter()
-            .map(|_| {
-                Mutex::new(Scratch {
-                    streams_version: u64::MAX,
-                    ..Scratch::default()
-                })
-            })
-            .collect::<Vec<_>>();
+        let rx_claim = plugins.iter().map(|_| Mutex::new(())).collect::<Vec<_>>();
 
         let hops = HopCosts {
             per_burst_ns: 40,
@@ -472,7 +530,10 @@ impl Runtime {
         let telemetry = RuntimeTelemetry::new(&config.telemetry);
         let dp_tel = plugins
             .iter()
-            .map(|p| telemetry.datapath(&p.technology().name().to_lowercase()))
+            .map(|p| {
+                let name = p.technology().name().to_lowercase();
+                (0..nshards).map(|s| telemetry.datapath(&name, s)).collect()
+            })
             .collect();
         let inner = Arc::new(RuntimeInner {
             config,
@@ -480,14 +541,15 @@ impl Runtime {
             host,
             pools,
             plugins,
-            schedulers,
-            scratch,
+            shards,
+            rx_claim,
             streams: StreamRegistry::default(),
             dispatcher: Dispatcher::default(),
             stats,
             stop: AtomicBool::new(false),
             started: AtomicBool::new(false),
             threads: Mutex::new(Vec::new()),
+            polling_threads: AtomicUsize::new(0),
             next_id: AtomicU64::new(1),
             control_seq: AtomicU64::new(0),
             hops,
@@ -522,13 +584,29 @@ impl Runtime {
     }
 
     fn spawn_threads(&self) -> Result<(), InsaneError> {
-        // Resolve the threading mode into per-thread plugin index lists.
-        let assignments: Vec<Vec<usize>> = match &self.inner.config.threading {
+        let nshards = self.inner.config.shards_per_datapath;
+        // Expand a list of datapath indices into (datapath, shard)
+        // pairs — a thread assigned a datapath drives all its shards.
+        let all_shards = |indices: &[usize]| -> Vec<(usize, usize)> {
+            indices
+                .iter()
+                .flat_map(|&idx| (0..nshards).map(move |s| (idx, s)))
+                .collect()
+        };
+        // Resolve the threading mode into per-thread (datapath, shard)
+        // assignment lists.  PerDatapath spawns one thread per *shard*:
+        // that is the whole point of sharding — a saturated datapath
+        // scales onto more cores.
+        let assignments: Vec<Vec<(usize, usize)>> = match &self.inner.config.threading {
             ThreadingMode::Manual => return Ok(()),
-            ThreadingMode::Shared => vec![(0..self.inner.plugins.len()).collect()],
-            ThreadingMode::PerDatapath => (0..self.inner.plugins.len()).map(|i| vec![i]).collect(),
+            ThreadingMode::Shared => vec![all_shards(
+                &(0..self.inner.plugins.len()).collect::<Vec<_>>(),
+            )],
+            ThreadingMode::PerDatapath => (0..self.inner.plugins.len())
+                .flat_map(|i| (0..nshards).map(move |s| vec![(i, s)]))
+                .collect(),
             ThreadingMode::Custom(groups) => {
-                let mut assignments: Vec<Vec<usize>> = Vec::new();
+                let mut assignments: Vec<Vec<(usize, usize)>> = Vec::new();
                 let mut covered = vec![false; self.inner.plugins.len()];
                 for group in groups {
                     let mut indices = Vec::new();
@@ -541,7 +619,7 @@ impl Runtime {
                         }
                     }
                     if !indices.is_empty() {
-                        assignments.push(indices);
+                        assignments.push(all_shards(&indices));
                     }
                 }
                 // Unmentioned datapaths still need a poller.
@@ -552,30 +630,39 @@ impl Runtime {
                     .map(|(i, _)| i)
                     .collect();
                 if !leftovers.is_empty() {
+                    let pairs = all_shards(&leftovers);
                     match assignments.first_mut() {
-                        Some(first) => first.extend(leftovers),
-                        None => assignments.push(leftovers),
+                        Some(first) => first.extend(pairs),
+                        None => assignments.push(pairs),
                     }
                 }
                 assignments
             }
         };
-        for (thread_no, indices) in assignments.into_iter().enumerate() {
-            let weak = Arc::downgrade(&self.inner);
-            let name = if indices.len() == 1 {
-                format!(
-                    "insane-{}",
-                    self.inner.plugins[indices[0]]
-                        .technology()
-                        .name()
-                        .to_lowercase()
-                )
-            } else {
-                format!("insane-poll-{thread_no}")
+        // Published before the first spawn so every polling loop's
+        // liveness check sees the final count (an undercount could make
+        // a loop believe user handles are gone while siblings are still
+        // being spawned; `Runtime::start`'s own strong handle prevents
+        // even that, but exactness is cheap).
+        self.inner
+            .polling_threads
+            .store(assignments.len(), Ordering::Release);
+        for (thread_no, pairs) in assignments.into_iter().enumerate() {
+            let inner = Arc::clone(&self.inner);
+            let name = match pairs.as_slice() {
+                [(idx, s)] => {
+                    let tech = self.inner.plugins[*idx].technology().name().to_lowercase();
+                    if nshards == 1 {
+                        format!("insane-{tech}")
+                    } else {
+                        format!("insane-{tech}-{s}")
+                    }
+                }
+                _ => format!("insane-poll-{thread_no}"),
             };
             let handle = std::thread::Builder::new()
                 .name(name)
-                .spawn(move || polling_loop(weak, indices))
+                .spawn(move || polling_loop(inner, pairs))
                 .map_err(|e| {
                     InsaneError::Internal(format!("failed to spawn datapath polling thread: {e}"))
                 })?;
@@ -621,37 +708,60 @@ impl Runtime {
         self.inner.send_control(ControlOp::Hello, 0, peer_host)
     }
 
-    /// Runs one polling iteration of the plugin driving `tech` only;
-    /// returns whether any work was done.  Benchmark harnesses use this
-    /// to drive a single datapath's critical path inline, the way its
-    /// dedicated polling thread would, without serializing the other
-    /// plugins' idle polls into the measurement.
+    /// Runs one polling iteration of the plugin driving `tech` only —
+    /// all of its shards, in turn; returns whether any work was done.
+    /// Benchmark harnesses use this to drive a single datapath's
+    /// critical path inline, the way its dedicated polling threads
+    /// would, without serializing the other plugins' idle polls into
+    /// the measurement.
     pub fn poll_technology(&self, tech: Technology) -> bool {
-        match self
-            .inner
-            .plugins
-            .iter()
-            .position(|p| p.technology() == tech)
-        {
+        match self.inner.plugin_index(tech) {
             Some(idx) => self.inner.poll_datapath(idx),
             None => false,
         }
     }
 
+    /// Runs one polling iteration of a single shard of the plugin
+    /// driving `tech` (sharded manual drive: per-shard measurement
+    /// harnesses and tests).  Returns false for an unknown technology
+    /// or an out-of-range shard.
+    pub fn poll_technology_shard(&self, tech: Technology, shard: usize) -> bool {
+        match self.inner.plugin_index(tech) {
+            Some(idx) if shard < self.inner.shards[idx].len() => {
+                let mut scratch = self.inner.shards[idx][shard].scratch.lock();
+                self.inner.poll_datapath_shard(idx, shard, &mut scratch)
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of polling shards per datapath this runtime was built
+    /// with.
+    pub fn shards_per_datapath(&self) -> usize {
+        self.inner.config.shards_per_datapath
+    }
+
     /// Runs only the transmit half (TX drain → schedule → send) of one
-    /// datapath's polling iteration.  Serial measurement harnesses use
-    /// this to flush an emitted message to the wire without charging the
-    /// receive-poll work that a deployed polling thread performs
-    /// concurrently, off the critical path.
+    /// datapath's polling iteration, across all its shards.  Serial
+    /// measurement harnesses use this to flush an emitted message to
+    /// the wire without charging the receive-poll work that a deployed
+    /// polling thread performs concurrently, off the critical path.
     pub fn poll_transmit(&self, tech: Technology) -> bool {
-        match self
-            .inner
-            .plugins
-            .iter()
-            .position(|p| p.technology() == tech)
-        {
+        match self.inner.plugin_index(tech) {
             Some(idx) => self.inner.poll_datapath_tx(idx),
             None => false,
+        }
+    }
+
+    /// The transmit half of a single shard's polling iteration (see
+    /// [`Runtime::poll_transmit`]).
+    pub fn poll_transmit_shard(&self, tech: Technology, shard: usize) -> bool {
+        match self.inner.plugin_index(tech) {
+            Some(idx) if shard < self.inner.shards[idx].len() => {
+                let mut scratch = self.inner.shards[idx][shard].scratch.lock();
+                self.inner.poll_tx_inner(idx, shard, &mut scratch)
+            }
+            _ => false,
         }
     }
 
@@ -728,24 +838,56 @@ impl Drop for RuntimeInner {
     }
 }
 
-fn polling_loop(weak: Weak<RuntimeInner>, datapaths: Vec<usize>) {
+/// Iterations between liveness checks in `polling_loop`.  Shutdown via
+/// [`Runtime::shutdown`] stays immediate (`stop` is read every
+/// iteration); only the detection of a runtime whose user handles were
+/// all dropped without a shutdown call is deferred to this cadence.
+const LIVENESS_CHECK_EVERY: u32 = 1024;
+
+fn polling_loop(inner: Arc<RuntimeInner>, datapaths: Vec<(usize, usize)>) {
+    // One private scratch per assigned shard: the threaded hot path
+    // owns its buffers outright and never takes a scratch lock.  (The
+    // per-shard stored scratch is only for manual drives, which do not
+    // run concurrently with polling threads.)
+    let mut scratches: Vec<Scratch> = datapaths.iter().map(|_| Scratch::fresh()).collect();
     let mut idle_streak = 0u32;
+    // This loop used to hold only a `Weak` and upgrade it every
+    // iteration — two contended refcount RMWs on the hottest loop in
+    // the system.  A strong handle is held instead.  Liveness (did the
+    // user drop every `Runtime` handle without calling shutdown?)
+    // cannot be observed by re-upgrading a `Weak`, because this
+    // thread's own strong handle would keep the upgrade succeeding
+    // forever; it is detected by periodically comparing the strong
+    // count against the number of polling threads — once they are the
+    // only owners left, the runtime is unreachable from user code, and
+    // the first thread to notice raises `stop` for its siblings.
+    let mut since_liveness = 0u32;
     loop {
-        let Some(inner) = weak.upgrade() else { break };
         if inner.stop.load(Ordering::Acquire) {
             break;
         }
-        let mut did = false;
-        for &idx in &datapaths {
-            did |= inner.poll_datapath(idx);
+        since_liveness += 1;
+        if since_liveness >= LIVENESS_CHECK_EVERY {
+            since_liveness = 0;
+            if Arc::strong_count(&inner) <= inner.polling_threads.load(Ordering::Acquire) {
+                inner.stop.store(true, Ordering::Release);
+                break;
+            }
         }
-        drop(inner);
+        let mut did = false;
+        for (slot, &(idx, shard)) in datapaths.iter().enumerate() {
+            did |= inner.poll_datapath_shard(idx, shard, &mut scratches[slot]);
+        }
         if did {
             idle_streak = 0;
         } else {
             idle_streak += 1;
             // §5.3: polling threads are automatically paused when idle.
             if idle_streak > 256 {
+                // Sleeps slow the iteration rate ~100×; advance the
+                // liveness clock accordingly so an idle, dropped
+                // runtime is still reclaimed promptly.
+                since_liveness = since_liveness.saturating_add(63);
                 std::thread::sleep(Duration::from_micros(100));
             } else if idle_streak > 32 {
                 std::thread::yield_now();
@@ -787,30 +929,43 @@ impl RuntimeInner {
     pub(crate) fn introspection_json(&self) -> String {
         use insane_telemetry::Value;
         let reg = self.telemetry.snapshot();
-        // One datapath entry per plugin, combining the telemetry
-        // counters (when recording is enabled) with the health gate.
+        // One datapath entry per (plugin, shard), combining the
+        // telemetry counters (when recording is enabled) with the
+        // health gate and the shard's live scheduler occupancy.
+        let nshards = self.config.shards_per_datapath;
         let datapaths: Vec<Value> = self
             .plugins
             .iter()
             .enumerate()
-            .map(|(idx, plugin)| {
+            .flat_map(|(idx, plugin)| {
                 let name = plugin.technology().name().to_lowercase();
-                let counters = reg
-                    .as_ref()
-                    .and_then(|r| r.datapaths.get(idx))
-                    .filter(|d| d.name == name)
-                    .cloned()
-                    .unwrap_or_default();
-                Value::object([
-                    ("technology", Value::from(name)),
-                    (
-                        "down",
-                        Value::Bool(self.plugin_down[idx].load(Ordering::Relaxed)),
-                    ),
-                    ("tx_messages", Value::from(counters.tx_messages)),
-                    ("rx_messages", Value::from(counters.rx_messages)),
-                    ("scheduled", Value::from(counters.scheduled)),
-                ])
+                let reg = reg.as_ref();
+                (0..nshards).map(move |s| {
+                    // Registration order in `Runtime::start` is
+                    // datapath-major, shard-minor.
+                    let counters = reg
+                        .and_then(|r| r.datapaths.get(idx * nshards + s))
+                        .filter(|d| d.name == name && d.shard == s)
+                        .cloned()
+                        .unwrap_or_default();
+                    let queued = self
+                        .shards
+                        .get(idx)
+                        .and_then(|dp| dp.get(s))
+                        .map_or(0, |sh| sh.scheduler.lock().len() as u64);
+                    Value::object([
+                        ("technology", Value::from(name.clone())),
+                        ("shard", Value::from(s as u64)),
+                        (
+                            "down",
+                            Value::Bool(self.plugin_down[idx].load(Ordering::Relaxed)),
+                        ),
+                        ("tx_messages", Value::from(counters.tx_messages)),
+                        ("rx_messages", Value::from(counters.rx_messages)),
+                        ("scheduled", Value::from(counters.scheduled)),
+                        ("queued", Value::from(queued)),
+                    ])
+                })
             })
             .collect();
         let streams: Vec<Value> = reg
@@ -1188,96 +1343,185 @@ impl RuntimeInner {
         }
     }
 
-    /// The transmit half of one datapath iteration (used by
-    /// [`Runtime::poll_transmit`]).
+    /// The transmit half of one datapath iteration across all its
+    /// shards (used by [`Runtime::poll_transmit`]).
     pub(crate) fn poll_datapath_tx(&self, idx: usize) -> bool {
-        let mut scratch = self.scratch[idx].lock();
-        self.poll_tx_inner(idx, &mut scratch)
-    }
-
-    /// One polling iteration of one datapath: TX drain → schedule → send,
-    /// then RX → dispatch.  Returns whether any work was done.
-    ///
-    /// Allocation-free on the hot path: all intermediate buffers live in
-    /// the datapath's scratch area and are reused across iterations.
-    pub(crate) fn poll_datapath(&self, idx: usize) -> bool {
-        let plugin = &self.plugins[idx];
-
-        // Health probe: detect datapath up/down transitions and migrate
-        // traffic accordingly (self-healing, §6 of DESIGN.md).
-        let down = self.fabric.device_down(self.health_eps[idx]);
         let mut did = false;
-        if down != self.plugin_down[idx].load(Ordering::Relaxed) {
-            self.plugin_down[idx].store(down, Ordering::Relaxed);
-            did = true;
-            self.note_datapath_transition(idx, down);
-        }
-
-        {
-            let mut scratch = self.scratch[idx].lock();
-            did |= self.poll_tx_inner(idx, &mut scratch);
-        }
-
-        // Control-plane upkeep rides on the kernel-UDP datapath's
-        // polling loop — the same path control messages travel.
-        if idx == self.udp_idx {
-            did |= self.control_tick();
-        }
-
-        // A downed accelerated device cannot receive; kernel UDP keeps
-        // polling so the control plane can observe recovery.
-        if down && idx != self.udp_idx {
-            return did;
-        }
-
-        let mut scratch = self.scratch[idx].lock();
-        let scratch = &mut *scratch;
-
-        // Receive and dispatch (Fig. 4, steps 3-4).
-        scratch.inbound.clear();
-        plugin.poll_rx(&mut scratch.inbound, self.config.burst);
-        if !scratch.inbound.is_empty() {
-            did = true;
-            self.hops.charge_batch(scratch.inbound.len() as u64);
-            let mut inbound = std::mem::take(&mut scratch.inbound);
-            let mut rx_data = 0u64;
-            for msg in inbound.drain(..) {
-                if msg.hdr.kind == MessageKind::Control {
-                    self.handle_control(&msg);
-                    continue;
-                }
-                self.stats.rx_messages.fetch_add(1, Ordering::Relaxed);
-                rx_data += 1;
-                self.dispatch_inbound(msg, &mut scratch.inbound_sinks);
-            }
-            self.dp_tel[idx].on_rx(rx_data);
-            scratch.inbound = inbound;
+        for shard in 0..self.shards[idx].len() {
+            let mut scratch = self.shards[idx][shard].scratch.lock();
+            did |= self.poll_tx_inner(idx, shard, &mut scratch);
         }
         did
     }
 
-    /// TX drain → schedule → send for one datapath.
-    fn poll_tx_inner(&self, idx: usize, scratch: &mut Scratch) -> bool {
-        let plugin = &self.plugins[idx];
-        let tech = plugin.technology();
+    /// One polling iteration of one datapath: every shard in turn, each
+    /// using its stored scratch.  This is the manual-drive path; the
+    /// per-shard scratch mutex doubles as the serializer for concurrent
+    /// manual callers (polling threads use private scratches instead).
+    pub(crate) fn poll_datapath(&self, idx: usize) -> bool {
+        let mut did = false;
+        for shard in 0..self.shards[idx].len() {
+            let mut scratch = self.shards[idx][shard].scratch.lock();
+            did |= self.poll_datapath_shard(idx, shard, &mut scratch);
+        }
+        did
+    }
+
+    /// One polling iteration of one shard of one datapath: TX drain →
+    /// schedule → send, then RX → dispatch.  Returns whether any work
+    /// was done.
+    ///
+    /// Allocation-free on the hot path: all intermediate buffers live
+    /// in the caller's scratch area and are reused across iterations.
+    pub(crate) fn poll_datapath_shard(
+        &self,
+        idx: usize,
+        shard: usize,
+        scratch: &mut Scratch,
+    ) -> bool {
+        // Health probe: detect datapath up/down transitions and migrate
+        // traffic accordingly (self-healing, §6 of DESIGN.md).  The
+        // compare-exchange makes the transition single-shot even when
+        // several shards observe it concurrently.
+        let down = self.fabric.device_down(self.health_eps[idx]);
+        let mut did = false;
+        if self.plugin_down[idx]
+            .compare_exchange(!down, down, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            did = true;
+            self.note_datapath_transition(idx, down);
+        }
+
+        did |= self.poll_tx_inner(idx, shard, scratch);
+
+        // Control-plane upkeep rides on the kernel-UDP datapath's first
+        // shard — the same path control messages travel.
+        if idx == self.udp_idx && shard == 0 {
+            did |= self.control_tick();
+        }
+
+        did | self.poll_rx_inner(idx, shard, scratch, down)
+    }
+
+    /// RX half of one shard's polling iteration: claim the device, fan
+    /// inbound messages to their owning shards, then dispatch this
+    /// shard's own inbox (Fig. 4, steps 3-4).
+    fn poll_rx_inner(&self, idx: usize, shard: usize, scratch: &mut Scratch, down: bool) -> bool {
+        let nshards = self.shards[idx].len();
         let mut did = false;
 
-        // 0. Refresh the stream snapshot only when the registry changed.
+        // A downed accelerated device cannot receive; kernel UDP keeps
+        // polling so the control plane can observe recovery.
+        let device_pollable = !down || idx == self.udp_idx;
+
+        // The device is polled by whichever shard claims it first —
+        // never concurrently.  Per-channel order is preserved because
+        // inbox pushes happen under the claim (in device arrival
+        // order), each inbox is FIFO, and only the owning shard
+        // dispatches a channel's messages.
+        if device_pollable {
+            if let Some(_claim) = self.rx_claim[idx].try_lock() {
+                scratch.inbound.clear();
+                self.plugins[idx].poll_rx(&mut scratch.inbound, self.config.burst);
+                if !scratch.inbound.is_empty() {
+                    did = true;
+                    if nshards == 1 {
+                        self.hops.charge_batch(scratch.inbound.len() as u64);
+                    } else {
+                        // Sharded RX adds a real handoff (device poller
+                        // → owner inbox); charge the queue-touch here
+                        // and the per-token costs at dispatch, on the
+                        // owning shard.
+                        self.hops.charge_batch(0);
+                    }
+                    let mut inbound = std::mem::take(&mut scratch.inbound);
+                    let mut rx_data = 0u64;
+                    for msg in inbound.drain(..) {
+                        if msg.hdr.kind == MessageKind::Control {
+                            self.handle_control(&msg);
+                            continue;
+                        }
+                        self.stats.rx_messages.fetch_add(1, Ordering::Relaxed);
+                        if nshards == 1 {
+                            rx_data += 1;
+                            self.dispatch_inbound(msg, &mut scratch.inbound_sinks);
+                        } else {
+                            let owner = shard::shard_of_channel(msg.hdr.channel, nshards);
+                            self.shards[idx][owner].rx_inbox.lock().push_back(msg);
+                        }
+                    }
+                    if nshards == 1 {
+                        self.dp_tel[idx][shard].on_rx(rx_data);
+                    }
+                    scratch.inbound = inbound;
+                }
+            }
+        }
+
+        if nshards > 1 {
+            // Drain this shard's inbox into the scratch buffer (bounded
+            // by the burst) and dispatch outside the inbox lock.
+            scratch.inbound.clear();
+            {
+                let mut inbox = self.shards[idx][shard].rx_inbox.lock();
+                for _ in 0..self.config.burst {
+                    match inbox.pop_front() {
+                        Some(msg) => scratch.inbound.push(msg),
+                        None => break,
+                    }
+                }
+            }
+            if !scratch.inbound.is_empty() {
+                did = true;
+                self.hops.charge_batch(scratch.inbound.len() as u64);
+                let mut inbound = std::mem::take(&mut scratch.inbound);
+                let dispatched = inbound.len() as u64;
+                for msg in inbound.drain(..) {
+                    self.dispatch_inbound(msg, &mut scratch.inbound_sinks);
+                }
+                self.dp_tel[idx][shard].on_rx(dispatched);
+                scratch.inbound = inbound;
+            }
+        }
+        did
+    }
+
+    /// TX drain → schedule → send for one shard of one datapath.
+    fn poll_tx_inner(&self, idx: usize, shard: usize, scratch: &mut Scratch) -> bool {
+        let plugin = &self.plugins[idx];
+        let tech = plugin.technology();
+        let nshards = self.shards[idx].len();
+        let mut did = false;
+
+        // 0. Refresh the stream snapshot only when the registry changed
+        //    (filtered down to the streams this shard owns).
         let version = self.streams.version();
         if scratch.streams_version != version {
-            self.streams.snapshot_for(tech, &mut scratch.streams);
+            self.streams
+                .snapshot_for(tech, shard, nshards, &mut scratch.streams);
             scratch.streams_version = version;
         }
 
-        // 1. Drain emitted tokens from every stream mapped to this
-        //    datapath (Fig. 4, step 2).
+        // 1. Drain emitted tokens from this shard's streams (Fig. 4,
+        //    step 2).  The drain starts at a rotating cursor and the
+        //    stream that fills the burst goes to the back of the
+        //    rotation: a fixed snapshot-order drain would let an
+        //    early saturating stream permanently starve later ones.
         scratch.requests.clear();
-        for stream in &scratch.streams {
-            stream
-                .tx
-                .pop_burst(&mut scratch.requests, self.config.burst);
-            if scratch.requests.len() >= self.config.burst {
-                break;
+        let nstreams = scratch.streams.len();
+        if nstreams > 0 {
+            let start = scratch.drain_cursor % nstreams;
+            for offset in 0..nstreams {
+                let i = (start + offset) % nstreams;
+                let budget = self.config.burst - scratch.requests.len();
+                scratch.streams[i]
+                    .tx
+                    .pop_burst(&mut scratch.requests, budget);
+                if scratch.requests.len() >= self.config.burst {
+                    scratch.drain_cursor = (i + 1) % nstreams;
+                    break;
+                }
             }
         }
         if !scratch.requests.is_empty() {
@@ -1286,23 +1530,23 @@ impl RuntimeInner {
             let now = Instant::now();
             let mut requests = std::mem::take(&mut scratch.requests);
             for req in requests.drain(..) {
-                self.process_tx(idx, req, now, scratch);
+                self.process_tx(idx, shard, req, now, scratch);
             }
             scratch.requests = requests;
         }
 
         // A downed accelerated datapath sends nothing; whatever reached
-        // its scheduler (including what step 1 just enqueued) evacuates
-        // to the kernel-UDP fallback instead.
+        // this shard's scheduler (including what step 1 just enqueued)
+        // evacuates to the kernel-UDP fallback instead.
         if idx != self.udp_idx && self.plugin_down[idx].load(Ordering::Relaxed) {
-            did |= self.divert_scheduler(idx);
+            did |= self.divert_shard(idx, shard);
             return did;
         }
 
         // 2. Release scheduled messages to the device (opportunistic
         //    batching: everything ready goes as one burst).
         scratch.ready.clear();
-        self.schedulers[idx].lock().dequeue_ready(
+        self.shards[idx][shard].scheduler.lock().dequeue_ready(
             &mut scratch.ready,
             self.config.burst,
             Instant::now(),
@@ -1330,7 +1574,7 @@ impl RuntimeInner {
                     self.stats
                         .tx_messages
                         .fetch_add(wire_count, Ordering::Relaxed);
-                    self.dp_tel[idx].on_tx(wire_count);
+                    self.dp_tel[idx][shard].on_tx(wire_count);
                     for (board, seq) in boards {
                         board.complete_through(seq);
                     }
@@ -1349,7 +1593,19 @@ impl RuntimeInner {
     /// Handles one emitted message: local forwarding plus scheduling for
     /// every subscribed remote runtime.  Routing comes from the scratch
     /// cache when the channel and dispatcher version are unchanged.
-    fn process_tx(&self, idx: usize, req: TxRequest, now: Instant, scratch: &mut Scratch) {
+    ///
+    /// All scheduler enqueues stay on shard `shard` — of this datapath
+    /// or of the kernel-UDP fallback — so everything a stream emits
+    /// (native, fallback, or later diverted) flows through one shard
+    /// per datapath and per-stream order survives every path.
+    fn process_tx(
+        &self,
+        idx: usize,
+        shard: usize,
+        req: TxRequest,
+        now: Instant,
+        scratch: &mut Scratch,
+    ) {
         let plugin = &self.plugins[idx];
         let version = self.dispatcher.version();
         if scratch.cached_channel != Some(req.channel) || scratch.cached_dispatch_version != version
@@ -1459,8 +1715,8 @@ impl RuntimeInner {
                     },
                 )
             };
-            self.dp_tel[sched_idx].on_scheduled(1);
-            self.schedulers[sched_idx].lock().enqueue(
+            self.dp_tel[sched_idx][shard].on_scheduled(1);
+            self.shards[sched_idx][shard].scheduler.lock().enqueue(
                 OutboundBundle {
                     msgs: WireMsgs::One(msg),
                     outcome: req.outcome,
@@ -1541,8 +1797,8 @@ impl RuntimeInner {
         }
         scratch.cached_channel = None;
         if !native.is_empty() {
-            self.dp_tel[idx].on_scheduled(native.len() as u64);
-            self.schedulers[idx].lock().enqueue(
+            self.dp_tel[idx][shard].on_scheduled(native.len() as u64);
+            self.shards[idx][shard].scheduler.lock().enqueue(
                 OutboundBundle {
                     msgs: WireMsgs::Many(native),
                     outcome: Arc::clone(&req.outcome),
@@ -1553,8 +1809,8 @@ impl RuntimeInner {
             );
         }
         if !fallback.is_empty() {
-            self.dp_tel[udp_idx].on_scheduled(fallback.len() as u64);
-            self.schedulers[udp_idx].lock().enqueue(
+            self.dp_tel[udp_idx][shard].on_scheduled(fallback.len() as u64);
+            self.shards[udp_idx][shard].scheduler.lock().enqueue(
                 OutboundBundle {
                     msgs: WireMsgs::Many(fallback),
                     outcome: req.outcome,
@@ -1570,19 +1826,36 @@ impl RuntimeInner {
         }
     }
 
-    /// Evacuates everything queued on datapath `idx`'s scheduler onto the
-    /// kernel-UDP fallback: wire offsets are rewritten to the
-    /// technology-neutral INSANE header and QoS is demoted to best effort
-    /// (the fallback honours delivery, not the original class guarantees).
+    /// Evacuates everything queued on every shard of datapath `idx`
+    /// onto the kernel-UDP fallback (down transitions must not strand
+    /// traffic on any shard).
     fn divert_scheduler(&self, idx: usize) -> bool {
+        let mut did = false;
+        for shard in 0..self.shards[idx].len() {
+            did |= self.divert_shard(idx, shard);
+        }
+        did
+    }
+
+    /// Evacuates one shard's scheduler onto the *same shard* of the
+    /// kernel-UDP fallback: wire offsets are rewritten to the
+    /// technology-neutral INSANE header and QoS is demoted to best
+    /// effort (the fallback honours delivery, not the original class
+    /// guarantees).  Shard-preserving evacuation keeps diverted
+    /// messages ordered with the stream's later fallback traffic,
+    /// which `process_tx` also pins to the stream's shard.
+    fn divert_shard(&self, idx: usize, shard: usize) -> bool {
         let mut evacuated: Vec<OutboundBundle> = Vec::new();
-        self.schedulers[idx].lock().drain_all(&mut evacuated);
+        self.shards[idx][shard]
+            .scheduler
+            .lock()
+            .drain_all(&mut evacuated);
         if evacuated.is_empty() {
             return false;
         }
         let now = Instant::now();
         let mut diverted = 0u64;
-        let mut udp = self.schedulers[self.udp_idx].lock();
+        let mut udp = self.shards[self.udp_idx][shard].scheduler.lock();
         for mut bundle in evacuated {
             match &mut bundle.msgs {
                 WireMsgs::One(msg) => {
@@ -1602,7 +1875,7 @@ impl RuntimeInner {
         self.stats
             .failover_messages
             .fetch_add(diverted, Ordering::Relaxed);
-        self.dp_tel[self.udp_idx].on_scheduled(diverted);
+        self.dp_tel[self.udp_idx][shard].on_scheduled(diverted);
         true
     }
 

@@ -105,12 +105,12 @@ mod glue {
             }
         }
 
-        /// Registers a per-datapath counter bundle.
-        pub(crate) fn datapath(&self, name: &str) -> DatapathTel {
+        /// Registers the counter bundle for one shard of one datapath.
+        pub(crate) fn datapath(&self, name: &str, shard: usize) -> DatapathTel {
             DatapathTel(
                 self.registry
                     .as_ref()
-                    .map(|reg| reg.register_datapath(name)),
+                    .map(|reg| reg.register_datapath_shard(name, shard)),
             )
         }
 
@@ -211,7 +211,7 @@ mod glue {
             RuntimeTelemetry
         }
 
-        pub(crate) fn datapath(&self, _name: &str) -> DatapathTel {
+        pub(crate) fn datapath(&self, _name: &str, _shard: usize) -> DatapathTel {
             DatapathTel
         }
 
@@ -358,7 +358,7 @@ mod tests {
         let tel = RuntimeTelemetry::new(&TelemetryConfig::disabled());
         assert!(tel.snapshot().is_none());
         // Handles from a disabled root are inert but callable.
-        let dp = tel.datapath("kernel-udp");
+        let dp = tel.datapath("kernel-udp", 0);
         dp.on_tx(1);
         dp.on_rx(1);
         dp.on_scheduled(1);

@@ -7,7 +7,7 @@
 //! tagged through [`crate::insane_hdr::InsaneHeader`]'s fragment fields,
 //! and reassembled at the consumer.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use crate::NetstackError;
 
@@ -88,7 +88,11 @@ struct Partial {
 #[derive(Debug)]
 pub struct Reassembler {
     partials: HashMap<MessageKey, Partial>,
-    arrival_order: Vec<MessageKey>,
+    /// Keys in arrival order for oldest-first eviction.  Completed
+    /// messages are *not* eagerly removed; eviction lazily skips keys
+    /// that no longer have a live partial, keeping both the hot
+    /// completion path and eviction O(1) amortized.
+    arrival_order: VecDeque<MessageKey>,
     max_partial: usize,
     evicted: u64,
 }
@@ -99,7 +103,7 @@ impl Reassembler {
     pub fn new(max_partial: usize) -> Self {
         Self {
             partials: HashMap::new(),
-            arrival_order: Vec::new(),
+            arrival_order: VecDeque::new(),
             max_partial: max_partial.max(1),
             evicted: 0,
         }
@@ -123,10 +127,24 @@ impl Reassembler {
         offset: usize,
         data: &[u8],
     ) -> Result<Option<Vec<u8>>, NetstackError> {
-        if count == 0 || index >= count || offset + data.len() > total_len {
+        // `checked_add` guards against adversarial headers where
+        // `offset + len` wraps usize in release builds and sneaks past
+        // the bound check.
+        let end = match offset.checked_add(data.len()) {
+            Some(end) => end,
+            None => return Err(NetstackError::FragmentMismatch),
+        };
+        if count == 0 || index >= count || end > total_len {
             return Err(NetstackError::FragmentMismatch);
         }
         if count == 1 {
+            // A single-fragment message that reuses the key of a live
+            // partial contradicts that partial's metadata (count > 1);
+            // accepting it silently would also leak the stale partial
+            // until eviction.
+            if self.partials.contains_key(&key) {
+                return Err(NetstackError::FragmentMismatch);
+            }
             return Ok(Some(data.to_vec()));
         }
         let partial = match self.partials.get_mut(&key) {
@@ -137,12 +155,27 @@ impl Reassembler {
                 p
             }
             None => {
-                if self.partials.len() >= self.max_partial {
-                    let oldest = self.arrival_order.remove(0);
-                    self.partials.remove(&oldest);
-                    self.evicted += 1;
+                while self.partials.len() >= self.max_partial {
+                    match self.arrival_order.pop_front() {
+                        // Stale entry (message completed): skip, keep popping.
+                        Some(oldest) => {
+                            if self.partials.remove(&oldest).is_some() {
+                                self.evicted += 1;
+                            }
+                        }
+                        None => break,
+                    }
                 }
-                self.arrival_order.push(key);
+                // Amortized compaction: completed messages leave stale
+                // keys behind; squeeze them out before the deque can
+                // grow past twice the live set.  Runs before `key` is
+                // pushed — its partial is not inserted yet and the
+                // retain must not strip the new arrival entry.
+                if self.arrival_order.len() >= (2 * self.max_partial).max(8) {
+                    let partials = &self.partials;
+                    self.arrival_order.retain(|k| partials.contains_key(k));
+                }
+                self.arrival_order.push_back(key);
                 self.partials.entry(key).or_insert(Partial {
                     buffer: vec![0; total_len],
                     received: vec![false; count as usize],
@@ -158,9 +191,13 @@ impl Reassembler {
         partial.received[index as usize] = true;
         partial.remaining -= 1;
         if partial.remaining == 0 {
-            let done = self.partials.remove(&key).expect("present");
-            self.arrival_order.retain(|k| *k != key);
-            Ok(Some(done.buffer))
+            // Lazy removal: the `arrival_order` entry stays behind and
+            // is skipped (or compacted) at eviction time, so completing
+            // a message costs O(1) instead of an O(n) `retain`.
+            match self.partials.remove(&key) {
+                Some(done) => Ok(Some(done.buffer)),
+                None => Err(NetstackError::FragmentMismatch),
+            }
         } else {
             Ok(None)
         }
@@ -284,6 +321,60 @@ mod tests {
             Some(NetstackError::FragmentMismatch),
             "overrun past total_len"
         );
+    }
+
+    #[test]
+    fn single_fragment_rejected_while_partial_live() {
+        // Regression: a count == 1 fragment reusing the key of a live
+        // partial used to be accepted silently, leaking the stale
+        // partial until eviction.
+        let mut r = Reassembler::new(4);
+        assert!(r.offer(key(7), 0, 3, 12, 0, b"aaaa").unwrap().is_none());
+        assert_eq!(
+            r.offer(key(7), 0, 1, 4, 0, b"tiny").err(),
+            Some(NetstackError::FragmentMismatch)
+        );
+        // The original partial is untouched and still completes.
+        assert!(r.offer(key(7), 1, 3, 12, 4, b"bbbb").unwrap().is_none());
+        let done = r.offer(key(7), 2, 3, 12, 8, b"cccc").unwrap();
+        assert_eq!(done.as_deref(), Some(&b"aaaabbbbcccc"[..]));
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn offset_overflow_is_rejected() {
+        // Regression: `offset + data.len()` used to wrap usize in
+        // release builds and pass the `> total_len` bound check.
+        let mut r = Reassembler::new(2);
+        assert_eq!(
+            r.offer(key(1), 0, 2, 8, usize::MAX, b"abcd").err(),
+            Some(NetstackError::FragmentMismatch)
+        );
+        assert_eq!(
+            r.offer(key(1), 0, 1, 8, usize::MAX - 1, b"abcd").err(),
+            Some(NetstackError::FragmentMismatch)
+        );
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn eviction_skips_completed_keys() {
+        // Completed messages leave lazy entries in arrival order;
+        // eviction must skip them instead of counting them as live.
+        let mut r = Reassembler::new(2);
+        assert!(r.offer(key(1), 0, 2, 8, 0, b"aaaa").unwrap().is_none());
+        assert!(r.offer(key(1), 1, 2, 8, 4, b"bbbb").unwrap().is_some());
+        r.offer(key(2), 0, 2, 8, 0, b"cccc").unwrap();
+        r.offer(key(3), 0, 2, 8, 0, b"dddd").unwrap();
+        // Capacity is full with key(2)/key(3); the stale key(1) entry
+        // sits at the front of the order.  Inserting key(4) must evict
+        // key(2), not trip over key(1).
+        r.offer(key(4), 0, 2, 8, 0, b"eeee").unwrap();
+        assert_eq!(r.pending(), 2);
+        assert_eq!(r.evicted(), 1);
+        // key(3) survives and still completes.
+        let done = r.offer(key(3), 1, 2, 8, 4, b"ffff").unwrap();
+        assert_eq!(done.as_deref(), Some(&b"ddddffff"[..]));
     }
 
     #[test]

@@ -137,22 +137,25 @@ impl StreamTelemetry {
     }
 }
 
-/// Recorder bundle for one datapath plugin.
+/// Recorder bundle for one shard of one datapath plugin (an unsharded
+/// datapath is shard 0).
 #[derive(Debug)]
 pub struct DatapathTelemetry {
     name: String,
-    /// Messages put on the wire by this datapath.
+    shard: usize,
+    /// Messages put on the wire by this datapath shard.
     pub tx_messages: Counter,
-    /// Messages received from this datapath.
+    /// Messages received from this datapath shard.
     pub rx_messages: Counter,
-    /// Messages enqueued into this datapath's packet scheduler.
+    /// Messages enqueued into this shard's packet scheduler.
     pub scheduled: Counter,
 }
 
 impl DatapathTelemetry {
-    fn new(name: &str) -> Self {
+    fn new(name: &str, shard: usize) -> Self {
         Self {
             name: name.to_string(),
+            shard,
             tx_messages: Counter::new(),
             rx_messages: Counter::new(),
             scheduled: Counter::new(),
@@ -164,10 +167,16 @@ impl DatapathTelemetry {
         &self.name
     }
 
-    /// Plain-data snapshot of this datapath's counters.
+    /// Polling shard these counters belong to.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Plain-data snapshot of this datapath shard's counters.
     pub fn snapshot(&self) -> DatapathSnapshot {
         DatapathSnapshot {
             name: self.name.clone(),
+            shard: self.shard,
             tx_messages: self.tx_messages.get(),
             rx_messages: self.rx_messages.get(),
             scheduled: self.scheduled.get(),
@@ -255,10 +264,16 @@ impl Registry {
         s
     }
 
-    /// Registers a datapath recorder bundle (one per plugin, at
-    /// runtime start).
+    /// Registers a datapath recorder bundle for shard 0 (one per
+    /// plugin, at runtime start; unsharded engines use this form).
     pub fn register_datapath(&self, name: &str) -> Arc<DatapathTelemetry> {
-        let d = Arc::new(DatapathTelemetry::new(name));
+        self.register_datapath_shard(name, 0)
+    }
+
+    /// Registers a datapath recorder bundle for one polling shard
+    /// (one per `(plugin, shard)` pair, at runtime start).
+    pub fn register_datapath_shard(&self, name: &str, shard: usize) -> Arc<DatapathTelemetry> {
+        let d = Arc::new(DatapathTelemetry::new(name, shard));
         let mut datapaths = match self.datapaths.write() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
@@ -328,11 +343,13 @@ pub struct StreamSnapshot {
     pub reassembly: Summary,
 }
 
-/// Plain-data snapshot of one datapath's counters.
+/// Plain-data snapshot of one datapath shard's counters.
 #[derive(Debug, Clone, Default)]
 pub struct DatapathSnapshot {
     /// Technology label.
     pub name: String,
+    /// Polling shard (0 for unsharded datapaths).
+    pub shard: usize,
     /// Messages put on the wire.
     pub tx_messages: u64,
     /// Messages received.
@@ -378,6 +395,7 @@ impl DatapathSnapshot {
     pub fn to_json(&self) -> Value {
         Value::object([
             ("technology", Value::from(self.name.as_str())),
+            ("shard", Value::from(self.shard as u64)),
             ("tx_messages", Value::from(self.tx_messages)),
             ("rx_messages", Value::from(self.rx_messages)),
             ("scheduled", Value::from(self.scheduled)),
@@ -475,6 +493,23 @@ mod tests {
         assert_eq!(snap.datapaths[0].tx_messages, 3);
         assert_eq!(snap.datapaths[0].rx_messages, 1);
         assert_eq!(snap.datapaths[0].scheduled, 4);
+    }
+
+    #[test]
+    fn datapath_shards_are_distinct_bundles() {
+        let reg = Registry::new(1);
+        let s0 = reg.register_datapath_shard("dpdk", 0);
+        let s1 = reg.register_datapath_shard("dpdk", 1);
+        s0.tx_messages.add(2);
+        s1.tx_messages.add(5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.datapaths.len(), 2);
+        assert_eq!(snap.datapaths[0].shard, 0);
+        assert_eq!(snap.datapaths[0].tx_messages, 2);
+        assert_eq!(snap.datapaths[1].shard, 1);
+        assert_eq!(snap.datapaths[1].tx_messages, 5);
+        let json = snap.to_json().to_string();
+        assert!(json.contains("\"shard\":1"));
     }
 
     #[test]

@@ -7,11 +7,13 @@
 //!
 //! * `stats <socket>` — pretty-print the live runtime snapshot:
 //!   per-stream latency quantiles and QoS-budget violations,
-//!   per-datapath counters, pool occupancy, runtime counters.
+//!   per-datapath-shard counters and scheduler occupancy, pool
+//!   occupancy, runtime counters.
 //! * `raw <socket>` — dump the snapshot JSON verbatim.
 //! * `ping <socket>` — liveness probe.
-//! * `check-bench <dir>` — validate `BENCH_latency.json` and
-//!   `BENCH_throughput.json` in `dir` against their schemas.
+//! * `check-bench <dir>` — validate `BENCH_latency.json`,
+//!   `BENCH_throughput.json` and (when present)
+//!   `BENCH_shard_throughput.json` in `dir` against their schemas.
 //!
 //! The crate is a panic-free zone under `insane-lint`: every failure
 //! path reports through [`CtlError`] and a nonzero exit code.
@@ -198,6 +200,7 @@ fn stats(socket: &Path) -> Result<(), CtlError> {
         .map(|d| {
             vec![
                 str_of(d, "technology").to_string(),
+                u64_of(d, "shard").to_string(),
                 if d.get("down").and_then(Value::as_bool) == Some(true) {
                     "DOWN".to_string()
                 } else {
@@ -206,10 +209,22 @@ fn stats(socket: &Path) -> Result<(), CtlError> {
                 u64_of(d, "tx_messages").to_string(),
                 u64_of(d, "rx_messages").to_string(),
                 u64_of(d, "scheduled").to_string(),
+                u64_of(d, "queued").to_string(),
             ]
         })
         .collect();
-    print_table(&["technology", "state", "tx", "rx", "scheduled"], &rows);
+    print_table(
+        &[
+            "technology",
+            "shard",
+            "state",
+            "tx",
+            "rx",
+            "scheduled",
+            "queued",
+        ],
+        &rows,
+    );
 
     let pools = doc.get("pools").and_then(Value::as_array).unwrap_or(&[]);
     println!("\npools ({}):", pools.len());
@@ -253,7 +268,9 @@ fn stats(socket: &Path) -> Result<(), CtlError> {
 }
 
 fn check_bench(dir: &Path) -> Result<(), CtlError> {
-    let check = |name: &str, validate: fn(&Value) -> Result<(), insane_telemetry::SchemaError>| {
+    let check = |name: &str,
+                 validate: fn(&Value) -> Result<(), insane_telemetry::SchemaError>|
+     -> Result<(), CtlError> {
         let path = dir.join(name);
         let text = std::fs::read_to_string(&path)
             .map_err(|e| CtlError(format!("{}: {e}", path.display())))?;
@@ -267,5 +284,11 @@ fn check_bench(dir: &Path) -> Result<(), CtlError> {
         Ok(())
     };
     check("BENCH_latency.json", validate_bench_latency)?;
-    check("BENCH_throughput.json", validate_bench_throughput)
+    check("BENCH_throughput.json", validate_bench_throughput)?;
+    // The shard scale-out document is optional (the shard bench may not
+    // have run), but when present it must satisfy the throughput schema.
+    if dir.join("BENCH_shard_throughput.json").exists() {
+        check("BENCH_shard_throughput.json", validate_bench_throughput)?;
+    }
+    Ok(())
 }
