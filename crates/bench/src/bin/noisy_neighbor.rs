@@ -1,0 +1,62 @@
+//! Noisy-neighbor isolation runner: measures a well-behaved tenant's
+//! RTT p99 solo and under a saturating bulk tenant, exports the
+//! schema-validated `BENCH_noisy_neighbor.json`, and fails unless the
+//! contended p99 stays within the 2x isolation bound while the bulk
+//! tenant's overflow was refused with typed errors.
+//!
+//! Iteration counts honor `INSANE_BENCH_FACTOR` (CI runs 0.3).
+
+use insane_bench::export::{write_noisy_neighbor, NoisyNeighborEntry};
+use insane_bench::noisy_neighbor::{self, BULK_BURST, ISOLATION_BOUND_X1000, PAYLOAD};
+use insane_bench::{iters, BenchError};
+use insane_fabric::TestbedProfile;
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("noisy-neighbor bench failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), BenchError> {
+    let profile = TestbedProfile::local();
+    let rounds = iters(200);
+    // Warmup also floods, so the bulk bucket is already dry when
+    // measurement starts — even at tiny bench factors.
+    let warmup = 30;
+
+    println!(
+        "noisy neighbor: {rounds} victim RTTs x {PAYLOAD} B over DPDK, \
+         bulk bursts of {BULK_BURST} per round"
+    );
+    let report = noisy_neighbor::run(&profile, rounds, warmup)?;
+
+    let ratio = report.isolation_ratio_x1000();
+    println!(
+        "victim p99: solo {:.2}us, contended {:.2}us -> ratio {:.3}x (bound {:.3}x)",
+        report.solo.p99() as f64 / 1e3,
+        report.contended.p99() as f64 / 1e3,
+        ratio as f64 / 1e3,
+        ISOLATION_BOUND_X1000 as f64 / 1e3,
+    );
+    println!(
+        "bulk tenant: {} typed rejections; victim: {}",
+        report.bulk_rejections, report.victim_rejections
+    );
+
+    // The export validator enforces the isolation gate and the
+    // rejection invariants; a violated bound fails here, before CI.
+    write_noisy_neighbor(&[NoisyNeighborEntry {
+        system: "INSANE multi-tenant".into(),
+        testbed: profile.name.into(),
+        payload_bytes: PAYLOAD,
+        samples: report.contended.len(),
+        solo_p99_ns: report.solo.p99(),
+        contended_p99_ns: report.contended.p99(),
+        isolation_ratio_x1000: ratio,
+        bound_x1000: ISOLATION_BOUND_X1000,
+        bulk_rejections: report.bulk_rejections,
+        victim_rejections: report.victim_rejections,
+    }])?;
+    Ok(())
+}

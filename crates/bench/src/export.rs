@@ -10,8 +10,8 @@ use std::fs;
 use std::path::PathBuf;
 
 use insane_telemetry::{
-    validate_bench_latency, validate_bench_throughput, Value, BENCH_LATENCY_SCHEMA,
-    BENCH_THROUGHPUT_SCHEMA,
+    validate_bench_latency, validate_bench_noisy_neighbor, validate_bench_throughput, Value,
+    BENCH_LATENCY_SCHEMA, BENCH_NOISY_NEIGHBOR_SCHEMA, BENCH_THROUGHPUT_SCHEMA,
 };
 
 use crate::report::experiments_dir;
@@ -72,6 +72,49 @@ impl ThroughputEntry {
             ("payload_bytes", (self.payload_bytes as u64).into()),
             ("messages", (self.messages as u64).into()),
             ("goodput_gbps", self.goodput_gbps.into()),
+        ])
+    }
+}
+
+/// One noisy-neighbor isolation measurement: the victim tenant's p99
+/// solo vs contended, plus the tenants' typed-rejection counts.
+#[derive(Debug, Clone)]
+pub struct NoisyNeighborEntry {
+    /// System label as printed in the tables.
+    pub system: String,
+    /// Testbed profile name.
+    pub testbed: String,
+    /// Payload size in bytes.
+    pub payload_bytes: usize,
+    /// Victim RTT samples per phase.
+    pub samples: usize,
+    /// Victim p99 with no bulk traffic, nanoseconds.
+    pub solo_p99_ns: u64,
+    /// Victim p99 under bulk saturation, nanoseconds.
+    pub contended_p99_ns: u64,
+    /// Contended/solo p99 ratio in thousandths (fixed point).
+    pub isolation_ratio_x1000: u64,
+    /// Maximum permitted ratio in thousandths.
+    pub bound_x1000: u64,
+    /// Typed refusals the saturating tenant received (must be ≥ 1).
+    pub bulk_rejections: u64,
+    /// Typed refusals the victim received (must be 0).
+    pub victim_rejections: u64,
+}
+
+impl NoisyNeighborEntry {
+    fn to_value(&self) -> Value {
+        Value::object([
+            ("system", self.system.as_str().into()),
+            ("testbed", self.testbed.as_str().into()),
+            ("payload_bytes", (self.payload_bytes as u64).into()),
+            ("samples", (self.samples as u64).into()),
+            ("solo_p99_ns", self.solo_p99_ns.into()),
+            ("contended_p99_ns", self.contended_p99_ns.into()),
+            ("isolation_ratio_x1000", self.isolation_ratio_x1000.into()),
+            ("bound_x1000", self.bound_x1000.into()),
+            ("bulk_rejections", self.bulk_rejections.into()),
+            ("victim_rejections", self.victim_rejections.into()),
         ])
     }
 }
@@ -138,6 +181,26 @@ pub fn write_throughput_named(
     validate_bench_throughput(&doc)
         .map_err(|e| BenchError::Other(format!("{name} export: {e}")))?;
     write_doc(name, &doc)
+}
+
+/// Writes `BENCH_noisy_neighbor.json` and returns its path.
+///
+/// Validated against [`BENCH_NOISY_NEIGHBOR_SCHEMA`] before writing, so
+/// a violated isolation bound (or a missing rejection count) fails the
+/// bench run itself, not just a later `check-bench`.
+///
+/// # Errors
+///
+/// Fails on schema violations — including `isolation_ratio_x1000 >
+/// bound_x1000` — or I/O errors.
+pub fn write_noisy_neighbor(entries: &[NoisyNeighborEntry]) -> Result<PathBuf, BenchError> {
+    let doc = document(
+        BENCH_NOISY_NEIGHBOR_SCHEMA,
+        entries.iter().map(NoisyNeighborEntry::to_value).collect(),
+    );
+    validate_bench_noisy_neighbor(&doc)
+        .map_err(|e| BenchError::Other(format!("noisy-neighbor export: {e}")))?;
+    write_doc("BENCH_noisy_neighbor.json", &doc)
 }
 
 #[cfg(test)]

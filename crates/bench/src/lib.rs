@@ -36,6 +36,7 @@ pub mod experiments;
 pub mod export;
 pub mod latency;
 pub mod mom_bench;
+pub mod noisy_neighbor;
 pub mod report;
 pub mod setup;
 pub mod shard_bench;

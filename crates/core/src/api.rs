@@ -65,11 +65,34 @@ pub enum EmitOutcome {
     Failed,
 }
 
+/// Session construction parameters (multi-tenant deployments).
+///
+/// The default configuration attaches as the anonymous tenant
+/// ([`crate::DEFAULT_TENANT`]): no quota, no rate limit, the shared
+/// fair-share lane — exactly the single-tenant behavior of
+/// [`Session::connect`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionConfig {
+    /// The tenant every stream of this session emits as.  Register the
+    /// tenant on the runtime ([`crate::TenantSpec`]) to give it slot
+    /// quotas, admission rates, and a scheduler weight; unregistered
+    /// ids pool with the anonymous tenant.
+    pub tenant: crate::TenantId,
+}
+
+impl SessionConfig {
+    /// A configuration attaching as `tenant`.
+    pub fn for_tenant(tenant: crate::TenantId) -> Self {
+        Self { tenant }
+    }
+}
+
 /// An application session with the local runtime (`init_session`).
 #[derive(Debug)]
 pub struct Session {
     runtime: Runtime,
     id: u64,
+    tenant: crate::TenantId,
     streams: Mutex<Vec<Arc<StreamShared>>>,
     closed: AtomicBool,
 }
@@ -82,12 +105,24 @@ impl Session {
     ///
     /// [`InsaneError::Closed`] when the runtime has shut down.
     pub fn connect(runtime: &Runtime) -> Result<Session, InsaneError> {
+        Self::connect_with(runtime, SessionConfig::default())
+    }
+
+    /// As [`Session::connect`], attaching under an explicit
+    /// [`SessionConfig`] — notably the tenant whose quotas, admission
+    /// budget, and fair-share lane every stream of this session uses.
+    ///
+    /// # Errors
+    ///
+    /// [`InsaneError::Closed`] when the runtime has shut down.
+    pub fn connect_with(runtime: &Runtime, config: SessionConfig) -> Result<Session, InsaneError> {
         if runtime.inner().is_stopped() {
             return Err(InsaneError::Closed);
         }
         Ok(Session {
             runtime: runtime.clone(),
             id: runtime.inner().next_id(),
+            tenant: config.tenant,
             streams: Mutex::new(Vec::new()),
             closed: AtomicBool::new(false),
         })
@@ -96,6 +131,11 @@ impl Session {
     /// Session identifier (diagnostics).
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// The tenant this session attached as.
+    pub fn tenant(&self) -> crate::TenantId {
+        self.tenant
     }
 
     /// Opens a stream with the given QoS policy; the runtime maps it to a
@@ -108,7 +148,7 @@ impl Session {
         if self.closed.load(Ordering::Acquire) {
             return Err(InsaneError::Closed);
         }
-        let shared = self.runtime.inner().create_stream(qos)?;
+        let shared = self.runtime.inner().create_stream(qos, self.tenant)?;
         self.streams.lock().push(Arc::clone(&shared));
         Ok(Stream {
             runtime: self.runtime.clone(),
@@ -228,8 +268,11 @@ impl Stream {
             closed: AtomicBool::new(false),
             received: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
-            telemetry: inner
-                .telemetry_stream(channel.0, self.shared.qos.time_sensitivity.traffic_class()),
+            telemetry: inner.telemetry_stream(
+                channel.0,
+                self.shared.qos.time_sensitivity.traffic_class(),
+                self.shared.tenant,
+            ),
         });
         inner.register_sink(Arc::clone(&shared));
         Ok(Sink {
@@ -306,11 +349,26 @@ impl Source {
     /// Borrows a zero-copy buffer for a message of `len` bytes
     /// (`get_buffer`).
     ///
+    /// In a multi-tenant runtime this is where isolation is enforced,
+    /// before the application writes a single payload byte: the
+    /// session's tenant is charged one admission token and the slot is
+    /// lent against its quota.
+    ///
     /// # Errors
     ///
     /// * [`InsaneError::PayloadTooLarge`] beyond the datapath's MTU.
-    /// * [`InsaneError::Memory`] when the pools are exhausted
-    ///   (back-pressure: release consumed buffers or retry).
+    /// * [`InsaneError::AdmissionRejected`] / [`InsaneError::Shed`] /
+    ///   [`InsaneError::Backpressure`] when the tenant outran its
+    ///   admission rate (policy-dependent; see
+    ///   [`crate::OverloadPolicy`]).
+    /// * [`InsaneError::Memory`]\([`MemoryError::QuotaExceeded`]\) when
+    ///   the tenant holds its full slot quota.
+    /// * [`InsaneError::Memory`]\([`MemoryError::PoolExhausted`]\) when
+    ///   the pools are exhausted (back-pressure: release consumed
+    ///   buffers or retry).
+    ///
+    /// [`MemoryError::QuotaExceeded`]: crate::MemoryError::QuotaExceeded
+    /// [`MemoryError::PoolExhausted`]: crate::MemoryError::PoolExhausted
     pub fn get_buffer(&self, len: usize) -> Result<MessageBuffer, InsaneError> {
         if len > self.max_payload {
             return Err(InsaneError::PayloadTooLarge {
@@ -318,7 +376,14 @@ impl Source {
                 max: self.max_payload,
             });
         }
-        let guard = self.runtime.inner().pools().acquire(PAYLOAD_OFFSET + len)?;
+        let inner = self.runtime.inner();
+        let tenant = self.stream.tenant;
+        inner.admission().admit(
+            tenant,
+            self.stream.qos.time_sensitivity.traffic_class(),
+            epoch_ns(),
+        )?;
+        let guard = inner.pools().lend(tenant, PAYLOAD_OFFSET + len)?;
         Ok(MessageBuffer {
             guard,
             payload_len: len,
@@ -370,11 +435,13 @@ impl Source {
         }
         let seq = self.stream.next_seq();
         self.outcome.emitted.fetch_add(1, Ordering::Relaxed);
+        let class = self.stream.qos.time_sensitivity.traffic_class();
         let request = TxRequest {
             token: buffer.guard.into_token(),
             payload_len: buffer.payload_len,
             channel: self.channel,
-            class: self.stream.qos.time_sensitivity.traffic_class(),
+            tenant: self.stream.tenant,
+            class,
             seq,
             emit_ns: epoch_ns(),
             frag,
@@ -383,9 +450,13 @@ impl Source {
         match self.stream.tx.push(request) {
             Ok(()) => Ok(EmitToken { seq }),
             Err(rejected) => {
-                // Back-pressure: hand the slot back and tell the caller.
-                let _ = self.runtime.inner().pools().release(rejected.token);
-                Err(InsaneError::Backpressure)
+                // Back-pressure: hand the slot back, then let the
+                // overload policy decide what the caller hears — a
+                // retryable Backpressure, or a terminal Shed for
+                // best-effort traffic under ShedLowest.
+                let inner = self.runtime.inner();
+                let _ = inner.pools().release(rejected.token);
+                Err(inner.admission().on_tx_full(self.stream.tenant, class))
             }
         }
     }

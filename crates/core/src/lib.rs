@@ -48,27 +48,35 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod admission;
 mod api;
 pub mod qos;
 pub mod runtime;
 pub mod stats;
 pub mod telemetry;
+pub mod tenant_drr;
 
+pub use admission::{AdmissionUsage, OverloadPolicy, TenantRate};
 pub use api::{
-    ConsumeMode, EmitOutcome, EmitToken, IncomingMessage, MessageBuffer, Session, Sink, SinkStats,
-    Source, Stream,
+    ConsumeMode, EmitOutcome, EmitToken, IncomingMessage, MessageBuffer, Session, SessionConfig,
+    Sink, SinkStats, Source, Stream,
 };
 pub use qos::{
     Acceleration, MappedPath, MappingStrategy, QosPolicy, ResourceUsage, TimeSensitivity,
 };
 pub use runtime::shard::{shard_of_channel, shard_of_stream};
-pub use runtime::{ControlPlaneConfig, Runtime, RuntimeConfig, SchedulerChoice, ThreadingMode};
+pub use runtime::{
+    ControlPlaneConfig, Runtime, RuntimeConfig, SchedulerChoice, TenantSpec, ThreadingMode,
+};
 pub use telemetry::TelemetryConfig;
+pub use tenant_drr::{TenantDrr, Tenanted};
 
 // Re-exported so downstream crates can match on the middleware's nested
 // error causes without depending on the substrate crates directly.
 pub use insane_fabric::Technology;
 pub use insane_memory::MemoryError;
+// Multi-tenancy vocabulary shared with the memory crate's quota ledger.
+pub use insane_memory::{TenantId, TenantQuota, TenantUsage, DEFAULT_TENANT};
 
 use core::fmt;
 
@@ -121,6 +129,20 @@ pub enum InsaneError {
     CallbackSink,
     /// Internal queue between library and runtime is full (back-pressure).
     Backpressure,
+    /// The tenant's admission token bucket is empty: the message was
+    /// refused terminally under the configured rate limit
+    /// (see [`OverloadPolicy`]).
+    AdmissionRejected {
+        /// The over-rate tenant.
+        tenant: TenantId,
+    },
+    /// Overload shed: a lowest-criticality message was dropped to keep
+    /// the tenant's time-sensitive budget intact
+    /// ([`OverloadPolicy::ShedLowest`]).
+    Shed {
+        /// The tenant whose message was shed.
+        tenant: TenantId,
+    },
     /// An internal invariant failed or an OS resource was unavailable
     /// (e.g. a polling thread could not be spawned).
     Internal(String),
@@ -151,6 +173,15 @@ impl fmt::Display for InsaneError {
                 )
             }
             InsaneError::Backpressure => write!(f, "runtime queue full, retry later"),
+            InsaneError::AdmissionRejected { tenant } => {
+                write!(f, "tenant {tenant} exceeded its admission rate limit")
+            }
+            InsaneError::Shed { tenant } => {
+                write!(
+                    f,
+                    "message shed under overload to protect tenant {tenant}'s time-sensitive budget"
+                )
+            }
             InsaneError::Internal(msg) => write!(f, "internal runtime failure: {msg}"),
         }
     }

@@ -26,6 +26,8 @@ pub(crate) struct TxRequest {
     pub payload_len: usize,
     /// Channel the message travels on.
     pub channel: u32,
+    /// Tenant of the emitting session (cross-tenant fair queueing).
+    pub tenant: insane_memory::TenantId,
     /// Scheduler class derived from the stream's time-sensitivity QoS.
     pub class: TrafficClass,
     /// Per-stream sequence number.
@@ -121,6 +123,9 @@ pub(crate) struct StreamShared {
     pub id: u64,
     pub qos: QosPolicy,
     pub mapped: MappedPath,
+    /// Tenant of the session that opened the stream: the accounting
+    /// identity of every buffer it lends and message it emits.
+    pub tenant: insane_memory::TenantId,
     /// Library → runtime token queue.
     pub tx: MpmcQueue<TxRequest>,
     pub seq: AtomicU64,
@@ -301,6 +306,7 @@ mod tests {
                 technology: insane_fabric::Technology::KernelUdp,
                 fallback: false,
             },
+            tenant: insane_memory::DEFAULT_TENANT,
             tx: MpmcQueue::new(4),
             seq: AtomicU64::new(0),
             closed: AtomicBool::new(false),
@@ -356,6 +362,7 @@ mod tests {
                 technology: insane_fabric::Technology::KernelUdp,
                 fallback: false,
             },
+            tenant: insane_memory::DEFAULT_TENANT,
             tx: MpmcQueue::new(4),
             seq: AtomicU64::new(0),
             closed: AtomicBool::new(false),

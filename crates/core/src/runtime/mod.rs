@@ -19,11 +19,12 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use insane_fabric::{Endpoint, Fabric, HostId, Technology};
-use insane_memory::{PoolSet, PoolSetBuilder, SlotView};
+use insane_memory::{PoolSet, PoolSetBuilder, SlotView, TenantId, TenantQuota};
 use insane_netstack::insane_hdr::{InsaneHeader, MessageKind};
 use insane_tsn::{FifoScheduler, GateControlList, Scheduler, TasScheduler, TrafficClass};
 use parking_lot::Mutex;
 
+use crate::admission::{AdmissionController, OverloadPolicy, TenantRate};
 use crate::qos::{DefaultMapping, MappedPath, MappingStrategy, QosPolicy};
 use crate::runtime::dispatch::{
     decode_control, encode_control, mask_supports, tech_mask, ControlOp, Dispatcher,
@@ -37,6 +38,7 @@ use crate::runtime::plugins::{
 };
 use crate::stats::{MessageMeta, RuntimeStats, StatsSnapshot};
 use crate::telemetry::{DatapathTel, RuntimeTelemetry, SinkTel, TelemetryConfig};
+use crate::tenant_drr::{TenantDrr, Tenanted};
 use crate::{epoch_ns, InsaneError, PAYLOAD_OFFSET};
 
 /// How the runtime's polling work is executed (§5.3: "the number of these
@@ -113,6 +115,50 @@ impl Default for ControlPlaneConfig {
     }
 }
 
+/// Per-tenant runtime registration: slot quota, optional admission
+/// rate, and cross-tenant fair-share weight (DESIGN.md §10).
+///
+/// Registered tenants get hard isolation on all three axes; sessions
+/// attaching with an unregistered tenant id (or none) pool on the
+/// anonymous catch-all with no guarantees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Tenant id.  0 is the anonymous default tenant and is ignored if
+    /// registered explicitly.
+    pub tenant: TenantId,
+    /// Slot-quota reservation and cap enforced by the memory pools at
+    /// lend time.
+    pub quota: TenantQuota,
+    /// Admission token bucket (`None` = no rate limit).
+    pub rate: Option<TenantRate>,
+    /// Weight in the cross-tenant fair scheduler (clamped to ≥ 1).
+    pub weight: u32,
+}
+
+impl TenantSpec {
+    /// A tenant with `quota`, no rate limit, and weight 1.
+    pub fn new(tenant: TenantId, quota: TenantQuota) -> Self {
+        Self {
+            tenant,
+            quota,
+            rate: None,
+            weight: 1,
+        }
+    }
+
+    /// Adds an admission rate limit.
+    pub fn with_rate(mut self, rate: TenantRate) -> Self {
+        self.rate = Some(rate);
+        self
+    }
+
+    /// Sets the fair-share scheduler weight.
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        self.weight = weight;
+        self
+    }
+}
+
 /// Runtime construction parameters.
 #[derive(Clone)]
 pub struct RuntimeConfig {
@@ -153,6 +199,15 @@ pub struct RuntimeConfig {
     /// introspection endpoint (no-op unless the `telemetry` cargo
     /// feature is enabled).
     pub telemetry: TelemetryConfig,
+    /// Registered tenants: slot quotas, admission rates, and fair-share
+    /// weights.  Empty (the default) keeps single-tenant operation: no
+    /// quota ledger, no admission buckets, the plain per-shard
+    /// schedulers.
+    pub tenants: Vec<TenantSpec>,
+    /// What happens when a tenant outruns its admission budget (or its
+    /// TX queue overflows): reject, shed lowest-criticality first, or
+    /// backpressure best-effort traffic.
+    pub overload: OverloadPolicy,
 }
 
 impl std::fmt::Debug for RuntimeConfig {
@@ -166,6 +221,8 @@ impl std::fmt::Debug for RuntimeConfig {
             .field("port_base", &self.port_base)
             .field("control", &self.control)
             .field("telemetry", &self.telemetry)
+            .field("tenants", &self.tenants)
+            .field("overload", &self.overload)
             .finish()
     }
 }
@@ -194,6 +251,8 @@ impl RuntimeConfig {
             shards_per_datapath: 1,
             control: ControlPlaneConfig::default(),
             telemetry: TelemetryConfig::default(),
+            tenants: Vec::new(),
+            overload: OverloadPolicy::default(),
         }
     }
 
@@ -246,6 +305,21 @@ impl RuntimeConfig {
         self.telemetry = telemetry;
         self
     }
+
+    /// Registers a tenant: its slot quota, admission rate, and
+    /// fair-share weight (see [`TenantSpec`]).  May be called once per
+    /// tenant; duplicates are rejected at [`Runtime::start`].
+    pub fn with_tenant(mut self, spec: TenantSpec) -> Self {
+        self.tenants.push(spec);
+        self
+    }
+
+    /// Sets the overload policy applied when a tenant outruns its
+    /// admission budget.
+    pub fn with_overload(mut self, overload: OverloadPolicy) -> Self {
+        self.overload = overload;
+        self
+    }
 }
 
 /// Modeled per-hop IPC costs of the runtime (nanoseconds).
@@ -295,6 +369,14 @@ struct OutboundBundle {
     msgs: WireMsgs,
     outcome: Arc<OutcomeBoard>,
     seq: u64,
+    /// Emitting tenant, the key of the cross-tenant fair scheduler.
+    tenant: TenantId,
+}
+
+impl Tenanted for OutboundBundle {
+    fn tenant(&self) -> TenantId {
+        self.tenant
+    }
 }
 
 /// Per-shard scratch buffers reused across polling iterations so the
@@ -379,6 +461,8 @@ pub(crate) struct RuntimeInner {
     fabric: Fabric,
     host: HostId,
     pools: PoolSet,
+    /// Per-tenant token-bucket admission (inert with no tenants).
+    admission: AdmissionController,
     plugins: Vec<Arc<dyn DatapathPlugin>>,
     /// Per-datapath shard states, `shards[datapath][shard]`.  Every
     /// datapath runs the same shard count
@@ -451,10 +535,19 @@ impl Runtime {
         }
         config.technologies.dedup();
         config.shards_per_datapath = config.shards_per_datapath.clamp(1, 64);
-        let pools = PoolSetBuilder::new()
+        let mut pool_builder = PoolSetBuilder::new()
             .pool(2_048, config.small_slots)
-            .pool(16 * 1_024, config.large_slots)
-            .build()?;
+            .pool(16 * 1_024, config.large_slots);
+        for spec in &config.tenants {
+            pool_builder = pool_builder.tenant(spec.tenant, spec.quota);
+        }
+        let pools = pool_builder.build()?;
+        let admission_rates: Vec<(TenantId, Option<TenantRate>)> = config
+            .tenants
+            .iter()
+            .map(|spec| (spec.tenant, spec.rate))
+            .collect();
+        let admission = AdmissionController::new(&admission_rates, config.overload);
 
         let stats = Arc::new(RuntimeStats::default());
         let mut plugins: Vec<Arc<dyn DatapathPlugin>> = Vec::new();
@@ -505,7 +598,7 @@ impl Runtime {
             let mut dp_shards = Vec::with_capacity(nshards);
             for _ in 0..nshards {
                 dp_shards.push(DatapathShard {
-                    scheduler: Mutex::new(Self::build_scheduler(&config.scheduler)?),
+                    scheduler: Mutex::new(Self::build_scheduler(&config)?),
                     scratch: Mutex::new(Scratch::fresh()),
                     rx_inbox: Mutex::new(VecDeque::new()),
                 });
@@ -540,6 +633,7 @@ impl Runtime {
             fabric: fabric.clone(),
             host,
             pools,
+            admission,
             plugins,
             shards,
             rx_claim,
@@ -565,9 +659,26 @@ impl Runtime {
         Ok(runtime)
     }
 
-    fn build_scheduler(choice: &SchedulerChoice) -> Result<BoxedScheduler, InsaneError> {
-        match choice {
-            SchedulerChoice::Fifo => Ok(Box::new(FifoScheduler::new())),
+    fn build_scheduler(config: &RuntimeConfig) -> Result<BoxedScheduler, InsaneError> {
+        match &config.scheduler {
+            // With tenants registered, the FIFO strategy is upgraded to
+            // cross-tenant weighted DRR so one tenant's backlog cannot
+            // monopolize a shard's drain burst.  The time-aware shaper
+            // keeps its gate semantics unchanged: its exclusive windows
+            // already bound what any one class — and thus any one
+            // backlog — can take per cycle (DESIGN.md §10).
+            SchedulerChoice::Fifo => {
+                if config.tenants.is_empty() {
+                    Ok(Box::new(FifoScheduler::new()))
+                } else {
+                    let weights: Vec<(TenantId, u32)> = config
+                        .tenants
+                        .iter()
+                        .map(|spec| (spec.tenant, spec.weight))
+                        .collect();
+                    Ok(Box::new(TenantDrr::new(&weights)))
+                }
+            }
             SchedulerChoice::TimeAware {
                 critical_window,
                 cycle,
@@ -909,6 +1020,10 @@ impl RuntimeInner {
         &self.pools
     }
 
+    pub(crate) fn admission(&self) -> &AdmissionController {
+        &self.admission
+    }
+
     pub(crate) fn config(&self) -> &RuntimeConfig {
         &self.config
     }
@@ -917,10 +1032,16 @@ impl RuntimeInner {
         self.stop.load(Ordering::Acquire)
     }
 
-    /// Per-stream telemetry handle for a sink on `channel` (inert when
-    /// telemetry is disabled or compiled out).
-    pub(crate) fn telemetry_stream(&self, channel: u32, class: TrafficClass) -> SinkTel {
-        self.telemetry.stream(channel, class)
+    /// Per-stream telemetry handle for a sink on `channel`, rolled up
+    /// into `tenant`'s histograms too (inert when telemetry is
+    /// disabled or compiled out).
+    pub(crate) fn telemetry_stream(
+        &self,
+        channel: u32,
+        class: TrafficClass,
+        tenant: TenantId,
+    ) -> SinkTel {
+        self.telemetry.stream(channel, class, tenant)
     }
 
     /// Builds the introspection snapshot served over the endpoint and
@@ -989,6 +1110,36 @@ impl RuntimeInner {
                 ])
             })
             .collect();
+        // Per-tenant rollup: slot quotas from the memory ledger joined
+        // with the admission controller's counters and the telemetry
+        // latency rollup (same tenant order is not guaranteed, so join
+        // by id; anonymous tenant 0 is included).
+        let admission = self.admission.usage();
+        let tenants: Vec<Value> = self
+            .pools
+            .tenant_usage()
+            .iter()
+            .map(|usage| {
+                let adm = admission.iter().find(|a| a.tenant == usage.tenant);
+                let lat = reg
+                    .as_ref()
+                    .and_then(|r| r.tenants.iter().find(|t| t.tenant == usage.tenant));
+                Value::object([
+                    ("tenant", Value::from(u64::from(usage.tenant))),
+                    ("held", Value::from(usage.held as u64)),
+                    ("reserved", Value::from(usage.reserved as u64)),
+                    ("max", Value::from(usage.max as u64)),
+                    ("quota_rejections", Value::from(usage.quota_rejections)),
+                    ("admitted", Value::from(adm.map_or(0, |a| a.admitted))),
+                    ("rejected", Value::from(adm.map_or(0, |a| a.rejected))),
+                    ("shed", Value::from(adm.map_or(0, |a| a.shed))),
+                    ("throttled", Value::from(adm.map_or(0, |a| a.throttled))),
+                    ("consumed", Value::from(lat.map_or(0, |t| t.consumed))),
+                    ("p50_ns", Value::from(lat.map_or(0, |t| t.total.p50_ns))),
+                    ("p99_ns", Value::from(lat.map_or(0, |t| t.total.p99_ns))),
+                ])
+            })
+            .collect();
         let f = self.fabric.faults().stats();
         let faults = Value::object([
             ("injected_drops", Value::from(f.injected_drops)),
@@ -1012,6 +1163,7 @@ impl RuntimeInner {
             ("streams", Value::Array(streams)),
             ("datapaths", Value::Array(datapaths)),
             ("pools", Value::Array(pools)),
+            ("tenants", Value::Array(tenants)),
             ("faults", faults),
         ])
         .to_string()
@@ -1036,8 +1188,13 @@ impl RuntimeInner {
             })
     }
 
-    /// Maps a QoS policy and registers the resulting stream.
-    pub(crate) fn create_stream(&self, qos: QosPolicy) -> Result<Arc<StreamShared>, InsaneError> {
+    /// Maps a QoS policy and registers the resulting stream, owned by
+    /// `tenant`.
+    pub(crate) fn create_stream(
+        &self,
+        qos: QosPolicy,
+        tenant: TenantId,
+    ) -> Result<Arc<StreamShared>, InsaneError> {
         if self.is_stopped() {
             return Err(InsaneError::Closed);
         }
@@ -1050,6 +1207,7 @@ impl RuntimeInner {
             id: self.next_id(),
             qos,
             mapped,
+            tenant,
             tx: insane_queues::MpmcQueue::new(self.config.tx_queue_depth),
             seq: AtomicU64::new(0),
             closed: AtomicBool::new(false),
@@ -1721,6 +1879,7 @@ impl RuntimeInner {
                     msgs: WireMsgs::One(msg),
                     outcome: req.outcome,
                     seq: req.seq,
+                    tenant: req.tenant,
                 },
                 class,
                 now,
@@ -1803,6 +1962,7 @@ impl RuntimeInner {
                     msgs: WireMsgs::Many(native),
                     outcome: Arc::clone(&req.outcome),
                     seq: req.seq,
+                    tenant: req.tenant,
                 },
                 req.class,
                 now,
@@ -1815,6 +1975,7 @@ impl RuntimeInner {
                     msgs: WireMsgs::Many(fallback),
                     outcome: req.outcome,
                     seq: req.seq,
+                    tenant: req.tenant,
                 },
                 if this_down {
                     TrafficClass::BEST_EFFORT

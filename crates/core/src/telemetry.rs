@@ -84,6 +84,7 @@ mod glue {
     use crate::stats::{LatencyBreakdown, MessageMeta};
     use insane_telemetry::{
         BreakdownSample, DatapathTelemetry, Registry, RegistrySnapshot, StreamTelemetry,
+        TenantTelemetry,
     };
     use insane_tsn::TrafficClass;
     use std::sync::Arc;
@@ -115,9 +116,15 @@ mod glue {
         }
 
         /// Returns (creating on first use) the per-stream recorder
-        /// handle for `channel`. The handle is cached by the caller;
-        /// no lock is taken per message.
-        pub(crate) fn stream(&self, channel: u32, class: TrafficClass) -> SinkTel {
+        /// handle for `channel`, paired with the consuming `tenant`'s
+        /// rollup recorder. The handle is cached by the caller; no
+        /// lock is taken per message.
+        pub(crate) fn stream(
+            &self,
+            channel: u32,
+            class: TrafficClass,
+            tenant: insane_memory::TenantId,
+        ) -> SinkTel {
             SinkTel(self.registry.as_ref().map(|reg| {
                 let best_effort = class == TrafficClass::BEST_EFFORT;
                 let label = if best_effort {
@@ -126,7 +133,7 @@ mod glue {
                     format!("tc{}", class.value())
                 };
                 let budget = if best_effort { 0 } else { self.budget_ns };
-                reg.stream(channel, &label, budget)
+                (reg.stream(channel, &label, budget), reg.tenant(tenant))
             }))
         }
 
@@ -161,9 +168,10 @@ mod glue {
         }
     }
 
-    /// Per-stream recorder handle cached in each sink's shared state.
+    /// Per-stream recorder handle cached in each sink's shared state,
+    /// paired with the owning tenant's cross-stream rollup.
     #[derive(Debug)]
-    pub(crate) struct SinkTel(Option<Arc<StreamTelemetry>>);
+    pub(crate) struct SinkTel(Option<(Arc<StreamTelemetry>, Arc<TenantTelemetry>)>);
 
     impl SinkTel {
         /// A disconnected handle (used by runtime unit tests).
@@ -172,12 +180,15 @@ mod glue {
             SinkTel(None)
         }
 
-        /// Records one consumed message. The breakdown is only
-        /// computed when a recorder is attached.
+        /// Records one consumed message into the stream's breakdown
+        /// histograms and the tenant's end-to-end rollup. The breakdown
+        /// is only computed when a recorder is attached.
         pub(crate) fn observe(&self, meta: &MessageMeta, consumed_ns: u64) {
-            if let Some(t) = &self.0 {
+            if let Some((stream, tenant)) = &self.0 {
                 let b = LatencyBreakdown::from_meta(meta, consumed_ns);
-                t.observe(&to_sample(&b));
+                let sample = to_sample(&b);
+                stream.observe(&sample);
+                tenant.observe_total(sample.total_ns());
             }
         }
     }
@@ -215,7 +226,12 @@ mod glue {
             DatapathTel
         }
 
-        pub(crate) fn stream(&self, _channel: u32, _class: TrafficClass) -> SinkTel {
+        pub(crate) fn stream(
+            &self,
+            _channel: u32,
+            _class: TrafficClass,
+            _tenant: insane_memory::TenantId,
+        ) -> SinkTel {
             SinkTel
         }
     }
@@ -362,7 +378,7 @@ mod tests {
         dp.on_tx(1);
         dp.on_rx(1);
         dp.on_scheduled(1);
-        let sink = tel.stream(1, insane_tsn::TrafficClass::BEST_EFFORT);
+        let sink = tel.stream(1, insane_tsn::TrafficClass::BEST_EFFORT, 0);
         sink.observe(
             &crate::stats::MessageMeta {
                 channel: 1,
@@ -394,9 +410,9 @@ mod tests {
             dispatched_ns: 250,
             // total one-way latency vs consume at 300: 300 ns > 100 ns
         };
-        let be = tel.stream(1, insane_tsn::TrafficClass::BEST_EFFORT);
+        let be = tel.stream(1, insane_tsn::TrafficClass::BEST_EFFORT, 3);
         be.observe(&meta, 300);
-        let tc = tel.stream(2, insane_tsn::TrafficClass::TIME_CRITICAL);
+        let tc = tel.stream(2, insane_tsn::TrafficClass::TIME_CRITICAL, 3);
         tc.observe(&meta, 300);
         let snap = tel.snapshot().expect("enabled registry");
         let find = |ch: u32| {

@@ -1,0 +1,280 @@
+//! Cross-tenant weighted deficit-round-robin packet scheduling
+//! (DESIGN.md §10).
+//!
+//! The per-shard packet scheduler is where a noisy neighbor's backlog
+//! would otherwise monopolize a drain burst: a FIFO drains in arrival
+//! order, so a tenant that emitted 10 000 messages ahead of a
+//! well-behaved tenant's single ping delays that ping by the whole
+//! backlog.  [`TenantDrr`] gives every registered tenant its own lane
+//! and serves lanes deficit-round-robin — each lane earns `weight`
+//! credits per visit and spends one per message — so a shard's drain
+//! burst is divided among backlogged tenants by weight instead of by
+//! arrival order.  Within a lane, higher traffic classes always leave
+//! first (QoS-weighted: a tenant's time-critical messages precede its
+//! own bulk traffic).
+//!
+//! Unregistered tenants (and the anonymous default tenant) share lane
+//! 0 at weight 1, mirroring the quota ledger's catch-all entry.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use insane_memory::{TenantId, DEFAULT_TENANT};
+use insane_tsn::{Scheduler, TrafficClass, CLASS_COUNT};
+
+/// Items schedulable by [`TenantDrr`] expose their owning tenant.
+pub trait Tenanted {
+    /// The tenant that emitted this item.
+    fn tenant(&self) -> TenantId;
+}
+
+/// One tenant's queues: one FIFO per traffic class plus DRR state.
+#[derive(Debug)]
+struct Lane<T> {
+    tenant: TenantId,
+    weight: u64,
+    /// Unspent credits from earlier visits (reset when the lane drains).
+    deficit: u64,
+    queues: [VecDeque<T>; CLASS_COUNT],
+    len: usize,
+}
+
+impl<T> Lane<T> {
+    fn new(tenant: TenantId, weight: u32) -> Self {
+        Self {
+            tenant,
+            weight: u64::from(weight.max(1)),
+            deficit: 0,
+            queues: std::array::from_fn(|_| VecDeque::new()),
+            len: 0,
+        }
+    }
+
+    /// Pops the highest-class queued item.
+    fn pop_best(&mut self) -> Option<T> {
+        for queue in self.queues.iter_mut().rev() {
+            if let Some(item) = queue.pop_front() {
+                self.len -= 1;
+                return Some(item);
+            }
+        }
+        None
+    }
+}
+
+/// Weighted deficit-round-robin scheduler across tenants, QoS-ordered
+/// within each tenant.  Implements [`Scheduler`] so the runtime can
+/// install it per shard in place of the FIFO strategy.
+#[derive(Debug)]
+pub struct TenantDrr<T> {
+    lanes: Vec<Lane<T>>,
+    /// Next lane to visit (round-robin position, survives across calls).
+    cursor: usize,
+    len: usize,
+}
+
+impl<T: Tenanted> TenantDrr<T> {
+    /// Builds a scheduler with one lane per `(tenant, weight)` pair plus
+    /// the anonymous lane 0.  Duplicate registrations and the default
+    /// tenant are ignored; weights are clamped to at least 1.
+    pub fn new(weights: &[(TenantId, u32)]) -> Self {
+        let mut lanes = Vec::with_capacity(weights.len() + 1);
+        lanes.push(Lane::new(DEFAULT_TENANT, 1));
+        for &(tenant, weight) in weights {
+            if tenant != DEFAULT_TENANT && !lanes.iter().any(|l: &Lane<T>| l.tenant == tenant) {
+                lanes.push(Lane::new(tenant, weight));
+            }
+        }
+        Self {
+            lanes,
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    fn lane_index(&self, tenant: TenantId) -> usize {
+        self.lanes
+            .iter()
+            .skip(1)
+            .position(|l| l.tenant == tenant)
+            .map_or(0, |i| i + 1)
+    }
+}
+
+impl<T: Tenanted> Scheduler<T> for TenantDrr<T> {
+    fn enqueue(&mut self, item: T, class: TrafficClass, _now: Instant) {
+        let idx = self.lane_index(item.tenant());
+        if let Some(lane) = self.lanes.get_mut(idx) {
+            let class_idx = (class.value() as usize).min(CLASS_COUNT - 1);
+            if let Some(queue) = lane.queues.get_mut(class_idx) {
+                queue.push_back(item);
+                lane.len += 1;
+                self.len += 1;
+            }
+        }
+    }
+
+    fn dequeue_ready(&mut self, out: &mut Vec<T>, max: usize, _now: Instant) -> usize {
+        let mut emitted = 0;
+        let nlanes = self.lanes.len();
+        // Every full rotation over a non-empty scheduler emits at least
+        // one item (a visited non-empty lane earns `weight >= 1` credit
+        // and spends one per message), so the loop terminates.
+        while emitted < max && self.len > 0 {
+            let i = self.cursor % nlanes;
+            self.cursor = (self.cursor + 1) % nlanes;
+            let Some(lane) = self.lanes.get_mut(i) else {
+                break;
+            };
+            if lane.len == 0 {
+                // An idle lane banks no credit: deficits only accumulate
+                // while a backlog is actually waiting.
+                lane.deficit = 0;
+                continue;
+            }
+            lane.deficit = lane.deficit.saturating_add(lane.weight);
+            while lane.deficit > 0 && emitted < max {
+                match lane.pop_best() {
+                    Some(item) => {
+                        lane.deficit -= 1;
+                        self.len -= 1;
+                        out.push(item);
+                        emitted += 1;
+                    }
+                    None => break,
+                }
+            }
+            if lane.len == 0 {
+                lane.deficit = 0;
+            }
+        }
+        emitted
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn next_release(&self, now: Instant) -> Option<Instant> {
+        (self.len > 0).then_some(now)
+    }
+
+    fn drain_all(&mut self, out: &mut Vec<T>) -> usize {
+        let mut drained = 0;
+        for lane in &mut self.lanes {
+            while let Some(item) = lane.pop_best() {
+                out.push(item);
+                drained += 1;
+            }
+            lane.deficit = 0;
+        }
+        self.len -= drained;
+        drained
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Item(TenantId, u32);
+
+    impl Tenanted for Item {
+        fn tenant(&self) -> TenantId {
+            self.0
+        }
+    }
+
+    fn now() -> Instant {
+        Instant::now()
+    }
+
+    #[test]
+    fn backlogged_tenants_share_a_burst_by_weight() {
+        let mut drr: TenantDrr<Item> = TenantDrr::new(&[(1, 1), (2, 3)]);
+        for n in 0..8 {
+            drr.enqueue(Item(1, n), TrafficClass::BEST_EFFORT, now());
+            drr.enqueue(Item(2, n), TrafficClass::BEST_EFFORT, now());
+        }
+        let mut out = Vec::new();
+        assert_eq!(drr.dequeue_ready(&mut out, 8, now()), 8);
+        let t2 = out.iter().filter(|i| i.0 == 2).count();
+        // Tenant 2 (weight 3) gets ~3x tenant 1's share of the burst.
+        assert_eq!(t2, 6);
+        assert_eq!(out.iter().filter(|i| i.0 == 1).count(), 2);
+        assert_eq!(drr.len(), 8);
+    }
+
+    #[test]
+    fn a_saturating_tenant_cannot_monopolize_the_drain() {
+        let mut drr: TenantDrr<Item> = TenantDrr::new(&[(1, 1), (2, 1)]);
+        // Tenant 2 enqueues a large backlog *before* tenant 1's single
+        // message arrives — a FIFO would drain all 100 first.
+        for n in 0..100 {
+            drr.enqueue(Item(2, n), TrafficClass::BEST_EFFORT, now());
+        }
+        drr.enqueue(Item(1, 0), TrafficClass::BEST_EFFORT, now());
+        let mut out = Vec::new();
+        drr.dequeue_ready(&mut out, 4, now());
+        assert!(
+            out.contains(&Item(1, 0)),
+            "the well-behaved tenant's message leaves in the first burst"
+        );
+    }
+
+    #[test]
+    fn classes_leave_high_to_low_within_a_lane() {
+        let mut drr: TenantDrr<Item> = TenantDrr::new(&[(1, 4)]);
+        drr.enqueue(Item(1, 0), TrafficClass::BEST_EFFORT, now());
+        drr.enqueue(Item(1, 7), TrafficClass::TIME_CRITICAL, now());
+        drr.enqueue(Item(1, 3), TrafficClass::new(3).unwrap(), now());
+        let mut out = Vec::new();
+        drr.dequeue_ready(&mut out, 3, now());
+        assert_eq!(out, vec![Item(1, 7), Item(1, 3), Item(1, 0)]);
+    }
+
+    #[test]
+    fn unregistered_tenants_share_the_anonymous_lane() {
+        let mut drr: TenantDrr<Item> = TenantDrr::new(&[(1, 1)]);
+        drr.enqueue(Item(9, 0), TrafficClass::BEST_EFFORT, now());
+        drr.enqueue(Item(0, 1), TrafficClass::BEST_EFFORT, now());
+        let mut out = Vec::new();
+        assert_eq!(drr.dequeue_ready(&mut out, 8, now()), 2);
+        assert!(drr.is_empty());
+    }
+
+    #[test]
+    fn drain_all_empties_every_lane() {
+        let mut drr: TenantDrr<Item> = TenantDrr::new(&[(1, 1), (2, 2)]);
+        for n in 0..5 {
+            drr.enqueue(Item(1, n), TrafficClass::BEST_EFFORT, now());
+            drr.enqueue(Item(2, n), TrafficClass::TIME_CRITICAL, now());
+        }
+        let mut out = Vec::new();
+        assert_eq!(drr.drain_all(&mut out), 10);
+        assert_eq!(drr.len(), 0);
+        assert!(drr.next_release(now()).is_none());
+        assert_eq!(drr.dequeue_ready(&mut out, 8, now()), 0);
+    }
+
+    #[test]
+    fn deficit_does_not_bank_while_idle() {
+        let mut drr: TenantDrr<Item> = TenantDrr::new(&[(1, 1), (2, 1)]);
+        // Many empty visits to tenant 2's lane while tenant 1 drains.
+        for n in 0..6 {
+            drr.enqueue(Item(1, n), TrafficClass::BEST_EFFORT, now());
+        }
+        let mut out = Vec::new();
+        drr.dequeue_ready(&mut out, 6, now());
+        // Tenant 2 now enqueues; it gets its weight's share, not a
+        // windfall from the idle rounds.
+        for n in 0..4 {
+            drr.enqueue(Item(1, 10 + n), TrafficClass::BEST_EFFORT, now());
+            drr.enqueue(Item(2, 10 + n), TrafficClass::BEST_EFFORT, now());
+        }
+        out.clear();
+        drr.dequeue_ready(&mut out, 4, now());
+        assert_eq!(out.iter().filter(|i| i.0 == 2).count(), 2);
+    }
+}

@@ -115,9 +115,9 @@ impl LunarStreamServer {
             loop {
                 let mut buf = match self.source.get_buffer(chunk.len()) {
                     Ok(b) => b,
-                    Err(InsaneError::Memory(insane_core::MemoryError::PoolExhausted))
-                        if attempts < 1_000_000 =>
-                    {
+                    Err(InsaneError::Memory(insane_core::MemoryError::PoolExhausted {
+                        ..
+                    })) if attempts < 1_000_000 => {
                         // Pool back-pressure: every slot is in flight.
                         attempts += 1;
                         progress();

@@ -39,9 +39,11 @@
 
 mod pool;
 mod pool_set;
+mod quota;
 
 pub use pool::{PoolConfig, PoolStats, SlotGuard, SlotPool, SlotToken, SlotView};
 pub use pool_set::{PoolSet, PoolSetBuilder};
+pub use quota::{QuotaLedger, TenantId, TenantQuota, TenantUsage, DEFAULT_TENANT};
 
 use core::fmt;
 
@@ -51,9 +53,32 @@ pub type PoolId = u16;
 /// Errors produced by the slot-pool layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemoryError {
-    /// No free slot is available in the pool (back-pressure condition: the
-    /// caller should release buffers or retry later).
-    PoolExhausted,
+    /// No free slot is available in any fitting class (back-pressure
+    /// condition: the caller should release buffers or retry later).
+    /// Carries the occupancy of the class that ran dry so callers can
+    /// tell *which* pool is the bottleneck.
+    PoolExhausted {
+        /// Slot size (bytes) of the exhausted class — the smallest class
+        /// that fit the request (0 when unknown).
+        slot_size: usize,
+        /// Bytes the failing caller asked for.
+        requested: usize,
+        /// Slots of that class checked out when the acquire failed.
+        in_use: usize,
+        /// Total slots that class owns.
+        slot_count: usize,
+    },
+    /// The tenant already holds its quota `max`; the lend was refused
+    /// without touching the shared pools.  Back-pressure lands on the
+    /// tenant that caused it, never on its neighbors.
+    QuotaExceeded {
+        /// The over-quota tenant.
+        tenant: TenantId,
+        /// Slots the tenant held when the lend was refused.
+        held: usize,
+        /// The tenant's configured maximum.
+        max: usize,
+    },
     /// The requested length does not fit in any configured slot size.
     RequestTooLarge {
         /// Bytes the caller asked for.
@@ -76,7 +101,26 @@ pub enum MemoryError {
 impl fmt::Display for MemoryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MemoryError::PoolExhausted => write!(f, "no free slot available in the pool"),
+            MemoryError::PoolExhausted {
+                slot_size,
+                requested,
+                in_use,
+                slot_count,
+            } => {
+                if *slot_count == 0 {
+                    write!(f, "no free slot available in the pool")
+                } else {
+                    write!(
+                        f,
+                        "no free slot for a {requested}-byte request: \
+                         {slot_size}-byte class has {in_use}/{slot_count} slots in use"
+                    )
+                }
+            }
+            MemoryError::QuotaExceeded { tenant, held, max } => write!(
+                f,
+                "tenant {tenant} exceeded its slot quota ({held} held, max {max})"
+            ),
             MemoryError::RequestTooLarge { requested, max } => {
                 write!(
                     f,

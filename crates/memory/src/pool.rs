@@ -14,7 +14,8 @@ use core::fmt;
 use insane_queues::sync::{Arc, AtomicU32, AtomicU64, Ordering};
 use insane_queues::FreeStack;
 
-use crate::{MemoryError, PoolId};
+use crate::quota::QuotaLedger;
+use crate::{MemoryError, PoolId, TenantId};
 
 /// Construction parameters for a [`SlotPool`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,6 +132,12 @@ struct PoolInner {
     exhaustions: AtomicU64,
     acquires: AtomicU64,
     misuse_rejections: AtomicU64,
+    /// Tenant-quota hook: `(ledger, flat-index base of this pool)`.
+    /// Present only when the owning `PoolSet` registered tenants; the
+    /// release path credits the ledger here because `SlotGuard`/
+    /// `SlotView` drops release directly into the pool, bypassing the
+    /// set.  `None` costs one branch per release.
+    ledger: Option<(Arc<QuotaLedger>, usize)>,
 }
 
 // SAFETY: slot bytes are only reachable through a `SlotGuard`/`SlotView`
@@ -171,6 +178,16 @@ impl SlotPool {
     /// Returns [`MemoryError::BadConfig`] if `slot_size` or `slot_count` is
     /// zero.
     pub fn new(config: PoolConfig) -> Result<Self, MemoryError> {
+        Self::with_ledger(config, None)
+    }
+
+    /// As [`SlotPool::new`], wiring the pool's releases into a tenant
+    /// [`QuotaLedger`] (`base` is this pool's flat-index offset within
+    /// the ledger's charge table).
+    pub(crate) fn with_ledger(
+        config: PoolConfig,
+        ledger: Option<(Arc<QuotaLedger>, usize)>,
+    ) -> Result<Self, MemoryError> {
         if config.slot_size == 0 {
             return Err(MemoryError::BadConfig("slot_size must be non-zero"));
         }
@@ -201,6 +218,7 @@ impl SlotPool {
                 exhaustions: AtomicU64::new(0),
                 acquires: AtomicU64::new(0),
                 misuse_rejections: AtomicU64::new(0),
+                ledger,
             }),
         })
     }
@@ -253,7 +271,7 @@ impl SlotPool {
         }
         let index = self.inner.free.pop().ok_or_else(|| {
             self.inner.exhaustions.fetch_add(1, Ordering::Relaxed);
-            MemoryError::PoolExhausted
+            self.exhausted(len)
         })?;
         self.inner.acquires.fetch_add(1, Ordering::Relaxed);
         let in_use = self.inner.in_use.fetch_add(1, Ordering::Relaxed) + 1;
@@ -272,6 +290,28 @@ impl SlotPool {
             generation,
             len,
         })
+    }
+
+    /// The exhaustion error for a `len`-byte request against this pool's
+    /// current occupancy.
+    pub(crate) fn exhausted(&self, len: usize) -> MemoryError {
+        MemoryError::PoolExhausted {
+            slot_size: self.inner.config.slot_size,
+            requested: len,
+            in_use: self.inner.in_use.load(Ordering::Relaxed) as usize,
+            slot_count: self.inner.config.slot_count,
+        }
+    }
+
+    /// Charges `tenant` for a freshly-acquired slot.  A quota-less pool
+    /// accepts unconditionally.  On failure the caller still owns the
+    /// guard (no charge word was written), so dropping it releases the
+    /// slot without a ledger credit.
+    pub(crate) fn charge_tenant(&self, tenant: TenantId, index: u32) -> Result<(), MemoryError> {
+        match &self.inner.ledger {
+            None => Ok(()),
+            Some((ledger, base)) => ledger.charge(tenant, base + index as usize),
+        }
     }
 
     /// Re-materializes unique write access from a token, e.g. on the
@@ -354,6 +394,14 @@ impl SlotPool {
             match state.compare_exchange_weak(current, next, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => {
                     if refs == 1 {
+                        // Credit the tenant ledger BEFORE the slot
+                        // re-enters the free list: the free list's
+                        // push/pop pair orders this ahead of the next
+                        // charge of the same slot, so the ledger's
+                        // Relaxed atomics suffice.
+                        if let Some((ledger, base)) = &self.inner.ledger {
+                            ledger.credit(base + index as usize);
+                        }
                         self.inner.in_use.fetch_sub(1, Ordering::Relaxed);
                         self.inner.free.push(index);
                     }
@@ -688,7 +736,15 @@ mod tests {
     fn exhaustion_and_stat_counters() {
         let p = pool();
         let guards: Vec<_> = (0..4).map(|_| p.acquire(1).unwrap()).collect();
-        assert!(matches!(p.acquire(1), Err(MemoryError::PoolExhausted)));
+        assert_eq!(
+            p.acquire(1).err(),
+            Some(MemoryError::PoolExhausted {
+                slot_size: 128,
+                requested: 1,
+                in_use: 4,
+                slot_count: 4
+            })
+        );
         let stats = p.stats();
         assert_eq!(stats.in_use, 4);
         assert_eq!(stats.high_water, 4);
@@ -860,7 +916,7 @@ mod tests {
                             assert_eq!(view.len(), 8);
                             view.release();
                         }
-                        Err(MemoryError::PoolExhausted) => std::hint::spin_loop(),
+                        Err(MemoryError::PoolExhausted { .. }) => std::hint::spin_loop(),
                         Err(e) => panic!("unexpected error: {e}"),
                     }
                 }

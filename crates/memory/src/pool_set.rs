@@ -8,8 +8,11 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use insane_queues::sync::Arc;
+
 use crate::pool::{PoolConfig, SlotGuard, SlotPool, SlotToken, SlotView};
-use crate::{MemoryError, PoolId};
+use crate::quota::QuotaLedger;
+use crate::{MemoryError, PoolId, TenantId, TenantQuota, TenantUsage, DEFAULT_TENANT};
 
 /// An ordered collection of pools acting as size classes.
 ///
@@ -32,6 +35,8 @@ pub struct PoolSet {
     /// Sorted ascending by slot size.
     classes: Vec<SlotPool>,
     by_id: HashMap<PoolId, usize>,
+    /// Tenant-quota accounting; present only when tenants registered.
+    ledger: Option<Arc<QuotaLedger>>,
 }
 
 impl fmt::Debug for PoolSet {
@@ -46,6 +51,7 @@ impl fmt::Debug for PoolSet {
 #[derive(Debug, Default)]
 pub struct PoolSetBuilder {
     configs: Vec<(usize, usize)>,
+    quotas: Vec<(TenantId, TenantQuota)>,
 }
 
 impl PoolSetBuilder {
@@ -60,23 +66,40 @@ impl PoolSetBuilder {
         self
     }
 
+    /// Registers a per-tenant slot quota (reservation + max, enforced at
+    /// [`PoolSet::lend`] time).  With at least one registration the set
+    /// carries a [`QuotaLedger`]; unregistered tenants then share an
+    /// anonymous unreserved entry.  With none, lending is unmetered.
+    pub fn tenant(mut self, tenant: TenantId, quota: TenantQuota) -> Self {
+        self.quotas.push((tenant, quota));
+        self
+    }
+
     /// Builds the set.
     ///
     /// # Errors
     ///
-    /// * [`MemoryError::BadConfig`] if no class was added or any class has a
-    ///   zero dimension.
+    /// * [`MemoryError::BadConfig`] if no class was added, any class has a
+    ///   zero dimension, or the tenant quotas are inconsistent (see
+    ///   [`QuotaLedger::new`]).
     pub fn build(self) -> Result<PoolSet, MemoryError> {
         if self.configs.is_empty() {
             return Err(MemoryError::BadConfig("pool set needs at least one class"));
         }
+        let total_slots: usize = self.configs.iter().map(|&(_, count)| count).sum();
+        let ledger = if self.quotas.is_empty() {
+            None
+        } else {
+            Some(Arc::new(QuotaLedger::new(total_slots, &self.quotas)?))
+        };
         let mut classes = Vec::with_capacity(self.configs.len());
+        let mut base = 0usize;
         for (id, (slot_size, slot_count)) in self.configs.into_iter().enumerate() {
-            classes.push(SlotPool::new(PoolConfig::new(
-                id as PoolId,
-                slot_size,
-                slot_count,
-            ))?);
+            classes.push(SlotPool::with_ledger(
+                PoolConfig::new(id as PoolId, slot_size, slot_count),
+                ledger.as_ref().map(|l| (Arc::clone(l), base)),
+            )?);
+            base += slot_count;
         }
         classes.sort_by_key(|p| p.slot_size());
         let by_id = classes
@@ -84,7 +107,11 @@ impl PoolSetBuilder {
             .enumerate()
             .map(|(pos, p)| (p.pool_id(), pos))
             .collect();
-        Ok(PoolSet { classes, by_id })
+        Ok(PoolSet {
+            classes,
+            by_id,
+            ledger,
+        })
     }
 }
 
@@ -101,29 +128,68 @@ impl PoolSet {
     /// Acquires a slot from the smallest class that fits `len` bytes,
     /// falling back to larger classes when the preferred one is exhausted.
     ///
+    /// Equivalent to [`PoolSet::lend`] on behalf of [`DEFAULT_TENANT`].
+    ///
+    /// # Errors
+    ///
+    /// As [`PoolSet::lend`].
+    pub fn acquire(&self, len: usize) -> Result<SlotGuard, MemoryError> {
+        self.lend(DEFAULT_TENANT, len)
+    }
+
+    /// Lends a slot to `tenant` from the smallest class that fits `len`
+    /// bytes, falling back to larger classes when the preferred one is
+    /// exhausted.  With tenants registered (see
+    /// [`PoolSetBuilder::tenant`]) the lend is charged against the
+    /// tenant's quota; the charge is credited back automatically when
+    /// the slot's last guard/view/token is released, wherever that
+    /// happens.
+    ///
     /// # Errors
     ///
     /// * [`MemoryError::RequestTooLarge`] if no class is big enough.
-    /// * [`MemoryError::PoolExhausted`] if every fitting class is empty.
-    pub fn acquire(&self, len: usize) -> Result<SlotGuard, MemoryError> {
-        let mut any_fit = false;
+    /// * [`MemoryError::QuotaExceeded`] if the tenant already holds its
+    ///   quota max — reported *before* global exhaustion, so an
+    ///   over-quota tenant can never present as a full pool.
+    /// * [`MemoryError::PoolExhausted`] if every fitting class is empty
+    ///   (or only reservation-backed slots remain and `tenant` has used
+    ///   up its own reservation); carries the occupancy of the smallest
+    ///   fitting class.
+    pub fn lend(&self, tenant: TenantId, len: usize) -> Result<SlotGuard, MemoryError> {
+        let mut first_dry: Option<MemoryError> = None;
         for pool in &self.classes {
             if pool.slot_size() >= len {
-                any_fit = true;
                 match pool.acquire(len) {
-                    Ok(guard) => return Ok(guard),
-                    Err(MemoryError::PoolExhausted) => continue,
+                    Ok(guard) => {
+                        match pool.charge_tenant(tenant, guard.token().index()) {
+                            Ok(()) => return Ok(guard),
+                            // Over-max is over-max in every class: stop
+                            // instead of spilling (dropping the guard
+                            // returns the uncharged slot).
+                            Err(e @ MemoryError::QuotaExceeded { .. }) => return Err(e),
+                            // Shared headroom dry: a free slot exists but
+                            // is spoken for by reservations.  That holds
+                            // in every class (the headroom is global), so
+                            // report it with this class's occupancy.
+                            Err(MemoryError::PoolExhausted { .. }) => {
+                                return Err(pool.exhausted(len));
+                            }
+                            Err(other) => return Err(other),
+                        }
+                    }
+                    Err(e @ MemoryError::PoolExhausted { .. }) => {
+                        first_dry.get_or_insert(e);
+                    }
                     Err(other) => return Err(other),
                 }
             }
         }
-        if any_fit {
-            Err(MemoryError::PoolExhausted)
-        } else {
-            Err(MemoryError::RequestTooLarge {
+        match first_dry {
+            Some(e) => Err(e),
+            None => Err(MemoryError::RequestTooLarge {
                 requested: len,
                 max: self.max_slot_size(),
-            })
+            }),
         }
     }
 
@@ -180,6 +246,22 @@ impl PoolSet {
     /// Total slots currently lent out across all classes.
     pub fn total_in_use(&self) -> usize {
         self.classes.iter().map(|p| p.stats().in_use).sum()
+    }
+
+    /// Whether tenant quotas are being enforced on this set.
+    pub fn has_tenants(&self) -> bool {
+        self.ledger.is_some()
+    }
+
+    /// Slots currently held by `tenant` (always 0 without a ledger).
+    pub fn tenant_held(&self, tenant: TenantId) -> usize {
+        self.ledger.as_ref().map_or(0, |l| l.held(tenant))
+    }
+
+    /// Per-tenant usage rollup for telemetry (the anonymous catch-all
+    /// entry first); empty without a ledger.
+    pub fn tenant_usage(&self) -> Vec<TenantUsage> {
+        self.ledger.as_ref().map_or_else(Vec::new, |l| l.usage())
     }
 }
 
@@ -238,9 +320,85 @@ mod tests {
     fn exhausted_when_all_fitting_classes_empty() {
         let s = set();
         let guards: Vec<_> = (0..4).map(|_| s.acquire(10).unwrap()).collect();
-        assert!(matches!(s.acquire(10), Err(MemoryError::PoolExhausted)));
+        // The error reports the smallest fitting class's occupancy.
+        assert_eq!(
+            s.acquire(10).err(),
+            Some(MemoryError::PoolExhausted {
+                slot_size: 64,
+                requested: 10,
+                in_use: 2,
+                slot_count: 2
+            })
+        );
         drop(guards);
         assert_eq!(s.total_in_use(), 0);
+    }
+
+    #[test]
+    fn lend_enforces_tenant_max_with_typed_rejection() {
+        let s = PoolSetBuilder::new()
+            .pool(64, 4)
+            .tenant(7, TenantQuota::new(1, 2))
+            .build()
+            .unwrap();
+        let _a = s.lend(7, 10).unwrap();
+        let _b = s.lend(7, 10).unwrap();
+        assert_eq!(
+            s.lend(7, 10).err(),
+            Some(MemoryError::QuotaExceeded {
+                tenant: 7,
+                held: 2,
+                max: 2
+            })
+        );
+        assert_eq!(s.tenant_held(7), 2);
+        // Another tenant is unaffected by 7's rejection.
+        let _c = s.lend(8, 10).unwrap();
+    }
+
+    #[test]
+    fn reservation_survives_anonymous_pressure() {
+        let s = PoolSetBuilder::new()
+            .pool(64, 4)
+            .tenant(1, TenantQuota::new(2, 4))
+            .build()
+            .unwrap();
+        // Anonymous tenants can draw only the 2-slot shared headroom.
+        let x = s.lend(50, 10).unwrap();
+        let y = s.lend(50, 10).unwrap();
+        assert!(matches!(
+            s.lend(50, 10),
+            Err(MemoryError::PoolExhausted { .. })
+        ));
+        // Tenant 1's reservation is intact.
+        let _a = s.lend(1, 10).unwrap();
+        let _b = s.lend(1, 10).unwrap();
+        drop((x, y));
+        assert_eq!(s.tenant_held(1), 2);
+        assert_eq!(s.tenant_held(50), 0, "anonymous draw pools on entry 0");
+    }
+
+    #[test]
+    fn released_slots_credit_the_ledger_through_any_path() {
+        let s = PoolSetBuilder::new()
+            .pool(64, 4)
+            .tenant(3, TenantQuota::new(0, 2))
+            .build()
+            .unwrap();
+        assert!(s.has_tenants());
+        // Guard drop.
+        drop(s.lend(3, 8).unwrap());
+        // Token release through the set.
+        let t = s.lend(3, 8).unwrap().into_token();
+        s.release(t).unwrap();
+        // View drop.
+        let t = s.lend(3, 8).unwrap().into_token();
+        drop(s.view(t).unwrap());
+        assert_eq!(s.tenant_held(3), 0);
+        let usage = s.tenant_usage();
+        let t3 = usage.iter().find(|u| u.tenant == 3).unwrap();
+        assert_eq!(t3.held, 0);
+        assert_eq!(t3.max, 2);
     }
 
     #[test]

@@ -1,0 +1,417 @@
+//! Per-tenant slot quotas: the accounting layer behind multi-tenant
+//! isolation in the memory manager.
+//!
+//! The runtime is a *shared per-host service* (paper §4): many
+//! applications — tenants — multiplex one `PoolSet`.  Without quotas a
+//! single saturating tenant exhausts the global free lists and every
+//! other application sees [`MemoryError::PoolExhausted`].  The
+//! [`QuotaLedger`] bounds each tenant with a *reservation + max* model:
+//!
+//! * up to `reserved` slots are guaranteed — other tenants' spill can
+//!   never take them, because everyone else's draw from the *shared
+//!   headroom* is capped at `total_slots − Σ reserved`;
+//! * between `reserved` and `max` a tenant draws from the shared
+//!   headroom on a first-come basis;
+//! * beyond `max` the tenant gets a typed
+//!   [`MemoryError::QuotaExceeded`] — back-pressure lands on the tenant
+//!   that caused it, never on its neighbors.
+//!
+//! ## Accounting mechanism
+//!
+//! The ledger owns one *charge word* per slot (flat-indexed across all
+//! pools of the set).  A successful charge writes
+//! `(entry_index + 1) | SHARED_BIT?` into the slot's word; the release
+//! hook in `SlotPool::release_checkout` swaps the word back to zero and
+//! credits the recorded entry.  The classification (reserved vs shared
+//! draw) travels *with the slot*, so charges and credits always balance
+//! even when guards are dropped far from the `PoolSet` that lent them.
+//! A word of zero means "untracked" — charging is skipped entirely when
+//! no tenants are registered, so single-tenant deployments pay nothing.
+//!
+//! The credit runs *before* the slot re-enters the free list, and the
+//! free list's push/pop pair orders it before the next charge of the
+//! same slot, so all ledger atomics can be `Relaxed`.
+
+use insane_queues::sync::{AtomicU32, AtomicU64, Ordering};
+
+use crate::MemoryError;
+
+/// Identifier of a tenant (an application sharing the per-host runtime).
+pub type TenantId = u16;
+
+/// The tenant id used when no tenant was specified: runtime-internal
+/// traffic (control messages) and single-tenant deployments.
+pub const DEFAULT_TENANT: TenantId = 0;
+
+/// Slot-quota configuration for one tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Slots guaranteed to this tenant: the shared headroom other
+    /// tenants draw from excludes them.
+    pub reserved: usize,
+    /// Hard cap on simultaneously-held slots; beyond it the tenant gets
+    /// [`MemoryError::QuotaExceeded`].
+    pub max: usize,
+}
+
+impl TenantQuota {
+    /// Convenience constructor.
+    pub fn new(reserved: usize, max: usize) -> Self {
+        Self { reserved, max }
+    }
+}
+
+/// Live usage snapshot for one tenant, for telemetry rollups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantUsage {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// Configured reservation (0 for the anonymous catch-all entry).
+    pub reserved: usize,
+    /// Configured max (`usize::MAX` when unlimited).
+    pub max: usize,
+    /// Slots currently held.
+    pub held: usize,
+    /// Lends rejected with [`MemoryError::QuotaExceeded`] so far.
+    pub quota_rejections: u64,
+}
+
+/// Charge word: `0` = untracked, else `(entry_index + 1) | SHARED_BIT?`.
+const SHARED_BIT: u32 = 1 << 31;
+
+/// CAS-increments `counter` unless it already reached `cap`; returns the
+/// previous value on success, `None` when the cap was hit.  (A hand
+/// CAS loop instead of `fetch_update`: the loom shim's atomics expose
+/// only the core RMW set.)
+fn bounded_increment(counter: &AtomicU32, cap: u32) -> Option<u32> {
+    let mut current = counter.load(Ordering::Relaxed);
+    loop {
+        if current >= cap {
+            return None;
+        }
+        match counter.compare_exchange_weak(
+            current,
+            current + 1,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(prev) => return Some(prev),
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+struct TenantEntry {
+    tenant: TenantId,
+    reserved: u32,
+    max: u32,
+    held: AtomicU32,
+    quota_rejections: AtomicU64,
+}
+
+/// Per-tenant slot accounting over one `PoolSet` (see module docs).
+pub struct QuotaLedger {
+    /// Entry 0 is the anonymous catch-all for unregistered tenants
+    /// (reserved 0, max unlimited, shared-headroom only); registered
+    /// tenants follow in registration order.
+    entries: Vec<TenantEntry>,
+    /// One charge word per slot, flat-indexed across the set's pools.
+    charges: Box<[AtomicU32]>,
+    /// Slots currently drawn from the shared headroom.
+    shared_held: AtomicU32,
+    /// `total_slots − Σ reserved`.
+    shared_cap: u32,
+}
+
+impl core::fmt::Debug for QuotaLedger {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("QuotaLedger")
+            .field("tenants", &(self.entries.len() - 1))
+            .field("slots", &self.charges.len())
+            .field("shared_cap", &self.shared_cap)
+            .finish()
+    }
+}
+
+impl QuotaLedger {
+    /// Builds a ledger for `total_slots` slots and the given quotas.
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::BadConfig`] when a quota is self-inconsistent
+    /// (`reserved > max`, zero `max`), a tenant is registered twice, or
+    /// the reservations oversubscribe the slot supply.
+    pub fn new(
+        total_slots: usize,
+        quotas: &[(TenantId, TenantQuota)],
+    ) -> Result<Self, MemoryError> {
+        let mut entries = Vec::with_capacity(quotas.len() + 1);
+        entries.push(TenantEntry {
+            tenant: DEFAULT_TENANT,
+            reserved: 0,
+            max: u32::MAX,
+            held: AtomicU32::new(0),
+            quota_rejections: AtomicU64::new(0),
+        });
+        let mut reserved_total: usize = 0;
+        for &(tenant, quota) in quotas {
+            if quota.max == 0 {
+                return Err(MemoryError::BadConfig("tenant quota max must be non-zero"));
+            }
+            if quota.reserved > quota.max {
+                return Err(MemoryError::BadConfig(
+                    "tenant quota reserved exceeds its max",
+                ));
+            }
+            if entries.iter().any(|e| e.tenant == tenant) {
+                return Err(MemoryError::BadConfig("tenant registered twice"));
+            }
+            reserved_total += quota.reserved;
+            entries.push(TenantEntry {
+                tenant,
+                reserved: quota.reserved.min(u32::MAX as usize) as u32,
+                max: quota.max.min(u32::MAX as usize) as u32,
+                held: AtomicU32::new(0),
+                quota_rejections: AtomicU64::new(0),
+            });
+        }
+        if reserved_total > total_slots {
+            return Err(MemoryError::BadConfig(
+                "tenant reservations oversubscribe the slot supply",
+            ));
+        }
+        let charges = (0..total_slots)
+            .map(|_| AtomicU32::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Ok(Self {
+            entries,
+            charges,
+            shared_held: AtomicU32::new(0),
+            shared_cap: (total_slots - reserved_total).min(u32::MAX as usize) as u32,
+        })
+    }
+
+    /// Entry index for `tenant`; unregistered tenants land on the
+    /// anonymous entry 0.  Linear scan: tenant counts are small and the
+    /// hot path must not allocate.
+    fn entry_index(&self, tenant: TenantId) -> usize {
+        self.entries
+            .iter()
+            .skip(1)
+            .position(|e| e.tenant == tenant)
+            .map(|p| p + 1)
+            .unwrap_or(0)
+    }
+
+    /// Charges `tenant` for the slot at `flat_index`.
+    ///
+    /// Returns `Ok(())` and tags the slot's charge word on success.  The
+    /// caller must hold exclusive ownership of the slot (a fresh
+    /// `SlotGuard`) so that no concurrent release can observe the word
+    /// mid-update.
+    ///
+    /// # Errors
+    ///
+    /// * [`MemoryError::QuotaExceeded`] when the tenant already holds
+    ///   its `max`.
+    /// * [`MemoryError::PoolExhausted`] (zeroed diagnostics — the caller
+    ///   refines them) when the shared headroom is fully drawn: a free
+    ///   slot exists but belongs to other tenants' reservations.
+    pub fn charge(&self, tenant: TenantId, flat_index: usize) -> Result<(), MemoryError> {
+        let entry_idx = self.entry_index(tenant);
+        let entry = &self.entries[entry_idx];
+        let prev = match bounded_increment(&entry.held, entry.max) {
+            Some(prev) => prev,
+            None => {
+                entry.quota_rejections.fetch_add(1, Ordering::Relaxed);
+                return Err(MemoryError::QuotaExceeded {
+                    tenant,
+                    held: entry.held.load(Ordering::Relaxed) as usize,
+                    max: entry.max as usize,
+                });
+            }
+        };
+        // Slots beyond the reservation draw from the shared headroom.
+        let shared = prev >= entry.reserved;
+        if shared && bounded_increment(&self.shared_held, self.shared_cap).is_none() {
+            entry.held.fetch_sub(1, Ordering::Relaxed);
+            // The free slot we popped is spoken for by reservations.
+            return Err(MemoryError::PoolExhausted {
+                slot_size: 0,
+                requested: 0,
+                in_use: 0,
+                slot_count: 0,
+            });
+        }
+        let word = (entry_idx as u32 + 1) | if shared { SHARED_BIT } else { 0 };
+        if let Some(charge) = self.charges.get(flat_index) {
+            charge.store(word, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Credits whatever tenant the slot at `flat_index` was charged to.
+    /// Called by `SlotPool::release_checkout` just before the slot
+    /// re-enters the free list; a zero charge word is a no-op.
+    pub(crate) fn credit(&self, flat_index: usize) {
+        let Some(charge) = self.charges.get(flat_index) else {
+            return;
+        };
+        let word = charge.swap(0, Ordering::Relaxed);
+        if word == 0 {
+            return;
+        }
+        let entry_idx = (word & !SHARED_BIT) as usize - 1;
+        if let Some(entry) = self.entries.get(entry_idx) {
+            entry.held.fetch_sub(1, Ordering::Relaxed);
+        }
+        if word & SHARED_BIT != 0 {
+            self.shared_held.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Slots currently held by `tenant` (0 for unregistered tenants —
+    /// their draw is pooled on the anonymous entry).
+    pub fn held(&self, tenant: TenantId) -> usize {
+        let idx = self.entry_index(tenant);
+        self.entries[idx].held.load(Ordering::Relaxed) as usize
+    }
+
+    /// Usage snapshot of every registered tenant plus the anonymous
+    /// catch-all entry (reported as [`DEFAULT_TENANT`], first).
+    pub fn usage(&self) -> Vec<TenantUsage> {
+        self.entries
+            .iter()
+            .map(|e| TenantUsage {
+                tenant: e.tenant,
+                reserved: e.reserved as usize,
+                max: if e.max == u32::MAX {
+                    usize::MAX
+                } else {
+                    e.max as usize
+                },
+                held: e.held.load(Ordering::Relaxed) as usize,
+                quota_rejections: e.quota_rejections.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Slots currently drawn from the shared headroom.
+    pub fn shared_held(&self) -> usize {
+        self.shared_held.load(Ordering::Relaxed) as usize
+    }
+
+    /// Size of the shared headroom (`total_slots − Σ reserved`).
+    pub fn shared_cap(&self) -> usize {
+        self.shared_cap as usize
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    fn ledger() -> QuotaLedger {
+        QuotaLedger::new(
+            8,
+            &[(1, TenantQuota::new(2, 4)), (2, TenantQuota::new(2, 8))],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(matches!(
+            QuotaLedger::new(8, &[(1, TenantQuota::new(4, 2))]),
+            Err(MemoryError::BadConfig(_))
+        ));
+        assert!(matches!(
+            QuotaLedger::new(8, &[(1, TenantQuota::new(0, 0))]),
+            Err(MemoryError::BadConfig(_))
+        ));
+        assert!(matches!(
+            QuotaLedger::new(
+                8,
+                &[(1, TenantQuota::new(1, 2)), (1, TenantQuota::new(1, 2))]
+            ),
+            Err(MemoryError::BadConfig(_))
+        ));
+        assert!(matches!(
+            QuotaLedger::new(
+                3,
+                &[(1, TenantQuota::new(2, 2)), (2, TenantQuota::new(2, 2))]
+            ),
+            Err(MemoryError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn max_is_enforced_with_typed_rejection() {
+        let l = ledger();
+        for i in 0..4 {
+            l.charge(1, i).unwrap();
+        }
+        assert_eq!(
+            l.charge(1, 4),
+            Err(MemoryError::QuotaExceeded {
+                tenant: 1,
+                held: 4,
+                max: 4
+            })
+        );
+        assert_eq!(l.held(1), 4);
+        let usage = l.usage();
+        let t1 = usage.iter().find(|u| u.tenant == 1).unwrap();
+        assert_eq!(t1.quota_rejections, 1);
+    }
+
+    #[test]
+    fn reservations_survive_a_greedy_neighbor() {
+        // Tenant 2 (max 8 > supply) grabs everything it can; tenant 1's
+        // reservation of 2 must still be honored afterwards.
+        let l = ledger();
+        let mut got = 0;
+        for i in 0..8 {
+            if l.charge(2, i).is_ok() {
+                got += 1;
+            }
+        }
+        // 2 reserved + 4 shared (cap = 8 − 2 − 2): 6 slots, not 8.
+        assert_eq!(got, 6);
+        assert_eq!(l.shared_held(), 4);
+        l.charge(1, 6).unwrap();
+        l.charge(1, 7).unwrap();
+        assert_eq!(l.held(1), 2);
+    }
+
+    #[test]
+    fn credit_balances_charges() {
+        let l = ledger();
+        for i in 0..4 {
+            l.charge(1, i).unwrap();
+        }
+        for i in 0..4 {
+            l.credit(i);
+        }
+        assert_eq!(l.held(1), 0);
+        assert_eq!(l.shared_held(), 0);
+        // Crediting an untracked slot is a no-op.
+        l.credit(5);
+        assert_eq!(l.shared_held(), 0);
+    }
+
+    #[test]
+    fn unregistered_tenants_pool_on_anonymous_entry() {
+        let l = ledger();
+        l.charge(99, 0).unwrap();
+        l.charge(77, 1).unwrap();
+        let usage = l.usage();
+        assert_eq!(usage[0].tenant, DEFAULT_TENANT);
+        assert_eq!(usage[0].held, 2);
+        assert_eq!(l.shared_held(), 2, "anonymous draw is shared-only");
+        l.credit(0);
+        l.credit(1);
+        assert_eq!(usage.len(), 3);
+    }
+}

@@ -1,6 +1,8 @@
 //! Property-based tests for the slot-pool invariants.
 
-use insane_memory::{MemoryError, PoolConfig, PoolSetBuilder, SlotPool, SlotToken};
+use insane_memory::{
+    MemoryError, PoolConfig, PoolSetBuilder, SlotPool, SlotToken, TenantId, TenantQuota,
+};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -38,7 +40,7 @@ proptest! {
                         }
                         held.push(g.into_token());
                     }
-                    Err(MemoryError::PoolExhausted) => prop_assert_eq!(held.len(), 8),
+                    Err(MemoryError::PoolExhausted { .. }) => prop_assert_eq!(held.len(), 8),
                     Err(e) => return Err(TestCaseError::fail(format!("unexpected {e}"))),
                 },
                 Op::ReleaseHeld(i) if !held.is_empty() => {
@@ -89,10 +91,74 @@ proptest! {
                     prop_assert_eq!(requested, req);
                     prop_assert_eq!(m, max);
                 }
-                Err(MemoryError::PoolExhausted) => {}
+                Err(MemoryError::PoolExhausted { .. }) => {}
                 Err(e) => return Err(TestCaseError::fail(format!("unexpected {e}"))),
             }
         }
         prop_assert_eq!(set.total_in_use(), 0);
+    }
+
+    /// Quota accounting is exact under arbitrary lend/release interleavings:
+    /// a tenant's slots-held never exceeds its quota max, rejections are
+    /// typed (`QuotaExceeded`, never a global exhaustion while its neighbor's
+    /// reservation would still fit), and the per-tenant holds reconcile with
+    /// the pool-level `PoolStats` occupancy at every step.
+    #[test]
+    fn tenant_quota_accounting_is_exact(
+        ops in proptest::collection::vec((0u8..3, 0usize..16), 1..300)
+    ) {
+        const QUOTAS: [(TenantId, TenantQuota); 2] = [
+            (1, TenantQuota { reserved: 2, max: 5 }),
+            (2, TenantQuota { reserved: 3, max: 12 }),
+        ];
+        let set = PoolSetBuilder::new()
+            .pool(64, 8)
+            .pool(256, 4)
+            .tenant(QUOTAS[0].0, QUOTAS[0].1)
+            .tenant(QUOTAS[1].0, QUOTAS[1].1)
+            .build()
+            .unwrap();
+        let mut held: [Vec<insane_memory::SlotGuard>; 2] = [Vec::new(), Vec::new()];
+        for (op, arg) in ops {
+            let who = arg % 2;
+            let (tenant, quota) = QUOTAS[who];
+            match op {
+                // Lend for one of the two tenants.
+                0 | 1 => match set.lend(tenant, 48) {
+                    Ok(guard) => held[who].push(guard),
+                    Err(MemoryError::QuotaExceeded { tenant: t, held: h, max }) => {
+                        prop_assert_eq!(t, tenant);
+                        prop_assert_eq!(h, quota.max);
+                        prop_assert_eq!(max, quota.max);
+                        prop_assert_eq!(held[who].len(), quota.max);
+                    }
+                    Err(MemoryError::PoolExhausted { .. }) => {
+                        // Legal only when the supply is genuinely gone for
+                        // this tenant: every slot is out, or only other
+                        // tenants' reservations remain.
+                        prop_assert!(held[0].len() + held[1].len() >= 7);
+                    }
+                    Err(e) => return Err(TestCaseError::fail(format!("unexpected {e}"))),
+                },
+                // Release one held slot.
+                _ => {
+                    if !held[who].is_empty() {
+                        let idx = arg % held[who].len();
+                        drop(held[who].swap_remove(idx));
+                    }
+                }
+            }
+            // Invariants after every operation.
+            for (who, (tenant, quota)) in QUOTAS.iter().enumerate() {
+                prop_assert_eq!(set.tenant_held(*tenant), held[who].len());
+                prop_assert!(held[who].len() <= quota.max);
+            }
+            // Per-tenant holds reconcile with pool-level stats.
+            prop_assert_eq!(set.total_in_use(), held[0].len() + held[1].len());
+        }
+        drop(held);
+        prop_assert_eq!(set.total_in_use(), 0);
+        prop_assert_eq!(set.tenant_held(1), 0);
+        prop_assert_eq!(set.tenant_held(2), 0);
     }
 }

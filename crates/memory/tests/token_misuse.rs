@@ -86,7 +86,10 @@ fn releasing_through_a_copied_token_makes_the_guard_drop_inert() {
     let g1 = p.acquire(1).unwrap();
     let g2 = p.acquire(1).unwrap();
     assert_ne!(g1.token().index(), g2.token().index());
-    assert!(matches!(p.acquire(1), Err(MemoryError::PoolExhausted)));
+    assert!(matches!(
+        p.acquire(1),
+        Err(MemoryError::PoolExhausted { .. })
+    ));
 }
 
 #[test]
@@ -97,7 +100,10 @@ fn shared_views_keep_the_slot_live_until_the_last_reader() {
     let v2 = v1.clone_ref();
     drop(v1);
     // Still checked out by v2: the slot cannot be re-lent.
-    assert!(matches!(p.acquire(1), Err(MemoryError::PoolExhausted)));
+    assert!(matches!(
+        p.acquire(1),
+        Err(MemoryError::PoolExhausted { .. })
+    ));
     drop(v2);
     assert_eq!(p.stats().in_use, 0);
     assert!(p.acquire(1).is_ok());
@@ -136,7 +142,7 @@ proptest! {
                                     }
                                 }
                             }
-                            Err(MemoryError::PoolExhausted) => thread::yield_now(),
+                            Err(MemoryError::PoolExhausted { .. }) => thread::yield_now(),
                             Err(other) => panic!("unexpected acquire error: {other:?}"),
                         }
                     }
@@ -165,7 +171,7 @@ proptest! {
         // Every slot is individually re-acquirable: the free list was not
         // corrupted by the deliberate double releases.
         let guards: Vec<_> = (0..slots).map(|_| p.acquire(1).expect("slot recoverable")).collect();
-        prop_assert!(matches!(p.acquire(1), Err(MemoryError::PoolExhausted)));
+        prop_assert!(matches!(p.acquire(1), Err(MemoryError::PoolExhausted { .. })));
         drop(guards);
         prop_assert_eq!(p.stats().in_use, 0);
     }

@@ -38,9 +38,11 @@ pub use json::Value;
 pub use recorder::{Counter, Gauge, Sampler};
 pub use registry::{
     BreakdownSample, DatapathSnapshot, DatapathTelemetry, Registry, RegistrySnapshot,
-    StreamSnapshot, StreamTelemetry,
+    StreamSnapshot, StreamTelemetry, TenantSnapshot, TenantTelemetry,
 };
-pub use schema::{validate_bench_latency, validate_bench_throughput, SchemaError};
+pub use schema::{
+    validate_bench_latency, validate_bench_noisy_neighbor, validate_bench_throughput, SchemaError,
+};
 
 /// Schema identifier served by the runtime introspection endpoint.
 pub const SNAPSHOT_SCHEMA: &str = "insane-telemetry-v1";
@@ -48,3 +50,5 @@ pub const SNAPSHOT_SCHEMA: &str = "insane-telemetry-v1";
 pub const BENCH_LATENCY_SCHEMA: &str = "insane-bench-latency-v1";
 /// Schema identifier of `BENCH_throughput.json`.
 pub const BENCH_THROUGHPUT_SCHEMA: &str = "insane-bench-throughput-v1";
+/// Schema identifier of `BENCH_noisy_neighbor.json`.
+pub const BENCH_NOISY_NEIGHBOR_SCHEMA: &str = "insane-bench-noisy-neighbor-v1";

@@ -137,6 +137,58 @@ impl StreamTelemetry {
     }
 }
 
+/// Recorder bundle for one tenant: end-to-end latency rollup across
+/// every stream the tenant consumes on, plus a consume counter.  The
+/// tenant id is a plain `u16` so this crate stays free of middleware
+/// dependencies; tenant 0 is the anonymous default tenant.
+#[derive(Debug)]
+pub struct TenantTelemetry {
+    tenant: u16,
+    sampler: Sampler,
+    /// Messages consumed by this tenant (counted even when sampled out).
+    pub consumed: Counter,
+    /// Observations actually recorded into the histogram.
+    pub sampled: Counter,
+    total: ShardedHistogram,
+}
+
+impl TenantTelemetry {
+    fn new(tenant: u16, sample_every: u64) -> Self {
+        Self {
+            tenant,
+            sampler: Sampler::every(sample_every),
+            consumed: Counter::new(),
+            sampled: Counter::new(),
+            total: ShardedHistogram::new(),
+        }
+    }
+
+    /// Tenant these recorders belong to.
+    pub fn tenant(&self) -> u16 {
+        self.tenant
+    }
+
+    /// Records one consumed-message end-to-end latency for this tenant.
+    pub fn observe_total(&self, total_ns: u64) {
+        self.consumed.incr();
+        if !self.sampler.hit() {
+            return;
+        }
+        self.sampled.incr();
+        self.total.record(total_ns);
+    }
+
+    /// Plain-data snapshot of this tenant's recorders.
+    pub fn snapshot(&self) -> TenantSnapshot {
+        TenantSnapshot {
+            tenant: self.tenant,
+            consumed: self.consumed.get(),
+            sampled: self.sampled.get(),
+            total: self.total.snapshot().summary(),
+        }
+    }
+}
+
 /// Recorder bundle for one shard of one datapath plugin (an unsharded
 /// datapath is shard 0).
 #[derive(Debug)]
@@ -191,6 +243,7 @@ pub struct Registry {
     sample_every: AtomicU64,
     streams: RwLock<Vec<Arc<StreamTelemetry>>>,
     datapaths: RwLock<Vec<Arc<DatapathTelemetry>>>,
+    tenants: RwLock<Vec<Arc<TenantTelemetry>>>,
 }
 
 impl Default for Registry {
@@ -208,6 +261,7 @@ impl Registry {
             sample_every: AtomicU64::new(sample_every),
             streams: RwLock::new(Vec::new()),
             datapaths: RwLock::new(Vec::new()),
+            tenants: RwLock::new(Vec::new()),
         }
     }
 
@@ -234,6 +288,11 @@ impl Registry {
         if let Ok(streams) = self.streams.read() {
             for s in streams.iter() {
                 s.sampler.set_period(period);
+            }
+        }
+        if let Ok(tenants) = self.tenants.read() {
+            for t in tenants.iter() {
+                t.sampler.set_period(period);
             }
         }
     }
@@ -264,6 +323,27 @@ impl Registry {
         s
     }
 
+    /// Returns the recorder bundle for `tenant`, creating it on first
+    /// use. Callers cache the returned `Arc`; this lock is never taken
+    /// per message.
+    pub fn tenant(&self, tenant: u16) -> Arc<TenantTelemetry> {
+        if let Ok(tenants) = self.tenants.read() {
+            if let Some(t) = tenants.iter().find(|t| t.tenant == tenant) {
+                return Arc::clone(t);
+            }
+        }
+        let mut tenants = match self.tenants.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(t) = tenants.iter().find(|t| t.tenant == tenant) {
+            return Arc::clone(t);
+        }
+        let t = Arc::new(TenantTelemetry::new(tenant, self.sample_every()));
+        tenants.push(Arc::clone(&t));
+        t
+    }
+
     /// Registers a datapath recorder bundle for shard 0 (one per
     /// plugin, at runtime start; unsharded engines use this form).
     pub fn register_datapath(&self, name: &str) -> Arc<DatapathTelemetry> {
@@ -292,11 +372,16 @@ impl Registry {
             Ok(g) => g.iter().map(|d| d.snapshot()).collect(),
             Err(_) => Vec::new(),
         };
+        let tenants = match self.tenants.read() {
+            Ok(g) => g.iter().map(|t| t.snapshot()).collect(),
+            Err(_) => Vec::new(),
+        };
         RegistrySnapshot {
             enabled: self.is_enabled(),
             sample_every: self.sample_every(),
             streams,
             datapaths,
+            tenants,
         }
     }
 }
@@ -312,6 +397,8 @@ pub struct RegistrySnapshot {
     pub streams: Vec<StreamSnapshot>,
     /// Per-datapath recorder snapshots.
     pub datapaths: Vec<DatapathSnapshot>,
+    /// Per-tenant recorder snapshots.
+    pub tenants: Vec<TenantSnapshot>,
 }
 
 /// Plain-data snapshot of one stream's recorders.
@@ -341,6 +428,19 @@ pub struct StreamSnapshot {
     pub processing: Summary,
     /// Reassembly-component summary.
     pub reassembly: Summary,
+}
+
+/// Plain-data snapshot of one tenant's recorders.
+#[derive(Debug, Clone, Default)]
+pub struct TenantSnapshot {
+    /// Tenant id (0 = the anonymous default tenant).
+    pub tenant: u16,
+    /// Messages consumed by the tenant.
+    pub consumed: u64,
+    /// Observations recorded into the histogram.
+    pub sampled: u64,
+    /// End-to-end latency summary across all the tenant's streams.
+    pub total: Summary,
 }
 
 /// Plain-data snapshot of one datapath shard's counters.
@@ -390,6 +490,18 @@ impl StreamSnapshot {
     }
 }
 
+impl TenantSnapshot {
+    /// JSON form, as served by the introspection endpoint.
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("tenant", Value::from(u64::from(self.tenant))),
+            ("consumed", Value::from(self.consumed)),
+            ("sampled", Value::from(self.sampled)),
+            ("total", summary_json(&self.total)),
+        ])
+    }
+}
+
 impl DatapathSnapshot {
     /// JSON form, as served by the introspection endpoint.
     pub fn to_json(&self) -> Value {
@@ -421,6 +533,10 @@ impl RegistrySnapshot {
                         .map(DatapathSnapshot::to_json)
                         .collect(),
                 ),
+            ),
+            (
+                "tenants",
+                Value::Array(self.tenants.iter().map(TenantSnapshot::to_json).collect()),
             ),
         ])
     }
@@ -510,6 +626,24 @@ mod tests {
         assert_eq!(snap.datapaths[1].tx_messages, 5);
         let json = snap.to_json().to_string();
         assert!(json.contains("\"shard\":1"));
+    }
+
+    #[test]
+    fn tenant_registry_is_get_or_create_and_rolls_up() {
+        let reg = Registry::new(1);
+        let a = reg.tenant(4);
+        let b = reg.tenant(4);
+        assert!(Arc::ptr_eq(&a, &b));
+        a.observe_total(1_000);
+        b.observe_total(3_000);
+        let snap = reg.snapshot();
+        assert_eq!(snap.tenants.len(), 1);
+        assert_eq!(snap.tenants[0].tenant, 4);
+        assert_eq!(snap.tenants[0].consumed, 2);
+        assert_eq!(snap.tenants[0].total.count, 2);
+        assert_eq!(snap.tenants[0].total.max_ns, 3_000);
+        let json = snap.to_json().to_string();
+        assert!(json.contains("\"tenant\":4"));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! consumer cannot drift apart.
 
 use crate::json::Value;
-use crate::{BENCH_LATENCY_SCHEMA, BENCH_THROUGHPUT_SCHEMA};
+use crate::{BENCH_LATENCY_SCHEMA, BENCH_NOISY_NEIGHBOR_SCHEMA, BENCH_THROUGHPUT_SCHEMA};
 
 /// Why a BENCH document failed validation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -132,6 +132,68 @@ pub fn validate_bench_throughput(doc: &Value) -> Result<(), SchemaError> {
     Ok(())
 }
 
+/// Validates a `BENCH_noisy_neighbor.json` document.
+///
+/// Requires the [`BENCH_NOISY_NEIGHBOR_SCHEMA`] marker and, per entry:
+/// string `system`/`testbed`, integer `payload_bytes`, positive
+/// `samples`, positive victim p99s (`solo_p99_ns`, `contended_p99_ns`),
+/// and the isolation gate in fixed-point thousandths:
+/// `isolation_ratio_x1000 <= bound_x1000` (the ISSUE's 2x criterion,
+/// re-checked by every consumer, not just the producing bench run).
+/// The noisy tenant must have seen at least one typed admission or
+/// quota rejection (`bulk_rejections >= 1` — it saturated its limits)
+/// while the victim saw none (`victim_rejections == 0`).
+///
+/// # Errors
+///
+/// Describes the first missing key, type mismatch, violated isolation
+/// bound, or rejection-count anomaly found.
+pub fn validate_bench_noisy_neighbor(doc: &Value) -> Result<(), SchemaError> {
+    expect_schema(doc, BENCH_NOISY_NEIGHBOR_SCHEMA)?;
+    for (i, entry) in entries(doc)?.iter().enumerate() {
+        str_field(entry, "system", i)?;
+        str_field(entry, "testbed", i)?;
+        u64_field(entry, "payload_bytes", i)?;
+        let samples = u64_field(entry, "samples", i)?;
+        if samples == 0 {
+            return Err(SchemaError::new(format!("entry {i}: zero samples")));
+        }
+        let solo = u64_field(entry, "solo_p99_ns", i)?;
+        let contended = u64_field(entry, "contended_p99_ns", i)?;
+        if solo == 0 || contended == 0 {
+            return Err(SchemaError::new(format!(
+                "entry {i}: p99 must be positive (solo {solo} / contended {contended})"
+            )));
+        }
+        let ratio = u64_field(entry, "isolation_ratio_x1000", i)?;
+        let bound = u64_field(entry, "bound_x1000", i)?;
+        if bound == 0 {
+            return Err(SchemaError::new(format!("entry {i}: zero isolation bound")));
+        }
+        if ratio > bound {
+            return Err(SchemaError::new(format!(
+                "entry {i}: isolation violated: contended/solo p99 ratio \
+                 {ratio}/1000 exceeds the bound {bound}/1000"
+            )));
+        }
+        let bulk = u64_field(entry, "bulk_rejections", i)?;
+        if bulk == 0 {
+            return Err(SchemaError::new(format!(
+                "entry {i}: the noisy tenant saturated its limits but saw \
+                 no typed rejections"
+            )));
+        }
+        let victim = u64_field(entry, "victim_rejections", i)?;
+        if victim != 0 {
+            return Err(SchemaError::new(format!(
+                "entry {i}: the well-behaved tenant was rejected {victim} \
+                 times; isolation must not punish in-quota tenants"
+            )));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,6 +286,70 @@ mod tests {
             ),
         ]);
         assert!(validate_bench_throughput(&doc).is_err());
+    }
+
+    fn noisy_entry() -> Value {
+        Value::object([
+            ("system", "INSANE multi-tenant".into()),
+            ("testbed", "Local".into()),
+            ("payload_bytes", 64u64.into()),
+            ("samples", 200u64.into()),
+            ("solo_p99_ns", 10_000u64.into()),
+            ("contended_p99_ns", 15_000u64.into()),
+            ("isolation_ratio_x1000", 1_500u64.into()),
+            ("bound_x1000", 2_000u64.into()),
+            ("bulk_rejections", 12u64.into()),
+            ("victim_rejections", 0u64.into()),
+        ])
+    }
+
+    fn noisy_doc(entry: Value) -> Value {
+        Value::object([
+            ("schema", BENCH_NOISY_NEIGHBOR_SCHEMA.into()),
+            ("entries", Value::Array(vec![entry])),
+        ])
+    }
+
+    fn set_field(entry: &mut Value, key: &str, v: u64) {
+        if let Value::Object(pairs) = entry {
+            for (k, val) in pairs.iter_mut() {
+                if k == key {
+                    *val = Value::Int(v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn valid_noisy_neighbor_doc_passes() {
+        assert_eq!(
+            validate_bench_noisy_neighbor(&noisy_doc(noisy_entry())),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn violated_isolation_bound_is_rejected() {
+        let mut entry = noisy_entry();
+        set_field(&mut entry, "isolation_ratio_x1000", 2_400);
+        let err = validate_bench_noisy_neighbor(&noisy_doc(entry)).unwrap_err();
+        assert!(err.to_string().contains("isolation violated"), "{err}");
+    }
+
+    #[test]
+    fn noisy_tenant_without_rejections_is_rejected() {
+        let mut entry = noisy_entry();
+        set_field(&mut entry, "bulk_rejections", 0);
+        let err = validate_bench_noisy_neighbor(&noisy_doc(entry)).unwrap_err();
+        assert!(err.to_string().contains("no typed rejections"), "{err}");
+    }
+
+    #[test]
+    fn punished_victim_is_rejected() {
+        let mut entry = noisy_entry();
+        set_field(&mut entry, "victim_rejections", 3);
+        let err = validate_bench_noisy_neighbor(&noisy_doc(entry)).unwrap_err();
+        assert!(err.to_string().contains("in-quota"), "{err}");
     }
 
     #[test]

@@ -48,8 +48,9 @@ pub use lunar;
 pub use insane_core::{
     clear_warning_hook, set_warning_hook, shard_of_channel, shard_of_stream, Acceleration,
     ChannelId, ConsumeMode, ControlPlaneConfig, EmitOutcome, IncomingMessage, InsaneError,
-    MessageBuffer, QosPolicy, ResourceUsage, Runtime, RuntimeConfig, SchedulerChoice, Session,
-    Sink, Source, Stream, Technology, TelemetryConfig, ThreadingMode, TimeSensitivity,
+    MessageBuffer, OverloadPolicy, QosPolicy, ResourceUsage, Runtime, RuntimeConfig,
+    SchedulerChoice, Session, SessionConfig, Sink, Source, Stream, Technology, TelemetryConfig,
+    TenantId, TenantQuota, TenantRate, TenantSpec, ThreadingMode, TimeSensitivity,
 };
 pub use insane_fabric::{Fabric, HostId, TestbedProfile};
 pub use lunar::{LunarMom, LunarStreamClient, LunarStreamServer};

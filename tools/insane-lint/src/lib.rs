@@ -45,14 +45,18 @@ const UNSAFE_WHITELIST: &[&str] = &[
 ];
 
 /// Crates whose non-test code must be panic-free.  The shard scale-out
-/// bench rides along: it exercises the sharded polling engine and must
-/// report failures (ordering violations, stalls) instead of panicking.
+/// and noisy-neighbor benches ride along: they exercise the sharded
+/// polling engine and the multi-tenant overload paths, and must report
+/// failures (ordering violations, stalls, refused tenants) instead of
+/// panicking.
 const NO_PANIC_PREFIXES: &[&str] = &[
     "crates/core/src/",
     "crates/fabric/src/",
     "crates/telemetry/src/",
     "crates/bench/src/shard_bench.rs",
     "crates/bench/src/bin/shard_bench.rs",
+    "crates/bench/src/noisy_neighbor.rs",
+    "crates/bench/src/bin/noisy_neighbor.rs",
     "tools/insanectl/src/",
 ];
 

@@ -8,12 +8,13 @@
 //! * `stats <socket>` — pretty-print the live runtime snapshot:
 //!   per-stream latency quantiles and QoS-budget violations,
 //!   per-datapath-shard counters and scheduler occupancy, pool
-//!   occupancy, runtime counters.
+//!   occupancy, per-tenant quota/admission rollups, runtime counters.
 //! * `raw <socket>` — dump the snapshot JSON verbatim.
 //! * `ping <socket>` — liveness probe.
 //! * `check-bench <dir>` — validate `BENCH_latency.json`,
 //!   `BENCH_throughput.json` and (when present)
-//!   `BENCH_shard_throughput.json` in `dir` against their schemas.
+//!   `BENCH_shard_throughput.json` / `BENCH_noisy_neighbor.json` in
+//!   `dir` against their schemas.
 //!
 //! The crate is a panic-free zone under `insane-lint`: every failure
 //! path reports through [`CtlError`] and a nonzero exit code.
@@ -22,7 +23,9 @@ use std::io::{BufRead as _, BufReader, Write as _};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
 
-use insane_telemetry::{validate_bench_latency, validate_bench_throughput, Value};
+use insane_telemetry::{
+    validate_bench_latency, validate_bench_noisy_neighbor, validate_bench_throughput, Value,
+};
 
 /// Any failure: usage, I/O, JSON, schema, or endpoint-reported.
 #[derive(Debug)]
@@ -253,6 +256,43 @@ fn stats(socket: &Path) -> Result<(), CtlError> {
         &rows,
     );
 
+    // The tenants table only appears on runtimes that populate the
+    // rollup (older snapshots omit the key entirely).
+    let tenants = doc.get("tenants").and_then(Value::as_array).unwrap_or(&[]);
+    if !tenants.is_empty() {
+        println!("\ntenants ({}):", tenants.len());
+        let rows: Vec<Vec<String>> = tenants
+            .iter()
+            .map(|t| {
+                vec![
+                    u64_of(t, "tenant").to_string(),
+                    format!("{}/{}", u64_of(t, "held"), u64_of(t, "max")),
+                    u64_of(t, "reserved").to_string(),
+                    u64_of(t, "admitted").to_string(),
+                    u64_of(t, "rejected").to_string(),
+                    u64_of(t, "shed").to_string(),
+                    u64_of(t, "throttled").to_string(),
+                    u64_of(t, "quota_rejections").to_string(),
+                    us(u64_of(t, "p99_ns")),
+                ]
+            })
+            .collect();
+        print_table(
+            &[
+                "tenant",
+                "slots",
+                "reserved",
+                "admitted",
+                "rejected",
+                "shed",
+                "throttled",
+                "quota_rej",
+                "p99(us)",
+            ],
+            &rows,
+        );
+    }
+
     if let Some(counters) = doc.get("counters") {
         println!(
             "\ncounters: tx {} rx {} local {} drops {} control {} failovers {}",
@@ -289,6 +329,11 @@ fn check_bench(dir: &Path) -> Result<(), CtlError> {
     // have run), but when present it must satisfy the throughput schema.
     if dir.join("BENCH_shard_throughput.json").exists() {
         check("BENCH_shard_throughput.json", validate_bench_throughput)?;
+    }
+    // Same for the noisy-neighbor isolation document: optional, but a
+    // present file must pass its schema, including the isolation gate.
+    if dir.join("BENCH_noisy_neighbor.json").exists() {
+        check("BENCH_noisy_neighbor.json", validate_bench_noisy_neighbor)?;
     }
     Ok(())
 }
