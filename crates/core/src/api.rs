@@ -369,6 +369,7 @@ impl Source {
     ///
     /// [`MemoryError::QuotaExceeded`]: crate::MemoryError::QuotaExceeded
     /// [`MemoryError::PoolExhausted`]: crate::MemoryError::PoolExhausted
+    // insane-lint: hot-path-root
     pub fn get_buffer(&self, len: usize) -> Result<MessageBuffer, InsaneError> {
         if len > self.max_payload {
             return Err(InsaneError::PayloadTooLarge {
@@ -425,6 +426,7 @@ impl Source {
         self.emit_internal(buffer, Some((index, count, total_len, message_id)))
     }
 
+    // insane-lint: hot-path-root
     fn emit_internal(
         &self,
         buffer: MessageBuffer,
@@ -447,6 +449,7 @@ impl Source {
             frag,
             outcome: Arc::clone(&self.outcome),
         };
+        // insane-lint: allow(hot-path-alloc) -- SPSC ring push is fixed-capacity and never allocates
         match self.stream.tx.push(request) {
             Ok(()) => Ok(EmitToken { seq }),
             Err(rejected) => {
@@ -519,6 +522,8 @@ impl Sink {
     /// * [`InsaneError::RuntimeNotStarted`] for a blocking consume on a
     ///   manually-driven runtime (it would deadlock).
     /// * [`InsaneError::Closed`] when the sink closes mid-wait.
+    // insane-lint: hot-path-root
+    // insane-lint: allow-fn(hot-path-block) -- waiting is the caller's opt-in (ConsumeMode::Blocking); the non-blocking path returns before any lock
     pub fn consume(&self, mode: ConsumeMode) -> Result<IncomingMessage, InsaneError> {
         if self.has_callback {
             return Err(InsaneError::CallbackSink);

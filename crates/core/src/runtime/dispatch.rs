@@ -173,6 +173,7 @@ impl Dispatcher {
 
     /// Fills `out` with the co-located sinks for `channel` (reuses the
     /// caller's buffer: the polling hot path must not allocate).
+    // insane-lint: allow-fn(hot-path-block) -- read lock taken only on routing-cache miss (version change); writers are control-plane only
     pub(crate) fn local_sinks_into(&self, channel: u32, out: &mut Vec<Arc<SinkShared>>) {
         out.clear();
         if let Some(sinks) = self.local.read().get(&channel) {
@@ -202,6 +203,7 @@ impl Dispatcher {
 
     /// Fills `out` with the hosts (and capability masks) of remote
     /// runtimes subscribed to `channel` (allocation-free hot path).
+    // insane-lint: allow-fn(hot-path-block) -- read locks taken only on routing-cache miss (version change); writers are control-plane only
     pub(crate) fn remote_targets_into(&self, channel: u32, out: &mut Vec<(HostId, TechMask)>) {
         out.clear();
         let subs = self.remote_subs.read();

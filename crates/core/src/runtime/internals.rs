@@ -106,6 +106,8 @@ impl OutcomeBoard {
         self.completed_below.fetch_max(seq + 1, Ordering::AcqRel);
     }
 
+    // insane-lint: allow-fn(hot-path-block) -- failure path, not steady state; the lock is uncontended outside error storms
+    // insane-lint: allow-fn(hot-path-alloc) -- failure path; the record list is capped at 1024 entries
     pub(crate) fn fail(&self, seq: u64, reason: &'static str) {
         let mut failures = self.failures.lock();
         if failures.len() < 1024 {
@@ -175,6 +177,7 @@ impl std::fmt::Debug for SinkShared {
 impl SinkShared {
     /// Delivers one message, invoking the callback inline or queueing.
     /// Returns false when the message was dropped (queue full / closed).
+    // insane-lint: allow-fn(hot-path-alloc) -- the sink queue is a fixed-capacity MPMC ring; push never allocates
     pub(crate) fn deliver(&self, delivery: Arc<Delivery>) -> bool {
         if self.closed.load(Ordering::Acquire) {
             self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -241,6 +244,7 @@ impl StreamRegistry {
     /// `shard` (of `shards`) owns.  Ownership comes from the stable
     /// stream-id hash, so every stream lands in exactly one shard's
     /// snapshot (see [`crate::runtime::shard::shard_of_stream`]).
+    // insane-lint: allow-fn(hot-path-block) -- read lock taken only when the version counter says the registry changed
     pub(crate) fn snapshot_for(
         &self,
         tech: insane_fabric::Technology,

@@ -404,6 +404,9 @@ pub(crate) struct Scratch {
     cached_channel: Option<u32>,
     cached_dispatch_version: u64,
     inbound_sinks: Vec<Arc<SinkShared>>,
+    /// Outcome-board completion batch for one TX burst (board, highest
+    /// sequence), reused across iterations like the other buffers.
+    boards: Vec<(Arc<OutcomeBoard>, u64)>,
 }
 
 impl Scratch {
@@ -1243,6 +1246,7 @@ impl RuntimeInner {
     /// As [`RuntimeInner::send_control`], but a failure is accounted and
     /// warned about instead of propagated (for call sites that have no
     /// caller to report to — broadcasts, replies, retransmissions).
+    // insane-lint: cold-path -- control-plane send, not per-message work
     fn send_control_logged(&self, op: ControlOp, channel: u32, dst: HostId) {
         if let Err(e) = self.send_control(op, channel, dst) {
             self.stats
@@ -1257,6 +1261,7 @@ impl RuntimeInner {
 
     /// Sends one control message; announcements that expect an ack are
     /// additionally registered for retransmission until acked.
+    // insane-lint: cold-path -- control-plane send, not per-message work
     fn send_control(&self, op: ControlOp, channel: u32, dst: HostId) -> Result<(), InsaneError> {
         if op.needs_ack() {
             self.register_pending(op, channel, dst);
@@ -1266,6 +1271,7 @@ impl RuntimeInner {
 
     /// Builds and sends one control message over the kernel-UDP datapath
     /// (always attached: it carries the control plane).
+    // insane-lint: cold-path -- control-plane send, not per-message work
     fn send_control_raw(
         &self,
         op: ControlOp,
@@ -1355,6 +1361,7 @@ impl RuntimeInner {
     /// peer expiry, and dormant-peer probing.  Returns whether anything
     /// was actually done (a merely non-empty pending list between
     /// deadlines is not work, so manual polling loops can settle).
+    // insane-lint: cold-path -- periodic control upkeep, deadline-gated
     fn control_tick(&self) -> bool {
         let cfg = self.config.control;
         let now = Instant::now();
@@ -1440,6 +1447,7 @@ impl RuntimeInner {
         did
     }
 
+    // insane-lint: cold-path -- control messages are rare by design
     fn handle_control(&self, msg: &InboundMsg) {
         self.stats.control_messages.fetch_add(1, Ordering::Relaxed);
         let payload = &msg.store.bytes()[msg.payload_offset..];
@@ -1531,6 +1539,8 @@ impl RuntimeInner {
     ///
     /// Allocation-free on the hot path: all intermediate buffers live
     /// in the caller's scratch area and are reused across iterations.
+    // insane-lint: hot-path-root
+    // insane-lint: allow-fn(hot-path-panic) -- idx/shard are produced by the spawn loop that sized these arrays
     pub(crate) fn poll_datapath_shard(
         &self,
         idx: usize,
@@ -1565,6 +1575,9 @@ impl RuntimeInner {
     /// RX half of one shard's polling iteration: claim the device, fan
     /// inbound messages to their owning shards, then dispatch this
     /// shard's own inbox (Fig. 4, steps 3-4).
+    // insane-lint: allow-fn(hot-path-panic) -- idx/shard/owner indices bounded by the spawn-time shard layout
+    // insane-lint: allow-fn(hot-path-block) -- rx_claim is try_lock; inbox mutexes guard O(burst) handoffs and are never nested
+    // insane-lint: allow-fn(hot-path-alloc) -- inbox deques grow to the burst watermark once, then reuse capacity
     fn poll_rx_inner(&self, idx: usize, shard: usize, scratch: &mut Scratch, down: bool) -> bool {
         let nshards = self.shards[idx].len();
         let mut did = false;
@@ -1646,6 +1659,8 @@ impl RuntimeInner {
     }
 
     /// TX drain → schedule → send for one shard of one datapath.
+    // insane-lint: allow-fn(hot-path-panic) -- stream index/modulo guarded by nstreams > 0; shard indices bounded at spawn
+    // insane-lint: allow-fn(hot-path-block) -- scheduler mutex is per-shard; contended only by rare divert/control paths
     fn poll_tx_inner(&self, idx: usize, shard: usize, scratch: &mut Scratch) -> bool {
         let plugin = &self.plugins[idx];
         let tech = plugin.technology();
@@ -1711,38 +1726,40 @@ impl RuntimeInner {
         );
         if !scratch.ready.is_empty() {
             did = true;
-            let mut wire = std::mem::take(&mut scratch.wire);
-            wire.clear();
+            let mut wire_scratch = std::mem::take(&mut scratch.wire);
+            wire_scratch.clear();
             // Outcome boards are completed through the highest sequence
             // per board; the common case is one message per poll, so a
             // tiny inline scan beats a map.
-            let mut boards: Vec<(Arc<OutcomeBoard>, u64)> = Vec::with_capacity(scratch.ready.len());
+            let mut boards_scratch = std::mem::take(&mut scratch.boards);
+            boards_scratch.clear();
             for bundle in scratch.ready.drain(..) {
                 match bundle.msgs {
-                    WireMsgs::One(msg) => wire.push(msg),
-                    WireMsgs::Many(msgs) => wire.extend(msgs),
+                    WireMsgs::One(msg) => wire_scratch.push(msg),
+                    WireMsgs::Many(msgs) => wire_scratch.extend(msgs),
                 }
-                boards.push((bundle.outcome, bundle.seq));
+                boards_scratch.push((bundle.outcome, bundle.seq));
             }
-            let wire_count = wire.len() as u64;
-            let sent = plugin.send_burst(&mut wire);
-            scratch.wire = wire;
+            let wire_count = wire_scratch.len() as u64;
+            let sent = plugin.send_burst(&mut wire_scratch);
+            scratch.wire = wire_scratch;
             match sent {
                 Ok(_) => {
                     self.stats
                         .tx_messages
                         .fetch_add(wire_count, Ordering::Relaxed);
                     self.dp_tel[idx][shard].on_tx(wire_count);
-                    for (board, seq) in boards {
+                    for (board, seq) in boards_scratch.drain(..) {
                         board.complete_through(seq);
                     }
                 }
                 Err(_) => {
-                    for (board, seq) in boards {
+                    for (board, seq) in boards_scratch.drain(..) {
                         board.fail(seq, "datapath send failure");
                     }
                 }
             }
+            scratch.boards = boards_scratch;
         }
 
         did
@@ -1756,6 +1773,9 @@ impl RuntimeInner {
     /// or of the kernel-UDP fallback — so everything a stream emits
     /// (native, fallback, or later diverted) flows through one shard
     /// per datapath and per-stream order survives every path.
+    // insane-lint: allow-fn(hot-path-panic) -- remotes[0] guarded by emptiness/len checks; idx/shard bounded at spawn
+    // insane-lint: allow-fn(hot-path-block) -- scheduler mutex is per-shard; contended only by rare divert/control paths
+    // insane-lint: allow-fn(hot-path-alloc) -- multi-destination fan-out allocates per-owner views; the single-remote fast path stays allocation-free
     fn process_tx(
         &self,
         idx: usize,
@@ -1990,6 +2010,7 @@ impl RuntimeInner {
     /// Evacuates everything queued on every shard of datapath `idx`
     /// onto the kernel-UDP fallback (down transitions must not strand
     /// traffic on any shard).
+    // insane-lint: cold-path -- datapath failover, not steady state
     fn divert_scheduler(&self, idx: usize) -> bool {
         let mut did = false;
         for shard in 0..self.shards[idx].len() {
@@ -2005,6 +2026,7 @@ impl RuntimeInner {
     /// guarantees).  Shard-preserving evacuation keeps diverted
     /// messages ordered with the stream's later fallback traffic,
     /// which `process_tx` also pins to the stream's shard.
+    // insane-lint: cold-path -- datapath failover, not steady state
     fn divert_shard(&self, idx: usize, shard: usize) -> bool {
         let mut evacuated: Vec<OutboundBundle> = Vec::new();
         self.shards[idx][shard]
@@ -2042,6 +2064,7 @@ impl RuntimeInner {
 
     /// Reacts to a datapath health transition: warn, count, and (on the
     /// way down) evacuate the queued traffic to the kernel-UDP fallback.
+    // insane-lint: cold-path -- single-shot up/down transition handler
     fn note_datapath_transition(&self, idx: usize, down: bool) {
         let tech = self.plugins[idx].technology();
         if idx == self.udp_idx {
@@ -2072,6 +2095,7 @@ impl RuntimeInner {
 
     /// Dispatches one received message to the channel's local sinks
     /// (`sinks` is a caller scratch buffer).
+    // insane-lint: allow-fn(hot-path-alloc) -- one Arc<Delivery> per inbound message is the zero-copy sharing contract with sinks
     fn dispatch_inbound(&self, msg: InboundMsg, sinks: &mut Vec<Arc<SinkShared>>) {
         self.dispatcher.local_sinks_into(msg.hdr.channel, sinks);
         if sinks.is_empty() {

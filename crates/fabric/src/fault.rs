@@ -237,6 +237,7 @@ impl FaultState {
     }
 
     pub(crate) fn device_is_down(&self, ep: Endpoint) -> bool {
+        // insane-lint: allow(hot-path-block) -- the atomic fast path short-circuits; the lock is taken only while fault injection is active
         self.active.load(Ordering::Relaxed) && self.config.lock().device_is_down(ep)
     }
 

@@ -279,10 +279,12 @@ impl SlotPool {
         // Popping the free list gave us exclusive ownership of the slot
         // (refcount is 0 and no token can match its generation), so a plain
         // load + store cannot race with any other state transition.
+        // insane-lint: allow(hot-path-panic) -- free-list indices are seeded from 0..slot_count at construction
         let state = &self.inner.states[index as usize];
         let (generation, refs) = unpack_state(state.load(Ordering::Acquire));
         debug_assert_eq!(refs, 0, "slot on the free list with live references");
         state.store(pack_state(generation, 1), Ordering::Release);
+        // insane-lint: allow(hot-path-panic) -- same free-list index bound as above
         self.inner.lens[index as usize].store(len as u32, Ordering::Relaxed);
         Ok(SlotGuard {
             pool: self.clone(),
@@ -415,6 +417,7 @@ impl SlotPool {
     /// Adds one unit of checkout for `index` on generation
     /// `expected_generation`; fails if that checkout is no longer live.
     fn retain_checkout(&self, index: u32, expected_generation: u32) -> Result<(), MemoryError> {
+        // insane-lint: allow(hot-path-panic) -- index comes from a live guard/view, already bounds-checked at token validation
         let state = &self.inner.states[index as usize];
         let mut current = state.load(Ordering::Acquire);
         loop {
@@ -443,8 +446,9 @@ impl SlotPool {
 
     fn validate(&self, token: SlotToken) -> Result<(), MemoryError> {
         self.check_addressable(token)?;
-        let (generation, refs) =
-            unpack_state(self.inner.states[token.index as usize].load(Ordering::Acquire));
+        // insane-lint: allow(hot-path-panic) -- check_addressable above proved index < slot_count
+        let state = &self.inner.states[token.index as usize];
+        let (generation, refs) = unpack_state(state.load(Ordering::Acquire));
         if generation != token.generation || refs == 0 {
             self.inner.misuse_rejections.fetch_add(1, Ordering::Relaxed);
             return Err(MemoryError::StaleToken);
@@ -529,6 +533,9 @@ impl SlotGuard {
     /// the slot: ownership moves to whoever receives the token.
     ///
     /// This is the moment `emit_data` hands the slot id to the runtime.
+    // The forget IS the ownership transfer: the checkout deliberately
+    // outlives the guard because the token now owns it.
+    #[allow(clippy::mem_forget)]
     pub fn into_token(self) -> SlotToken {
         let token = self.pool.token_for(self.index, self.generation, self.len);
         core::mem::forget(self);
@@ -620,6 +627,9 @@ impl SlotView {
     /// Keeps the slot checked out and returns the token, so the view can be
     /// forwarded without copying (e.g. a local sink handing the message to
     /// another component).
+    // The forget IS the ownership transfer: the checkout deliberately
+    // outlives the view because the token now owns it.
+    #[allow(clippy::mem_forget)]
     pub fn into_token(self) -> SlotToken {
         let token = self.pool.token_for(self.index, self.generation, self.len);
         core::mem::forget(self);

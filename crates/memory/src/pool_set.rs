@@ -206,6 +206,7 @@ impl PoolSet {
     pub fn pool_of(&self, token: SlotToken) -> Result<&SlotPool, MemoryError> {
         self.by_id
             .get(&token.pool_id())
+            // insane-lint: allow(hot-path-panic) -- by_id positions are built from classes at construction
             .map(|&pos| &self.classes[pos])
             .ok_or(MemoryError::InvalidToken)
     }

@@ -87,6 +87,8 @@ impl FreeStack {
     /// Panics if `index` is out of range.  Pushing an index that is already
     /// on the stack is a logic error the stack cannot detect; the memory
     /// manager layers generation tags on top to catch double-release.
+    // insane-lint: hot-path-root
+    // insane-lint: allow-fn(hot-path-panic) -- the documented range assert is the bound proof for the index below
     pub fn push(&self, index: u32) {
         assert!((index as usize) < self.next.len(), "index out of range");
         let mut head = self.head.load(Ordering::Acquire);
@@ -108,6 +110,8 @@ impl FreeStack {
     }
 
     /// Pops the most recently pushed index, or `None` when empty.
+    // insane-lint: hot-path-root
+    // insane-lint: allow-fn(hot-path-panic) -- every stacked index passed the range assert in push
     pub fn pop(&self) -> Option<u32> {
         let mut head = self.head.load(Ordering::Acquire);
         loop {

@@ -88,6 +88,8 @@ impl<T> MpmcQueue<T> {
     /// # Errors
     ///
     /// Returns `Err(value)` if the queue is full.
+    // insane-lint: hot-path-root
+    // insane-lint: allow-fn(hot-path-panic) -- `pos & mask` cannot exceed the power-of-two slot count
     pub fn push(&self, value: T) -> Result<(), T> {
         let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
         loop {
@@ -120,6 +122,8 @@ impl<T> MpmcQueue<T> {
     }
 
     /// Dequeues the oldest value, or `None` when empty.
+    // insane-lint: hot-path-root
+    // insane-lint: allow-fn(hot-path-panic) -- `pos & mask` cannot exceed the power-of-two slot count
     pub fn pop(&self) -> Option<T> {
         let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
         loop {
@@ -153,6 +157,7 @@ impl<T> MpmcQueue<T> {
     }
 
     /// Pops up to `max` items into `out`; returns how many were moved.
+    // insane-lint: hot-path-root
     pub fn pop_burst(&self, out: &mut Vec<T>, max: usize) -> usize {
         let mut moved = 0;
         while moved < max {

@@ -184,6 +184,8 @@ impl<T> Sender<T> {
     /// # Errors
     ///
     /// Returns [`PushError`] carrying `value` back if the ring is full.
+    // insane-lint: hot-path-root
+    // insane-lint: allow-fn(hot-path-panic) -- `tail & mask` cannot exceed the power-of-two ring length
     pub fn push(&self, value: T) -> Result<(), PushError<T>> {
         let ring = &*self.ring;
         let tail = ring.tail.load(Ordering::Relaxed);
@@ -237,6 +239,7 @@ impl<T> Drop for Sender<T> {
 
 impl<T> Receiver<T> {
     /// Dequeues the oldest value, or `None` when the ring is empty.
+    // insane-lint: hot-path-root
     pub fn pop(&self) -> Option<T> {
         self.try_pop().ok()
     }
@@ -248,6 +251,7 @@ impl<T> Receiver<T> {
     ///
     /// [`PopError::Empty`] when there is nothing to read right now;
     /// [`PopError::Disconnected`] when additionally the sender is gone.
+    // insane-lint: hot-path-root
     pub fn try_pop(&self) -> Result<T, PopError> {
         let ring = &*self.ring;
         let head = ring.head.load(Ordering::Relaxed);
@@ -271,6 +275,7 @@ impl<T> Receiver<T> {
         Ok(self.take_at(head))
     }
 
+    // insane-lint: allow-fn(hot-path-panic) -- `head & mask` cannot exceed the power-of-two ring length
     fn take_at(&self, head: usize) -> T {
         let ring = &*self.ring;
         // SAFETY: positions below the observed tail hold initialized values
@@ -285,6 +290,7 @@ impl<T> Receiver<T> {
     ///
     /// This is the burst-dequeue the runtime polling thread uses to drain a
     /// TX token queue in one pass (opportunistic batching, paper §6.2).
+    // insane-lint: hot-path-root
     pub fn pop_burst(&self, out: &mut Vec<T>, max: usize) -> usize {
         let mut moved = 0;
         while moved < max {

@@ -293,6 +293,7 @@ impl<'a> Parser<'a> {
         }
     }
 
+    // insane-lint: cold-path -- BENCH-import tooling, never on a datapath
     fn value(&mut self, depth: usize) -> Result<Value, ParseError> {
         if depth > MAX_DEPTH {
             return Err(ParseError::at("nesting too deep", self.pos));

@@ -36,10 +36,13 @@ impl<T> Default for FifoScheduler<T> {
 }
 
 impl<T> Scheduler<T> for FifoScheduler<T> {
+    // insane-lint: hot-path-root
+    // insane-lint: allow-fn(hot-path-alloc) -- the FIFO deque is bounded by admission; it reaches a watermark and reuses capacity
     fn enqueue(&mut self, item: T, _class: TrafficClass, _now: Instant) {
         self.queue.push_back(item);
     }
 
+    // insane-lint: hot-path-root
     fn dequeue_ready(&mut self, out: &mut Vec<T>, max: usize, _now: Instant) -> usize {
         let n = max.min(self.queue.len());
         out.extend(self.queue.drain(..n));

@@ -112,17 +112,25 @@ impl GateControlList {
     pub fn active_entry(&self, now: Instant) -> (GateEntry, Duration) {
         let since_epoch = now.saturating_duration_since(self.epoch);
         let cycle_ns = self.cycle.as_nanos().max(1);
+        // insane-lint: allow(hot-path-panic) -- divisor clamped to >= 1 by the max(1) above
         let mut into_cycle = (since_epoch.as_nanos() % cycle_ns) as u64;
+        // Numerically the loop always returns (windows tile the cycle);
+        // falling through keeps the function total without a panic site:
+        // the last window (or an all-open entry for an empty list, which
+        // the constructor rejects) with no time remaining.
+        let mut fallback = GateEntry {
+            gates: 0xFF,
+            duration: Duration::ZERO,
+        };
         for entry in &self.entries {
             let d = entry.duration.as_nanos() as u64;
             if into_cycle < d {
                 return (*entry, Duration::from_nanos(d - into_cycle));
             }
             into_cycle -= d;
+            fallback = *entry;
         }
-        // Numerically impossible (windows tile the cycle), but stay total.
-        let last = *self.entries.last().expect("non-empty");
-        (last, Duration::ZERO)
+        (fallback, Duration::ZERO)
     }
 
     /// Whether `class` may transmit at `now`.

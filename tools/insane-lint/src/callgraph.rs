@@ -1,0 +1,477 @@
+//! Workspace-wide call graph over the parsed files.
+//!
+//! Resolution is name-based and deliberately over-approximate: a free or
+//! path call `foo(...)` / `Type::foo(...)` links to every workspace
+//! function named `foo` that the qualifier does not rule out, and a
+//! method call `.foo(...)` links to every impl method named `foo`.  Two
+//! guards keep the over-approximation from drowning the hot-path rules:
+//!
+//! * `#[cfg(test)]` functions are not graph nodes at all — calls never
+//!   resolve *to* them and their bodies are never walked, so hot-path
+//!   reachability provably stops at test boundaries.
+//! * Method names that collide with ubiquitous std methods (`push`,
+//!   `len`, `get`, ...) produce no edges; the hot queue/pool methods
+//!   behind those names carry explicit `hot-path-root` markers instead.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::lex::{TokKind, Token};
+use crate::parse::{is_keyword, FnInfo, ParsedFile};
+
+/// Method names too generic to resolve through the graph: nearly every
+/// call with one of these names targets std/alloc types.  Workspace hot
+/// functions that happen to use such a name (e.g. `MpmcQueue::push`) are
+/// annotated as hot-path roots directly.
+const AMBIGUOUS_METHODS: &[&str] = &[
+    "push",
+    "pop",
+    "len",
+    "is_empty",
+    "get",
+    "set",
+    "insert",
+    "remove",
+    "clear",
+    "drain",
+    "iter",
+    "next",
+    "clone",
+    "take",
+    "contains",
+    "send",
+    "recv",
+    "read",
+    "write",
+    "lock",
+    "flush",
+    "poll",
+    "new",
+    "default",
+    "from",
+    "into",
+    "as_ref",
+    "as_mut",
+    "extend",
+    "push_back",
+    "push_front",
+    "pop_front",
+    "pop_back",
+    "start",
+    "end",
+    "min",
+    "max",
+];
+
+/// Flat function id: index into [`CallGraph::fns`].
+pub type FnId = usize;
+
+/// A (file index, fn index) key back into the parsed files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FnKey {
+    pub file: usize,
+    pub idx: usize,
+}
+
+/// One call site extracted from a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Called name (last path segment / method name).
+    pub name: String,
+    /// Path segment directly before the name (`Type::name`), if any.
+    pub qualifier: Option<String>,
+    /// True for `.name(...)` receiver calls.
+    pub is_method: bool,
+    /// Token index of the name token (within the owning file).
+    pub tok: usize,
+    pub line: u32,
+}
+
+pub struct CallGraph {
+    pub fns: Vec<FnKey>,
+    /// Resolved workspace callees per function.
+    pub edges: Vec<Vec<FnId>>,
+    /// All call sites per function (resolved or not) for rule reuse.
+    pub calls: Vec<Vec<CallSite>>,
+    /// Maps (file, fn idx) to flat id.
+    index: HashMap<(usize, usize), FnId>,
+}
+
+impl CallGraph {
+    pub fn id_of(&self, file: usize, idx: usize) -> Option<FnId> {
+        self.index.get(&(file, idx)).copied()
+    }
+
+    pub fn info<'a>(&self, files: &'a [ParsedFile], id: FnId) -> &'a FnInfo {
+        let key = self.fns[id];
+        &files[key.file].fns[key.idx]
+    }
+}
+
+/// Builds the graph. Test functions are excluded entirely.
+pub fn build(files: &[ParsedFile]) -> CallGraph {
+    let mut fns = Vec::new();
+    let mut index = HashMap::new();
+    // Name -> candidate fn ids (non-test only).
+    let mut by_name: HashMap<&str, Vec<FnId>> = HashMap::new();
+
+    for (fi, file) in files.iter().enumerate() {
+        for (xi, f) in file.fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            let id = fns.len();
+            fns.push(FnKey { file: fi, idx: xi });
+            index.insert((fi, xi), id);
+            by_name.entry(f.name.as_str()).or_default().push(id);
+        }
+    }
+
+    let mut edges = vec![Vec::new(); fns.len()];
+    let mut calls = vec![Vec::new(); fns.len()];
+    for (id, key) in fns.iter().enumerate() {
+        let file = &files[key.file];
+        let f = &file.fns[key.idx];
+        if !f.has_body() {
+            continue;
+        }
+        let sites = extract_calls(&file.tokens, f.body.0, f.body.1);
+        let caller_crate = crate_of(&file.file);
+        let mut out: Vec<FnId> = Vec::new();
+        for site in &sites {
+            for cand in resolve(files, &fns, &by_name, f, caller_crate, site) {
+                if cand != id && !out.contains(&cand) {
+                    out.push(cand);
+                }
+            }
+        }
+        edges[id] = out;
+        calls[id] = sites;
+    }
+
+    CallGraph {
+        fns,
+        edges,
+        calls,
+        index,
+    }
+}
+
+/// Extracts call sites from a body token range.
+pub fn extract_calls(tokens: &[Token], start: usize, end: usize) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    let mut i = start;
+    while i < end.min(tokens.len()) {
+        let t = &tokens[i];
+        if t.kind != TokKind::Ident || is_keyword(&t.text) {
+            i += 1;
+            continue;
+        }
+        // Macro invocation: `name!` — not a call edge (macro bodies are
+        // invisible at the invocation site); rules match these directly.
+        if tokens.get(i + 1).is_some_and(|n| n.is_punct('!')) {
+            i += 2;
+            continue;
+        }
+        // Optional turbofish between name and argument list.
+        let mut j = i + 1;
+        if tokens.get(j).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(j + 1).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(j + 2).is_some_and(|t| t.is_punct('<'))
+        {
+            let mut angle = 0i32;
+            j += 2;
+            while j < tokens.len() {
+                if tokens[j].is_punct('<') {
+                    angle += 1;
+                } else if tokens[j].is_punct('>') {
+                    angle -= 1;
+                    if angle == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        if !tokens.get(j).is_some_and(|t| t.is_punct('(')) {
+            i += 1;
+            continue;
+        }
+        let is_method = i >= 1 && tokens[i - 1].is_punct('.');
+        let qualifier = if !is_method
+            && i >= 3
+            && tokens[i - 1].is_punct(':')
+            && tokens[i - 2].is_punct(':')
+            && tokens[i - 3].kind == TokKind::Ident
+        {
+            Some(tokens[i - 3].text.clone())
+        } else {
+            None
+        };
+        out.push(CallSite {
+            name: t.text.clone(),
+            qualifier,
+            is_method,
+            tok: i,
+            line: t.line,
+        });
+        i = j;
+    }
+    out
+}
+
+fn resolve(
+    files: &[ParsedFile],
+    fns: &[FnKey],
+    by_name: &HashMap<&str, Vec<FnId>>,
+    caller: &FnInfo,
+    caller_crate: &str,
+    site: &CallSite,
+) -> Vec<FnId> {
+    if site.is_method && AMBIGUOUS_METHODS.contains(&site.name.as_str()) {
+        return Vec::new();
+    }
+    let Some(cands) = by_name.get(site.name.as_str()) else {
+        return Vec::new();
+    };
+    let info = |id: &FnId| -> &FnInfo {
+        let k = fns[*id];
+        &files[k.file].fns[k.idx]
+    };
+    if site.is_method {
+        let impls: Vec<FnId> = cands
+            .iter()
+            .filter(|id| info(id).impl_type.is_some())
+            .copied()
+            .collect();
+        // With many same-named impls (`snapshot`, `connect`, ...) a
+        // name-only match links essentially unrelated code; degrade to
+        // no edges like the fixed AMBIGUOUS_METHODS list. Hot-path
+        // reachability compensates with explicit root markers.
+        if impls.len() >= 4 {
+            return Vec::new();
+        }
+        // Same-crate candidates win over cross-crate name twins
+        // (`TrafficClass::value` must not drag in `json::Parser::value`).
+        // Cross-crate dispatch through traits is covered by explicit
+        // `hot-path-root` markers on the trait impls instead.
+        let same_crate: Vec<FnId> = impls
+            .iter()
+            .filter(|id| crate_of(&files[fns[**id].file].file) == caller_crate)
+            .copied()
+            .collect();
+        if !same_crate.is_empty() {
+            return same_crate;
+        }
+        return impls;
+    }
+    match &site.qualifier {
+        Some(q) if q == "self" || q == "Self" => {
+            let same_impl: Vec<FnId> = cands
+                .iter()
+                .filter(|id| info(id).impl_type == caller.impl_type)
+                .copied()
+                .collect();
+            if same_impl.is_empty() {
+                cands.clone()
+            } else {
+                same_impl
+            }
+        }
+        Some(q) => {
+            // `Type::name` or `module::name`: keep candidates the
+            // qualifier plausibly names; if the qualifier matches nothing
+            // in the workspace (std types like `Instant::now`), resolve
+            // to nothing rather than over-linking.
+            let matched: Vec<FnId> = cands
+                .iter()
+                .filter(|id| {
+                    let f = info(id);
+                    f.impl_type.as_deref() == Some(q.as_str())
+                        || f.module.iter().any(|m| m == q)
+                        || file_stem(&files[fns[**id].file].file) == q.as_str()
+                })
+                .copied()
+                .collect();
+            matched
+        }
+        None => {
+            // Bare call: free functions only (associated fns need a path).
+            let free: Vec<FnId> = cands
+                .iter()
+                .filter(|id| info(id).impl_type.is_none())
+                .copied()
+                .collect();
+            free
+        }
+    }
+}
+
+/// Crate-identifying prefix of a repo-relative path: the first two
+/// components (`crates/core`, `tools/insanectl`), or the first one for
+/// top-level `src/`/`tests/`.
+fn crate_of(rel: &str) -> &str {
+    let mut end = 0;
+    let mut slashes = 0;
+    for (i, c) in rel.char_indices() {
+        if c == '/' {
+            slashes += 1;
+            end = i;
+            if slashes == 2 {
+                break;
+            }
+        }
+    }
+    if slashes == 0 {
+        rel
+    } else {
+        &rel[..end]
+    }
+}
+
+fn file_stem(rel: &str) -> &str {
+    let base = rel.rsplit('/').next().unwrap_or(rel);
+    let stem = base.strip_suffix(".rs").unwrap_or(base);
+    if stem == "mod" || stem == "lib" || stem == "main" {
+        // `foo/mod.rs` — the module name is the directory.
+        let mut parts = rel.rsplit('/');
+        parts.next();
+        parts.next().unwrap_or(stem)
+    } else {
+        stem
+    }
+}
+
+/// BFS from every `hot-path-root` function.  Returns, per fn id, the id
+/// of the root it was first reached from (`None` = not hot).  Expansion
+/// stops at `cold-path` functions: they are neither included nor
+/// descended into.
+pub fn hot_provenance(files: &[ParsedFile], graph: &CallGraph) -> Vec<Option<FnId>> {
+    let mut prov: Vec<Option<FnId>> = vec![None; graph.fns.len()];
+    let mut queue = VecDeque::new();
+    for (id, key) in graph.fns.iter().enumerate() {
+        let f = &files[key.file].fns[key.idx];
+        if f.hot_root && !f.cold {
+            prov[id] = Some(id);
+            queue.push_back(id);
+        }
+    }
+    let mut seen: HashSet<FnId> = queue.iter().copied().collect();
+    while let Some(id) = queue.pop_front() {
+        let root = prov[id];
+        for &callee in &graph.edges[id] {
+            if seen.contains(&callee) {
+                continue;
+            }
+            let f = graph.info(files, callee);
+            if f.cold {
+                continue;
+            }
+            seen.insert(callee);
+            prov[callee] = root;
+            queue.push_back(callee);
+        }
+    }
+    prov
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+    use crate::parse::parse_file;
+
+    fn ws(srcs: &[(&str, &str)]) -> Vec<ParsedFile> {
+        srcs.iter()
+            .map(|(rel, src)| parse_file(rel, lex(src), false))
+            .collect()
+    }
+
+    fn hot_names(files: &[ParsedFile]) -> Vec<String> {
+        let graph = build(files);
+        let prov = hot_provenance(files, &graph);
+        let mut out: Vec<String> = prov
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_some())
+            .map(|(id, _)| graph.info(files, id).qname.clone())
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn reachability_follows_free_and_method_calls() {
+        let files = ws(&[(
+            "crates/a/src/lib.rs",
+            "// insane-lint: hot-path-root\nfn root() { helper(); S::assoc(); }\nfn helper() { leaf(); }\nfn leaf() {}\nfn unrelated() {}\nstruct S;\nimpl S { fn assoc() {} }\n",
+        )]);
+        assert_eq!(
+            hot_names(&files),
+            vec!["S::assoc", "helper", "leaf", "root"]
+        );
+    }
+
+    #[test]
+    fn reachability_stops_at_cfg_test_boundaries() {
+        // `helper` is shared; the test-only fn that also calls it (and
+        // calls `test_only_alloc`) must not appear in the graph, and hot
+        // reachability must not leak through it.
+        let files = ws(&[(
+            "crates/a/src/lib.rs",
+            "// insane-lint: hot-path-root\nfn root() { helper(); }\nfn helper() {}\nfn test_only_target() {}\n#[cfg(test)]\nmod tests {\n    use super::*;\n    fn bridge() { helper(); test_only_target(); }\n    #[test]\n    fn t() { bridge(); }\n}\n",
+        )]);
+        let names = hot_names(&files);
+        assert_eq!(names, vec!["helper", "root"]);
+        // The test fns are not graph nodes at all.
+        let graph = build(&files);
+        for id in 0..graph.fns.len() {
+            assert!(!graph.info(&files, id).is_test);
+        }
+    }
+
+    #[test]
+    fn reachability_stops_at_cold_path_markers() {
+        let files = ws(&[(
+            "crates/a/src/lib.rs",
+            "// insane-lint: hot-path-root\nfn root() { control(); fast(); }\n// insane-lint: cold-path -- failover transition only\nfn control() { deep(); }\nfn deep() {}\nfn fast() {}\n",
+        )]);
+        assert_eq!(hot_names(&files), vec!["fast", "root"]);
+    }
+
+    #[test]
+    fn ambiguous_method_names_do_not_link() {
+        let files = ws(&[(
+            "crates/a/src/lib.rs",
+            "// insane-lint: hot-path-root\nfn root(q: Q) { q.push(1); }\nstruct Q;\nimpl Q { fn push(&self, _x: u8) { expensive(); } }\nfn expensive() {}\n",
+        )]);
+        // `.push(` must not link; Q::push would need its own root marker.
+        assert_eq!(hot_names(&files), vec!["root"]);
+    }
+
+    #[test]
+    fn qualified_calls_resolve_across_files() {
+        let files = ws(&[
+            (
+                "crates/a/src/shard.rs",
+                "pub fn shard_of_channel() { inner(); }\nfn inner() {}\n",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "// insane-lint: hot-path-root\nfn root() { shard::shard_of_channel(); }\n",
+            ),
+        ]);
+        let names = hot_names(&files);
+        assert!(names.contains(&"shard_of_channel".to_string()));
+        assert!(names.contains(&"inner".to_string()));
+    }
+
+    #[test]
+    fn unknown_qualifiers_do_not_over_link() {
+        let files = ws(&[(
+            "crates/a/src/lib.rs",
+            "// insane-lint: hot-path-root\nfn root() { Instant::now(); }\nstruct C;\nimpl C { fn now() { slow(); } }\nfn slow() {}\n",
+        )]);
+        assert_eq!(hot_names(&files), vec!["root"]);
+    }
+}

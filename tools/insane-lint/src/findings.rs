@@ -1,0 +1,131 @@
+//! Machine-readable findings output (SARIF-lite), consumed by the
+//! `lint-invariants` CI job. Dependency-free: the workspace builds
+//! offline, so the writer is hand-rolled (same approach as the BENCH
+//! schema writer in `insane-telemetry`).
+//!
+//! Schema (`insane-lint/v2`):
+//! ```json
+//! {
+//!   "schema": "insane-lint/v2",
+//!   "elapsed_ms": 1234,
+//!   "analyzed": {"files": 10, "functions": 200, "hot_functions": 40},
+//!   "waived": 7,
+//!   "findings": [
+//!     {"rule": "hot-path-alloc", "file": "crates/core/src/x.rs",
+//!      "line": 12, "message": "..."}
+//!   ],
+//!   "summary": {"total": 1, "by_rule": {"hot-path-alloc": 1}}
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::{Stats, Violation};
+
+/// Serializes an analysis result to the `insane-lint/v2` JSON schema.
+pub fn to_json(violations: &[Violation], stats: &Stats) -> String {
+    let mut by_rule: BTreeMap<&str, usize> = BTreeMap::new();
+    for v in violations {
+        *by_rule.entry(v.rule).or_insert(0) += 1;
+    }
+
+    let mut s = String::with_capacity(1024 + violations.len() * 160);
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"insane-lint/v2\",\n");
+    s.push_str(&format!("  \"elapsed_ms\": {},\n", stats.elapsed_ms));
+    s.push_str(&format!(
+        "  \"analyzed\": {{\"files\": {}, \"functions\": {}, \"hot_functions\": {}}},\n",
+        stats.files, stats.functions, stats.hot_functions
+    ));
+    s.push_str(&format!("  \"waived\": {},\n", stats.waived));
+    s.push_str("  \"findings\": [");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    {");
+        s.push_str(&format!("\"rule\": \"{}\", ", escape(v.rule)));
+        s.push_str(&format!(
+            "\"file\": \"{}\", ",
+            escape(&v.file.to_string_lossy().replace('\\', "/"))
+        ));
+        s.push_str(&format!("\"line\": {}, ", v.line));
+        s.push_str(&format!("\"message\": \"{}\"}}", escape(&v.message)));
+    }
+    if !violations.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n");
+    s.push_str(&format!(
+        "  \"summary\": {{\"total\": {}, \"by_rule\": {{",
+        violations.len()
+    ));
+    for (i, (rule, count)) in by_rule.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!("\"{}\": {}", escape(rule), count));
+    }
+    s.push_str("}}\n}\n");
+    s
+}
+
+fn escape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn json_shape_and_escaping() {
+        let vs = vec![Violation {
+            file: PathBuf::from("crates/core/src/api.rs"),
+            line: 7,
+            rule: "hot-path-alloc",
+            message: "a \"quoted\" thing\nwith newline".to_string(),
+        }];
+        let stats = Stats {
+            files: 3,
+            functions: 10,
+            hot_functions: 4,
+            waived: 2,
+            elapsed_ms: 55,
+        };
+        let json = to_json(&vs, &stats);
+        assert!(json.contains("\"schema\": \"insane-lint/v2\""));
+        assert!(json.contains("\"hot_functions\": 4"));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("\"by_rule\": {\"hot-path-alloc\": 1}"));
+        assert!(!json.contains('\u{0}'));
+    }
+
+    #[test]
+    fn empty_findings_serialize_cleanly() {
+        let stats = Stats {
+            files: 1,
+            functions: 0,
+            hot_functions: 0,
+            waived: 0,
+            elapsed_ms: 1,
+        };
+        let json = to_json(&[], &stats);
+        assert!(json.contains("\"findings\": [],"));
+        assert!(json.contains("\"total\": 0"));
+    }
+}

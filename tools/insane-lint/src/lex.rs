@@ -1,0 +1,449 @@
+//! Full-file lexer: turns Rust source into a flat token stream plus a
+//! list of *discrete comment tokens*, each tagged with its lexical
+//! position (line comment, single-line block comment, or the interior
+//! line of a multi-line block comment).
+//!
+//! This is the foundation of the v2 analyzer: the parser
+//! ([`crate::parse`]) walks the token stream to find items, and waiver /
+//! marker directives are parsed **only** from `Comment` entries — never
+//! from string literals and never from the interior of a multi-line
+//! block comment — which closes the substring-matching hole in the v1
+//! line scanner ([`crate::scan`], kept as the regex fallback tier).
+//!
+//! The workspace builds offline and cannot pull `syn`, so the lexer is
+//! hand-rolled; it understands nested block comments, string/byte-string
+//! literals with escapes, raw strings with arbitrary `#` fences, and
+//! char literals vs. lifetimes (including `'\''`).
+
+/// Token classification. Literal contents are not preserved (rules never
+/// need them); identifier text is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Punct,
+    Str,
+    Char,
+    Num,
+    Lifetime,
+}
+
+/// One lexical token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    /// Identifier text, the single punctuation character, or a
+    /// placeholder for literals/lifetimes.
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// Where a comment sits lexically. Only `Line` and `Block` comments may
+/// carry `insane-lint:` directives; `BlockInterior` lines (the middle of
+/// a multi-line `/* ... */`, e.g. commented-out code) never mint waivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommentKind {
+    /// `// ...`, `/// ...`, `//! ...` (text keeps the extra `/` or `!`).
+    Line,
+    /// A `/* ... */` that opens and closes on one line.
+    Block,
+    /// One physical line of a multi-line block comment.
+    BlockInterior,
+}
+
+/// A discrete comment token.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment text sits on.
+    pub line: u32,
+    /// Comment text without the `//` / `/*` delimiters.
+    pub text: String,
+    pub kind: CommentKind,
+    /// True when no code token precedes the comment on its line.
+    pub own_line: bool,
+}
+
+/// Lexer output: the token stream and every comment, both in source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `source`. Unterminated constructs are tolerated (the lexer is a
+/// linter front-end, not a compiler): they run to end of input.
+pub fn lex(source: &str) -> Lexed {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut line_has_code = false;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            line_has_code = false;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        let next = chars.get(i + 1).copied();
+
+        // Line comment.
+        if c == '/' && next == Some('/') {
+            let start = i + 2;
+            let mut j = start;
+            while j < chars.len() && chars[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: chars[start..j].iter().collect(),
+                kind: CommentKind::Line,
+                own_line: !line_has_code,
+            });
+            i = j;
+            continue;
+        }
+
+        // Block comment (nesting supported).
+        if c == '/' && next == Some('*') {
+            let own = !line_has_code;
+            let open_line = line;
+            let mut depth = 1u32;
+            let mut j = i + 2;
+            let mut cur = String::new();
+            let mut parts: Vec<(u32, String)> = Vec::new();
+            let mut cur_line = line;
+            while j < chars.len() && depth > 0 {
+                let cj = chars[j];
+                let nj = chars.get(j + 1).copied();
+                if cj == '*' && nj == Some('/') {
+                    depth -= 1;
+                    j += 2;
+                } else if cj == '/' && nj == Some('*') {
+                    depth += 1;
+                    j += 2;
+                } else if cj == '\n' {
+                    parts.push((cur_line, std::mem::take(&mut cur)));
+                    line += 1;
+                    cur_line = line;
+                    j += 1;
+                } else {
+                    cur.push(cj);
+                    j += 1;
+                }
+            }
+            parts.push((cur_line, cur));
+            if line == open_line {
+                // Single-line `/* ... */`: one discrete comment token.
+                let text = parts.pop().map(|p| p.1).unwrap_or_default();
+                out.comments.push(Comment {
+                    line: open_line,
+                    text,
+                    kind: CommentKind::Block,
+                    own_line: own,
+                });
+            } else {
+                for (idx, (ln, text)) in parts.into_iter().enumerate() {
+                    out.comments.push(Comment {
+                        line: ln,
+                        text,
+                        kind: CommentKind::BlockInterior,
+                        own_line: if idx == 0 { own } else { true },
+                    });
+                }
+                // The close line holds only the comment so far.
+                line_has_code = false;
+            }
+            i = j;
+            continue;
+        }
+
+        // Ordinary (escaped) string / byte string.
+        if c == '"' {
+            let mut j = i + 1;
+            while j < chars.len() {
+                match chars[j] {
+                    '\\' => j += 2,
+                    '"' => {
+                        j += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        j += 1;
+                    }
+                    _ => j += 1,
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Str,
+                text: String::new(),
+                line,
+            });
+            line_has_code = true;
+            i = j;
+            continue;
+        }
+
+        // Raw string / raw byte string: r"...", r#"..."#, br##"..."##.
+        if (c == 'r' || c == 'b') && is_raw_string_start(&chars, i) {
+            let (fence, before_quote) = raw_string_fence(&chars, i);
+            let mut j = i + before_quote + 1;
+            while j < chars.len() {
+                if chars[j] == '"' && closes_raw_string(&chars, j, fence) {
+                    j += 1 + fence as usize;
+                    break;
+                }
+                if chars[j] == '\n' {
+                    line += 1;
+                }
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Str,
+                text: String::new(),
+                line,
+            });
+            line_has_code = true;
+            i = j;
+            continue;
+        }
+
+        // Char literal vs. lifetime/label.
+        if c == '\'' {
+            if next == Some('\\') {
+                // Escaped char literal, e.g. '\n', '\'', '\u{7d}'. The
+                // char after the backslash is always literal content, so
+                // `'\''` closes at index i+3, not at the escaped quote.
+                let mut j = i + 3;
+                while j < chars.len() && chars[j] != '\'' && chars[j] != '\n' {
+                    j += 1;
+                }
+                if chars.get(j) == Some(&'\'') {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line,
+                });
+                line_has_code = true;
+                i = j;
+                continue;
+            }
+            if chars.get(i + 2) == Some(&'\'') && next != Some('\'') {
+                out.tokens.push(Token {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line,
+                });
+                line_has_code = true;
+                i += 3;
+                continue;
+            }
+            // Lifetime or loop label: 'a, 'static, 'outer.
+            let mut j = i + 1;
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Lifetime,
+                text: chars[i + 1..j].iter().collect(),
+                line,
+            });
+            line_has_code = true;
+            i = j;
+            continue;
+        }
+
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let mut j = i + 1;
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Ident,
+                text: chars[i..j].iter().collect(),
+                line,
+            });
+            line_has_code = true;
+            i = j;
+            continue;
+        }
+
+        // Numeric literal (loose: suffixes, hex, floats, exponents).
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < chars.len() {
+                let cj = chars[j];
+                let continues_number = cj.is_alphanumeric()
+                    || cj == '_'
+                    || (cj == '.'
+                        && chars.get(j + 1).is_some_and(|d| d.is_ascii_digit())
+                        && chars.get(j.wrapping_sub(1)) != Some(&'.'))
+                    || ((cj == '+' || cj == '-')
+                        && matches!(chars.get(j.wrapping_sub(1)), Some('e') | Some('E')));
+                if !continues_number {
+                    break;
+                }
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Num,
+                text: chars[i..j].iter().collect(),
+                line,
+            });
+            line_has_code = true;
+            i = j;
+            continue;
+        }
+
+        // Single-character punctuation.
+        out.tokens.push(Token {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        line_has_code = true;
+        i += 1;
+    }
+    out
+}
+
+/// Is `chars[i]` the start of `r"`, `r#"`, `b"`? (Only raw forms; plain
+/// `b"` byte strings take the escaped-string path via `"` — this helper
+/// requires an `r`.)
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return false;
+    }
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Returns `(fence_hash_count, chars_before_opening_quote)`.
+fn raw_string_fence(chars: &[char], i: usize) -> (u32, usize) {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'r') {
+        j += 1;
+    }
+    let mut fence = 0u32;
+    while chars.get(j) == Some(&'#') {
+        fence += 1;
+        j += 1;
+    }
+    (fence, j - i)
+}
+
+fn closes_raw_string(chars: &[char], i: usize, fence: u32) -> bool {
+    (1..=fence as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_produce_no_ident_tokens() {
+        let toks = idents("let s = \"unsafe panic! lock()\";");
+        assert_eq!(toks, vec!["let", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = idents("let p = r#\"lock() \"quoted\" \"#; call();");
+        assert_eq!(toks, vec!["let", "p", "call"]);
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_does_not_derail() {
+        // `'\''` once tripped the v1 scanner into closing the literal at
+        // the escaped quote; the lexer must treat the escape as content.
+        let toks = idents("let q = '\\''; let s = \" // insane-lint: allow(x) -- y\"; f();");
+        assert_eq!(toks, vec!["let", "q", "let", "s", "f"]);
+        let lexed = lex("let q = '\\''; let s = \" // not a comment\";");
+        assert!(lexed.comments.is_empty());
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let lexed = lex("fn f<'a>(c: char) { let q = '{'; g::<'a>(); }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let braces = lexed.tokens.iter().filter(|t| t.is_punct('{')).count();
+        assert_eq!(braces, 1);
+    }
+
+    #[test]
+    fn comment_kinds_and_own_line() {
+        let src = "// top\nlet x = 1; // trailing\n/* one-liner */\n/* multi\nline */\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 5);
+        assert_eq!(lexed.comments[0].kind, CommentKind::Line);
+        assert!(lexed.comments[0].own_line);
+        assert_eq!(lexed.comments[1].kind, CommentKind::Line);
+        assert!(!lexed.comments[1].own_line);
+        assert_eq!(lexed.comments[2].kind, CommentKind::Block);
+        assert_eq!(lexed.comments[3].kind, CommentKind::BlockInterior);
+        assert_eq!(lexed.comments[4].kind, CommentKind::BlockInterior);
+        assert!(lexed.comments[3].text.contains("multi"));
+    }
+
+    #[test]
+    fn nested_block_comment_is_one_comment() {
+        let lexed = lex("/* outer /* inner */ tail */ code()");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].kind, CommentKind::Block);
+        assert!(lexed.comments[0].text.contains("tail"));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("code")));
+    }
+
+    #[test]
+    fn line_numbers_advance_through_multiline_strings() {
+        let lexed = lex("let a = \"x\ny\";\nfn b() {}\n");
+        let b = lexed.tokens.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+}

@@ -1,9 +1,9 @@
-//! INSANE invariant linter: repo-specific rules that `clippy` cannot
-//! express, run as `cargo run -p insane-lint` (CI job `lint-invariants`).
+//! INSANE invariant linter v2: a two-tier static analyzer for the
+//! repo-specific rules `clippy` cannot express, run as
+//! `cargo run -p insane-lint` (CI job `lint-invariants`).
 //!
-//! Rules (each waivable in source with
-//! `// insane-lint: allow(<rule>) -- <reason>` on the offending line or
-//! the line above; a waiver without a reason is itself an error):
+//! **Tier 1 (regex fallback, [`scan`])** — per-line code/comment channel
+//! rules, unchanged from v1:
 //!
 //! * `safety-comment` — every `unsafe` keyword must carry a `// SAFETY:`
 //!   comment on the same line or in the contiguous comment block
@@ -14,23 +14,52 @@
 //!   other crate additionally carries `#![forbid(unsafe_code)]`.
 //! * `no-panic-paths` — non-test code in `insane-core`/`insane-fabric`/
 //!   `insane-telemetry`/`insanectl` must not call `unwrap`/`expect` or
-//!   invoke `panic!`-family macros: the self-healing control plane
-//!   (DESIGN.md §6.7) relies on errors being returned, not thrown, and
-//!   the observability layer must never take a runtime down.
+//!   invoke `panic!`-family macros.
 //! * `raw-slot-arithmetic` — slot-index/generation arithmetic belongs in
-//!   `insane-memory` alone: no `SlotToken` literals, no `generation`
-//!   identifiers, no arithmetic on `<token|slot>.index()` elsewhere.
-//! * `raw-socket` — OS socket types (`UdpSocket`, `TcpListener`,
-//!   `TcpStream`) may be named only by the kernel-UDP datapath plugin
-//!   and the simulated-fabric UDP device.
-//! * `bad-waiver` — an `insane-lint: allow(...)` directive lacking a
-//!   non-empty reason.
+//!   `insane-memory` alone.
+//! * `raw-socket` — OS socket types may be named only by the kernel-UDP
+//!   datapath plugin and the simulated-fabric UDP device.
+//! * `bad-waiver` — an `insane-lint:` directive lacking a non-empty
+//!   reason.
+//!
+//! **Tier 2 (AST + call graph, [`lex`]/[`parse`]/[`callgraph`]/
+//! [`rules`])** — whole-workspace analyses:
+//!
+//! * `hot-path-alloc` / `hot-path-block` / `hot-path-panic` — functions
+//!   reachable from `// insane-lint: hot-path-root` markers must not
+//!   allocate, block, or carry implicit panic sites; reachability stops
+//!   at `#[cfg(test)]` boundaries and `// insane-lint: cold-path`
+//!   markers.
+//! * `lock-order-cycle` / `lock-across-wait` — the workspace lock
+//!   acquisition graph must be acyclic and no guard may be held across
+//!   a wait point (condvar waits that take the guard are exempt: the
+//!   condvar releases it).
+//! * `slot-token-drop` — a `SlotToken` (Copy, no Drop) bound outside
+//!   `insane-memory` must be consumed, never silently dropped.
+//!
+//! **Waivers** are parsed only from genuine comment tokens (line
+//! comments and single-line block comments — never from string
+//! literals or the interior lines of multi-line block comments):
+//!
+//! * line waiver: `insane-lint: allow(<rule>) -- <reason>` covers its
+//!   own line and the next;
+//! * function waiver: `insane-lint: allow-fn(<rule>) -- <reason>` in
+//!   the comment block above a `fn` covers the whole body;
+//! * a waiver without a reason (≥ 3 chars) is itself a `bad-waiver`
+//!   violation.
 
+pub mod callgraph;
+pub mod findings;
+pub mod lex;
+pub mod parse;
+pub mod rules;
 pub mod scan;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
+use parse::{Directive, ParsedFile};
 use scan::{find_word, ScannedLine};
 
 /// Path prefixes (repo-relative, `/`-separated) where `unsafe` is legal.
@@ -105,42 +134,42 @@ impl fmt::Display for Violation {
     }
 }
 
-/// Lints one file's source text. `rel` is the repo-relative path used for
-/// scope decisions (whitelists) and reporting.
+/// Workspace-analysis counters for the JSON report and the CI runtime
+/// guard.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    pub files: usize,
+    pub functions: usize,
+    pub hot_functions: usize,
+    /// Findings suppressed by (reasoned) waivers.
+    pub waived: usize,
+    pub elapsed_ms: u128,
+}
+
+/// Full analysis result.
+#[derive(Debug)]
+pub struct Analysis {
+    pub violations: Vec<Violation>,
+    pub stats: Stats,
+    /// Hot functions as `(qname, root qname, file, line)` — the
+    /// reachability set behind the hot-path rules (`--list-hot`).
+    pub hot: Vec<(String, String, String, u32)>,
+}
+
+/// Lints one file's source text with the **regex tier only** (plus
+/// waivers). `rel` is the repo-relative path used for scope decisions
+/// (whitelists) and reporting. The AST tier needs the whole workspace
+/// (call graph); use [`analyze_root`] for it.
 pub fn lint_file(rel: &Path, source: &str) -> Vec<Violation> {
-    let rel_str = rel.to_string_lossy().replace('\\', "/");
-    let lines = scan::scan(source);
-    let in_test = test_spans(&lines, &rel_str);
-    let waivers = collect_waivers(&lines);
-
-    let mut out = Vec::new();
-    for (idx, line) in lines.iter().enumerate() {
-        let lineno = idx + 1;
-        check_unsafe(&rel_str, idx, &lines, &mut out);
-        check_panic_paths(&rel_str, idx, line, in_test[idx], &mut out);
-        check_slot_arithmetic(&rel_str, idx, line, in_test[idx], &mut out);
-        check_sockets(&rel_str, idx, line, &mut out);
-        let _ = lineno;
-    }
-
-    // Apply waivers, then append waiver-syntax violations.
+    let rel_str = rel_str_of(rel);
+    let lexed = lex::lex(source);
+    let waivers = collect_waivers(&lexed.comments);
+    let mut out = regex_tier(&rel_str, source);
     let mut kept: Vec<Violation> = out
-        .into_iter()
+        .drain(..)
         .filter(|v| !waivers.iter().any(|w| w.covers(v)))
         .collect();
-    for w in &waivers {
-        if w.reason_missing {
-            kept.push(Violation {
-                file: rel.to_path_buf(),
-                line: w.line + 1,
-                rule: "bad-waiver",
-                message: format!(
-                    "waiver for `{}` has no reason; write `insane-lint: allow({}) -- <why>`",
-                    w.rule, w.rule
-                ),
-            });
-        }
-    }
+    kept.extend(bad_waiver_violations(rel, &waivers));
     for v in &mut kept {
         v.file = rel.to_path_buf();
     }
@@ -148,19 +177,153 @@ pub fn lint_file(rel: &Path, source: &str) -> Vec<Violation> {
     kept
 }
 
-/// Recursively lints every `.rs` file under `root` that belongs to the
-/// workspace's own code (crates/, src/, tools/, tests/, examples/),
-/// skipping `target/`, `vendor/` (third-party shims) and test fixtures.
+/// Recursively runs the **full two-tier analysis** on every `.rs` file
+/// under `root` that belongs to the workspace's own code (crates/, src/,
+/// tools/, tests/, examples/), skipping `target/`, `vendor/`
+/// (third-party shims) and test fixtures. Equivalent to
+/// [`analyze_root`] but returning only the violations.
 pub fn lint_root(root: &Path) -> std::io::Result<Vec<Violation>> {
+    Ok(analyze_root(root)?.violations)
+}
+
+/// The full v2 analysis: regex tier per file, then the AST/call-graph
+/// tier across the whole workspace, then waiver application.
+pub fn analyze_root(root: &Path) -> std::io::Result<Analysis> {
+    let started = Instant::now();
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)?;
     files.sort();
-    let mut out = Vec::new();
-    for rel in files {
-        let source = std::fs::read_to_string(root.join(&rel))?;
-        out.extend(lint_file(&rel, &source));
+
+    let mut parsed: Vec<ParsedFile> = Vec::with_capacity(files.len());
+    let mut raw: Vec<Violation> = Vec::new();
+    let mut waivers_by_file: Vec<Vec<Waiver>> = Vec::with_capacity(files.len());
+
+    for rel in &files {
+        let source = std::fs::read_to_string(root.join(rel))?;
+        let rel_str = rel_str_of(rel);
+        let lexed = lex::lex(&source);
+        let test_file = is_test_file(&rel_str);
+        let waivers = collect_waivers(&lexed.comments);
+        raw.extend(regex_tier(&rel_str, &source).into_iter().map(|mut v| {
+            v.file = rel.clone();
+            v
+        }));
+        raw.extend(bad_waiver_violations(rel, &waivers));
+        waivers_by_file.push(waivers);
+        parsed.push(parse::parse_file(&rel_str, lexed, test_file));
     }
-    Ok(out)
+
+    let graph = callgraph::build(&parsed);
+    let hot = callgraph::hot_provenance(&parsed, &graph);
+    let ctx = rules::RuleCtx {
+        files: &parsed,
+        graph: &graph,
+        hot: &hot,
+    };
+    rules::hot_path::run(&ctx, &mut raw);
+    rules::lock_order::run(&ctx, &mut raw);
+    rules::slot_token::run(&ctx, &mut raw);
+
+    // Fn-scoped waiver index: file -> parsed index, plus bad fn-waivers.
+    let rel_index: std::collections::HashMap<String, usize> = parsed
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.file.clone(), i))
+        .collect();
+    for p in &parsed {
+        for f in &p.fns {
+            for w in &f.waivers {
+                if !w.reason_ok {
+                    raw.push(Violation {
+                        file: PathBuf::from(&p.file),
+                        line: w.line as usize,
+                        rule: "bad-waiver",
+                        message: format!(
+                            "`{}` marker on `{}` has no reason; append `-- <why>`",
+                            w.rule, f.qname
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    let before = raw.len();
+    let mut kept: Vec<Violation> = raw
+        .into_iter()
+        .filter(|v| {
+            if v.rule == "bad-waiver" {
+                return true;
+            }
+            let rel_str = rel_str_of(&v.file);
+            let Some(&pi) = rel_index.get(&rel_str) else {
+                return true;
+            };
+            // Line waivers.
+            if waivers_by_file[pi].iter().any(|w| w.covers(v)) {
+                return false;
+            }
+            // Function waivers.
+            !parsed[pi].fns.iter().any(|f| {
+                f.covers_line(v.line) && f.waivers.iter().any(|w| w.reason_ok && w.rule == v.rule)
+            })
+        })
+        .collect();
+    let waived = before - kept.len();
+    kept.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    kept.dedup();
+
+    let functions: usize = parsed.iter().map(|p| p.fns.len()).sum();
+    let hot_functions = hot.iter().filter(|p| p.is_some()).count();
+    let mut hot_list: Vec<(String, String, String, u32)> = hot
+        .iter()
+        .enumerate()
+        .filter_map(|(id, prov)| {
+            let root = (*prov)?;
+            let f = graph.info(&parsed, id);
+            let r = graph.info(&parsed, root);
+            Some((
+                f.qname.clone(),
+                r.qname.clone(),
+                parsed[graph.fns[id].file].file.clone(),
+                f.line,
+            ))
+        })
+        .collect();
+    hot_list.sort();
+    Ok(Analysis {
+        violations: kept,
+        hot: hot_list,
+        stats: Stats {
+            files: parsed.len(),
+            functions,
+            hot_functions,
+            waived,
+            elapsed_ms: started.elapsed().as_millis(),
+        },
+    })
+}
+
+fn rel_str_of(rel: &Path) -> String {
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+fn is_test_file(rel_str: &str) -> bool {
+    rel_str.starts_with("tests/") || rel_str.contains("/tests/") || rel_str.contains("/benches/")
+}
+
+/// The v1 per-line rules (tier 1), without waiver application.
+fn regex_tier(rel_str: &str, source: &str) -> Vec<Violation> {
+    let lines = scan::scan(source);
+    let in_test = test_spans(&lines, rel_str);
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        check_unsafe(rel_str, idx, &lines, &mut out);
+        check_panic_paths(rel_str, idx, line, in_test[idx], &mut out);
+        check_slot_arithmetic(rel_str, idx, line, in_test[idx], &mut out);
+        check_sockets(rel_str, idx, line, &mut out);
+    }
+    out
 }
 
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -212,42 +375,40 @@ impl Waiver {
     }
 }
 
-fn collect_waivers(lines: &[ScannedLine]) -> Vec<Waiver> {
-    let mut out = Vec::new();
-    for (idx, line) in lines.iter().enumerate() {
-        // The directive must be the comment's first token (doc comments
-        // leave a leading `!` or `/` in the comment channel) — prose that
-        // merely *mentions* the syntax, like this tool's own docs, is not
-        // a directive.
-        let comment = line
-            .comment
-            .trim()
-            .trim_start_matches(['!', '/'])
-            .trim_start();
-        let Some(rest) = comment.strip_prefix("insane-lint:") else {
-            continue;
-        };
-        let rest = rest.trim_start();
-        let Some(inner) = rest.strip_prefix("allow(") else {
-            continue;
-        };
-        let Some(close) = inner.find(')') else {
-            continue;
-        };
-        let rule = inner[..close].trim().to_string();
-        let after = inner[close + 1..].trim();
-        let reason = after
-            .strip_prefix("--")
-            .or_else(|| after.strip_prefix(':'))
-            .map(str::trim)
-            .unwrap_or("");
-        out.push(Waiver {
-            line: idx,
-            rule,
-            reason_missing: reason.len() < 3,
-        });
-    }
-    out
+/// Collects line waivers from discrete comment tokens. This is where the
+/// v1 substring hole is closed: only [`lex::CommentKind::Line`] and
+/// single-line [`lex::CommentKind::Block`] comments can mint a waiver
+/// ([`parse::directive_of`] rejects `BlockInterior`), and string
+/// literals never reach this code at all — the lexer does not produce
+/// comment tokens for them.
+fn collect_waivers(comments: &[lex::Comment]) -> Vec<Waiver> {
+    comments
+        .iter()
+        .filter_map(|c| match parse::directive_of(c) {
+            Some(Directive::Allow { rule, reason_ok }) => Some(Waiver {
+                line: (c.line as usize).saturating_sub(1),
+                rule,
+                reason_missing: !reason_ok,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+fn bad_waiver_violations(rel: &Path, waivers: &[Waiver]) -> Vec<Violation> {
+    waivers
+        .iter()
+        .filter(|w| w.reason_missing)
+        .map(|w| Violation {
+            file: rel.to_path_buf(),
+            line: w.line + 1,
+            rule: "bad-waiver",
+            message: format!(
+                "waiver for `{}` has no reason; write `insane-lint: allow({}) -- <why>`",
+                w.rule, w.rule
+            ),
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -257,8 +418,7 @@ fn collect_waivers(lines: &[ScannedLine]) -> Vec<Waiver> {
 /// a `#[cfg(test)]`/`#[cfg(all(test, ...))]` module, a `#[test]` function,
 /// or an integration-test/bench file.
 fn test_spans(lines: &[ScannedLine], rel_str: &str) -> Vec<bool> {
-    if rel_str.starts_with("tests/") || rel_str.contains("/tests/") || rel_str.contains("/benches/")
-    {
+    if is_test_file(rel_str) {
         return vec![true; lines.len()];
     }
     let mut in_test = vec![false; lines.len()];
@@ -317,7 +477,7 @@ fn is_test_attr(code: &str) -> bool {
 }
 
 // ---------------------------------------------------------------------------
-// Rules
+// Tier-1 rules
 
 fn check_unsafe(rel: &str, idx: usize, lines: &[ScannedLine], out: &mut Vec<Violation>) {
     let code = &lines[idx].code;
@@ -668,6 +828,44 @@ mod tests {
     #[test]
     fn strings_and_comments_never_fire() {
         let src = "fn f() { let s = \"unsafe panic!() .unwrap()\"; } // unsafe unwrap()\n";
+        assert!(lint("crates/core/src/api.rs", src).is_empty());
+    }
+
+    // -- waiver-position regressions (the v1 substring hole) ---------------
+
+    #[test]
+    fn block_comment_interior_cannot_waive() {
+        // v1 concatenated block-comment interiors into the line's comment
+        // channel, so a stale directive inside commented-out code waived
+        // live findings two lines below. The lexer's discrete comment
+        // tokens reject BlockInterior directives.
+        let src = "/*\ninsane-lint: allow(no-panic-paths) -- stale, commented out\n*/\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let rules = lint("crates/core/src/api.rs", src);
+        assert_eq!(rules, vec!["no-panic-paths"]);
+    }
+
+    #[test]
+    fn trailing_directive_after_block_comment_still_waives() {
+        // v1 concatenated all of a line's comments into one string, so a
+        // genuine trailing directive after `/* ... */` was corrupted and
+        // silently dropped; each comment token is now parsed on its own.
+        let src = "fn f(x: Option<u8>) -> u8 { /* total */ x.unwrap() } // insane-lint: allow(no-panic-paths) -- startup-only lookup\n";
+        assert!(lint("crates/core/src/api.rs", src).is_empty());
+    }
+
+    #[test]
+    fn string_literals_cannot_waive() {
+        // The directive lives in a *string*; the `'\''` literal earlier
+        // on the line is exactly the kind of token that derailed naive
+        // scanners into treating string contents as code/comments.
+        let src = "fn f(x: Option<u8>) -> u8 {\n    let _q = '\\''; let _s = \"// insane-lint: allow(no-panic-paths) -- nope\";\n    x.unwrap()\n}\n";
+        let rules = lint("crates/core/src/api.rs", src);
+        assert_eq!(rules, vec!["no-panic-paths"]);
+    }
+
+    #[test]
+    fn single_line_block_comment_can_waive() {
+        let src = "/* insane-lint: allow(no-panic-paths) -- bootstrap value is static */\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
         assert!(lint("crates/core/src/api.rs", src).is_empty());
     }
 }

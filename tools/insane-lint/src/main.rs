@@ -1,34 +1,105 @@
-//! CLI wrapper: `cargo run -p insane-lint [root]`.
+//! CLI wrapper:
+//! `cargo run -p insane-lint [root] [--json PATH] [--max-seconds N]`.
 //!
-//! Lints the workspace rooted at `root` (default: the current directory)
-//! and exits non-zero if any invariant violation is found, so CI can use
-//! it as a required gate (`lint-invariants` job).
+//! Runs the full two-tier analysis on the workspace rooted at `root`
+//! (default: the current directory), prints human-readable findings,
+//! optionally writes the machine-readable `insane-lint/v2` JSON report
+//! (uploaded as a CI artifact by the `lint-invariants` job), and exits:
+//!
+//! * `0` — no unwaived findings;
+//! * `1` — findings (CI gate);
+//! * `2` — scan/IO failure;
+//! * `3` — runtime guard exceeded (`--max-seconds`, default 60: the
+//!   full-workspace analysis must stay fast enough to gate every PR).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let root = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("."));
+    let mut root = PathBuf::from(".");
+    let mut json_path: Option<PathBuf> = None;
+    let mut max_seconds: u64 = 60;
+    let mut list_hot = false;
 
-    let violations = match insane_lint::lint_root(&root) {
-        Ok(v) => v,
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list-hot" => list_hot = true,
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("insane-lint: --json requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--max-seconds" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => max_seconds = n,
+                None => {
+                    eprintln!("insane-lint: --max-seconds requires an integer");
+                    return ExitCode::from(2);
+                }
+            },
+            other => root = PathBuf::from(other),
+        }
+    }
+
+    let analysis = match insane_lint::analyze_root(&root) {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("insane-lint: failed to scan {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
 
-    for v in &violations {
+    if list_hot {
+        for (qname, root, file, line) in &analysis.hot {
+            println!("hot {qname} <- {root} ({file}:{line})");
+        }
+    }
+    for v in &analysis.violations {
         println!("{v}");
     }
-    if violations.is_empty() {
+    let s = &analysis.stats;
+    println!(
+        "insane-lint: {} file(s), {} fn(s) ({} hot), {} finding(s), {} waived, {} ms",
+        s.files,
+        s.functions,
+        s.hot_functions,
+        analysis.violations.len(),
+        s.waived,
+        s.elapsed_ms
+    );
+
+    if let Some(path) = &json_path {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("insane-lint: cannot create {}: {e}", dir.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        let json = insane_lint::findings::to_json(&analysis.violations, s);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("insane-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("insane-lint: wrote {}", path.display());
+    }
+
+    if s.elapsed_ms > u128::from(max_seconds) * 1000 {
+        eprintln!(
+            "insane-lint: analysis took {} ms, over the {max_seconds}s budget; \
+             the linter must stay fast enough to gate every PR",
+            s.elapsed_ms
+        );
+        return ExitCode::from(3);
+    }
+    if analysis.violations.is_empty() {
         println!("insane-lint: no invariant violations");
         ExitCode::SUCCESS
     } else {
-        println!("insane-lint: {} violation(s)", violations.len());
+        println!("insane-lint: {} violation(s)", analysis.violations.len());
         ExitCode::FAILURE
     }
 }

@@ -1,0 +1,512 @@
+//! Lock-order discipline: builds a lock-acquisition graph (which locks
+//! are acquired while which guards are held) across the whole workspace
+//! and reports:
+//!
+//! * `lock-order-cycle` — a cycle in the acquisition order (including a
+//!   self-edge: re-acquiring a lock with the same identity while it is
+//!   held). Any cycle is a potential deadlock under the right thread
+//!   interleaving.
+//! * `lock-across-wait` — a guard held across a wait point
+//!   (`thread::sleep`/`park`, channel `recv`, `.join()`, condvar
+//!   waits). A condvar wait that takes one of the held guards as an
+//!   argument (`cv.wait_for(&mut guard, ..)`) *releases* that guard for
+//!   the duration of the wait, so only the *other* held guards count.
+//!
+//! Lock identity is the normalized receiver path: leading `self` is
+//! replaced by the impl type and index expressions are stripped, so
+//! `self.shards[i][j].rx_inbox.lock()` acquires
+//! `Runtime.shards.rx_inbox` in every function. Guards bound with
+//! `let g = ...` live to the end of their block (or an explicit
+//! `drop(g)`); unbound temporaries live to the end of the statement —
+//! over-approximated to the end of the enclosing statement for guards
+//! consumed inside `for`/`if` heads.
+//!
+//! Interprocedural: each function's transitive acquisition set is
+//! propagated over the call graph, so holding a guard while calling a
+//! function that (transitively) takes another lock creates the same
+//! edge a direct acquisition would.
+
+use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
+
+use super::{arg_range, method_call, receiver_path, RuleCtx};
+use crate::lex::TokKind;
+use crate::Violation;
+
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];
+
+const WAIT_METHODS: &[&str] = &[
+    "wait",
+    "wait_for",
+    "wait_while",
+    "wait_timeout",
+    "wait_until",
+    "park_timeout",
+];
+
+/// Wait only when called with no arguments: channel `recv()` blocks, but
+/// `socket.recv(mode)` / `io::Read`-style `recv(&mut buf)` are the
+/// non-blocking datapath receive and must not poison the call graph.
+const WAIT_METHODS_NOARG: &[&str] = &["recv", "recv_timeout", "join", "park"];
+
+#[derive(Debug, Clone)]
+struct Held {
+    lock: String,
+    /// Guard binding name (None = temporary).
+    binding: Option<String>,
+    /// Brace depth (relative to body start) the binding lives in.
+    depth: i32,
+}
+
+#[derive(Debug, Default)]
+struct FnLocks {
+    /// Locks this fn acquires directly.
+    direct: HashSet<String>,
+    /// Does this fn contain a wait point?
+    waits: bool,
+}
+
+pub fn run(ctx: &RuleCtx<'_>, out: &mut Vec<Violation>) {
+    // Pass 1: per-fn direct acquisitions + intra-fn edges and waits.
+    let mut edges: HashMap<(String, String), (String, u32)> = HashMap::new();
+    let mut per_fn: Vec<FnLocks> = Vec::with_capacity(ctx.graph.fns.len());
+    for id in 0..ctx.graph.fns.len() {
+        per_fn.push(scan_fn(ctx, id, &mut edges, None, out));
+    }
+
+    // Transitive acquisition sets over the call graph (fixpoint).
+    let mut trans: Vec<HashSet<String>> = per_fn.iter().map(|f| f.direct.clone()).collect();
+    let mut trans_waits: Vec<bool> = per_fn.iter().map(|f| f.waits).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for id in 0..ctx.graph.fns.len() {
+            for &callee in &ctx.graph.edges[id] {
+                if trans_waits[callee] && !trans_waits[id] {
+                    trans_waits[id] = true;
+                    changed = true;
+                }
+                if !trans[callee].is_subset(&trans[id]) {
+                    let add: Vec<String> = trans[callee].difference(&trans[id]).cloned().collect();
+                    trans[id].extend(add);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Pass 2: re-scan with callee summaries to add interprocedural edges
+    // and held-across-waiting-callee findings.
+    for id in 0..ctx.graph.fns.len() {
+        scan_fn(ctx, id, &mut edges, Some((&trans, &trans_waits)), out);
+    }
+
+    // Cycle detection over the acquisition graph.
+    report_cycles(&edges, out);
+}
+
+/// Scans one function. In pass 1 (`summaries == None`) records direct
+/// acquisitions/waits and intra-fn findings; in pass 2 adds
+/// interprocedural edges and findings only (no duplicate intra-fn ones).
+fn scan_fn(
+    ctx: &RuleCtx<'_>,
+    id: usize,
+    edges: &mut HashMap<(String, String), (String, u32)>,
+    summaries: Option<(&[HashSet<String>], &[bool])>,
+    out: &mut Vec<Violation>,
+) -> FnLocks {
+    let key = ctx.graph.fns[id];
+    let file = &ctx.files[key.file];
+    let f = &file.fns[key.idx];
+    let mut locks = FnLocks::default();
+    if !f.has_body() {
+        return locks;
+    }
+    let tokens = &file.tokens;
+    let self_type = f.impl_type.clone().unwrap_or_else(|| f.name.clone());
+    let pass2 = summaries.is_some();
+
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth: i32 = 0;
+    // Calls in this fn, by token index, for pass-2 summary lookup.
+    let call_by_tok: HashMap<usize, usize> = if pass2 {
+        ctx.graph.calls[id]
+            .iter()
+            .enumerate()
+            .map(|(si, site)| (site.tok, si))
+            .collect()
+    } else {
+        HashMap::new()
+    };
+
+    let mut i = f.body.0;
+    let end = f.body.1.min(tokens.len());
+    while i < end {
+        let t = &tokens[i];
+        if t.is_punct('{') {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            depth -= 1;
+            // Bound guards die when their enclosing block closes; unbound
+            // temporaries die when depth returns to the level they were
+            // acquired at — that `}` closes the block *statement*
+            // (`if let`/`for`/`match` head) whose scrutinee produced them.
+            held.retain(|h| match h.binding {
+                Some(_) => h.depth <= depth,
+                None => h.depth < depth,
+            });
+            i += 1;
+            continue;
+        }
+        if t.is_punct(';') {
+            // Temporaries die at statement end (at their own depth).
+            held.retain(|h| !(h.binding.is_none() && h.depth >= depth));
+            i += 1;
+            continue;
+        }
+        // Explicit drop(name).
+        if t.is_ident("drop")
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && tokens.get(i + 2).is_some_and(|n| n.kind == TokKind::Ident)
+            && tokens.get(i + 3).is_some_and(|n| n.is_punct(')'))
+        {
+            let name = &tokens[i + 2].text;
+            held.retain(|h| h.binding.as_deref() != Some(name.as_str()));
+            i += 4;
+            continue;
+        }
+
+        if t.kind == TokKind::Ident {
+            let name = t.text.as_str();
+            if let Some(open) = method_call(tokens, i) {
+                // Blocking acquisition: `.lock()` / `.read()` / `.write()`
+                // with no arguments (io::Read::read takes a buffer).
+                let zero_arg = tokens.get(open + 1).is_some_and(|n| n.is_punct(')'));
+                if ACQUIRE_METHODS.contains(&name) && zero_arg {
+                    let (segs, _) = receiver_path(tokens, i - 1);
+                    let lock = normalize(&segs, &self_type);
+                    if !pass2 {
+                        for h in &held {
+                            record_edge(edges, &h.lock, &lock, &file.file, t.line);
+                        }
+                        locks.direct.insert(lock.clone());
+                    }
+                    // `lock.write().remove(..)` consumes the guard inside
+                    // the statement: the let binding (if any) receives the
+                    // chained result, not the guard. Only the std
+                    // guard-producing adapters keep it alive.
+                    let chained_away = tokens.get(open + 2).is_some_and(|n| n.is_punct('.'))
+                        && tokens.get(open + 3).is_some_and(|n| {
+                            n.kind == TokKind::Ident
+                                && !matches!(
+                                    n.text.as_str(),
+                                    "unwrap" | "expect" | "unwrap_or_else" | "into_inner"
+                                )
+                        });
+                    let binding = if chained_away {
+                        None
+                    } else {
+                        let_binding(tokens, f.body.0, i)
+                    };
+                    held.push(Held {
+                        lock,
+                        binding,
+                        depth,
+                    });
+                    i = open;
+                    continue;
+                }
+                // Wait points.
+                if WAIT_METHODS.contains(&name) || (WAIT_METHODS_NOARG.contains(&name) && zero_arg)
+                {
+                    if !pass2 {
+                        locks.waits = true;
+                        let (a0, a1) = arg_range(tokens, open);
+                        let released: HashSet<&str> = tokens[a0..a1]
+                            .iter()
+                            .filter(|t| t.kind == TokKind::Ident)
+                            .map(|t| t.text.as_str())
+                            .collect();
+                        let still_held: Vec<&Held> = held
+                            .iter()
+                            .filter(|h| {
+                                h.binding
+                                    .as_deref()
+                                    .map(|b| !released.contains(b))
+                                    .unwrap_or(true)
+                            })
+                            .collect();
+                        if !still_held.is_empty() {
+                            out.push(Violation {
+                                file: PathBuf::from(&file.file),
+                                line: t.line as usize,
+                                rule: "lock-across-wait",
+                                message: format!(
+                                    "`.{name}(...)` waits while holding {} (in `{}`); \
+                                     release the guard before waiting",
+                                    list_locks(&still_held),
+                                    f.qname
+                                ),
+                            });
+                        }
+                    }
+                    i = open;
+                    continue;
+                }
+            }
+            // thread::sleep / thread::park / yield while holding a guard.
+            if !pass2
+                && i >= 3
+                && tokens[i - 1].is_punct(':')
+                && tokens[i - 2].is_punct(':')
+                && tokens[i - 3].is_ident("thread")
+                && (name == "sleep" || name == "park" || name == "yield_now")
+                && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+            {
+                locks.waits = true;
+                if !held.is_empty() {
+                    let all: Vec<&Held> = held.iter().collect();
+                    out.push(Violation {
+                        file: PathBuf::from(&file.file),
+                        line: t.line as usize,
+                        rule: "lock-across-wait",
+                        message: format!(
+                            "`thread::{name}` while holding {} (in `{}`); \
+                             release the guard before yielding the CPU",
+                            list_locks(&all),
+                            f.qname
+                        ),
+                    });
+                }
+            }
+            // Pass 2: interprocedural — calling a fn that (transitively)
+            // acquires locks or waits while we hold a guard.
+            if pass2 && !held.is_empty() {
+                if let Some(&si) = call_by_tok.get(&i) {
+                    let (trans, trans_waits) = summaries.unwrap();
+                    let site = &ctx.graph.calls[id][si];
+                    // A method invoked *on a held guard* operates on the
+                    // locked data through the guard deref, not on the lock
+                    // owner — it cannot re-acquire the lock it came from.
+                    // Name-based resolution would otherwise link it to
+                    // same-named methods on the owner type.
+                    if site.is_method && i > 0 {
+                        let (segs, _) = receiver_path(tokens, i - 1);
+                        let on_guard = segs.first().is_some_and(|head| {
+                            held.iter().any(|h| h.binding.as_deref() == Some(head))
+                        });
+                        if on_guard {
+                            i += 1;
+                            continue;
+                        }
+                    }
+                    // Resolve via the graph edges (already deduplicated).
+                    for &callee in &ctx.graph.edges[id] {
+                        let cf = ctx.graph.info(ctx.files, callee);
+                        if cf.name != site.name {
+                            continue;
+                        }
+                        for lock in &trans[callee] {
+                            // h.lock == lock is a self-edge: re-acquiring
+                            // a held lock through a callee deadlocks.
+                            for h in &held {
+                                record_edge(edges, &h.lock, lock, &file.file, t.line);
+                            }
+                        }
+                        if trans_waits[callee] {
+                            let all: Vec<&Held> = held.iter().collect();
+                            out.push(Violation {
+                                file: PathBuf::from(&file.file),
+                                line: t.line as usize,
+                                rule: "lock-across-wait",
+                                message: format!(
+                                    "call to `{}` (which can wait) while holding {} (in `{}`)",
+                                    cf.qname,
+                                    list_locks(&all),
+                                    f.qname
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    locks
+}
+
+/// If the acquisition at token `at` is the RHS of `let [mut] NAME = ...`,
+/// returns the binding name. Searches backwards to the statement start.
+///
+/// A `match` between the `=` and the acquisition means the guard is a
+/// *scrutinee temporary*: the binding receives whatever the arms produce,
+/// which is the guard itself only in the poison-recovery idiom
+/// (`Err(p) => p.into_inner()` / `Ok(g) => g`). We keep the binding only
+/// when the match body mentions `into_inner`; otherwise the arms computed
+/// a value and the guard dies when the match closes.
+fn let_binding(tokens: &[crate::lex::Token], body_start: usize, at: usize) -> Option<String> {
+    let mut k = at;
+    let mut via_match = false;
+    loop {
+        if k <= body_start {
+            return None;
+        }
+        k -= 1;
+        let t = &tokens[k];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            return None;
+        }
+        if t.is_ident("match") {
+            via_match = true;
+        }
+        if t.is_punct('=') {
+            // `let mut? name =` directly before?
+            if k >= 2
+                && tokens[k - 1].kind == TokKind::Ident
+                && (tokens[k - 2].is_ident("let") || tokens[k - 2].is_ident("mut"))
+            {
+                if via_match && !match_body_has(tokens, at, "into_inner") {
+                    return None;
+                }
+                return Some(tokens[k - 1].text.clone());
+            }
+            return None;
+        }
+    }
+}
+
+/// Does the `match` body following the acquisition at `at` contain
+/// `ident`? Scans forward to the first `{` and through its matching `}`.
+fn match_body_has(tokens: &[crate::lex::Token], at: usize, ident: &str) -> bool {
+    let mut j = at;
+    while j < tokens.len() && !tokens[j].is_punct('{') {
+        j += 1;
+    }
+    let mut depth = 0i32;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return false;
+            }
+        } else if t.is_ident(ident) {
+            return true;
+        }
+        j += 1;
+    }
+    false
+}
+
+fn normalize(segs: &[String], self_type: &str) -> String {
+    let mut parts: Vec<&str> = Vec::new();
+    for (i, s) in segs.iter().enumerate() {
+        if i == 0 && s == "self" {
+            parts.push(self_type);
+        } else {
+            parts.push(s.as_str());
+        }
+    }
+    if parts.is_empty() {
+        "<expr>".to_string()
+    } else {
+        parts.join(".")
+    }
+}
+
+fn record_edge(
+    edges: &mut HashMap<(String, String), (String, u32)>,
+    from: &str,
+    to: &str,
+    file: &str,
+    line: u32,
+) {
+    edges
+        .entry((from.to_string(), to.to_string()))
+        .or_insert_with(|| (file.to_string(), line));
+}
+
+fn list_locks(held: &[&Held]) -> String {
+    let names: Vec<String> = held.iter().map(|h| format!("`{}`", h.lock)).collect();
+    names.join(", ")
+}
+
+/// DFS cycle detection; reports each cycle once at the edge that closes
+/// it.
+fn report_cycles(edges: &HashMap<(String, String), (String, u32)>, out: &mut Vec<Violation>) {
+    let mut adj: HashMap<&str, Vec<&str>> = HashMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from.as_str()).or_default().push(to.as_str());
+    }
+    for v in adj.values_mut() {
+        v.sort();
+    }
+    let mut nodes: Vec<&str> = adj.keys().copied().collect();
+    nodes.sort();
+
+    let mut reported: HashSet<Vec<String>> = HashSet::new();
+    for &start in &nodes {
+        // DFS looking for a path back to `start`.
+        let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+        let mut path: Vec<&str> = vec![start];
+        let mut on_path: HashSet<&str> = [start].into();
+        while let Some(top) = stack.last_mut() {
+            let node: &str = top.0;
+            let succs = adj.get(node).map(|v| v.as_slice()).unwrap_or(&[]);
+            if top.1 >= succs.len() {
+                on_path.remove(node);
+                path.pop();
+                stack.pop();
+                continue;
+            }
+            let succ = succs[top.1];
+            top.1 += 1;
+            if succ == start {
+                // Canonical form: rotate so the lexicographically
+                // smallest lock comes first, so each cycle reports once.
+                let mut cyc: Vec<String> = path.iter().map(|s| s.to_string()).collect();
+                let min_pos = cyc
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| s.as_str())
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                cyc.rotate_left(min_pos);
+                if reported.insert(cyc.clone()) {
+                    let closing = edges
+                        .get(&(path[path.len() - 1].to_string(), start.to_string()))
+                        .cloned()
+                        .unwrap_or_default();
+                    let mut display = cyc.clone();
+                    display.push(cyc[0].clone());
+                    out.push(Violation {
+                        file: PathBuf::from(&closing.0),
+                        line: closing.1 as usize,
+                        rule: "lock-order-cycle",
+                        message: format!(
+                            "lock acquisition cycle: {}; a consistent global order is \
+                             required to rule out deadlock",
+                            display.join(" -> ")
+                        ),
+                    });
+                }
+                continue;
+            }
+            if on_path.contains(succ) {
+                continue; // inner cycle; found when DFS starts there
+            }
+            if path.len() > 16 {
+                continue; // depth bound; workspace graphs are tiny
+            }
+            on_path.insert(succ);
+            path.push(succ);
+            stack.push((succ, 0));
+        }
+    }
+}

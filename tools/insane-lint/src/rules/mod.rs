@@ -1,0 +1,142 @@
+//! AST-tier rules. Each sub-module implements one analysis over the
+//! parsed workspace and pushes [`crate::Violation`]s:
+//!
+//! * [`hot_path`] — allocation / blocking / implicit-panic discipline in
+//!   functions reachable from `hot-path-root` markers.
+//! * [`lock_order`] — lock-acquisition ordering graph: cycles and locks
+//!   held across wait points fail the build.
+//! * [`slot_token`] — `SlotToken` lifecycle: a token bound outside
+//!   `insane-memory` must be consumed (released, forwarded, stored or
+//!   returned), never silently dropped.
+
+pub mod hot_path;
+pub mod lock_order;
+pub mod slot_token;
+
+use crate::callgraph::CallGraph;
+use crate::lex::{TokKind, Token};
+use crate::parse::ParsedFile;
+
+/// Everything a rule needs about the analyzed workspace.
+pub struct RuleCtx<'a> {
+    pub files: &'a [ParsedFile],
+    pub graph: &'a CallGraph,
+    /// Per graph fn id: the root it is reachable from (None = not hot).
+    pub hot: &'a [Option<usize>],
+}
+
+/// Walks backwards from the `.` at `dot` collecting the receiver as a
+/// dotted path of identifiers, skipping index expressions (`[...]`) and
+/// call argument lists (`(...)`) so `self.shards[i][j].scheduler` and
+/// `inner().field` normalize to `self.shards.scheduler` / `.field`.
+/// Returns the segments innermost-last, e.g. `["self", "shards",
+/// "scheduler"]`, and the token index where the receiver starts.
+pub fn receiver_path(tokens: &[Token], dot: usize) -> (Vec<String>, usize) {
+    let mut segs: Vec<String> = Vec::new();
+    let mut i = dot; // index of the `.` punct
+    loop {
+        // Before the `.` we expect a path segment end: ident, `]`, `)`,
+        // or a numeric tuple index.
+        if i == 0 {
+            break;
+        }
+        let mut k = i - 1;
+        // Skip balanced `[...]` / `(...)` groups backwards.
+        loop {
+            let t = &tokens[k];
+            if t.is_punct(']') || t.is_punct(')') {
+                let (open, close) = if t.is_punct(']') {
+                    ('[', ']')
+                } else {
+                    ('(', ')')
+                };
+                let mut depth = 0i32;
+                while k > 0 {
+                    if tokens[k].is_punct(close) {
+                        depth += 1;
+                    } else if tokens[k].is_punct(open) {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    k -= 1;
+                }
+                if k == 0 {
+                    return (segs, k);
+                }
+                k -= 1;
+            } else {
+                break;
+            }
+        }
+        let t = &tokens[k];
+        if t.kind == TokKind::Ident {
+            segs.insert(0, t.text.clone());
+        } else if t.kind == TokKind::Num {
+            // Tuple index: keep walking but don't record.
+        } else {
+            // Receiver starts after this token (a `(`/`=`/`;`/...).
+            return (segs, k + 1);
+        }
+        if k == 0 {
+            return (segs, 0);
+        }
+        // Continue only through a preceding `.`.
+        if tokens[k - 1].is_punct('.') {
+            i = k - 1;
+        } else {
+            return (segs, k);
+        }
+    }
+    (segs, i)
+}
+
+/// Token index range of a call's argument list, given the index of the
+/// opening `(`. Returns the exclusive range of tokens between the parens.
+pub fn arg_range(tokens: &[Token], open: usize) -> (usize, usize) {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < tokens.len() {
+        if tokens[i].is_punct('(') {
+            depth += 1;
+        } else if tokens[i].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return (open + 1, i);
+            }
+        }
+        i += 1;
+    }
+    (open + 1, tokens.len())
+}
+
+/// Is `tokens[i]` a method call `.name(`? Returns the index of the `(`.
+pub fn method_call(tokens: &[Token], i: usize) -> Option<usize> {
+    let t = tokens.get(i)?;
+    if t.kind != TokKind::Ident || i == 0 || !tokens[i - 1].is_punct('.') {
+        return None;
+    }
+    // Allow a turbofish between the name and the argument list.
+    let mut j = i + 1;
+    if tokens.get(j).is_some_and(|t| t.is_punct(':'))
+        && tokens.get(j + 1).is_some_and(|t| t.is_punct(':'))
+        && tokens.get(j + 2).is_some_and(|t| t.is_punct('<'))
+    {
+        let mut angle = 0i32;
+        j += 2;
+        while j < tokens.len() {
+            if tokens[j].is_punct('<') {
+                angle += 1;
+            } else if tokens[j].is_punct('>') {
+                angle -= 1;
+                if angle == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    tokens.get(j).filter(|t| t.is_punct('(')).map(|_| j)
+}

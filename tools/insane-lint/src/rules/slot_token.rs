@@ -1,0 +1,180 @@
+//! Slot-token lifecycle: `SlotToken` is `Copy` and has **no** `Drop` —
+//! silently letting one fall out of scope outside `insane-memory` leaks
+//! its slot forever (the pool's generation check means nothing can ever
+//! release it again). This rule tracks token-producing bindings per
+//! function and flags paths where a token can be dropped instead of
+//! being released, forwarded, stored, or returned.
+//!
+//! A binding is token-producing when its initializer contains
+//! `.into_token()` or it carries an explicit `SlotToken` type
+//! ascription; `SlotToken`-typed by-value parameters count too.
+//! Consumption = any later mention of the name (a move into a struct
+//! literal / call / return all qualify — the rule is deliberately
+//! over-permissive about *how* a token is consumed and strict about it
+//! happening at all). Additional finding: a `?` operator between the
+//! binding and its first use can early-return and drop the token.
+//!
+//! Rule name: `slot-token-drop`. `crates/memory` (the token's home,
+//! where minting and releasing live) is exempt; test code is exempt.
+
+use std::path::PathBuf;
+
+use super::RuleCtx;
+use crate::lex::TokKind;
+use crate::Violation;
+
+pub fn run(ctx: &RuleCtx<'_>, out: &mut Vec<Violation>) {
+    for (fi, file) in ctx.files.iter().enumerate() {
+        if file.file.starts_with("crates/memory/") {
+            continue;
+        }
+        for (xi, f) in file.fns.iter().enumerate() {
+            if f.is_test || !f.has_body() {
+                continue;
+            }
+            // Only non-test graph fns (cold fns still must not leak).
+            if ctx.graph.id_of(fi, xi).is_none() {
+                continue;
+            }
+            check_fn(file, f, out);
+        }
+    }
+}
+
+fn check_fn(file: &crate::parse::ParsedFile, f: &crate::parse::FnInfo, out: &mut Vec<Violation>) {
+    let tokens = &file.tokens;
+
+    // SlotToken-typed by-value parameters: `name: SlotToken`.
+    let (s0, s1) = f.sig;
+    let mut i = s0;
+    while i + 2 < s1.min(tokens.len()) {
+        if tokens[i].kind == TokKind::Ident
+            && tokens[i + 1].is_punct(':')
+            && tokens[i + 2].is_ident("SlotToken")
+            && !(i > s0 && tokens[i - 1].is_punct('&'))
+        {
+            let name = tokens[i].text.clone();
+            let used = tokens[f.body.0..f.body.1.min(tokens.len())]
+                .iter()
+                .any(|t| t.is_ident(&name));
+            if !used {
+                out.push(Violation {
+                    file: PathBuf::from(&file.file),
+                    line: tokens[i].line as usize,
+                    rule: "slot-token-drop",
+                    message: format!(
+                        "`SlotToken` parameter `{name}` of `{}` is never consumed: the \
+                         token is silently dropped and its slot leaks; release it or \
+                         return it via a typed error",
+                        f.qname
+                    ),
+                });
+            }
+        }
+        i += 1;
+    }
+
+    // `let` bindings whose initializer produces a token.
+    let end = f.body.1.min(tokens.len());
+    let mut i = f.body.0;
+    while i < end {
+        if !tokens[i].is_ident("let") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if tokens.get(j).is_some_and(|t| t.is_ident("mut")) {
+            j += 1;
+        }
+        let Some(name_tok) = tokens.get(j) else { break };
+        let (name, discard) = if name_tok.kind == TokKind::Ident && name_tok.text != "_" {
+            (name_tok.text.clone(), false)
+        } else if name_tok.is_ident("_") || name_tok.is_punct('_') {
+            (String::new(), true)
+        } else {
+            // Pattern binding (tuple/struct destructuring): skip.
+            i = j;
+            continue;
+        };
+        // Find the statement end (`;` at this nesting level).
+        let mut k = j + 1;
+        let mut depth = 0i32;
+        let mut stmt_end = end;
+        while k < end {
+            let t = &tokens[k];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+                if depth < 0 {
+                    stmt_end = k;
+                    break;
+                }
+            } else if t.is_punct(';') && depth == 0 {
+                stmt_end = k;
+                break;
+            }
+            k += 1;
+        }
+        let init = &tokens[j + 1..stmt_end];
+        let produces_token = init
+            .windows(2)
+            .any(|w| w[0].is_punct('.') && w[1].is_ident("into_token"))
+            || init
+                .windows(2)
+                .any(|w| w[0].is_punct(':') && w[1].is_ident("SlotToken"));
+        if !produces_token {
+            i = j;
+            continue;
+        }
+        let line = name_tok.line;
+        if discard {
+            out.push(Violation {
+                file: PathBuf::from(&file.file),
+                line: line as usize,
+                rule: "slot-token-drop",
+                message: format!(
+                    "`let _ = ...into_token()` in `{}` discards a `SlotToken`; the slot \
+                     leaks — release it through the pool or forward it",
+                    f.qname
+                ),
+            });
+            i = stmt_end + 1;
+            continue;
+        }
+        // First use after the binding statement.
+        let first_use = tokens[stmt_end..end]
+            .iter()
+            .position(|t| t.is_ident(&name))
+            .map(|p| stmt_end + p);
+        match first_use {
+            None => {
+                out.push(Violation {
+                    file: PathBuf::from(&file.file),
+                    line: line as usize,
+                    rule: "slot-token-drop",
+                    message: format!(
+                        "`SlotToken` bound to `{name}` in `{}` is never consumed: the \
+                         token is silently dropped and its slot leaks",
+                        f.qname
+                    ),
+                });
+            }
+            Some(use_idx) => {
+                if let Some(q) = tokens[stmt_end..use_idx].iter().find(|t| t.is_punct('?')) {
+                    out.push(Violation {
+                        file: PathBuf::from(&file.file),
+                        line: q.line as usize,
+                        rule: "slot-token-drop",
+                        message: format!(
+                            "`?` can early-return before the `SlotToken` in `{name}` is \
+                             consumed (in `{}`); release the token on the error path first",
+                            f.qname
+                        ),
+                    });
+                }
+            }
+        }
+        i = stmt_end + 1;
+    }
+}

@@ -82,9 +82,13 @@ pub fn scan(source: &str) -> Vec<ScannedLine> {
                         // literal is 'x' or an escape '\..'; a lifetime has
                         // no closing quote right after one scalar.
                         if next == Some('\\') {
-                            // Escaped char literal: skip to the closing quote.
+                            // Escaped char literal: skip to the closing
+                            // quote. The char after the backslash is
+                            // always content, so `'\''` closes at i+3 —
+                            // not at the escaped quote.
                             current.code.push('\'');
-                            let mut j = i + 2;
+                            current.code.push_str("  ");
+                            let mut j = i + 3;
                             while j < bytes.len() && bytes[j] != '\'' && bytes[j] != '\n' {
                                 current.code.push(' ');
                                 j += 1;
@@ -278,6 +282,17 @@ mod tests {
         assert!(lines[0].code.contains("code()"));
         assert!(!lines[0].code.contains("outer"));
         assert!(lines[0].comment.contains("inner"));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_closes_correctly() {
+        // `'\''` must close at the 4th char; the old scanner closed at
+        // the escaped quote, leaving the scanner out of sync with the
+        // source so following string contents could surface as code.
+        let src = "let q = '\\''; call(\"payload .unwrap()\");";
+        let lines = scan(src);
+        assert!(lines[0].code.contains("call("));
+        assert!(!lines[0].code.contains("unwrap"));
     }
 
     #[test]

@@ -38,6 +38,39 @@ fn bad_fixture_trips_every_rule() {
 }
 
 #[test]
+fn bad_v2_fixture_trips_every_new_rule() {
+    let violations = insane_lint::lint_root(&fixture("bad_v2")).expect("scan fixture");
+    let rules: Vec<&str> = violations.iter().map(|v| v.rule).collect();
+    for expected in [
+        "hot-path-alloc",
+        "hot-path-block",
+        "hot-path-panic",
+        "lock-order-cycle",
+        "lock-across-wait",
+        "slot-token-drop",
+    ] {
+        assert!(
+            rules.contains(&expected),
+            "rule {expected} did not fire; got: {rules:?}"
+        );
+    }
+    // The alloc finding sits in an unannotated callee of the root: the
+    // call graph, not a textual scan, established hot-path membership.
+    assert!(
+        violations.iter().any(|v| v.rule == "hot-path-alloc"
+            && v.message.contains("drain_step")
+            && v.message.contains("poll_hot")),
+        "call-graph provenance missing from hot-path-alloc: {violations:#?}"
+    );
+}
+
+#[test]
+fn good_v2_fixture_is_clean() {
+    let violations = insane_lint::lint_root(&fixture("good_v2")).expect("scan fixture");
+    assert!(violations.is_empty(), "false positives: {violations:#?}");
+}
+
+#[test]
 fn good_fixture_is_clean() {
     let violations = insane_lint::lint_root(&fixture("good")).expect("scan fixture");
     assert!(violations.is_empty(), "false positives: {violations:#?}");
