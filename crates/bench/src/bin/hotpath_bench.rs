@@ -1,0 +1,68 @@
+//! Hot-path read runner: measures locked vs snapshot control-state
+//! reads (uncontended mean and contended p99), streams sequenced
+//! traffic across live tunables reloads, exports the schema-validated
+//! `BENCH_hotpath.json`, and fails unless the snapshot design is no
+//! slower uncontended, no worse at the contended tail, and the reloads
+//! were loss- and reorder-free.
+//!
+//! Iteration counts honor `INSANE_BENCH_FACTOR` (CI runs 0.3).
+
+use insane_bench::export::{write_hotpath, HotpathEntry};
+use insane_bench::hotpath::{self, CONTENDED_BOUND_X1000, UNCONTENDED_BOUND_X1000};
+use insane_bench::{iters, BenchError};
+use insane_fabric::TestbedProfile;
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("hotpath bench failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), BenchError> {
+    let profile = TestbedProfile::local();
+    let samples = iters(100_000);
+    let messages = iters(2_000) as u64;
+
+    println!("hot path: {samples} reads/phase, {messages} sequenced messages across live reloads");
+    let report = hotpath::run(&profile, samples, messages)?;
+
+    println!(
+        "uncontended read: locked {:.1}ns, snapshot {:.1}ns -> ratio {:.3}x (bound {:.3}x)",
+        report.locked_read_ns_x1000 as f64 / 1e3,
+        report.snapshot_read_ns_x1000 as f64 / 1e3,
+        report.uncontended_ratio_x1000() as f64 / 1e3,
+        UNCONTENDED_BOUND_X1000 as f64 / 1e3,
+    );
+    println!(
+        "contended p99: locked {:.2}us, snapshot {:.2}us -> ratio {:.3}x (bound {:.3}x)",
+        report.locked_contended.p99() as f64 / 1e3,
+        report.snapshot_contended.p99() as f64 / 1e3,
+        report.contended_ratio_x1000() as f64 / 1e3,
+        CONTENDED_BOUND_X1000 as f64 / 1e3,
+    );
+    println!(
+        "reload under load: {} reloads across {} messages, {} dropped, {} reordered",
+        report.reloads, report.sent, report.dropped, report.reordered
+    );
+
+    // The export validator enforces all three gates; a regression fails
+    // here, before CI sees the artifact.
+    write_hotpath(&[HotpathEntry {
+        system: "INSANE hot path".into(),
+        testbed: profile.name.into(),
+        samples: report.samples,
+        locked_read_ns_x1000: report.locked_read_ns_x1000,
+        snapshot_read_ns_x1000: report.snapshot_read_ns_x1000,
+        uncontended_ratio_x1000: report.uncontended_ratio_x1000(),
+        uncontended_bound_x1000: UNCONTENDED_BOUND_X1000,
+        locked_p99_ns: report.locked_contended.p99(),
+        snapshot_p99_ns: report.snapshot_contended.p99(),
+        contended_ratio_x1000: report.contended_ratio_x1000(),
+        contended_bound_x1000: CONTENDED_BOUND_X1000,
+        reloads: report.reloads,
+        dropped: report.dropped,
+        reordered: report.reordered,
+    }])?;
+    Ok(())
+}

@@ -2,10 +2,13 @@
 //! requested `shards_per_datapath`, exported as the schema-validated
 //! `BENCH_shard_throughput.json` under `target/experiments/`.
 //!
-//! Usage: `shard_bench [SHARDS...]` (default `1 2 4`).  When both the
-//! 1- and 2-shard points are measured, the run fails unless 2 shards
-//! deliver at least 1.3x the 1-shard aggregate message rate — the
-//! scale-out contract of the sharded polling engine.
+//! Usage: `shard_bench [--per-shard-pool] [SHARDS...]` (default
+//! `1 2 4 8`).  `--per-shard-pool` scales the slot pools and sink
+//! queues with the shard count, isolating polling-engine scaling from
+//! pool contention at high shard counts.  When both the 1- and 2-shard
+//! points are measured, the run fails unless 2 shards deliver at least
+//! 1.3x the 1-shard aggregate message rate — the scale-out contract of
+//! the sharded polling engine.
 //!
 //! Iteration counts honor `INSANE_BENCH_FACTOR` (CI runs 0.3).
 
@@ -24,29 +27,40 @@ fn main() {
     }
 }
 
-fn parse_shards() -> Result<Vec<usize>, BenchError> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
-        return Ok(vec![1, 2, 4]);
+fn parse_args() -> Result<(Vec<usize>, bool), BenchError> {
+    let mut per_shard_pool = false;
+    let mut shards = Vec::new();
+    for a in std::env::args().skip(1) {
+        if a == "--per-shard-pool" {
+            per_shard_pool = true;
+            continue;
+        }
+        let s = a
+            .parse::<usize>()
+            .ok()
+            .filter(|&s| (1..=64).contains(&s))
+            .ok_or_else(|| BenchError::Other(format!("bad shard count {a:?} (want 1..=64)")))?;
+        shards.push(s);
     }
-    args.iter()
-        .map(|a| {
-            a.parse::<usize>()
-                .ok()
-                .filter(|&s| (1..=64).contains(&s))
-                .ok_or_else(|| BenchError::Other(format!("bad shard count {a:?} (want 1..=64)")))
-        })
-        .collect()
+    if shards.is_empty() {
+        shards = vec![1, 2, 4, 8];
+    }
+    Ok((shards, per_shard_pool))
 }
 
 fn run() -> Result<(), BenchError> {
-    let shard_counts = parse_shards()?;
+    let (shard_counts, per_shard_pool) = parse_args()?;
     let profile = TestbedProfile::local();
     let target = iters(6_000);
 
     println!(
         "shard scale-out: {STREAMS} streams x {PAYLOAD} B over DPDK, \
-         {target} messages per point"
+         {target} messages per point{}",
+        if per_shard_pool {
+            " (pools scaled per shard)"
+        } else {
+            ""
+        }
     );
     println!(
         "{:>6} {:>12} {:>14} {:>12}",
@@ -55,7 +69,7 @@ fn run() -> Result<(), BenchError> {
 
     let mut runs: Vec<ShardRun> = Vec::new();
     for &shards in &shard_counts {
-        let run = shard_bench::run(&profile, shards, target)?;
+        let run = shard_bench::run_with(&profile, shards, target, per_shard_pool)?;
         let tx = run.tx_shard_ns.iter().copied().max().unwrap_or(0);
         let rx = run.rx_shard_ns.iter().copied().max().unwrap_or(0);
         let side = if tx >= rx { "tx" } else { "rx" };

@@ -10,8 +10,9 @@ use std::fs;
 use std::path::PathBuf;
 
 use insane_telemetry::{
-    validate_bench_latency, validate_bench_noisy_neighbor, validate_bench_throughput, Value,
-    BENCH_LATENCY_SCHEMA, BENCH_NOISY_NEIGHBOR_SCHEMA, BENCH_THROUGHPUT_SCHEMA,
+    validate_bench_hotpath, validate_bench_latency, validate_bench_noisy_neighbor,
+    validate_bench_throughput, Value, BENCH_HOTPATH_SCHEMA, BENCH_LATENCY_SCHEMA,
+    BENCH_NOISY_NEIGHBOR_SCHEMA, BENCH_THROUGHPUT_SCHEMA,
 };
 
 use crate::report::experiments_dir;
@@ -119,6 +120,68 @@ impl NoisyNeighborEntry {
     }
 }
 
+/// One hot-path measurement: locked vs snapshot control-state reads,
+/// uncontended and under a live writer, plus the reload-under-load
+/// integrity counts (see `BENCH_hotpath.json` and DESIGN.md §12).
+#[derive(Debug, Clone)]
+pub struct HotpathEntry {
+    /// System label as printed in the tables.
+    pub system: String,
+    /// Testbed profile name.
+    pub testbed: String,
+    /// Reads per timed measurement.
+    pub samples: usize,
+    /// Mean uncontended `RwLock` read, thousandths of a nanosecond.
+    pub locked_read_ns_x1000: u64,
+    /// Mean uncontended snapshot refresh+read, thousandths of a ns.
+    pub snapshot_read_ns_x1000: u64,
+    /// snapshot/locked uncontended ratio, fixed-point thousandths.
+    pub uncontended_ratio_x1000: u64,
+    /// Maximum permitted uncontended ratio in thousandths.
+    pub uncontended_bound_x1000: u64,
+    /// p99 of a locked read while a writer republishes, nanoseconds.
+    pub locked_p99_ns: u64,
+    /// p99 of a snapshot read while a writer republishes, nanoseconds.
+    pub snapshot_p99_ns: u64,
+    /// snapshot/locked contended-p99 ratio, fixed-point thousandths.
+    pub contended_ratio_x1000: u64,
+    /// Maximum permitted contended ratio in thousandths.
+    pub contended_bound_x1000: u64,
+    /// Live tunables reloads performed while traffic flowed (≥ 1).
+    pub reloads: u64,
+    /// Messages lost across the reloads (must be 0).
+    pub dropped: u64,
+    /// Messages delivered out of order across the reloads (must be 0).
+    pub reordered: u64,
+}
+
+impl HotpathEntry {
+    fn to_value(&self) -> Value {
+        Value::object([
+            ("system", self.system.as_str().into()),
+            ("testbed", self.testbed.as_str().into()),
+            ("samples", (self.samples as u64).into()),
+            ("locked_read_ns_x1000", self.locked_read_ns_x1000.into()),
+            ("snapshot_read_ns_x1000", self.snapshot_read_ns_x1000.into()),
+            (
+                "uncontended_ratio_x1000",
+                self.uncontended_ratio_x1000.into(),
+            ),
+            (
+                "uncontended_bound_x1000",
+                self.uncontended_bound_x1000.into(),
+            ),
+            ("locked_p99_ns", self.locked_p99_ns.into()),
+            ("snapshot_p99_ns", self.snapshot_p99_ns.into()),
+            ("contended_ratio_x1000", self.contended_ratio_x1000.into()),
+            ("contended_bound_x1000", self.contended_bound_x1000.into()),
+            ("reloads", self.reloads.into()),
+            ("dropped", self.dropped.into()),
+            ("reordered", self.reordered.into()),
+        ])
+    }
+}
+
 fn document(schema: &str, entries: Vec<Value>) -> Value {
     Value::object([
         ("schema", schema.into()),
@@ -201,6 +264,26 @@ pub fn write_noisy_neighbor(entries: &[NoisyNeighborEntry]) -> Result<PathBuf, B
     validate_bench_noisy_neighbor(&doc)
         .map_err(|e| BenchError::Other(format!("noisy-neighbor export: {e}")))?;
     write_doc("BENCH_noisy_neighbor.json", &doc)
+}
+
+/// Writes `BENCH_hotpath.json` and returns its path.
+///
+/// Validated against [`BENCH_HOTPATH_SCHEMA`] before writing, so a
+/// regression (snapshot slower than the lock it replaced, or a message
+/// lost across a live reload) fails the bench run itself, not just a
+/// later `check-bench`.
+///
+/// # Errors
+///
+/// Fails on schema violations — including a violated uncontended or
+/// contended ratio bound — or I/O errors.
+pub fn write_hotpath(entries: &[HotpathEntry]) -> Result<PathBuf, BenchError> {
+    let doc = document(
+        BENCH_HOTPATH_SCHEMA,
+        entries.iter().map(HotpathEntry::to_value).collect(),
+    );
+    validate_bench_hotpath(&doc).map_err(|e| BenchError::Other(format!("hotpath export: {e}")))?;
+    write_doc("BENCH_hotpath.json", &doc)
 }
 
 #[cfg(test)]

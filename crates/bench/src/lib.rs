@@ -34,6 +34,7 @@
 pub mod apps;
 pub mod experiments;
 pub mod export;
+pub mod hotpath;
 pub mod latency;
 pub mod mom_bench;
 pub mod noisy_neighbor;

@@ -1,5 +1,5 @@
 //! Shard scale-out benchmark: aggregate multi-stream throughput of the
-//! sharded polling engine at 1, 2 and 4 shards per datapath.
+//! sharded polling engine at 1, 2, 4 and 8 shards per datapath.
 //!
 //! The workload is Fig. 8's sustained one-way flood generalized to many
 //! streams: [`STREAMS`] producer streams on host A, one sink per stream
@@ -172,9 +172,33 @@ fn consume_all(
 /// Fails on middleware errors, per-stream reordering, or a stalled
 /// pipeline (delivery stops making progress).
 pub fn run(profile: &TestbedProfile, shards: usize, target: usize) -> Result<ShardRun, BenchError> {
+    run_with(profile, shards, target, false)
+}
+
+/// As [`run`], optionally scaling the slot pools with the shard count
+/// (`per_shard_pool`): each shard then works against the same pool
+/// capacity a 1-shard runtime has in total, so high shard counts are
+/// not throttled by pool contention instead of CPU — the regime the
+/// `--per-shard-pool` flag of the `shard_bench` binary measures.
+///
+/// # Errors
+///
+/// As [`run`].
+pub fn run_with(
+    profile: &TestbedProfile,
+    shards: usize,
+    target: usize,
+    per_shard_pool: bool,
+) -> Result<ShardRun, BenchError> {
     let techs = [Technology::KernelUdp, Technology::Dpdk];
     let pair = InsanePair::with_config(throughput_profile(profile.clone()), &techs, |c| {
-        throughput_config(c).with_shards_per_datapath(shards)
+        let mut c = throughput_config(c).with_shards_per_datapath(shards);
+        if per_shard_pool {
+            c.small_slots = c.small_slots.saturating_mul(shards);
+            c.large_slots = c.large_slots.saturating_mul(shards);
+            c.sink_queue_depth = c.sink_queue_depth.saturating_mul(shards);
+        }
+        c
     })?;
 
     let stream_b = pair.session_b.create_stream(QosPolicy::fast())?;

@@ -65,10 +65,16 @@ pub use qos::{
     Acceleration, MappedPath, MappingStrategy, QosPolicy, ResourceUsage, TimeSensitivity,
 };
 pub use runtime::shard::{shard_of_channel, shard_of_stream};
+pub use runtime::tunables::Tunables;
 pub use runtime::{
     ControlPlaneConfig, Runtime, RuntimeConfig, SchedulerChoice, TenantSpec, ThreadingMode,
 };
 pub use telemetry::TelemetryConfig;
+
+// The read-mostly snapshot primitive behind the lock-free hot path
+// (dispatch tables, tunables — DESIGN.md §12), re-exported for
+// harnesses that want to benchmark or reuse it directly.
+pub use insane_queues::SnapshotCell;
 pub use tenant_drr::{TenantDrr, Tenanted};
 
 // Re-exported so downstream crates can match on the middleware's nested
@@ -143,6 +149,9 @@ pub enum InsaneError {
         /// The tenant whose message was shed.
         tenant: TenantId,
     },
+    /// A configuration or reload request was rejected before taking
+    /// effect (e.g. inconsistent [`runtime::tunables::Tunables`]).
+    InvalidConfig(String),
     /// An internal invariant failed or an OS resource was unavailable
     /// (e.g. a polling thread could not be spawned).
     Internal(String),
@@ -182,6 +191,7 @@ impl fmt::Display for InsaneError {
                     "message shed under overload to protect tenant {tenant}'s time-sensitive budget"
                 )
             }
+            InsaneError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             InsaneError::Internal(msg) => write!(f, "internal runtime failure: {msg}"),
         }
     }

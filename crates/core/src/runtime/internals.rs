@@ -10,7 +10,7 @@ use std::sync::Arc;
 use insane_memory::{SlotToken, SlotView};
 use insane_queues::MpmcQueue;
 use insane_tsn::TrafficClass;
-use parking_lot::{Condvar, Mutex, RwLock};
+use parking_lot::{Condvar, Mutex};
 
 use crate::qos::{MappedPath, QosPolicy};
 use crate::stats::MessageMeta;
@@ -213,25 +213,46 @@ impl SinkShared {
 /// Registry of all streams attached to a runtime, grouped for the polling
 /// threads.
 ///
-/// The registry carries a version counter so polling threads can keep a
-/// per-datapath snapshot and only rebuild it when a stream was added or
-/// removed — the hot path must not allocate or take the registry lock.
-#[derive(Debug, Default)]
+/// The stream list is read-mostly (registration and pruning are
+/// session-lifecycle events), so it is published through a
+/// [`SnapshotCell`]: writers clone-and-publish, the polling hot path
+/// reads an immutable snapshot with zero lock acquisitions.  The version
+/// counter lets polling threads keep a per-datapath filtered snapshot
+/// and only rebuild it when a stream was added or removed.
+#[derive(Debug)]
 pub(crate) struct StreamRegistry {
-    streams: RwLock<Vec<Arc<StreamShared>>>,
+    streams: insane_queues::SnapshotCell<Vec<Arc<StreamShared>>>,
+    /// Serializes clone-mutate-publish writers.
+    write: Mutex<()>,
     version: AtomicU64,
+}
+
+impl Default for StreamRegistry {
+    fn default() -> Self {
+        Self {
+            streams: insane_queues::SnapshotCell::new(Vec::new()),
+            write: Mutex::new(()),
+            version: AtomicU64::new(0),
+        }
+    }
 }
 
 impl StreamRegistry {
     pub(crate) fn register(&self, stream: Arc<StreamShared>) {
-        self.streams.write().push(stream);
+        let guard = self.write.lock();
+        let mut next = (*self.streams.load()).clone();
+        next.push(stream);
+        self.streams.publish(Arc::new(next));
+        drop(guard);
         self.version.fetch_add(1, Ordering::Release);
     }
 
     pub(crate) fn prune_closed(&self) {
-        self.streams
-            .write()
-            .retain(|s| !s.closed.load(Ordering::Acquire));
+        let guard = self.write.lock();
+        let mut next = (*self.streams.load()).clone();
+        next.retain(|s| !s.closed.load(Ordering::Acquire));
+        self.streams.publish(Arc::new(next));
+        drop(guard);
         self.version.fetch_add(1, Ordering::Release);
     }
 
@@ -244,7 +265,8 @@ impl StreamRegistry {
     /// `shard` (of `shards`) owns.  Ownership comes from the stable
     /// stream-id hash, so every stream lands in exactly one shard's
     /// snapshot (see [`crate::runtime::shard::shard_of_stream`]).
-    // insane-lint: allow-fn(hot-path-block) -- read lock taken only when the version counter says the registry changed
+    /// Called only when the version counter says the registry changed;
+    /// reads the published snapshot without taking any lock.
     pub(crate) fn snapshot_for(
         &self,
         tech: insane_fabric::Technology,
@@ -255,7 +277,7 @@ impl StreamRegistry {
         out.clear();
         out.extend(
             self.streams
-                .read()
+                .load()
                 .iter()
                 .filter(|s| {
                     s.mapped.technology == tech

@@ -12,6 +12,7 @@ pub(crate) mod dispatch;
 pub(crate) mod internals;
 pub(crate) mod plugins;
 pub mod shard;
+pub mod tunables;
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -21,13 +22,14 @@ use std::time::{Duration, Instant};
 use insane_fabric::{Endpoint, Fabric, HostId, Technology};
 use insane_memory::{PoolSet, PoolSetBuilder, SlotView, TenantId, TenantQuota};
 use insane_netstack::insane_hdr::{InsaneHeader, MessageKind};
+use insane_queues::SnapshotCell;
 use insane_tsn::{FifoScheduler, GateControlList, Scheduler, TasScheduler, TrafficClass};
 use parking_lot::Mutex;
 
 use crate::admission::{AdmissionController, OverloadPolicy, TenantRate};
 use crate::qos::{DefaultMapping, MappedPath, MappingStrategy, QosPolicy};
 use crate::runtime::dispatch::{
-    decode_control, encode_control, mask_supports, tech_mask, ControlOp, Dispatcher,
+    decode_control, encode_control, mask_supports, tech_mask, ControlOp, Dispatcher, RoutingTable,
 };
 use crate::runtime::internals::{
     Delivery, OutcomeBoard, PayloadStore, SinkShared, StreamRegistry, StreamShared, TxRequest,
@@ -36,6 +38,7 @@ use crate::runtime::plugins::{
     tech_port_offset, DatapathPlugin, DpdkPlugin, InboundMsg, RdmaPlugin, UdpPlugin, WireMsg,
     XdpPlugin,
 };
+use crate::runtime::tunables::Tunables;
 use crate::stats::{MessageMeta, RuntimeStats, StatsSnapshot};
 use crate::telemetry::{DatapathTel, RuntimeTelemetry, SinkTel, TelemetryConfig};
 use crate::tenant_drr::{TenantDrr, Tenanted};
@@ -398,11 +401,25 @@ pub(crate) struct Scratch {
     sinks: Vec<Arc<SinkShared>>,
     remotes: Vec<(HostId, crate::runtime::dispatch::TechMask)>,
     wire: Vec<WireMsg>,
+    /// This shard's view of the routing state, refreshed from the
+    /// dispatcher's snapshot cell once per polling iteration (a single
+    /// atomic load when nothing changed — no lock, no RMW).
+    routing: Arc<RoutingTable>,
+    /// This shard's view of the runtime tunables, refreshed alongside
+    /// the routing snapshot.
+    tunables: Arc<Tunables>,
     /// Routing cache: the last channel's sinks/remotes stay valid while
-    /// the dispatcher version is unchanged — consecutive messages almost
-    /// always share a channel, so the hot path skips both table lookups.
+    /// the routing snapshot is unchanged — consecutive messages almost
+    /// always share a channel, so the hot path skips both table
+    /// lookups.  Invalidated whenever `routing` is refreshed.
     cached_channel: Option<u32>,
-    cached_dispatch_version: u64,
+    /// Per-owner-shard RX fan-out buckets: the device-polling shard
+    /// groups a burst's inbound messages by owning shard so each inbox
+    /// mutex is taken once per burst, not once per message.
+    rx_buckets: Vec<Vec<InboundMsg>>,
+    /// Whether the last polling iteration filled its burst budget
+    /// somewhere — the adaptive burst controller's grow signal.
+    burst_filled: bool,
     inbound_sinks: Vec<Arc<SinkShared>>,
     /// Outcome-board completion batch for one TX burst (board, highest
     /// sequence), reused across iterations like the other buffers.
@@ -428,6 +445,12 @@ struct DatapathShard {
     scheduler: Mutex<BoxedScheduler>,
     scratch: Mutex<Scratch>,
     rx_inbox: Mutex<VecDeque<InboundMsg>>,
+    /// Current burst budget of this shard's adaptive controller: grows
+    /// toward `Tunables::burst_max` while bursts fill, decays toward
+    /// `Tunables::burst_min` while the shard idles.  Plain Relaxed
+    /// loads/stores — the only writer is the shard's own poller (plus
+    /// the cold reload clamp), and staleness costs one iteration.
+    burst: AtomicUsize,
 }
 
 /// One unacked announcement awaiting its retransmission deadline.
@@ -479,6 +502,9 @@ pub(crate) struct RuntimeInner {
     rx_claim: Vec<Mutex<()>>,
     pub(crate) streams: StreamRegistry,
     pub(crate) dispatcher: Dispatcher,
+    /// Hot-reloadable pacing knobs, published as a snapshot so the
+    /// polling shards read them lock-free (DESIGN.md §12).
+    tunables: SnapshotCell<Tunables>,
     pub(crate) stats: Arc<RuntimeStats>,
     stop: AtomicBool,
     started: AtomicBool,
@@ -604,6 +630,7 @@ impl Runtime {
                     scheduler: Mutex::new(Self::build_scheduler(&config)?),
                     scratch: Mutex::new(Scratch::fresh()),
                     rx_inbox: Mutex::new(VecDeque::new()),
+                    burst: AtomicUsize::new(config.burst.max(1)),
                 });
             }
             shards.push(dp_shards);
@@ -631,6 +658,7 @@ impl Runtime {
                 (0..nshards).map(|s| telemetry.datapath(&name, s)).collect()
             })
             .collect();
+        let tunables = SnapshotCell::new(Tunables::for_burst(config.burst));
         let inner = Arc::new(RuntimeInner {
             config,
             fabric: fabric.clone(),
@@ -642,6 +670,7 @@ impl Runtime {
             rx_claim,
             streams: StreamRegistry::default(),
             dispatcher: Dispatcher::default(),
+            tunables,
             stats,
             stop: AtomicBool::new(false),
             started: AtomicBool::new(false),
@@ -855,6 +884,25 @@ impl Runtime {
         self.inner.config.shards_per_datapath
     }
 
+    /// The currently published runtime tunables.
+    pub fn tunables(&self) -> Tunables {
+        (*self.inner.tunables.load()).clone()
+    }
+
+    /// Publishes new pacing tunables to a live runtime (hot reload, no
+    /// restart): every polling shard picks the snapshot up at its next
+    /// iteration through the one atomic refresh it already performs.
+    /// In-flight messages are unaffected — the knobs only pace future
+    /// polling iterations.
+    ///
+    /// # Errors
+    ///
+    /// Rejects inconsistent values (see [`Tunables::validate`]) without
+    /// publishing anything.
+    pub fn reload_tunables(&self, tunables: Tunables) -> Result<(), InsaneError> {
+        self.inner.reload_tunables(tunables)
+    }
+
     /// Runs only the transmit half (TX drain → schedule → send) of one
     /// datapath's polling iteration, across all its shards.  Serial
     /// measurement harnesses use this to flush an emitted message to
@@ -997,13 +1045,16 @@ fn polling_loop(inner: Arc<RuntimeInner>, datapaths: Vec<(usize, usize)>) {
         } else {
             idle_streak += 1;
             // §5.3: polling threads are automatically paused when idle.
-            if idle_streak > 256 {
+            // Thresholds come from the hot-reloadable tunables snapshot
+            // the first assigned shard refreshed this iteration.
+            let tun = &scratches[0].tunables;
+            if idle_streak > tun.idle_sleep_after {
                 // Sleeps slow the iteration rate ~100×; advance the
                 // liveness clock accordingly so an idle, dropped
                 // runtime is still reclaimed promptly.
                 since_liveness = since_liveness.saturating_add(63);
-                std::thread::sleep(Duration::from_micros(100));
-            } else if idle_streak > 32 {
+                std::thread::sleep(Duration::from_micros(tun.idle_sleep_us));
+            } else if idle_streak > tun.idle_yield_after {
                 std::thread::yield_now();
             }
         }
@@ -1072,11 +1123,9 @@ impl RuntimeInner {
                         .filter(|d| d.name == name && d.shard == s)
                         .cloned()
                         .unwrap_or_default();
-                    let queued = self
-                        .shards
-                        .get(idx)
-                        .and_then(|dp| dp.get(s))
-                        .map_or(0, |sh| sh.scheduler.lock().len() as u64);
+                    let sh = self.shards.get(idx).and_then(|dp| dp.get(s));
+                    let queued = sh.map_or(0, |sh| sh.scheduler.lock().len() as u64);
+                    let burst = sh.map_or(0, |sh| sh.burst.load(Ordering::Relaxed) as u64);
                     Value::object([
                         ("technology", Value::from(name.clone())),
                         ("shard", Value::from(s as u64)),
@@ -1088,6 +1137,7 @@ impl RuntimeInner {
                         ("rx_messages", Value::from(counters.rx_messages)),
                         ("scheduled", Value::from(counters.scheduled)),
                         ("queued", Value::from(queued)),
+                        ("burst", Value::from(burst)),
                     ])
                 })
             })
@@ -1174,6 +1224,57 @@ impl RuntimeInner {
 
     pub(crate) fn is_started(&self) -> bool {
         self.started.load(Ordering::Acquire)
+    }
+
+    /// Validates and publishes new tunables, then clamps every shard's
+    /// live burst budget into the new bounds (the adaptive controller
+    /// only moves by grow/shrink steps, so a budget stranded outside
+    /// the new range under steady partial load would never re-enter it
+    /// on its own).
+    // insane-lint: cold-path -- control-plane reload, not steady state
+    pub(crate) fn reload_tunables(&self, tunables: Tunables) -> Result<(), InsaneError> {
+        tunables
+            .validate()
+            .map_err(|e| InsaneError::InvalidConfig(format!("tunables rejected: {e}")))?;
+        let (min, max) = (tunables.burst_min, tunables.burst_max);
+        self.tunables.publish(Arc::new(tunables));
+        for dp in &self.shards {
+            for sh in dp {
+                let current = sh.burst.load(Ordering::Relaxed);
+                let clamped = current.clamp(min, max);
+                if clamped != current {
+                    sh.burst.store(clamped, Ordering::Relaxed);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies an introspection-endpoint `reload` request: each
+    /// argument is one `key=value` assignment against the current
+    /// tunables snapshot; the batch publishes atomically or not at all.
+    /// Returns a human-readable summary of the published snapshot.
+    #[cfg(feature = "telemetry")]
+    // insane-lint: cold-path -- control-plane reload, not steady state
+    pub(crate) fn reload_from_kv(&self, pairs: &str) -> Result<String, String> {
+        let mut next = (*self.tunables.load()).clone();
+        let mut applied = 0u32;
+        for pair in pairs.split_whitespace() {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got {pair:?}"))?;
+            next.apply_kv(key, value)?;
+            applied += 1;
+        }
+        if applied == 0 {
+            return Err("reload requires at least one key=value argument".into());
+        }
+        let summary = format!(
+            "reloaded {applied} tunable(s): burst_min={} burst_max={} idle_yield_after={} idle_sleep_after={} idle_sleep_us={}",
+            next.burst_min, next.burst_max, next.idle_yield_after, next.idle_sleep_after, next.idle_sleep_us
+        );
+        self.reload_tunables(next).map_err(|e| e.to_string())?;
+        Ok(summary)
     }
 
     fn plugin_index(&self, tech: Technology) -> Option<usize> {
@@ -1547,6 +1648,17 @@ impl RuntimeInner {
         shard: usize,
         scratch: &mut Scratch,
     ) -> bool {
+        // Pick up published control-state snapshots: one atomic load
+        // each per iteration, no lock, no RMW (DESIGN.md §12).  A new
+        // routing table invalidates the per-channel cache derived from
+        // the previous one — without this, a cache entry keyed only on
+        // the channel could keep routing messages by a displaced table.
+        if self.dispatcher.refresh(&mut scratch.routing) {
+            scratch.cached_channel = None;
+        }
+        self.tunables.refresh(&mut scratch.tunables);
+        scratch.burst_filled = false;
+
         // Health probe: detect datapath up/down transitions and migrate
         // traffic accordingly (self-healing, §6 of DESIGN.md).  The
         // compare-exchange makes the transition single-shot even when
@@ -1569,7 +1681,27 @@ impl RuntimeInner {
             did |= self.control_tick();
         }
 
-        did | self.poll_rx_inner(idx, shard, scratch, down)
+        did |= self.poll_rx_inner(idx, shard, scratch, down);
+
+        // Adaptive burst controller: a burst that filled anywhere this
+        // iteration doubles the budget toward the ceiling (amortizing
+        // per-burst overheads under load); a fully idle iteration
+        // halves it toward the floor (bounding the latency cost of a
+        // stale oversized burst).  Partial work leaves it unchanged.
+        let cell = &self.shards[idx][shard].burst;
+        let current = cell.load(Ordering::Relaxed);
+        let next = if scratch.burst_filled {
+            (current.saturating_mul(2)).min(scratch.tunables.burst_max)
+        } else if !did {
+            (current / 2).max(scratch.tunables.burst_min)
+        } else {
+            current
+        };
+        if next != current {
+            cell.store(next, Ordering::Relaxed);
+        }
+
+        did
     }
 
     /// RX half of one shard's polling iteration: claim the device, fan
@@ -1580,6 +1712,7 @@ impl RuntimeInner {
     // insane-lint: allow-fn(hot-path-alloc) -- inbox deques grow to the burst watermark once, then reuse capacity
     fn poll_rx_inner(&self, idx: usize, shard: usize, scratch: &mut Scratch, down: bool) -> bool {
         let nshards = self.shards[idx].len();
+        let burst = self.shards[idx][shard].burst.load(Ordering::Relaxed);
         let mut did = false;
 
         // A downed accelerated device cannot receive; kernel UDP keeps
@@ -1594,9 +1727,10 @@ impl RuntimeInner {
         if device_pollable {
             if let Some(_claim) = self.rx_claim[idx].try_lock() {
                 scratch.inbound.clear();
-                self.plugins[idx].poll_rx(&mut scratch.inbound, self.config.burst);
+                self.plugins[idx].poll_rx(&mut scratch.inbound, burst);
                 if !scratch.inbound.is_empty() {
                     did = true;
+                    scratch.burst_filled |= scratch.inbound.len() >= burst;
                     if nshards == 1 {
                         self.hops.charge_batch(scratch.inbound.len() as u64);
                     } else {
@@ -1605,6 +1739,9 @@ impl RuntimeInner {
                         // and the per-token costs at dispatch, on the
                         // owning shard.
                         self.hops.charge_batch(0);
+                        if scratch.rx_buckets.len() < nshards {
+                            scratch.rx_buckets.resize_with(nshards, Vec::new);
+                        }
                     }
                     let mut inbound = std::mem::take(&mut scratch.inbound);
                     let mut rx_data = 0u64;
@@ -1616,14 +1753,31 @@ impl RuntimeInner {
                         self.stats.rx_messages.fetch_add(1, Ordering::Relaxed);
                         if nshards == 1 {
                             rx_data += 1;
-                            self.dispatch_inbound(msg, &mut scratch.inbound_sinks);
+                            self.dispatch_inbound(
+                                msg,
+                                &scratch.routing,
+                                &mut scratch.inbound_sinks,
+                            );
                         } else {
+                            // Bucket by owning shard; each inbox mutex
+                            // is then taken once per burst below, not
+                            // once per message.
                             let owner = shard::shard_of_channel(msg.hdr.channel, nshards);
-                            self.shards[idx][owner].rx_inbox.lock().push_back(msg);
+                            scratch.rx_buckets[owner].push(msg);
                         }
                     }
                     if nshards == 1 {
                         self.dp_tel[idx][shard].on_rx(rx_data);
+                    } else {
+                        for (owner, bucket) in scratch.rx_buckets.iter_mut().enumerate() {
+                            if bucket.is_empty() {
+                                continue;
+                            }
+                            self.shards[idx][owner]
+                                .rx_inbox
+                                .lock()
+                                .extend(bucket.drain(..));
+                        }
                     }
                     scratch.inbound = inbound;
                 }
@@ -1636,7 +1790,7 @@ impl RuntimeInner {
             scratch.inbound.clear();
             {
                 let mut inbox = self.shards[idx][shard].rx_inbox.lock();
-                for _ in 0..self.config.burst {
+                for _ in 0..burst {
                     match inbox.pop_front() {
                         Some(msg) => scratch.inbound.push(msg),
                         None => break,
@@ -1645,11 +1799,12 @@ impl RuntimeInner {
             }
             if !scratch.inbound.is_empty() {
                 did = true;
+                scratch.burst_filled |= scratch.inbound.len() >= burst;
                 self.hops.charge_batch(scratch.inbound.len() as u64);
                 let mut inbound = std::mem::take(&mut scratch.inbound);
                 let dispatched = inbound.len() as u64;
                 for msg in inbound.drain(..) {
-                    self.dispatch_inbound(msg, &mut scratch.inbound_sinks);
+                    self.dispatch_inbound(msg, &scratch.routing, &mut scratch.inbound_sinks);
                 }
                 self.dp_tel[idx][shard].on_rx(dispatched);
                 scratch.inbound = inbound;
@@ -1665,6 +1820,7 @@ impl RuntimeInner {
         let plugin = &self.plugins[idx];
         let tech = plugin.technology();
         let nshards = self.shards[idx].len();
+        let burst = self.shards[idx][shard].burst.load(Ordering::Relaxed);
         let mut did = false;
 
         // 0. Refresh the stream snapshot only when the registry changed
@@ -1687,11 +1843,11 @@ impl RuntimeInner {
             let start = scratch.drain_cursor % nstreams;
             for offset in 0..nstreams {
                 let i = (start + offset) % nstreams;
-                let budget = self.config.burst - scratch.requests.len();
+                let budget = burst - scratch.requests.len();
                 scratch.streams[i]
                     .tx
                     .pop_burst(&mut scratch.requests, budget);
-                if scratch.requests.len() >= self.config.burst {
+                if scratch.requests.len() >= burst {
                     scratch.drain_cursor = (i + 1) % nstreams;
                     break;
                 }
@@ -1699,6 +1855,7 @@ impl RuntimeInner {
         }
         if !scratch.requests.is_empty() {
             did = true;
+            scratch.burst_filled |= scratch.requests.len() >= burst;
             self.hops.charge_batch(scratch.requests.len() as u64);
             let now = Instant::now();
             let mut requests = std::mem::take(&mut scratch.requests);
@@ -1721,11 +1878,12 @@ impl RuntimeInner {
         scratch.ready.clear();
         self.shards[idx][shard].scheduler.lock().dequeue_ready(
             &mut scratch.ready,
-            self.config.burst,
+            burst,
             Instant::now(),
         );
         if !scratch.ready.is_empty() {
             did = true;
+            scratch.burst_filled |= scratch.ready.len() >= burst;
             let mut wire_scratch = std::mem::take(&mut scratch.wire);
             wire_scratch.clear();
             // Outcome boards are completed through the highest sequence
@@ -1766,8 +1924,11 @@ impl RuntimeInner {
     }
 
     /// Handles one emitted message: local forwarding plus scheduling for
-    /// every subscribed remote runtime.  Routing comes from the scratch
-    /// cache when the channel and dispatcher version are unchanged.
+    /// every subscribed remote runtime.  Routing comes from the shard's
+    /// routing snapshot (`scratch.routing`), via the per-channel cache
+    /// when consecutive messages share a channel — the cache is
+    /// invalidated whenever `poll_datapath_shard` refreshes the
+    /// snapshot, so it can never outlive the table it was built from.
     ///
     /// All scheduler enqueues stay on shard `shard` — of this datapath
     /// or of the kernel-UDP fallback — so everything a stream emits
@@ -1785,15 +1946,14 @@ impl RuntimeInner {
         scratch: &mut Scratch,
     ) {
         let plugin = &self.plugins[idx];
-        let version = self.dispatcher.version();
-        if scratch.cached_channel != Some(req.channel) || scratch.cached_dispatch_version != version
-        {
-            self.dispatcher
+        if scratch.cached_channel != Some(req.channel) {
+            scratch
+                .routing
                 .local_sinks_into(req.channel, &mut scratch.sinks);
-            self.dispatcher
+            scratch
+                .routing
                 .remote_targets_into(req.channel, &mut scratch.remotes);
             scratch.cached_channel = Some(req.channel);
-            scratch.cached_dispatch_version = version;
         }
         let sinks = &scratch.sinks;
         let remotes = &mut scratch.remotes;
@@ -2093,11 +2253,17 @@ impl RuntimeInner {
         }
     }
 
-    /// Dispatches one received message to the channel's local sinks
-    /// (`sinks` is a caller scratch buffer).
+    /// Dispatches one received message to the channel's local sinks,
+    /// resolved against the caller's routing snapshot (`sinks` is a
+    /// caller scratch buffer).
     // insane-lint: allow-fn(hot-path-alloc) -- one Arc<Delivery> per inbound message is the zero-copy sharing contract with sinks
-    fn dispatch_inbound(&self, msg: InboundMsg, sinks: &mut Vec<Arc<SinkShared>>) {
-        self.dispatcher.local_sinks_into(msg.hdr.channel, sinks);
+    fn dispatch_inbound(
+        &self,
+        msg: InboundMsg,
+        table: &RoutingTable,
+        sinks: &mut Vec<Arc<SinkShared>>,
+    ) {
+        table.local_sinks_into(msg.hdr.channel, sinks);
         if sinks.is_empty() {
             return; // no subscriber on this host anymore
         }

@@ -18,7 +18,8 @@ use insane_netstack::ether::MacAddr;
 use insane_netstack::insane_hdr::{checksum_ok, seal, InsaneHeader};
 use insane_netstack::ipv4::Ipv4Header;
 use insane_netstack::packet::{PacketBuilder, PacketView};
-use parking_lot::{Mutex, RwLock};
+use insane_queues::SnapshotCell;
+use parking_lot::Mutex;
 
 use crate::runtime::internals::PayloadStore;
 use crate::stats::RuntimeStats;
@@ -489,7 +490,12 @@ pub(crate) struct RdmaPlugin {
     nic: RdmaNic,
     host: HostId,
     qp_base: u16,
-    qps: RwLock<Vec<(HostId, Arc<insane_fabric::devices::QueuePair>)>>,
+    /// Peer → connected queue pair, published as an immutable snapshot:
+    /// `poll_rx` runs on every polling shard and must read the table
+    /// without locks or allocation (DESIGN.md §12).
+    qps: SnapshotCell<Vec<(HostId, Arc<insane_fabric::devices::QueuePair>)>>,
+    /// Serializes `qp_for`'s clone-mutate-publish connection setup.
+    qp_write: Mutex<()>,
     recv_credit: Mutex<u64>,
     max_payload: usize,
     stats: Arc<RuntimeStats>,
@@ -499,7 +505,7 @@ impl fmt::Debug for RdmaPlugin {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("RdmaPlugin")
             .field("host", &self.host)
-            .field("qps", &self.qps.read().len())
+            .field("qps", &self.qps.load().len())
             .finish()
     }
 }
@@ -518,7 +524,8 @@ impl RdmaPlugin {
             nic: RdmaNic::new(fabric, host),
             host,
             qp_base,
-            qps: RwLock::new(Vec::new()),
+            qps: SnapshotCell::new(Vec::new()),
+            qp_write: Mutex::new(()),
             recv_credit: Mutex::new(0),
             max_payload,
             stats,
@@ -526,11 +533,13 @@ impl RdmaPlugin {
     }
 
     fn qp_for(&self, peer: HostId) -> Result<Arc<insane_fabric::devices::QueuePair>, InsaneError> {
-        if let Some((_, qp)) = self.qps.read().iter().find(|(h, _)| *h == peer) {
+        if let Some((_, qp)) = self.qps.load().iter().find(|(h, _)| *h == peer) {
             return Ok(Arc::clone(qp));
         }
-        let mut qps = self.qps.write();
-        if let Some((_, qp)) = qps.iter().find(|(h, _)| *h == peer) {
+        // Connection setup: serialize writers and re-check under the
+        // writer lock, then publish the extended table as a new snapshot.
+        let guard = self.qp_write.lock();
+        if let Some((_, qp)) = self.qps.load().iter().find(|(h, _)| *h == peer) {
             return Ok(Arc::clone(qp));
         }
         let local_port = self.qp_base + peer.index() as u16;
@@ -543,7 +552,10 @@ impl RdmaPlugin {
             qp.post_recv(i);
         }
         *self.recv_credit.lock() += Self::RECV_DEPTH;
-        qps.push((peer, Arc::clone(&qp)));
+        let mut next = (*self.qps.load()).clone();
+        next.push((peer, Arc::clone(&qp)));
+        self.qps.publish(Arc::new(next));
+        drop(guard);
         Ok(qp)
     }
 }
@@ -588,15 +600,12 @@ impl DatapathPlugin for RdmaPlugin {
     }
 
     fn poll_rx(&self, out: &mut Vec<InboundMsg>, max: usize) -> usize {
-        let qps: Vec<_> = self
-            .qps
-            .read()
-            .iter()
-            .map(|(_, qp)| Arc::clone(qp))
-            .collect();
+        // One pinned snapshot load per poll call: no lock, and no more
+        // per-call Vec clone of the queue-pair table.
+        let qps = self.qps.load();
         let mut n = 0;
         let mut completions = Vec::new();
-        for qp in qps {
+        for (_, qp) in qps.iter() {
             if n >= max {
                 break;
             }

@@ -1,0 +1,171 @@
+//! Hot-reloadable runtime tunables (DESIGN.md §12).
+//!
+//! The polling engine's pacing knobs — adaptive burst bounds and idle
+//! backoff thresholds — are published through a
+//! [`SnapshotCell`](insane_queues::SnapshotCell) on the runtime, so the
+//! control plane can retune a live runtime without a restart and
+//! without adding a single lock to the polling hot path: each shard
+//! picks up a new snapshot with the one atomic `refresh` it already
+//! pays per iteration.
+//!
+//! Reload paths: [`crate::Runtime::reload_tunables`] in-process, or the
+//! introspection endpoint's `reload key=value ...` request (served by
+//! `tools/insanectl reload`).
+
+/// Pacing parameters of the polling engine, published as one immutable
+/// snapshot (partial updates are expressed as clone-modify-publish).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tunables {
+    /// Lower bound of the adaptive burst controller: an idle shard's
+    /// burst budget decays toward this floor, keeping the latency cost
+    /// of a stale oversized burst bounded when traffic stops.
+    pub burst_min: usize,
+    /// Upper bound of the adaptive burst controller: a saturated
+    /// shard's burst budget grows toward this ceiling, amortizing
+    /// per-burst overheads (device doorbells, hop charges) under load.
+    pub burst_max: usize,
+    /// Idle polling iterations before a polling thread starts yielding
+    /// its timeslice between polls.
+    pub idle_yield_after: u32,
+    /// Idle polling iterations before a polling thread starts sleeping
+    /// between polls (§5.3: polling threads pause automatically when
+    /// idle).
+    pub idle_sleep_after: u32,
+    /// Sleep length, in microseconds, once `idle_sleep_after` is
+    /// exceeded.
+    pub idle_sleep_us: u64,
+}
+
+impl Default for Tunables {
+    fn default() -> Self {
+        Self {
+            burst_min: 4,
+            burst_max: 32,
+            idle_yield_after: 32,
+            idle_sleep_after: 256,
+            idle_sleep_us: 100,
+        }
+    }
+}
+
+impl Tunables {
+    /// The tunables derived from a burst budget: `burst` is both the
+    /// starting burst and the adaptive ceiling (so a freshly started
+    /// runtime behaves exactly like the fixed-burst engine under
+    /// saturation), with the floor an eighth of it.  The runtime seeds
+    /// itself with `for_burst(config.burst)`.
+    pub fn for_burst(burst: usize) -> Self {
+        Self {
+            burst_min: (burst / 8).max(1),
+            burst_max: burst.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// Checks internal consistency; every reload path calls this before
+    /// publishing.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.burst_min == 0 {
+            return Err("burst_min must be at least 1".into());
+        }
+        if self.burst_min > self.burst_max {
+            return Err(format!(
+                "burst_min ({}) exceeds burst_max ({})",
+                self.burst_min, self.burst_max
+            ));
+        }
+        if self.burst_max > 4096 {
+            return Err("burst_max must be at most 4096".into());
+        }
+        if self.idle_yield_after > self.idle_sleep_after {
+            return Err(format!(
+                "idle_yield_after ({}) exceeds idle_sleep_after ({})",
+                self.idle_yield_after, self.idle_sleep_after
+            ));
+        }
+        Ok(())
+    }
+
+    /// Applies one `key=value` assignment (the introspection endpoint's
+    /// `reload` request format).  Unknown keys and unparsable values are
+    /// rejected; validation runs separately once every pair is applied.
+    pub fn apply_kv(&mut self, key: &str, value: &str) -> Result<(), String> {
+        fn parse<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+            value
+                .parse()
+                .map_err(|_| format!("invalid value {value:?} for {key}"))
+        }
+        match key {
+            "burst_min" => self.burst_min = parse(key, value)?,
+            "burst_max" => self.burst_max = parse(key, value)?,
+            "idle_yield_after" => self.idle_yield_after = parse(key, value)?,
+            "idle_sleep_after" => self.idle_sleep_after = parse(key, value)?,
+            "idle_sleep_us" => self.idle_sleep_us = parse(key, value)?,
+            _ => return Err(format!("unknown tunable {key:?}")),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_burst_brackets_the_configured_burst() {
+        let t = Tunables::for_burst(32);
+        assert_eq!(t.burst_min, 4);
+        assert_eq!(t.burst_max, 32);
+        assert!(t.validate().is_ok());
+        let tiny = Tunables::for_burst(1);
+        assert_eq!(tiny.burst_min, 1);
+        assert_eq!(tiny.burst_max, 1);
+        assert!(tiny.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_inverted_bounds() {
+        let inverted = Tunables {
+            burst_min: 64,
+            burst_max: 8,
+            ..Tunables::default()
+        };
+        assert!(inverted.validate().is_err());
+        let zero_min = Tunables {
+            burst_min: 0,
+            ..Tunables::default()
+        };
+        assert!(zero_min.validate().is_err());
+        let yield_after_sleep = Tunables {
+            idle_yield_after: 1_000,
+            ..Tunables::default()
+        };
+        assert!(yield_after_sleep.validate().is_err());
+    }
+
+    #[test]
+    fn apply_kv_round_trips_every_key() {
+        let mut t = Tunables::default();
+        for (k, v) in [
+            ("burst_min", "2"),
+            ("burst_max", "128"),
+            ("idle_yield_after", "16"),
+            ("idle_sleep_after", "512"),
+            ("idle_sleep_us", "50"),
+        ] {
+            t.apply_kv(k, v).unwrap();
+        }
+        assert_eq!(
+            t,
+            Tunables {
+                burst_min: 2,
+                burst_max: 128,
+                idle_yield_after: 16,
+                idle_sleep_after: 512,
+                idle_sleep_us: 50,
+            }
+        );
+        assert!(t.apply_kv("bogus", "1").is_err());
+        assert!(t.apply_kv("burst_min", "not-a-number").is_err());
+    }
+}

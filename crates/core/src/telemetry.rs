@@ -264,8 +264,9 @@ pub(crate) use glue::{DatapathTel, RuntimeTelemetry, SinkTel};
 ///
 /// Protocol: one request line per connection; the server answers with
 /// one JSON line and closes. `stats` (or an empty line) returns the
-/// full runtime snapshot; `ping` returns a liveness probe; anything
-/// else gets a JSON error.
+/// full runtime snapshot; `ping` returns a liveness probe;
+/// `reload key=value ...` hot-reloads runtime tunables (DESIGN.md
+/// §12); anything else gets a JSON error.
 #[cfg(feature = "telemetry")]
 pub(crate) mod introspection {
     use crate::runtime::RuntimeInner;
@@ -340,6 +341,20 @@ pub(crate) mod introspection {
         let response = match line.trim() {
             "" | "stats" => inner.introspection_json(),
             "ping" => "{\"ok\":true}".to_string(),
+            reload if reload == "reload" || reload.starts_with("reload ") => {
+                match inner.reload_from_kv(reload.strip_prefix("reload").unwrap_or_default()) {
+                    Ok(summary) => insane_telemetry::Value::object([
+                        ("ok", insane_telemetry::Value::Bool(true)),
+                        ("reloaded", insane_telemetry::Value::from(summary)),
+                    ])
+                    .to_string(),
+                    Err(e) => insane_telemetry::Value::object([(
+                        "error",
+                        insane_telemetry::Value::from(format!("reload rejected: {e}")),
+                    )])
+                    .to_string(),
+                }
+            }
             other => insane_telemetry::Value::object([(
                 "error",
                 insane_telemetry::Value::from(format!("unknown request {other:?}")),

@@ -722,3 +722,117 @@ fn introspection_endpoint_serves_stats_over_unix_socket() {
         "socket file is removed when the runtime stops"
     );
 }
+
+#[test]
+fn reload_tunables_takes_effect_and_rejects_inconsistency() {
+    let fabric = Fabric::new(TestbedProfile::local());
+    let host = fabric.add_host("solo");
+    let mut config = manual_config(1);
+    config.burst = 32;
+    let rt = Runtime::start(config, &fabric, host).unwrap();
+
+    // The runtime seeds itself from its construction burst.
+    let initial = rt.tunables();
+    assert_eq!(initial.burst_max, 32);
+    assert_eq!(initial.burst_min, 4);
+
+    // A valid reload is visible on the next read.
+    let mut next = insane_core::Tunables::for_burst(8);
+    next.idle_sleep_us = 42;
+    rt.reload_tunables(next.clone()).unwrap();
+    assert_eq!(rt.tunables(), next);
+
+    // An inconsistent snapshot is rejected atomically: nothing changes.
+    let bad = insane_core::Tunables {
+        burst_min: 64,
+        burst_max: 2,
+        ..Default::default()
+    };
+    match rt.reload_tunables(bad) {
+        Err(InsaneError::InvalidConfig(msg)) => {
+            assert!(msg.contains("burst_min"), "unexpected message: {msg}")
+        }
+        other => panic!("expected InvalidConfig, got {other:?}"),
+    }
+    assert_eq!(rt.tunables(), next);
+}
+
+#[test]
+fn traffic_flows_across_a_live_tunables_reload() {
+    let (_fabric, rt_a, rt_b) = two_node_setup(&[Technology::KernelUdp, Technology::Dpdk]);
+    let session_a = Session::connect(&rt_a).unwrap();
+    let session_b = Session::connect(&rt_b).unwrap();
+    let stream_a = session_a.create_stream(QosPolicy::fast()).unwrap();
+    let stream_b = session_b.create_stream(QosPolicy::fast()).unwrap();
+    let sink = stream_b.create_sink(ChannelId(31)).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 10_000);
+    let source = stream_a.create_source(ChannelId(31)).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 10_000);
+
+    // Interleave emits with reloads that swing the burst window; every
+    // message must still arrive, in order.
+    for round in 0u8..6 {
+        if round % 2 == 0 {
+            let t = insane_core::Tunables::for_burst(if round % 4 == 0 { 4 } else { 64 });
+            rt_a.reload_tunables(t.clone()).unwrap();
+            rt_b.reload_tunables(t).unwrap();
+        }
+        let mut buf = source.get_buffer(1).unwrap();
+        buf.copy_from_slice(&[round]);
+        source.emit(buf).unwrap();
+        let msg = drive_consume(&[&rt_a, &rt_b], &sink);
+        assert_eq!(&*msg, &[round], "message order survived the reload");
+    }
+}
+
+#[cfg(feature = "telemetry")]
+#[test]
+fn introspection_endpoint_reloads_tunables() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+
+    let fabric = Fabric::new(TestbedProfile::local());
+    let host = fabric.add_host("solo");
+    let rt = Runtime::start(RuntimeConfig::new(1), &fabric, host).unwrap();
+    let path = std::env::temp_dir().join(format!("insane-reload-{}.sock", std::process::id()));
+    rt.serve_introspection(&*path).unwrap();
+
+    let query = |line: &str| -> String {
+        for _ in 0..500 {
+            if let Ok(mut conn) = UnixStream::connect(&path) {
+                conn.write_all(line.as_bytes()).unwrap();
+                conn.write_all(b"\n").unwrap();
+                let mut reader = BufReader::new(conn);
+                let mut response = String::new();
+                reader.read_line(&mut response).unwrap();
+                return response;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        panic!("introspection endpoint never came up at {}", path.display());
+    };
+
+    // A good reload round-trips and is visible through the API.
+    let ok = query("reload burst_min=2 burst_max=64 idle_sleep_us=10");
+    assert!(ok.contains("\"ok\":true"), "reload response: {ok}");
+    let t = rt.tunables();
+    assert_eq!((t.burst_min, t.burst_max, t.idle_sleep_us), (2, 64, 10));
+
+    // Bad keys, bad values, and inconsistent snapshots are refused and
+    // leave the published tunables untouched.
+    for bad in [
+        "reload bogus=1",
+        "reload burst_min=zero",
+        "reload burst_min=100 burst_max=4",
+        "reload",
+    ] {
+        let resp = query(bad);
+        assert!(
+            resp.contains("error"),
+            "expected rejection for {bad:?}: {resp}"
+        );
+    }
+    assert_eq!(rt.tunables(), t);
+
+    rt.shutdown();
+}

@@ -13,6 +13,9 @@
 //!   single runtime polling thread.
 //! * [`free_stack`] — a lock-free Treiber stack over `u32` indices with an
 //!   ABA tag, used by the memory manager as its free-slot list.
+//! * [`snapshot`] — a published-snapshot cell (atomic `Arc` pointer swap)
+//!   for read-mostly control state: writers publish a complete new value,
+//!   hot-path readers pay one atomic load per poll iteration.
 //!
 //! All queues are fixed-capacity: the middleware never allocates on the data
 //! path after startup.
@@ -38,12 +41,14 @@
 
 pub mod free_stack;
 pub mod mpmc;
+pub mod snapshot;
 pub mod spsc;
 #[doc(hidden)]
 pub mod sync;
 
 pub use free_stack::FreeStack;
 pub use mpmc::MpmcQueue;
+pub use snapshot::SnapshotCell;
 pub use spsc::{channel, PopError, PushError, Receiver, Sender};
 
 /// Pads and aligns a value to a cache line (64 bytes on the targets we care

@@ -1,0 +1,256 @@
+//! [`SnapshotCell`]: a wait-free-to-read published-snapshot cell.
+//!
+//! Read-mostly control state on the polling hot path (dispatch tables,
+//! RDMA queue-pair lists, runtime tunables) must not be guarded by a
+//! reader-writer lock: even an uncontended `RwLock::read()` is an atomic
+//! RMW on a shared cache line, and a writer that gets preempted while
+//! holding the lock stalls every polling shard for a scheduler quantum.
+//! `SnapshotCell<T>` replaces the lock with the atomic-pointer-swap
+//! pattern (the same shape `arc-swap` provides, hand-rolled here because
+//! the build is offline and vendors no such crate):
+//!
+//! * **Writers** build a *complete* new value, wrap it in an [`Arc`],
+//!   and [`publish`](SnapshotCell::publish) it — one atomic `swap`.
+//!   Readers never observe a half-applied update because the update is
+//!   a single pointer publication, never an in-place mutation.
+//! * **Readers** either [`load`](SnapshotCell::load) a pinned `Arc`
+//!   (two atomic RMWs) or — the per-poll-iteration fast path —
+//!   [`refresh`](SnapshotCell::refresh) a thread-local cached `Arc`,
+//!   which is a single atomic load and no RMW when the value is
+//!   unchanged.
+//!
+//! Reclamation is RCU-flavoured: readers pin a counter for the few
+//! instructions between loading the raw pointer and bumping the `Arc`
+//! strong count; a writer spins until the pin count drains before
+//! dropping its displaced `Arc` reference.  Writers therefore block
+//! (briefly) on readers and on each other — they are control-plane
+//! operations — while readers never block on anything.
+//!
+//! The cell is model-checked under loom (`tests/loom.rs`: publish/read
+//! race, reclamation, torn-read impossibility); every atomic goes
+//! through the [`crate::sync`] shim.  See DESIGN.md §12.
+
+use crate::sync::{hint, Arc, AtomicPtr, AtomicUsize, Ordering};
+
+/// An atomically publishable snapshot of `T` (see the module docs).
+///
+/// ```
+/// use std::sync::Arc;
+/// use insane_queues::SnapshotCell;
+///
+/// let cell = SnapshotCell::new(vec![1u32, 2, 3]);
+/// let mut cached = cell.load();
+/// assert!(!cell.refresh(&mut cached)); // unchanged: one atomic load
+/// cell.publish(Arc::new(vec![4]));
+/// assert!(cell.refresh(&mut cached)); // picked up the new snapshot
+/// assert_eq!(*cached, vec![4]);
+/// ```
+pub struct SnapshotCell<T> {
+    /// Raw `Arc` pointer (from [`Arc::into_raw`]); the cell always owns
+    /// exactly one strong count through this pointer.
+    ptr: AtomicPtr<T>,
+    /// Readers mid-[`load`](Self::load): pinned between the pointer load
+    /// and the strong-count bump.  Writers drain this to zero before
+    /// dropping a displaced value.
+    pinned: AtomicUsize,
+}
+
+// SAFETY: the cell hands out `Arc<T>` clones across threads, which is
+// exactly what `Arc` allows when `T: Send + Sync`; the raw pointer is
+// only ever produced by `Arc::into_raw` and reconstructed under the
+// pin/publication protocol below.
+unsafe impl<T: Send + Sync> Send for SnapshotCell<T> {}
+// SAFETY: as for `Send` — shared references to the cell only perform
+// the atomic publication protocol, which is thread-safe by design.
+unsafe impl<T: Send + Sync> Sync for SnapshotCell<T> {}
+
+impl<T> SnapshotCell<T> {
+    /// Creates a cell holding `value` as its initial snapshot.
+    pub fn new(value: T) -> Self {
+        Self::from_arc(Arc::new(value))
+    }
+
+    /// Creates a cell holding an already-shared initial snapshot.
+    pub fn from_arc(value: Arc<T>) -> Self {
+        Self {
+            ptr: AtomicPtr::new(Arc::into_raw(value).cast_mut()),
+            pinned: AtomicUsize::new(0),
+        }
+    }
+
+    /// Returns the current snapshot, bumping its strong count.
+    ///
+    /// Two atomic RMWs (pin + unpin); never blocks.  Hot paths that read
+    /// the cell every iteration should prefer [`refresh`](Self::refresh),
+    /// which degenerates to a single atomic load when nothing changed.
+    pub fn load(&self) -> Arc<T> {
+        // Pin before the pointer load.  SeqCst on both sides of the
+        // protocol gives a total order: if this pin precedes a writer's
+        // swap, the writer's post-swap drain loop observes it and waits;
+        // if it follows the swap, the load below (also SeqCst-ordered
+        // after the pin) observes the *new* pointer, whose strong count
+        // only the next writer may release.
+        self.pinned.fetch_add(1, Ordering::SeqCst);
+        let raw = self.ptr.load(Ordering::SeqCst);
+        // SAFETY: `raw` came from `Arc::into_raw` (the only writes to
+        // `self.ptr`) and its strong count is held by the cell: a writer
+        // that swapped it out cannot drop that count until `pinned`
+        // drains back to zero, which cannot happen before the `fetch_sub`
+        // below — so the count is alive for the increment.
+        unsafe { Arc::increment_strong_count(raw) };
+        // SAFETY: the increment above minted a strong count that this
+        // `from_raw` takes ownership of; the cell's own count is intact.
+        let snapshot = unsafe { Arc::from_raw(raw) };
+        self.pinned.fetch_sub(1, Ordering::SeqCst);
+        snapshot
+    }
+
+    /// Re-reads the cell into `cached` if it changed.
+    ///
+    /// Returns `true` when `cached` was replaced by a newer snapshot.
+    /// The unchanged case — the overwhelmingly common one on a polling
+    /// loop — is a single atomic load and a pointer compare.  This is
+    /// ABA-safe: `cached` holds a strong count on its own pointer, so
+    /// that address cannot be freed and reused while the comparison runs.
+    pub fn refresh(&self, cached: &mut Arc<T>) -> bool {
+        let current = self.ptr.load(Ordering::SeqCst);
+        if core::ptr::eq(current, Arc::as_ptr(cached)) {
+            return false;
+        }
+        *cached = self.load();
+        true
+    }
+
+    /// Publishes `value` as the new snapshot.
+    ///
+    /// One atomic swap makes the value visible to every subsequent
+    /// reader; the displaced snapshot is released once in-flight readers
+    /// unpin (its memory is freed when the last outstanding `Arc` clone
+    /// drops).  Writers spin while readers are pinned, so publication is
+    /// a control-plane operation; concurrent writers are safe (each
+    /// reclaims exactly the pointer it displaced) but callers that need
+    /// read-modify-write updates must serialize themselves externally.
+    ///
+    /// (Named `publish`, not `store`, deliberately: it is not the
+    /// non-waiting atomic store its receiver syntax resembles.)
+    pub fn publish(&self, value: Arc<T>) {
+        let fresh = Arc::into_raw(value).cast_mut();
+        let old = self.ptr.swap(fresh, Ordering::SeqCst);
+        // Drain readers that may have loaded `old` but not yet bumped
+        // its strong count.  The pin window is a handful of instructions
+        // with no blocking inside, so this resolves immediately in
+        // practice; yield periodically anyway in case a pinned reader
+        // was preempted on a loaded machine.
+        let mut spins = 0u32;
+        while self.pinned.load(Ordering::SeqCst) != 0 {
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                crate::sync::thread::yield_now();
+            } else {
+                hint::spin_loop();
+            }
+        }
+        // SAFETY: `old` came from `Arc::into_raw` and the cell owned one
+        // strong count through it; after the swap no new reader can
+        // observe `old`, and the drain above guarantees every reader
+        // that did observe it has finished minting its own count — so
+        // reclaiming the cell's count here is sound and unique (only the
+        // writer that swapped `old` out reaches this line with it).
+        drop(unsafe { Arc::from_raw(old) });
+    }
+}
+
+impl<T> Drop for SnapshotCell<T> {
+    fn drop(&mut self) {
+        let raw = self.ptr.load(Ordering::SeqCst);
+        // SAFETY: `&mut self` means no concurrent readers or writers
+        // exist; the cell still owns the strong count minted when the
+        // current pointer was published, and this reclaims it.
+        drop(unsafe { Arc::from_raw(raw) });
+    }
+}
+
+impl<T: core::fmt::Debug> core::fmt::Debug for SnapshotCell<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SnapshotCell")
+            .field("value", &*self.load())
+            .finish()
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_returns_the_published_value() {
+        let cell = SnapshotCell::new(7u32);
+        assert_eq!(*cell.load(), 7);
+        cell.publish(Arc::new(9));
+        assert_eq!(*cell.load(), 9);
+    }
+
+    #[test]
+    fn refresh_is_a_noop_until_a_store() {
+        let cell = SnapshotCell::new(String::from("a"));
+        let mut cached = cell.load();
+        assert!(!cell.refresh(&mut cached));
+        assert!(!cell.refresh(&mut cached));
+        cell.publish(Arc::new(String::from("b")));
+        assert!(cell.refresh(&mut cached));
+        assert_eq!(*cached, "b");
+        assert!(!cell.refresh(&mut cached));
+    }
+
+    #[test]
+    fn displaced_snapshots_drop_exactly_once() {
+        struct Counted(Arc<core::sync::atomic::AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, core::sync::atomic::Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(core::sync::atomic::AtomicUsize::new(0));
+        let cell = SnapshotCell::new(Counted(Arc::clone(&drops)));
+        let held = cell.load();
+        cell.publish(Arc::new(Counted(Arc::clone(&drops))));
+        // The displaced value is still alive through `held`.
+        assert_eq!(drops.load(core::sync::atomic::Ordering::SeqCst), 0);
+        drop(held);
+        assert_eq!(drops.load(core::sync::atomic::Ordering::SeqCst), 1);
+        drop(cell);
+        assert_eq!(drops.load(core::sync::atomic::Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn concurrent_readers_see_only_complete_pairs() {
+        // Smoke version of the loom torn-read model: both fields of the
+        // snapshot must always agree.
+        let cell = Arc::new(SnapshotCell::new((0u64, 0u64)));
+        let stop = Arc::new(core::sync::atomic::AtomicUsize::new(0));
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut cached = cell.load();
+                    while stop.load(core::sync::atomic::Ordering::Relaxed) == 0 {
+                        cell.refresh(&mut cached);
+                        let (a, b) = *cached;
+                        assert_eq!(a, b, "torn snapshot observed");
+                        let direct = cell.load();
+                        assert_eq!(direct.0, direct.1, "torn snapshot observed");
+                    }
+                })
+            })
+            .collect();
+        for i in 1..=1000u64 {
+            cell.publish(Arc::new((i, i)));
+        }
+        stop.store(1, core::sync::atomic::Ordering::Relaxed);
+        for r in readers {
+            r.join().expect("reader panicked");
+        }
+        assert_eq!(cell.load().0, 1000);
+    }
+}

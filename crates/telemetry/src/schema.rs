@@ -6,7 +6,10 @@
 //! consumer cannot drift apart.
 
 use crate::json::Value;
-use crate::{BENCH_LATENCY_SCHEMA, BENCH_NOISY_NEIGHBOR_SCHEMA, BENCH_THROUGHPUT_SCHEMA};
+use crate::{
+    BENCH_HOTPATH_SCHEMA, BENCH_LATENCY_SCHEMA, BENCH_NOISY_NEIGHBOR_SCHEMA,
+    BENCH_THROUGHPUT_SCHEMA,
+};
 
 /// Why a BENCH document failed validation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -194,6 +197,101 @@ pub fn validate_bench_noisy_neighbor(doc: &Value) -> Result<(), SchemaError> {
     Ok(())
 }
 
+/// Validates a `BENCH_hotpath.json` document.
+///
+/// Requires the [`BENCH_HOTPATH_SCHEMA`] marker and, per entry: string
+/// `system`/`testbed`, positive `samples`, positive per-read timings
+/// (`locked_read_ns_x1000`, `snapshot_read_ns_x1000`) and contended
+/// p99s (`locked_p99_ns`, `snapshot_p99_ns`), plus three gates:
+///
+/// * **uncontended**: `uncontended_ratio_x1000` (snapshot/locked,
+///   fixed-point thousandths) must not exceed
+///   `uncontended_bound_x1000` — the snapshot read may not be
+///   meaningfully slower than the lock it replaced when nobody
+///   contends;
+/// * **contended**: `contended_ratio_x1000` (snapshot p99 / locked p99)
+///   must not exceed `contended_bound_x1000` — under a live writer the
+///   snapshot reader's tail must not regress past the lock's tail;
+/// * **reload-under-load**: `reloads >= 1` (at least one live
+///   republication actually happened) while `dropped == 0` and
+///   `reordered == 0` — a hot reload must never lose or reorder
+///   traffic.
+///
+/// # Errors
+///
+/// Describes the first missing key, type mismatch, or violated gate
+/// found.
+pub fn validate_bench_hotpath(doc: &Value) -> Result<(), SchemaError> {
+    expect_schema(doc, BENCH_HOTPATH_SCHEMA)?;
+    for (i, entry) in entries(doc)?.iter().enumerate() {
+        str_field(entry, "system", i)?;
+        str_field(entry, "testbed", i)?;
+        let samples = u64_field(entry, "samples", i)?;
+        if samples == 0 {
+            return Err(SchemaError::new(format!("entry {i}: zero samples")));
+        }
+        let locked = u64_field(entry, "locked_read_ns_x1000", i)?;
+        let snapshot = u64_field(entry, "snapshot_read_ns_x1000", i)?;
+        if locked == 0 || snapshot == 0 {
+            return Err(SchemaError::new(format!(
+                "entry {i}: per-read timings must be positive \
+                 (locked {locked} / snapshot {snapshot})"
+            )));
+        }
+        let ratio = u64_field(entry, "uncontended_ratio_x1000", i)?;
+        let bound = u64_field(entry, "uncontended_bound_x1000", i)?;
+        if bound == 0 {
+            return Err(SchemaError::new(format!(
+                "entry {i}: zero uncontended bound"
+            )));
+        }
+        if ratio > bound {
+            return Err(SchemaError::new(format!(
+                "entry {i}: uncontended regression: snapshot/locked read ratio \
+                 {ratio}/1000 exceeds the bound {bound}/1000"
+            )));
+        }
+        let locked_p99 = u64_field(entry, "locked_p99_ns", i)?;
+        let snapshot_p99 = u64_field(entry, "snapshot_p99_ns", i)?;
+        if locked_p99 == 0 || snapshot_p99 == 0 {
+            return Err(SchemaError::new(format!(
+                "entry {i}: contended p99 must be positive \
+                 (locked {locked_p99} / snapshot {snapshot_p99})"
+            )));
+        }
+        let cratio = u64_field(entry, "contended_ratio_x1000", i)?;
+        let cbound = u64_field(entry, "contended_bound_x1000", i)?;
+        if cbound == 0 {
+            return Err(SchemaError::new(format!("entry {i}: zero contended bound")));
+        }
+        if cratio > cbound {
+            return Err(SchemaError::new(format!(
+                "entry {i}: contended tail regression: snapshot/locked p99 ratio \
+                 {cratio}/1000 exceeds the bound {cbound}/1000"
+            )));
+        }
+        let reloads = u64_field(entry, "reloads", i)?;
+        if reloads == 0 {
+            return Err(SchemaError::new(format!(
+                "entry {i}: the reload-under-load phase performed no reloads"
+            )));
+        }
+        let dropped = u64_field(entry, "dropped", i)?;
+        if dropped != 0 {
+            return Err(SchemaError::new(format!(
+                "entry {i}: {dropped} message(s) dropped across a live reload"
+            )));
+        }
+        let reordered = u64_field(entry, "reordered", i)?;
+        if reordered != 0 {
+            return Err(SchemaError::new(format!(
+                "entry {i}: {reordered} message(s) reordered across a live reload"
+            )));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,6 +448,77 @@ mod tests {
         set_field(&mut entry, "victim_rejections", 3);
         let err = validate_bench_noisy_neighbor(&noisy_doc(entry)).unwrap_err();
         assert!(err.to_string().contains("in-quota"), "{err}");
+    }
+
+    fn hotpath_entry() -> Value {
+        Value::object([
+            ("system", "INSANE hot path".into()),
+            ("testbed", "Local".into()),
+            ("samples", 100_000u64.into()),
+            ("locked_read_ns_x1000", 18_000u64.into()),
+            ("snapshot_read_ns_x1000", 6_000u64.into()),
+            ("uncontended_ratio_x1000", 333u64.into()),
+            ("uncontended_bound_x1000", 1_100u64.into()),
+            ("locked_p99_ns", 40_000u64.into()),
+            ("snapshot_p99_ns", 9_000u64.into()),
+            ("contended_ratio_x1000", 225u64.into()),
+            ("contended_bound_x1000", 1_100u64.into()),
+            ("reloads", 4u64.into()),
+            ("dropped", 0u64.into()),
+            ("reordered", 0u64.into()),
+        ])
+    }
+
+    fn hotpath_doc(entry: Value) -> Value {
+        Value::object([
+            ("schema", BENCH_HOTPATH_SCHEMA.into()),
+            ("entries", Value::Array(vec![entry])),
+        ])
+    }
+
+    #[test]
+    fn valid_hotpath_doc_passes() {
+        assert_eq!(
+            validate_bench_hotpath(&hotpath_doc(hotpath_entry())),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn uncontended_regression_is_rejected() {
+        let mut entry = hotpath_entry();
+        set_field(&mut entry, "uncontended_ratio_x1000", 1_400);
+        let err = validate_bench_hotpath(&hotpath_doc(entry)).unwrap_err();
+        assert!(err.to_string().contains("uncontended regression"), "{err}");
+    }
+
+    #[test]
+    fn contended_tail_regression_is_rejected() {
+        let mut entry = hotpath_entry();
+        set_field(&mut entry, "contended_ratio_x1000", 2_000);
+        let err = validate_bench_hotpath(&hotpath_doc(entry)).unwrap_err();
+        assert!(err.to_string().contains("tail regression"), "{err}");
+    }
+
+    #[test]
+    fn reload_without_reloads_is_rejected() {
+        let mut entry = hotpath_entry();
+        set_field(&mut entry, "reloads", 0);
+        let err = validate_bench_hotpath(&hotpath_doc(entry)).unwrap_err();
+        assert!(err.to_string().contains("no reloads"), "{err}");
+    }
+
+    #[test]
+    fn dropped_or_reordered_messages_are_rejected() {
+        let mut entry = hotpath_entry();
+        set_field(&mut entry, "dropped", 2);
+        let err = validate_bench_hotpath(&hotpath_doc(entry)).unwrap_err();
+        assert!(err.to_string().contains("dropped"), "{err}");
+
+        let mut entry = hotpath_entry();
+        set_field(&mut entry, "reordered", 1);
+        let err = validate_bench_hotpath(&hotpath_doc(entry)).unwrap_err();
+        assert!(err.to_string().contains("reordered"), "{err}");
     }
 
     #[test]

@@ -25,11 +25,13 @@
 //! **Tier 2 (AST + call graph, [`lex`]/[`parse`]/[`callgraph`]/
 //! [`rules`])** — whole-workspace analyses:
 //!
-//! * `hot-path-alloc` / `hot-path-block` / `hot-path-panic` — functions
-//!   reachable from `// insane-lint: hot-path-root` markers must not
-//!   allocate, block, or carry implicit panic sites; reachability stops
-//!   at `#[cfg(test)]` boundaries and `// insane-lint: cold-path`
-//!   markers.
+//! * `hot-path-alloc` / `hot-path-block` / `hot-path-rwlock` /
+//!   `hot-path-panic` — functions reachable from
+//!   `// insane-lint: hot-path-root` markers must not allocate, block,
+//!   acquire reader-writer locks (read-mostly state belongs in a
+//!   `SnapshotCell`, DESIGN.md §12), or carry implicit panic sites;
+//!   reachability stops at `#[cfg(test)]` boundaries and
+//!   `// insane-lint: cold-path` markers.
 //! * `lock-order-cycle` / `lock-across-wait` — the workspace lock
 //!   acquisition graph must be acyclic and no guard may be held across
 //!   a wait point (condvar waits that take the guard are exempt: the
@@ -86,6 +88,8 @@ const NO_PANIC_PREFIXES: &[&str] = &[
     "crates/bench/src/bin/shard_bench.rs",
     "crates/bench/src/noisy_neighbor.rs",
     "crates/bench/src/bin/noisy_neighbor.rs",
+    "crates/bench/src/hotpath.rs",
+    "crates/bench/src/bin/hotpath_bench.rs",
     "tools/insanectl/src/",
 ];
 

@@ -1,7 +1,7 @@
 //! Hot-path discipline: functions reachable from `hot-path-root`
 //! markers must not allocate, block, or carry implicit panic sites.
 //!
-//! Three rules, individually waivable:
+//! Four rules, individually waivable:
 //!
 //! * `hot-path-alloc` — heap allocation: `Box::new`/`Arc::new`/...,
 //!   growing-collection methods (`push`, `extend`, `collect`,
@@ -10,11 +10,16 @@
 //!   `scratch` (or the `out` out-parameter idiom) are exempt: reusing
 //!   pre-sized scratch capacity is the sanctioned pattern (amortized
 //!   allocation-free, see DESIGN.md §9).
-//! * `hot-path-block` — blocking: `.lock()`/`.read()`/`.write()`
-//!   (zero-arg, so `io::Read::read(&mut buf)` is not confused with
-//!   `RwLock::read()`), condvar/thread waits, `thread::sleep`, channel
-//!   `recv`. `try_lock`/`try_read`/`try_write` are non-blocking and
-//!   exempt.
+//! * `hot-path-block` — blocking: `.lock()`, condvar/thread waits,
+//!   `thread::sleep`, channel `recv`. `try_lock`/`try_read`/`try_write`
+//!   are non-blocking and exempt.
+//! * `hot-path-rwlock` — reader-writer locks: zero-arg `.read()`/
+//!   `.write()` (so `io::Read::read(&mut buf)` is not confused with
+//!   `RwLock::read()`). Split out from `hot-path-block` because the fix
+//!   differs: even the *uncontended* read side is an atomic RMW on a
+//!   shared cache line, so read-mostly state belongs in a
+//!   `SnapshotCell` (publish-on-write, one plain atomic load per poll
+//!   iteration to read — DESIGN.md §12), not behind a cheaper lock.
 //! * `hot-path-panic` — implicit panics: `.unwrap()`/`.expect()`,
 //!   panic-family and assert macros (`debug_assert*` excluded — it
 //!   compiles out of the release hot path), indexing/slicing, and `/`
@@ -66,15 +71,13 @@ const ALLOC_MACROS: &[&str] = &["format", "vec"];
 /// Blocking zero-arg methods (lock acquisition, channel receives, and
 /// waits). `recv` counts only with no arguments: `socket.recv(mode)` is
 /// the non-blocking datapath receive.
-const BLOCK_METHODS_NOARG: &[&str] = &[
-    "lock",
-    "read",
-    "write",
-    "park",
-    "join",
-    "recv",
-    "recv_timeout",
-];
+const BLOCK_METHODS_NOARG: &[&str] = &["lock", "park", "join", "recv", "recv_timeout"];
+
+/// Reader-writer-lock acquisition, zero-arg only (`io::Read::read(&mut
+/// buf)` and `io::Write::write(&buf)` take arguments and are exempt).
+/// Reported as `hot-path-rwlock`, separate from `hot-path-block`: the
+/// remedy is a snapshot cell, not a try_ variant.
+const RWLOCK_METHODS_NOARG: &[&str] = &["read", "write"];
 
 /// Blocking methods regardless of arity (condvar waits).
 const BLOCK_METHODS: &[&str] = &[
@@ -206,6 +209,15 @@ fn check_body(
                     t.line,
                     &format!("`.{name}(...)` can block"),
                     "use a try_ variant or move the wait off the hot path",
+                );
+            }
+            if RWLOCK_METHODS_NOARG.contains(&name) && zero_arg {
+                push(
+                    &mut seen,
+                    "hot-path-rwlock",
+                    t.line,
+                    &format!("`.{name}()` acquires a reader-writer lock"),
+                    "publish the state through a SnapshotCell and read the snapshot instead",
                 );
             }
             if PANIC_METHODS.contains(&name) {

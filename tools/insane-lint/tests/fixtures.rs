@@ -44,6 +44,7 @@ fn bad_v2_fixture_trips_every_new_rule() {
     for expected in [
         "hot-path-alloc",
         "hot-path-block",
+        "hot-path-rwlock",
         "hot-path-panic",
         "lock-order-cycle",
         "lock-across-wait",

@@ -2,18 +2,20 @@
 //! construct below must produce exactly the finding named in its
 //! comment; `fixtures.rs` asserts every new rule fires at least once.
 
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, RwLock};
 
 pub struct Pools {
     a: Mutex<u32>,
     b: Mutex<u32>,
     cv: Condvar,
+    table: RwLock<u32>,
 }
 
 // insane-lint: hot-path-root
 pub fn poll_hot(p: &Pools, xs: &[u32]) -> u32 {
     let first = xs[0]; // hot-path-panic: unguarded indexing in the root
     drain_step(p);
+    route_step(p);
     first
 }
 
@@ -24,6 +26,12 @@ fn drain_step(p: &Pools) {
     grown.push(1u32);
     let g = p.a.lock().unwrap(); // hot-path-block (+ unwrap panic)
     drop(g);
+}
+
+/// Also unannotated: reached from `poll_hot` through the call graph.
+fn route_step(p: &Pools) -> u32 {
+    let g = p.table.read(); // hot-path-rwlock: reader-writer lock on the hot path
+    g.map(|v| *v).unwrap_or(0)
 }
 
 // Lock-order cycle: `a` is held while `b` is acquired here ...

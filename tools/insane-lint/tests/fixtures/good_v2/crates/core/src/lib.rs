@@ -16,6 +16,25 @@ pub fn poll_hot(p: &Pools, xs: &[u32]) -> u32 {
     first
 }
 
+pub struct Device;
+
+impl Device {
+    pub fn read(&self, out: &mut [u8]) -> usize {
+        out.len()
+    }
+    pub fn write(&self, out: &[u8]) -> usize {
+        out.len()
+    }
+}
+
+// insane-lint: hot-path-root
+// `read`/`write` WITH arguments are io-style calls, not RwLock
+// acquisition: hot-path-rwlock must not fire on them.
+pub fn poll_device(dev: &Device, out: &mut [u8]) -> usize {
+    let got = dev.read(out);
+    got + dev.write(out)
+}
+
 // insane-lint: cold-path -- setup/reporting; hot reachability must stop here
 fn report(p: &Pools) -> Vec<u32> {
     let mut grown = Vec::new();

@@ -11,10 +11,14 @@
 //!   occupancy, per-tenant quota/admission rollups, runtime counters.
 //! * `raw <socket>` — dump the snapshot JSON verbatim.
 //! * `ping <socket>` — liveness probe.
+//! * `reload <socket> key=value ...` — hot-reload runtime tunables
+//!   (e.g. `burst_max=64 idle_sleep_us=50`) through the snapshot-cell
+//!   publication path: validated atomically, applied without restarting
+//!   or pausing the polling shards (DESIGN.md §12).
 //! * `check-bench <dir>` — validate `BENCH_latency.json`,
 //!   `BENCH_throughput.json` and (when present)
-//!   `BENCH_shard_throughput.json` / `BENCH_noisy_neighbor.json` in
-//!   `dir` against their schemas.
+//!   `BENCH_shard_throughput.json` / `BENCH_noisy_neighbor.json` /
+//!   `BENCH_hotpath.json` in `dir` against their schemas.
 //!
 //! The crate is a panic-free zone under `insane-lint`: every failure
 //! path reports through [`CtlError`] and a nonzero exit code.
@@ -24,7 +28,8 @@ use std::os::unix::net::UnixStream;
 use std::path::Path;
 
 use insane_telemetry::{
-    validate_bench_latency, validate_bench_noisy_neighbor, validate_bench_throughput, Value,
+    validate_bench_hotpath, validate_bench_latency, validate_bench_noisy_neighbor,
+    validate_bench_throughput, Value,
 };
 
 /// Any failure: usage, I/O, JSON, schema, or endpoint-reported.
@@ -50,6 +55,7 @@ impl From<insane_telemetry::json::ParseError> for CtlError {
 }
 
 const USAGE: &str = "usage: insanectl <stats|raw|ping> <socket-path>\n\
+       insanectl reload <socket-path> <key=value>...\n\
        insanectl check-bench <dir>";
 
 fn main() {
@@ -66,6 +72,9 @@ fn dispatch(args: &[String]) -> Result<(), CtlError> {
         [cmd, path] if cmd == "raw" => raw(Path::new(path)),
         [cmd, path] if cmd == "ping" => ping(Path::new(path)),
         [cmd, dir] if cmd == "check-bench" => check_bench(Path::new(dir)),
+        [cmd, path, pairs @ ..] if cmd == "reload" && !pairs.is_empty() => {
+            reload(Path::new(path), pairs)
+        }
         _ => Err(CtlError(USAGE.to_string())),
     }
 }
@@ -98,6 +107,27 @@ fn ping(socket: &Path) -> Result<(), CtlError> {
 fn raw(socket: &Path) -> Result<(), CtlError> {
     println!("{}", query(socket, "stats")?);
     Ok(())
+}
+
+/// Sends a `reload key=value ...` request; the endpoint validates the
+/// resulting tunables as one snapshot and rejects the whole batch on
+/// any bad key, value, or inconsistency.
+fn reload(socket: &Path, pairs: &[String]) -> Result<(), CtlError> {
+    for p in pairs {
+        if !p.contains('=') {
+            return Err(CtlError(format!(
+                "reload arguments must be key=value, got {p:?}"
+            )));
+        }
+    }
+    let doc = query(socket, &format!("reload {}", pairs.join(" ")))?;
+    match doc.get("reloaded").and_then(Value::as_str) {
+        Some(summary) if doc.get("ok").and_then(Value::as_bool) == Some(true) => {
+            println!("reloaded: {summary}");
+            Ok(())
+        }
+        _ => Err(CtlError(format!("unexpected reload response: {doc}"))),
+    }
 }
 
 fn u64_of(v: &Value, key: &str) -> u64 {
@@ -334,6 +364,12 @@ fn check_bench(dir: &Path) -> Result<(), CtlError> {
     // present file must pass its schema, including the isolation gate.
     if dir.join("BENCH_noisy_neighbor.json").exists() {
         check("BENCH_noisy_neighbor.json", validate_bench_noisy_neighbor)?;
+    }
+    // And the hot-path document: optional, but a present file must pass
+    // the uncontended/contended ratio gates and the reload-integrity
+    // invariants.
+    if dir.join("BENCH_hotpath.json").exists() {
+        check("BENCH_hotpath.json", validate_bench_hotpath)?;
     }
     Ok(())
 }

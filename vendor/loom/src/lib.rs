@@ -265,6 +265,66 @@ pub mod sync {
         shim_atomic_int!(AtomicU32, std::sync::atomic::AtomicU32, u32);
         shim_atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64);
         shim_atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+        /// Instrumented `AtomicPtr`, delegating to the std type while
+        /// perturbing the schedule around every access (generic, so it
+        /// cannot reuse the `shim_atomic!` macro).
+        #[derive(Debug)]
+        pub struct AtomicPtr<T>(pub(crate) std::sync::atomic::AtomicPtr<T>);
+
+        impl<T> AtomicPtr<T> {
+            /// Creates a new atomic pointer (not `const`, as in real loom).
+            pub fn new(p: *mut T) -> Self {
+                Self(std::sync::atomic::AtomicPtr::new(p))
+            }
+
+            /// Instrumented `load`.
+            pub fn load(&self, order: Ordering) -> *mut T {
+                crate::rt::perturb();
+                self.0.load(order)
+            }
+
+            /// Instrumented `store`.
+            pub fn store(&self, p: *mut T, order: Ordering) {
+                crate::rt::perturb();
+                self.0.store(p, order);
+                crate::rt::perturb();
+            }
+
+            /// Instrumented `swap`.
+            pub fn swap(&self, p: *mut T, order: Ordering) -> *mut T {
+                crate::rt::perturb();
+                let r = self.0.swap(p, order);
+                crate::rt::perturb();
+                r
+            }
+
+            /// Instrumented `compare_exchange`.
+            pub fn compare_exchange(
+                &self,
+                current: *mut T,
+                new: *mut T,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<*mut T, *mut T> {
+                crate::rt::perturb();
+                let r = self.0.compare_exchange(current, new, success, failure);
+                crate::rt::perturb();
+                r
+            }
+
+            /// Unsynchronized access for single-threaded setup code,
+            /// mirroring loom's `with_mut`.
+            pub fn with_mut<R>(&mut self, f: impl FnOnce(&mut *mut T) -> R) -> R {
+                f(self.0.get_mut())
+            }
+        }
+
+        impl<T> Default for AtomicPtr<T> {
+            fn default() -> Self {
+                Self::new(std::ptr::null_mut())
+            }
+        }
     }
 }
 
