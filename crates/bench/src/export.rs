@@ -10,9 +10,9 @@ use std::fs;
 use std::path::PathBuf;
 
 use insane_telemetry::{
-    validate_bench_hotpath, validate_bench_latency, validate_bench_noisy_neighbor,
-    validate_bench_throughput, Value, BENCH_HOTPATH_SCHEMA, BENCH_LATENCY_SCHEMA,
-    BENCH_NOISY_NEIGHBOR_SCHEMA, BENCH_THROUGHPUT_SCHEMA,
+    validate_bench_hotpath, validate_bench_ipc, validate_bench_latency,
+    validate_bench_noisy_neighbor, validate_bench_throughput, Value, BENCH_HOTPATH_SCHEMA,
+    BENCH_IPC_SCHEMA, BENCH_LATENCY_SCHEMA, BENCH_NOISY_NEIGHBOR_SCHEMA, BENCH_THROUGHPUT_SCHEMA,
 };
 
 use crate::report::experiments_dir;
@@ -182,6 +182,58 @@ impl HotpathEntry {
     }
 }
 
+/// One process-split measurement: in-process vs cross-process round
+/// trips plus the crash-reclaim outcome.
+#[derive(Debug, Clone)]
+pub struct IpcEntry {
+    /// System label as printed in the tables.
+    pub system: String,
+    /// Testbed profile name.
+    pub testbed: String,
+    /// Round trips timed per deployment.
+    pub messages: usize,
+    /// In-process round-trip p50, nanoseconds.
+    pub in_process_p50_ns: u64,
+    /// In-process round-trip p99, nanoseconds.
+    pub in_process_p99_ns: u64,
+    /// Cross-process round-trip p50, nanoseconds.
+    pub cross_process_p50_ns: u64,
+    /// Cross-process round-trip p99, nanoseconds.
+    pub cross_process_p99_ns: u64,
+    /// cross/in-process p99 ratio, fixed-point thousandths.
+    pub ratio_x1000: u64,
+    /// Maximum permitted ratio in thousandths.
+    pub bound_x1000: u64,
+    /// Attach slow path (connect → handshake → mmap), nanoseconds.
+    pub attach_ns: u64,
+    /// Death-to-reclaim latency after `kill -9`, nanoseconds.
+    pub reclaim_ns: u64,
+    /// Slots force-reclaimed from the crashed client (≥ 1).
+    pub reclaimed_slots: u64,
+    /// Slots still outstanding after the reclaim (must be 0).
+    pub leaked_slots: u64,
+}
+
+impl IpcEntry {
+    fn to_value(&self) -> Value {
+        Value::object([
+            ("system", self.system.as_str().into()),
+            ("testbed", self.testbed.as_str().into()),
+            ("messages", (self.messages as u64).into()),
+            ("in_process_p50_ns", self.in_process_p50_ns.into()),
+            ("in_process_p99_ns", self.in_process_p99_ns.into()),
+            ("cross_process_p50_ns", self.cross_process_p50_ns.into()),
+            ("cross_process_p99_ns", self.cross_process_p99_ns.into()),
+            ("ratio_x1000", self.ratio_x1000.into()),
+            ("bound_x1000", self.bound_x1000.into()),
+            ("attach_ns", self.attach_ns.into()),
+            ("reclaim_ns", self.reclaim_ns.into()),
+            ("reclaimed_slots", self.reclaimed_slots.into()),
+            ("leaked_slots", self.leaked_slots.into()),
+        ])
+    }
+}
+
 fn document(schema: &str, entries: Vec<Value>) -> Value {
     Value::object([
         ("schema", schema.into()),
@@ -284,6 +336,24 @@ pub fn write_hotpath(entries: &[HotpathEntry]) -> Result<PathBuf, BenchError> {
     );
     validate_bench_hotpath(&doc).map_err(|e| BenchError::Other(format!("hotpath export: {e}")))?;
     write_doc("BENCH_hotpath.json", &doc)
+}
+
+/// Writes `BENCH_ipc.json` and returns its path.
+///
+/// Validated against [`BENCH_IPC_SCHEMA`] before writing; a gate
+/// violation (overhead past the bound, leaked slots, missing reclaim)
+/// fails the run here rather than in CI.
+///
+/// # Errors
+///
+/// Fails on schema violations or I/O errors.
+pub fn write_ipc(entries: &[IpcEntry]) -> Result<PathBuf, BenchError> {
+    let doc = document(
+        BENCH_IPC_SCHEMA,
+        entries.iter().map(IpcEntry::to_value).collect(),
+    );
+    validate_bench_ipc(&doc).map_err(|e| BenchError::Other(format!("ipc export: {e}")))?;
+    write_doc("BENCH_ipc.json", &doc)
 }
 
 #[cfg(test)]

@@ -35,6 +35,7 @@ pub mod apps;
 pub mod experiments;
 pub mod export;
 pub mod hotpath;
+pub mod ipc_bench;
 pub mod latency;
 pub mod mom_bench;
 pub mod noisy_neighbor;

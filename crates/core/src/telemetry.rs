@@ -271,8 +271,9 @@ pub(crate) use glue::{DatapathTel, RuntimeTelemetry, SinkTel};
 pub(crate) mod introspection {
     use crate::runtime::RuntimeInner;
     use crate::InsaneError;
+    use insane_ipc::uds::{bind_guarded, BoundSocket};
     use std::io::{BufRead, BufReader, Write};
-    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::os::unix::net::UnixStream;
     use std::path::PathBuf;
     use std::sync::Weak;
     use std::time::Duration;
@@ -280,36 +281,40 @@ pub(crate) mod introspection {
     /// Binds `path` and spawns the accept-loop thread. The thread
     /// exits when the runtime stops or is dropped, and removes the
     /// socket file on the way out.
+    ///
+    /// Binding goes through the shared guarded UDS lifecycle
+    /// (`insane_ipc::uds`): a stale file left by a crashed process is
+    /// probed and unlinked (never blindly evicted from under a live
+    /// runtime), the file is restricted to `0600`, and the
+    /// [`BoundSocket`] guard removes it on clean shutdown.
     pub(crate) fn spawn(
         weak: Weak<RuntimeInner>,
         path: PathBuf,
     ) -> Result<std::thread::JoinHandle<()>, InsaneError> {
-        // A stale socket file from a previous run would make bind fail.
-        let _ = std::fs::remove_file(&path);
-        let listener = UnixListener::bind(&path).map_err(|e| {
+        let bound = bind_guarded(&path).map_err(|e| {
             InsaneError::Internal(format!(
                 "introspection endpoint bind on {} failed: {e}",
                 path.display()
             ))
         })?;
-        listener.set_nonblocking(true).map_err(|e| {
+        bound.listener().set_nonblocking(true).map_err(|e| {
             InsaneError::Internal(format!("introspection endpoint configuration failed: {e}"))
         })?;
         std::thread::Builder::new()
             .name("insane-introspect".to_string())
-            .spawn(move || accept_loop(weak, listener, path))
+            .spawn(move || accept_loop(weak, bound))
             .map_err(|e| {
                 InsaneError::Internal(format!("failed to spawn introspection thread: {e}"))
             })
     }
 
-    fn accept_loop(weak: Weak<RuntimeInner>, listener: UnixListener, path: PathBuf) {
+    fn accept_loop(weak: Weak<RuntimeInner>, bound: BoundSocket) {
         loop {
             let Some(inner) = weak.upgrade() else { break };
             if inner.is_stopped() {
                 break;
             }
-            match listener.accept() {
+            match bound.listener().accept() {
                 Ok((stream, _)) => serve_one(&inner, stream),
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     drop(inner);
@@ -321,7 +326,7 @@ pub(crate) mod introspection {
                 }
             }
         }
-        let _ = std::fs::remove_file(&path);
+        // `bound` drops here, unlinking the socket file.
     }
 
     fn serve_one(inner: &RuntimeInner, stream: UnixStream) {

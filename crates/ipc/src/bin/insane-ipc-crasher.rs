@@ -1,0 +1,63 @@
+//! Test/bench helper: a client that attaches, checks slots out, and
+//! then either waits to be `kill -9`ed (`hold` mode) or aborts itself
+//! (`abort` mode) — exercising the daemon's crash-reclaim path.
+//!
+//! ```text
+//! insane-ipc-crasher <socket> <hold|abort> <slots>
+//! ```
+//!
+//! Prints `crasher ready in_use=<n>` once the slots are checked out so
+//! the parent knows when to strike.
+
+use insane_ipc::{IpcClient, IpcError};
+
+fn main() {
+    match run() {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("insane-ipc-crasher: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run() -> Result<(), IpcError> {
+    let mut args = std::env::args().skip(1);
+    let socket = args.next().ok_or_else(|| {
+        IpcError::Protocol("usage: insane-ipc-crasher <socket> <hold|abort> <slots>".into())
+    })?;
+    let mode = args.next().unwrap_or_else(|| "hold".into());
+    let slots: usize = args.next().and_then(|n| n.parse().ok()).unwrap_or(8);
+
+    let mut client = IpcClient::attach(std::path::Path::new(&socket), "crasher", "fast")?;
+    let stream = client.create_stream("doomed")?;
+
+    // Check out `slots` slots the daemon will have to force-reclaim:
+    // half stay as local guards (a crashed process's working set), half
+    // are emitted so descriptors are also in flight in the rings.
+    let mut held = Vec::new();
+    for i in 0..slots {
+        let mut guard = client.lend(8)?;
+        guard.copy_from_slice(&(i as u64).to_le_bytes());
+        if i % 2 == 0 {
+            if let Err(guard) = client.emit(stream, guard) {
+                held.push(guard);
+            }
+        } else {
+            held.push(guard);
+        }
+    }
+
+    println!("crasher ready in_use={}", client.pool().stats().in_use);
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+
+    if mode == "abort" {
+        // Die without running a single destructor.
+        std::process::abort();
+    }
+    // `hold`: wait for SIGKILL.  No destructor will run then either.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,79 @@
+//! `insaned` — the per-host INSANE runtime daemon.
+//!
+//! Applications link `insane-ipc`'s client library and attach over the
+//! Unix control socket; the daemon owns every session's shared segment
+//! and runs the datapath.  See README "Running as a daemon".
+//!
+//! ```text
+//! insaned [--socket PATH] [--slot-size N] [--slots N] [--ring N]
+//!         [--hb-timeout-ms N]
+//! ```
+
+use std::time::Duration;
+
+use insane_ipc::{IpcError, ServerConfig};
+
+fn main() {
+    match run() {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("insaned: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn parse_args(mut config: ServerConfig) -> Result<ServerConfig, IpcError> {
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| -> Result<String, IpcError> {
+            args.next()
+                .ok_or_else(|| IpcError::Protocol(format!("{what} needs a value")))
+        };
+        match flag.as_str() {
+            "--socket" => config.socket = value("--socket")?.into(),
+            "--slot-size" => {
+                config.slot_size = parse_num(&value("--slot-size")?, "--slot-size")?;
+            }
+            "--slots" => config.slot_count = parse_num(&value("--slots")?, "--slots")?,
+            "--ring" => config.ring_capacity = parse_num(&value("--ring")?, "--ring")?,
+            "--hb-timeout-ms" => {
+                config.hb_timeout = Duration::from_millis(parse_num(
+                    &value("--hb-timeout-ms")?,
+                    "--hb-timeout-ms",
+                )? as u64);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: insaned [--socket PATH] [--slot-size N] [--slots N] \
+                     [--ring N] [--hb-timeout-ms N]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                return Err(IpcError::Protocol(format!("unknown flag: {other}")));
+            }
+        }
+    }
+    Ok(config)
+}
+
+fn parse_num(text: &str, what: &str) -> Result<usize, IpcError> {
+    text.parse()
+        .map_err(|_| IpcError::Protocol(format!("{what}: not a number: {text}")))
+}
+
+fn run() -> Result<(), IpcError> {
+    let config = parse_args(ServerConfig::new("/tmp/insaned.sock"))?;
+    let server = insane_ipc::IpcServer::start(config)?;
+    // The ready line is the spawn contract: tests and the bench wait
+    // for it before connecting.
+    println!("insaned listening on {}", server.socket_path().display());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    while !server.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    server.shutdown();
+    Ok(())
+}

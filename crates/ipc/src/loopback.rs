@@ -1,0 +1,213 @@
+//! The in-process twin of a daemon session: the same segment-backed
+//! pool, the same offset-addressed descriptor rings, the same forwarder
+//! loop — minus the OS process boundary.
+//!
+//! This is the control arm of the process-split experiment
+//! (`BENCH_ipc.json`): a round trip through [`InProcessLoop`] crosses
+//! every structure a daemon round trip crosses, so the difference
+//! between the two is exactly what the process boundary costs.  It is
+//! also a convenient harness for exercising the datapath structures
+//! without spawning a daemon.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use insane_memory::{PoolConfig, Segment, SlotGuard, SlotPool, SlotToken, SlotView};
+use insane_queues::{ring_bytes, Descriptor, ShmConsumer, ShmProducer};
+
+use crate::IpcError;
+
+/// The daemon datapath's burst size, mirrored by the forwarder.
+const BURST: usize = 64;
+/// The daemon datapath's idle sleep, mirrored by the forwarder.
+const IDLE_SLEEP: Duration = Duration::from_micros(200);
+
+/// A complete client↔runtime datapath inside one process: heap segment,
+/// pool, TX/RX descriptor rings, and a forwarder thread running the
+/// daemon's loop (bursts, pending holdover, idle sleep).
+///
+/// The API mirrors [`crate::IpcClient`]'s hot path — `lend → emit` /
+/// `try_recv → drop` — so a benchmark can drive both with the same
+/// code.
+pub struct InProcessLoop {
+    pool: SlotPool,
+    tx: ShmProducer,
+    rx: ShmConsumer,
+    stop: Arc<AtomicBool>,
+    forwarder: Option<std::thread::JoinHandle<()>>,
+}
+
+impl core::fmt::Debug for InProcessLoop {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("InProcessLoop")
+            .field("pool", &self.pool)
+            .finish()
+    }
+}
+
+impl InProcessLoop {
+    /// Builds the loop: segment, pool, rings, forwarder thread.
+    ///
+    /// # Errors
+    ///
+    /// [`IpcError::Memory`] if the pool configuration is rejected,
+    /// [`IpcError::Io`] if the forwarder thread cannot spawn.
+    pub fn new(
+        slot_size: usize,
+        slot_count: usize,
+        ring_capacity: usize,
+    ) -> Result<Self, IpcError> {
+        let config = PoolConfig::new(u16::MAX, slot_size, slot_count);
+        let pool_len = SlotPool::required_segment_len(&config)?;
+        let ring_len = (ring_bytes(ring_capacity) + 63) & !63;
+        let tx_off = pool_len;
+        let rx_off = pool_len + ring_len;
+        let segment = Segment::heap(rx_off + ring_len);
+        let pool = SlotPool::create_in_segment(config, segment.slice(0, pool_len)?)?;
+
+        let keep: Arc<dyn core::any::Any + Send + Sync> = Arc::new(segment.clone());
+        // SAFETY: both ring regions lie inside the zero-initialized heap
+        // segment at 64-aligned offsets, the `keep` Arc pins the
+        // backing, and each of the four endpoints below is the unique
+        // owner of its side (client side stays here, forwarder side
+        // moves into the thread).
+        let (tx, fwd_in, fwd_out, rx) = unsafe {
+            (
+                ShmProducer::attach(
+                    segment.base_ptr().add(tx_off),
+                    ring_capacity,
+                    Some(Arc::clone(&keep)),
+                ),
+                ShmConsumer::attach(
+                    segment.base_ptr().add(tx_off),
+                    ring_capacity,
+                    Some(Arc::clone(&keep)),
+                ),
+                ShmProducer::attach(
+                    segment.base_ptr().add(rx_off),
+                    ring_capacity,
+                    Some(Arc::clone(&keep)),
+                ),
+                ShmConsumer::attach(segment.base_ptr().add(rx_off), ring_capacity, Some(keep)),
+            )
+        };
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_fwd = Arc::clone(&stop);
+        let forwarder = std::thread::Builder::new()
+            .name("insane-loopback".into())
+            .spawn(move || forward(&fwd_in, &fwd_out, &stop_fwd))?;
+        Ok(Self {
+            pool,
+            tx,
+            rx,
+            stop,
+            forwarder: Some(forwarder),
+        })
+    }
+
+    /// The loop's slot pool (for stats reconciliation).
+    pub fn pool(&self) -> &SlotPool {
+        &self.pool
+    }
+
+    /// Lends a slot for a `len`-byte message.
+    ///
+    /// # Errors
+    ///
+    /// [`IpcError::Memory`] on exhaustion.
+    pub fn lend(&self, len: usize) -> Result<SlotGuard, IpcError> {
+        Ok(self.pool.acquire(len)?)
+    }
+
+    /// Emits a filled slot; the forwarder routes it back to `try_recv`.
+    /// On a full ring the guard is handed back untouched.
+    pub fn emit(&self, guard: SlotGuard) -> Result<(), SlotGuard> {
+        let (word0, word1) = guard.token().to_wire();
+        match self.tx.push([word0, word1]) {
+            Ok(()) => {
+                // insane-lint: allow(slot-token-drop) -- ownership transferred to the in-flight descriptor pushed above
+                let _ = guard.into_token();
+                Ok(())
+            }
+            Err(_) => Err(guard),
+        }
+    }
+
+    /// Polls for the next forwarded message.
+    pub fn try_recv(&self) -> Option<SlotView> {
+        let [word0, word1] = self.rx.pop()?;
+        let token = SlotToken::from_wire(self.pool.pool_id(), word0, word1);
+        self.pool.view(token).ok()
+    }
+}
+
+impl Drop for InProcessLoop {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.forwarder.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The daemon's datapath loop verbatim: drain in bursts, hold one
+/// descriptor across a full output ring, sleep when idle.
+fn forward(input: &ShmConsumer, output: &ShmProducer, stop: &AtomicBool) {
+    let mut pending: Option<Descriptor> = None;
+    loop {
+        let mut moved = false;
+        for _ in 0..BURST {
+            let Some(desc) = pending.take().or_else(|| input.pop()) else {
+                break;
+            };
+            match output.push(desc) {
+                Ok(()) => moved = true,
+                Err(desc) => {
+                    pending = Some(desc);
+                    break;
+                }
+            }
+        }
+        if !moved {
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            std::thread::sleep(IDLE_SLEEP);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_round_trips_in_order() {
+        let lb = InProcessLoop::new(256, 32, 16).unwrap();
+        for i in 0u64..500 {
+            let mut guard = lb.lend(8).unwrap();
+            guard.copy_from_slice(&i.to_le_bytes());
+            assert!(lb.emit(guard).is_ok());
+            let view = loop {
+                if let Some(view) = lb.try_recv() {
+                    break view;
+                }
+                std::thread::yield_now();
+            };
+            let mut seq = [0u8; 8];
+            seq.copy_from_slice(&view[..8]);
+            assert_eq!(u64::from_le_bytes(seq), i);
+        }
+        assert_eq!(lb.pool().stats().in_use, 0);
+    }
+
+    #[test]
+    fn drop_joins_the_forwarder() {
+        let lb = InProcessLoop::new(256, 8, 8).unwrap();
+        let guard = lb.lend(4).unwrap();
+        assert!(lb.emit(guard).is_ok());
+        drop(lb); // must not hang even with a descriptor in flight
+    }
+}

@@ -1,0 +1,630 @@
+//! The runtime daemon: control-plane accept/session threads plus the
+//! single datapath thread that owns every session's ring endpoints.
+//!
+//! Threading model (one daemon process):
+//!
+//! * **accept thread** — non-blocking accept loop on the control
+//!   socket; spawns one control thread per connection.
+//! * **control threads** — speak [`proto`](crate::proto) with one
+//!   client each: build the session segment on `attach`, answer
+//!   heartbeats and stream ops, and detect death (EOF on `kill -9`,
+//!   or a heartbeat gap past the configured timeout).  Death is
+//!   *signaled* here but *executed* on the datapath thread, which is
+//!   the only owner of the session's ring endpoints.
+//! * **datapath thread** — polls every live session's TX ring and
+//!   routes descriptors to the session's RX ring (the reproduction's
+//!   loopback fabric), 64-descriptor bursts, no allocation, no locks on
+//!   the per-descriptor path.  When a session is marked dead it drains
+//!   the TX ring, drops the endpoints (ring revocation), force-reclaims
+//!   the session pool via the generation word, and records how long
+//!   death-to-reclaim took.
+//!
+//! Sessions are fully isolated: one segment, one pool, one ring pair
+//! per session, so a crashing client can only ever leak — and have
+//! reclaimed — its own slots.
+
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use insane_memory::{PoolConfig, SlotPool};
+use insane_queues::{ring_bytes, ShmConsumer, ShmProducer};
+use parking_lot::Mutex;
+
+use crate::proto::{AttachAck, LineBuf, PROTO_VERSION};
+use crate::uds::{bind_guarded, BoundSocket};
+use crate::{shm, sys, IpcError};
+
+/// Construction parameters for an [`IpcServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Control-socket path.
+    pub socket: PathBuf,
+    /// Slot size of each session pool, bytes.
+    pub slot_size: usize,
+    /// Slot count of each session pool.
+    pub slot_count: usize,
+    /// Capacity of each descriptor ring (power of two).
+    pub ring_capacity: usize,
+    /// Declare a session dead after this long without control traffic.
+    pub hb_timeout: Duration,
+}
+
+impl ServerConfig {
+    /// A config serving `socket` with the default session shape
+    /// (2048-byte slots × 256, 64-deep rings, 10 s heartbeat timeout).
+    pub fn new(socket: impl Into<PathBuf>) -> Self {
+        Self {
+            socket: socket.into(),
+            slot_size: 2048,
+            slot_count: 256,
+            ring_capacity: 64,
+            hb_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Daemon-global counters, exported by the `stats` control op.
+#[derive(Debug, Default)]
+struct ServerStats {
+    attaches: AtomicU64,
+    sessions: AtomicU64,
+    forwarded: AtomicU64,
+    reclaims: AtomicU64,
+    reclaimed_slots: AtomicU64,
+    leaked_slots: AtomicU64,
+    last_reclaim_ns: AtomicU64,
+    hb_timeouts: AtomicU64,
+}
+
+/// A point-in-time copy of the daemon counters (what clients parse out
+/// of the `stats` response line).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStatsSnapshot {
+    /// Currently attached sessions.
+    pub sessions: u64,
+    /// Total successful attaches since start.
+    pub attaches: u64,
+    /// Descriptors forwarded on the datapath.
+    pub forwarded: u64,
+    /// Crash-reclaim events executed.
+    pub reclaims: u64,
+    /// Slots force-reclaimed across all crash events.
+    pub reclaimed_slots: u64,
+    /// Slots still checked out *after* a force-reclaim (must stay 0).
+    pub leaked_slots: u64,
+    /// Duration of the most recent death-to-reclaim, nanoseconds.
+    pub last_reclaim_ns: u64,
+    /// Sessions declared dead by heartbeat timeout (vs hangup).
+    pub hb_timeouts: u64,
+    /// Slots currently checked out, summed over live session pools.
+    pub in_use: u64,
+}
+
+impl ServerStatsSnapshot {
+    /// Parses the `ok stats k=v …` response line.
+    ///
+    /// # Errors
+    ///
+    /// [`IpcError::Protocol`] if the line is not a stats response.
+    pub fn parse(line: &str) -> Result<Self, IpcError> {
+        let mut words = line.split_ascii_whitespace();
+        if words.next() != Some("ok") || words.next() != Some("stats") {
+            return Err(IpcError::Protocol(format!("not a stats line: {line:?}")));
+        }
+        let mut snap = Self::default();
+        for word in words {
+            let Some((key, value)) = word.split_once('=') else {
+                continue;
+            };
+            let Ok(value) = value.parse::<u64>() else {
+                continue;
+            };
+            match key {
+                "sessions" => snap.sessions = value,
+                "attaches" => snap.attaches = value,
+                "forwarded" => snap.forwarded = value,
+                "reclaims" => snap.reclaims = value,
+                "reclaimed_slots" => snap.reclaimed_slots = value,
+                "leaked_slots" => snap.leaked_slots = value,
+                "last_reclaim_ns" => snap.last_reclaim_ns = value,
+                "hb_timeouts" => snap.hb_timeouts = value,
+                "in_use" => snap.in_use = value,
+                _ => {}
+            }
+        }
+        Ok(snap)
+    }
+
+    fn to_line(self) -> String {
+        format!(
+            "ok stats sessions={} attaches={} forwarded={} reclaims={} reclaimed_slots={} \
+             leaked_slots={} last_reclaim_ns={} hb_timeouts={} in_use={}",
+            self.sessions,
+            self.attaches,
+            self.forwarded,
+            self.reclaims,
+            self.reclaimed_slots,
+            self.leaked_slots,
+            self.last_reclaim_ns,
+            self.hb_timeouts,
+            self.in_use
+        )
+    }
+}
+
+/// Control-plane view of one session, shared between the session's
+/// control thread (writer of the death signal) and the datapath thread
+/// (executor of the reclaim).
+struct SessionShared {
+    id: u64,
+    alive: AtomicBool,
+    /// Graceful detach vs crash: decides whether the reclaim counts
+    /// toward the crash metrics.
+    graceful: AtomicBool,
+    /// Stamped by the control thread the moment death is detected, read
+    /// by the datapath thread after the reclaim to compute
+    /// `last_reclaim_ns`.
+    died_at: Mutex<Option<Instant>>,
+    next_stream: AtomicU32,
+    pool: SlotPool,
+}
+
+impl SessionShared {
+    fn mark_dead(&self, graceful: bool) {
+        self.graceful.store(graceful, Ordering::Relaxed);
+        *self.died_at.lock() = Some(Instant::now());
+        self.alive.store(false, Ordering::Release);
+    }
+}
+
+/// Datapath-thread ownership of one session: the ring endpoints (which
+/// are single-owner by the SPSC contract) plus a one-descriptor holdover
+/// for RX back-pressure.
+struct DatapathSession {
+    shared: Arc<SessionShared>,
+    tx: ShmConsumer,
+    rx: ShmProducer,
+    pending: Option<[u64; 2]>,
+}
+
+struct ServerState {
+    config: ServerConfig,
+    stats: ServerStats,
+    sessions: Mutex<Vec<Arc<SessionShared>>>,
+    next_session: AtomicU64,
+    shutdown: AtomicBool,
+    shutdown_requested: AtomicBool,
+}
+
+impl ServerState {
+    fn snapshot(&self) -> ServerStatsSnapshot {
+        let in_use: u64 = self
+            .sessions
+            .lock()
+            .iter()
+            .map(|s| s.pool.stats().in_use as u64)
+            .sum();
+        ServerStatsSnapshot {
+            sessions: self.stats.sessions.load(Ordering::Relaxed),
+            attaches: self.stats.attaches.load(Ordering::Relaxed),
+            forwarded: self.stats.forwarded.load(Ordering::Relaxed),
+            reclaims: self.stats.reclaims.load(Ordering::Relaxed),
+            reclaimed_slots: self.stats.reclaimed_slots.load(Ordering::Relaxed),
+            leaked_slots: self.stats.leaked_slots.load(Ordering::Relaxed),
+            last_reclaim_ns: self.stats.last_reclaim_ns.load(Ordering::Relaxed),
+            hb_timeouts: self.stats.hb_timeouts.load(Ordering::Relaxed),
+            in_use,
+        }
+    }
+}
+
+/// The INSANE runtime daemon: binds the control socket, serves attach
+/// sessions, runs the shared-memory datapath.
+pub struct IpcServer {
+    state: Arc<ServerState>,
+    bound: Option<BoundSocket>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    datapath: Option<std::thread::JoinHandle<()>>,
+}
+
+impl core::fmt::Debug for IpcServer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("IpcServer")
+            .field("socket", &self.state.config.socket)
+            .field("stats", &self.state.snapshot())
+            .finish()
+    }
+}
+
+impl IpcServer {
+    /// Binds the control socket (recovering stale files, refusing a live
+    /// daemon) and starts the accept and datapath threads.
+    ///
+    /// # Errors
+    ///
+    /// [`IpcError::AlreadyRunning`] or [`IpcError::Io`] from the bind.
+    pub fn start(config: ServerConfig) -> Result<Self, IpcError> {
+        if !config.ring_capacity.is_power_of_two() || config.ring_capacity == 0 {
+            return Err(IpcError::Protocol(
+                "ring_capacity must be a power of two".into(),
+            ));
+        }
+        let bound = bind_guarded(&config.socket)?;
+        bound.listener().set_nonblocking(true)?;
+        let listener = bound.listener().try_clone()?;
+        let state = Arc::new(ServerState {
+            config,
+            stats: ServerStats::default(),
+            sessions: Mutex::new(Vec::new()),
+            next_session: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            shutdown_requested: AtomicBool::new(false),
+        });
+        let (dp_tx, dp_rx) = mpsc::channel::<DatapathSession>();
+
+        let accept_state = Arc::clone(&state);
+        let accept = std::thread::spawn(move || {
+            while !accept_state.shutdown.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let conn_state = Arc::clone(&accept_state);
+                        let conn_dp = dp_tx.clone();
+                        std::thread::spawn(move || serve_conn(stream, conn_state, conn_dp));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+
+        let dp_state = Arc::clone(&state);
+        let datapath = std::thread::spawn(move || run_datapath(dp_state, dp_rx));
+
+        Ok(Self {
+            state,
+            bound: Some(bound),
+            accept: Some(accept),
+            datapath: Some(datapath),
+        })
+    }
+
+    /// Path of the control socket.
+    pub fn socket_path(&self) -> PathBuf {
+        self.state.config.socket.clone()
+    }
+
+    /// Current daemon counters.
+    pub fn stats(&self) -> ServerStatsSnapshot {
+        self.state.snapshot()
+    }
+
+    /// Whether a client asked the daemon to exit (the `shutdown` op).
+    pub fn shutdown_requested(&self) -> bool {
+        self.state.shutdown_requested.load(Ordering::Relaxed)
+    }
+
+    /// Stops all threads and removes the socket file.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.state.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.datapath.take() {
+            let _ = h.join();
+        }
+        // Dropping the guard unlinks the socket file (clean shutdown).
+        self.bound = None;
+    }
+}
+
+impl Drop for IpcServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Writes one response line, ignoring failures (a peer that hung up
+/// mid-response is handled by the next read).
+fn say(stream: &mut UnixStream, line: &str) {
+    use std::io::Write;
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.write_all(b"\n");
+}
+
+/// One control connection, start to finish.
+fn serve_conn(
+    mut stream: UnixStream,
+    state: Arc<ServerState>,
+    dp_tx: mpsc::Sender<DatapathSession>,
+) {
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .is_err()
+    {
+        return;
+    }
+    let mut lines = LineBuf::new();
+    let mut session: Option<Arc<SessionShared>> = None;
+    let mut last_seen = Instant::now();
+    let outcome = loop {
+        if state.shutdown.load(Ordering::Relaxed) {
+            break ConnEnd::ServerExit;
+        }
+        let line = match lines.read_line(&mut stream) {
+            Ok(Some(line)) => line,
+            Ok(None) => break ConnEnd::Hangup,
+            Err(IpcError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if session.is_some() && last_seen.elapsed() > state.config.hb_timeout {
+                    state.stats.hb_timeouts.fetch_add(1, Ordering::Relaxed);
+                    break ConnEnd::Hangup;
+                }
+                continue;
+            }
+            Err(_) => break ConnEnd::Hangup,
+        };
+        last_seen = Instant::now();
+        let mut words = line.split_ascii_whitespace();
+        match words.next() {
+            Some("attach") => {
+                if words.next() != Some(PROTO_VERSION) {
+                    say(&mut stream, "err protocol version mismatch");
+                    continue;
+                }
+                if session.is_some() {
+                    say(&mut stream, "err session already attached");
+                    continue;
+                }
+                match open_session(&state, &dp_tx, &mut stream) {
+                    Ok(shared) => session = Some(shared),
+                    Err(e) => say(&mut stream, &format!("err attach failed: {e}")),
+                }
+            }
+            Some("stream-create") => match &session {
+                Some(s) => {
+                    let id = s.next_stream.fetch_add(1, Ordering::Relaxed);
+                    say(&mut stream, &format!("ok stream {id}"));
+                }
+                None => say(&mut stream, "err not attached"),
+            },
+            Some("stream-destroy") => match &session {
+                Some(_) => say(&mut stream, "ok"),
+                None => say(&mut stream, "err not attached"),
+            },
+            Some("hb") => say(&mut stream, "ok"),
+            Some("probe") => say(&mut stream, &format!("ok probe {PROTO_VERSION}")),
+            Some("stats") => {
+                let line = state.snapshot().to_line();
+                say(&mut stream, &line);
+            }
+            Some("shutdown") => {
+                state.shutdown_requested.store(true, Ordering::Relaxed);
+                say(&mut stream, "ok");
+            }
+            Some("detach") => {
+                say(&mut stream, "ok");
+                break ConnEnd::Detach;
+            }
+            _ => say(&mut stream, "err unknown op"),
+        }
+    };
+    if let Some(shared) = session {
+        shared.mark_dead(matches!(outcome, ConnEnd::Detach));
+    }
+}
+
+enum ConnEnd {
+    /// Clean `detach`.
+    Detach,
+    /// EOF, heartbeat timeout, or a protocol failure: treat as a crash.
+    Hangup,
+    /// The daemon itself is exiting.
+    ServerExit,
+}
+
+/// Builds one session: segment file, mapping, pool, rings; hands the
+/// ring endpoints to the datapath and the fd to the client.
+fn open_session(
+    state: &Arc<ServerState>,
+    dp_tx: &mpsc::Sender<DatapathSession>,
+    stream: &mut UnixStream,
+) -> Result<Arc<SessionShared>, IpcError> {
+    let config = &state.config;
+    let id = state.next_session.fetch_add(1, Ordering::Relaxed) + 1;
+    let pool_config = PoolConfig::new(id as u16, config.slot_size, config.slot_count);
+    let pool_len = SlotPool::required_segment_len(&pool_config)?;
+    let ring_len = (ring_bytes(config.ring_capacity) + 63) & !63;
+    let tx_off = pool_len;
+    let rx_off = pool_len + ring_len;
+    let seg_len = rx_off + ring_len;
+
+    let file = shm::create_segment_file(seg_len)?;
+    let segment = shm::map_segment(&file, seg_len)?;
+    let pool = SlotPool::create_in_segment(pool_config, segment.slice(0, pool_len)?)?;
+    let keep: Arc<dyn core::any::Any + Send + Sync> = Arc::new(segment.clone());
+    // SAFETY: `tx_off`/`rx_off` + `ring_bytes(capacity)` lie inside the
+    // freshly mapped `seg_len` bytes (computed above), the fresh tmpfs
+    // pages are zero, the `keep` Arc pins the mapping, and this daemon
+    // attaches exactly one consumer (TX) and one producer (RX) — the
+    // client holds the opposite ends.
+    let (tx, rx) = unsafe {
+        (
+            ShmConsumer::attach(
+                segment.base_ptr().add(tx_off),
+                config.ring_capacity,
+                Some(Arc::clone(&keep)),
+            ),
+            ShmProducer::attach(
+                segment.base_ptr().add(rx_off),
+                config.ring_capacity,
+                Some(keep),
+            ),
+        )
+    };
+
+    let shared = Arc::new(SessionShared {
+        id,
+        alive: AtomicBool::new(true),
+        graceful: AtomicBool::new(false),
+        died_at: Mutex::new(None),
+        next_stream: AtomicU32::new(0),
+        pool: pool.clone(),
+    });
+    dp_tx
+        .send(DatapathSession {
+            shared: Arc::clone(&shared),
+            tx,
+            rx,
+            pending: None,
+        })
+        .map_err(|_| IpcError::SessionDead)?;
+    state.sessions.lock().push(Arc::clone(&shared));
+    state.stats.attaches.fetch_add(1, Ordering::Relaxed);
+    state.stats.sessions.fetch_add(1, Ordering::Relaxed);
+
+    let ack = AttachAck {
+        session: id,
+        slot_size: config.slot_size,
+        slot_count: config.slot_count,
+        ring_capacity: config.ring_capacity,
+        pool_off: 0,
+        tx_off,
+        rx_off,
+        seg_len,
+    };
+    let line = format!("{}\n", ack.to_line());
+    sys::send_with_fd(stream.as_raw_fd(), line.as_bytes(), file.as_raw_fd())?;
+    Ok(shared)
+}
+
+/// Descriptors moved per session per poll iteration.
+const BURST: usize = 64;
+
+// insane-lint: hot-path-root
+fn run_datapath(state: Arc<ServerState>, dp_rx: mpsc::Receiver<DatapathSession>) {
+    let mut sessions: Vec<DatapathSession> = Vec::new();
+    loop {
+        while let Ok(s) = dp_rx.try_recv() {
+            // insane-lint: allow(hot-path-alloc) -- grows once per session attach (control-plane rate), not per message
+            sessions.push(s);
+        }
+        let mut progressed = false;
+        let mut index = 0;
+        while index < sessions.len() {
+            // insane-lint: allow(hot-path-panic) -- `index < sessions.len()` is the loop condition
+            let session = &mut sessions[index];
+            if !session.shared.alive.load(Ordering::Acquire) {
+                let dead = sessions.swap_remove(index);
+                reclaim_session(&state, dead);
+                progressed = true;
+                continue;
+            }
+            for _ in 0..BURST {
+                let descriptor = match session.pending.take().or_else(|| session.tx.pop()) {
+                    Some(d) => d,
+                    None => break,
+                };
+                // insane-lint: allow(hot-path-alloc) -- ShmProducer::push writes a fixed-capacity shared ring; it never allocates
+                match session.rx.push(descriptor) {
+                    Ok(()) => {
+                        state.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                        progressed = true;
+                    }
+                    Err(held) => {
+                        // RX back-pressure: hold the descriptor, retry
+                        // next iteration.  Nothing is dropped.
+                        session.pending = Some(held);
+                        break;
+                    }
+                }
+            }
+            index += 1;
+        }
+        if state.shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        if !progressed {
+            // insane-lint: allow(hot-path-block) -- this IS the idle loop: every ring was empty this iteration
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+/// Executes a session's death: drain + revoke rings, force-reclaim the
+/// pool, record metrics, unregister.
+fn reclaim_session(state: &Arc<ServerState>, session: DatapathSession) {
+    let DatapathSession { shared, tx, rx, .. } = session;
+    // Drain descriptors still in flight; their checkouts die with the
+    // generation bump below.
+    while tx.pop().is_some() {}
+    // Revoke the rings: dropping the endpoints releases the daemon's
+    // keep-alives on the segment.
+    drop(tx);
+    drop(rx);
+    let reclaimed = shared.pool.force_reclaim();
+    let leaked = shared.pool.stats().in_use;
+    if !shared.graceful.load(Ordering::Relaxed) {
+        state.stats.reclaims.fetch_add(1, Ordering::Relaxed);
+        state
+            .stats
+            .reclaimed_slots
+            .fetch_add(reclaimed as u64, Ordering::Relaxed);
+        state
+            .stats
+            .leaked_slots
+            .fetch_add(leaked as u64, Ordering::Relaxed);
+        // insane-lint: allow(hot-path-block) -- crash-time slow path, runs once per session death
+        if let Some(died_at) = *shared.died_at.lock() {
+            state
+                .stats
+                .last_reclaim_ns
+                .store(died_at.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+    // insane-lint: allow(hot-path-block) -- crash-time slow path, runs once per session death
+    state.sessions.lock().retain(|s| s.id != shared.id);
+    state.stats.sessions.fetch_sub(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_line_round_trips() {
+        let snap = ServerStatsSnapshot {
+            sessions: 2,
+            attaches: 5,
+            forwarded: 1000,
+            reclaims: 1,
+            reclaimed_slots: 3,
+            leaked_slots: 0,
+            last_reclaim_ns: 12345,
+            hb_timeouts: 1,
+            in_use: 7,
+        };
+        assert_eq!(ServerStatsSnapshot::parse(&snap.to_line()).unwrap(), snap);
+    }
+
+    #[test]
+    fn non_power_of_two_ring_is_refused() {
+        let mut config = ServerConfig::new("/tmp/never-bound.sock");
+        config.ring_capacity = 48;
+        assert!(IpcServer::start(config).is_err());
+    }
+}

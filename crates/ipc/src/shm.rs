@@ -1,0 +1,134 @@
+//! Shared-memory segment transport: anonymous `/dev/shm` files mapped
+//! into each participating process and wrapped as
+//! [`insane_memory::Segment`]s.
+//!
+//! The daemon creates one file per session, unlinks it immediately
+//! (anonymous-memfd semantics without relying on `memfd_create`'s
+//! glibc wrapper), sizes it, maps it, and passes the descriptor to the
+//! client in the attach ack via `SCM_RIGHTS`.  Both processes then hold
+//! the same pages at different virtual addresses — which is exactly the
+//! situation the segment/offset discipline in `insane-memory` exists
+//! for.
+
+use std::fs::File;
+use std::io;
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use insane_memory::Segment;
+
+use crate::sys;
+use crate::IpcError;
+
+/// Owner of one `mmap` region; dropping the last [`Segment`] handle
+/// unmaps it.
+struct Mapping {
+    base: *mut u8,
+    len: usize,
+}
+
+// SAFETY: the raw pointer is only used by `Drop`; all byte access goes
+// through the `Segment` protocols.
+unsafe impl Send for Mapping {}
+// SAFETY: as above.
+unsafe impl Sync for Mapping {}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        // SAFETY: `base`/`len` denote the single mapping created in
+        // `map_segment`, and the owning `Segment` is gone.
+        unsafe { sys::unmap(self.base, self.len) };
+    }
+}
+
+static SEGMENT_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Creates an anonymous shared-memory file of `len` bytes.
+///
+/// The file is created `0600` under `/dev/shm` (tmpfs, so "file" means
+/// RAM) with a collision-free name and unlinked before this function
+/// returns: from then on only descriptors reference it, and the kernel
+/// reclaims the pages when the last one closes — no stale segment files
+/// after a crash.
+///
+/// # Errors
+///
+/// I/O errors from creation or sizing.
+pub fn create_segment_file(len: usize) -> io::Result<File> {
+    use std::os::unix::fs::OpenOptionsExt;
+    let seq = SEGMENT_SEQ.fetch_add(1, Ordering::Relaxed);
+    let path =
+        std::path::Path::new("/dev/shm").join(format!("insane-seg-{}-{}", std::process::id(), seq));
+    let file = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create_new(true)
+        .mode(0o600)
+        .open(&path)?;
+    let unlink = std::fs::remove_file(&path);
+    file.set_len(len as u64)?;
+    unlink?;
+    Ok(file)
+}
+
+/// Maps `len` bytes of `file` shared and wraps them as a [`Segment`].
+///
+/// The mapping outlives `file` (the caller may close the descriptor;
+/// the daemon keeps it open only long enough to pass it on) and is
+/// released when the last `Segment` handle drops.
+///
+/// # Errors
+///
+/// [`IpcError::Io`] if the `mmap` fails.
+pub fn map_segment(file: &File, len: usize) -> Result<Segment, IpcError> {
+    let base = sys::map_shared(file.as_raw_fd(), len)?;
+    // SAFETY: `base` points to `len` freshly mapped read-write bytes;
+    // the `Mapping` keep-alive owns them and unmaps on final drop; the
+    // segment is the region's only alias in this process.
+    Ok(unsafe { Segment::from_raw(base, len, Box::new(Mapping { base, len })) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::sync::atomic::Ordering;
+
+    #[test]
+    fn two_mappings_of_one_file_share_bytes() {
+        let file = create_segment_file(8192).unwrap();
+        let a = map_segment(&file, 8192).unwrap();
+        let b = map_segment(&file, 8192).unwrap();
+        assert_ne!(a.base_ptr(), b.base_ptr(), "independent mappings");
+        a.atomic_u64(64).store(0xfeed, Ordering::Release);
+        assert_eq!(b.atomic_u64(64).load(Ordering::Acquire), 0xfeed);
+    }
+
+    #[test]
+    fn segment_file_is_anonymous() {
+        let file = create_segment_file(4096).unwrap();
+        // The path was unlinked at creation; only the fd keeps it alive.
+        let seg = map_segment(&file, 4096).unwrap();
+        drop(file);
+        seg.atomic_u64(0).store(7, Ordering::Relaxed);
+        assert_eq!(seg.atomic_u64(0).load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn pool_created_in_one_mapping_attaches_in_another() {
+        use insane_memory::{PoolConfig, SlotPool};
+        let config = PoolConfig::new(5, 64, 8);
+        let len = SlotPool::required_segment_len(&config).unwrap();
+        let file = create_segment_file(len).unwrap();
+        let creator_map = map_segment(&file, len).unwrap();
+        let attacher_map = map_segment(&file, len).unwrap();
+        let creator = SlotPool::create_in_segment(config, creator_map).unwrap();
+        let attached = SlotPool::attach_segment(attacher_map).unwrap();
+        let mut g = creator.acquire(2).unwrap();
+        g.copy_from_slice(b"hi");
+        let t = g.into_token();
+        let v = attached.view(t).unwrap();
+        assert_eq!(&*v, b"hi");
+        drop(v);
+        assert_eq!(creator.free_slots(), 8);
+    }
+}

@@ -1,0 +1,246 @@
+//! Minimal raw-syscall surface for the IPC layer: `mmap`/`munmap` for
+//! the shared segment and `sendmsg`/`recvmsg` for `SCM_RIGHTS` fd
+//! passing.  The workspace builds offline with no `libc` crate, so the
+//! handful of symbols we need are declared directly against the C
+//! library (Linux 64-bit ABI: x86_64 and aarch64 agree on every struct
+//! used here).
+//!
+//! Everything else socket-shaped goes through `std::os::unix::net`.
+
+use std::io;
+use std::os::fd::RawFd;
+
+#[repr(C)]
+struct IoVec {
+    iov_base: *mut core::ffi::c_void,
+    iov_len: usize,
+}
+
+#[repr(C)]
+struct MsgHdr {
+    msg_name: *mut core::ffi::c_void,
+    msg_namelen: u32,
+    msg_iov: *mut IoVec,
+    msg_iovlen: usize,
+    msg_control: *mut core::ffi::c_void,
+    msg_controllen: usize,
+    msg_flags: i32,
+}
+
+/// `struct cmsghdr` followed inline by its data; `#[repr(C, align(8))]`
+/// keeps the whole buffer at the kernel's required cmsg alignment.
+#[repr(C, align(8))]
+struct CmsgOneFd {
+    cmsg_len: usize,
+    cmsg_level: i32,
+    cmsg_type: i32,
+    fd: RawFd,
+    _pad: [u8; 4],
+}
+
+const SOL_SOCKET: i32 = 1;
+const SCM_RIGHTS: i32 = 1;
+/// `CMSG_LEN(4)`: header (16 bytes on 64-bit) + one fd.
+const CMSG_LEN_ONE_FD: usize = 16 + core::mem::size_of::<RawFd>();
+
+const PROT_READ: i32 = 1;
+const PROT_WRITE: i32 = 2;
+const MAP_SHARED: i32 = 1;
+
+extern "C" {
+    fn mmap(
+        addr: *mut core::ffi::c_void,
+        length: usize,
+        prot: i32,
+        flags: i32,
+        fd: i32,
+        offset: i64,
+    ) -> *mut core::ffi::c_void;
+    fn munmap(addr: *mut core::ffi::c_void, length: usize) -> i32;
+    fn sendmsg(sockfd: i32, msg: *const MsgHdr, flags: i32) -> isize;
+    fn recvmsg(sockfd: i32, msg: *mut MsgHdr, flags: i32) -> isize;
+}
+
+/// Maps `len` bytes of `fd` shared and read-write.
+///
+/// # Errors
+///
+/// The `errno` of a failed `mmap`.
+pub fn map_shared(fd: RawFd, len: usize) -> io::Result<*mut u8> {
+    // SAFETY: plain syscall; a NULL hint lets the kernel pick the
+    // address, and the result is checked before use.
+    let ptr = unsafe {
+        mmap(
+            core::ptr::null_mut(),
+            len,
+            PROT_READ | PROT_WRITE,
+            MAP_SHARED,
+            fd,
+            0,
+        )
+    };
+    if ptr as isize == -1 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(ptr.cast())
+}
+
+/// Unmaps a region previously returned by [`map_shared`].
+///
+/// # Safety
+///
+/// `ptr`/`len` must denote exactly one live mapping, and nothing may
+/// reference its bytes afterwards.
+// SAFETY: callers uphold the `# Safety` contract above.
+pub unsafe fn unmap(ptr: *mut u8, len: usize) {
+    // SAFETY: forwarded caller contract.
+    let _ = unsafe { munmap(ptr.cast(), len) };
+}
+
+/// Sends `bytes` on the (Unix-domain) socket `sock`, attaching `fd` as
+/// an `SCM_RIGHTS` control message, and returns the bytes written.
+///
+/// # Errors
+///
+/// The `errno` of a failed `sendmsg`.
+pub fn send_with_fd(sock: RawFd, bytes: &[u8], fd: RawFd) -> io::Result<usize> {
+    let mut iov = IoVec {
+        iov_base: bytes.as_ptr() as *mut core::ffi::c_void,
+        iov_len: bytes.len(),
+    };
+    let mut cmsg = CmsgOneFd {
+        cmsg_len: CMSG_LEN_ONE_FD,
+        cmsg_level: SOL_SOCKET,
+        cmsg_type: SCM_RIGHTS,
+        fd,
+        _pad: [0; 4],
+    };
+    let msg = MsgHdr {
+        msg_name: core::ptr::null_mut(),
+        msg_namelen: 0,
+        msg_iov: &mut iov,
+        msg_iovlen: 1,
+        msg_control: (&mut cmsg as *mut CmsgOneFd).cast(),
+        msg_controllen: core::mem::size_of::<CmsgOneFd>(),
+        msg_flags: 0,
+    };
+    // SAFETY: every pointer in `msg` refers to live stack/borrowed
+    // memory for the duration of the call.
+    let n = unsafe { sendmsg(sock, &msg, 0) };
+    if n < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(n as usize)
+}
+
+/// Receives into `buf`, also accepting one `SCM_RIGHTS` fd if the peer
+/// attached one.  Returns `(bytes_read, received_fd)`; `bytes_read == 0`
+/// means the peer hung up.
+///
+/// # Errors
+///
+/// The `errno` of a failed `recvmsg`.
+pub fn recv_with_fd(sock: RawFd, buf: &mut [u8]) -> io::Result<(usize, Option<RawFd>)> {
+    let mut iov = IoVec {
+        iov_base: buf.as_mut_ptr().cast(),
+        iov_len: buf.len(),
+    };
+    let mut cmsg = CmsgOneFd {
+        cmsg_len: 0,
+        cmsg_level: 0,
+        cmsg_type: 0,
+        fd: -1,
+        _pad: [0; 4],
+    };
+    let mut msg = MsgHdr {
+        msg_name: core::ptr::null_mut(),
+        msg_namelen: 0,
+        msg_iov: &mut iov,
+        msg_iovlen: 1,
+        msg_control: (&mut cmsg as *mut CmsgOneFd).cast(),
+        msg_controllen: core::mem::size_of::<CmsgOneFd>(),
+        msg_flags: 0,
+    };
+    // SAFETY: as in `send_with_fd`.
+    let n = unsafe { recvmsg(sock, &mut msg, 0) };
+    if n < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    let fd = (msg.msg_controllen >= CMSG_LEN_ONE_FD
+        && cmsg.cmsg_level == SOL_SOCKET
+        && cmsg.cmsg_type == SCM_RIGHTS
+        && cmsg.fd >= 0)
+        .then_some(cmsg.fd);
+    Ok((n as usize, fd))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Seek, SeekFrom, Write};
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn fd_passing_round_trips_a_file() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let mut tmp = tempfile();
+        tmp.write_all(b"through the wormhole").unwrap();
+        tmp.flush().unwrap();
+
+        send_with_fd(a.as_raw_fd(), b"hello\n", tmp.as_raw_fd()).unwrap();
+        let mut buf = [0u8; 64];
+        let (n, fd) = recv_with_fd(b.as_raw_fd(), &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"hello\n");
+        let fd = fd.expect("expected an SCM_RIGHTS fd");
+        assert_ne!(fd, tmp.as_raw_fd(), "receiver gets its own descriptor");
+
+        // SAFETY: `fd` was just received and is owned by no one else.
+        let mut received = unsafe { <std::fs::File as std::os::fd::FromRawFd>::from_raw_fd(fd) };
+        received.seek(SeekFrom::Start(0)).unwrap();
+        let mut text = String::new();
+        received.read_to_string(&mut text).unwrap();
+        assert_eq!(text, "through the wormhole");
+    }
+
+    #[test]
+    fn plain_messages_carry_no_fd() {
+        let (a, mut b) = UnixStream::pair().unwrap();
+        b.write_all(b"no fd here\n").unwrap();
+        let mut buf = [0u8; 64];
+        let (n, fd) = recv_with_fd(a.as_raw_fd(), &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"no fd here\n");
+        assert_eq!(fd, None);
+    }
+
+    #[test]
+    fn map_shared_sees_file_writes() {
+        let mut tmp = tempfile();
+        tmp.set_len(4096).unwrap();
+        tmp.write_all(b"mapped").unwrap();
+        tmp.flush().unwrap();
+        let ptr = map_shared(tmp.as_raw_fd(), 4096).unwrap();
+        // SAFETY: fresh 4096-byte shared mapping, sole reference.
+        let bytes = unsafe { core::slice::from_raw_parts(ptr, 6) };
+        assert_eq!(bytes, b"mapped");
+        // SAFETY: exactly the mapping created above.
+        unsafe { unmap(ptr, 4096) };
+    }
+
+    fn tempfile() -> std::fs::File {
+        let path = std::env::temp_dir().join(format!(
+            "insane-sys-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .unwrap();
+        std::fs::remove_file(&path).unwrap();
+        f
+    }
+}

@@ -1,0 +1,131 @@
+//! Unix-domain socket lifecycle shared by the daemon control socket and
+//! the runtime introspection endpoint (`crates/core`).
+//!
+//! The naive `UnixListener::bind(path)` has two long-standing problems
+//! this module fixes once for both sockets:
+//!
+//! * **Stale files.** A crashed daemon leaves its socket file behind and
+//!   every rebind fails with `AddrInUse`.  Blindly unlinking before bind
+//!   is worse — it silently evicts a *live* daemon.  [`bind_guarded`]
+//!   probes instead: on `AddrInUse` it connects to the path; a refused
+//!   connection proves the file is stale (unlink and rebind), a
+//!   successful one proves a live owner ([`IpcError::AlreadyRunning`]).
+//! * **Permissions.** Session sockets accept attach requests and hand
+//!   out shared-memory descriptors, so the file is chmod'ed `0600`
+//!   before the first accept.
+//!
+//! The returned [`BoundSocket`] removes the file on drop, covering
+//! clean shutdown.
+
+use std::fs;
+use std::os::unix::fs::PermissionsExt;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+
+use crate::IpcError;
+
+/// A bound listener that owns its socket file: the file is created
+/// `0600` and unlinked when the guard drops.
+#[derive(Debug)]
+pub struct BoundSocket {
+    listener: UnixListener,
+    path: PathBuf,
+}
+
+impl BoundSocket {
+    /// The listening socket.
+    pub fn listener(&self) -> &UnixListener {
+        &self.listener
+    }
+
+    /// Path of the socket file this guard owns.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for BoundSocket {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// Binds `path`, recovering from stale socket files left by a crashed
+/// process (probe-then-unlink, never blind unlink) and restricting the
+/// file to `0600`.
+///
+/// # Errors
+///
+/// * [`IpcError::AlreadyRunning`] if a live listener already serves the
+///   path.
+/// * [`IpcError::Io`] for every other bind/probe/chmod failure.
+pub fn bind_guarded(path: &Path) -> Result<BoundSocket, IpcError> {
+    let listener = match UnixListener::bind(path) {
+        Ok(listener) => listener,
+        Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
+            // The file exists.  Probe it: a live owner accepts (or at
+            // least does not refuse); a stale file refuses the connect.
+            match UnixStream::connect(path) {
+                Ok(_) => return Err(IpcError::AlreadyRunning),
+                Err(probe) if probe.kind() == std::io::ErrorKind::ConnectionRefused => {
+                    fs::remove_file(path)?;
+                    UnixListener::bind(path)?
+                }
+                Err(probe) => return Err(IpcError::Io(probe)),
+            }
+        }
+        Err(e) => return Err(IpcError::Io(e)),
+    };
+    fs::set_permissions(path, fs::Permissions::from_mode(0o600))?;
+    Ok(BoundSocket {
+        listener,
+        path: path.to_path_buf(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("insane-uds-{}-{name}.sock", std::process::id()))
+    }
+
+    #[test]
+    fn bind_creates_a_private_socket_and_cleans_up() {
+        let path = scratch("clean");
+        let _ = fs::remove_file(&path);
+        let bound = bind_guarded(&path).unwrap();
+        let mode = fs::metadata(&path).unwrap().permissions().mode();
+        assert_eq!(mode & 0o777, 0o600, "socket must be private");
+        drop(bound);
+        assert!(!path.exists(), "clean shutdown removes the file");
+    }
+
+    #[test]
+    fn stale_socket_file_is_unlinked_and_rebound() {
+        let path = scratch("stale");
+        let _ = fs::remove_file(&path);
+        // Simulate a crashed daemon: bind, then leak the file by
+        // dropping the listener without the guard's cleanup.
+        let dead = UnixListener::bind(&path).unwrap();
+        drop(dead);
+        assert!(path.exists(), "precondition: stale file left behind");
+        let bound = bind_guarded(&path).unwrap();
+        // And the recovered socket actually accepts.
+        bound.listener().set_nonblocking(true).unwrap();
+        let _client = UnixStream::connect(&path).unwrap();
+        drop(bound);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn live_socket_is_not_evicted() {
+        let path = scratch("live");
+        let _ = fs::remove_file(&path);
+        let first = bind_guarded(&path).unwrap();
+        assert!(matches!(bind_guarded(&path), Err(IpcError::AlreadyRunning)));
+        assert!(path.exists(), "the live owner keeps its socket");
+        drop(first);
+    }
+}

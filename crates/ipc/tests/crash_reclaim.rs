@@ -1,0 +1,125 @@
+//! Crash isolation e2e: `kill -9` a client mid-stream and prove the
+//! daemon (a) force-reclaims every slot the corpse held, and (b) never
+//! disturbs a concurrent session, which keeps streaming in order
+//! throughout.
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use insane_ipc::IpcClient;
+
+/// Spawns `insaned` on a unique socket and waits for its ready line.
+fn spawn_daemon(tag: &str) -> (Child, PathBuf) {
+    let socket =
+        std::env::temp_dir().join(format!("insane-crash-{tag}-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_insaned"))
+        .args(["--socket"])
+        .arg(&socket)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn insaned");
+    let stdout = child.stdout.take().expect("daemon stdout");
+    let mut ready = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut ready)
+        .expect("daemon ready line");
+    assert!(ready.starts_with("insaned listening on"));
+    (child, socket)
+}
+
+const CRASHER_SLOTS: usize = 12;
+
+#[test]
+fn killing_a_client_reclaims_its_slots_and_spares_its_neighbor() {
+    let (mut daemon, socket) = spawn_daemon("kill9");
+
+    // The survivor attaches first and starts streaming.
+    let mut survivor = IpcClient::attach(&socket, "survivor", "fast").expect("attach survivor");
+    let stream = survivor.create_stream("steady").expect("stream");
+
+    // The victim: checks out CRASHER_SLOTS slots (half held, half
+    // in-flight) and then waits for SIGKILL.
+    let mut crasher = Command::new(env!("CARGO_BIN_EXE_insane-ipc-crasher"))
+        .arg(&socket)
+        .arg("hold")
+        .arg(CRASHER_SLOTS.to_string())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn crasher");
+    let crasher_out = crasher.stdout.take().expect("crasher stdout");
+    let mut ready = String::new();
+    BufReader::new(crasher_out)
+        .read_line(&mut ready)
+        .expect("crasher ready line");
+    assert!(
+        ready.starts_with("crasher ready in_use="),
+        "unexpected crasher line: {ready:?}"
+    );
+
+    // Pump the survivor both before and after the kill; every message
+    // must come back in order, unaffected by the neighbor's death.
+    let mut next_seq: u64 = 0;
+    let mut pump = |client: &mut IpcClient, n: u64| {
+        let start = next_seq;
+        while next_seq < start + n {
+            let mut guard = client.lend(8).expect("survivor lend");
+            guard.copy_from_slice(&next_seq.to_le_bytes());
+            client.emit(stream, guard).expect("survivor emit");
+            loop {
+                if let Some((got_stream, view)) = client.try_recv() {
+                    assert_eq!(got_stream, stream);
+                    let mut seq = [0u8; 8];
+                    seq.copy_from_slice(&view[..8]);
+                    assert_eq!(u64::from_le_bytes(seq), next_seq, "survivor lost order");
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            next_seq += 1;
+        }
+    };
+    pump(&mut survivor, 500);
+
+    // SIGKILL: no destructor runs in the victim, its control socket
+    // closes from the kernel side, and the daemon must notice.
+    crasher.kill().expect("kill -9 crasher");
+    crasher.wait().expect("reap crasher");
+
+    // Keep the survivor streaming while the daemon detects the death
+    // and reclaims; poll the daemon's counters until it reports done.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let stats = loop {
+        pump(&mut survivor, 50);
+        let stats = survivor.daemon_stats().expect("daemon stats");
+        if stats.reclaims >= 1 {
+            break stats;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon never reclaimed the crashed session: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert_eq!(stats.reclaimed_slots as usize, CRASHER_SLOTS);
+    assert_eq!(stats.leaked_slots, 0, "crash leaked slots: {stats:?}");
+    assert!(stats.last_reclaim_ns > 0, "reclaim latency not recorded");
+    assert_eq!(stats.sessions, 1, "survivor's session went with the crash");
+
+    // The survivor is genuinely untouched: more in-order traffic, and
+    // its pool reconciles to zero outstanding checkouts.
+    pump(&mut survivor, 500);
+    assert_eq!(survivor.pool().stats().in_use, 0);
+    assert_eq!(survivor.pool().stats().misuse_rejections, 0);
+
+    // `in_use` across the daemon now counts only live sessions — the
+    // crashed pool was reclaimed, the survivor holds nothing.
+    let stats = survivor.daemon_stats().expect("final stats");
+    assert_eq!(stats.in_use, 0, "daemon-wide checkouts did not reconcile");
+
+    survivor.request_shutdown().expect("shutdown");
+    survivor.detach().expect("detach");
+    assert!(daemon.wait().expect("daemon exit").success());
+}

@@ -1,0 +1,174 @@
+//! End-to-end cross-process datapath test: a real `insaned` daemon in
+//! its own OS process, ≥10⁵ messages round-tripped through the shared
+//! segment, with three properties asserted along the way:
+//!
+//! 1. **Per-stream ordering** — every received payload carries the next
+//!    expected sequence number.
+//! 2. **Zero copies** — each received view points into the `mmap`ed
+//!    segment itself (`contains_ptr`), never a private buffer.
+//! 3. **Zero allocations** — the steady-state `lend → emit → try_recv →
+//!    drop` loop performs no heap allocation in this process (counting
+//!    global allocator), mirroring `crates/telemetry/tests/overhead.rs`.
+//!
+//! One `#[test]` only: the allocation counter is global, and a second
+//! concurrent test would pollute it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use insane_ipc::IpcClient;
+
+/// Counts every heap allocation made through the global allocator.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers entirely to the system allocator; the counter is a
+// relaxed atomic increment with no other side effects, so every
+// GlobalAlloc contract (layout fidelity, uniqueness, deallocation
+// pairing) is exactly the system allocator's.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: callers uphold the GlobalAlloc contract (nonzero-size
+    // layout); this wrapper adds no requirements of its own.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `layout` is forwarded unchanged from our caller, which
+        // upholds the GlobalAlloc contract for it.
+        unsafe { System.alloc(layout) }
+    }
+
+    // SAFETY: callers pass a pointer previously returned by `alloc`
+    // with the same layout, per the GlobalAlloc contract.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` come from a matching `alloc` through
+        // this same wrapper, which allocated via `System`.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Spawns `insaned` on a unique socket and waits for its ready line.
+fn spawn_daemon(tag: &str) -> (Child, PathBuf) {
+    let socket = std::env::temp_dir().join(format!("insane-e2e-{tag}-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_insaned"))
+        .args(["--socket"])
+        .arg(&socket)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn insaned");
+    let stdout = child.stdout.take().expect("daemon stdout");
+    let mut ready = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut ready)
+        .expect("daemon ready line");
+    assert!(
+        ready.starts_with("insaned listening on"),
+        "unexpected ready line: {ready:?}"
+    );
+    (child, socket)
+}
+
+const MESSAGES: u64 = 120_000;
+
+#[test]
+fn cross_process_datapath_is_ordered_zero_copy_and_allocation_free() {
+    let (mut daemon, socket) = spawn_daemon("datapath");
+
+    let mut client = IpcClient::attach(&socket, "e2e", "fast").expect("attach");
+    let stream = client.create_stream("seq").expect("stream");
+
+    // Warm up: one full round trip so any lazy one-time allocation in
+    // the path happens before the counter snapshot.
+    {
+        let mut guard = client.lend(8).expect("warmup lend");
+        guard.copy_from_slice(&0u64.to_le_bytes());
+        client.emit(stream, guard).expect("warmup emit");
+        loop {
+            if let Some((_, view)) = client.try_recv() {
+                drop(view);
+                break;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    let stats_before = client.pool().stats();
+    assert_eq!(stats_before.in_use, 0, "warmup leaked a checkout");
+    let allocs_before = allocations();
+
+    // Steady state: keep a few messages in flight, assert ordering and
+    // zero-copy on every receive.  `next_send` is the sequence number to
+    // stamp next; `next_recv` the one we must see next.
+    let mut next_send: u64 = 1; // 0 was the warmup
+    let mut next_recv: u64 = 1;
+    let window: u64 = 16; // < ring capacity and < slot count
+    while next_recv <= MESSAGES {
+        while next_send <= MESSAGES && next_send - next_recv < window {
+            let mut guard = match client.lend(8) {
+                Ok(guard) => guard,
+                Err(_) => break, // pool back-pressure: drain first
+            };
+            guard.copy_from_slice(&next_send.to_le_bytes());
+            match client.emit(stream, guard) {
+                Ok(()) => next_send += 1,
+                Err(guard) => {
+                    drop(guard); // ring full: return the slot, drain
+                    break;
+                }
+            }
+        }
+        let mut progressed = false;
+        while let Some((got_stream, view)) = client.try_recv() {
+            assert_eq!(got_stream, stream);
+            assert!(
+                client.segment().contains_ptr(view.as_ptr()),
+                "received payload is outside the shared segment: not zero-copy"
+            );
+            let mut seq = [0u8; 8];
+            seq.copy_from_slice(&view[..8]);
+            assert_eq!(u64::from_le_bytes(seq), next_recv, "out-of-order delivery");
+            next_recv += 1;
+            progressed = true;
+        }
+        if !progressed {
+            // Single-core runners: let the daemon's datapath thread in.
+            std::thread::yield_now();
+        }
+    }
+
+    let allocs_after = allocations();
+    assert_eq!(
+        allocs_after - allocs_before,
+        0,
+        "steady-state datapath allocated on the heap"
+    );
+
+    // Every checkout came home: the pool reconciles to zero leaks.
+    let stats_after = client.pool().stats();
+    assert_eq!(stats_after.in_use, 0, "datapath leaked slot checkouts");
+    assert_eq!(
+        stats_after.misuse_rejections, 0,
+        "token discipline violated"
+    );
+    assert!(stats_after.acquires >= MESSAGES);
+
+    // Clean shutdown: daemon exits and removes its socket.
+    client.request_shutdown().expect("shutdown request");
+    client.detach().expect("detach");
+    let status = daemon.wait().expect("daemon exit");
+    assert!(status.success(), "daemon exited with {status:?}");
+    assert!(
+        !socket.exists(),
+        "daemon left its control socket behind on clean shutdown"
+    );
+}

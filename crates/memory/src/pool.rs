@@ -6,16 +6,37 @@
 //! (`release`/drop) — is a single CAS on that word, so misuse such as two
 //! threads racing to release the same token resolves to exactly one
 //! winner; the loser gets a typed [`MemoryError`], never a corrupted
-//! refcount.  All atomics go through the `insane-queues` sync shim so the
-//! protocol is model checked under loom (`tests/loom.rs`, DESIGN.md §7).
+//! refcount.
+//!
+//! # Storage model
+//!
+//! In regular builds the pool's *entire* state — config header, usage
+//! counters, Treiber free list, state words, length words, and the slot
+//! bytes themselves — lives inside one [`Segment`] and is addressed
+//! strictly by base-relative offsets (`PoolLayout`).  That is what lets
+//! the exact same bytes be mapped at different virtual addresses by
+//! different processes: the runtime daemon creates a pool in a
+//! memfd-backed segment ([`SlotPool::create_in_segment`]) and each
+//! client attaches to the received mapping
+//! ([`SlotPool::attach_segment`]); the packed generation+refcount CAS
+//! protocol then *is* the cross-process ownership story, and
+//! [`SlotPool::force_reclaim`] is how the daemon retires a crashed
+//! client's outstanding checkouts.
+//!
+//! Under `cfg(loom)` the pool keeps its original boxed layout (shared
+//! mappings cannot hold loom-instrumented cells); the ownership
+//! protocol itself is identical, so the loom suite still model checks
+//! the state-word transitions (`tests/loom.rs`, DESIGN.md §7).
 
 use core::fmt;
 
 use insane_queues::sync::{Arc, AtomicU32, AtomicU64, Ordering};
-use insane_queues::FreeStack;
 
 use crate::quota::QuotaLedger;
 use crate::{MemoryError, PoolId, TenantId};
+
+#[cfg(not(loom))]
+use crate::segment::{align_up, Segment};
 
 /// Construction parameters for a [`SlotPool`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +57,19 @@ impl PoolConfig {
             slot_size,
             slot_count,
         }
+    }
+
+    fn validate(&self) -> Result<(), MemoryError> {
+        if self.slot_size == 0 {
+            return Err(MemoryError::BadConfig("slot_size must be non-zero"));
+        }
+        if self.slot_count == 0 {
+            return Err(MemoryError::BadConfig("slot_count must be non-zero"));
+        }
+        if self.slot_count as u64 >= u32::MAX as u64 {
+            return Err(MemoryError::BadConfig("slot_count exceeds u32 indexing"));
+        }
+        Ok(())
     }
 }
 
@@ -61,7 +95,9 @@ pub struct PoolStats {
 ///
 /// A token is `Copy` for queue ergonomics, but the middleware treats it
 /// linearly: exactly one component owns it at a time.  The generation tag
-/// lets the pool reject stale copies at the first misuse.
+/// lets the pool reject stale copies at the first misuse.  Tokens carry
+/// only offsets and tags — never addresses — so they stay valid across
+/// processes that map the pool's segment at different base addresses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SlotToken {
     pool: PoolId,
@@ -79,6 +115,11 @@ impl SlotToken {
     /// Slot index within the pool.
     pub fn index(&self) -> u32 {
         self.index
+    }
+
+    /// Generation tag the token was minted on.
+    pub fn generation(&self) -> u32 {
+        self.generation
     }
 
     /// Message length stored in the slot, in bytes.
@@ -99,6 +140,30 @@ impl SlotToken {
         self.len = len as u32;
         self
     }
+
+    /// Reassembles a token from its wire encoding (see
+    /// [`SlotToken::to_wire`]).  The pool still validates generation and
+    /// bounds on first use, so a corrupted wire word yields a typed
+    /// error, never an invalid access.
+    pub fn from_wire(pool: PoolId, word0: u64, word1: u64) -> Self {
+        Self {
+            pool,
+            index: word0 as u32,
+            generation: (word0 >> 32) as u32,
+            len: word1 as u32,
+        }
+    }
+
+    /// Encodes the position-independent part of the token as two words
+    /// for descriptor rings: `word0 = generation << 32 | index`, and the
+    /// low half of `word1` is the length (the high half is left for the
+    /// transport's own use, e.g. a stream id).
+    pub fn to_wire(&self) -> (u64, u64) {
+        (
+            ((self.generation as u64) << 32) | self.index as u64,
+            self.len as u64,
+        )
+    }
 }
 
 /// Packs a generation tag and a reference count into one state word.
@@ -111,32 +176,349 @@ const fn unpack_state(word: u64) -> (u32, u32) {
     ((word >> 32) as u32, word as u32)
 }
 
-struct PoolInner {
-    config: PoolConfig,
-    /// One contiguous backing area, like the DMA-registered region the
-    /// paper's memory manager reserves at startup.  Deliberately a plain
-    /// `core::cell::UnsafeCell` rather than the loom-instrumented shim:
-    /// byte-granular instrumentation would swamp the model checker, and
-    /// the bytes are protected by the (instrumented) state-word protocol.
+// ---------------------------------------------------------------------------
+// Segment layout (regular builds)
+// ---------------------------------------------------------------------------
+
+/// Offsets of a pool laid out inside a segment.  Everything is derived
+/// from `(slot_size, slot_count)`, so two processes that agree on the
+/// config agree on the layout; the header repeats the config so an
+/// attaching process can also recover it from the bytes alone.
+#[cfg(not(loom))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolLayout {
+    /// Free-list `next` array offset (`slot_count` × u32).
+    pub free_next_off: usize,
+    /// Packed state-word array offset (`slot_count` × u64).
+    pub states_off: usize,
+    /// Message-length array offset (`slot_count` × u32).
+    pub lens_off: usize,
+    /// Slot byte area offset (`slot_count` × `slot_size`).
+    pub bytes_off: usize,
+    /// Total bytes the pool needs, 64-byte aligned.
+    pub total: usize,
+}
+
+#[cfg(not(loom))]
+mod hdr {
+    //! Header word offsets (all `AtomicU64`).  The header occupies the
+    //! first two cache lines; the free-list head gets its own line so
+    //! acquire/release traffic does not false-share with the counters.
+
+    pub const MAGIC: usize = 0;
+    pub const VERSION: usize = 8;
+    pub const POOL_ID: usize = 16;
+    pub const SLOT_SIZE: usize = 24;
+    pub const SLOT_COUNT: usize = 32;
+    pub const READY: usize = 40;
+    pub const IN_USE: usize = 48;
+    pub const HIGH_WATER: usize = 56;
+    pub const EXHAUSTIONS: usize = 64;
+    pub const ACQUIRES: usize = 72;
+    pub const MISUSE: usize = 80;
+    pub const FREE_LEN: usize = 88;
+    /// ABA-tagged free-list head, alone on its cache line.
+    pub const FREE_HEAD: usize = 128;
+    /// First byte past the fixed header region.
+    pub const END: usize = 192;
+
+    /// `b"INSANEPL"` as a little-endian word.
+    pub const MAGIC_WORD: u64 = u64::from_le_bytes(*b"INSANEPL");
+    /// Bumped whenever the layout or the state-word protocol changes.
+    pub const VERSION_WORD: u64 = 1;
+}
+
+#[cfg(not(loom))]
+impl PoolLayout {
+    /// Computes the layout for a pool configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::BadConfig`] on zero sizes or arithmetic overflow.
+    pub fn for_config(config: &PoolConfig) -> Result<Self, MemoryError> {
+        config.validate()?;
+        let overflow = MemoryError::BadConfig("pool layout overflows usize");
+        let n = config.slot_count;
+        let free_next_off = hdr::END;
+        let states_off = align_up(
+            free_next_off
+                .checked_add(n.checked_mul(4).ok_or(overflow)?)
+                .ok_or(overflow)?,
+            64,
+        );
+        let lens_off = align_up(
+            states_off
+                .checked_add(n.checked_mul(8).ok_or(overflow)?)
+                .ok_or(overflow)?,
+            64,
+        );
+        let bytes_off = align_up(
+            lens_off
+                .checked_add(n.checked_mul(4).ok_or(overflow)?)
+                .ok_or(overflow)?,
+            64,
+        );
+        let total = align_up(
+            bytes_off
+                .checked_add(n.checked_mul(config.slot_size).ok_or(overflow)?)
+                .ok_or(overflow)?,
+            64,
+        );
+        Ok(Self {
+            free_next_off,
+            states_off,
+            lens_off,
+            bytes_off,
+            total,
+        })
+    }
+}
+
+const NIL: u32 = u32::MAX;
+
+/// Storage backend of a pool: segment-offset-addressed in regular
+/// builds.  All methods take indices already validated against
+/// `slot_count` (the public API bounds-checks before calling in).
+#[cfg(not(loom))]
+struct Store {
+    segment: Segment,
+    layout: PoolLayout,
+    slot_size: usize,
+}
+
+#[cfg(not(loom))]
+impl Store {
+    fn state(&self, index: u32) -> &AtomicU64 {
+        self.segment
+            .atomic_u64(self.layout.states_off + index as usize * 8)
+    }
+
+    fn len_word(&self, index: u32) -> &AtomicU32 {
+        self.segment
+            .atomic_u32(self.layout.lens_off + index as usize * 4)
+    }
+
+    fn slot_ptr(&self, index: u32) -> *mut u8 {
+        let offset = self.layout.bytes_off + index as usize * self.slot_size;
+        debug_assert!(offset + self.slot_size <= self.segment.len());
+        // SAFETY: `offset` is in bounds for the segment (`index` was
+        // bounds-checked when the guard/view was created and the layout
+        // is fixed).  The pointer is derived from the segment base on
+        // every call — never cached — so it is correct for *this*
+        // process's mapping of the shared bytes, and its provenance
+        // spans the whole backing allocation.
+        unsafe { self.segment.base_ptr().add(offset) }
+    }
+
+    fn free_next(&self, index: u32) -> &AtomicU32 {
+        self.segment
+            .atomic_u32(self.layout.free_next_off + index as usize * 4)
+    }
+
+    /// Treiber push with an ABA tag in the high half of the head word
+    /// (same scheme as `insane_queues::FreeStack`, laid out in shared
+    /// memory so any attached process can release).
+    fn free_push(&self, index: u32) {
+        let head = self.segment.atomic_u64(hdr::FREE_HEAD);
+        let mut cur = head.load(Ordering::Acquire);
+        loop {
+            let (tag, top) = unpack_state(cur);
+            self.free_next(index).store(top, Ordering::Relaxed);
+            let new = pack_state(tag.wrapping_add(1), index);
+            match head.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => {
+                    self.segment
+                        .atomic_u64(hdr::FREE_LEN)
+                        .fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    fn free_pop(&self) -> Option<u32> {
+        let head = self.segment.atomic_u64(hdr::FREE_HEAD);
+        let mut cur = head.load(Ordering::Acquire);
+        loop {
+            let (tag, top) = unpack_state(cur);
+            if top == NIL {
+                return None;
+            }
+            let below = self.free_next(top).load(Ordering::Relaxed);
+            let new = pack_state(tag.wrapping_add(1), below);
+            match head.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => {
+                    self.segment
+                        .atomic_u64(hdr::FREE_LEN)
+                        .fetch_sub(1, Ordering::Relaxed);
+                    return Some(top);
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    fn free_len(&self) -> usize {
+        self.segment
+            .atomic_u64(hdr::FREE_LEN)
+            .load(Ordering::Relaxed) as usize
+    }
+
+    fn counter(&self, off: usize) -> &AtomicU64 {
+        self.segment.atomic_u64(off)
+    }
+
+    fn in_use_add(&self) -> u64 {
+        self.counter(hdr::IN_USE).fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn in_use_sub(&self) {
+        self.counter(hdr::IN_USE).fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn high_water_max(&self, v: u64) {
+        self.counter(hdr::HIGH_WATER)
+            .fetch_max(v, Ordering::Relaxed);
+    }
+
+    fn bump(&self, off: usize) {
+        self.counter(off).fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn load(&self, off: usize) -> u64 {
+        self.counter(off).load(Ordering::Relaxed)
+    }
+}
+
+/// Storage backend of a pool under loom: the original boxed layout, so
+/// every state word stays a loom-instrumented atomic the model checker
+/// can permute.
+#[cfg(loom)]
+struct Store {
     backing: Box<[core::cell::UnsafeCell<u8>]>,
-    free: FreeStack,
-    /// Per-slot packed `(generation, refcount)` word; see module docs.
-    /// Generation and count live in ONE atomic so that validate + retire
-    /// is a single CAS — with separate arrays, two racing releases of the
-    /// same token could both pass validation and underflow the count.
+    free: insane_queues::FreeStack,
     states: Box<[AtomicU64]>,
-    /// Per-slot message length; written by the owner before transfer.
     lens: Box<[AtomicU32]>,
-    in_use: AtomicU32,
-    high_water: AtomicU32,
+    in_use: AtomicU64,
+    high_water: AtomicU64,
     exhaustions: AtomicU64,
     acquires: AtomicU64,
-    misuse_rejections: AtomicU64,
+    misuse: AtomicU64,
+    slot_size: usize,
+}
+
+#[cfg(loom)]
+mod hdr {
+    //! Counter selectors for the loom store (mirror the segment header
+    //! offsets so call sites are identical in both builds).
+    pub const IN_USE: usize = 48;
+    pub const HIGH_WATER: usize = 56;
+    pub const EXHAUSTIONS: usize = 64;
+    pub const ACQUIRES: usize = 72;
+    pub const MISUSE: usize = 80;
+}
+
+#[cfg(loom)]
+impl Store {
+    fn new(config: &PoolConfig) -> Self {
+        Self {
+            backing: (0..config.slot_size * config.slot_count)
+                .map(|_| core::cell::UnsafeCell::new(0u8))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            free: insane_queues::FreeStack::full(config.slot_count),
+            states: (0..config.slot_count)
+                .map(|_| AtomicU64::new(pack_state(0, 0)))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            lens: (0..config.slot_count)
+                .map(|_| AtomicU32::new(0))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            in_use: AtomicU64::new(0),
+            high_water: AtomicU64::new(0),
+            exhaustions: AtomicU64::new(0),
+            acquires: AtomicU64::new(0),
+            misuse: AtomicU64::new(0),
+            slot_size: config.slot_size,
+        }
+    }
+
+    // insane-lint: allow-fn(hot-path-panic) -- every index comes from the free list or a generation-validated token, both bounded by slot_count
+    fn state(&self, index: u32) -> &AtomicU64 {
+        &self.states[index as usize]
+    }
+
+    // insane-lint: allow-fn(hot-path-panic) -- every index comes from the free list or a generation-validated token, both bounded by slot_count
+    fn len_word(&self, index: u32) -> &AtomicU32 {
+        &self.lens[index as usize]
+    }
+
+    fn slot_ptr(&self, index: u32) -> *mut u8 {
+        let offset = index as usize * self.slot_size;
+        debug_assert!(offset + self.slot_size <= self.backing.len());
+        // SAFETY: `offset` is in bounds for the backing slice; the
+        // pointer is derived from the slice base so its provenance spans
+        // the whole allocation.
+        unsafe { core::cell::UnsafeCell::raw_get(self.backing.as_ptr().add(offset)) }
+    }
+
+    // insane-lint: allow-fn(hot-path-alloc) -- FreeStack is fixed-capacity; push never allocates
+    fn free_push(&self, index: u32) {
+        self.free.push(index);
+    }
+
+    fn free_pop(&self) -> Option<u32> {
+        self.free.pop()
+    }
+
+    fn free_len(&self) -> usize {
+        self.free.len()
+    }
+
+    fn counter(&self, off: usize) -> &AtomicU64 {
+        match off {
+            hdr::IN_USE => &self.in_use,
+            hdr::HIGH_WATER => &self.high_water,
+            hdr::EXHAUSTIONS => &self.exhaustions,
+            hdr::ACQUIRES => &self.acquires,
+            _ => &self.misuse,
+        }
+    }
+
+    fn in_use_add(&self) -> u64 {
+        self.counter(hdr::IN_USE).fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn in_use_sub(&self) {
+        self.counter(hdr::IN_USE).fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn high_water_max(&self, v: u64) {
+        self.counter(hdr::HIGH_WATER)
+            .fetch_max(v, Ordering::Relaxed);
+    }
+
+    fn bump(&self, off: usize) {
+        self.counter(off).fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn load(&self, off: usize) -> u64 {
+        self.counter(off).load(Ordering::Relaxed)
+    }
+}
+
+struct PoolInner {
+    config: PoolConfig,
+    store: Store,
     /// Tenant-quota hook: `(ledger, flat-index base of this pool)`.
     /// Present only when the owning `PoolSet` registered tenants; the
     /// release path credits the ledger here because `SlotGuard`/
     /// `SlotView` drops release directly into the pool, bypassing the
-    /// set.  `None` costs one branch per release.
+    /// set.  `None` costs one branch per release.  Ledgers are
+    /// process-local (heap) state: segment-attached pools never carry
+    /// one.
     ledger: Option<(Arc<QuotaLedger>, usize)>,
 }
 
@@ -151,9 +533,12 @@ unsafe impl Sync for PoolInner {}
 
 /// A fixed-size pool of equally-sized, zero-copy message slots.
 ///
-/// Cloning a `SlotPool` clones a handle to the same shared arena — this is
-/// the in-process analogue of an application mapping the runtime's shared
-/// memory into its own address space (paper §5.3).
+/// Cloning a `SlotPool` clones a handle to the same shared arena — the
+/// in-process analogue of an application mapping the runtime's shared
+/// memory into its own address space (paper §5.3).  The cross-process
+/// version is real: [`SlotPool::create_in_segment`] lays the pool out in
+/// a shared segment and [`SlotPool::attach_segment`] joins it from
+/// another mapping of the same bytes.
 #[derive(Clone)]
 pub struct SlotPool {
     inner: Arc<PoolInner>,
@@ -171,7 +556,8 @@ impl fmt::Debug for SlotPool {
 }
 
 impl SlotPool {
-    /// Reserves the backing area and initializes the free list.
+    /// Reserves a process-private backing area and initializes the free
+    /// list.
     ///
     /// # Errors
     ///
@@ -184,43 +570,200 @@ impl SlotPool {
     /// As [`SlotPool::new`], wiring the pool's releases into a tenant
     /// [`QuotaLedger`] (`base` is this pool's flat-index offset within
     /// the ledger's charge table).
+    #[cfg(not(loom))]
     pub(crate) fn with_ledger(
         config: PoolConfig,
         ledger: Option<(Arc<QuotaLedger>, usize)>,
     ) -> Result<Self, MemoryError> {
-        if config.slot_size == 0 {
-            return Err(MemoryError::BadConfig("slot_size must be non-zero"));
-        }
-        if config.slot_count == 0 {
-            return Err(MemoryError::BadConfig("slot_count must be non-zero"));
-        }
-        let backing = (0..config.slot_size * config.slot_count)
-            .map(|_| core::cell::UnsafeCell::new(0u8))
-            .collect::<Vec<_>>()
-            .into_boxed_slice();
-        let states = (0..config.slot_count)
-            .map(|_| AtomicU64::new(pack_state(0, 0)))
-            .collect::<Vec<_>>()
-            .into_boxed_slice();
-        let lens = (0..config.slot_count)
-            .map(|_| AtomicU32::new(0))
-            .collect::<Vec<_>>()
-            .into_boxed_slice();
+        let layout = PoolLayout::for_config(&config)?;
+        let segment = Segment::heap(layout.total);
+        Self::init_in_segment(config, segment, ledger)
+    }
+
+    #[cfg(loom)]
+    pub(crate) fn with_ledger(
+        config: PoolConfig,
+        ledger: Option<(Arc<QuotaLedger>, usize)>,
+    ) -> Result<Self, MemoryError> {
+        config.validate()?;
         Ok(Self {
             inner: Arc::new(PoolInner {
-                free: FreeStack::full(config.slot_count),
+                store: Store::new(&config),
                 config,
-                backing,
-                states,
-                lens,
-                in_use: AtomicU32::new(0),
-                high_water: AtomicU32::new(0),
-                exhaustions: AtomicU64::new(0),
-                acquires: AtomicU64::new(0),
-                misuse_rejections: AtomicU64::new(0),
                 ledger,
             }),
         })
+    }
+
+    /// Bytes a segment must provide to host a pool with `config`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::BadConfig`] on invalid configs.
+    #[cfg(not(loom))]
+    pub fn required_segment_len(config: &PoolConfig) -> Result<usize, MemoryError> {
+        Ok(PoolLayout::for_config(config)?.total)
+    }
+
+    /// Lays a fresh pool out in `segment` (offset 0) and initializes
+    /// every structure: header, counters, free list, state words.  The
+    /// creating process becomes the first attached process; others join
+    /// with [`SlotPool::attach_segment`] once the segment is shared.
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::BadConfig`] if the config is invalid or the
+    /// segment is too small.
+    #[cfg(not(loom))]
+    pub fn create_in_segment(config: PoolConfig, segment: Segment) -> Result<Self, MemoryError> {
+        Self::init_in_segment(config, segment, None)
+    }
+
+    #[cfg(not(loom))]
+    fn init_in_segment(
+        config: PoolConfig,
+        segment: Segment,
+        ledger: Option<(Arc<QuotaLedger>, usize)>,
+    ) -> Result<Self, MemoryError> {
+        let layout = PoolLayout::for_config(&config)?;
+        if segment.len() < layout.total {
+            return Err(MemoryError::BadConfig("segment too small for pool layout"));
+        }
+        // A recycled segment may hold stale bytes; clear the control
+        // regions before building the free list (slot bytes need no
+        // clearing — they are always written before they are read).
+        segment.zero(0, layout.bytes_off.min(segment.len()));
+        let store = Store {
+            segment,
+            layout,
+            slot_size: config.slot_size,
+        };
+        store
+            .segment
+            .atomic_u64(hdr::FREE_HEAD)
+            .store(pack_state(0, NIL), Ordering::Relaxed);
+        // Push in reverse so slot 0 pops first (matches FreeStack::full).
+        for i in (0..config.slot_count as u32).rev() {
+            store.free_push(i);
+        }
+        let seg = &store.segment;
+        seg.atomic_u64(hdr::VERSION)
+            .store(hdr::VERSION_WORD, Ordering::Relaxed);
+        seg.atomic_u64(hdr::POOL_ID)
+            .store(config.pool_id as u64, Ordering::Relaxed);
+        seg.atomic_u64(hdr::SLOT_SIZE)
+            .store(config.slot_size as u64, Ordering::Relaxed);
+        seg.atomic_u64(hdr::SLOT_COUNT)
+            .store(config.slot_count as u64, Ordering::Relaxed);
+        seg.atomic_u64(hdr::MAGIC)
+            .store(hdr::MAGIC_WORD, Ordering::Relaxed);
+        // The ready flag is the publication point: an attaching process
+        // acquire-loads it and must then observe the fully built free
+        // list and header.
+        seg.atomic_u64(hdr::READY).store(1, Ordering::Release);
+        Ok(Self {
+            inner: Arc::new(PoolInner {
+                config,
+                store,
+                ledger,
+            }),
+        })
+    }
+
+    /// Attaches to a pool another process (or another mapping) already
+    /// created in `segment` with [`SlotPool::create_in_segment`].  The
+    /// header is validated — magic, protocol version, ready flag, and
+    /// that the recovered layout fits the segment — before any slot
+    /// state is trusted.
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::BadConfig`] if the segment does not hold a ready,
+    /// version-compatible pool of a size the segment can contain.
+    #[cfg(not(loom))]
+    pub fn attach_segment(segment: Segment) -> Result<Self, MemoryError> {
+        if segment.len() < hdr::END {
+            return Err(MemoryError::BadConfig("segment smaller than pool header"));
+        }
+        if segment.atomic_u64(hdr::MAGIC).load(Ordering::Relaxed) != hdr::MAGIC_WORD {
+            return Err(MemoryError::BadConfig("segment holds no pool (bad magic)"));
+        }
+        if segment.atomic_u64(hdr::READY).load(Ordering::Acquire) != 1 {
+            return Err(MemoryError::BadConfig("pool segment not initialized"));
+        }
+        if segment.atomic_u64(hdr::VERSION).load(Ordering::Relaxed) != hdr::VERSION_WORD {
+            return Err(MemoryError::BadConfig("pool layout version mismatch"));
+        }
+        let config = PoolConfig {
+            pool_id: segment.atomic_u64(hdr::POOL_ID).load(Ordering::Relaxed) as PoolId,
+            slot_size: segment.atomic_u64(hdr::SLOT_SIZE).load(Ordering::Relaxed) as usize,
+            slot_count: segment.atomic_u64(hdr::SLOT_COUNT).load(Ordering::Relaxed) as usize,
+        };
+        let layout = PoolLayout::for_config(&config)?;
+        if segment.len() < layout.total {
+            return Err(MemoryError::BadConfig(
+                "segment too small for the pool it claims to hold",
+            ));
+        }
+        Ok(Self {
+            inner: Arc::new(PoolInner {
+                config,
+                store: Store {
+                    segment,
+                    layout,
+                    slot_size: config.slot_size,
+                },
+                ledger: None,
+            }),
+        })
+    }
+
+    /// The segment this pool lives in (for address-range assertions in
+    /// zero-copy tests and the IPC layer).
+    #[cfg(not(loom))]
+    pub fn segment(&self) -> &Segment {
+        &self.inner.store.segment
+    }
+
+    /// Force-reclaims every outstanding checkout: for each slot with a
+    /// live refcount the generation is bumped and the count zeroed in
+    /// one CAS, staling every token copy in flight, and the slot
+    /// returns to the free list.  Returns how many slots were
+    /// reclaimed.
+    ///
+    /// This is the daemon's crash-recovery path: when a client process
+    /// dies (`kill -9`) its guards and views never drop, so the daemon
+    /// walks the state words and retires the dead process's checkouts.
+    /// The caller must ensure no *live* process still uses the pool's
+    /// slots (the dead client can't, and the daemon drops its own
+    /// references first).
+    #[cfg(not(loom))]
+    pub fn force_reclaim(&self) -> usize {
+        let mut reclaimed = 0;
+        for index in 0..self.inner.config.slot_count as u32 {
+            let state = self.inner.store.state(index);
+            let mut current = state.load(Ordering::Acquire);
+            loop {
+                let (generation, refs) = unpack_state(current);
+                if refs == 0 {
+                    break;
+                }
+                let next = pack_state(generation.wrapping_add(1), 0);
+                match state.compare_exchange(current, next, Ordering::AcqRel, Ordering::Acquire) {
+                    Ok(_) => {
+                        if let Some((ledger, base)) = &self.inner.ledger {
+                            ledger.credit(base + index as usize);
+                        }
+                        self.inner.store.in_use_sub();
+                        self.inner.store.free_push(index);
+                        reclaimed += 1;
+                        break;
+                    }
+                    Err(actual) => current = actual,
+                }
+            }
+        }
+        reclaimed
     }
 
     /// Pool identifier.
@@ -240,18 +783,23 @@ impl SlotPool {
 
     /// Number of slots currently free.
     pub fn free_slots(&self) -> usize {
-        self.inner.free.len()
+        self.inner.store.free_len()
     }
 
     /// Usage statistics snapshot.
     pub fn stats(&self) -> PoolStats {
+        let s = &self.inner.store;
         PoolStats {
-            in_use: self.inner.in_use.load(Ordering::Relaxed) as usize,
-            high_water: self.inner.high_water.load(Ordering::Relaxed) as usize,
-            exhaustions: self.inner.exhaustions.load(Ordering::Relaxed),
-            acquires: self.inner.acquires.load(Ordering::Relaxed),
-            misuse_rejections: self.inner.misuse_rejections.load(Ordering::Relaxed),
+            in_use: s.load(hdr::IN_USE) as usize,
+            high_water: s.load(hdr::HIGH_WATER) as usize,
+            exhaustions: s.load(hdr::EXHAUSTIONS),
+            acquires: s.load(hdr::ACQUIRES),
+            misuse_rejections: s.load(hdr::MISUSE),
         }
+    }
+
+    fn count_misuse(&self) {
+        self.inner.store.bump(hdr::MISUSE);
     }
 
     /// Lends out a free slot for writing a message of `len` bytes.
@@ -269,23 +817,24 @@ impl SlotPool {
                 max: self.inner.config.slot_size,
             });
         }
-        let index = self.inner.free.pop().ok_or_else(|| {
-            self.inner.exhaustions.fetch_add(1, Ordering::Relaxed);
+        let index = self.inner.store.free_pop().ok_or_else(|| {
+            self.inner.store.bump(hdr::EXHAUSTIONS);
             self.exhausted(len)
         })?;
-        self.inner.acquires.fetch_add(1, Ordering::Relaxed);
-        let in_use = self.inner.in_use.fetch_add(1, Ordering::Relaxed) + 1;
-        self.inner.high_water.fetch_max(in_use, Ordering::Relaxed);
+        self.inner.store.bump(hdr::ACQUIRES);
+        let in_use = self.inner.store.in_use_add();
+        self.inner.store.high_water_max(in_use);
         // Popping the free list gave us exclusive ownership of the slot
         // (refcount is 0 and no token can match its generation), so a plain
         // load + store cannot race with any other state transition.
-        // insane-lint: allow(hot-path-panic) -- free-list indices are seeded from 0..slot_count at construction
-        let state = &self.inner.states[index as usize];
+        let state = self.inner.store.state(index);
         let (generation, refs) = unpack_state(state.load(Ordering::Acquire));
         debug_assert_eq!(refs, 0, "slot on the free list with live references");
         state.store(pack_state(generation, 1), Ordering::Release);
-        // insane-lint: allow(hot-path-panic) -- same free-list index bound as above
-        self.inner.lens[index as usize].store(len as u32, Ordering::Relaxed);
+        self.inner
+            .store
+            .len_word(index)
+            .store(len as u32, Ordering::Relaxed);
         Ok(SlotGuard {
             pool: self.clone(),
             index,
@@ -300,7 +849,7 @@ impl SlotPool {
         MemoryError::PoolExhausted {
             slot_size: self.inner.config.slot_size,
             requested: len,
-            in_use: self.inner.in_use.load(Ordering::Relaxed) as usize,
+            in_use: self.inner.store.load(hdr::IN_USE) as usize,
             slot_count: self.inner.config.slot_count,
         }
     }
@@ -368,7 +917,7 @@ impl SlotPool {
         self.check_addressable(token)?;
         self.release_checkout(token.index, token.generation)
             .inspect_err(|_| {
-                self.inner.misuse_rejections.fetch_add(1, Ordering::Relaxed);
+                self.count_misuse();
             })
     }
 
@@ -381,7 +930,7 @@ impl SlotPool {
     /// visible atomically.  Exactly one of N racing releases of the same
     /// checkout succeeds.
     fn release_checkout(&self, index: u32, expected_generation: u32) -> Result<(), MemoryError> {
-        let state = &self.inner.states[index as usize];
+        let state = self.inner.store.state(index);
         let mut current = state.load(Ordering::Acquire);
         loop {
             let (generation, refs) = unpack_state(current);
@@ -404,8 +953,8 @@ impl SlotPool {
                         if let Some((ledger, base)) = &self.inner.ledger {
                             ledger.credit(base + index as usize);
                         }
-                        self.inner.in_use.fetch_sub(1, Ordering::Relaxed);
-                        self.inner.free.push(index);
+                        self.inner.store.in_use_sub();
+                        self.inner.store.free_push(index);
                     }
                     return Ok(());
                 }
@@ -417,8 +966,7 @@ impl SlotPool {
     /// Adds one unit of checkout for `index` on generation
     /// `expected_generation`; fails if that checkout is no longer live.
     fn retain_checkout(&self, index: u32, expected_generation: u32) -> Result<(), MemoryError> {
-        // insane-lint: allow(hot-path-panic) -- index comes from a live guard/view, already bounds-checked at token validation
-        let state = &self.inner.states[index as usize];
+        let state = self.inner.store.state(index);
         let mut current = state.load(Ordering::Acquire);
         loop {
             let (generation, refs) = unpack_state(current);
@@ -438,7 +986,7 @@ impl SlotPool {
         if token.pool != self.inner.config.pool_id
             || token.index as usize >= self.inner.config.slot_count
         {
-            self.inner.misuse_rejections.fetch_add(1, Ordering::Relaxed);
+            self.count_misuse();
             return Err(MemoryError::InvalidToken);
         }
         Ok(())
@@ -446,11 +994,10 @@ impl SlotPool {
 
     fn validate(&self, token: SlotToken) -> Result<(), MemoryError> {
         self.check_addressable(token)?;
-        // insane-lint: allow(hot-path-panic) -- check_addressable above proved index < slot_count
-        let state = &self.inner.states[token.index as usize];
+        let state = self.inner.store.state(token.index);
         let (generation, refs) = unpack_state(state.load(Ordering::Acquire));
         if generation != token.generation || refs == 0 {
-            self.inner.misuse_rejections.fetch_add(1, Ordering::Relaxed);
+            self.count_misuse();
             return Err(MemoryError::StaleToken);
         }
         Ok(())
@@ -466,16 +1013,7 @@ impl SlotPool {
     }
 
     fn slot_ptr(&self, index: u32) -> *mut u8 {
-        let offset = index as usize * self.inner.config.slot_size;
-        debug_assert!(offset + self.inner.config.slot_size <= self.inner.backing.len());
-        // SAFETY: `offset` is in bounds for the backing slice (`index` was
-        // bounds-checked when the guard/view was created and the arena is
-        // never resized).  The pointer is derived from the slice base, not
-        // from a single-element borrow, so its provenance spans the whole
-        // backing allocation and callers may form `slot_size`-byte slices
-        // from it (a `&backing[offset]` reborrow would carry one-byte
-        // provenance — undefined behavior under Miri's aliasing models).
-        unsafe { core::cell::UnsafeCell::raw_get(self.inner.backing.as_ptr().add(offset)) }
+        self.inner.store.slot_ptr(index)
     }
 }
 
@@ -526,7 +1064,11 @@ impl SlotGuard {
             self.pool.slot_size()
         );
         self.len = len;
-        self.pool.inner.lens[self.index as usize].store(len as u32, Ordering::Relaxed);
+        self.pool
+            .inner
+            .store
+            .len_word(self.index)
+            .store(len as u32, Ordering::Relaxed);
     }
 
     /// Converts the guard into a transferable token, *without* releasing
@@ -577,10 +1119,7 @@ impl Drop for SlotGuard {
             .release_checkout(self.index, self.generation)
             .is_err()
         {
-            self.pool
-                .inner
-                .misuse_rejections
-                .fetch_add(1, Ordering::Relaxed);
+            self.pool.count_misuse();
         }
     }
 }
@@ -653,10 +1192,7 @@ impl SlotView {
             .retain_checkout(self.index, self.generation)
             .is_err()
         {
-            self.pool
-                .inner
-                .misuse_rejections
-                .fetch_add(1, Ordering::Relaxed);
+            self.pool.count_misuse();
         }
         SlotView {
             pool: self.pool.clone(),
@@ -688,10 +1224,7 @@ impl Drop for SlotView {
             .release_checkout(self.index, self.generation)
             .is_err()
         {
-            self.pool
-                .inner
-                .misuse_rejections
-                .fetch_add(1, Ordering::Relaxed);
+            self.pool.count_misuse();
         }
     }
 }
@@ -937,5 +1470,84 @@ mod tests {
         }
         assert_eq!(p.free_slots(), 32);
         assert_eq!(p.stats().in_use, 0);
+    }
+
+    #[test]
+    fn wire_encoding_round_trips() {
+        let p = pool();
+        let t = p.acquire(7).unwrap().into_token();
+        let (w0, w1) = t.to_wire();
+        let back = SlotToken::from_wire(t.pool_id(), w0, w1);
+        assert_eq!(back, t);
+        p.release(back).unwrap();
+    }
+
+    #[test]
+    fn create_and_attach_share_one_segment() {
+        let config = PoolConfig::new(7, 64, 8);
+        let len = SlotPool::required_segment_len(&config).unwrap();
+        let segment = crate::Segment::heap(len);
+        let creator = SlotPool::create_in_segment(config, segment.clone()).unwrap();
+        let attached = SlotPool::attach_segment(segment).unwrap();
+        assert_eq!(attached.pool_id(), 7);
+        assert_eq!(attached.slot_size(), 64);
+        assert_eq!(attached.slot_count(), 8);
+        // A token minted through one handle is redeemable through the
+        // other: all state lives in the shared segment.
+        let mut g = creator.acquire(4).unwrap();
+        g.copy_from_slice(b"ping");
+        let t = g.into_token();
+        assert_eq!(attached.stats().in_use, 1);
+        let v = attached.view(t).unwrap();
+        assert_eq!(&*v, b"ping");
+        drop(v);
+        assert_eq!(creator.free_slots(), 8);
+        assert_eq!(creator.stats().in_use, 0);
+    }
+
+    #[test]
+    fn attach_rejects_garbage_segments() {
+        // Too small for even a header.
+        assert!(SlotPool::attach_segment(crate::Segment::heap(64)).is_err());
+        // Large enough but holds no pool.
+        assert!(SlotPool::attach_segment(crate::Segment::heap(4096)).is_err());
+        // Valid header claiming more slots than the segment holds.
+        let config = PoolConfig::new(1, 64, 8);
+        let len = SlotPool::required_segment_len(&config).unwrap();
+        let segment = crate::Segment::heap(len);
+        let _pool = SlotPool::create_in_segment(config, segment.clone()).unwrap();
+        let truncated = segment.slice(0, len - 64).unwrap();
+        assert!(SlotPool::attach_segment(truncated).is_err());
+    }
+
+    #[test]
+    fn force_reclaim_retires_outstanding_checkouts() {
+        let config = PoolConfig::new(2, 32, 4);
+        let len = SlotPool::required_segment_len(&config).unwrap();
+        let segment = crate::Segment::heap(len);
+        let p = SlotPool::create_in_segment(config, segment).unwrap();
+        // Simulate a crashed client: three checkouts that will never be
+        // dropped (tokens forgotten, as a killed process forgets them).
+        let t1 = p.acquire(1).unwrap().into_token();
+        let _t2 = p.acquire(2).unwrap().into_token();
+        let _t3 = p.acquire(3).unwrap().into_token();
+        assert_eq!(p.stats().in_use, 3);
+        assert_eq!(p.force_reclaim(), 3);
+        assert_eq!(p.stats().in_use, 0);
+        assert_eq!(p.free_slots(), 4);
+        // Every stale token is now typed-invalid, not a corruption.
+        assert!(matches!(p.view(t1), Err(MemoryError::StaleToken)));
+        // And the pool is fully usable again.
+        let all: Vec<_> = (0..4).map(|_| p.acquire(1).unwrap()).collect();
+        assert_eq!(p.stats().in_use, 4);
+        drop(all);
+        assert_eq!(p.free_slots(), 4);
+    }
+
+    #[test]
+    fn force_reclaim_on_quiet_pool_is_a_noop() {
+        let p = pool();
+        assert_eq!(p.force_reclaim(), 0);
+        assert_eq!(p.free_slots(), 4);
     }
 }

@@ -1,0 +1,87 @@
+//! Position-independence of the pool layout: the same pool bytes must be
+//! valid at *different* base addresses, because each process maps the
+//! shared segment wherever `mmap` puts it.  Heap segments cannot be
+//! literally remapped, so these tests (a) host the pool at a non-zero
+//! offset inside a larger backing and (b) byte-copy a quiescent pool
+//! into a second allocation and attach there — if any absolute pointer
+//! had leaked into the segment, the copy would explode.  Runs under
+//! Miri (strict provenance) in CI.
+
+#![cfg(not(loom))]
+
+use insane_memory::{MemoryError, PoolConfig, SlotPool};
+
+#[test]
+fn pool_works_at_a_nonzero_segment_offset() {
+    let config = PoolConfig::new(4, 64, 8);
+    let len = SlotPool::required_segment_len(&config).unwrap();
+    // Host the pool in a window starting 256 bytes into the backing:
+    // every derived pointer must be window-relative, not backing-relative.
+    let backing = insane_memory::Segment::heap(len + 256);
+    let window = backing.slice(256, len).unwrap();
+    let pool = SlotPool::create_in_segment(config, window.clone()).unwrap();
+    let mut g = pool.acquire(5).unwrap();
+    g.copy_from_slice(b"shift");
+    let t = g.into_token();
+
+    // A second attach through an equivalent window sees the same state.
+    let other = SlotPool::attach_segment(backing.slice(256, len).unwrap()).unwrap();
+    let v = other.view(t).unwrap();
+    assert_eq!(&*v, b"shift");
+    assert!(window.contains_ptr(v.as_ptr()));
+    drop(v);
+    assert_eq!(pool.free_slots(), 8);
+}
+
+#[test]
+fn pool_bytes_copied_to_a_second_allocation_stay_valid() {
+    let config = PoolConfig::new(9, 32, 4);
+    let len = SlotPool::required_segment_len(&config).unwrap();
+    let seg_a = insane_memory::Segment::heap(len);
+    let pool_a = SlotPool::create_in_segment(config, seg_a.clone()).unwrap();
+
+    // Leave two checkouts outstanding, with known payloads.
+    let mut g = pool_a.acquire(3).unwrap();
+    g.copy_from_slice(b"one");
+    let t1 = g.into_token();
+    let mut g = pool_a.acquire(3).unwrap();
+    g.copy_from_slice(b"two");
+    let t2 = g.into_token();
+    assert_eq!(pool_a.stats().in_use, 2);
+
+    // "Remap": byte-copy the quiescent pool into a fresh allocation at a
+    // different address (and a different offset, for good measure).
+    let seg_b_backing = insane_memory::Segment::heap(len + 1024);
+    let seg_b = seg_b_backing.slice(1024, len).unwrap();
+    assert_ne!(seg_a.base_ptr(), seg_b.base_ptr());
+    // SAFETY: both regions are live, disjoint allocations of `len`
+    // bytes; no other thread touches them during the copy.
+    unsafe { core::ptr::copy_nonoverlapping(seg_a.base_ptr(), seg_b.base_ptr(), len) };
+
+    let pool_b = SlotPool::attach_segment(seg_b.clone()).unwrap();
+    assert_eq!(pool_b.pool_id(), 9);
+    assert_eq!(pool_b.stats().in_use, 2);
+    assert_eq!(pool_b.free_slots(), 2);
+
+    // Tokens minted against mapping A resolve against mapping B, and the
+    // bytes they point at live inside B's window, not A's.
+    let v1 = pool_b.view(t1).unwrap();
+    let v2 = pool_b.view(t2).unwrap();
+    assert_eq!(&*v1, b"one");
+    assert_eq!(&*v2, b"two");
+    assert!(seg_b.contains_ptr(v1.as_ptr()));
+    assert!(!seg_a.contains_ptr(v1.as_ptr()));
+    // Dropping the views returns both checkouts (full release discipline
+    // works in the copy).
+    drop(v1);
+    drop(v2);
+    assert_eq!(pool_b.free_slots(), 4);
+    assert_eq!(pool_b.stats().in_use, 0);
+    // And the copied pool is independent: mapping A is untouched.
+    assert_eq!(pool_a.stats().in_use, 2);
+
+    // The copy keeps working through fresh acquire/release cycles.
+    let t3 = pool_b.acquire(2).unwrap().into_token();
+    pool_b.release(t3).unwrap();
+    assert!(matches!(pool_b.view(t3), Err(MemoryError::StaleToken)));
+}

@@ -41,6 +41,8 @@
 
 pub mod free_stack;
 pub mod mpmc;
+#[cfg(not(loom))]
+pub mod shm_spsc;
 pub mod snapshot;
 pub mod spsc;
 #[doc(hidden)]
@@ -48,6 +50,8 @@ pub mod sync;
 
 pub use free_stack::FreeStack;
 pub use mpmc::MpmcQueue;
+#[cfg(not(loom))]
+pub use shm_spsc::{ring_bytes, Descriptor, ShmConsumer, ShmProducer};
 pub use snapshot::SnapshotCell;
 pub use spsc::{channel, PopError, PushError, Receiver, Sender};
 

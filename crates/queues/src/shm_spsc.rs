@@ -1,0 +1,372 @@
+//! Offset-addressed SPSC descriptor ring for shared-memory segments.
+//!
+//! This is the [`spsc`](crate::spsc) ring re-expressed for the
+//! cross-process datapath: instead of boxed `UnsafeCell` slots owned by
+//! a Rust allocation, the ring's *entire* state — producer tail,
+//! consumer head, and the descriptor array — lives at fixed offsets
+//! inside a caller-provided byte region (a window of a shared-memory
+//! segment, mapped at a different virtual address in each process).
+//!
+//! Entries are fixed 16-byte [`Descriptor`]s (two `u64` words), which is
+//! exactly what a [`SlotToken`](../../insane_memory/struct.SlotToken.html)
+//! encodes to on the wire: `word0 = generation << 32 | index`,
+//! `word1 = stream << 32 | len`.  Only position-independent words ever
+//! enter the ring — never pointers — so the same bytes are valid in
+//! every attached process.
+//!
+//! Memory layout of a ring region (`ring_bytes(capacity)` bytes):
+//!
+//! ```text
+//! offset 0    tail  (AtomicU64, producer-published, own cache line)
+//! offset 64   head  (AtomicU64, consumer-published, own cache line)
+//! offset 128  entries (capacity × 16 bytes)
+//! ```
+//!
+//! The algorithm is the same Lamport ring with cached opposite indices
+//! as the in-process `spsc` module (DPDK style): the producer re-reads
+//! `head` only when the ring *looks* full, the consumer re-reads `tail`
+//! only when it *looks* empty, so the steady-state cost is one shared
+//! atomic store per operation.  Indices are free-running `u64`s, masked
+//! on access; capacity must be a power of two.
+//!
+//! Atomics here are plain `core::sync::atomic` types on purpose: a
+//! shared mapping cannot hold loom-instrumented cells, so this module is
+//! compiled out under `cfg(loom)` (the in-process `spsc` ring, which
+//! shares the algorithm, is the loom-checked variant).
+
+use core::cell::Cell;
+use core::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One ring entry: two position-independent words.
+pub type Descriptor = [u64; 2];
+
+const TAIL_OFF: usize = 0;
+const HEAD_OFF: usize = 64;
+const ENTRIES_OFF: usize = 128;
+const ENTRY_BYTES: usize = 16;
+
+/// Bytes a segment must provide for a ring of `capacity` descriptors.
+pub const fn ring_bytes(capacity: usize) -> usize {
+    ENTRIES_OFF + capacity * ENTRY_BYTES
+}
+
+/// Shared plumbing of the two endpoint handles: the region base, the
+/// index mask, and an optional keep-alive that owns the mapping.
+struct RingRef {
+    base: *mut u8,
+    mask: u64,
+    _keep: Option<Arc<dyn core::any::Any + Send + Sync>>,
+}
+
+// SAFETY: the handle only dereferences `base` through the SPSC
+// protocol (each side writes only its own index; entries are written
+// before the Release store that publishes them), so moving a handle to
+// another thread is sound.  The keep-alive is `Send + Sync` by bound.
+unsafe impl Send for RingRef {}
+
+impl RingRef {
+    /// # Safety
+    ///
+    /// See [`ShmProducer::attach`].
+    // SAFETY: callers uphold the contract above (valid, exclusive,
+    // pinned ring region).
+    unsafe fn new(
+        base: *mut u8,
+        capacity: usize,
+        keep: Option<Arc<dyn core::any::Any + Send + Sync>>,
+    ) -> Self {
+        assert!(
+            capacity.is_power_of_two() && capacity as u64 <= u32::MAX as u64,
+            "ring capacity must be a power of two (≤ 2^32)"
+        );
+        assert!(
+            (base as usize).is_multiple_of(core::mem::align_of::<AtomicU64>()),
+            "ring base must be 8-byte aligned"
+        );
+        Self {
+            base,
+            mask: capacity as u64 - 1,
+            _keep: keep,
+        }
+    }
+
+    fn tail(&self) -> &AtomicU64 {
+        // SAFETY: `attach` asserted alignment and the caller contracted
+        // `ring_bytes(capacity)` valid bytes; concurrent access to this
+        // word is atomic-only.
+        unsafe { &*(self.base.add(TAIL_OFF) as *const AtomicU64) }
+    }
+
+    fn head(&self) -> &AtomicU64 {
+        // SAFETY: as `tail`.
+        unsafe { &*(self.base.add(HEAD_OFF) as *const AtomicU64) }
+    }
+
+    fn entry_ptr(&self, index: u64) -> *mut u64 {
+        let offset = ENTRIES_OFF + ((index & self.mask) as usize) * ENTRY_BYTES;
+        // SAFETY: `index & mask < capacity`, so the entry lies inside
+        // the contracted region; 16-byte entries at a 128-byte base keep
+        // 8-byte alignment.
+        unsafe { self.base.add(offset) as *mut u64 }
+    }
+}
+
+/// Producer endpoint of a shared-memory descriptor ring.
+///
+/// `!Sync` by construction (single producer); `Send` so the endpoint can
+/// live on whichever thread runs the datapath.
+pub struct ShmProducer {
+    ring: RingRef,
+    /// Consumer index as of the last refresh; only re-read from shared
+    /// memory when the ring looks full.
+    cached_head: Cell<u64>,
+}
+
+impl core::fmt::Debug for ShmProducer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ShmProducer")
+            .field("capacity", &(self.ring.mask + 1))
+            .finish()
+    }
+}
+
+impl ShmProducer {
+    /// Attaches the producer end to a ring region.
+    ///
+    /// # Safety
+    ///
+    /// * `base` must point to `ring_bytes(capacity)` readable+writable
+    ///   bytes, 8-byte aligned, zero-initialized (or left exactly as a
+    ///   previous ring of the same capacity left them), and valid for as
+    ///   long as the handle (and `keep`) live.
+    /// * At most one producer handle may exist per ring across *all*
+    ///   attached processes, and entries may not be accessed through any
+    ///   other alias while the ring is in use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not a power of two or `base` is
+    /// misaligned.
+    // SAFETY: callers uphold the `# Safety` contract above.
+    pub unsafe fn attach(
+        base: *mut u8,
+        capacity: usize,
+        keep: Option<Arc<dyn core::any::Any + Send + Sync>>,
+    ) -> Self {
+        Self {
+            // SAFETY: forwarded caller contract.
+            ring: unsafe { RingRef::new(base, capacity, keep) },
+            cached_head: Cell::new(0),
+        }
+    }
+
+    /// Number of descriptors the ring can hold.
+    pub fn capacity(&self) -> usize {
+        (self.ring.mask + 1) as usize
+    }
+
+    /// Publishes one descriptor; returns it back on a full ring.
+    // insane-lint: hot-path-root
+    // insane-lint: allow-fn(hot-path-panic) -- literal indices into a `[u64; 2]` descriptor cannot be out of bounds
+    pub fn push(&self, descriptor: Descriptor) -> Result<(), Descriptor> {
+        // Relaxed: this side is the only writer of `tail`.
+        let tail = self.ring.tail().load(Ordering::Relaxed);
+        if tail.wrapping_sub(self.cached_head.get()) > self.ring.mask {
+            self.cached_head
+                .set(self.ring.head().load(Ordering::Acquire));
+            if tail.wrapping_sub(self.cached_head.get()) > self.ring.mask {
+                return Err(descriptor);
+            }
+        }
+        let entry = self.ring.entry_ptr(tail);
+        // SAFETY: the slot at `tail & mask` is outside the consumer's
+        // visible window until the Release store below, and the single-
+        // producer contract means no other writer exists.
+        unsafe {
+            entry.write(descriptor[0]);
+            entry.add(1).write(descriptor[1]);
+        }
+        self.ring
+            .tail()
+            .store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+}
+
+/// Consumer endpoint of a shared-memory descriptor ring.
+pub struct ShmConsumer {
+    ring: RingRef,
+    /// Producer index as of the last refresh; only re-read from shared
+    /// memory when the ring looks empty.
+    cached_tail: Cell<u64>,
+}
+
+impl core::fmt::Debug for ShmConsumer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ShmConsumer")
+            .field("capacity", &(self.ring.mask + 1))
+            .finish()
+    }
+}
+
+impl ShmConsumer {
+    /// Attaches the consumer end to a ring region.
+    ///
+    /// # Safety
+    ///
+    /// As [`ShmProducer::attach`], with "at most one consumer handle"
+    /// in place of the producer clause.
+    ///
+    /// # Panics
+    ///
+    /// As [`ShmProducer::attach`].
+    // SAFETY: callers uphold the `# Safety` contract above.
+    pub unsafe fn attach(
+        base: *mut u8,
+        capacity: usize,
+        keep: Option<Arc<dyn core::any::Any + Send + Sync>>,
+    ) -> Self {
+        Self {
+            // SAFETY: forwarded caller contract.
+            ring: unsafe { RingRef::new(base, capacity, keep) },
+            cached_tail: Cell::new(0),
+        }
+    }
+
+    /// Number of descriptors the ring can hold.
+    pub fn capacity(&self) -> usize {
+        (self.ring.mask + 1) as usize
+    }
+
+    /// Takes the oldest descriptor, or `None` on an empty ring.
+    // insane-lint: hot-path-root
+    // insane-lint: allow-fn(hot-path-rwlock) -- `.read()` here is `ptr::read` on the entry pointer, not an RwLock
+    pub fn pop(&self) -> Option<Descriptor> {
+        // Relaxed: this side is the only writer of `head`.
+        let head = self.ring.head().load(Ordering::Relaxed);
+        if head == self.cached_tail.get() {
+            self.cached_tail
+                .set(self.ring.tail().load(Ordering::Acquire));
+            if head == self.cached_tail.get() {
+                return None;
+            }
+        }
+        let entry = self.ring.entry_ptr(head);
+        // SAFETY: `head < tail` (checked above), so the producer wrote
+        // this entry before the Acquire-observed tail publication, and it
+        // will not rewrite the slot until we advance `head`.
+        let descriptor = unsafe { [entry.read(), entry.add(1).read()] };
+        self.ring
+            .head()
+            .store(head.wrapping_add(1), Ordering::Release);
+        Some(descriptor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::cell::UnsafeCell;
+
+    /// 8-byte-aligned interior-mutable buffer standing in for a shared
+    /// mapping; both endpoints keep the `Arc` alive.
+    struct Region(Box<[UnsafeCell<u64>]>);
+
+    // SAFETY: test-only — access is serialized by the ring protocol.
+    unsafe impl Send for Region {}
+    // SAFETY: as above.
+    unsafe impl Sync for Region {}
+
+    fn ring(capacity: usize) -> (ShmProducer, ShmConsumer) {
+        let words = ring_bytes(capacity) / 8;
+        let region = Arc::new(Region(
+            (0..words)
+                .map(|_| UnsafeCell::new(0u64))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+        ));
+        let base = UnsafeCell::raw_get(region.0.as_ptr()).cast::<u8>();
+        // SAFETY: `base` covers `ring_bytes(capacity)` zeroed aligned
+        // bytes and the Arc keep-alives pin the allocation; one producer,
+        // one consumer.
+        unsafe {
+            (
+                ShmProducer::attach(base, capacity, Some(region.clone())),
+                ShmConsumer::attach(base, capacity, Some(region)),
+            )
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_empty_full_conditions() {
+        let (tx, rx) = ring(4);
+        assert_eq!(rx.pop(), None);
+        for i in 0..4u64 {
+            tx.push([i, i * 10]).unwrap();
+        }
+        assert_eq!(tx.push([9, 9]), Err([9, 9]), "ring full");
+        for i in 0..4u64 {
+            assert_eq!(rx.pop(), Some([i, i * 10]));
+        }
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn survives_index_wraparound() {
+        let (tx, rx) = ring(2);
+        for round in 0..1000u64 {
+            tx.push([round, !round]).unwrap();
+            tx.push([round + 1, 0]).unwrap();
+            assert_eq!(rx.pop(), Some([round, !round]));
+            assert_eq!(rx.pop(), Some([round + 1, 0]));
+        }
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn capacity_is_reported() {
+        let (tx, rx) = ring(8);
+        assert_eq!(tx.capacity(), 8);
+        assert_eq!(rx.capacity(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_capacity_panics() {
+        let _ = ring(3);
+    }
+
+    #[test]
+    fn cross_thread_stream_keeps_order() {
+        const N: u64 = if cfg!(miri) { 300 } else { 20_000 };
+        let (tx, rx) = ring(8);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                let mut d = [i, i.wrapping_mul(31)];
+                loop {
+                    match tx.push(d) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            d = back;
+                            // Yield, not spin: CI runners may be single-core.
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        });
+        let mut next = 0u64;
+        while next < N {
+            if let Some([a, b]) = rx.pop() {
+                assert_eq!(a, next, "descriptors arrived out of order");
+                assert_eq!(b, a.wrapping_mul(31));
+                next += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(rx.pop(), None);
+    }
+}

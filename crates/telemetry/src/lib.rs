@@ -41,8 +41,8 @@ pub use registry::{
     StreamSnapshot, StreamTelemetry, TenantSnapshot, TenantTelemetry,
 };
 pub use schema::{
-    validate_bench_hotpath, validate_bench_latency, validate_bench_noisy_neighbor,
-    validate_bench_throughput, SchemaError,
+    validate_bench_hotpath, validate_bench_ipc, validate_bench_latency,
+    validate_bench_noisy_neighbor, validate_bench_throughput, SchemaError,
 };
 
 /// Schema identifier served by the runtime introspection endpoint.
@@ -55,3 +55,5 @@ pub const BENCH_THROUGHPUT_SCHEMA: &str = "insane-bench-throughput-v1";
 pub const BENCH_NOISY_NEIGHBOR_SCHEMA: &str = "insane-bench-noisy-neighbor-v1";
 /// Schema identifier of `BENCH_hotpath.json`.
 pub const BENCH_HOTPATH_SCHEMA: &str = "insane-bench-hotpath-v1";
+/// Schema identifier of `BENCH_ipc.json`.
+pub const BENCH_IPC_SCHEMA: &str = "insane-bench-ipc-v1";

@@ -7,7 +7,7 @@
 
 use crate::json::Value;
 use crate::{
-    BENCH_HOTPATH_SCHEMA, BENCH_LATENCY_SCHEMA, BENCH_NOISY_NEIGHBOR_SCHEMA,
+    BENCH_HOTPATH_SCHEMA, BENCH_IPC_SCHEMA, BENCH_LATENCY_SCHEMA, BENCH_NOISY_NEIGHBOR_SCHEMA,
     BENCH_THROUGHPUT_SCHEMA,
 };
 
@@ -292,6 +292,92 @@ pub fn validate_bench_hotpath(doc: &Value) -> Result<(), SchemaError> {
     Ok(())
 }
 
+/// Validates a `BENCH_ipc.json` document.
+///
+/// Requires the [`BENCH_IPC_SCHEMA`] marker and, per entry: string
+/// `system`/`testbed`, positive `messages`, positive round-trip
+/// percentiles for both deployments (`in_process_p50_ns`,
+/// `in_process_p99_ns`, `cross_process_p50_ns`, `cross_process_p99_ns`,
+/// each pair with p50 ≤ p99), positive `attach_ns`, plus three gates:
+///
+/// * **process-split overhead**: `ratio_x1000` (cross-process p99 /
+///   in-process p99, fixed-point thousandths) must not exceed
+///   `bound_x1000` — crossing the OS process boundary may not cost more
+///   than the declared multiple of the in-process datapath;
+/// * **crash reclaim ran**: `reclaimed_slots >= 1` and
+///   `reclaim_ns > 0` — the bench's kill-a-client phase actually
+///   exercised force-reclaim and measured its latency;
+/// * **no leaks**: `leaked_slots == 0` — every slot the crashed client
+///   held came back to the pool.
+///
+/// # Errors
+///
+/// Describes the first missing key, type mismatch, or violated gate
+/// found.
+pub fn validate_bench_ipc(doc: &Value) -> Result<(), SchemaError> {
+    expect_schema(doc, BENCH_IPC_SCHEMA)?;
+    for (i, entry) in entries(doc)?.iter().enumerate() {
+        str_field(entry, "system", i)?;
+        str_field(entry, "testbed", i)?;
+        let messages = u64_field(entry, "messages", i)?;
+        if messages == 0 {
+            return Err(SchemaError::new(format!("entry {i}: zero messages")));
+        }
+        for deployment in ["in_process", "cross_process"] {
+            let p50 = u64_field(entry, &format!("{deployment}_p50_ns"), i)?;
+            let p99 = u64_field(entry, &format!("{deployment}_p99_ns"), i)?;
+            if p50 == 0 || p99 == 0 {
+                return Err(SchemaError::new(format!(
+                    "entry {i}: {deployment} round-trip percentiles must be \
+                     positive (p50 {p50} / p99 {p99})"
+                )));
+            }
+            if p50 > p99 {
+                return Err(SchemaError::new(format!(
+                    "entry {i}: {deployment} p50 {p50} exceeds p99 {p99}"
+                )));
+            }
+        }
+        let ratio = u64_field(entry, "ratio_x1000", i)?;
+        let bound = u64_field(entry, "bound_x1000", i)?;
+        if bound == 0 {
+            return Err(SchemaError::new(format!("entry {i}: zero overhead bound")));
+        }
+        if ratio > bound {
+            return Err(SchemaError::new(format!(
+                "entry {i}: process-split overhead: cross/in-process p99 ratio \
+                 {ratio}/1000 exceeds the bound {bound}/1000"
+            )));
+        }
+        let attach = u64_field(entry, "attach_ns", i)?;
+        if attach == 0 {
+            return Err(SchemaError::new(format!(
+                "entry {i}: attach latency must be positive"
+            )));
+        }
+        let reclaimed = u64_field(entry, "reclaimed_slots", i)?;
+        if reclaimed == 0 {
+            return Err(SchemaError::new(format!(
+                "entry {i}: the crash phase reclaimed no slots — \
+                 force-reclaim was not exercised"
+            )));
+        }
+        let reclaim_ns = u64_field(entry, "reclaim_ns", i)?;
+        if reclaim_ns == 0 {
+            return Err(SchemaError::new(format!(
+                "entry {i}: reclaim latency not recorded"
+            )));
+        }
+        let leaked = u64_field(entry, "leaked_slots", i)?;
+        if leaked != 0 {
+            return Err(SchemaError::new(format!(
+                "entry {i}: {leaked} slot(s) leaked after a client crash"
+            )));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -519,6 +605,68 @@ mod tests {
         set_field(&mut entry, "reordered", 1);
         let err = validate_bench_hotpath(&hotpath_doc(entry)).unwrap_err();
         assert!(err.to_string().contains("reordered"), "{err}");
+    }
+
+    fn ipc_entry() -> Value {
+        Value::object([
+            ("system", "INSANE process split".into()),
+            ("testbed", "Local".into()),
+            ("messages", 100_000u64.into()),
+            ("in_process_p50_ns", 600u64.into()),
+            ("in_process_p99_ns", 2_000u64.into()),
+            ("cross_process_p50_ns", 900u64.into()),
+            ("cross_process_p99_ns", 3_000u64.into()),
+            ("ratio_x1000", 1_500u64.into()),
+            ("bound_x1000", 2_000u64.into()),
+            ("attach_ns", 250_000u64.into()),
+            ("reclaim_ns", 80_000u64.into()),
+            ("reclaimed_slots", 12u64.into()),
+            ("leaked_slots", 0u64.into()),
+        ])
+    }
+
+    fn ipc_doc(entry: Value) -> Value {
+        Value::object([
+            ("schema", BENCH_IPC_SCHEMA.into()),
+            ("entries", Value::Array(vec![entry])),
+        ])
+    }
+
+    #[test]
+    fn valid_ipc_doc_passes() {
+        assert_eq!(validate_bench_ipc(&ipc_doc(ipc_entry())), Ok(()));
+    }
+
+    #[test]
+    fn ipc_overhead_past_the_bound_is_rejected() {
+        let mut entry = ipc_entry();
+        set_field(&mut entry, "ratio_x1000", 2_400);
+        let err = validate_bench_ipc(&ipc_doc(entry)).unwrap_err();
+        assert!(err.to_string().contains("process-split overhead"), "{err}");
+    }
+
+    #[test]
+    fn ipc_leaked_slots_are_rejected() {
+        let mut entry = ipc_entry();
+        set_field(&mut entry, "leaked_slots", 3);
+        let err = validate_bench_ipc(&ipc_doc(entry)).unwrap_err();
+        assert!(err.to_string().contains("leaked"), "{err}");
+    }
+
+    #[test]
+    fn ipc_without_a_reclaim_phase_is_rejected() {
+        let mut entry = ipc_entry();
+        set_field(&mut entry, "reclaimed_slots", 0);
+        let err = validate_bench_ipc(&ipc_doc(entry)).unwrap_err();
+        assert!(err.to_string().contains("force-reclaim"), "{err}");
+    }
+
+    #[test]
+    fn ipc_inverted_percentiles_are_rejected() {
+        let mut entry = ipc_entry();
+        set_field(&mut entry, "cross_process_p50_ns", 5_000);
+        let err = validate_bench_ipc(&ipc_doc(entry)).unwrap_err();
+        assert!(err.to_string().contains("exceeds p99"), "{err}");
     }
 
     #[test]

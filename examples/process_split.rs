@@ -1,0 +1,127 @@
+//! Process split: a real `insaned` runtime daemon in one OS process, a
+//! thin-client application in another, exchanging messages over shared
+//! memory with zero payload copies.
+//!
+//! ```bash
+//! cargo run --example process_split
+//! ```
+//!
+//! The example re-execs itself as the daemon (`--daemon <socket>`), so a
+//! single binary demonstrates the whole split:
+//!
+//! 1. spawn the daemon and wait for its ready line;
+//! 2. `IpcClient::attach` — version handshake, segment fd over
+//!    `SCM_RIGHTS`, `mmap`, pool + ring attach;
+//! 3. `lend → emit → try_recv → drop` round trips, asserting that every
+//!    received view points *into the shared segment* (the zero-copy
+//!    proof) and arrives in order;
+//! 4. graceful shutdown: `request_shutdown` + `detach`, then reap the
+//!    daemon and check the control socket is gone.
+//!
+//! See DESIGN.md §13 for the segment layout and the attach/reclaim
+//! protocols, and `crates/bench/src/bin/ipc_bench.rs` for the measured
+//! version of this experiment (`BENCH_ipc.json`).
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+use std::process::{Command, Stdio};
+
+use insane::ipc::{IpcClient, IpcServer, ServerConfig};
+
+const MESSAGES: u64 = 64;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    match (args.next().as_deref(), args.next()) {
+        (Some("--daemon"), Some(socket)) => daemon(Path::new(&socket)),
+        _ => client(),
+    }
+}
+
+/// Child role: the per-host runtime daemon (`insaned` in miniature).
+fn daemon(socket: &Path) -> Result<(), Box<dyn std::error::Error>> {
+    let server = IpcServer::start(ServerConfig::new(socket))?;
+    println!("insaned listening on {}", server.socket_path().display());
+    std::io::stdout().flush()?;
+    while !server.shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    server.shutdown();
+    Ok(())
+}
+
+/// Parent role: the application, linked against only the thin client.
+fn client() -> Result<(), Box<dyn std::error::Error>> {
+    let socket = std::env::temp_dir().join(format!("insane-example-{}.sock", std::process::id()));
+
+    // --- 1. A second OS process for the runtime. ---
+    let exe = std::env::current_exe()?;
+    let mut daemon = Command::new(exe)
+        .arg("--daemon")
+        .arg(&socket)
+        .stdout(Stdio::piped())
+        .spawn()?;
+    let stdout = daemon.stdout.take().ok_or("daemon stdout not captured")?;
+    let mut ready = String::new();
+    BufReader::new(stdout).read_line(&mut ready)?;
+    if !ready.starts_with("insaned listening on") {
+        return Err(format!("unexpected daemon greeting: {ready:?}").into());
+    }
+    println!("daemon pid {} ready on {}", daemon.id(), socket.display());
+
+    // --- 2. Attach: handshake + segment fd + mmap, all in one call. ---
+    let mut client = IpcClient::attach(&socket, "example-tenant", "fast")?;
+    let stream = client.create_stream("ping")?;
+    println!(
+        "attached as session {} (stream {stream}, pool of {} x {} B slots)",
+        client.session(),
+        client.pool().slot_count(),
+        client.pool().slot_size(),
+    );
+
+    // --- 3. Zero-copy round trips across the process boundary. ---
+    for seq in 0..MESSAGES {
+        let mut guard = client.lend(8)?;
+        guard.copy_from_slice(&seq.to_le_bytes());
+        let mut pending = Some(guard);
+        while let Some(guard) = pending.take() {
+            if let Err(guard) = client.emit(stream, guard) {
+                pending = Some(guard); // TX ring full: retry
+                std::thread::yield_now();
+            }
+        }
+        let (got_stream, view) = loop {
+            match client.try_recv() {
+                Some(reply) => break reply,
+                None => std::thread::yield_now(),
+            }
+        };
+        assert_eq!(got_stream, stream, "descriptor routed to the wrong stream");
+        assert!(
+            client.segment().contains_ptr(view.as_ptr()),
+            "reply was copied out of the shared segment"
+        );
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(&view[..8]);
+        assert_eq!(u64::from_le_bytes(bytes), seq, "replies out of order");
+    }
+    let stats = client.pool().stats();
+    println!(
+        "{MESSAGES} messages round-tripped in order, every reply a view into the \
+         shared segment ({} acquires, {} slots still out)",
+        stats.acquires, stats.in_use,
+    );
+
+    // --- 4. Graceful teardown. ---
+    client.request_shutdown()?;
+    client.detach()?;
+    let status = daemon.wait()?;
+    if !status.success() {
+        return Err(format!("daemon exited with {status}").into());
+    }
+    if socket.exists() {
+        return Err("daemon left its control socket behind".into());
+    }
+    println!("daemon exited cleanly and removed its socket");
+    Ok(())
+}

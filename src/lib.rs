@@ -7,7 +7,9 @@
 //! * [`fabric`] — the simulated edge-cloud testbeds and devices;
 //! * [`lunar`] — the LunarMoM and Lunar Streaming applications;
 //! * [`demikernel`] / [`baselines`] — the evaluation's reference systems;
-//! * [`memory`], [`queues`], [`netstack`], [`tsn`] — the substrates.
+//! * [`memory`], [`queues`], [`netstack`], [`tsn`] — the substrates;
+//! * [`ipc`] — the client/runtime process split (`insaned` daemon, thin
+//!   client library, shared-memory datapath).
 //!
 //! The most common items are additionally re-exported at the top level.
 //!
@@ -39,6 +41,7 @@ pub use insane_baselines as baselines;
 pub use insane_core as core;
 pub use insane_demikernel as demikernel;
 pub use insane_fabric as fabric;
+pub use insane_ipc as ipc;
 pub use insane_memory as memory;
 pub use insane_netstack as netstack;
 pub use insane_queues as queues;

@@ -72,6 +72,7 @@ use scan::{find_word, ScannedLine};
 const UNSAFE_WHITELIST: &[&str] = &[
     "crates/memory/",
     "crates/queues/",
+    "crates/ipc/",
     "crates/telemetry/tests/",
 ];
 
@@ -79,10 +80,13 @@ const UNSAFE_WHITELIST: &[&str] = &[
 /// and noisy-neighbor benches ride along: they exercise the sharded
 /// polling engine and the multi-tenant overload paths, and must report
 /// failures (ordering violations, stalls, refused tenants) instead of
-/// panicking.
+/// panicking.  `crates/ipc` (the daemon and client library) and the
+/// process-split bench join the zone: a panic in the daemon kills every
+/// attached application's session.
 const NO_PANIC_PREFIXES: &[&str] = &[
     "crates/core/src/",
     "crates/fabric/src/",
+    "crates/ipc/src/",
     "crates/telemetry/src/",
     "crates/bench/src/shard_bench.rs",
     "crates/bench/src/bin/shard_bench.rs",
@@ -90,6 +94,8 @@ const NO_PANIC_PREFIXES: &[&str] = &[
     "crates/bench/src/bin/noisy_neighbor.rs",
     "crates/bench/src/hotpath.rs",
     "crates/bench/src/bin/hotpath_bench.rs",
+    "crates/bench/src/ipc_bench.rs",
+    "crates/bench/src/bin/ipc_bench.rs",
     "tools/insanectl/src/",
 ];
 
@@ -762,6 +768,22 @@ mod tests {
             lint("tools/insanectl/src/main.rs", src),
             vec!["no-panic-paths"]
         );
+    }
+
+    #[test]
+    fn ipc_daemon_is_a_panic_free_zone_with_unsafe_allowed() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert_eq!(
+            lint("crates/ipc/src/server.rs", src),
+            vec!["no-panic-paths"]
+        );
+        assert_eq!(
+            lint("crates/bench/src/bin/ipc_bench.rs", src),
+            vec!["no-panic-paths"]
+        );
+        // The shared-memory mapping code needs (documented) unsafe.
+        let unsafe_src = "// SAFETY: fd from the kernel.\nfn f() { unsafe {} }\n";
+        assert!(lint("crates/ipc/src/sys.rs", unsafe_src).is_empty());
     }
 
     #[test]

@@ -15,10 +15,19 @@
 //!   (e.g. `burst_max=64 idle_sleep_us=50`) through the snapshot-cell
 //!   publication path: validated atomically, applied without restarting
 //!   or pausing the polling shards (DESIGN.md §12).
+//! * `attach-probe <socket>` — probe an `insaned` control socket: sends
+//!   the session protocol's `probe` request and checks the daemon
+//!   answers with a compatible protocol version, without creating a
+//!   session or mapping a segment.
 //! * `check-bench <dir>` — validate `BENCH_latency.json`,
 //!   `BENCH_throughput.json` and (when present)
 //!   `BENCH_shard_throughput.json` / `BENCH_noisy_neighbor.json` /
-//!   `BENCH_hotpath.json` in `dir` against their schemas.
+//!   `BENCH_hotpath.json` / `BENCH_ipc.json` in `dir` against their
+//!   schemas.
+//!
+//! Every socket-taking subcommand also accepts the flag form
+//! `insanectl --socket <path> <cmd>`, which reads better in scripts
+//! that template the socket path.
 //!
 //! The crate is a panic-free zone under `insane-lint`: every failure
 //! path reports through [`CtlError`] and a nonzero exit code.
@@ -28,8 +37,8 @@ use std::os::unix::net::UnixStream;
 use std::path::Path;
 
 use insane_telemetry::{
-    validate_bench_hotpath, validate_bench_latency, validate_bench_noisy_neighbor,
-    validate_bench_throughput, Value,
+    validate_bench_hotpath, validate_bench_ipc, validate_bench_latency,
+    validate_bench_noisy_neighbor, validate_bench_throughput, Value,
 };
 
 /// Any failure: usage, I/O, JSON, schema, or endpoint-reported.
@@ -54,7 +63,8 @@ impl From<insane_telemetry::json::ParseError> for CtlError {
     }
 }
 
-const USAGE: &str = "usage: insanectl <stats|raw|ping> <socket-path>\n\
+const USAGE: &str = "usage: insanectl <stats|raw|ping|attach-probe> <socket-path>\n\
+       insanectl --socket <socket-path> <stats|raw|ping|attach-probe>\n\
        insanectl reload <socket-path> <key=value>...\n\
        insanectl check-bench <dir>";
 
@@ -66,11 +76,25 @@ fn main() {
     }
 }
 
-fn dispatch(args: &[String]) -> Result<(), CtlError> {
+/// Rewrites the `--socket <path> <cmd> ...` flag form into the
+/// positional `<cmd> <path> ...` form the matcher understands.
+fn normalize(args: &[String]) -> Vec<String> {
     match args {
+        [flag, path, cmd, rest @ ..] if flag == "--socket" => {
+            let mut out = vec![cmd.clone(), path.clone()];
+            out.extend(rest.iter().cloned());
+            out
+        }
+        _ => args.to_vec(),
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), CtlError> {
+    match &normalize(args)[..] {
         [cmd, path] if cmd == "stats" => stats(Path::new(path)),
         [cmd, path] if cmd == "raw" => raw(Path::new(path)),
         [cmd, path] if cmd == "ping" => ping(Path::new(path)),
+        [cmd, path] if cmd == "attach-probe" => attach_probe(Path::new(path)),
         [cmd, dir] if cmd == "check-bench" => check_bench(Path::new(dir)),
         [cmd, path, pairs @ ..] if cmd == "reload" && !pairs.is_empty() => {
             reload(Path::new(path), pairs)
@@ -107,6 +131,32 @@ fn ping(socket: &Path) -> Result<(), CtlError> {
 fn raw(socket: &Path) -> Result<(), CtlError> {
     println!("{}", query(socket, "stats")?);
     Ok(())
+}
+
+/// Probes an `insaned` control socket: one `probe` request on the
+/// session protocol, no session created, no segment mapped.  Succeeds
+/// only if the daemon is alive *and* speaks our protocol version.
+fn attach_probe(socket: &Path) -> Result<(), CtlError> {
+    let stream = UnixStream::connect(socket)
+        .map_err(|e| CtlError(format!("connect {}: {e}", socket.display())))?;
+    let mut writer = stream.try_clone()?;
+    writeln!(writer, "probe")?;
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line)?;
+    let line = line.trim();
+    let expected = format!("ok probe {}", insane_ipc::proto::PROTO_VERSION);
+    if line == expected {
+        println!(
+            "ok: {} speaks {}",
+            socket.display(),
+            insane_ipc::proto::PROTO_VERSION
+        );
+        Ok(())
+    } else {
+        Err(CtlError(format!(
+            "daemon answered {line:?}, expected {expected:?}"
+        )))
+    }
 }
 
 /// Sends a `reload key=value ...` request; the endpoint validates the
@@ -370,6 +420,12 @@ fn check_bench(dir: &Path) -> Result<(), CtlError> {
     // invariants.
     if dir.join("BENCH_hotpath.json").exists() {
         check("BENCH_hotpath.json", validate_bench_hotpath)?;
+    }
+    // And the process-split document: optional, but a present file must
+    // pass the overhead bound and the crash-reclaim gates (reclaim ran,
+    // zero leaked slots).
+    if dir.join("BENCH_ipc.json").exists() {
+        check("BENCH_ipc.json", validate_bench_ipc)?;
     }
     Ok(())
 }
