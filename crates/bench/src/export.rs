@@ -10,9 +10,10 @@ use std::fs;
 use std::path::PathBuf;
 
 use insane_telemetry::{
-    validate_bench_hotpath, validate_bench_ipc, validate_bench_latency,
+    validate_bench_hotpath, validate_bench_ipc, validate_bench_isolation, validate_bench_latency,
     validate_bench_noisy_neighbor, validate_bench_throughput, Value, BENCH_HOTPATH_SCHEMA,
-    BENCH_IPC_SCHEMA, BENCH_LATENCY_SCHEMA, BENCH_NOISY_NEIGHBOR_SCHEMA, BENCH_THROUGHPUT_SCHEMA,
+    BENCH_IPC_SCHEMA, BENCH_ISOLATION_SCHEMA, BENCH_LATENCY_SCHEMA, BENCH_NOISY_NEIGHBOR_SCHEMA,
+    BENCH_THROUGHPUT_SCHEMA,
 };
 
 use crate::report::experiments_dir;
@@ -116,6 +117,74 @@ impl NoisyNeighborEntry {
             ("bound_x1000", self.bound_x1000.into()),
             ("bulk_rejections", self.bulk_rejections.into()),
             ("victim_rejections", self.victim_rejections.into()),
+        ])
+    }
+}
+
+/// One mixed-criticality load point: the critical flow's one-way
+/// latency quantiles at a given bulk burst size, plus the timing-gate
+/// and fault-injection record (see `BENCH_isolation.json` and
+/// DESIGN.md §14).
+#[derive(Debug, Clone)]
+pub struct IsolationEntry {
+    /// System label as printed in the tables.
+    pub system: String,
+    /// Testbed profile name.
+    pub testbed: String,
+    /// Delivered critical one-way samples at this load point.
+    pub samples: usize,
+    /// Bulk emit attempts per critical round (0 = solo baseline).
+    pub bulk_burst: usize,
+    /// Critical one-way p50, nanoseconds.
+    pub p50_ns: u64,
+    /// Critical one-way p99, nanoseconds.
+    pub p99_ns: u64,
+    /// Critical one-way p99.9, nanoseconds.
+    pub p999_ns: u64,
+    /// The solo baseline's p99.9, nanoseconds (ratio denominator).
+    pub solo_p999_ns: u64,
+    /// Per-message latency budget, nanoseconds.
+    pub budget_ns: u64,
+    /// Delivered messages that exceeded the budget (must be 0).
+    pub budget_violations: u64,
+    /// This load point's p99.9 over the solo p99.9, fixed-point
+    /// thousandths.
+    pub ratio_x1000: u64,
+    /// Maximum permitted ratio in thousandths.
+    pub bound_x1000: u64,
+    /// Frames the time-aware gates held back (guard band or window
+    /// close) during this load point, summed over traffic classes.
+    pub gate_deferrals: u64,
+    /// Critical rounds lost to the fault injector (deadline expired).
+    pub lost: u64,
+    /// Typed refusals the bulk tenant received.
+    pub bulk_rejections: u64,
+    /// Frames the seeded fault injector dropped.
+    pub injected_drops: u64,
+    /// Frames the seeded fault injector reordered.
+    pub reorders: u64,
+}
+
+impl IsolationEntry {
+    fn to_value(&self) -> Value {
+        Value::object([
+            ("system", self.system.as_str().into()),
+            ("testbed", self.testbed.as_str().into()),
+            ("samples", (self.samples as u64).into()),
+            ("bulk_burst", (self.bulk_burst as u64).into()),
+            ("p50_ns", self.p50_ns.into()),
+            ("p99_ns", self.p99_ns.into()),
+            ("p999_ns", self.p999_ns.into()),
+            ("solo_p999_ns", self.solo_p999_ns.into()),
+            ("budget_ns", self.budget_ns.into()),
+            ("budget_violations", self.budget_violations.into()),
+            ("ratio_x1000", self.ratio_x1000.into()),
+            ("bound_x1000", self.bound_x1000.into()),
+            ("gate_deferrals", self.gate_deferrals.into()),
+            ("lost", self.lost.into()),
+            ("bulk_rejections", self.bulk_rejections.into()),
+            ("injected_drops", self.injected_drops.into()),
+            ("reorders", self.reorders.into()),
         ])
     }
 }
@@ -316,6 +385,26 @@ pub fn write_noisy_neighbor(entries: &[NoisyNeighborEntry]) -> Result<PathBuf, B
     validate_bench_noisy_neighbor(&doc)
         .map_err(|e| BenchError::Other(format!("noisy-neighbor export: {e}")))?;
     write_doc("BENCH_noisy_neighbor.json", &doc)
+}
+
+/// Writes `BENCH_isolation.json` and returns its path.
+///
+/// Validated against [`BENCH_ISOLATION_SCHEMA`] before writing, so a
+/// missed latency budget, a violated p99.9 bound, a missing solo
+/// baseline, or a run in which the gates never deferred a frame fails
+/// the bench run itself, not just a later `check-bench`.
+///
+/// # Errors
+///
+/// Fails on schema violations or I/O errors.
+pub fn write_isolation(entries: &[IsolationEntry]) -> Result<PathBuf, BenchError> {
+    let doc = document(
+        BENCH_ISOLATION_SCHEMA,
+        entries.iter().map(IsolationEntry::to_value).collect(),
+    );
+    validate_bench_isolation(&doc)
+        .map_err(|e| BenchError::Other(format!("isolation export: {e}")))?;
+    write_doc("BENCH_isolation.json", &doc)
 }
 
 /// Writes `BENCH_hotpath.json` and returns its path.

@@ -37,6 +37,7 @@ pub mod export;
 pub mod hotpath;
 pub mod ipc_bench;
 pub mod latency;
+pub mod mixed_criticality;
 pub mod mom_bench;
 pub mod noisy_neighbor;
 pub mod report;

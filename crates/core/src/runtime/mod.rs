@@ -82,6 +82,18 @@ pub enum SchedulerChoice {
         critical_window: Duration,
         /// Gate cycle period.
         cycle: Duration,
+        /// Guard interval before each gate-closing boundary during
+        /// which no new frame may start (zero disables it).  Keeps an
+        /// in-flight lower-class frame from spilling into the critical
+        /// window.  Hot-reloadable via the `tas_guard_band_ns` tunable.
+        guard_band: Duration,
+        /// Modeled wire time of one frame, applied uniformly to every
+        /// class (zero disables deadline metering).  With it set, the
+        /// scheduler never releases a frame that cannot finish before
+        /// its gate closes, and the polling engine clamps its drain
+        /// burst to the remaining window.  Hot-reloadable via the
+        /// `tas_frame_tx_ns` tunable.
+        frame_tx: Duration,
     },
 }
 
@@ -714,14 +726,21 @@ impl Runtime {
             SchedulerChoice::TimeAware {
                 critical_window,
                 cycle,
+                guard_band,
+                frame_tx,
             } => {
                 let gcl = GateControlList::exclusive_window(
                     TrafficClass::TIME_CRITICAL,
                     *critical_window,
                     *cycle,
                     Instant::now(),
-                )?;
-                Ok(Box::new(TasScheduler::new(gcl)))
+                )?
+                .with_guard_band(*guard_band)?;
+                let mut tas = TasScheduler::new(gcl);
+                if !frame_tx.is_zero() {
+                    tas.set_timing(None, Some(*frame_tx))?;
+                }
+                Ok(Box::new(tas))
             }
         }
     }
@@ -1236,6 +1255,25 @@ impl RuntimeInner {
         tunables
             .validate()
             .map_err(|e| InsaneError::InvalidConfig(format!("tunables rejected: {e}")))?;
+        // Re-arm the time-aware shaper knobs before publishing: the
+        // guard band is validated against each live scheduler's gate
+        // cycle, and a rejection must leave the snapshot unchanged.
+        // (Every shard shares one gate program shape, so the check
+        // either passes or fails uniformly.)
+        if tunables.tas_guard_band_ns.is_some() || tunables.tas_frame_tx_ns.is_some() {
+            let guard = tunables.tas_guard_band_ns.map(Duration::from_nanos);
+            let frame_tx = tunables.tas_frame_tx_ns.map(Duration::from_nanos);
+            for dp in &self.shards {
+                for sh in dp {
+                    sh.scheduler
+                        .lock()
+                        .set_timing(guard, frame_tx)
+                        .map_err(|e| {
+                            InsaneError::InvalidConfig(format!("tunables rejected: {e}"))
+                        })?;
+                }
+            }
+        }
         let (min, max) = (tunables.burst_min, tunables.burst_max);
         self.tunables.publish(Arc::new(tunables));
         for dp in &self.shards {
@@ -1269,9 +1307,11 @@ impl RuntimeInner {
         if applied == 0 {
             return Err("reload requires at least one key=value argument".into());
         }
+        let fmt_opt = |v: Option<u64>| v.map_or_else(|| "-".into(), |n| n.to_string());
         let summary = format!(
-            "reloaded {applied} tunable(s): burst_min={} burst_max={} idle_yield_after={} idle_sleep_after={} idle_sleep_us={}",
-            next.burst_min, next.burst_max, next.idle_yield_after, next.idle_sleep_after, next.idle_sleep_us
+            "reloaded {applied} tunable(s): burst_min={} burst_max={} idle_yield_after={} idle_sleep_after={} idle_sleep_us={} tas_guard_band_ns={} tas_frame_tx_ns={}",
+            next.burst_min, next.burst_max, next.idle_yield_after, next.idle_sleep_after, next.idle_sleep_us,
+            fmt_opt(next.tas_guard_band_ns), fmt_opt(next.tas_frame_tx_ns)
         );
         self.reload_tunables(next).map_err(|e| e.to_string())?;
         Ok(summary)
@@ -1874,13 +1914,29 @@ impl RuntimeInner {
         }
 
         // 2. Release scheduled messages to the device (opportunistic
-        //    batching: everything ready goes as one burst).
+        //    batching: everything ready goes as one burst).  Time-aware
+        //    schedulers clamp the burst to the frames the remaining gate
+        //    window can still carry (never below 1, so a fully gated
+        //    pass still records its deferrals), and report per-class
+        //    deferral counts for telemetry.
         scratch.ready.clear();
-        self.shards[idx][shard].scheduler.lock().dequeue_ready(
-            &mut scratch.ready,
-            burst,
-            Instant::now(),
-        );
+        let deferred = {
+            let mut sched = self.shards[idx][shard].scheduler.lock();
+            let now = Instant::now();
+            let clamped = match sched.window_budget(now) {
+                Some(budget) => burst.min(budget.max(1)),
+                None => burst,
+            };
+            sched.dequeue_ready(&mut scratch.ready, clamped, now);
+            sched.take_gate_deferrals()
+        };
+        let deferred_total: u64 = deferred.iter().sum();
+        if deferred_total > 0 {
+            self.stats
+                .gate_deferrals
+                .fetch_add(deferred_total, Ordering::Relaxed);
+            self.dp_tel[idx][shard].on_gate_deferred(&deferred);
+        }
         if !scratch.ready.is_empty() {
             did = true;
             scratch.burst_filled |= scratch.ready.len() >= burst;

@@ -34,6 +34,15 @@ pub struct Tunables {
     /// Sleep length, in microseconds, once `idle_sleep_after` is
     /// exceeded.
     pub idle_sleep_us: u64,
+    /// Guard band, in nanoseconds, re-armed on every time-aware shard
+    /// scheduler at reload.  `None` (the default) leaves whatever the
+    /// [`SchedulerChoice`](crate::SchedulerChoice) configured; FIFO
+    /// shards accept and ignore the knob.
+    pub tas_guard_band_ns: Option<u64>,
+    /// Uniform per-frame transmission time, in nanoseconds, re-armed on
+    /// every time-aware shard scheduler at reload.  `None` (the
+    /// default) leaves the configured value.
+    pub tas_frame_tx_ns: Option<u64>,
 }
 
 impl Default for Tunables {
@@ -44,6 +53,8 @@ impl Default for Tunables {
             idle_yield_after: 32,
             idle_sleep_after: 256,
             idle_sleep_us: 100,
+            tas_guard_band_ns: None,
+            tas_frame_tx_ns: None,
         }
     }
 }
@@ -83,6 +94,14 @@ impl Tunables {
                 self.idle_yield_after, self.idle_sleep_after
             ));
         }
+        // Coarse sanity caps; the per-scheduler check (guard band vs.
+        // the live gate cycle) runs when the value is applied.
+        if self.tas_guard_band_ns.is_some_and(|ns| ns > 1_000_000_000) {
+            return Err("tas_guard_band_ns must be at most 1s".into());
+        }
+        if self.tas_frame_tx_ns.is_some_and(|ns| ns > 1_000_000_000) {
+            return Err("tas_frame_tx_ns must be at most 1s".into());
+        }
         Ok(())
     }
 
@@ -101,6 +120,8 @@ impl Tunables {
             "idle_yield_after" => self.idle_yield_after = parse(key, value)?,
             "idle_sleep_after" => self.idle_sleep_after = parse(key, value)?,
             "idle_sleep_us" => self.idle_sleep_us = parse(key, value)?,
+            "tas_guard_band_ns" => self.tas_guard_band_ns = Some(parse(key, value)?),
+            "tas_frame_tx_ns" => self.tas_frame_tx_ns = Some(parse(key, value)?),
             _ => return Err(format!("unknown tunable {key:?}")),
         }
         Ok(())
@@ -152,6 +173,8 @@ mod tests {
             ("idle_yield_after", "16"),
             ("idle_sleep_after", "512"),
             ("idle_sleep_us", "50"),
+            ("tas_guard_band_ns", "20000"),
+            ("tas_frame_tx_ns", "2000"),
         ] {
             t.apply_kv(k, v).unwrap();
         }
@@ -163,9 +186,26 @@ mod tests {
                 idle_yield_after: 16,
                 idle_sleep_after: 512,
                 idle_sleep_us: 50,
+                tas_guard_band_ns: Some(20_000),
+                tas_frame_tx_ns: Some(2_000),
             }
         );
         assert!(t.apply_kv("bogus", "1").is_err());
         assert!(t.apply_kv("burst_min", "not-a-number").is_err());
+    }
+
+    #[test]
+    fn validate_caps_tas_knobs() {
+        let absurd = Tunables {
+            tas_guard_band_ns: Some(2_000_000_000),
+            ..Tunables::default()
+        };
+        assert!(absurd.validate().is_err());
+        let sane = Tunables {
+            tas_guard_band_ns: Some(20_000),
+            tas_frame_tx_ns: Some(2_000),
+            ..Tunables::default()
+        };
+        assert!(sane.validate().is_ok());
     }
 }

@@ -150,6 +150,10 @@ pub struct RuntimeStats {
     pub failback_events: AtomicU64,
     /// Messages rerouted over kernel UDP because their datapath was down.
     pub failover_messages: AtomicU64,
+    /// Scheduler passes in which a queued frame was held back by a
+    /// closed gate, the guard band, or a too-short remaining window
+    /// (time-aware shaping only; summed across classes).
+    pub gate_deferrals: AtomicU64,
 }
 
 /// Plain-data snapshot of [`RuntimeStats`].
@@ -189,6 +193,8 @@ pub struct StatsSnapshot {
     pub failback_events: u64,
     /// Messages rerouted during failover.
     pub failover_messages: u64,
+    /// Frames held back by gates/guard bands (time-aware shaping).
+    pub gate_deferrals: u64,
 }
 
 #[cfg(feature = "telemetry")]
@@ -217,6 +223,7 @@ impl StatsSnapshot {
             ("failover_events", Value::from(self.failover_events)),
             ("failback_events", Value::from(self.failback_events)),
             ("failover_messages", Value::from(self.failover_messages)),
+            ("gate_deferrals", Value::from(self.gate_deferrals)),
         ])
     }
 }
@@ -241,6 +248,7 @@ impl RuntimeStats {
             failover_events: self.failover_events.load(Ordering::Relaxed),
             failback_events: self.failback_events.load(Ordering::Relaxed),
             failover_messages: self.failover_messages.load(Ordering::Relaxed),
+            gate_deferrals: self.gate_deferrals.load(Ordering::Relaxed),
         }
     }
 }

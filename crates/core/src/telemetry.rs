@@ -166,6 +166,17 @@ mod glue {
                 t.scheduled.add(n);
             }
         }
+
+        /// Folds one batch of per-class gate-deferral events (taken from
+        /// a time-aware scheduler after a drain pass) into the shard's
+        /// per-class counters.
+        pub(crate) fn on_gate_deferred(&self, per_class: &[u64; 8]) {
+            if let Some(t) = &self.0 {
+                for (counter, &n) in t.gate_deferrals.iter().zip(per_class) {
+                    counter.add(n);
+                }
+            }
+        }
     }
 
     /// Per-stream recorder handle cached in each sink's shared state,
@@ -243,6 +254,7 @@ mod glue {
         pub(crate) fn on_tx(&self, _n: u64) {}
         pub(crate) fn on_rx(&self, _n: u64) {}
         pub(crate) fn on_scheduled(&self, _n: u64) {}
+        pub(crate) fn on_gate_deferred(&self, _per_class: &[u64; 8]) {}
     }
 
     #[derive(Debug)]

@@ -438,6 +438,8 @@ fn time_sensitive_stream_uses_tsn_scheduler() {
         .with_scheduler(SchedulerChoice::TimeAware {
             critical_window: Duration::from_millis(5),
             cycle: Duration::from_millis(50),
+            guard_band: Duration::ZERO,
+            frame_tx: Duration::ZERO,
         });
     let rt_a = Runtime::start(cfg, &fabric, host).unwrap();
     let rt_b = Runtime::start(
@@ -467,6 +469,84 @@ fn time_sensitive_stream_uses_tsn_scheduler() {
     source.emit(buf).unwrap();
     let msg = drive_consume(&[&rt_a, &rt_b], &sink);
     assert_eq!(&*msg, b"gate");
+}
+
+#[test]
+fn tas_guard_band_reloads_and_counts_deferrals() {
+    use insane_core::Tunables;
+    // Best-effort traffic has a 5ms window per 50ms cycle.  A reloaded
+    // 49ms guard band (valid: < cycle) exceeds that window, so nothing
+    // best-effort may ever start — deterministic deferrals, no timing
+    // races.  Dropping the guard releases the held frame.
+    let fabric = Fabric::new(TestbedProfile::local());
+    let host_a = fabric.add_host("a");
+    let host_b = fabric.add_host("b");
+    let cfg = manual_config(1)
+        .with_technologies(&[Technology::KernelUdp])
+        .with_scheduler(SchedulerChoice::TimeAware {
+            critical_window: Duration::from_millis(45),
+            cycle: Duration::from_millis(50),
+            guard_band: Duration::ZERO,
+            frame_tx: Duration::from_micros(1),
+        });
+    let rt_a = Runtime::start(cfg, &fabric, host_a).unwrap();
+    let rt_b = Runtime::start(
+        manual_config(2).with_technologies(&[Technology::KernelUdp]),
+        &fabric,
+        host_b,
+    )
+    .unwrap();
+    rt_a.add_peer(host_b).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 10_000);
+
+    let session_a = Session::connect(&rt_a).unwrap();
+    let session_b = Session::connect(&rt_b).unwrap();
+    let stream_a = session_a.create_stream(QosPolicy::slow()).unwrap();
+    let stream_b = session_b.create_stream(QosPolicy::slow()).unwrap();
+    let sink = stream_b.create_sink(ChannelId(9)).unwrap();
+    poll_until_quiescent(&[&rt_a, &rt_b], 10_000);
+
+    // A guard band at or beyond the cycle is rejected outright.
+    let over = Tunables {
+        tas_guard_band_ns: Some(50_000_000),
+        ..Tunables::default()
+    };
+    assert!(rt_a.reload_tunables(over).is_err());
+
+    // Arm the window-exceeding (but valid) guard, then emit.
+    let blocked = Tunables {
+        tas_guard_band_ns: Some(49_000_000),
+        ..Tunables::default()
+    };
+    rt_a.reload_tunables(blocked).unwrap();
+    let source = stream_a.create_source(ChannelId(9)).unwrap();
+    let mut buf = source.get_buffer(4).unwrap();
+    buf.copy_from_slice(b"held");
+    source.emit(buf).unwrap();
+    for _ in 0..200 {
+        rt_a.poll_once();
+        rt_b.poll_once();
+    }
+    assert!(
+        rt_a.stats().gate_deferrals > 0,
+        "a guard band wider than the open window must defer every pass"
+    );
+    assert!(
+        matches!(
+            sink.consume(ConsumeMode::NonBlocking),
+            Err(InsaneError::WouldBlock)
+        ),
+        "the frame must still be held"
+    );
+
+    // Drop the guard: the held frame flows in its next window.
+    let released = Tunables {
+        tas_guard_band_ns: Some(0),
+        ..Tunables::default()
+    };
+    rt_a.reload_tunables(released).unwrap();
+    let msg = drive_consume(&[&rt_a, &rt_b], &sink);
+    assert_eq!(&*msg, b"held");
 }
 
 #[test]

@@ -41,7 +41,7 @@ pub use registry::{
     StreamSnapshot, StreamTelemetry, TenantSnapshot, TenantTelemetry,
 };
 pub use schema::{
-    validate_bench_hotpath, validate_bench_ipc, validate_bench_latency,
+    validate_bench_hotpath, validate_bench_ipc, validate_bench_isolation, validate_bench_latency,
     validate_bench_noisy_neighbor, validate_bench_throughput, SchemaError,
 };
 
@@ -57,3 +57,5 @@ pub const BENCH_NOISY_NEIGHBOR_SCHEMA: &str = "insane-bench-noisy-neighbor-v1";
 pub const BENCH_HOTPATH_SCHEMA: &str = "insane-bench-hotpath-v1";
 /// Schema identifier of `BENCH_ipc.json`.
 pub const BENCH_IPC_SCHEMA: &str = "insane-bench-ipc-v1";
+/// Schema identifier of `BENCH_isolation.json`.
+pub const BENCH_ISOLATION_SCHEMA: &str = "insane-bench-isolation-v1";

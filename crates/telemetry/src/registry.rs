@@ -201,6 +201,11 @@ pub struct DatapathTelemetry {
     pub rx_messages: Counter,
     /// Messages enqueued into this shard's packet scheduler.
     pub scheduled: Counter,
+    /// Per-traffic-class deferral events: scheduler passes in which a
+    /// queued frame was held back by a closed gate, the guard band, or
+    /// a remaining window too short to finish in (time-aware shaping
+    /// only; index = 802.1Q traffic class).
+    pub gate_deferrals: [Counter; 8],
 }
 
 impl DatapathTelemetry {
@@ -211,6 +216,7 @@ impl DatapathTelemetry {
             tx_messages: Counter::new(),
             rx_messages: Counter::new(),
             scheduled: Counter::new(),
+            gate_deferrals: core::array::from_fn(|_| Counter::new()),
         }
     }
 
@@ -232,6 +238,7 @@ impl DatapathTelemetry {
             tx_messages: self.tx_messages.get(),
             rx_messages: self.rx_messages.get(),
             scheduled: self.scheduled.get(),
+            gate_deferrals: core::array::from_fn(|i| self.gate_deferrals[i].get()),
         }
     }
 }
@@ -456,6 +463,8 @@ pub struct DatapathSnapshot {
     pub rx_messages: u64,
     /// Messages enqueued into the packet scheduler.
     pub scheduled: u64,
+    /// Per-traffic-class gate-deferral events (time-aware shaping).
+    pub gate_deferrals: [u64; 8],
 }
 
 fn summary_json(s: &Summary) -> Value {
@@ -511,6 +520,15 @@ impl DatapathSnapshot {
             ("tx_messages", Value::from(self.tx_messages)),
             ("rx_messages", Value::from(self.rx_messages)),
             ("scheduled", Value::from(self.scheduled)),
+            (
+                "gate_deferrals",
+                Value::Array(
+                    self.gate_deferrals
+                        .iter()
+                        .map(|&n| Value::from(n))
+                        .collect(),
+                ),
+            ),
         ])
     }
 }

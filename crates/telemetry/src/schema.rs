@@ -7,8 +7,8 @@
 
 use crate::json::Value;
 use crate::{
-    BENCH_HOTPATH_SCHEMA, BENCH_IPC_SCHEMA, BENCH_LATENCY_SCHEMA, BENCH_NOISY_NEIGHBOR_SCHEMA,
-    BENCH_THROUGHPUT_SCHEMA,
+    BENCH_HOTPATH_SCHEMA, BENCH_IPC_SCHEMA, BENCH_ISOLATION_SCHEMA, BENCH_LATENCY_SCHEMA,
+    BENCH_NOISY_NEIGHBOR_SCHEMA, BENCH_THROUGHPUT_SCHEMA,
 };
 
 /// Why a BENCH document failed validation.
@@ -193,6 +193,97 @@ pub fn validate_bench_noisy_neighbor(doc: &Value) -> Result<(), SchemaError> {
                  times; isolation must not punish in-quota tenants"
             )));
         }
+    }
+    Ok(())
+}
+
+/// Validates a `BENCH_isolation.json` document (the mixed-criticality
+/// timing-isolation experiment, DESIGN.md §14).
+///
+/// Requires the [`BENCH_ISOLATION_SCHEMA`] marker and, per entry:
+/// string `system`/`testbed`, positive `samples`, the bulk load point
+/// (`bulk_burst`, zero for the solo baseline), positive critical-flow
+/// quantiles (`p50_ns`/`p99_ns`/`p999_ns`), and a positive per-message
+/// latency budget (`budget_ns`).  Three gates are enforced:
+///
+/// * **budget**: `budget_violations == 0` at *every* load point — a
+///   time-critical message that was delivered must have been delivered
+///   inside its budget, bulk saturation or not;
+/// * **tail isolation**: `ratio_x1000` (this load point's p99.9 over
+///   the solo baseline's `solo_p999_ns`, fixed-point thousandths) must
+///   not exceed `bound_x1000`;
+/// * **coverage**: the document must contain a solo baseline
+///   (`bulk_burst == 0`) and at least one gate deferral summed across
+///   entries — a run in which the time-aware gates never held a frame
+///   back did not exercise the machinery it claims to measure.
+///
+/// `lost`, `bulk_rejections`, `injected_drops`, and `reorders` are
+/// required integers (the seeded fault record) but carry no bound:
+/// losses under injected faults are expected and reported, not failed.
+///
+/// # Errors
+///
+/// Describes the first missing key, type mismatch, or violated gate
+/// found.
+pub fn validate_bench_isolation(doc: &Value) -> Result<(), SchemaError> {
+    expect_schema(doc, BENCH_ISOLATION_SCHEMA)?;
+    let mut has_solo = false;
+    let mut deferrals_total = 0u64;
+    let all = entries(doc)?;
+    if all.is_empty() {
+        return Err(SchemaError::new("no load points recorded"));
+    }
+    for (i, entry) in all.iter().enumerate() {
+        str_field(entry, "system", i)?;
+        str_field(entry, "testbed", i)?;
+        let samples = u64_field(entry, "samples", i)?;
+        if samples == 0 {
+            return Err(SchemaError::new(format!("entry {i}: zero samples")));
+        }
+        let bulk_burst = u64_field(entry, "bulk_burst", i)?;
+        has_solo |= bulk_burst == 0;
+        for key in ["p50_ns", "p99_ns", "p999_ns", "solo_p999_ns", "budget_ns"] {
+            if u64_field(entry, key, i)? == 0 {
+                return Err(SchemaError::new(format!(
+                    "entry {i}: {key} must be positive"
+                )));
+            }
+        }
+        let violations = u64_field(entry, "budget_violations", i)?;
+        if violations != 0 {
+            return Err(SchemaError::new(format!(
+                "entry {i}: {violations} critical message(s) missed their \
+                 latency budget at bulk_burst {bulk_burst}"
+            )));
+        }
+        let ratio = u64_field(entry, "ratio_x1000", i)?;
+        let bound = u64_field(entry, "bound_x1000", i)?;
+        if bound == 0 {
+            return Err(SchemaError::new(format!("entry {i}: zero tail bound")));
+        }
+        if ratio > bound {
+            return Err(SchemaError::new(format!(
+                "entry {i}: tail isolation violated: critical p99.9 ratio \
+                 {ratio}/1000 over solo exceeds the bound {bound}/1000 at \
+                 bulk_burst {bulk_burst}"
+            )));
+        }
+        deferrals_total += u64_field(entry, "gate_deferrals", i)?;
+        u64_field(entry, "lost", i)?;
+        u64_field(entry, "bulk_rejections", i)?;
+        u64_field(entry, "injected_drops", i)?;
+        u64_field(entry, "reorders", i)?;
+    }
+    if !has_solo {
+        return Err(SchemaError::new(
+            "no solo baseline (bulk_burst == 0) load point recorded",
+        ));
+    }
+    if deferrals_total == 0 {
+        return Err(SchemaError::new(
+            "no gate deferrals recorded at any load point: the time-aware \
+             gates never held a frame, so the run measured nothing",
+        ));
     }
     Ok(())
 }
@@ -534,6 +625,77 @@ mod tests {
         set_field(&mut entry, "victim_rejections", 3);
         let err = validate_bench_noisy_neighbor(&noisy_doc(entry)).unwrap_err();
         assert!(err.to_string().contains("in-quota"), "{err}");
+    }
+
+    fn isolation_entry(bulk_burst: u64) -> Value {
+        Value::object([
+            ("system", "INSANE tas".into()),
+            ("testbed", "Local".into()),
+            ("samples", 200u64.into()),
+            ("bulk_burst", bulk_burst.into()),
+            ("p50_ns", 400_000u64.into()),
+            ("p99_ns", 780_000u64.into()),
+            ("p999_ns", 820_000u64.into()),
+            ("solo_p999_ns", 800_000u64.into()),
+            ("budget_ns", 25_000_000u64.into()),
+            ("budget_violations", 0u64.into()),
+            ("ratio_x1000", 1_025u64.into()),
+            ("bound_x1000", 2_000u64.into()),
+            ("gate_deferrals", 40u64.into()),
+            ("lost", 1u64.into()),
+            ("bulk_rejections", 12u64.into()),
+            ("injected_drops", 1u64.into()),
+            ("reorders", 3u64.into()),
+        ])
+    }
+
+    fn isolation_doc(entries: Vec<Value>) -> Value {
+        Value::object([
+            ("schema", BENCH_ISOLATION_SCHEMA.into()),
+            ("entries", Value::Array(entries)),
+        ])
+    }
+
+    #[test]
+    fn valid_isolation_doc_passes() {
+        let doc = isolation_doc(vec![isolation_entry(0), isolation_entry(16)]);
+        assert_eq!(validate_bench_isolation(&doc), Ok(()));
+    }
+
+    #[test]
+    fn isolation_budget_violation_is_rejected() {
+        let mut contended = isolation_entry(16);
+        set_field(&mut contended, "budget_violations", 2);
+        let doc = isolation_doc(vec![isolation_entry(0), contended]);
+        let err = validate_bench_isolation(&doc).unwrap_err();
+        assert!(err.to_string().contains("latency budget"), "{err}");
+    }
+
+    #[test]
+    fn isolation_tail_ratio_over_bound_is_rejected() {
+        let mut contended = isolation_entry(16);
+        set_field(&mut contended, "ratio_x1000", 2_400);
+        let doc = isolation_doc(vec![isolation_entry(0), contended]);
+        let err = validate_bench_isolation(&doc).unwrap_err();
+        assert!(err.to_string().contains("tail isolation violated"), "{err}");
+    }
+
+    #[test]
+    fn isolation_without_solo_baseline_is_rejected() {
+        let doc = isolation_doc(vec![isolation_entry(8), isolation_entry(16)]);
+        let err = validate_bench_isolation(&doc).unwrap_err();
+        assert!(err.to_string().contains("solo baseline"), "{err}");
+    }
+
+    #[test]
+    fn isolation_without_any_gate_deferral_is_rejected() {
+        let mut solo = isolation_entry(0);
+        let mut contended = isolation_entry(16);
+        set_field(&mut solo, "gate_deferrals", 0);
+        set_field(&mut contended, "gate_deferrals", 0);
+        let doc = isolation_doc(vec![solo, contended]);
+        let err = validate_bench_isolation(&doc).unwrap_err();
+        assert!(err.to_string().contains("never held a frame"), "{err}");
     }
 
     fn hotpath_entry() -> Value {

@@ -21,12 +21,20 @@ pub struct GateEntry {
 
 impl GateEntry {
     /// Creates an entry opening exactly the given classes.
-    pub fn open(classes: &[TrafficClass], duration: Duration) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`TsnError::NeverOpen`] for an empty class list: an entry with
+    /// every gate closed would hold all queues for its whole window.
+    pub fn open(classes: &[TrafficClass], duration: Duration) -> Result<Self, TsnError> {
+        if classes.is_empty() {
+            return Err(TsnError::NeverOpen);
+        }
         let mut gates = 0u8;
         for c in classes {
             gates |= 1 << c.value();
         }
-        Self { gates, duration }
+        Ok(Self { gates, duration })
     }
 
     /// Creates an entry with every gate open.
@@ -49,6 +57,12 @@ pub struct GateControlList {
     entries: Vec<GateEntry>,
     cycle: Duration,
     epoch: Instant,
+    /// Guard interval before each gate-closing boundary: a frame may
+    /// not *start* within the last `guard_band` of its class's open
+    /// run, so an in-flight frame can never spill into the next
+    /// window (classically: bulk traffic cannot encroach on the
+    /// critical window that follows it).
+    guard_band: Duration,
 }
 
 impl GateControlList {
@@ -58,6 +72,7 @@ impl GateControlList {
     ///
     /// * [`TsnError::EmptyGcl`] with no entries.
     /// * [`TsnError::ZeroDuration`] if any window has zero length.
+    /// * [`TsnError::NeverOpen`] if any entry opens no class.
     pub fn new(entries: Vec<GateEntry>, epoch: Instant) -> Result<Self, TsnError> {
         if entries.is_empty() {
             return Err(TsnError::EmptyGcl);
@@ -65,11 +80,15 @@ impl GateControlList {
         if entries.iter().any(|e| e.duration.is_zero()) {
             return Err(TsnError::ZeroDuration);
         }
+        if entries.iter().any(|e| e.gates == 0) {
+            return Err(TsnError::NeverOpen);
+        }
         let cycle = entries.iter().map(|e| e.duration).sum();
         Ok(Self {
             entries,
             cycle,
             epoch,
+            guard_band: Duration::ZERO,
         })
     }
 
@@ -79,21 +98,30 @@ impl GateControlList {
     ///
     /// # Errors
     ///
-    /// [`TsnError::ZeroDuration`] if either window is zero.
+    /// * [`TsnError::ZeroDuration`] if either window is zero.
+    /// * [`TsnError::WindowExceedsCycle`] if `critical_window >= cycle`
+    ///   — the critical class would own the whole cycle and every other
+    ///   class would starve.
     pub fn exclusive_window(
         critical: TrafficClass,
         critical_window: Duration,
         cycle: Duration,
         epoch: Instant,
     ) -> Result<Self, TsnError> {
-        let rest = cycle.saturating_sub(critical_window);
+        if critical_window >= cycle {
+            return Err(TsnError::WindowExceedsCycle {
+                window: critical_window,
+                cycle,
+            });
+        }
+        let rest = cycle - critical_window;
         let mut others = !(1 << critical.value());
         if others == 0 {
             others = 0xFF;
         }
         Self::new(
             vec![
-                GateEntry::open(&[critical], critical_window),
+                GateEntry::open(&[critical], critical_window)?,
                 GateEntry {
                     gates: others,
                     duration: rest,
@@ -101,6 +129,39 @@ impl GateControlList {
             ],
             epoch,
         )
+    }
+
+    /// Sets the guard interval enforced before each gate-closing
+    /// boundary (builder form; the default is zero — no guard).
+    ///
+    /// # Errors
+    ///
+    /// [`TsnError::GuardBandTooLong`] if `guard >= cycle`.
+    pub fn with_guard_band(mut self, guard: Duration) -> Result<Self, TsnError> {
+        self.set_guard_band(guard)?;
+        Ok(self)
+    }
+
+    /// Re-arms the guard interval on a live gate program (the hot-reload
+    /// path behind the `tas_guard_band_ns` tunable).
+    ///
+    /// # Errors
+    ///
+    /// [`TsnError::GuardBandTooLong`] if `guard >= cycle`.
+    pub fn set_guard_band(&mut self, guard: Duration) -> Result<(), TsnError> {
+        if guard >= self.cycle {
+            return Err(TsnError::GuardBandTooLong {
+                guard,
+                cycle: self.cycle,
+            });
+        }
+        self.guard_band = guard;
+        Ok(())
+    }
+
+    /// The configured guard interval (zero when unset).
+    pub fn guard_band(&self) -> Duration {
+        self.guard_band
     }
 
     /// Total cycle duration.
@@ -141,23 +202,88 @@ impl GateControlList {
     /// The next instant at or after `now` when `class`'s gate is open
     /// (`now` itself if already open); `None` if no entry ever opens it.
     pub fn next_open(&self, class: TrafficClass, now: Instant) -> Option<Instant> {
-        if !self.entries.iter().any(|e| e.is_open(class)) {
-            return None;
-        }
         if self.is_open(class, now) {
             return Some(now);
         }
-        // Walk windows forward from `now` until one opens the gate.
-        let (_, remaining) = self.active_entry(now);
-        let mut t = now + remaining;
-        for _ in 0..self.entries.len() {
-            if self.is_open(class, t) {
-                return Some(t);
+        // Direct modular arithmetic over the entry start offsets: the
+        // wait to an opening entry is its cycle offset minus the current
+        // cycle position, wrapping forward.  Total by construction — no
+        // window-by-window walk that could fail to advance on a
+        // zero-remaining `active_entry` fallback — and the result is an
+        // entry start that opens the class, so it is open by definition.
+        let cycle_ns = self.cycle.as_nanos().max(1) as u64;
+        let since = now.saturating_duration_since(self.epoch).as_nanos();
+        // insane-lint: allow(hot-path-panic) -- divisor clamped to >= 1 by the max(1) above
+        let into = (since % u128::from(cycle_ns)) as u64;
+        let mut start = 0u64;
+        let mut best: Option<u64> = None;
+        for entry in &self.entries {
+            if entry.is_open(class) {
+                // `start == into` inside an open entry was handled by the
+                // early return, so `start <= into` always means "already
+                // passed this cycle": the next chance is a cycle later.
+                let wait = if start > into {
+                    start - into
+                } else {
+                    start + cycle_ns - into
+                };
+                best = Some(best.map_or(wait, |b| b.min(wait)));
             }
-            let (_, rem) = self.active_entry(t);
-            t += rem;
+            start += entry.duration.as_nanos() as u64;
         }
-        Some(t)
+        best.map(|w| now + Duration::from_nanos(w))
+    }
+
+    /// How long `class`'s gate stays continuously open starting at
+    /// `now`: the remainder of the active window plus every immediately
+    /// following window that also opens the class, capped at one full
+    /// cycle.  Zero when the gate is closed at `now`.
+    pub fn open_run(&self, class: TrafficClass, now: Instant) -> Duration {
+        let cycle_ns = self.cycle.as_nanos().max(1) as u64;
+        let since = now.saturating_duration_since(self.epoch).as_nanos();
+        // insane-lint: allow(hot-path-panic) -- divisor clamped to >= 1 by the max(1) above
+        let mut into = (since % u128::from(cycle_ns)) as u64;
+        let n = self.entries.len();
+        let mut hit = None;
+        for (i, entry) in self.entries.iter().enumerate() {
+            let d = entry.duration.as_nanos() as u64;
+            if into < d {
+                hit = Some((i, entry, d - into));
+                break;
+            }
+            into -= d;
+        }
+        // The windows tile the cycle, so the walk always lands in one.
+        let Some((idx, active, remaining)) = hit else {
+            return Duration::ZERO;
+        };
+        if !active.is_open(class) {
+            return Duration::ZERO;
+        }
+        let mut run = remaining;
+        // The remaining entries in cyclic order starting after `idx`.
+        let wrapped = self
+            .entries
+            .iter()
+            .skip(idx + 1)
+            .chain(self.entries.iter())
+            .take(n.saturating_sub(1));
+        for entry in wrapped {
+            if !entry.is_open(class) {
+                return Duration::from_nanos(run.min(cycle_ns));
+            }
+            run += entry.duration.as_nanos() as u64;
+        }
+        // Every entry opens the class: the run wraps the whole cycle.
+        Duration::from_nanos(cycle_ns)
+    }
+
+    /// Whether a frame of `class` taking `tx_time` on the wire may
+    /// *start* at `now`: the gate must be open and the frame must finish
+    /// — with the guard band to spare — before the gate closes.
+    pub fn can_start(&self, class: TrafficClass, tx_time: Duration, now: Instant) -> bool {
+        let run = self.open_run(class, now);
+        !run.is_zero() && self.guard_band + tx_time <= run
     }
 
     /// Gate states per class at `now` (diagnostics / table rendering).
@@ -188,6 +314,113 @@ mod tests {
         );
         let gcl = GateControlList::new(vec![GateEntry::all_open(ms(10))], epoch).unwrap();
         assert_eq!(gcl.cycle(), ms(10));
+    }
+
+    #[test]
+    fn never_open_entries_are_rejected_at_construction() {
+        let epoch = Instant::now();
+        // The constructor-shaped path...
+        assert_eq!(GateEntry::open(&[], ms(5)).err(), Some(TsnError::NeverOpen));
+        // ...and the literal-struct escape hatch are both closed.
+        let all_closed = GateEntry {
+            gates: 0,
+            duration: ms(5),
+        };
+        assert_eq!(
+            GateControlList::new(vec![GateEntry::all_open(ms(5)), all_closed], epoch).err(),
+            Some(TsnError::NeverOpen)
+        );
+    }
+
+    #[test]
+    fn exclusive_window_rejects_window_at_or_beyond_cycle() {
+        let epoch = Instant::now();
+        for w in [ms(10), ms(12)] {
+            assert_eq!(
+                GateControlList::exclusive_window(TrafficClass::TIME_CRITICAL, w, ms(10), epoch)
+                    .err(),
+                Some(TsnError::WindowExceedsCycle {
+                    window: w,
+                    cycle: ms(10)
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn guard_band_validates_and_reports() {
+        let epoch = Instant::now();
+        let gcl = GateControlList::new(vec![GateEntry::all_open(ms(10))], epoch).unwrap();
+        assert_eq!(gcl.guard_band(), Duration::ZERO);
+        assert_eq!(
+            gcl.clone().with_guard_band(ms(10)).err(),
+            Some(TsnError::GuardBandTooLong {
+                guard: ms(10),
+                cycle: ms(10)
+            })
+        );
+        let gcl = gcl.with_guard_band(ms(1)).unwrap();
+        assert_eq!(gcl.guard_band(), ms(1));
+    }
+
+    #[test]
+    fn open_run_spans_consecutive_open_windows() {
+        let epoch = Instant::now();
+        // [0,2): TC7 only.  [2,6) and [6,10): TC0-6 — so best-effort's
+        // run from t=3ms covers the rest of both windows (7ms), while
+        // TC7's run from t=1ms is only the rest of its window.
+        let others = GateEntry {
+            gates: 0x7F,
+            duration: ms(4),
+        };
+        let gcl = GateControlList::new(
+            vec![
+                GateEntry::open(&[TrafficClass::TIME_CRITICAL], ms(2)).unwrap(),
+                others,
+                others,
+            ],
+            epoch,
+        )
+        .unwrap();
+        assert_eq!(
+            gcl.open_run(TrafficClass::BEST_EFFORT, epoch + ms(3)),
+            ms(7)
+        );
+        assert_eq!(
+            gcl.open_run(TrafficClass::TIME_CRITICAL, epoch + ms(1)),
+            ms(1)
+        );
+        assert_eq!(
+            gcl.open_run(TrafficClass::BEST_EFFORT, epoch + ms(1)),
+            Duration::ZERO
+        );
+        // A class open in every window runs a full cycle, no more.
+        let always = GateControlList::new(vec![GateEntry::all_open(ms(10))], epoch).unwrap();
+        assert_eq!(
+            always.open_run(TrafficClass::BEST_EFFORT, epoch + ms(3)),
+            ms(10)
+        );
+    }
+
+    #[test]
+    fn can_start_accounts_for_guard_band_and_tx_time() {
+        let epoch = Instant::now();
+        let gcl =
+            GateControlList::exclusive_window(TrafficClass::TIME_CRITICAL, ms(2), ms(10), epoch)
+                .unwrap()
+                .with_guard_band(ms(1))
+                .unwrap();
+        // Best effort's run from t=3ms is 7ms: a 5ms frame fits (5+1 <= 7),
+        // a 7ms frame does not (7+1 > 7).
+        let t = epoch + ms(3);
+        assert!(gcl.can_start(TrafficClass::BEST_EFFORT, ms(5), t));
+        assert!(!gcl.can_start(TrafficClass::BEST_EFFORT, ms(7), t));
+        // Inside the guard band before the next critical window even a
+        // zero-length frame may not start.
+        let t = epoch + Duration::from_micros(9_500);
+        assert!(!gcl.can_start(TrafficClass::BEST_EFFORT, Duration::ZERO, t));
+        // A closed gate can never start.
+        assert!(!gcl.can_start(TrafficClass::BEST_EFFORT, Duration::ZERO, epoch + ms(1)));
     }
 
     #[test]
@@ -232,7 +465,7 @@ mod tests {
     fn never_open_gate_returns_none() {
         let epoch = Instant::now();
         let gcl = GateControlList::new(
-            vec![GateEntry::open(&[TrafficClass::TIME_CRITICAL], ms(5))],
+            vec![GateEntry::open(&[TrafficClass::TIME_CRITICAL], ms(5)).unwrap()],
             epoch,
         )
         .unwrap();

@@ -41,7 +41,7 @@ pub use gates::{GateControlList, GateEntry};
 pub use tas::TasScheduler;
 
 use core::fmt;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One of the eight 802.1Q traffic classes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -73,6 +73,24 @@ impl TrafficClass {
     pub fn value(&self) -> u8 {
         self.0
     }
+
+    /// All eight classes, lowest to highest priority.
+    ///
+    /// The infallible iteration source for per-class loops: indexing a
+    /// `[T; CLASS_COUNT]` by `value()` or walking every class never
+    /// needs a fallible [`TrafficClass::new`] round trip.
+    pub const fn all() -> [TrafficClass; CLASS_COUNT] {
+        [
+            TrafficClass(0),
+            TrafficClass(1),
+            TrafficClass(2),
+            TrafficClass(3),
+            TrafficClass(4),
+            TrafficClass(5),
+            TrafficClass(6),
+            TrafficClass(7),
+        ]
+    }
 }
 
 impl fmt::Display for TrafficClass {
@@ -90,6 +108,25 @@ pub enum TsnError {
     EmptyGcl,
     /// A gate entry with zero duration would stall the cycle.
     ZeroDuration,
+    /// A gate entry that opens no class would hold every queue for its
+    /// whole window — never useful, always a configuration bug.
+    NeverOpen,
+    /// The exclusive critical window must leave room in the cycle for
+    /// the other classes.
+    WindowExceedsCycle {
+        /// Requested critical-window length.
+        window: Duration,
+        /// Cycle period it was asked to fit inside.
+        cycle: Duration,
+    },
+    /// The guard band must be shorter than the gate cycle, or no frame
+    /// could ever start.
+    GuardBandTooLong {
+        /// Requested guard band.
+        guard: Duration,
+        /// Cycle period it must fit inside.
+        cycle: Duration,
+    },
 }
 
 impl fmt::Display for TsnError {
@@ -98,6 +135,15 @@ impl fmt::Display for TsnError {
             TsnError::BadClass(v) => write!(f, "traffic class {v} out of range (0-7)"),
             TsnError::EmptyGcl => write!(f, "gate control list is empty"),
             TsnError::ZeroDuration => write!(f, "gate entry has zero duration"),
+            TsnError::NeverOpen => write!(f, "gate entry opens no traffic class"),
+            TsnError::WindowExceedsCycle { window, cycle } => write!(
+                f,
+                "critical window {window:?} must be shorter than the cycle {cycle:?}"
+            ),
+            TsnError::GuardBandTooLong { guard, cycle } => write!(
+                f,
+                "guard band {guard:?} must be shorter than the cycle {cycle:?}"
+            ),
         }
     }
 }
@@ -125,6 +171,46 @@ pub trait Scheduler<T> {
     /// Earliest instant at which a queued item may become releasable, if
     /// the strategy can say (lets a polling thread sleep instead of spin).
     fn next_release(&self, now: Instant) -> Option<Instant>;
+
+    /// How many queued frames can still *start* before their windows
+    /// close, if the strategy meters transmission windows at all.
+    ///
+    /// `None` means unmetered — no useful clamp exists (the FIFO
+    /// default, or a time-aware shaper with no frame-transmission
+    /// times configured).  The polling engine caps its drain burst at
+    /// this budget so a device burst never carries more than the
+    /// remaining window can transmit.
+    fn window_budget(&self, _now: Instant) -> Option<usize> {
+        None
+    }
+
+    /// Takes (returns and resets) per-class counts of deferral events:
+    /// dequeue passes in which a queued frame was held back by a closed
+    /// gate, the guard band, or a window too short to finish in.
+    ///
+    /// Strategies without gates report all zeros.
+    fn take_gate_deferrals(&mut self) -> [u64; CLASS_COUNT] {
+        [0; CLASS_COUNT]
+    }
+
+    /// Applies shaper timing parameters at runtime, if the strategy has
+    /// them: `guard_band` re-arms the gate program's guard interval,
+    /// `frame_tx` sets a uniform per-frame transmission time for every
+    /// class.  `None` leaves the respective parameter unchanged; the
+    /// default implementation (gateless strategies) accepts and ignores
+    /// both.  This is the hot-reload hook behind the `tas_*` tunables.
+    ///
+    /// # Errors
+    ///
+    /// [`TsnError::GuardBandTooLong`] if `guard_band` does not fit the
+    /// strategy's gate cycle.
+    fn set_timing(
+        &mut self,
+        _guard_band: Option<Duration>,
+        _frame_tx: Option<Duration>,
+    ) -> Result<(), TsnError> {
+        Ok(())
+    }
 
     /// Moves *every* queued item into `out`, gates and release times
     /// notwithstanding; returns how many were moved.  Datapath failover

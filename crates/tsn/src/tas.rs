@@ -6,16 +6,26 @@
 //! selection, the 802.1Q default).
 
 use std::collections::VecDeque;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::gates::GateControlList;
-use crate::{Scheduler, TrafficClass, CLASS_COUNT};
+use crate::{Scheduler, TrafficClass, TsnError, CLASS_COUNT};
 
 /// A time-aware shaper over a gate control list.
+///
+/// Beyond plain gate checks, the shaper accounts for per-class
+/// *frame-transmission times*: a frame is released only if it can
+/// finish — guard band included — before its gate closes, and a burst's
+/// releases advance a virtual clock so the decision holds for every
+/// frame in the burst, not just the first.
 #[derive(Debug)]
 pub struct TasScheduler<T> {
     queues: [VecDeque<T>; CLASS_COUNT],
     gcl: GateControlList,
+    /// Modeled wire time of one frame per class (zero = not metered).
+    tx_time: [Duration; CLASS_COUNT],
+    /// Deferral events per class since the last `take_gate_deferrals`.
+    deferrals: [u64; CLASS_COUNT],
     len: usize,
 }
 
@@ -25,8 +35,27 @@ impl<T> TasScheduler<T> {
         Self {
             queues: core::array::from_fn(|_| VecDeque::new()),
             gcl,
+            tx_time: [Duration::ZERO; CLASS_COUNT],
+            deferrals: [0; CLASS_COUNT],
             len: 0,
         }
+    }
+
+    /// Sets the modeled frame-transmission time for one class (builder
+    /// form; zero — the default — disables deadline metering for it).
+    pub fn with_tx_time(mut self, class: TrafficClass, tx: Duration) -> Self {
+        self.set_tx_time(class, tx);
+        self
+    }
+
+    /// Sets one class's frame-transmission time on a live scheduler.
+    pub fn set_tx_time(&mut self, class: TrafficClass, tx: Duration) {
+        self.tx_time[class.value() as usize] = tx;
+    }
+
+    /// The modeled frame-transmission time of `class`.
+    pub fn tx_time(&self, class: TrafficClass) -> Duration {
+        self.tx_time[class.value() as usize]
     }
 
     /// The gate program driving this scheduler.
@@ -50,31 +79,45 @@ impl<T> Scheduler<T> for TasScheduler<T> {
     }
 
     // insane-lint: hot-path-root
-    // insane-lint: allow-fn(hot-path-panic) -- the class loop index is 0..CLASS_COUNT, the queues array's length
+    // insane-lint: allow-fn(hot-path-panic) -- class indices come from TrafficClass::all(), always < CLASS_COUNT
     fn dequeue_ready(&mut self, out: &mut Vec<T>, max: usize, now: Instant) -> usize {
         if self.len == 0 || max == 0 {
             return 0;
         }
-        let entry = self.gcl.active_entry(now).0;
+        // Strict priority with per-frame gate evaluation: every release
+        // advances a virtual clock by the frame's transmission time and
+        // the gate/guard/deadline predicate is re-checked against it.
+        // A single `active_entry(now)` snapshot for the whole burst
+        // would let a burst straddling a window edge leak best-effort
+        // frames into the next critical window.
         let mut moved = 0;
-        // Strict priority: drain the highest open class first.
-        for class in (0..CLASS_COUNT).rev() {
-            if entry.gates & (1 << class) == 0 {
-                continue;
-            }
-            let q = &mut self.queues[class];
-            while moved < max {
-                match q.pop_front() {
+        let mut vnow = now;
+        for tc in TrafficClass::all().into_iter().rev() {
+            let class = tc.value() as usize;
+            let tx = self.tx_time[class];
+            loop {
+                if moved >= max {
+                    return moved;
+                }
+                if self.queues[class].is_empty() {
+                    break;
+                }
+                if !self.gcl.can_start(tc, tx, vnow) {
+                    // Head frame held by a closed gate, the guard band,
+                    // or a window too short to finish in: one deferral
+                    // event per class per pass.
+                    self.deferrals[class] += 1;
+                    break;
+                }
+                match self.queues[class].pop_front() {
                     Some(item) => {
                         out.push(item);
                         moved += 1;
                         self.len -= 1;
+                        vnow += tx;
                     }
                     None => break,
                 }
-            }
-            if moved >= max {
-                break;
             }
         }
         moved
@@ -85,13 +128,58 @@ impl<T> Scheduler<T> for TasScheduler<T> {
     }
 
     fn next_release(&self, now: Instant) -> Option<Instant> {
-        (0..CLASS_COUNT)
-            .filter(|&c| !self.queues[c].is_empty())
-            .filter_map(|c| {
-                self.gcl
-                    .next_open(TrafficClass::new(c as u8).expect("class in range"), now)
-            })
+        TrafficClass::all()
+            .into_iter()
+            .filter(|c| !self.queues[c.value() as usize].is_empty())
+            .filter_map(|c| self.gcl.next_open(c, now))
             .min()
+    }
+
+    fn window_budget(&self, now: Instant) -> Option<usize> {
+        // The clamp is the number of frames that can still start before
+        // their windows close.  It only exists when every non-empty
+        // class is metered: one ready unmetered class makes any finite
+        // cap meaningless.
+        let mut budget = 0usize;
+        let mut metered = false;
+        let classes = TrafficClass::all();
+        for ((tc, queue), tx) in classes.iter().zip(&self.queues).zip(&self.tx_time) {
+            if queue.is_empty() {
+                continue;
+            }
+            let usable = self
+                .gcl
+                .open_run(*tc, now)
+                .saturating_sub(self.gcl.guard_band());
+            if tx.is_zero() {
+                if !usable.is_zero() {
+                    return None;
+                }
+            } else {
+                metered = true;
+                let slots = usable.as_nanos().checked_div(tx.as_nanos()).unwrap_or(0);
+                budget = budget.saturating_add(slots as usize);
+            }
+        }
+        metered.then_some(budget)
+    }
+
+    fn take_gate_deferrals(&mut self) -> [u64; CLASS_COUNT] {
+        std::mem::take(&mut self.deferrals)
+    }
+
+    fn set_timing(
+        &mut self,
+        guard_band: Option<Duration>,
+        frame_tx: Option<Duration>,
+    ) -> Result<(), TsnError> {
+        if let Some(guard) = guard_band {
+            self.gcl.set_guard_band(guard)?;
+        }
+        if let Some(tx) = frame_tx {
+            self.tx_time = [tx; CLASS_COUNT];
+        }
+        Ok(())
     }
 
     fn drain_all(&mut self, out: &mut Vec<T>) -> usize {
@@ -206,6 +294,100 @@ mod tests {
         assert_eq!(out, vec!["crit", "bulk"]);
         assert!(s.is_empty());
         assert_eq!(s.dequeue_ready(&mut out, 10, epoch + ms(3)), 0);
+    }
+
+    #[test]
+    fn burst_cannot_straddle_a_window_edge() {
+        // Regression: dequeue_ready used to evaluate active_entry(now)
+        // once per burst, so a best-effort burst started late in the
+        // open window leaked frames into the next critical window.
+        // With a 1ms frame time and 3ms left in the window, exactly 3
+        // of the 10 queued frames may leave.
+        let epoch = Instant::now();
+        let mut s =
+            TasScheduler::new(exclusive_gcl(epoch)).with_tx_time(TrafficClass::BEST_EFFORT, ms(1));
+        for i in 0..10 {
+            s.enqueue(i, TrafficClass::BEST_EFFORT, epoch);
+        }
+        let mut out = Vec::new();
+        // Window is [2ms, 10ms); at t=7ms only 3 frame slots remain.
+        assert_eq!(s.dequeue_ready(&mut out, 10, epoch + ms(7)), 3);
+        assert_eq!(out, vec![0, 1, 2]);
+        assert_eq!(s.len(), 7, "the rest waits for the next open window");
+        // The held frames flow once the next best-effort window opens.
+        out.clear();
+        assert_eq!(s.dequeue_ready(&mut out, 10, epoch + ms(12)), 7);
+    }
+
+    #[test]
+    fn guard_band_suppresses_release_before_the_critical_window() {
+        let epoch = Instant::now();
+        let gcl = exclusive_gcl(epoch).with_guard_band(ms(1)).unwrap();
+        let mut s = TasScheduler::new(gcl);
+        s.enqueue("bulk", TrafficClass::BEST_EFFORT, epoch);
+        let mut out = Vec::new();
+        // t=9.5ms: gate open, but inside the 1ms guard before the next
+        // critical window — nothing may start.
+        let t = epoch + Duration::from_micros(9_500);
+        assert_eq!(s.dequeue_ready(&mut out, 10, t), 0);
+        // Clear of the guard the same frame flows.
+        assert_eq!(s.dequeue_ready(&mut out, 10, epoch + ms(12)), 1);
+        assert_eq!(out, vec!["bulk"]);
+    }
+
+    #[test]
+    fn window_budget_counts_remaining_frame_slots() {
+        let epoch = Instant::now();
+        let mut s = TasScheduler::new(exclusive_gcl(epoch).with_guard_band(ms(1)).unwrap())
+            .with_tx_time(TrafficClass::BEST_EFFORT, ms(1));
+        assert_eq!(
+            s.window_budget(epoch + ms(7)),
+            None,
+            "empty: nothing to meter"
+        );
+        for i in 0..10 {
+            s.enqueue(i, TrafficClass::BEST_EFFORT, epoch);
+        }
+        // 3ms left in the window, 1ms guard: 2 one-ms frames fit.
+        assert_eq!(s.window_budget(epoch + ms(7)), Some(2));
+        // An unmetered ready class disables the clamp.
+        s.set_tx_time(TrafficClass::BEST_EFFORT, Duration::ZERO);
+        assert_eq!(s.window_budget(epoch + ms(7)), None);
+    }
+
+    #[test]
+    fn gate_deferrals_are_counted_and_taken() {
+        let epoch = Instant::now();
+        let mut s = TasScheduler::new(exclusive_gcl(epoch));
+        s.enqueue("bulk", TrafficClass::BEST_EFFORT, epoch);
+        let mut out = Vec::new();
+        // Two passes inside the critical window: two deferral events.
+        assert_eq!(s.dequeue_ready(&mut out, 10, epoch + ms(1)), 0);
+        assert_eq!(
+            s.dequeue_ready(&mut out, 10, epoch + Duration::from_micros(1_500)),
+            0
+        );
+        let deferrals = s.take_gate_deferrals();
+        assert_eq!(deferrals[TrafficClass::BEST_EFFORT.value() as usize], 2);
+        // Take semantics: the counters reset.
+        assert_eq!(s.take_gate_deferrals(), [0; CLASS_COUNT]);
+    }
+
+    #[test]
+    fn set_timing_rearms_guard_and_tx_time() {
+        let epoch = Instant::now();
+        let mut s: TasScheduler<u8> = TasScheduler::new(exclusive_gcl(epoch));
+        assert_eq!(
+            s.set_timing(Some(ms(10)), None),
+            Err(TsnError::GuardBandTooLong {
+                guard: ms(10),
+                cycle: ms(10)
+            })
+        );
+        s.set_timing(Some(ms(1)), Some(ms(2))).unwrap();
+        assert_eq!(s.gate_control_list().guard_band(), ms(1));
+        assert_eq!(s.tx_time(TrafficClass::BEST_EFFORT), ms(2));
+        assert_eq!(s.tx_time(TrafficClass::TIME_CRITICAL), ms(2));
     }
 
     #[test]

@@ -82,6 +82,62 @@ proptest! {
         prop_assert!(s.is_empty());
     }
 
+    /// `next_open` agrees with `active_entry` for arbitrary gate
+    /// programs: the windows tile the cycle, a reported instant is
+    /// actually open, lands within two cycles, and no entry boundary
+    /// before it opens the class (so it is minimal at the granularity
+    /// at which gates change).
+    #[test]
+    fn gcl_next_open_agrees_with_active_entry(
+        entries in proptest::collection::vec((1u8..=255u8, 1u64..20), 1..6),
+        class in 0u8..8,
+        probe_ms in 0u64..200,
+    ) {
+        let epoch = Instant::now();
+        let gcl = GateControlList::new(
+            entries
+                .iter()
+                .map(|&(gates, d)| GateEntry { gates, duration: Duration::from_millis(d) })
+                .collect(),
+            epoch,
+        )
+        .unwrap();
+        let tiled: Duration = entries.iter().map(|&(_, d)| Duration::from_millis(d)).sum();
+        prop_assert_eq!(gcl.cycle(), tiled, "windows must tile the cycle");
+        let class = TrafficClass::new(class).unwrap();
+        let t = epoch + Duration::from_millis(probe_ms) + Duration::from_micros(137);
+        match gcl.next_open(class, t) {
+            None => {
+                // A None class must be closed at every sampled instant.
+                for ms in 0..gcl.cycle().as_millis() as u64 {
+                    prop_assert!(!gcl.is_open(class, epoch + Duration::from_millis(ms)));
+                }
+            }
+            Some(open_at) => {
+                prop_assert!(open_at >= t);
+                prop_assert!(gcl.is_open(class, open_at), "next_open returned a closed instant");
+                prop_assert!(gcl.active_entry(open_at).0.is_open(class));
+                prop_assert!(open_at.duration_since(t) < gcl.cycle() * 2);
+                if open_at > t {
+                    prop_assert!(!gcl.is_open(class, t));
+                    // Walk the entry boundaries in (t, open_at): all closed.
+                    let mut b = t + gcl.active_entry(t).1;
+                    while b < open_at {
+                        prop_assert!(
+                            !gcl.is_open(class, b),
+                            "an earlier boundary already opened the class"
+                        );
+                        let (_, rem) = gcl.active_entry(b);
+                        if rem.is_zero() {
+                            break;
+                        }
+                        b += rem;
+                    }
+                }
+            }
+        }
+    }
+
     /// next_release never lies: if it reports an instant, at least one
     /// item is releasable there.
     #[test]

@@ -26,6 +26,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tsn = SchedulerChoice::TimeAware {
         critical_window: Duration::from_micros(200),
         cycle: Duration::from_millis(1),
+        guard_band: Duration::ZERO,
+        frame_tx: Duration::ZERO,
     };
     let config = |id| {
         RuntimeConfig::new(id)

@@ -96,6 +96,9 @@ const NO_PANIC_PREFIXES: &[&str] = &[
     "crates/bench/src/bin/hotpath_bench.rs",
     "crates/bench/src/ipc_bench.rs",
     "crates/bench/src/bin/ipc_bench.rs",
+    "crates/bench/src/mixed_criticality.rs",
+    "crates/bench/src/bin/mixed_criticality.rs",
+    "examples/mixed_criticality.rs",
     "tools/insanectl/src/",
 ];
 

@@ -14,7 +14,13 @@
 //! * `reload <socket> key=value ...` — hot-reload runtime tunables
 //!   (e.g. `burst_max=64 idle_sleep_us=50`) through the snapshot-cell
 //!   publication path: validated atomically, applied without restarting
-//!   or pausing the polling shards (DESIGN.md §12).
+//!   or pausing the polling shards (DESIGN.md §12).  The time-aware
+//!   scheduler's timing-isolation knobs ride the same path:
+//!   `tas_guard_band_ns=<ns>` re-arms the guard band preceding every
+//!   gate-window edge and `tas_frame_tx_ns=<ns>` the per-frame
+//!   transmission time the gates meter releases against (DESIGN.md
+//!   §14); both are validated against the live gate cycle, and a
+//!   rejected value leaves the running configuration untouched.
 //! * `attach-probe <socket>` — probe an `insaned` control socket: sends
 //!   the session protocol's `probe` request and checks the daemon
 //!   answers with a compatible protocol version, without creating a
@@ -22,8 +28,8 @@
 //! * `check-bench <dir>` — validate `BENCH_latency.json`,
 //!   `BENCH_throughput.json` and (when present)
 //!   `BENCH_shard_throughput.json` / `BENCH_noisy_neighbor.json` /
-//!   `BENCH_hotpath.json` / `BENCH_ipc.json` in `dir` against their
-//!   schemas.
+//!   `BENCH_hotpath.json` / `BENCH_ipc.json` / `BENCH_isolation.json`
+//!   in `dir` against their schemas.
 //!
 //! Every socket-taking subcommand also accepts the flag form
 //! `insanectl --socket <path> <cmd>`, which reads better in scripts
@@ -37,7 +43,7 @@ use std::os::unix::net::UnixStream;
 use std::path::Path;
 
 use insane_telemetry::{
-    validate_bench_hotpath, validate_bench_ipc, validate_bench_latency,
+    validate_bench_hotpath, validate_bench_ipc, validate_bench_isolation, validate_bench_latency,
     validate_bench_noisy_neighbor, validate_bench_throughput, Value,
 };
 
@@ -426,6 +432,13 @@ fn check_bench(dir: &Path) -> Result<(), CtlError> {
     // zero leaked slots).
     if dir.join("BENCH_ipc.json").exists() {
         check("BENCH_ipc.json", validate_bench_ipc)?;
+    }
+    // And the mixed-criticality timing-isolation document: optional,
+    // but a present file must pass the budget gate (zero violations at
+    // every load point), the p99.9 tail bound, and the coverage checks
+    // (solo baseline present, gates actually deferred frames).
+    if dir.join("BENCH_isolation.json").exists() {
+        check("BENCH_isolation.json", validate_bench_isolation)?;
     }
     Ok(())
 }
